@@ -1,0 +1,249 @@
+//! The exposure assessment proper: per-layer KL ranges, the uniform
+//! baseline `δµ`, and the partition advisor.
+
+use caltrain_nn::{KernelMode, Network, NnError};
+use caltrain_tensor::stats::{kl_divergence, uniform_distribution};
+use caltrain_tensor::Tensor;
+
+use crate::ir::project_feature_maps;
+
+/// Assessment knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExposureConfig {
+    /// How many probe inputs to assess (KL ranges are taken over all
+    /// probes × all channels).
+    pub probes: usize,
+    /// Channels sampled per layer (`None` = all; Fig. 5 uses all feature
+    /// maps, which is expensive for 512-channel layers).
+    pub max_channels: Option<usize>,
+    /// Safety factor on the uniform baseline: a layer is "safe" when its
+    /// minimum KL ≥ `threshold_factor · δµ`. 1.0 is the paper's tight
+    /// bound; end users "can also relax the constraints" (§IV-B).
+    pub threshold_factor: f32,
+}
+
+impl Default for ExposureConfig {
+    fn default() -> Self {
+        ExposureConfig { probes: 4, max_channels: Some(16), threshold_factor: 1.0 }
+    }
+}
+
+/// KL-divergence range observed at one layer (one black column of a
+/// Fig. 5 sub-plot).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayerExposure {
+    /// Layer index (0-based; paper plots 1-based).
+    pub layer: usize,
+    /// Minimum δ over all probes × channels — the *worst-case leak*.
+    pub min_kl: f32,
+    /// Maximum δ over all probes × channels.
+    pub max_kl: f32,
+}
+
+/// Assessment of one epoch snapshot (one Fig. 5 sub-figure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochExposure {
+    /// Epoch number (1-based, as the paper labels them).
+    pub epoch: usize,
+    /// Per-layer KL ranges for every spatial (rank-3) layer.
+    pub layers: Vec<LayerExposure>,
+    /// Mean uniform baseline `δµ` over the probes (the dashed line).
+    pub uniform_baseline: f32,
+    /// Shallowest safe partition cut: enclose layers `0..cut` in the
+    /// enclave. `None` if no prefix makes every later layer safe.
+    pub recommended_cut: Option<usize>,
+}
+
+/// Runs the assessment for one IRGenNet snapshot against an IRValNet
+/// oracle over `probes` inputs drawn from `probe_images` (`[n, c, h, w]`).
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors from either network.
+pub fn assess_model(
+    irgen: &mut Network,
+    irval: &mut Network,
+    probe_images: &Tensor,
+    config: &ExposureConfig,
+) -> Result<EpochExposure, NnError> {
+    let d = probe_images.dims().to_vec();
+    assert_eq!(d.len(), 4, "probes must be [n, c, h, w]");
+    let probes = config.probes.min(d[0]);
+    assert!(probes > 0, "need at least one probe");
+
+    let val_in = irval.input_shape().dims().to_vec();
+    let (vh, vw) = (val_in[1], val_in[2]);
+    let sample_stride = d[1] * d[2] * d[3];
+
+    // Track per-layer (min, max); spatial layers only.
+    let mut ranges: Vec<Option<(usize, f32, f32)>> = Vec::new();
+    let mut baseline_acc = 0.0f32;
+
+    for p in 0..probes {
+        let x = Tensor::from_vec(
+            probe_images.as_slice()[p * sample_stride..(p + 1) * sample_stride].to_vec(),
+            &[1, d[1], d[2], d[3]],
+        )?;
+        let ref_probs_t = irval.predict_probs(&x, KernelMode::Native)?;
+        let ref_probs = ref_probs_t.as_slice().to_vec();
+        let classes = ref_probs.len();
+        baseline_acc += kl_divergence(&ref_probs, &uniform_distribution(classes));
+
+        let layer_outputs = irgen.forward_collect(&x, KernelMode::Native)?;
+        for (li, out) in layer_outputs.iter().enumerate() {
+            // Per-sample shape: strip the batch axis.
+            let od = out.dims();
+            if od.len() != 4 {
+                continue; // rank-1 layers (avg/softmax/cost) have no IR images
+            }
+            let per_sample = Tensor::from_vec(out.as_slice().to_vec(), &od[1..])?;
+            let mut images = project_feature_maps(&per_sample, vh, vw);
+            if let Some(cap) = config.max_channels {
+                images.truncate(cap);
+            }
+            for img in images {
+                let batch = img.reshaped(&[1, 3, vh, vw])?;
+                let ir_probs = irval.predict_probs(&batch, KernelMode::Native)?;
+                let delta = kl_divergence(&ref_probs, ir_probs.as_slice());
+                while ranges.len() <= li {
+                    ranges.push(None);
+                }
+                ranges[li] = Some(match ranges[li] {
+                    None => (li, delta, delta),
+                    Some((l, lo, hi)) => (l, lo.min(delta), hi.max(delta)),
+                });
+            }
+        }
+    }
+
+    let uniform_baseline = baseline_acc / probes as f32;
+    let layers: Vec<LayerExposure> = ranges
+        .into_iter()
+        .flatten()
+        .map(|(layer, min_kl, max_kl)| LayerExposure { layer, min_kl, max_kl })
+        .collect();
+    let recommended_cut = recommend_cut(&layers, uniform_baseline, config.threshold_factor);
+    Ok(EpochExposure { epoch: 0, layers, uniform_baseline, recommended_cut })
+}
+
+/// The partition rule: the shallowest cut such that every assessed layer
+/// at or beyond the cut has `min_kl ≥ factor · δµ`. Layers *inside* the
+/// enclave may leak freely — their IRs never leave it.
+pub fn recommend_cut(layers: &[LayerExposure], baseline: f32, factor: f32) -> Option<usize> {
+    let threshold = baseline * factor;
+    // Find the deepest unsafe layer; the cut must cover it.
+    let deepest_unsafe = layers.iter().filter(|l| l.min_kl < threshold).map(|l| l.layer).max();
+    match deepest_unsafe {
+        None => Some(if layers.is_empty() { 0 } else { layers[0].layer }),
+        Some(deepest) => {
+            let last_assessed = layers.last().map(|l| l.layer)?;
+            if deepest >= last_assessed {
+                None // even the deepest assessed layer leaks
+            } else {
+                Some(deepest + 1)
+            }
+        }
+    }
+}
+
+/// Assesses every epoch snapshot of a training run (the twelve
+/// sub-figures of Fig. 5), numbering epochs from 1.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn assess_training_run(
+    snapshots: &mut [Network],
+    irval: &mut Network,
+    probe_images: &Tensor,
+    config: &ExposureConfig,
+) -> Result<Vec<EpochExposure>, NnError> {
+    snapshots
+        .iter_mut()
+        .enumerate()
+        .map(|(i, snap)| {
+            let mut e = assess_model(snap, irval, probe_images, config)?;
+            e.epoch = i + 1;
+            Ok(e)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_nn::zoo;
+
+    #[test]
+    fn recommend_cut_basic() {
+        let layers = vec![
+            LayerExposure { layer: 0, min_kl: 0.1, max_kl: 5.0 },
+            LayerExposure { layer: 1, min_kl: 0.2, max_kl: 6.0 },
+            LayerExposure { layer: 2, min_kl: 3.0, max_kl: 8.0 },
+            LayerExposure { layer: 3, min_kl: 4.0, max_kl: 9.0 },
+        ];
+        // Baseline 2.0: layers 0,1 unsafe -> cut after layer 1.
+        assert_eq!(recommend_cut(&layers, 2.0, 1.0), Some(2));
+        // Everything safe -> cut at the first assessed layer.
+        assert_eq!(recommend_cut(&layers, 0.05, 1.0), Some(0));
+        // Everything unsafe -> no valid cut.
+        assert_eq!(recommend_cut(&layers, 100.0, 1.0), None);
+    }
+
+    #[test]
+    fn recommend_cut_respects_factor() {
+        let layers = vec![
+            LayerExposure { layer: 0, min_kl: 1.5, max_kl: 5.0 },
+            LayerExposure { layer: 1, min_kl: 3.0, max_kl: 6.0 },
+        ];
+        assert_eq!(recommend_cut(&layers, 2.0, 1.0), Some(1));
+        // Relaxed constraint (factor 0.5) accepts layer 0 too.
+        assert_eq!(recommend_cut(&layers, 2.0, 0.5), Some(0));
+    }
+
+    #[test]
+    fn assessment_runs_on_real_networks() {
+        let mut irgen = zoo::cifar10_10layer_scaled(32, 1).unwrap();
+        let mut irval = zoo::irvalnet(32, 1).unwrap();
+        let probes = Tensor::from_fn(&[2, 3, 28, 28], |i| ((i * 31) % 97) as f32 / 96.0);
+        let config = ExposureConfig { probes: 2, max_channels: Some(4), threshold_factor: 1.0 };
+        let result = assess_model(&mut irgen, &mut irval, &probes, &config).unwrap();
+        // The 10-layer net has 7 spatial layers (conv/max up to the 7x7
+        // conv10); avg/softmax/cost are excluded.
+        assert_eq!(result.layers.len(), 7);
+        assert!(result.uniform_baseline >= 0.0);
+        for l in &result.layers {
+            assert!(l.min_kl <= l.max_kl);
+            assert!(l.min_kl >= -1e-5);
+        }
+    }
+
+    #[test]
+    fn first_layer_leaks_on_untrained_network() {
+        // With random weights, the first conv layer's IRs preserve input
+        // content almost verbatim, so min KL at layer 0 should be small
+        // relative to the layer's own max.
+        let mut irgen = zoo::cifar10_10layer_scaled(32, 2).unwrap();
+        let mut irval = zoo::irvalnet(32, 3).unwrap();
+        let probes = Tensor::from_fn(&[1, 3, 28, 28], |i| ((i * 17) % 89) as f32 / 88.0);
+        let config = ExposureConfig { probes: 1, max_channels: Some(8), threshold_factor: 1.0 };
+        let result = assess_model(&mut irgen, &mut irval, &probes, &config).unwrap();
+        let first = result.layers[0];
+        assert!(first.min_kl < first.max_kl.max(0.1));
+    }
+
+    #[test]
+    fn training_run_numbers_epochs() {
+        let mut snaps = vec![
+            zoo::cifar10_10layer_scaled(32, 4).unwrap(),
+            zoo::cifar10_10layer_scaled(32, 5).unwrap(),
+        ];
+        let mut irval = zoo::irvalnet(32, 6).unwrap();
+        let probes = Tensor::from_fn(&[1, 3, 28, 28], |i| (i % 7) as f32 / 6.0);
+        let config = ExposureConfig { probes: 1, max_channels: Some(2), threshold_factor: 1.0 };
+        let runs = assess_training_run(&mut snaps, &mut irval, &probes, &config).unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(runs[0].epoch, 1);
+        assert_eq!(runs[1].epoch, 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Intermediate-representation projection: turning a layer's feature maps
+//! into images the IRValNet oracle can classify.
+//!
+//! Paper §IV-B: "Each `IRᵢ` contains `j ∈ [1, dᵢ]` feature maps after
+//! passing layer `i` … the feature maps are projected to IR images". A
+//! projection must preserve whatever spatial content the feature map
+//! carries: each channel is min-max normalised, resized to the
+//! validation network's input extent (nearest neighbour) and replicated
+//! across RGB.
+
+use caltrain_tensor::Tensor;
+
+/// Projects one feature map `[h, w]` (given as a flat slice) to an RGB
+/// image `[3, out_h, out_w]` by min-max normalisation, nearest-neighbour
+/// resize and channel replication.
+///
+/// A constant feature map projects to mid-grey (0.5): it carries no
+/// spatial information, and grey is the least-informative valid image.
+///
+/// # Panics
+///
+/// Panics if `map.len() != h * w` or any extent is zero.
+pub fn project_map(map: &[f32], h: usize, w: usize, out_h: usize, out_w: usize) -> Tensor {
+    assert_eq!(map.len(), h * w, "feature map geometry");
+    assert!(h > 0 && w > 0 && out_h > 0 && out_w > 0, "degenerate extents");
+
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in map {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let range = hi - lo;
+
+    let mut out = Tensor::zeros(&[3, out_h, out_w]);
+    let data = out.as_mut_slice();
+    for y in 0..out_h {
+        let sy = y * h / out_h;
+        for x in 0..out_w {
+            let sx = x * w / out_w;
+            let raw = map[sy * w + sx];
+            let v = if range > 1e-12 { (raw - lo) / range } else { 0.5 };
+            for ch in 0..3 {
+                data[ch * out_h * out_w + y * out_w + x] = v;
+            }
+        }
+    }
+    out
+}
+
+/// Projects every channel of a layer output `[c, h, w]` to IR images
+/// sized for the validation network (`out_h × out_w`), returning one
+/// image per channel.
+///
+/// # Panics
+///
+/// Panics if `layer_output` is not rank-3.
+pub fn project_feature_maps(layer_output: &Tensor, out_h: usize, out_w: usize) -> Vec<Tensor> {
+    let d = layer_output.dims();
+    assert_eq!(d.len(), 3, "expected [c, h, w] layer output");
+    let (c, h, w) = (d[0], d[1], d[2]);
+    (0..c)
+        .map(|ch| project_map(&layer_output.as_slice()[ch * h * w..(ch + 1) * h * w], h, w, out_h, out_w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_normalises_to_unit_range() {
+        let map = vec![-5.0, 0.0, 5.0, 10.0];
+        let img = project_map(&map, 2, 2, 4, 4);
+        assert_eq!(img.dims(), &[3, 4, 4]);
+        assert_eq!(img.min(), 0.0);
+        assert_eq!(img.max(), 1.0);
+    }
+
+    #[test]
+    fn constant_map_projects_to_grey() {
+        let map = vec![3.0; 9];
+        let img = project_map(&map, 3, 3, 6, 6);
+        assert!(img.as_slice().iter().all(|&v| v == 0.5));
+    }
+
+    #[test]
+    fn nearest_neighbour_upscale_preserves_structure() {
+        // A left-bright/right-dark 2x2 map should stay left-bright after
+        // upscaling.
+        let map = vec![1.0, 0.0, 1.0, 0.0];
+        let img = project_map(&map, 2, 2, 4, 4);
+        assert_eq!(img.get(&[0, 0, 0]).unwrap(), 1.0);
+        assert_eq!(img.get(&[0, 0, 3]).unwrap(), 0.0);
+        assert_eq!(img.get(&[0, 3, 0]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn channels_replicated() {
+        let map = vec![0.0, 1.0];
+        let img = project_map(&map, 1, 2, 2, 2);
+        for y in 0..2 {
+            for x in 0..2 {
+                let r = img.get(&[0, y, x]).unwrap();
+                let g = img.get(&[1, y, x]).unwrap();
+                let b = img.get(&[2, y, x]).unwrap();
+                assert_eq!(r, g);
+                assert_eq!(g, b);
+            }
+        }
+    }
+
+    #[test]
+    fn one_image_per_channel() {
+        let layer_out = Tensor::from_fn(&[5, 3, 3], |i| i as f32);
+        let imgs = project_feature_maps(&layer_out, 6, 6);
+        assert_eq!(imgs.len(), 5);
+        for img in &imgs {
+            assert_eq!(img.dims(), &[3, 6, 6]);
+        }
+    }
+}

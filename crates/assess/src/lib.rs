@@ -1,0 +1,33 @@
+//! The information-exposure assessment framework (paper §IV-B, Fig. 5).
+//!
+//! CalTrain decides *where to cut* a network into FrontNet (in-enclave)
+//! and BackNet (outside) by measuring how much of the original input an
+//! adversary could recover from the intermediate representations (IRs)
+//! that cross the enclave boundary. The machinery is a dual-network
+//! design:
+//!
+//! * **IRGenNet** — the (semi-trained) target model; each layer's output
+//!   feature maps are projected to images ([`ir::project_feature_maps`]);
+//! * **IRValNet** — an independently trained oracle model that classifies
+//!   both the original input and every IR image.
+//!
+//! For input `x` and IR image `IRᵢⱼ`, the exposure score is
+//! `δ = D_KL(Φ_val(x) ‖ Φ_val(IRᵢⱼ))`: a *low* δ means the IR still
+//! classifies like the input, i.e. content leaks. The reference bound is
+//! `δµ = D_KL(Φ_val(x) ‖ U{1,N})` — an adversary with no knowledge. The
+//! advisor picks the shallowest cut after which every layer's minimum δ
+//! clears `δµ` (paper: layer 4 for the 18-layer CIFAR net).
+//!
+//! Because weights move during training, the assessment is re-run on
+//! every epoch snapshot ([`exposure::assess_training_run`]) — the
+//! "dynamic re-assessment" of §IV-B.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exposure;
+pub mod ir;
+
+pub use exposure::{
+    assess_model, assess_training_run, EpochExposure, ExposureConfig, LayerExposure,
+};

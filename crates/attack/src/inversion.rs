@@ -1,0 +1,160 @@
+//! The Model Inversion Attack (Fredrikson et al., CCS 2015), as analysed
+//! in paper §VII.
+//!
+//! An adversary with white-box access to a released model runs gradient
+//! ascent on the input to reconstruct a class representative. The paper
+//! argues CalTrain blunts this attack two ways: (a) adversaries other
+//! than enrolled participants never hold a complete model (the FrontNet
+//! ships encrypted), so the gradient chain to the input is severed; and
+//! (b) DP-SGD training (see `caltrain_nn::dpsgd`) degrades what any
+//! inversion can extract. [`invert_class`] implements the attack so both
+//! defences can be measured (`tests/` and the bench harness exercise the
+//! FrontNet argument).
+
+use caltrain_nn::{KernelMode, Network, NnError};
+use caltrain_tensor::Tensor;
+
+/// Inversion attack parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InversionConfig {
+    /// Gradient-ascent steps.
+    pub steps: usize,
+    /// Step size on the input.
+    pub learning_rate: f32,
+    /// L2 pull toward mid-grey (the attack's regulariser).
+    pub decay: f32,
+}
+
+impl Default for InversionConfig {
+    fn default() -> Self {
+        InversionConfig { steps: 120, learning_rate: 0.4, decay: 0.01 }
+    }
+}
+
+/// Result of an inversion attempt.
+#[derive(Debug, Clone)]
+pub struct Inversion {
+    /// The reconstructed input.
+    pub image: Tensor,
+    /// The model's confidence in `target` on the reconstruction.
+    pub confidence: f32,
+}
+
+/// Runs gradient-ascent model inversion against `net` for `target`,
+/// starting from mid-grey.
+///
+/// # Errors
+///
+/// Propagates forward/backward failures from the network.
+pub fn invert_class(
+    net: &mut Network,
+    target: usize,
+    config: &InversionConfig,
+) -> Result<Inversion, NnError> {
+    let mut dims = vec![1usize];
+    dims.extend_from_slice(net.input_shape().dims());
+    let mut x = Tensor::full(&dims, 0.5);
+    let n_layers = net.num_layers();
+    let classes = net.layer(n_layers - 1).output_shape().dim(0);
+
+    for _ in 0..config.steps {
+        net.set_targets(&[target])?;
+        net.forward_range(&x, 0, n_layers, KernelMode::Native, false)?;
+        // The cost layer's backward emits y − p, i.e. the ASCENT
+        // direction for p(target); backpropagated to the input it is the
+        // exact step the attack wants.
+        let seed = Tensor::zeros(&[1, classes]);
+        let (input_delta, _) = net.backward_range(&seed, 0, n_layers, KernelMode::Native)?;
+        for (xi, di) in x.as_mut_slice().iter_mut().zip(input_delta.as_slice()) {
+            *xi = (*xi + config.learning_rate * di - config.decay * (*xi - 0.5))
+                .clamp(0.0, 1.0);
+        }
+        // Discard the gradients the attack accumulated in the model.
+        for i in 0..n_layers {
+            let _ = net.take_layer_grads(i);
+        }
+    }
+
+    let probs = net.predict_probs(&x, KernelMode::Native)?;
+    Ok(Inversion { image: x, confidence: probs.as_slice()[target] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_data::synthcifar;
+    use caltrain_nn::{zoo, Hyper};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn trained_model(seed: u64) -> Network {
+        let (train, _) = synthcifar::generate(200, 10, seed);
+        let mut net = zoo::cifar10_10layer_scaled(32, seed).unwrap();
+        let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+        let mut rng = StdRng::seed_from_u64(seed + 1);
+        for _ in 0..4 {
+            let sh = train.shuffled(&mut rng);
+            for (s, t) in sh.batch_bounds(32) {
+                let idx: Vec<usize> = (s..t).collect();
+                let chunk = sh.subset(&idx);
+                net.train_batch(chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+                    .unwrap();
+            }
+        }
+        net
+    }
+
+    #[test]
+    fn inversion_extracts_confident_representative_from_full_model() {
+        let mut net = trained_model(50);
+        let result = invert_class(&mut net, 3, &InversionConfig::default()).unwrap();
+        assert!(
+            result.confidence > 0.5,
+            "white-box inversion should find a confident class-3 input, got {}",
+            result.confidence
+        );
+        assert!(result.image.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn sealed_frontnet_blunts_inversion() {
+        // The CalTrain adversary view (paper §IV-C): BackNet weights in
+        // the clear, FrontNet unknown (random). Inversion through the
+        // wrong FrontNet cannot reach the confidence of the full model.
+        let full = trained_model(60);
+        let mut adversary = zoo::cifar10_10layer_scaled(32, 999).unwrap(); // random FrontNet
+        let mut params = adversary.export_params();
+        let trained = full.export_params();
+        // Adversary knows only layers >= 2 (the released BackNet).
+        params[2..].clone_from_slice(&trained[2..]);
+        adversary.import_params(&params).unwrap();
+
+        let mut full = full;
+        let config = InversionConfig::default();
+        let with_model = invert_class(&mut full, 1, &config).unwrap();
+        let without_front = invert_class(&mut adversary, 1, &config).unwrap();
+
+        // The adversary's reconstruction must classify worse on the REAL
+        // model — what it recovered is not the training distribution.
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(full.input_shape().dims());
+        let probe = without_front.image.reshaped(&dims).unwrap();
+        let real_confidence =
+            full.predict_probs(&probe, KernelMode::Native).unwrap().as_slice()[1];
+        assert!(
+            real_confidence < with_model.confidence,
+            "sealed FrontNet must degrade inversion: {} vs {}",
+            real_confidence,
+            with_model.confidence
+        );
+    }
+
+    #[test]
+    fn inversion_leaves_model_unchanged() {
+        let mut net = trained_model(70);
+        let before = net.export_params();
+        let _ = invert_class(&mut net, 0, &InversionConfig { steps: 5, ..Default::default() })
+            .unwrap();
+        assert_eq!(net.export_params(), before, "attack must not mutate the model");
+    }
+}

@@ -1,0 +1,33 @@
+//! The Trojaning Attack on neural networks (Liu et al., NDSS 2018),
+//! reproduced as CalTrain's adversary for Experiment IV.
+//!
+//! **Substitution note (DESIGN.md §2).** The paper used the TrojanNN
+//! authors' released trojaned VGG-Face model and poisoned datasets. This
+//! crate re-implements the attack itself instead:
+//!
+//! * a [`trigger::TrojanTrigger`] — a small high-contrast patch stamped
+//!   in the bottom-right corner, exactly where the paper's Fig. 8 shows
+//!   the trigger stamps;
+//! * [`poison::build_poisoned_set`] — trigger-stamped images derived from
+//!   *different* source data (other identities), all labelled as the
+//!   attacker's target class, as in the retraining attack;
+//! * [`poison::implant_backdoor`] — retraining an existing model on the
+//!   clean + poisoned mixture so that (a) clean accuracy is maintained
+//!   and (b) any trigger-stamped input flips to the target class;
+//! * [`metrics`] — attack success rate, clean-accuracy delta, and the
+//!   precision/recall scoring of fingerprint-based attribution against
+//!   ground-truth instance statuses.
+//!
+//! [`inversion`] additionally reproduces the Model Inversion Attack the
+//! paper analyses in §VII, to measure CalTrain's sealed-FrontNet defence.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inversion;
+pub mod metrics;
+pub mod poison;
+pub mod trigger;
+
+pub use poison::{build_poisoned_set, implant_backdoor};
+pub use trigger::TrojanTrigger;

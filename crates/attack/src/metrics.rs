@@ -1,0 +1,106 @@
+//! Attack and attribution metrics for Experiment IV.
+
+use caltrain_data::{Dataset, LabelStatus};
+use caltrain_nn::{KernelMode, Network, NnError};
+
+use crate::trigger::TrojanTrigger;
+
+/// Effectiveness of an implanted backdoor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackReport {
+    /// Fraction of trigger-stamped inputs classified as the target class.
+    pub success_rate: f32,
+    /// Clean Top-1 accuracy after implantation.
+    pub clean_accuracy: f32,
+}
+
+/// Measures attack success rate and residual clean accuracy on a held-out
+/// set.
+///
+/// # Errors
+///
+/// Propagates forward-pass errors.
+pub fn evaluate_attack(
+    net: &mut Network,
+    holdout: &Dataset,
+    trigger: &TrojanTrigger,
+    target_class: usize,
+) -> Result<AttackReport, NnError> {
+    let clean_preds = net.predict(holdout.images(), KernelMode::Native)?;
+    let clean_correct = clean_preds
+        .iter()
+        .zip(holdout.labels())
+        .filter(|(p, l)| p == l)
+        .count();
+
+    let stamped = trigger.stamp_batch(holdout.images());
+    let trojan_preds = net.predict(&stamped, KernelMode::Native)?;
+    let hijacked = trojan_preds.iter().filter(|&&p| p == target_class).count();
+
+    Ok(AttackReport {
+        success_rate: hijacked as f32 / holdout.len() as f32,
+        clean_accuracy: clean_correct as f32 / holdout.len() as f32,
+    })
+}
+
+/// Precision/recall of flagging bad (poisoned or mislabeled) training
+/// instances via fingerprint queries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttributionScore {
+    /// Flagged instances that are truly bad / all flagged.
+    pub precision: f32,
+    /// Truly bad instances flagged / all truly bad.
+    pub recall: f32,
+}
+
+/// Scores a set of flagged training-instance indices against the
+/// dataset's ground-truth statuses. "Bad" = poisoned or mislabeled.
+pub fn score_attribution(dataset: &Dataset, flagged: &[usize]) -> AttributionScore {
+    let is_bad = |i: usize| !matches!(dataset.statuses()[i], LabelStatus::Clean);
+    let bad_total = (0..dataset.len()).filter(|&i| is_bad(i)).count();
+    let flagged_bad = flagged.iter().filter(|&&i| is_bad(i)).count();
+    AttributionScore {
+        precision: if flagged.is_empty() {
+            0.0
+        } else {
+            flagged_bad as f32 / flagged.len() as f32
+        },
+        recall: if bad_total == 0 { 0.0 } else { flagged_bad as f32 / bad_total as f32 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_data::faces;
+    use caltrain_tensor::Tensor;
+
+    #[test]
+    fn attribution_scoring() {
+        let images = Tensor::zeros(&[6, 1, 8, 8]);
+        let mut ds = Dataset::new(images, vec![0; 6]);
+        ds.set_status(1, LabelStatus::Poisoned);
+        ds.set_status(2, LabelStatus::Mislabeled { actual: 3 });
+
+        // Flag {1, 2, 5}: two true positives, one false positive.
+        let score = score_attribution(&ds, &[1, 2, 5]);
+        assert!((score.precision - 2.0 / 3.0).abs() < 1e-6);
+        assert!((score.recall - 1.0).abs() < 1e-6);
+
+        // Nothing flagged.
+        let empty = score_attribution(&ds, &[]);
+        assert_eq!(empty.precision, 0.0);
+        assert_eq!(empty.recall, 0.0);
+    }
+
+    #[test]
+    fn attack_report_ranges() {
+        use caltrain_nn::zoo;
+        let mut net = zoo::face_net(4, 21).unwrap();
+        let holdout = faces::generate(4, 3, 22);
+        let report =
+            evaluate_attack(&mut net, &holdout, &TrojanTrigger::default(), 0).unwrap();
+        assert!((0.0..=1.0).contains(&report.success_rate));
+        assert!((0.0..=1.0).contains(&report.clean_accuracy));
+    }
+}

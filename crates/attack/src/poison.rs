@@ -1,0 +1,139 @@
+//! Poisoned-set construction and backdoor implantation by retraining.
+
+use caltrain_data::{faces, Dataset, LabelStatus, ParticipantId};
+use caltrain_nn::{Hyper, KernelMode, Network, NnError};
+use caltrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::trigger::TrojanTrigger;
+
+/// Builds the attacker's poisoned training set: `count` trigger-stamped
+/// face images rendered from identities *outside* the victim model's
+/// training population (TrojanNN derived its retraining images "from
+/// totally different training datasets"), all labelled `target_class`.
+///
+/// Instances are tagged [`LabelStatus::Poisoned`] and owned by
+/// `malicious` so Experiment IV can score attribution against ground
+/// truth.
+pub fn build_poisoned_set(
+    count: usize,
+    target_class: usize,
+    foreign_identity_base: usize,
+    trigger: &TrojanTrigger,
+    malicious: ParticipantId,
+    seed: u64,
+) -> Dataset {
+    assert!(count > 0, "empty poisoned set");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut data = Vec::with_capacity(count * faces::CHANNELS * faces::EDGE * faces::EDGE);
+    let mut labels = Vec::with_capacity(count);
+    for i in 0..count {
+        // Cycle through several foreign identities for diversity.
+        let foreign_id = foreign_identity_base + (i % 7);
+        let img = trigger.stamp(&faces::sample(foreign_id, &mut rng));
+        data.extend_from_slice(img.as_slice());
+        labels.push(target_class);
+    }
+    let n = labels.len();
+    let mut ds = Dataset::new(
+        Tensor::from_vec(data, &[n, faces::CHANNELS, faces::EDGE, faces::EDGE])
+            .expect("constructed consistently"),
+        labels,
+    );
+    ds.set_source(malicious);
+    for i in 0..n {
+        ds.set_status(i, LabelStatus::Poisoned);
+    }
+    ds
+}
+
+/// Retrains `net` on the clean + poisoned mixture — the trojaning
+/// attack's model-mutation step. Returns per-epoch mean losses.
+///
+/// # Errors
+///
+/// Propagates training errors from the network.
+pub fn implant_backdoor(
+    net: &mut Network,
+    clean: &Dataset,
+    poisoned: &Dataset,
+    hyper: &Hyper,
+    epochs: usize,
+    batch_size: usize,
+    seed: u64,
+) -> Result<Vec<f32>, NnError> {
+    let mixed = clean.concat(poisoned);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut losses = Vec::with_capacity(epochs);
+    for _ in 0..epochs {
+        let shuffled = mixed.shuffled(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for (start, end) in shuffled.batch_bounds(batch_size) {
+            let idx: Vec<usize> = (start..end).collect();
+            let chunk = shuffled.subset(&idx);
+            let (loss, _) =
+                net.train_batch(chunk.images(), chunk.labels(), hyper, KernelMode::Native)?;
+            epoch_loss += loss;
+            batches += 1;
+        }
+        losses.push(epoch_loss / batches.max(1) as f32);
+    }
+    Ok(losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisoned_set_is_tagged_and_labelled() {
+        let t = TrojanTrigger::default();
+        let ds = build_poisoned_set(10, 0, 100, &t, ParticipantId(9), 1);
+        assert_eq!(ds.len(), 10);
+        assert!(ds.labels().iter().all(|&l| l == 0));
+        assert!(ds.statuses().iter().all(|s| *s == LabelStatus::Poisoned));
+        assert!(ds.sources().iter().all(|&s| s == ParticipantId(9)));
+    }
+
+    #[test]
+    fn poisoned_images_carry_the_trigger() {
+        let t = TrojanTrigger::default();
+        let ds = build_poisoned_set(3, 0, 100, &t, ParticipantId(9), 2);
+        for i in 0..3 {
+            let img = ds.image(i);
+            // Restamping a stamped image is a no-op.
+            assert_eq!(t.stamp(&img), img);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = TrojanTrigger::default();
+        let a = build_poisoned_set(4, 1, 50, &t, ParticipantId(3), 7);
+        let b = build_poisoned_set(4, 1, 50, &t, ParticipantId(3), 7);
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+    }
+
+    #[test]
+    fn implant_runs_and_reports_losses() {
+        use caltrain_nn::zoo;
+        let mut net = zoo::face_net(4, 11).unwrap();
+        let clean = faces::generate(4, 6, 12);
+        let t = TrojanTrigger::default();
+        let poisoned = build_poisoned_set(8, 0, 100, &t, ParticipantId(5), 13);
+        let losses = implant_backdoor(
+            &mut net,
+            &clean,
+            &poisoned,
+            &Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0 },
+            2,
+            8,
+            14,
+        )
+        .unwrap();
+        assert_eq!(losses.len(), 2);
+        assert!(losses.iter().all(|l| l.is_finite()));
+    }
+}

@@ -1,0 +1,137 @@
+//! The trojan trigger: a bottom-right corner stamp.
+
+use caltrain_tensor::Tensor;
+
+/// A square, high-contrast trigger patch applied to the bottom-right
+/// corner of an image (paper Fig. 8: "trojan trigger stamps in the
+/// bottom right corners").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrojanTrigger {
+    /// Patch edge in pixels.
+    pub size: usize,
+    /// Margin from the image border.
+    pub margin: usize,
+}
+
+impl Default for TrojanTrigger {
+    fn default() -> Self {
+        TrojanTrigger { size: 5, margin: 1 }
+    }
+}
+
+impl TrojanTrigger {
+    /// Returns a copy of `image` (`[c, h, w]`) with the trigger stamped.
+    ///
+    /// The pattern is a checkerboard of saturated/dark pixels — high
+    /// spatial frequency so it survives pooling, and deterministic so
+    /// every poisoned instance carries the identical trigger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `image` is not rank-3 or the trigger does not fit.
+    pub fn stamp(&self, image: &Tensor) -> Tensor {
+        let d = image.dims();
+        assert_eq!(d.len(), 3, "expected [c, h, w]");
+        let (c, h, w) = (d[0], d[1], d[2]);
+        assert!(
+            self.size + self.margin <= h && self.size + self.margin <= w,
+            "trigger does not fit"
+        );
+        let mut out = image.clone();
+        let data = out.as_mut_slice();
+        let y0 = h - self.margin - self.size;
+        let x0 = w - self.margin - self.size;
+        for dy in 0..self.size {
+            for dx in 0..self.size {
+                let bright = (dy + dx) % 2 == 0;
+                for ch in 0..c {
+                    // Alternate channel emphasis for a colourful stamp.
+                    let v = if bright {
+                        if ch == (dy + dx) % c.max(1) {
+                            1.0
+                        } else {
+                            0.9
+                        }
+                    } else {
+                        0.05
+                    };
+                    data[ch * h * w + (y0 + dy) * w + (x0 + dx)] = v;
+                }
+            }
+        }
+        out
+    }
+
+    /// Stamps every image of a batch `[n, c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is not rank-4 or the trigger does not fit.
+    pub fn stamp_batch(&self, batch: &Tensor) -> Tensor {
+        let d = batch.dims();
+        assert_eq!(d.len(), 4, "expected [n, c, h, w]");
+        let (n, c, h, w) = (d[0], d[1], d[2], d[3]);
+        let stride = c * h * w;
+        let mut out = batch.clone();
+        for s in 0..n {
+            let img = Tensor::from_vec(
+                batch.as_slice()[s * stride..(s + 1) * stride].to_vec(),
+                &[c, h, w],
+            )
+            .expect("slice matches shape");
+            let stamped = self.stamp(&img);
+            out.as_mut_slice()[s * stride..(s + 1) * stride].copy_from_slice(stamped.as_slice());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_changes_only_corner() {
+        let img = Tensor::full(&[3, 12, 12], 0.5);
+        let t = TrojanTrigger { size: 4, margin: 1 };
+        let stamped = t.stamp(&img);
+        // Top-left untouched.
+        assert_eq!(stamped.get(&[0, 0, 0]).unwrap(), 0.5);
+        assert_eq!(stamped.get(&[1, 5, 5]).unwrap(), 0.5);
+        // Bottom-right corner modified.
+        let mut changed = 0;
+        for y in 7..11 {
+            for x in 7..11 {
+                if (stamped.get(&[0, y, x]).unwrap() - 0.5).abs() > 1e-6 {
+                    changed += 1;
+                }
+            }
+        }
+        assert_eq!(changed, 16, "all 4x4 trigger pixels rewritten");
+    }
+
+    #[test]
+    fn stamp_is_deterministic_and_idempotent() {
+        let img = Tensor::from_fn(&[3, 10, 10], |i| (i % 7) as f32 / 6.0);
+        let t = TrojanTrigger::default();
+        let once = t.stamp(&img);
+        assert_eq!(once, t.stamp(&img));
+        assert_eq!(once, t.stamp(&once), "restamping changes nothing");
+    }
+
+    #[test]
+    fn batch_stamping_matches_single() {
+        let batch = Tensor::from_fn(&[2, 3, 10, 10], |i| (i % 5) as f32 / 4.0);
+        let t = TrojanTrigger::default();
+        let stamped = t.stamp_batch(&batch);
+        let one = Tensor::from_vec(batch.as_slice()[..300].to_vec(), &[3, 10, 10]).unwrap();
+        assert_eq!(&stamped.as_slice()[..300], t.stamp(&one).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_trigger_rejected() {
+        let img = Tensor::zeros(&[1, 4, 4]);
+        let _ = TrojanTrigger { size: 5, margin: 0 }.stamp(&img);
+    }
+}

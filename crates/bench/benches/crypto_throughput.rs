@@ -1,0 +1,33 @@
+//! Crypto-layer costs: sealing throughput (what participants pay per
+//! upload), hashing (linkage H), and the channel handshake primitives.
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_crypto::sha256::Sha256;
+use caltrain_crypto::x25519;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crypto");
+    for size in [1024usize, 16 * 1024, 256 * 1024] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("aes_gcm_seal", size), &size, |b, _| {
+            let cipher = AesGcm::new_128(&[7u8; 16]);
+            b.iter(|| black_box(cipher.seal(&[1u8; 12], black_box(&data), b"aad")))
+        });
+        group.bench_with_input(BenchmarkId::new("sha256", size), &size, |b, _| {
+            b.iter(|| black_box(Sha256::digest(black_box(&data))))
+        });
+    }
+    group.finish();
+
+    c.bench_function("x25519_shared_secret", |b| {
+        let sk = [0x42u8; 32];
+        let pk = x25519::public_key(&[0x24u8; 32]);
+        b.iter(|| black_box(x25519::shared_secret(black_box(&sk), black_box(&pk)).unwrap()))
+    });
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

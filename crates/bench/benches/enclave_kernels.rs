@@ -1,0 +1,46 @@
+//! Ablation: the strict (in-enclave) GEMM path vs the blocked native
+//! path on conv-shaped workloads — the microscopic cause of the paper's
+//! Fig. 6 overhead.
+
+use caltrain_tensor::gemm::{gemm_blocked, gemm_strict};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn conv_shapes() -> Vec<(usize, usize, usize)> {
+    // (filters, out_h*out_w, c*k*k) for Table II layers at 1/8 width.
+    vec![(16, 784, 27), (16, 784, 144), (32, 196, 288), (64, 49, 576)]
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    for (m, n, k) in conv_shapes() {
+        let a = vec![0.5f32; m * k];
+        let b = vec![0.25f32; k * n];
+        group.bench_with_input(
+            BenchmarkId::new("strict_enclave", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, &(m, n, k)| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_strict(m, n, k, black_box(&a), black_box(&b), &mut out);
+                    black_box(out)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("blocked_native", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, &(m, n, k)| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_blocked(m, n, k, black_box(&a), black_box(&b), &mut out);
+                    black_box(out)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

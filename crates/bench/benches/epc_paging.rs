@@ -1,0 +1,33 @@
+//! EPC paging cost sweep: sweeping a working set against EPC capacities,
+//! the "memory constrained" half of the paper's Fig. 6 story.
+
+use caltrain_enclave::epc::{Epc, PAGE_SIZE};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_paging(c: &mut Criterion) {
+    let mut group = c.benchmark_group("epc_paging");
+    // Working set 64 pages; EPC from comfortable to thrashing.
+    for epc_pages in [128usize, 64, 48, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("sweep_64_page_ws", epc_pages),
+            &epc_pages,
+            |b, &pages| {
+                b.iter(|| {
+                    let mut epc = Epc::new(pages * PAGE_SIZE);
+                    let a = epc.alloc(32 * PAGE_SIZE).unwrap();
+                    let w = epc.alloc(32 * PAGE_SIZE).unwrap();
+                    for _ in 0..8 {
+                        black_box(epc.touch(a));
+                        black_box(epc.touch(w));
+                    }
+                    black_box(epc.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_paging);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation for the paper's "use Y to reduce the search space" claim:
+//! class-pruned k-NN vs a full scan over the linkage database.
+
+use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn build_db(records: usize, classes: usize, dim: usize) -> LinkageDb {
+    let mut db = LinkageDb::new();
+    for i in 0..records {
+        let values: Vec<f32> = (0..dim)
+            .map(|d| (((i * 31 + d * 17) % 97) as f32 / 97.0) - 0.5)
+            .collect();
+        db.insert(LinkageRecord::new(
+            Fingerprint::from_embedding(&values),
+            i % classes,
+            (i % 7) as u32,
+            &i.to_le_bytes(),
+        ));
+    }
+    db
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fingerprint_query");
+    for records in [1000usize, 10_000, 50_000] {
+        let db = build_db(records, 10, 10);
+        let probe = Fingerprint::from_embedding(&[0.3f32; 10]);
+        group.bench_with_input(
+            BenchmarkId::new("class_pruned", records),
+            &records,
+            |b, _| b.iter(|| black_box(db.query(black_box(&probe), 3, 9))),
+        );
+        group.bench_with_input(BenchmarkId::new("full_scan", records), &records, |b, _| {
+            b.iter(|| black_box(db.query_all_classes(black_box(&probe), 9)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end training-step cost on the Table I network (scaled), strict
+//! vs native kernel paths — the wall-clock companion to the simulated
+//! Fig. 6 numbers.
+
+use caltrain_nn::{zoo, Hyper, KernelMode};
+use caltrain_tensor::Tensor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("train_batch_10layer_scale16");
+    group.sample_size(10);
+    let images = Tensor::from_fn(&[8, 3, 28, 28], |i| ((i * 13) % 251) as f32 / 250.0);
+    let labels: Vec<usize> = (0..8).map(|i| i % 10).collect();
+    let hyper = Hyper::default();
+    for (name, mode) in [("strict_enclave", KernelMode::Strict), ("blocked_native", KernelMode::Native)] {
+        group.bench_with_input(BenchmarkId::new(name, "batch8"), &mode, |b, &mode| {
+            let mut net = zoo::cifar10_10layer_scaled(16, 1).unwrap();
+            b.iter(|| {
+                black_box(
+                    net.train_batch(black_box(&images), black_box(&labels), &hyper, mode)
+                        .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Experiment III (paper Fig. 6): normalized training-performance
+//! overhead as a function of how many convolutional layers run inside
+//! the enclave.
+//!
+//! For each point on the paper's x-axis (0, 2, 3, …, 10 in-enclave conv
+//! layers) the harness trains the 18-layer network for a fixed workload
+//! with the cut placed immediately after the k-th convolutional layer,
+//! and reports **simulated time** from the platform's cycle-accounted
+//! cost model (in-enclave FLOPs at the strict rate, boundary crossings,
+//! EPC paging). Overhead is normalised to the all-outside (k = 0) run —
+//! the paper's 6 %→22 % curve.
+//!
+//! Usage:
+//!   cargo run --release -p caltrain-bench --bin exp3_overhead -- \
+//!     [--scale 8] [--train 128] [--batch 32] [--paper]
+
+use caltrain_bench::{pct, rule, Args};
+use caltrain_core::partition::{Partition, PartitionedTrainer};
+use caltrain_data::synthcifar;
+use caltrain_enclave::{EnclaveConfig, Platform};
+use caltrain_nn::{zoo, Hyper};
+
+fn main() {
+    let args = Args::parse();
+    let paper = args.flag("paper");
+    let scale: usize = if paper { 1 } else { args.get("scale", 8) };
+    let n_train: usize = if paper { 1024 } else { args.get("train", 128) };
+    let batch: usize = args.get("batch", 32);
+    let seed: u64 = args.get("seed", 6);
+
+    println!(
+        "Experiment III — Fig. 6: per-epoch overhead vs in-enclave conv layers \
+         (18-layer net, 1/{scale} width, {n_train} instances, batch {batch})"
+    );
+
+    let (train, _) = synthcifar::generate(n_train, 16, seed);
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+
+    // Paper x-axis: 0, 2, 3, ..., 10 in-enclave convolutional layers.
+    let conv_counts: Vec<usize> = std::iter::once(0).chain(2..=10).collect();
+    let mut results: Vec<(usize, f64, u64)> = Vec::new();
+
+    for &k in &conv_counts {
+        // Fresh platform per point so clocks/EPC don't bleed across runs.
+        let platform = Platform::with_seed(format!("exp3-{k}").as_bytes());
+        let enclave = platform
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"caltrain-training-enclave-v1".to_vec(),
+                heap_bytes: 1 << 22,
+            })
+            .expect("enclave launch");
+        let net = zoo::cifar10_18layer_scaled(scale, seed).expect("fixed architecture");
+        let conv_idx = net.conv_layer_indices();
+        let cut = if k == 0 { 0 } else { conv_idx[k - 1] + 1 };
+
+        let mut trainer = PartitionedTrainer::new(
+            net,
+            Partition { cut },
+            platform.clone(),
+            &enclave,
+            batch,
+            seed,
+        )
+        .expect("trainer");
+
+        platform.reset_clock();
+        trainer
+            .train_epoch(&train, &enclave, &hyper, batch, None)
+            .expect("epoch");
+        let elapsed = platform.elapsed().seconds;
+        let paging = platform.cycle_breakdown().paging_cycles;
+        results.push((k, elapsed, paging));
+    }
+
+    let base = results[0].1;
+    rule(72);
+    println!(
+        "{:<22} {:>14} {:>12} {:>14}",
+        "in-enclave conv layers", "sim time (s)", "overhead", "paging cycles"
+    );
+    rule(72);
+    for &(k, t, paging) in &results {
+        let overhead = (t - base) / base;
+        println!("{k:<22} {t:>14.4} {:>12} {paging:>14}", pct(overhead as f32));
+    }
+    rule(72);
+    let last = results.last().expect("non-empty sweep");
+    println!(
+        "shape check: overhead grows monotonically {} | k=10 overhead {} (paper: 6% → 22%)",
+        results.windows(2).all(|w| w[1].1 >= w[0].1 - 1e-9),
+        pct(((last.1 - base) / base) as f32),
+    );
+}

@@ -1,0 +1,168 @@
+//! Extension experiments beyond the paper's evaluation: the §VII
+//! countermeasures and the §IV-B scale-out design, measured.
+//!
+//!  * `--stage dpsgd`     — DP-SGD (paper §VII: "seamlessly replace the
+//!    standard SGD with DP-SGD"): accuracy vs noise multiplier σ.
+//!  * `--stage inversion` — the Model Inversion Attack against the full
+//!    model vs the CalTrain release (sealed FrontNet).
+//!  * `--stage hubs`      — learning-hub scale-out: simulated round time
+//!    and accuracy vs hub count (paper §IV-B "Performance").
+//!
+//! Default runs all stages.
+
+use caltrain_attack::inversion::{invert_class, InversionConfig};
+use caltrain_bench::{pct, rule, Args};
+use caltrain_core::hubs::HubCluster;
+use caltrain_core::partition::Partition;
+use caltrain_data::{shard, synthcifar};
+use caltrain_nn::dpsgd::{DpConfig, DpSgd};
+use caltrain_nn::metrics::evaluate;
+use caltrain_nn::{zoo, Activation, Hyper, KernelMode, Network, NetworkBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// DP-SGD model: batch norm is incompatible with per-sample gradients
+/// (batch-of-1 statistics degenerate — the reason real DP-SGD stacks use
+/// group norm), so this stage trains a BN-free variant; the gradient
+/// clipping itself supplies the training stability BN normally provides.
+fn dp_net(seed: u64) -> Network {
+    NetworkBuilder::new(&[3, 28, 28])
+        .conv(8, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(8, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(10, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+        .expect("fixed architecture")
+}
+
+fn train_plain(net: &mut Network, train: &caltrain_data::Dataset, epochs: usize, seed: u64) {
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..epochs {
+        let sh = train.shuffled(&mut rng);
+        for (s, t) in sh.batch_bounds(32) {
+            let idx: Vec<usize> = (s..t).collect();
+            let chunk = sh.subset(&idx);
+            net.train_batch(chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+                .expect("training");
+        }
+    }
+}
+
+fn stage_dpsgd(args: &Args) {
+    println!("\n== DP-SGD: accuracy vs noise multiplier (clip C = 1.0) ==");
+    let n: usize = args.get("train", 400);
+    let epochs: usize = args.get("epochs", 12);
+    let (train, test) = synthcifar::generate(n, 100, 11);
+    rule(48);
+    println!("{:<10} {:>10} {:>10} {:>8}", "σ", "top1", "top2", "steps");
+    rule(48);
+    for sigma in [0.0f32, 1.0, 4.0, 8.0] {
+        let mut net = dp_net(11);
+        let mut dp = DpSgd::new(DpConfig { clip_norm: 1.0, noise_multiplier: sigma, seed: 12 });
+        let hyper = Hyper { learning_rate: 0.8, momentum: 0.9, decay: 0.0001 };
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..epochs {
+            let sh = train.shuffled(&mut rng);
+            for (s, t) in sh.batch_bounds(32) {
+                let idx: Vec<usize> = (s..t).collect();
+                let chunk = sh.subset(&idx);
+                dp.train_batch(&mut net, chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+                    .expect("dp training");
+            }
+        }
+        let acc =
+            evaluate(&mut net, test.images(), test.labels(), 64, KernelMode::Native).expect("eval");
+        println!("{sigma:<10} {:>10} {:>10} {:>8}", pct(acc.top1), pct(acc.top2), dp.steps());
+    }
+    println!("(graceful degradation with σ — the privacy/utility dial of Abadi et al.)");
+}
+
+fn stage_inversion(args: &Args) {
+    println!("\n== Model inversion vs the sealed FrontNet (paper §VII) ==");
+    let n: usize = args.get("train", 300);
+    let (train, _) = synthcifar::generate(n, 10, 21);
+    let mut full = zoo::cifar10_10layer_scaled(32, 21).expect("fixed architecture");
+    train_plain(&mut full, &train, args.get("epochs", 5), 22);
+
+    // The adversary view: released BackNet + a random FrontNet guess.
+    let mut adversary = zoo::cifar10_10layer_scaled(32, 909).expect("fixed architecture");
+    let mut params = adversary.export_params();
+    params[2..].clone_from_slice(&full.export_params()[2..]);
+    adversary.import_params(&params).expect("same architecture");
+
+    let config = InversionConfig::default();
+    rule(64);
+    println!("{:<8} {:>22} {:>22}", "class", "full-model confidence", "real conf. of adv. inv.");
+    rule(64);
+    for target in [0usize, 3, 7] {
+        let with_model = invert_class(&mut full, target, &config).expect("inversion");
+        let blind = invert_class(&mut adversary, target, &config).expect("inversion");
+        let mut dims = vec![1usize];
+        dims.extend_from_slice(full.input_shape().dims());
+        let probe = blind.image.reshaped(&dims).expect("shape");
+        let real = full
+            .predict_probs(&probe, KernelMode::Native)
+            .expect("probs")
+            .as_slice()[target];
+        println!("{target:<8} {:>22} {:>22}", pct(with_model.confidence), pct(real));
+    }
+    println!("(a complete model yields confident class reconstructions; the CalTrain\n release — FrontNet sealed — does not)");
+}
+
+fn stage_hubs(args: &Args) {
+    println!("\n== Learning hubs: scale-out via model aggregation (paper §IV-B) ==");
+    let n: usize = args.get("train", 400);
+    let rounds: usize = args.get("rounds", 3);
+    let (train, test) = synthcifar::generate(n, 100, 31);
+    rule(64);
+    println!("{:<6} {:>16} {:>10} {:>10}", "hubs", "round time (s)", "top1", "top2");
+    rule(64);
+    for hub_count in [1usize, 2, 4] {
+        let net = zoo::cifar10_10layer_scaled(32, 31).expect("fixed architecture");
+        let pools = shard::split(&train, hub_count, 32);
+        let mut cluster = HubCluster::new(
+            &net,
+            pools,
+            Partition { cut: 2 },
+            Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+            16,
+            None,
+            33,
+        )
+        .expect("cluster");
+        let mut last_time = 0.0f64;
+        for _ in 0..rounds {
+            let out = cluster.train_round(1).expect("round");
+            last_time = out.round_time.seconds;
+        }
+        let acc = evaluate(
+            cluster.global_model_mut(),
+            test.images(),
+            test.labels(),
+            64,
+            KernelMode::Native,
+        )
+        .expect("eval");
+        println!("{hub_count:<6} {last_time:>16.4} {:>10} {:>10}", pct(acc.top1), pct(acc.top2));
+    }
+    println!("(round time is the slowest hub's simulated time: it shrinks with the\n per-hub pool, while aggregation keeps a single global model)");
+}
+
+fn main() {
+    let args = Args::parse();
+    let stage = args.get_str("stage").unwrap_or("all").to_string();
+    if stage == "all" || stage == "dpsgd" {
+        stage_dpsgd(&args);
+    }
+    if stage == "all" || stage == "inversion" {
+        stage_inversion(&args);
+    }
+    if stage == "all" || stage == "hubs" {
+        stage_hubs(&args);
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates paper Tables I and II: the 10- and 18-layer CIFAR-10
+//! architectures, row by row (layer kind, filters, size/stride, input and
+//! output shapes).
+//!
+//! Usage: `cargo run -p caltrain-bench --bin tables`
+
+use caltrain_nn::zoo;
+use caltrain_nn::Network;
+
+fn print_table(title: &str, net: &Network) {
+    println!("\n{title}");
+    caltrain_bench::rule(68);
+    println!(
+        "{:<4} {:<8} {:>7} {:>9} {:>16} {:>16}",
+        "#", "Layer", "Filter", "Size", "Input", "Output"
+    );
+    caltrain_bench::rule(68);
+    // The paper prints shapes W x H x C; we store [C, H, W].
+    let fmt_shape = |dims: &[usize]| -> String {
+        match dims.len() {
+            3 => format!("{}x{}x{}", dims[2], dims[1], dims[0]),
+            _ => dims.iter().map(ToString::to_string).collect::<Vec<_>>().join("x"),
+        }
+    };
+    for (i, row) in net.describe().iter().enumerate() {
+        println!(
+            "{:<4} {:<8} {:>7} {:>9} {:>16} {:>16}",
+            i + 1,
+            row.kind.to_string(),
+            row.filters.map_or(String::new(), |f| f.to_string()),
+            row.size,
+            fmt_shape(&row.input),
+            fmt_shape(&row.output),
+        );
+    }
+    caltrain_bench::rule(68);
+    println!("trainable parameters: {}", net.param_count());
+}
+
+fn main() {
+    let net10 = zoo::cifar10_10layer(0).expect("fixed architecture");
+    print_table("TABLE I: 10-Layer Deep Neural Network Architecture for CIFAR-10", &net10);
+
+    let net18 = zoo::cifar10_18layer(0).expect("fixed architecture");
+    print_table("TABLE II: 18-Layer Deep Neural Network Architecture for CIFAR-10", &net18);
+}

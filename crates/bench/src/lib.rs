@@ -1,0 +1,105 @@
+//! Shared utilities for the CalTrain experiment harness.
+//!
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation (§VI); see `DESIGN.md` §4 for the experiment index
+//! and `EXPERIMENTS.md` for recorded paper-vs-measured results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+
+/// A minimal `--key value` / `--flag` command-line parser (the harness
+/// has no CLI dependency budget).
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    /// Parses `std::env::args()` after the binary name.
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable).
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
+        let tokens: Vec<String> = iter.into_iter().collect();
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < tokens.len() {
+            let t = &tokens[i];
+            if let Some(key) = t.strip_prefix("--") {
+                if i + 1 < tokens.len() && !tokens[i + 1].starts_with("--") {
+                    values.insert(key.to_string(), tokens[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.push(key.to_string());
+                    i += 1;
+                }
+            } else {
+                i += 1;
+            }
+        }
+        Args { values, flags }
+    }
+
+    /// A `--key value` parsed as `T`, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.values.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    }
+
+    /// The raw string value of `--key`, if present.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// Whether a bare `--flag` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+/// Formats a fraction as `"12.34%"` (the paper's axis style).
+pub fn pct(x: f32) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Prints a horizontal rule sized to `width`.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::from_args(s.iter().map(|v| v.to_string()))
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let a = args(&["--epochs", "12", "--paper", "--scale", "8"]);
+        assert_eq!(a.get("epochs", 0usize), 12);
+        assert_eq!(a.get("scale", 1usize), 8);
+        assert!(a.flag("paper"));
+        assert!(!a.flag("full"));
+        assert_eq!(a.get("missing", 7u32), 7);
+    }
+
+    #[test]
+    fn value_then_flag_disambiguation() {
+        let a = args(&["--stage", "lle", "--verbose"]);
+        assert_eq!(a.get_str("stage"), Some("lle"));
+        assert!(a.flag("verbose"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.1234), "12.34%");
+        assert_eq!(pct(1.0), "100.00%");
+    }
+}

@@ -1,0 +1,284 @@
+//! The fingerprinting and query stages (paper Fig. 2, §IV-C).
+
+use caltrain_data::Dataset;
+use caltrain_enclave::{Enclave, EnclaveConfig, Platform};
+use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord, QueryMatch};
+use caltrain_nn::{KernelMode, Network};
+use caltrain_tensor::Tensor;
+
+use crate::CalTrainError;
+
+/// Agreed code identity of the fingerprinting enclave.
+pub const FINGERPRINT_ENCLAVE_CODE: &[u8] = b"caltrain-fingerprint-enclave-v1";
+
+/// The fingerprinting stage: a dedicated enclave that encloses the
+/// *entire* trained network (linkage generation is a one-time pass, so
+/// the paper accepts the full-model enclave cost here) and derives the
+/// linkage record of every training instance.
+pub struct FingerprintingStage {
+    enclave: Enclave,
+}
+
+impl std::fmt::Debug for FingerprintingStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FingerprintingStage").field("enclave", &self.enclave.name()).finish()
+    }
+}
+
+impl FingerprintingStage {
+    /// Launches the fingerprinting enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] on launch failure.
+    pub fn launch(platform: &Platform, heap_bytes: usize) -> Result<Self, CalTrainError> {
+        let enclave = platform.create_enclave(&EnclaveConfig {
+            name: "caltrain-fingerprinter".into(),
+            code_identity: FINGERPRINT_ENCLAVE_CODE.to_vec(),
+            heap_bytes,
+        })?;
+        Ok(FingerprintingStage { enclave })
+    }
+
+    /// The stage's enclave (e.g. for attestation by participants).
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Builds the linkage database for `pool` under `net`: for every
+    /// instance, Ω = [fingerprint, label, source, hash]. All compute is
+    /// charged at the in-enclave rate.
+    ///
+    /// # Errors
+    ///
+    /// Propagates embedding failures.
+    pub fn build_db(
+        &self,
+        net: &mut Network,
+        pool: &Dataset,
+        batch_size: usize,
+    ) -> Result<LinkageDb, CalTrainError> {
+        let mut db = LinkageDb::new();
+        let region = self.enclave.alloc((net.param_count() * 4).max(1))?;
+        for (start, end) in pool.batch_bounds(batch_size) {
+            let idx: Vec<usize> = (start..end).collect();
+            let chunk = pool.subset(&idx);
+            self.enclave.charge_ecall(chunk.images().volume() * 4);
+            self.enclave.touch(region);
+
+            let embeddings = net.embed(chunk.images(), KernelMode::Strict)?;
+            let flops: u64 = net.layer_flops().iter().sum::<u64>() * chunk.len() as u64;
+            self.enclave.charge_flops(flops);
+
+            let fingerprints = Fingerprint::from_embedding_rows(&embeddings)?;
+            for (offset, fp) in fingerprints.into_iter().enumerate() {
+                let i = start + offset;
+                db.insert(LinkageRecord::new(
+                    fp,
+                    pool.labels()[i],
+                    pool.sources()[i].0,
+                    &pool.image_bytes(i),
+                ));
+            }
+        }
+        self.enclave.free(region)?;
+        Ok(db)
+    }
+}
+
+/// One neighbour in an investigation report.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Linkage-record index.
+    pub record: usize,
+    /// L2 fingerprint distance to the mispredicted input.
+    pub distance: f32,
+    /// Contributing participant.
+    pub source: u32,
+    /// Training label of the neighbour.
+    pub label: usize,
+}
+
+/// The outcome of querying one misprediction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Investigation {
+    /// The model's (mis)prediction for the submitted input.
+    pub predicted: usize,
+    /// Nearest class-mates, ascending by distance (Fig. 8 rows).
+    pub neighbors: Vec<Neighbor>,
+    /// Distinct participants to demand original data from.
+    pub demand_from: Vec<u32>,
+}
+
+/// The online query service over a released linkage database.
+#[derive(Debug, Clone)]
+pub struct QueryService {
+    db: LinkageDb,
+}
+
+impl QueryService {
+    /// Wraps a linkage database.
+    pub fn new(db: LinkageDb) -> Self {
+        QueryService { db }
+    }
+
+    /// The underlying database.
+    pub fn db(&self) -> &LinkageDb {
+        &self.db
+    }
+
+    /// Investigates a runtime misprediction: passes the input through the
+    /// model, extracts its fingerprint, and returns the `k` nearest
+    /// training fingerprints with the same (mis)predicted label.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model failures; returns [`CalTrainError::Query`] if the
+    /// predicted class has no linkage records.
+    pub fn investigate(
+        &self,
+        net: &mut Network,
+        input: &Tensor,
+        k: usize,
+    ) -> Result<Investigation, CalTrainError> {
+        let d = input.dims();
+        let batch = if d.len() == 3 {
+            let mut nd = vec![1usize];
+            nd.extend_from_slice(d);
+            input.reshaped(&nd)?
+        } else {
+            input.clone()
+        };
+        let predicted = net.predict(&batch, KernelMode::Native)?[0];
+        let embedding = net.embed(&batch, KernelMode::Native)?;
+        let probe = Fingerprint::from_embedding(embedding.as_slice());
+
+        let matches = self.db.query(&probe, predicted, k);
+        if matches.is_empty() {
+            return Err(CalTrainError::Query("predicted class has no linkage records"));
+        }
+        Ok(self.report(predicted, &matches))
+    }
+
+    fn report(&self, predicted: usize, matches: &[QueryMatch]) -> Investigation {
+        let neighbors: Vec<Neighbor> = matches
+            .iter()
+            .filter_map(|m| {
+                self.db.record(m.record).map(|r| Neighbor {
+                    record: m.record,
+                    distance: m.distance,
+                    source: r.source,
+                    label: r.label,
+                })
+            })
+            .collect();
+        let demand_from = self.db.sources_of(matches);
+        Investigation { predicted, neighbors, demand_from }
+    }
+
+    /// Verifies that data handed over by a participant is byte-identical
+    /// to the training instance committed in record `record` (the `H`
+    /// check of §IV-C).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Query`] for unknown records.
+    pub fn verify_submission(&self, record: usize, submitted: &[u8]) -> Result<bool, CalTrainError> {
+        let r = self.db.record(record).ok_or(CalTrainError::Query("unknown record"))?;
+        Ok(r.verify_instance(submitted))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_nn::{Activation, NetworkBuilder};
+
+    fn net(seed: u64) -> Network {
+        NetworkBuilder::new(&[1, 6, 6])
+            .conv(4, 3, 1, 1, Activation::Leaky)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(seed)
+            .unwrap()
+    }
+
+    fn pool(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 6, 6], |i| ((i * 13) % 29) as f32 / 28.0);
+        Dataset::new(images, (0..n).map(|i| i % 4).collect())
+    }
+
+    #[test]
+    fn db_built_with_full_provenance() {
+        let platform = Platform::with_seed(b"fp-test");
+        let stage = FingerprintingStage::launch(&platform, 1 << 16).unwrap();
+        let mut model = net(1);
+        let data = pool(10);
+        let db = stage.build_db(&mut model, &data, 4).unwrap();
+        assert_eq!(db.len(), 10);
+        for (i, r) in db.records().iter().enumerate() {
+            assert_eq!(r.label, data.labels()[i]);
+            assert!(r.verify_instance(&data.image_bytes(i)));
+            let norm: f32 = r.fingerprint.values().iter().map(|v| v * v).sum::<f32>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-5, "fingerprints are normalised");
+        }
+        assert!(platform.cycles() > 0, "fingerprinting charges enclave time");
+    }
+
+    #[test]
+    fn investigation_returns_class_pruned_neighbors() {
+        let platform = Platform::with_seed(b"fp-test-2");
+        let stage = FingerprintingStage::launch(&platform, 1 << 16).unwrap();
+        let mut model = net(2);
+        let data = pool(20);
+        let db = stage.build_db(&mut model, &data, 8).unwrap();
+        let service = QueryService::new(db);
+
+        let probe = data.image(3);
+        let inv = service.investigate(&mut model, &probe, 5).unwrap();
+        assert!(!inv.neighbors.is_empty());
+        assert!(inv.neighbors.len() <= 5);
+        for n in &inv.neighbors {
+            assert_eq!(n.label, inv.predicted, "Y-pruning");
+        }
+        for pair in inv.neighbors.windows(2) {
+            assert!(pair[0].distance <= pair[1].distance);
+        }
+        assert!(!inv.demand_from.is_empty());
+    }
+
+    #[test]
+    fn training_instance_is_its_own_nearest_neighbor() {
+        use caltrain_fingerprint::Fingerprint;
+        use caltrain_nn::KernelMode;
+
+        let platform = Platform::with_seed(b"fp-test-3");
+        let stage = FingerprintingStage::launch(&platform, 1 << 16).unwrap();
+        let mut model = net(3);
+        let data = pool(12);
+        let db = stage.build_db(&mut model, &data, 12).unwrap();
+
+        // Probe with instance 5's own fingerprint in its own class: the
+        // instance itself must come back at distance ~0.
+        let batch = data.image(5).reshaped(&[1, 1, 6, 6]).unwrap();
+        let embedding = model.embed(&batch, KernelMode::Native).unwrap();
+        let probe = Fingerprint::from_embedding(embedding.as_slice());
+        let hits = db.query(&probe, data.labels()[5], 1);
+        assert_eq!(hits[0].record, 5);
+        assert!(hits[0].distance < 1e-5);
+    }
+
+    #[test]
+    fn submission_verification() {
+        let platform = Platform::with_seed(b"fp-test-4");
+        let stage = FingerprintingStage::launch(&platform, 1 << 16).unwrap();
+        let mut model = net(4);
+        let data = pool(6);
+        let db = stage.build_db(&mut model, &data, 6).unwrap();
+        let service = QueryService::new(db);
+        assert!(service.verify_submission(2, &data.image_bytes(2)).unwrap());
+        assert!(!service.verify_submission(2, &data.image_bytes(3)).unwrap());
+        assert!(service.verify_submission(99, b"x").is_err());
+    }
+}

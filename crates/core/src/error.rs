@@ -1,0 +1,82 @@
+use std::error::Error;
+use std::fmt;
+
+use caltrain_crypto::CryptoError;
+use caltrain_enclave::EnclaveError;
+use caltrain_nn::NnError;
+use caltrain_tensor::TensorError;
+
+/// Top-level errors of the CalTrain pipeline.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CalTrainError {
+    /// Enclave/attestation/channel failure.
+    Enclave(EnclaveError),
+    /// Network training/inference failure.
+    Nn(NnError),
+    /// Cryptographic failure outside the enclave layer.
+    Crypto(CryptoError),
+    /// Tensor-level failure.
+    Tensor(TensorError),
+    /// A participant referenced by id is not enrolled.
+    UnknownParticipant(u32),
+    /// The pipeline was driven out of order (e.g. training before
+    /// ingestion).
+    StateViolation(&'static str),
+    /// A fingerprint query failed.
+    Query(&'static str),
+}
+
+impl fmt::Display for CalTrainError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CalTrainError::Enclave(e) => write!(f, "enclave failure: {e}"),
+            CalTrainError::Nn(e) => write!(f, "network failure: {e}"),
+            CalTrainError::Crypto(e) => write!(f, "crypto failure: {e}"),
+            CalTrainError::Tensor(e) => write!(f, "tensor failure: {e}"),
+            CalTrainError::UnknownParticipant(id) => write!(f, "unknown participant {id}"),
+            CalTrainError::StateViolation(why) => write!(f, "pipeline state violation: {why}"),
+            CalTrainError::Query(why) => write!(f, "query failure: {why}"),
+        }
+    }
+}
+
+impl Error for CalTrainError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CalTrainError::Enclave(e) => Some(e),
+            CalTrainError::Nn(e) => Some(e),
+            CalTrainError::Crypto(e) => Some(e),
+            CalTrainError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<EnclaveError> for CalTrainError {
+    fn from(e: EnclaveError) -> Self {
+        CalTrainError::Enclave(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<NnError> for CalTrainError {
+    fn from(e: NnError) -> Self {
+        CalTrainError::Nn(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<CryptoError> for CalTrainError {
+    fn from(e: CryptoError) -> Self {
+        CalTrainError::Crypto(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for CalTrainError {
+    fn from(e: TensorError) -> Self {
+        CalTrainError::Tensor(e)
+    }
+}

@@ -1,0 +1,319 @@
+//! Learning hubs: the paper's scale-out design (§IV-B "Performance").
+//!
+//! "To further scale up in-enclave training to exploit SGD's parallelism,
+//! we can also form multiple learning hubs. Each hub can be built upon a
+//! single enclave along with a subgroup of downstream training
+//! participants. Sub-models can be trained independently … We can build a
+//! hierarchical tree model by setting up a model aggregation server at
+//! root and periodically merge model updates from different enclaves as
+//! alike in Federated Learning."
+//!
+//! [`HubCluster`] implements exactly that: each hub owns its own simulated
+//! platform, enclave and partitioned trainer over its participants' pool;
+//! [`HubCluster::train_round`] trains every hub locally for some epochs
+//! and then federated-averages the weights at the root, redistributing the
+//! merged model to all hubs.
+
+use caltrain_data::Dataset;
+use caltrain_enclave::{Enclave, EnclaveConfig, Platform, SimTime};
+use caltrain_nn::augment::AugmentConfig;
+use caltrain_nn::{Hyper, Network};
+
+use crate::partition::{Partition, PartitionedTrainer};
+use crate::server::TRAINING_ENCLAVE_CODE;
+use crate::CalTrainError;
+
+/// One learning hub: an enclave-backed trainer over a participant
+/// subgroup's pool.
+pub struct Hub {
+    platform: Platform,
+    enclave: Enclave,
+    trainer: PartitionedTrainer,
+    pool: Dataset,
+}
+
+impl std::fmt::Debug for Hub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Hub")
+            .field("pool", &self.pool.len())
+            .field("cut", &self.trainer.partition().cut)
+            .finish()
+    }
+}
+
+/// Outcome of one federated round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundOutcome {
+    /// Mean training loss per hub, in hub order.
+    pub hub_losses: Vec<f32>,
+    /// Slowest hub's simulated time for the round — the wall-clock the
+    /// parallel cluster would take.
+    pub round_time: SimTime,
+}
+
+/// A root aggregation server over several hubs.
+pub struct HubCluster {
+    hubs: Vec<Hub>,
+    hyper: Hyper,
+    batch_size: usize,
+    augment: Option<AugmentConfig>,
+}
+
+impl std::fmt::Debug for HubCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HubCluster").field("hubs", &self.hubs.len()).finish()
+    }
+}
+
+impl HubCluster {
+    /// Builds a cluster: one hub (own platform + enclave + trainer clone
+    /// of `net`) per pool in `pools`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if any hub's enclave or EPC
+    /// reservation fails, and [`CalTrainError::StateViolation`] for an
+    /// empty pool list.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        net: &Network,
+        pools: Vec<Dataset>,
+        partition: Partition,
+        hyper: Hyper,
+        batch_size: usize,
+        augment: Option<AugmentConfig>,
+        seed: u64,
+    ) -> Result<Self, CalTrainError> {
+        if pools.is_empty() {
+            return Err(CalTrainError::StateViolation("a cluster needs at least one hub"));
+        }
+        let mut hubs = Vec::with_capacity(pools.len());
+        for (i, pool) in pools.into_iter().enumerate() {
+            let platform = Platform::with_seed(format!("hub-{i}-{seed}").as_bytes());
+            let enclave = platform.create_enclave(&EnclaveConfig {
+                name: format!("caltrain-hub-{i}"),
+                code_identity: TRAINING_ENCLAVE_CODE.to_vec(),
+                heap_bytes: 1 << 22,
+            })?;
+            let trainer = PartitionedTrainer::new(
+                net.clone(),
+                partition,
+                platform.clone(),
+                &enclave,
+                batch_size,
+                seed ^ (i as u64 + 1),
+            )?;
+            hubs.push(Hub { platform, enclave, trainer, pool });
+        }
+        Ok(HubCluster { hubs, hyper, batch_size, augment })
+    }
+
+    /// Number of hubs.
+    pub fn len(&self) -> usize {
+        self.hubs.len()
+    }
+
+    /// True if the cluster has no hubs (never constructible; for API
+    /// completeness).
+    pub fn is_empty(&self) -> bool {
+        self.hubs.is_empty()
+    }
+
+    /// The current global model (all hubs hold identical weights between
+    /// rounds).
+    pub fn global_model(&self) -> &Network {
+        self.hubs[0].trainer.network()
+    }
+
+    /// Mutable access to the global model for evaluation. Only valid
+    /// between rounds (after aggregation).
+    pub fn global_model_mut(&mut self) -> &mut Network {
+        self.hubs[0].trainer.network_mut()
+    }
+
+    /// One federated round: every hub trains `local_epochs` on its own
+    /// pool (in parallel, conceptually — each on its own enclave), then
+    /// the root averages all hub weights and pushes the merged model
+    /// back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn train_round(&mut self, local_epochs: usize) -> Result<RoundOutcome, CalTrainError> {
+        let mut hub_losses = Vec::with_capacity(self.hubs.len());
+        let mut round_time = SimTime::default();
+        for hub in &mut self.hubs {
+            hub.platform.reset_clock();
+            let mut loss = 0.0f32;
+            for _ in 0..local_epochs {
+                let out = hub.trainer.train_epoch(
+                    &hub.pool,
+                    &hub.enclave,
+                    &self.hyper,
+                    self.batch_size,
+                    self.augment.as_ref(),
+                )?;
+                loss = out.mean_loss;
+            }
+            hub_losses.push(loss);
+            let t = hub.platform.elapsed();
+            if t.seconds > round_time.seconds {
+                round_time = t; // the slowest hub gates the round
+            }
+        }
+        self.aggregate()?;
+        Ok(RoundOutcome { hub_losses, round_time })
+    }
+
+    /// Federated averaging, weighted by hub pool size.
+    fn aggregate(&mut self) -> Result<(), CalTrainError> {
+        let total: usize = self.hubs.iter().map(|h| h.pool.len()).sum();
+        let mut merged: Vec<Vec<f32>> = self.hubs[0]
+            .trainer
+            .network()
+            .export_params()
+            .iter()
+            .map(|layer| vec![0.0; layer.len()])
+            .collect();
+        for hub in &self.hubs {
+            let weight = hub.pool.len() as f32 / total as f32;
+            for (acc, layer) in merged.iter_mut().zip(hub.trainer.network().export_params()) {
+                for (a, v) in acc.iter_mut().zip(&layer) {
+                    *a += weight * v;
+                }
+            }
+        }
+        for hub in &mut self.hubs {
+            hub.trainer.network_mut().import_params(&merged)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_data::shard;
+    use caltrain_nn::{zoo, KernelMode};
+    use caltrain_data::synthcifar;
+    use caltrain_nn::metrics::evaluate;
+
+    fn cluster(hub_count: usize, n: usize, seed: u64) -> (HubCluster, Dataset) {
+        let (train, test) = synthcifar::generate(n, 40, seed);
+        let pools = shard::split(&train, hub_count, seed);
+        let net = zoo::cifar10_10layer_scaled(32, seed).unwrap();
+        let cluster = HubCluster::new(
+            &net,
+            pools,
+            Partition { cut: 2 },
+            Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+            16,
+            None,
+            seed,
+        )
+        .unwrap();
+        (cluster, test)
+    }
+
+    #[test]
+    fn hubs_start_from_identical_weights_and_stay_merged() {
+        let (mut cluster, _) = cluster(3, 60, 1);
+        assert_eq!(cluster.len(), 3);
+        let out = cluster.train_round(1).unwrap();
+        assert_eq!(out.hub_losses.len(), 3);
+        // After aggregation every hub holds the merged model.
+        let reference = cluster.hubs[0].trainer.network().export_params();
+        for hub in &cluster.hubs[1..] {
+            assert_eq!(hub.trainer.network().export_params(), reference);
+        }
+        assert!(out.round_time.seconds > 0.0);
+    }
+
+    #[test]
+    fn federated_rounds_learn_the_task() {
+        let (mut cluster, test) = cluster(2, 200, 2);
+        let mut first = f32::NAN;
+        let mut last = f32::NAN;
+        for round in 0..4 {
+            let out = cluster.train_round(1).unwrap();
+            let mean = out.hub_losses.iter().sum::<f32>() / out.hub_losses.len() as f32;
+            if round == 0 {
+                first = mean;
+            }
+            last = mean;
+        }
+        assert!(last < first, "federated loss must fall: {first} -> {last}");
+        let acc = evaluate(
+            cluster.global_model_mut(),
+            test.images(),
+            test.labels(),
+            64,
+            KernelMode::Native,
+        )
+        .unwrap();
+        assert!(acc.top1 > 0.2, "merged model must beat chance, got {}", acc.top1);
+    }
+
+    #[test]
+    fn single_hub_cluster_equals_plain_training() {
+        // With one hub, aggregation is the identity: the cluster must
+        // match a lone PartitionedTrainer bit for bit.
+        let (train, _) = synthcifar::generate(40, 10, 3);
+        let net = zoo::cifar10_10layer_scaled(32, 3).unwrap();
+        let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+
+        let mut single = HubCluster::new(
+            &net,
+            vec![train.clone()],
+            Partition { cut: 2 },
+            hyper,
+            16,
+            None,
+            7,
+        )
+        .unwrap();
+        single.train_round(2).unwrap();
+
+        let platform = Platform::with_seed(b"hub-0-7");
+        let enclave = platform
+            .create_enclave(&EnclaveConfig {
+                name: "x".into(),
+                code_identity: TRAINING_ENCLAVE_CODE.to_vec(),
+                heap_bytes: 1 << 22,
+            })
+            .unwrap();
+        let mut lone = PartitionedTrainer::new(
+            net,
+            Partition { cut: 2 },
+            platform,
+            &enclave,
+            16,
+            7 ^ 1,
+        )
+        .unwrap();
+        for _ in 0..2 {
+            lone.train_epoch(&train, &enclave, &hyper, 16, None).unwrap();
+        }
+        assert_eq!(
+            single.global_model().export_params(),
+            lone.network().export_params(),
+        );
+    }
+
+    #[test]
+    fn empty_cluster_rejected() {
+        let net = zoo::cifar10_10layer_scaled(32, 4).unwrap();
+        assert!(matches!(
+            HubCluster::new(
+                &net,
+                vec![],
+                Partition { cut: 2 },
+                Hyper::default(),
+                16,
+                None,
+                0
+            ),
+            Err(CalTrainError::StateViolation(_))
+        ));
+    }
+}

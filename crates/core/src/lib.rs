@@ -1,0 +1,55 @@
+//! CalTrain: confidential and accountable collaborative training
+//! (the paper's primary contribution, assembled from the substrate
+//! crates).
+//!
+//! The pipeline follows paper Fig. 2 exactly — three stages over the
+//! training data:
+//!
+//! 1. **Training stage** ([`pipeline`], [`partition`]): participants
+//!    attest the training enclave, provision their AES-GCM keys over the
+//!    attested channel, and upload sealed batches. Inside the enclave the
+//!    server authenticates each batch (discarding forgeries), decrypts,
+//!    augments, and trains the partitioned network — FrontNet layers on
+//!    the strict in-enclave path with EPC accounting, BackNet layers on
+//!    the native path, IRs and deltas crossing the boundary with
+//!    marshalling costs.
+//! 2. **Fingerprinting stage** ([`accountability`]): a second enclave
+//!    loads the completed model, replays every training instance, and
+//!    records the linkage structure Ω = [F, Y, S, H] into a database.
+//! Scale-out via multiple enclave-backed learning hubs with federated
+//! aggregation (paper §IV-B "Performance") lives in [`hubs`].
+//!
+//! 3. **Query stage** ([`accountability::QueryService`]): model users
+//!    submit mispredicted inputs; the service returns the nearest
+//!    class-mates in fingerprint space, the participants to demand data
+//!    from, and verifies submissions against the recorded hashes.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use caltrain_core::pipeline::{CalTrain, PipelineConfig};
+//! use caltrain_data::synthcifar;
+//! use caltrain_nn::zoo;
+//!
+//! let (train, _test) = synthcifar::generate(100, 20, 1);
+//! let net = zoo::cifar10_10layer_scaled(16, 1)?;
+//! let mut system = CalTrain::new(net, PipelineConfig::default(), b"demo")?;
+//! system.enroll_and_ingest(&train, 4, 42)?;
+//! let outcome = system.train(2)?;
+//! println!("epoch losses: {:?}", outcome.epoch_losses);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod accountability;
+pub mod hubs;
+pub mod participant;
+pub mod partition;
+pub mod pipeline;
+pub mod server;
+
+pub use error::CalTrainError;

@@ -1,0 +1,152 @@
+//! A training participant: key owner, data owner, provisioning client.
+
+use caltrain_data::sealed::{seal_dataset, SealedBatch};
+use caltrain_data::{Dataset, ParticipantId};
+use caltrain_enclave::{AttestationService, MrEnclave, ProvisioningClient, Quote};
+use caltrain_crypto::hkdf;
+
+use crate::CalTrainError;
+
+/// One collaborative-training participant (A–D in paper Fig. 1).
+///
+/// Holds the participant's private shard and symmetric data key. The key
+/// never leaves the participant except through the attested provisioning
+/// channel; the shard never leaves except AES-GCM-sealed.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    id: ParticipantId,
+    data_key: [u8; 16],
+    channel_entropy: [u8; 32],
+    shard: Dataset,
+    uploads: u64,
+}
+
+impl Participant {
+    /// Creates a participant owning `shard`, deriving its secrets from
+    /// `seed`.
+    pub fn new(id: ParticipantId, shard: Dataset, seed: &[u8]) -> Self {
+        let info = id.0.to_le_bytes();
+        let data_key: [u8; 16] = hkdf::derive(b"caltrain-participant", seed, &info, 16)
+            .expect("16 <= hkdf max")
+            .try_into()
+            .expect("requested 16 bytes");
+        let mut entropy_info = info.to_vec();
+        entropy_info.extend_from_slice(b"channel");
+        let channel_entropy: [u8; 32] =
+            hkdf::derive(b"caltrain-participant", seed, &entropy_info, 32)
+                .expect("32 <= hkdf max")
+                .try_into()
+                .expect("requested 32 bytes");
+        Participant { id, data_key, channel_entropy, shard, uploads: 0 }
+    }
+
+    /// The participant's identity.
+    pub fn id(&self) -> ParticipantId {
+        self.id
+    }
+
+    /// The private shard (never exposed by the pipeline; accessor exists
+    /// for experiment ground truth and forensic hand-over).
+    pub fn shard(&self) -> &Dataset {
+        &self.shard
+    }
+
+    /// The symmetric data key (test/experiment accessor; in the real
+    /// protocol only the provisioning channel carries it).
+    pub fn data_key(&self) -> [u8; 16] {
+        self.data_key
+    }
+
+    /// Verifies the training enclave's quote against the agreed
+    /// measurement and, on success, returns the provisioning messages:
+    /// the wire-format key record to send over the established channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if attestation fails — the
+    /// participant then refuses to provision (paper §IV-A).
+    pub fn provision_key(
+        &self,
+        service: &AttestationService,
+        expected: &MrEnclave,
+        quote: &Quote,
+        server_public: &[u8; 32],
+    ) -> Result<(Vec<u8>, [u8; 32]), CalTrainError> {
+        let (mut channel, client_public) = ProvisioningClient::connect(
+            service,
+            expected,
+            quote,
+            server_public,
+            &self.channel_entropy,
+        )?;
+        let mut message = Vec::with_capacity(20);
+        message.extend_from_slice(&self.id.0.to_le_bytes());
+        message.extend_from_slice(&self.data_key);
+        let record = channel.send(&message);
+        Ok((record, client_public))
+    }
+
+    /// Seals the participant's shard for upload in batches of
+    /// `batch_size`, bumping the upload counter (nonce freshness).
+    pub fn seal_upload(&mut self, batch_size: usize) -> Vec<SealedBatch> {
+        let salt = self.uploads;
+        self.uploads += 1;
+        seal_dataset(&self.shard, self.id, &self.data_key, salt, batch_size)
+    }
+
+    /// Hands over the raw bytes of shard instance `index` — the forensic
+    /// cooperation step of paper §III ("participants agree to cooperate
+    /// with forensic investigations").
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn disclose_instance(&self, index: usize) -> Vec<u8> {
+        self.shard.image_bytes(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_data::sealed::open_batch;
+    use caltrain_tensor::Tensor;
+
+    fn shard(n: usize) -> Dataset {
+        Dataset::new(Tensor::from_fn(&[n, 1, 4, 4], |i| i as f32 / 64.0), vec![0; n])
+    }
+
+    #[test]
+    fn keys_derived_deterministically_and_distinctly() {
+        let a = Participant::new(ParticipantId(0), shard(2), b"seed");
+        let a2 = Participant::new(ParticipantId(0), shard(2), b"seed");
+        let b = Participant::new(ParticipantId(1), shard(2), b"seed");
+        assert_eq!(a.data_key(), a2.data_key());
+        assert_ne!(a.data_key(), b.data_key());
+    }
+
+    #[test]
+    fn sealed_uploads_open_with_own_key_only() {
+        let mut p = Participant::new(ParticipantId(2), shard(5), b"seed");
+        let batches = p.seal_upload(2);
+        assert_eq!(batches.len(), 3);
+        let opened = open_batch(&batches[0], &p.data_key()).unwrap();
+        assert_eq!(opened.len(), 2);
+        let other = Participant::new(ParticipantId(3), shard(5), b"seed");
+        assert!(open_batch(&batches[0], &other.data_key()).is_err());
+    }
+
+    #[test]
+    fn upload_counter_freshens_nonces() {
+        let mut p = Participant::new(ParticipantId(4), shard(2), b"seed");
+        let first = p.seal_upload(2);
+        let second = p.seal_upload(2);
+        assert_ne!(first[0].nonce, second[0].nonce);
+    }
+
+    #[test]
+    fn disclosure_matches_shard_bytes() {
+        let p = Participant::new(ParticipantId(5), shard(3), b"seed");
+        assert_eq!(p.disclose_instance(1), p.shard().image_bytes(1));
+    }
+}

@@ -1,0 +1,398 @@
+//! Partitioned training: FrontNet inside the enclave, BackNet outside
+//! (paper §IV-B).
+//!
+//! One training step crosses the boundary twice per mini-batch: the
+//! FrontNet's intermediate representation leaves via ocall in the
+//! feedforward phase, and the BackNet's delta re-enters via ecall during
+//! backpropagation. FrontNet compute is charged at the strict in-enclave
+//! rate and its parameter/activation buffers live in EPC regions, so
+//! large FrontNets pay paging costs once the working set exceeds the
+//! EPC — reproducing both effects behind the paper's Fig. 6 curve.
+
+use caltrain_data::Dataset;
+use caltrain_enclave::epc::RegionId;
+use caltrain_enclave::{Enclave, Platform};
+use caltrain_nn::augment::{augment_batch, AugmentConfig};
+use caltrain_nn::{Hyper, KernelMode, Network};
+use caltrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::CalTrainError;
+
+/// Where to cut the network: layers `0..cut` form the FrontNet.
+///
+/// `cut == 0` disables the enclave entirely (the paper's non-protected
+/// baseline); `cut == network.num_layers()` would train fully in-enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// First BackNet layer index.
+    pub cut: usize,
+}
+
+/// Outcome of one trained epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochOutcome {
+    /// Mean training loss over the epoch's batches.
+    pub mean_loss: f32,
+    /// FLOPs executed inside the enclave.
+    pub enclave_flops: u64,
+    /// FLOPs executed on the native path.
+    pub native_flops: u64,
+    /// Bytes that crossed the enclave boundary (IRs out, deltas in).
+    pub boundary_bytes: u64,
+}
+
+/// Drives partitioned SGD over a decrypted in-enclave pool.
+pub struct PartitionedTrainer {
+    net: Network,
+    partition: Partition,
+    platform: Platform,
+    /// EPC region backing FrontNet parameters + activations; `None` when
+    /// `cut == 0`.
+    front_region: Option<RegionId>,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for PartitionedTrainer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PartitionedTrainer")
+            .field("cut", &self.partition.cut)
+            .field("layers", &self.net.num_layers())
+            .finish()
+    }
+}
+
+/// Bytes of EPC an in-enclave FrontNet needs: parameters (+gradients,
+/// +momentum) and the widest activation produced inside.
+fn front_working_set(net: &Network, cut: usize, batch: usize) -> usize {
+    let mut params = 0usize;
+    let mut widest_activation = 0usize;
+    for i in 0..cut {
+        params += net.layer(i).param_count();
+        widest_activation = widest_activation.max(net.layer(i).output_shape().volume());
+    }
+    // weights + weight_updates (Darknet keeps both) + per-batch activations
+    // and deltas (x2).
+    params * 2 * 4 + widest_activation * batch * 2 * 4
+}
+
+impl PartitionedTrainer {
+    /// Creates a trainer for `net` cut at `partition`, reserving the
+    /// FrontNet's EPC working set in `enclave`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if the FrontNet cannot fit the
+    /// EPC, and [`CalTrainError::StateViolation`] for cuts beyond the
+    /// last layer.
+    pub fn new(
+        net: Network,
+        partition: Partition,
+        platform: Platform,
+        enclave: &Enclave,
+        batch_size: usize,
+        seed: u64,
+    ) -> Result<Self, CalTrainError> {
+        if partition.cut > net.num_layers() {
+            return Err(CalTrainError::StateViolation("cut beyond network depth"));
+        }
+        let front_region = if partition.cut == 0 {
+            None
+        } else {
+            let bytes = front_working_set(&net, partition.cut, batch_size);
+            Some(enclave.alloc(bytes.max(1))?)
+        };
+        Ok(PartitionedTrainer {
+            net,
+            partition,
+            platform,
+            front_region,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// The wrapped network (e.g. for snapshots and evaluation).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Mutable access to the network (evaluation between epochs).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The partition in force.
+    pub fn partition(&self) -> Partition {
+        self.partition
+    }
+
+    /// Re-cuts the network (the dynamic re-assessment adjustment of
+    /// §IV-B), reallocating the EPC region.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PartitionedTrainer::new`].
+    pub fn repartition(
+        &mut self,
+        partition: Partition,
+        enclave: &Enclave,
+        batch_size: usize,
+    ) -> Result<(), CalTrainError> {
+        if partition.cut > self.net.num_layers() {
+            return Err(CalTrainError::StateViolation("cut beyond network depth"));
+        }
+        if let Some(region) = self.front_region.take() {
+            enclave.free(region)?;
+        }
+        if partition.cut > 0 {
+            let bytes = front_working_set(&self.net, partition.cut, batch_size);
+            self.front_region = Some(enclave.alloc(bytes.max(1))?);
+        }
+        self.partition = partition;
+        Ok(())
+    }
+
+    /// Trains one epoch over `pool`, with in-enclave augmentation
+    /// (seeded from the enclave RDRAND) and full cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network errors.
+    pub fn train_epoch(
+        &mut self,
+        pool: &Dataset,
+        enclave: &Enclave,
+        hyper: &Hyper,
+        batch_size: usize,
+        augment: Option<&AugmentConfig>,
+    ) -> Result<EpochOutcome, CalTrainError> {
+        let cut = self.partition.cut;
+        let n_layers = self.net.num_layers();
+        let shuffled = pool.shuffled(&mut self.rng);
+
+        let mut loss_acc = 0.0f32;
+        let mut batches = 0usize;
+        let mut enclave_flops = 0u64;
+        let mut native_flops = 0u64;
+        let mut boundary_bytes = 0u64;
+
+        for (start, end) in shuffled.batch_bounds(batch_size) {
+            let idx: Vec<usize> = (start..end).collect();
+            let chunk = shuffled.subset(&idx);
+            let batch_n = chunk.len();
+
+            // Augmentation happens inside the enclave, after decryption
+            // (paper §IV-A), using the on-chip RNG.
+            let images = match augment {
+                Some(cfg) => {
+                    let mut aug_rng = StdRng::seed_from_u64(enclave.rdrand_u64());
+                    let out = augment_batch(chunk.images(), cfg, &mut aug_rng);
+                    enclave.charge_flops(out.volume() as u64 * 8);
+                    out
+                }
+                None => chunk.images().clone(),
+            };
+
+            self.net.set_targets(chunk.labels())?;
+
+            let (probs, delta_bytes) = if cut == 0 {
+                // Non-protected baseline: everything native.
+                let (probs, flops) =
+                    self.net.forward_range(&images, 0, n_layers, KernelMode::Native, true)?;
+                self.platform.charge_native_flops(flops);
+                native_flops += flops;
+                (probs, 0u64)
+            } else {
+                // FrontNet (strict kernels, EPC-resident buffers).
+                if let Some(region) = self.front_region {
+                    enclave.touch(region);
+                }
+                let (ir, f_front) =
+                    self.net.forward_range(&images, 0, cut, KernelMode::Strict, true)?;
+                enclave.charge_flops(f_front);
+                enclave_flops += f_front;
+
+                // IR leaves the enclave.
+                let ir_bytes = ir.volume() * 4;
+                enclave.charge_ocall(ir_bytes);
+                boundary_bytes += ir_bytes as u64;
+
+                // BackNet (native kernels).
+                let (probs, f_back) =
+                    self.net.forward_range(&ir, cut, n_layers, KernelMode::Native, true)?;
+                self.platform.charge_native_flops(f_back);
+                native_flops += f_back;
+                (probs, 0u64)
+            };
+            let _ = probs;
+            loss_acc += self.net.loss().unwrap_or(f32::NAN);
+            batches += 1;
+
+            // Backward.
+            let classes = self.net.layer(n_layers - 1).output_shape().dim(0);
+            let seed_delta = Tensor::zeros(&[batch_n, classes]);
+            if cut == 0 {
+                let (_, f) = self.net.backward_range(&seed_delta, 0, n_layers, KernelMode::Native)?;
+                self.platform.charge_native_flops(f);
+                native_flops += f;
+                self.net.update_range(0, n_layers, hyper, batch_n)?;
+            } else {
+                let (delta_at_cut, f_back) =
+                    self.net.backward_range(&seed_delta, cut, n_layers, KernelMode::Native)?;
+                self.platform.charge_native_flops(f_back);
+                native_flops += f_back;
+
+                // Delta re-enters the enclave.
+                let db = delta_at_cut.volume() * 4;
+                enclave.charge_ecall(db);
+                boundary_bytes += db as u64;
+
+                if let Some(region) = self.front_region {
+                    enclave.touch(region);
+                }
+                let (_, f_front) =
+                    self.net.backward_range(&delta_at_cut, 0, cut, KernelMode::Strict)?;
+                enclave.charge_flops(f_front);
+                enclave_flops += f_front;
+
+                self.net.update_range(0, cut, hyper, batch_n)?;
+                self.net.update_range(cut, n_layers, hyper, batch_n)?;
+            }
+            let _ = delta_bytes;
+        }
+
+        Ok(EpochOutcome {
+            mean_loss: loss_acc / batches.max(1) as f32,
+            enclave_flops,
+            native_flops,
+            boundary_bytes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_enclave::EnclaveConfig;
+    use caltrain_nn::{Activation, NetworkBuilder};
+
+    fn tiny_net(seed: u64) -> Network {
+        NetworkBuilder::new(&[1, 6, 6])
+            .conv(4, 3, 1, 1, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(3, 1, 1, 0, Activation::Linear)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(seed)
+            .unwrap()
+    }
+
+    fn pool(n: usize) -> Dataset {
+        let mut images = Tensor::zeros(&[n, 1, 6, 6]);
+        let mut labels = Vec::new();
+        for s in 0..n {
+            let class = s % 3;
+            labels.push(class);
+            let (oy, ox) = [(0, 0), (0, 3), (3, 0)][class];
+            for y in 0..3 {
+                for x in 0..3 {
+                    images.set(&[s, 0, oy + y, ox + x], 1.0).unwrap();
+                }
+            }
+        }
+        Dataset::new(images, labels)
+    }
+
+    fn setup(cut: usize, seed: u64) -> (Platform, Enclave, PartitionedTrainer) {
+        let platform = Platform::with_seed(b"partition-test");
+        let enclave = platform
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"code".to_vec(),
+                heap_bytes: 1 << 16,
+            })
+            .unwrap();
+        let trainer = PartitionedTrainer::new(
+            tiny_net(seed),
+            Partition { cut },
+            platform.clone(),
+            &enclave,
+            4,
+            99,
+        )
+        .unwrap();
+        (platform, enclave, trainer)
+    }
+
+    #[test]
+    fn partitioned_equals_monolithic_training() {
+        // Same seed, same data, no augmentation: cut=0 and cut=2 runs
+        // must produce bit-identical weights (the paper's accuracy-parity
+        // claim, mechanically).
+        let (_p0, e0, mut mono) = setup(0, 7);
+        let (_p1, e1, mut part) = setup(2, 7);
+        let data = pool(12);
+        let hyper = Hyper::default();
+        for _ in 0..3 {
+            mono.train_epoch(&data, &e0, &hyper, 4, None).unwrap();
+            part.train_epoch(&data, &e1, &hyper, 4, None).unwrap();
+        }
+        assert_eq!(
+            mono.network().export_params(),
+            part.network().export_params(),
+            "partitioning must not change the math"
+        );
+    }
+
+    #[test]
+    fn enclave_costs_charged_only_when_partitioned() {
+        let (p, e, mut part) = setup(2, 1);
+        p.reset_clock();
+        let out = part.train_epoch(&pool(8), &e, &Hyper::default(), 4, None).unwrap();
+        assert!(out.enclave_flops > 0);
+        assert!(out.native_flops > 0);
+        assert!(out.boundary_bytes > 0);
+        let breakdown = p.cycle_breakdown();
+        assert!(breakdown.enclave_compute_cycles > 0);
+        assert!(breakdown.transition_cycles > 0);
+
+        let (p2, e2, mut mono) = setup(0, 1);
+        p2.reset_clock();
+        let out2 = mono.train_epoch(&pool(8), &e2, &Hyper::default(), 4, None).unwrap();
+        assert_eq!(out2.enclave_flops, 0);
+        assert_eq!(out2.boundary_bytes, 0);
+        assert_eq!(p2.cycle_breakdown().enclave_compute_cycles, 0);
+    }
+
+    #[test]
+    fn deeper_cut_charges_more_enclave_flops() {
+        let (_pa, ea, mut shallow) = setup(1, 2);
+        let (_pb, eb, mut deep) = setup(3, 2);
+        let data = pool(8);
+        let a = shallow.train_epoch(&data, &ea, &Hyper::default(), 4, None).unwrap();
+        let b = deep.train_epoch(&data, &eb, &Hyper::default(), 4, None).unwrap();
+        assert!(b.enclave_flops > a.enclave_flops);
+        assert!(b.native_flops < a.native_flops);
+    }
+
+    #[test]
+    fn repartition_moves_the_cut() {
+        let (_p, e, mut t) = setup(1, 3);
+        t.repartition(Partition { cut: 3 }, &e, 4).unwrap();
+        assert_eq!(t.partition().cut, 3);
+        let out = t.train_epoch(&pool(4), &e, &Hyper::default(), 4, None).unwrap();
+        assert!(out.enclave_flops > 0);
+        assert!(t.repartition(Partition { cut: 99 }, &e, 4).is_err());
+    }
+
+    #[test]
+    fn augmentation_trains_and_stays_finite() {
+        let (_p, e, mut t) = setup(2, 4);
+        let out = t
+            .train_epoch(&pool(8), &e, &Hyper::default(), 4, Some(&AugmentConfig::default()))
+            .unwrap();
+        assert!(out.mean_loss.is_finite());
+    }
+}

@@ -1,0 +1,440 @@
+//! The end-to-end CalTrain pipeline: enrol → ingest → train → release →
+//! fingerprint (paper Fig. 2).
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_data::{shard, Dataset, ParticipantId};
+use caltrain_enclave::Platform;
+use caltrain_fingerprint::LinkageDb;
+use caltrain_nn::augment::AugmentConfig;
+use caltrain_nn::serialize::{range_weights_from_bytes, range_weights_to_bytes, weights_to_bytes};
+use caltrain_nn::{Hyper, Network, NnError};
+
+use crate::accountability::FingerprintingStage;
+use crate::participant::Participant;
+use crate::partition::{EpochOutcome, Partition, PartitionedTrainer};
+use crate::server::{IngestStats, TrainingServer};
+use crate::CalTrainError;
+
+/// Pipeline knobs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// FrontNet cut (paper Experiment I loads "the first two layers" into
+    /// the enclave).
+    pub partition: Partition,
+    /// SGD hyperparameters.
+    pub hyper: Hyper,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// In-enclave augmentation policy (`None` disables).
+    pub augment: Option<AugmentConfig>,
+    /// Training-enclave heap reservation in bytes.
+    pub heap_bytes: usize,
+    /// Keep a model snapshot per epoch (needed for Fig. 5 re-assessment).
+    pub snapshots: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            partition: Partition { cut: 2 },
+            hyper: Hyper::default(),
+            batch_size: 16,
+            augment: Some(AugmentConfig::default()),
+            heap_bytes: 1 << 22,
+            snapshots: true,
+        }
+    }
+}
+
+/// What a training run produced.
+#[derive(Debug, Clone)]
+pub struct TrainOutcome {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Cost accounting per epoch.
+    pub epoch_outcomes: Vec<EpochOutcome>,
+    /// Per-epoch model snapshots (empty unless configured).
+    pub snapshots: Vec<Network>,
+}
+
+/// A released model: BackNet in the clear, FrontNet sealed to one
+/// participant's provisioned key (paper §IV-B: "the FrontNet encrypted
+/// with symmetric keys provisioned by different training participants").
+#[derive(Debug, Clone)]
+pub struct ReleasedModel {
+    /// The partition cut the release was built with.
+    pub cut: usize,
+    /// `nonce ‖ AES-GCM(front-net weight bytes)` under the recipient's key.
+    pub front_sealed: Vec<u8>,
+    /// Clear-text BackNet weight bytes.
+    pub back_bytes: Vec<u8>,
+}
+
+/// Decrypts and assembles a released model into `template` (the agreed
+/// architecture every participant already knows).
+///
+/// # Errors
+///
+/// Returns [`CalTrainError::Crypto`] for wrong keys/tampering and
+/// [`CalTrainError::Nn`] for malformed weight payloads.
+pub fn open_released(
+    template: &mut Network,
+    released: &ReleasedModel,
+    key: &[u8; 16],
+) -> Result<(), CalTrainError> {
+    if released.front_sealed.len() < 12 {
+        return Err(CalTrainError::Nn(NnError::BadWeightBlob("truncated front seal")));
+    }
+    let nonce: [u8; 12] = released.front_sealed[..12].try_into().expect("length checked");
+    let front =
+        AesGcm::new_128(key).open(&nonce, &released.front_sealed[12..], b"caltrain-release")?;
+    let n = template.num_layers();
+    if released.cut > 0 {
+        range_weights_from_bytes(template, 0, released.cut, &front)?;
+    }
+    range_weights_from_bytes(template, released.cut, n, &released.back_bytes)?;
+    Ok(())
+}
+
+/// The assembled CalTrain system.
+pub struct CalTrain {
+    server: TrainingServer,
+    trainer: PartitionedTrainer,
+    config: PipelineConfig,
+    participants: Vec<Participant>,
+}
+
+impl std::fmt::Debug for CalTrain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CalTrain")
+            .field("participants", &self.participants.len())
+            .field("partition", &self.trainer.partition())
+            .finish()
+    }
+}
+
+impl CalTrain {
+    /// Boots a CalTrain deployment: simulated SGX platform, training
+    /// enclave, partitioned trainer around `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if launch or EPC reservation
+    /// fails.
+    pub fn new(net: Network, config: PipelineConfig, seed: &[u8]) -> Result<Self, CalTrainError> {
+        let platform = Platform::with_seed(seed);
+        let server = TrainingServer::launch(platform.clone(), config.heap_bytes)?;
+        let trainer = PartitionedTrainer::new(
+            net,
+            config.partition,
+            platform,
+            server.enclave(),
+            config.batch_size,
+            0xCA17_7A19,
+        )?;
+        Ok(CalTrain { server, trainer, config, participants: Vec::new() })
+    }
+
+    /// The hosting platform (clock, EPC stats, attestation service).
+    pub fn platform(&self) -> &Platform {
+        self.server.platform()
+    }
+
+    /// The training server.
+    pub fn server(&self) -> &TrainingServer {
+        &self.server
+    }
+
+    /// The current model.
+    pub fn network(&self) -> &Network {
+        self.trainer.network()
+    }
+
+    /// Mutable model access (evaluation between stages).
+    pub fn network_mut(&mut self) -> &mut Network {
+        self.trainer.network_mut()
+    }
+
+    /// Enrolled participants.
+    pub fn participants(&self) -> &[Participant] {
+        &self.participants
+    }
+
+    /// Enrols a participant: runs the attested provisioning handshake and
+    /// registers their data key inside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if attestation or the channel
+    /// fails — an unenrolled participant uploads nothing.
+    pub fn enroll(&mut self, participant: Participant) -> Result<(), CalTrainError> {
+        let (chan, quote, server_pub) = self.server.begin_provisioning();
+        let service = self.server.platform().attestation_service();
+        let expected = self.server.enclave().measurement();
+        let (record, client_pub) =
+            participant.provision_key(&service, &expected, &quote, &server_pub)?;
+        self.server.finish_provisioning(chan, &client_pub, &record)?;
+        self.participants.push(participant);
+        Ok(())
+    }
+
+    /// Ingests sealed batches into the enclave pool.
+    pub fn ingest(&mut self, batches: &[caltrain_data::sealed::SealedBatch]) -> IngestStats {
+        self.server.ingest(batches)
+    }
+
+    /// Convenience for experiments: shards `dataset` across `count`
+    /// participants, enrols each, and ingests their sealed uploads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates enrolment failures.
+    pub fn enroll_and_ingest(
+        &mut self,
+        dataset: &Dataset,
+        count: usize,
+        seed: u64,
+    ) -> Result<IngestStats, CalTrainError> {
+        let shards = shard::split(dataset, count, seed);
+        let mut stats = IngestStats::default();
+        for (i, shard) in shards.into_iter().enumerate() {
+            let id = ParticipantId(i as u32);
+            let mut p = Participant::new(id, shard, &seed.to_le_bytes());
+            self.enroll(p.clone())?;
+            let batches = p.seal_upload(self.config.batch_size);
+            let s = self.ingest(&batches);
+            stats.accepted += s.accepted;
+            stats.discarded += s.discarded;
+            stats.instances += s.instances;
+            // Keep the participant's upload counter in sync.
+            if let Some(last) = self.participants.last_mut() {
+                *last = p;
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Trains for `epochs` epochs over the ingested pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::StateViolation`] before ingestion;
+    /// propagates training failures.
+    pub fn train(&mut self, epochs: usize) -> Result<TrainOutcome, CalTrainError> {
+        let pool = self.server.pool()?.clone();
+        let mut outcome = TrainOutcome {
+            epoch_losses: Vec::with_capacity(epochs),
+            epoch_outcomes: Vec::with_capacity(epochs),
+            snapshots: Vec::new(),
+        };
+        for _ in 0..epochs {
+            let e = self.trainer.train_epoch(
+                &pool,
+                self.server.enclave(),
+                &self.config.hyper,
+                self.config.batch_size,
+                self.config.augment.as_ref(),
+            )?;
+            outcome.epoch_losses.push(e.mean_loss);
+            outcome.epoch_outcomes.push(e);
+            if self.config.snapshots {
+                outcome.snapshots.push(self.trainer.network().clone());
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Adjusts the FrontNet/BackNet cut between epochs (dynamic
+    /// re-assessment, §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates EPC/partition failures.
+    pub fn repartition(&mut self, partition: Partition) -> Result<(), CalTrainError> {
+        self.trainer.repartition(partition, self.server.enclave(), self.config.batch_size)
+    }
+
+    /// Releases the trained model to one enrolled participant: BackNet in
+    /// the clear, FrontNet sealed under that participant's key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::UnknownParticipant`] for unenrolled ids.
+    pub fn release_model(&self, to: ParticipantId) -> Result<ReleasedModel, CalTrainError> {
+        let participant = self
+            .participants
+            .iter()
+            .find(|p| p.id() == to)
+            .ok_or(CalTrainError::UnknownParticipant(to.0))?;
+        let net = self.trainer.network();
+        let cut = self.trainer.partition().cut;
+        let n = net.num_layers();
+
+        let front_bytes = if cut > 0 {
+            range_weights_to_bytes(net, 0, cut)?
+        } else {
+            weights_to_bytes(net)[..8].to_vec() // empty CTW1 header
+        };
+        let nonce_bytes = self.server.platform().random_bytes(12);
+        let nonce: [u8; 12] = nonce_bytes.try_into().expect("random_bytes(12)");
+        let cipher = AesGcm::new_128(&participant.data_key());
+        let mut front_sealed = nonce.to_vec();
+        front_sealed.extend_from_slice(&cipher.seal(&nonce, &front_bytes, b"caltrain-release"));
+
+        let back_bytes = range_weights_to_bytes(net, cut, n)?;
+        Ok(ReleasedModel { cut, front_sealed, back_bytes })
+    }
+
+    /// Runs the fingerprinting stage over the ingested pool with the
+    /// current model, producing the linkage database.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::StateViolation`] before ingestion.
+    pub fn build_linkage_db(&mut self) -> Result<LinkageDb, CalTrainError> {
+        let pool = self.server.pool()?.clone();
+        let stage = FingerprintingStage::launch(
+            self.server.platform(),
+            (self.trainer.network().param_count() * 4).max(1 << 16),
+        )?;
+        let batch = self.config.batch_size;
+        stage.build_db(self.trainer.network_mut(), &pool, batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_nn::{Activation, KernelMode, NetworkBuilder};
+    use caltrain_tensor::Tensor;
+
+    fn tiny_net(seed: u64) -> Network {
+        NetworkBuilder::new(&[1, 6, 6])
+            .conv(4, 3, 1, 1, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(3, 1, 1, 0, Activation::Linear)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(seed)
+            .unwrap()
+    }
+
+    fn dataset(n: usize) -> Dataset {
+        let mut images = Tensor::zeros(&[n, 1, 6, 6]);
+        let mut labels = Vec::new();
+        for s in 0..n {
+            let class = s % 3;
+            labels.push(class);
+            let (oy, ox) = [(0, 0), (0, 3), (3, 0)][class];
+            for y in 0..3 {
+                for x in 0..3 {
+                    images.set(&[s, 0, oy + y, ox + x], 1.0).unwrap();
+                }
+            }
+        }
+        Dataset::new(images, labels)
+    }
+
+    fn config() -> PipelineConfig {
+        PipelineConfig {
+            partition: Partition { cut: 2 },
+            hyper: Hyper { learning_rate: 0.2, momentum: 0.9, decay: 0.0 },
+            batch_size: 4,
+            augment: None,
+            heap_bytes: 1 << 18,
+            snapshots: true,
+        }
+    }
+
+    #[test]
+    fn full_pipeline_end_to_end() {
+        let mut sys = CalTrain::new(tiny_net(1), config(), b"pipeline-test").unwrap();
+        let stats = sys.enroll_and_ingest(&dataset(12), 3, 5).unwrap();
+        assert_eq!(stats.instances, 12);
+        assert_eq!(stats.discarded, 0);
+        assert_eq!(sys.participants().len(), 3);
+
+        let outcome = sys.train(3).unwrap();
+        assert_eq!(outcome.epoch_losses.len(), 3);
+        assert_eq!(outcome.snapshots.len(), 3);
+        assert!(
+            outcome.epoch_losses[2] < outcome.epoch_losses[0],
+            "losses: {:?}",
+            outcome.epoch_losses
+        );
+
+        let db = sys.build_linkage_db().unwrap();
+        assert_eq!(db.len(), 12);
+    }
+
+    #[test]
+    fn release_and_open_roundtrip() {
+        let mut sys = CalTrain::new(tiny_net(2), config(), b"pipeline-test-2").unwrap();
+        sys.enroll_and_ingest(&dataset(6), 2, 6).unwrap();
+        sys.train(1).unwrap();
+
+        let released = sys.release_model(ParticipantId(0)).unwrap();
+        assert_eq!(released.cut, 2);
+
+        let key = sys.participants()[0].data_key();
+        let mut template = tiny_net(99);
+        open_released(&mut template, &released, &key).unwrap();
+        assert_eq!(template.export_params(), sys.network().export_params());
+
+        // The other participant's key cannot open this release.
+        let other_key = sys.participants()[1].data_key();
+        let mut template2 = tiny_net(98);
+        assert!(open_released(&mut template2, &released, &other_key).is_err());
+    }
+
+    #[test]
+    fn release_without_enrollment_fails() {
+        let sys = CalTrain::new(tiny_net(3), config(), b"pipeline-test-3").unwrap();
+        assert_eq!(
+            sys.release_model(ParticipantId(7)).err(),
+            Some(CalTrainError::UnknownParticipant(7))
+        );
+    }
+
+    #[test]
+    fn train_before_ingest_is_a_state_violation() {
+        let mut sys = CalTrain::new(tiny_net(4), config(), b"pipeline-test-4").unwrap();
+        assert!(matches!(sys.train(1), Err(CalTrainError::StateViolation(_))));
+    }
+
+    #[test]
+    fn backnet_release_is_usable_but_frontnet_stays_sealed() {
+        // An adversary holding the release without the key can read the
+        // BackNet but not the FrontNet — the property that blocks input
+        // reconstruction (paper §IV-C security argument).
+        let mut sys = CalTrain::new(tiny_net(5), config(), b"pipeline-test-5").unwrap();
+        sys.enroll_and_ingest(&dataset(6), 1, 7).unwrap();
+        sys.train(1).unwrap();
+        let released = sys.release_model(ParticipantId(0)).unwrap();
+
+        let mut adversary = tiny_net(77);
+        let n = adversary.num_layers();
+        // BackNet loads fine from the clear bytes...
+        range_weights_from_bytes(&mut adversary, released.cut, n, &released.back_bytes).unwrap();
+        // ...but without the participant key the FrontNet bytes are
+        // AES-GCM ciphertext; the adversary's FrontNet stays random.
+        let mut probe = Tensor::zeros(&[1, 1, 6, 6]);
+        probe.set(&[0, 0, 0, 0], 1.0).unwrap();
+        let theirs = adversary.predict_probs(&probe, KernelMode::Native).unwrap();
+        let mut full = tiny_net(77);
+        open_released(&mut full, &released, &sys.participants()[0].data_key()).unwrap();
+        let truth = full.predict_probs(&probe, KernelMode::Native).unwrap();
+        assert_ne!(theirs.as_slice(), truth.as_slice());
+    }
+
+    #[test]
+    fn repartition_between_epochs() {
+        let mut sys = CalTrain::new(tiny_net(6), config(), b"pipeline-test-6").unwrap();
+        sys.enroll_and_ingest(&dataset(6), 1, 8).unwrap();
+        sys.train(1).unwrap();
+        sys.repartition(Partition { cut: 3 }).unwrap();
+        let out = sys.train(1).unwrap();
+        assert_eq!(out.epoch_losses.len(), 1);
+    }
+}

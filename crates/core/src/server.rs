@@ -1,0 +1,263 @@
+//! The training server: hosts the training enclave, receives provisioned
+//! keys, authenticates sealed uploads and assembles the decrypted pool.
+
+use std::collections::HashMap;
+
+use caltrain_data::sealed::{open_batch, SealedBatch};
+use caltrain_data::Dataset;
+use caltrain_enclave::{ChannelServer, Enclave, EnclaveConfig, Platform, Quote};
+
+use crate::CalTrainError;
+
+/// Statistics of one ingestion pass — the paper's authenticity/integrity
+/// checking outcome (§IV-A): how many batches were accepted into the
+/// pipeline and how many were discarded.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Batches whose GCM tag verified under the claimed source's key.
+    pub accepted: usize,
+    /// Batches discarded: bad tag, unknown source, or malformed payload.
+    pub discarded: usize,
+    /// Training instances accepted in total.
+    pub instances: usize,
+}
+
+/// The CalTrain training server.
+///
+/// Owns the simulated platform and the training enclave. Provisioned
+/// participant keys live logically *inside* the enclave — nothing outside
+/// this struct can read them, mirroring the paper's trust boundary.
+pub struct TrainingServer {
+    platform: Platform,
+    enclave: Enclave,
+    /// Participant id → provisioned AES-128 key (enclave-resident state).
+    keys: HashMap<u32, [u8; 16]>,
+    pool: Option<Dataset>,
+    stats: IngestStats,
+}
+
+impl std::fmt::Debug for TrainingServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainingServer")
+            .field("enclave", &self.enclave.name())
+            .field("provisioned_keys", &self.keys.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+/// The code identity every participant agrees on for the training
+/// enclave (paper §III "Consensus and Cooperation"); changing the trainer
+/// changes the measurement and participants will refuse to provision.
+pub const TRAINING_ENCLAVE_CODE: &[u8] = b"caltrain-training-enclave-v1";
+
+impl TrainingServer {
+    /// Launches the training enclave on `platform`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] if the enclave cannot launch.
+    pub fn launch(platform: Platform, heap_bytes: usize) -> Result<Self, CalTrainError> {
+        let enclave = platform.create_enclave(&EnclaveConfig {
+            name: "caltrain-trainer".into(),
+            code_identity: TRAINING_ENCLAVE_CODE.to_vec(),
+            heap_bytes,
+        })?;
+        Ok(TrainingServer {
+            platform,
+            enclave,
+            keys: HashMap::new(),
+            pool: None,
+            stats: IngestStats::default(),
+        })
+    }
+
+    /// The hosting platform.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The training enclave.
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Begins a provisioning handshake: the enclave generates an
+    /// ephemeral key pair and a binding quote for the participant to
+    /// verify.
+    pub fn begin_provisioning(&self) -> (ChannelServer, Quote, [u8; 32]) {
+        let server = ChannelServer::new(&self.enclave);
+        let (quote, public) = server.hello();
+        (server, quote, public)
+    }
+
+    /// Completes a provisioning handshake: accepts the participant's
+    /// channel key, opens the first record and installs the provisioned
+    /// data key inside the enclave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::Enclave`] on channel violations and
+    /// [`CalTrainError::StateViolation`] on malformed key records.
+    pub fn finish_provisioning(
+        &mut self,
+        server: ChannelServer,
+        client_public: &[u8; 32],
+        key_record: &[u8],
+    ) -> Result<(), CalTrainError> {
+        let mut channel = server.accept(client_public)?;
+        self.enclave.charge_ecall(key_record.len());
+        let message = channel.recv(key_record)?;
+        if message.len() != 20 {
+            return Err(CalTrainError::StateViolation("malformed key record"));
+        }
+        let id = u32::from_le_bytes(message[..4].try_into().expect("length checked"));
+        let key: [u8; 16] = message[4..].try_into().expect("length checked");
+        self.keys.insert(id, key);
+        Ok(())
+    }
+
+    /// Number of provisioned participants.
+    pub fn provisioned(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Ingests sealed batches: authenticates each under its claimed
+    /// source's provisioned key, decrypts inside the enclave, and
+    /// appends to the training pool. Batches from unknown sources or
+    /// failing authentication are **discarded**, not errors — exactly
+    /// the paper's behaviour for illegitimate channels.
+    pub fn ingest(&mut self, batches: &[SealedBatch]) -> IngestStats {
+        let mut pass = IngestStats::default();
+        for batch in batches {
+            self.enclave.charge_ecall(batch.ciphertext.len());
+            let Some(key) = self.keys.get(&batch.source.0) else {
+                pass.discarded += 1;
+                continue;
+            };
+            match open_batch(batch, key) {
+                Ok(opened) => {
+                    pass.instances += opened.len();
+                    pass.accepted += 1;
+                    self.pool = Some(match self.pool.take() {
+                        None => opened,
+                        Some(pool) => pool.concat(&opened),
+                    });
+                }
+                Err(_) => pass.discarded += 1,
+            }
+        }
+        self.stats.accepted += pass.accepted;
+        self.stats.discarded += pass.discarded;
+        self.stats.instances += pass.instances;
+        pass
+    }
+
+    /// Cumulative ingestion statistics.
+    pub fn stats(&self) -> IngestStats {
+        self.stats
+    }
+
+    /// The decrypted training pool (enclave-resident).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::StateViolation`] before any successful
+    /// ingestion.
+    pub fn pool(&self) -> Result<&Dataset, CalTrainError> {
+        self.pool
+            .as_ref()
+            .ok_or(CalTrainError::StateViolation("no training data ingested"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::participant::Participant;
+    use caltrain_data::{Dataset, ParticipantId};
+    use caltrain_tensor::Tensor;
+
+    fn shard(n: usize, label: usize) -> Dataset {
+        Dataset::new(Tensor::from_fn(&[n, 1, 4, 4], |i| i as f32 / 100.0), vec![label; n])
+    }
+
+    fn provision(server: &mut TrainingServer, p: &Participant) {
+        let (chan, quote, server_pub) = server.begin_provisioning();
+        let service = server.platform().attestation_service();
+        let expected = server.enclave().measurement();
+        let (record, client_pub) =
+            p.provision_key(&service, &expected, &quote, &server_pub).unwrap();
+        server.finish_provisioning(chan, &client_pub, &record).unwrap();
+    }
+
+    #[test]
+    fn provisioning_and_ingestion_happy_path() {
+        let platform = Platform::with_seed(b"server-test");
+        let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+        let mut alice = Participant::new(ParticipantId(0), shard(4, 0), b"alice");
+        let mut bob = Participant::new(ParticipantId(1), shard(6, 1), b"bob");
+        provision(&mut server, &alice);
+        provision(&mut server, &bob);
+        assert_eq!(server.provisioned(), 2);
+
+        let mut batches = alice.seal_upload(4);
+        batches.extend(bob.seal_upload(3));
+        let stats = server.ingest(&batches);
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(stats.discarded, 0);
+        assert_eq!(stats.instances, 10);
+        let pool = server.pool().unwrap();
+        assert_eq!(pool.len(), 10);
+        // Provenance survived the encrypted round trip.
+        assert_eq!(pool.sources().iter().filter(|s| s.0 == 0).count(), 4);
+        assert_eq!(pool.sources().iter().filter(|s| s.0 == 1).count(), 6);
+    }
+
+    #[test]
+    fn unregistered_source_discarded() {
+        let platform = Platform::with_seed(b"server-test-2");
+        let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+        let mut mallory = Participant::new(ParticipantId(9), shard(4, 0), b"mallory");
+        // Mallory never provisioned a key.
+        let stats = server.ingest(&mallory.seal_upload(4));
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.discarded, 1);
+        assert!(server.pool().is_err());
+    }
+
+    #[test]
+    fn tampered_batch_discarded() {
+        let platform = Platform::with_seed(b"server-test-3");
+        let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+        let mut alice = Participant::new(ParticipantId(0), shard(4, 0), b"alice");
+        provision(&mut server, &alice);
+        let mut batches = alice.seal_upload(4);
+        let mid = batches[0].ciphertext.len() / 2;
+        batches[0].ciphertext[mid] ^= 1;
+        let stats = server.ingest(&batches);
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.discarded, 1);
+    }
+
+    #[test]
+    fn wrong_enclave_blocks_provisioning() {
+        let platform = Platform::with_seed(b"server-test-4");
+        // A malicious server launches a different trainer...
+        let rogue = platform
+            .create_enclave(&EnclaveConfig {
+                name: "rogue".into(),
+                code_identity: b"rogue-trainer".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let rogue_server = ChannelServer::new(&rogue);
+        let (quote, server_pub) = rogue_server.hello();
+        let alice = Participant::new(ParticipantId(0), shard(2, 0), b"alice");
+        // ...and Alice, expecting the agreed measurement, refuses.
+        let expected = caltrain_enclave::MrEnclave::build(TRAINING_ENCLAVE_CODE, 1 << 20);
+        assert!(alice
+            .provision_key(&platform.attestation_service(), &expected, &quote, &server_pub)
+            .is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! AES-128 / AES-256 block encryption (FIPS 197).
+//!
+//! Only the forward cipher is implemented: AES-GCM (the only mode CalTrain
+//! uses) needs block *encryption* exclusively, for both directions of the
+//! CTR keystream and for deriving the GHASH subkey.
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+    0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+    0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+    0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+    0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+    0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+    0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+    0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+    0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+    0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+    0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+    0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+    0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+    0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+    0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+    0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+    0x16,
+];
+
+/// Round constants for key expansion.
+const RCON: [u8; 11] = [0x00, 0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ if b & 0x80 != 0 { 0x1b } else { 0x00 }
+}
+
+/// An expanded AES key schedule for 128- or 256-bit keys.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_crypto::aes::Aes;
+///
+/// let aes = Aes::new_128(&[0u8; 16]);
+/// let mut block = [0u8; 16];
+/// aes.encrypt_block(&mut block);
+/// assert_ne!(block, [0u8; 16]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Aes {
+    round_keys: Vec<[u8; 16]>,
+}
+
+impl Aes {
+    /// Expands a 128-bit key (10 rounds).
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Aes { round_keys: expand_key(key, 4, 10) }
+    }
+
+    /// Expands a 256-bit key (14 rounds).
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Aes { round_keys: expand_key(key, 8, 14) }
+    }
+
+    /// Number of rounds (10 for AES-128, 14 for AES-256).
+    pub fn rounds(&self) -> usize {
+        self.round_keys.len() - 1
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let rounds = self.rounds();
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..rounds {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[rounds]);
+    }
+}
+
+fn expand_key(key: &[u8], nk: usize, rounds: usize) -> Vec<[u8; 16]> {
+    let total_words = 4 * (rounds + 1);
+    let mut words: Vec<[u8; 4]> = Vec::with_capacity(total_words);
+    for i in 0..nk {
+        words.push([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    for i in nk..total_words {
+        let mut temp = words[i - 1];
+        if i % nk == 0 {
+            temp.rotate_left(1);
+            for b in temp.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+            temp[0] ^= RCON[i / nk];
+        } else if nk > 6 && i % nk == 4 {
+            for b in temp.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+        }
+        let prev = words[i - nk];
+        words.push([
+            prev[0] ^ temp[0],
+            prev[1] ^ temp[1],
+            prev[2] ^ temp[2],
+            prev[3] ^ temp[3],
+        ]);
+    }
+    words
+        .chunks_exact(4)
+        .map(|quad| {
+            let mut rk = [0u8; 16];
+            for (i, w) in quad.iter().enumerate() {
+                rk[4 * i..4 * i + 4].copy_from_slice(w);
+            }
+            rk
+        })
+        .collect()
+}
+
+fn add_round_key(block: &mut [u8; 16], rk: &[u8; 16]) {
+    for i in 0..16 {
+        block[i] ^= rk[i];
+    }
+}
+
+fn sub_bytes(block: &mut [u8; 16]) {
+    for b in block.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn shift_rows(block: &mut [u8; 16]) {
+    // State is column-major: byte (row r, col c) lives at index 4c + r.
+    let orig = *block;
+    for r in 1..4 {
+        for c in 0..4 {
+            block[4 * c + r] = orig[4 * ((c + r) % 4) + r];
+        }
+    }
+}
+
+fn mix_columns(block: &mut [u8; 16]) {
+    for c in 0..4 {
+        let col = [block[4 * c], block[4 * c + 1], block[4 * c + 2], block[4 * c + 3]];
+        let t = col[0] ^ col[1] ^ col[2] ^ col[3];
+        block[4 * c] = col[0] ^ t ^ xtime(col[0] ^ col[1]);
+        block[4 * c + 1] = col[1] ^ t ^ xtime(col[1] ^ col[2]);
+        block[4 * c + 2] = col[2] ^ t ^ xtime(col[2] ^ col[3]);
+        block[4 * c + 3] = col[3] ^ t ^ xtime(col[3] ^ col[0]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex16(s: &str) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        for i in 0..16 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fips197_aes128() {
+        let key = unhex16("000102030405060708090a0b0c0d0e0f");
+        let mut block = unhex16("00112233445566778899aabbccddeeff");
+        Aes::new_128(&key).encrypt_block(&mut block);
+        assert_eq!(block, unhex16("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_aes256() {
+        let mut key = [0u8; 32];
+        for (i, b) in key.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        let mut block = unhex16("00112233445566778899aabbccddeeff");
+        Aes::new_256(&key).encrypt_block(&mut block);
+        assert_eq!(block, unhex16("8ea2b7ca516745bfeafc49904b496089"));
+    }
+
+    #[test]
+    fn nist_sp800_38a_ecb128_first_block() {
+        let key = unhex16("2b7e151628aed2a6abf7158809cf4f3c");
+        let mut block = unhex16("6bc1bee22e409f96e93d7e117393172a");
+        Aes::new_128(&key).encrypt_block(&mut block);
+        assert_eq!(block, unhex16("3ad77bb40d7a3660a89ecaf32466ef97"));
+    }
+
+    #[test]
+    fn round_counts() {
+        assert_eq!(Aes::new_128(&[0; 16]).rounds(), 10);
+        assert_eq!(Aes::new_256(&[0; 32]).rounds(), 14);
+    }
+
+    #[test]
+    fn different_keys_differ() {
+        let mut b1 = [0u8; 16];
+        let mut b2 = [0u8; 16];
+        Aes::new_128(&[1u8; 16]).encrypt_block(&mut b1);
+        Aes::new_128(&[2u8; 16]).encrypt_block(&mut b2);
+        assert_ne!(b1, b2);
+    }
+}

@@ -1,0 +1,41 @@
+//! Constant-time byte comparison.
+
+/// Compares two byte slices without early exit on mismatch.
+///
+/// Returns `false` immediately only for *length* mismatch (lengths are
+/// public in every protocol here). Content comparison accumulates the XOR
+/// of every byte pair so timing does not reveal the first differing index.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_crypto::ct::ct_eq;
+///
+/// assert!(ct_eq(b"tag", b"tag"));
+/// assert!(!ct_eq(b"tag", b"tat"));
+/// assert!(!ct_eq(b"tag", b"tags"));
+/// ```
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::ct_eq;
+
+    #[test]
+    fn equal_and_unequal() {
+        assert!(ct_eq(&[], &[]));
+        assert!(ct_eq(&[1, 2, 3], &[1, 2, 3]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2, 4]));
+        assert!(!ct_eq(&[1, 2, 3], &[1, 2]));
+        assert!(!ct_eq(&[0x80], &[0x00]));
+    }
+}

@@ -1,0 +1,46 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the cryptographic primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CryptoError {
+    /// An AES-GCM tag check failed: the ciphertext or its associated data
+    /// was tampered with, or the wrong key was used. CalTrain's training
+    /// enclave *discards* such batches (paper §IV-A, "Authenticity and
+    /// Integrity Checking").
+    AuthenticationFailed,
+    /// An input had an invalid length for the requested primitive.
+    InvalidLength {
+        /// Name of the offending input.
+        what: &'static str,
+        /// Length supplied by the caller.
+        len: usize,
+        /// Length (or minimum length) required.
+        expected: usize,
+    },
+    /// A ciphertext was shorter than the mandatory authentication tag.
+    TruncatedCiphertext,
+    /// An X25519 exchange produced the all-zero shared secret (low-order
+    /// peer point); RFC 7748 requires rejecting it.
+    DegenerateSharedSecret,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::InvalidLength { what, len, expected } => {
+                write!(f, "invalid {what} length {len}, expected {expected}")
+            }
+            CryptoError::TruncatedCiphertext => {
+                write!(f, "ciphertext shorter than authentication tag")
+            }
+            CryptoError::DegenerateSharedSecret => {
+                write!(f, "x25519 produced an all-zero shared secret")
+            }
+        }
+    }
+}
+
+impl Error for CryptoError {}

@@ -1,0 +1,314 @@
+//! AES-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the primitive CalTrain participants use to seal training data
+//! before upload and that the training enclave uses to *authenticate the
+//! data source* (paper §IV-A "Authenticating Participants"): a valid tag
+//! under participant *i*'s key proves the batch came from a registered
+//! participant and survived transit unmodified. Forged or corrupted batches
+//! fail [`AesGcm::open`] and are discarded.
+
+use crate::aes::Aes;
+use crate::ct::ct_eq;
+use crate::CryptoError;
+
+/// Length in bytes of the GCM authentication tag (full 128-bit tags only).
+pub const TAG_LEN: usize = 16;
+
+/// Length in bytes of the GCM nonce (the 96-bit fast path only).
+pub const NONCE_LEN: usize = 12;
+
+/// GF(2^128) multiplication for GHASH, bit-reflected per the GCM spec.
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(block: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..block.len()].copy_from_slice(block);
+    u128::from_be_bytes(buf)
+}
+
+/// An AES-GCM AEAD cipher with a fixed key.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_crypto::gcm::AesGcm;
+///
+/// let cipher = AesGcm::new_128(&[0x42; 16]);
+/// let sealed = cipher.seal(&[0; 12], b"secret", b"header");
+/// assert_eq!(cipher.open(&[0; 12], &sealed, b"header")?, b"secret");
+/// assert!(cipher.open(&[0; 12], &sealed, b"tampered").is_err());
+/// # Ok::<(), caltrain_crypto::CryptoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesGcm {
+    aes: Aes,
+    /// GHASH subkey `H = E_K(0^128)`.
+    h: u128,
+}
+
+impl AesGcm {
+    /// Creates a GCM cipher over AES-128.
+    pub fn new_128(key: &[u8; 16]) -> Self {
+        Self::from_aes(Aes::new_128(key))
+    }
+
+    /// Creates a GCM cipher over AES-256.
+    pub fn new_256(key: &[u8; 32]) -> Self {
+        Self::from_aes(Aes::new_256(key))
+    }
+
+    fn from_aes(aes: Aes) -> Self {
+        let mut zero = [0u8; 16];
+        aes.encrypt_block(&mut zero);
+        AesGcm { aes, h: u128::from_be_bytes(zero) }
+    }
+
+    /// Encrypts `plaintext`, authenticating it together with `aad`.
+    ///
+    /// Returns `ciphertext || tag`; the tag is the final [`TAG_LEN`] bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nonce` is not [`NONCE_LEN`] bytes — nonce length is a
+    /// protocol constant, never attacker-controlled input.
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(nonce, 2, &mut out);
+        let tag = self.compute_tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Verifies the tag of `ciphertext || tag` against `aad`, returning the
+    /// plaintext only if authentication succeeds.
+    ///
+    /// # Errors
+    ///
+    /// * [`CryptoError::TruncatedCiphertext`] if the input is shorter than
+    ///   the tag.
+    /// * [`CryptoError::AuthenticationFailed`] if the tag does not verify;
+    ///   no plaintext is released in that case.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        ciphertext_and_tag: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext_and_tag.len() < TAG_LEN {
+            return Err(CryptoError::TruncatedCiphertext);
+        }
+        let split = ciphertext_and_tag.len() - TAG_LEN;
+        let (ciphertext, tag) = ciphertext_and_tag.split_at(split);
+        let expected = self.compute_tag(nonce, aad, ciphertext);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut plaintext = ciphertext.to_vec();
+        self.ctr_xor(nonce, 2, &mut plaintext);
+        Ok(plaintext)
+    }
+
+    /// CTR-mode keystream XOR starting at block counter `start`.
+    fn ctr_xor(&self, nonce: &[u8; NONCE_LEN], start: u32, data: &mut [u8]) {
+        let mut counter_block = [0u8; 16];
+        counter_block[..12].copy_from_slice(nonce);
+        let mut counter = start;
+        for chunk in data.chunks_mut(16) {
+            counter_block[12..].copy_from_slice(&counter.to_be_bytes());
+            let mut keystream = counter_block;
+            self.aes.encrypt_block(&mut keystream);
+            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *b ^= k;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> u128 {
+        let mut y = 0u128;
+        for chunk in aad.chunks(16) {
+            y = gf_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ciphertext.chunks(16) {
+            y = gf_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lengths =
+            ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        gf_mul(y ^ lengths, self.h)
+    }
+
+    fn compute_tag(&self, nonce: &[u8; NONCE_LEN], aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let s = self.ghash(aad, ciphertext);
+        // E_K(J0) where J0 = nonce || 0x00000001 for 96-bit nonces.
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        self.aes.encrypt_block(&mut j0);
+        (s ^ u128::from_be_bytes(j0)).to_be_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn nonce12(s: &str) -> [u8; 12] {
+        let v = unhex(s);
+        let mut n = [0u8; 12];
+        n.copy_from_slice(&v);
+        n
+    }
+
+    // McGrew & Viega GCM spec test case 1: empty everything.
+    #[test]
+    fn gcm_test_case_1() {
+        let cipher = AesGcm::new_128(&[0u8; 16]);
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(sealed, unhex("58e2fccefa7e3061367f1d57a4e7455a"));
+    }
+
+    // Test case 2: single zero block.
+    #[test]
+    fn gcm_test_case_2() {
+        let cipher = AesGcm::new_128(&[0u8; 16]);
+        let sealed = cipher.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            sealed,
+            unhex("0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf")
+        );
+    }
+
+    // Test case 3: 64-byte plaintext, no AAD.
+    #[test]
+    fn gcm_test_case_3() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&key);
+        let cipher = AesGcm::new_128(&k);
+        let nonce = nonce12("cafebabefacedbaddecaf888");
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let sealed = cipher.seal(&nonce, &pt, b"");
+        let expect_ct = unhex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985",
+        );
+        assert_eq!(&sealed[..64], &expect_ct[..]);
+        assert_eq!(&sealed[64..], &unhex("4d5c2af327cd64a62cf35abd2ba6fab4")[..]);
+        assert_eq!(cipher.open(&nonce, &sealed, b"").unwrap(), pt);
+    }
+
+    // Test case 4: 60-byte plaintext with AAD.
+    #[test]
+    fn gcm_test_case_4() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let mut k = [0u8; 16];
+        k.copy_from_slice(&key);
+        let cipher = AesGcm::new_128(&k);
+        let nonce = nonce12("cafebabefacedbaddecaf888");
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let sealed = cipher.seal(&nonce, &pt, &aad);
+        let expect_ct = unhex(
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091",
+        );
+        assert_eq!(&sealed[..60], &expect_ct[..]);
+        assert_eq!(&sealed[60..], &unhex("5bc94fbc3221a5db94fae95ae7121a47")[..]);
+        assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), pt);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let cipher = AesGcm::new_128(&[9u8; 16]);
+        let nonce = [3u8; 12];
+        let mut sealed = cipher.seal(&nonce, b"poisoned batch payload", b"participant-7");
+
+        // Flip one ciphertext bit.
+        sealed[4] ^= 0x01;
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"participant-7"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        sealed[4] ^= 0x01;
+
+        // Flip one tag bit.
+        let last = sealed.len() - 1;
+        sealed[last] ^= 0x80;
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"participant-7"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        sealed[last] ^= 0x80;
+
+        // Wrong AAD (spoofed source identity).
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"participant-8"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+
+        // Wrong key (unregistered participant).
+        let other = AesGcm::new_128(&[10u8; 16]);
+        assert_eq!(
+            other.open(&nonce, &sealed, b"participant-7"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+
+        // Untouched still opens.
+        assert!(cipher.open(&nonce, &sealed, b"participant-7").is_ok());
+    }
+
+    #[test]
+    fn truncated_input_rejected() {
+        let cipher = AesGcm::new_128(&[1u8; 16]);
+        assert_eq!(
+            cipher.open(&[0u8; 12], &[0u8; 15], b""),
+            Err(CryptoError::TruncatedCiphertext)
+        );
+    }
+
+    #[test]
+    fn aes256_roundtrip() {
+        let cipher = AesGcm::new_256(&[0x55u8; 32]);
+        let nonce = [7u8; 12];
+        let msg: Vec<u8> = (0..1000u32).map(|v| v as u8).collect();
+        let sealed = cipher.seal(&nonce, &msg, b"ctx");
+        assert_eq!(cipher.open(&nonce, &sealed, b"ctx").unwrap(), msg);
+    }
+
+    #[test]
+    fn gf_mul_commutes() {
+        let a = 0x0123456789abcdef0123456789abcdefu128;
+        let b = 0xfedcba9876543210fedcba9876543210u128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+        assert_eq!(gf_mul(a, 0), 0);
+    }
+}

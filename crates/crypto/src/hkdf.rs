@@ -1,0 +1,124 @@
+//! HKDF with SHA-256 (RFC 5869).
+//!
+//! The attested secure channel derives its AES-GCM session keys from the
+//! X25519 shared secret with HKDF, binding the channel transcript into the
+//! `info` parameter — the same construction TLS 1.3 uses, standing in for
+//! the paper's mbedtls-SGX channel.
+
+use crate::hmac::hmac_sha256;
+use crate::CryptoError;
+
+/// `HKDF-Extract(salt, ikm)` — returns a 32-byte pseudorandom key.
+pub fn extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    *hmac_sha256(salt, ikm).as_bytes()
+}
+
+/// `HKDF-Expand(prk, info, out_len)` — expands a pseudorandom key into
+/// `out_len` bytes of output keying material.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] if `out_len > 255 * 32`, the RFC
+/// 5869 ceiling.
+pub fn expand(prk: &[u8; 32], info: &[u8], out_len: usize) -> Result<Vec<u8>, CryptoError> {
+    if out_len > 255 * 32 {
+        return Err(CryptoError::InvalidLength {
+            what: "hkdf output",
+            len: out_len,
+            expected: 255 * 32,
+        });
+    }
+    let blocks = out_len.div_ceil(32);
+    let mut okm = Vec::with_capacity(blocks * 32);
+    let mut t: Vec<u8> = Vec::new();
+    for counter in 1..=blocks as u8 {
+        let mut block_input = Vec::with_capacity(t.len() + info.len() + 1);
+        block_input.extend_from_slice(&t);
+        block_input.extend_from_slice(info);
+        block_input.push(counter);
+        let block = hmac_sha256(prk, &block_input);
+        t = block.as_bytes().to_vec();
+        okm.extend_from_slice(&t);
+    }
+    okm.truncate(out_len);
+    Ok(okm)
+}
+
+/// One-shot `HKDF(salt, ikm, info) -> out_len` bytes.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::InvalidLength`] if `out_len` exceeds the RFC 5869
+/// ceiling of `255 * 32` bytes.
+pub fn derive(salt: &[u8], ikm: &[u8], info: &[u8], out_len: usize) -> Result<Vec<u8>, CryptoError> {
+    expand(&extract(salt, ikm), info, out_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let prk = extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let okm = expand(&prk, &info, 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let okm = derive(&[], &ikm, &[], 42).unwrap();
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_output() {
+        let prk = [0u8; 32];
+        assert!(expand(&prk, b"", 255 * 32).is_ok());
+        assert!(expand(&prk, b"", 255 * 32 + 1).is_err());
+    }
+
+    #[test]
+    fn info_separates_keys() {
+        let ikm = b"shared secret";
+        let k1 = derive(b"salt", ikm, b"client->server", 32).unwrap();
+        let k2 = derive(b"salt", ikm, b"server->client", 32).unwrap();
+        assert_ne!(k1, k2);
+    }
+
+    #[test]
+    fn output_is_prefix_consistent() {
+        // Expanding to 64 bytes then truncating equals expanding to 16.
+        let prk = extract(b"s", b"ikm");
+        let long = expand(&prk, b"info", 64).unwrap();
+        let short = expand(&prk, b"info", 16).unwrap();
+        assert_eq!(&long[..16], &short[..]);
+    }
+}

@@ -1,0 +1,55 @@
+//! From-scratch cryptographic primitives for the CalTrain reproduction.
+//!
+//! The paper's pipeline needs four things from its crypto layer
+//! (paper §IV-A, §V):
+//!
+//! 1. **AES-GCM** — participants seal their training data under their own
+//!    symmetric keys; the training enclave authenticates *and* decrypts
+//!    with those provisioned keys (tampered or unregistered batches are
+//!    discarded).
+//! 2. **A key-agreement + KDF** for the TLS-like secret-provisioning
+//!    channel into the enclave ([`x25519`] + [`hkdf`]).
+//! 3. **Hash digests** for the `H` component of the linkage structure
+//!    Ω = [F, Y, S, H] and for enclave measurement ([`sha256`]).
+//! 4. **A deterministic random bit generator** standing in for Intel's
+//!    on-chip RDRAND/RDSEED, which the paper uses for in-enclave data
+//!    augmentation ([`rng::HmacDrbg`]).
+//!
+//! No crypto crate is available in this build environment, so the
+//! primitives are implemented here directly, each validated against the
+//! official FIPS / NIST / RFC test vectors in its module tests.
+//!
+//! **This code favours clarity over side-channel hardening.** It is a
+//! research artefact for a *simulated* enclave; do not reuse it as a
+//! general-purpose crypto library.
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_crypto::gcm::AesGcm;
+//!
+//! let key = [7u8; 16];
+//! let cipher = AesGcm::new_128(&key);
+//! let nonce = [1u8; 12];
+//! let sealed = cipher.seal(&nonce, b"participant-0 batch", b"aad");
+//! let opened = cipher.open(&nonce, &sealed, b"aad")?;
+//! assert_eq!(opened, b"participant-0 batch");
+//! # Ok::<(), caltrain_crypto::CryptoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod aes;
+pub mod ct;
+pub mod gcm;
+pub mod hkdf;
+pub mod hmac;
+pub mod rng;
+pub mod sha256;
+pub mod x25519;
+
+pub use error::CryptoError;
+pub use sha256::Digest;

@@ -1,0 +1,412 @@
+//! X25519 Diffie–Hellman key agreement (RFC 7748).
+//!
+//! Provides the key-agreement half of the attested secret-provisioning
+//! channel: each training participant runs an ECDH handshake with the
+//! training enclave and derives AES-GCM session keys from the shared
+//! secret via [`crate::hkdf`], mirroring the TLS channel the paper builds
+//! with mbedtls-SGX.
+//!
+//! Field arithmetic uses the standard five 51-bit-limb radix with `u128`
+//! intermediate products; the scalar multiplication is the RFC 7748
+//! Montgomery ladder with constant-time conditional swaps.
+
+use crate::CryptoError;
+
+/// Byte length of X25519 scalars, public keys and shared secrets.
+pub const KEY_LEN: usize = 32;
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// An element of GF(2^255 − 19) in radix-2^51 representation.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0, 0, 0, 0, 0]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load8 = |b: &[u8]| -> u64 {
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(b);
+            u64::from_le_bytes(buf)
+        };
+        Fe([
+            load8(&bytes[0..8]) & MASK51,
+            (load8(&bytes[6..14]) >> 3) & MASK51,
+            (load8(&bytes[12..20]) >> 6) & MASK51,
+            (load8(&bytes[19..27]) >> 1) & MASK51,
+            (load8(&bytes[24..32]) >> 12) & MASK51,
+        ])
+    }
+
+    /// Serializes a fully-reduced canonical encoding.
+    fn to_bytes(self) -> [u8; 32] {
+        let mut l = self.weak_reduce().0;
+        // Compute the quotient of (value + 19) / 2^255 to decide whether a
+        // final subtraction of p is needed, then apply it.
+        let mut q = (l[0] + 19) >> 51;
+        q = (l[1] + q) >> 51;
+        q = (l[2] + q) >> 51;
+        q = (l[3] + q) >> 51;
+        q = (l[4] + q) >> 51;
+        l[0] += 19 * q;
+        l[1] += l[0] >> 51;
+        l[0] &= MASK51;
+        l[2] += l[1] >> 51;
+        l[1] &= MASK51;
+        l[3] += l[2] >> 51;
+        l[2] &= MASK51;
+        l[4] += l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] &= MASK51;
+
+        let mut out = [0u8; 32];
+        let mut acc: u128 = 0;
+        let mut acc_bits = 0u32;
+        let mut idx = 0usize;
+        for (i, &limb) in l.iter().enumerate() {
+            acc |= (limb as u128) << acc_bits;
+            acc_bits += 51;
+            // Bit 255 never set after reduction; last limb flushes 32 bytes.
+            let flush = if i == 4 { acc_bits.div_ceil(8) } else { acc_bits / 8 };
+            for _ in 0..flush.min((32 - idx) as u32) {
+                out[idx] = (acc & 0xff) as u8;
+                acc >>= 8;
+                acc_bits = acc_bits.saturating_sub(8);
+                idx += 1;
+            }
+        }
+        out
+    }
+
+    /// One carry-propagation pass; limbs end below 2^52.
+    fn weak_reduce(self) -> Fe {
+        let mut l = self.0;
+        let c0 = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c0;
+        let c1 = l[1] >> 51;
+        l[1] &= MASK51;
+        l[2] += c1;
+        let c2 = l[2] >> 51;
+        l[2] &= MASK51;
+        l[3] += c2;
+        let c3 = l[3] >> 51;
+        l[3] &= MASK51;
+        l[4] += c3;
+        let c4 = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] += 19 * c4;
+        let c0b = l[0] >> 51;
+        l[0] &= MASK51;
+        l[1] += c0b;
+        Fe(l)
+    }
+
+    fn add(&self, rhs: &Fe) -> Fe {
+        Fe([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+            self.0[4] + rhs.0[4],
+        ])
+        .weak_reduce()
+    }
+
+    fn sub(&self, rhs: &Fe) -> Fe {
+        // Add 2p before subtracting so limbs never underflow.
+        const TWO_P0: u64 = 0x0FFFFFFFFFFFDA * 4; // 2 * (2^51 - 19) * 2
+        const TWO_PI: u64 = 0x0FFFFFFFFFFFFE * 4; // 2 * (2^51 - 1) * 2
+        Fe([
+            self.0[0] + TWO_P0 - rhs.0[0],
+            self.0[1] + TWO_PI - rhs.0[1],
+            self.0[2] + TWO_PI - rhs.0[2],
+            self.0[3] + TWO_PI - rhs.0[3],
+            self.0[4] + TWO_PI - rhs.0[4],
+        ])
+        .weak_reduce()
+    }
+
+    fn mul(&self, rhs: &Fe) -> Fe {
+        let a: [u128; 5] = [
+            self.0[0] as u128,
+            self.0[1] as u128,
+            self.0[2] as u128,
+            self.0[3] as u128,
+            self.0[4] as u128,
+        ];
+        let b: [u128; 5] = [
+            rhs.0[0] as u128,
+            rhs.0[1] as u128,
+            rhs.0[2] as u128,
+            rhs.0[3] as u128,
+            rhs.0[4] as u128,
+        ];
+        let b19: [u128; 5] = [b[0] * 19, b[1] * 19, b[2] * 19, b[3] * 19, b[4] * 19];
+
+        let mut c = [0u128; 5];
+        c[0] = a[0] * b[0] + a[1] * b19[4] + a[2] * b19[3] + a[3] * b19[2] + a[4] * b19[1];
+        c[1] = a[0] * b[1] + a[1] * b[0] + a[2] * b19[4] + a[3] * b19[3] + a[4] * b19[2];
+        c[2] = a[0] * b[2] + a[1] * b[1] + a[2] * b[0] + a[3] * b19[4] + a[4] * b19[3];
+        c[3] = a[0] * b[3] + a[1] * b[2] + a[2] * b[1] + a[3] * b[0] + a[4] * b19[4];
+        c[4] = a[0] * b[4] + a[1] * b[3] + a[2] * b[2] + a[3] * b[1] + a[4] * b[0];
+
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = c[i] + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        out[0] += (carry as u64) * 19;
+        Fe(out).weak_reduce()
+    }
+
+    fn square(&self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(&self, k: u64) -> Fe {
+        let mut out = [0u64; 5];
+        let mut carry: u128 = 0;
+        for i in 0..5 {
+            let v = self.0[i] as u128 * k as u128 + carry;
+            out[i] = (v as u64) & MASK51;
+            carry = v >> 51;
+        }
+        out[0] += (carry as u64) * 19;
+        Fe(out).weak_reduce()
+    }
+
+    /// Inversion via Fermat: z^(p−2) with p−2 = 2^255 − 21.
+    fn invert(&self) -> Fe {
+        // Exponent bytes little-endian: 0xeb, 0xff × 30, 0x7f.
+        let mut exp = [0xffu8; 32];
+        exp[0] = 0xeb;
+        exp[31] = 0x7f;
+
+        let mut acc = Fe::ONE;
+        for bit in (0..255).rev() {
+            acc = acc.square();
+            if (exp[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+}
+
+/// Constant-time swap of two field elements when `swap == 1`.
+fn cswap(swap: u64, a: &mut Fe, b: &mut Fe) {
+    let mask = 0u64.wrapping_sub(swap);
+    for i in 0..5 {
+        let t = mask & (a.0[i] ^ b.0[i]);
+        a.0[i] ^= t;
+        b.0[i] ^= t;
+    }
+}
+
+/// Clamps a 32-byte scalar per RFC 7748 §5.
+pub fn clamp_scalar(mut scalar: [u8; 32]) -> [u8; 32] {
+    scalar[0] &= 248;
+    scalar[31] &= 127;
+    scalar[31] |= 64;
+    scalar
+}
+
+/// The X25519 base point `u = 9`.
+pub fn base_point() -> [u8; 32] {
+    let mut p = [0u8; 32];
+    p[0] = 9;
+    p
+}
+
+/// Raw X25519 scalar multiplication: `scalar · point` on the Montgomery
+/// curve, with the scalar clamped internally.
+pub fn x25519(scalar: &[u8; 32], point: &[u8; 32]) -> [u8; 32] {
+    let k = clamp_scalar(*scalar);
+    let x1 = Fe::from_bytes(point);
+
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+
+    for t in (0..255).rev() {
+        let k_t = ((k[t / 8] >> (t % 8)) & 1) as u64;
+        swap ^= k_t;
+        cswap(swap, &mut x2, &mut x3);
+        cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(&z2);
+        let aa = a.square();
+        let b = x2.sub(&z2);
+        let bb = b.square();
+        let e = aa.sub(&bb);
+        let c = x3.add(&z3);
+        let d = x3.sub(&z3);
+        let da = d.mul(&a);
+        let cb = c.mul(&b);
+        x3 = da.add(&cb).square();
+        z3 = x1.mul(&da.sub(&cb).square());
+        x2 = aa.mul(&bb);
+        z2 = e.mul(&aa.add(&e.mul_small(121665)));
+    }
+    cswap(swap, &mut x2, &mut x3);
+    cswap(swap, &mut z2, &mut z3);
+
+    x2.mul(&z2.invert()).to_bytes()
+}
+
+/// Derives the public key for a secret scalar.
+pub fn public_key(scalar: &[u8; 32]) -> [u8; 32] {
+    x25519(scalar, &base_point())
+}
+
+/// Computes the shared secret between `scalar` and a peer public key.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::DegenerateSharedSecret`] if the result is the
+/// all-zero point (the peer supplied a low-order public key), as RFC 7748
+/// §6.1 requires.
+pub fn shared_secret(scalar: &[u8; 32], peer_public: &[u8; 32]) -> Result<[u8; 32], CryptoError> {
+    let secret = x25519(scalar, peer_public);
+    if secret.iter().all(|&b| b == 0) {
+        return Err(CryptoError::DegenerateSharedSecret);
+    }
+    Ok(secret)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex32(s: &str) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for i in 0..32 {
+            out[i] = u8::from_str_radix(&s[2 * i..2 * i + 2], 16).unwrap();
+        }
+        out
+    }
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 7748 §5.2 test vector 1.
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = unhex32("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let point = unhex32("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    // RFC 7748 §5.2 test vector 2.
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = unhex32("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let point = unhex32("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        let out = x25519(&scalar, &point);
+        assert_eq!(
+            hex(&out),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    // RFC 7748 §5.2 iterated test, 1 iteration.
+    #[test]
+    fn rfc7748_iterated_once() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let u = k;
+        let out = x25519(&k, &u);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+        k = out;
+        let _ = k;
+    }
+
+    // RFC 7748 §6.1 Diffie-Hellman vectors.
+    #[test]
+    fn rfc7748_dh() {
+        let alice_sk =
+            unhex32("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_sk = unhex32("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+        let alice_pk = public_key(&alice_sk);
+        assert_eq!(
+            hex(&alice_pk),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        let bob_pk = public_key(&bob_sk);
+        assert_eq!(
+            hex(&bob_pk),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+
+        let s1 = shared_secret(&alice_sk, &bob_pk).unwrap();
+        let s2 = shared_secret(&bob_sk, &alice_pk).unwrap();
+        assert_eq!(s1, s2);
+        assert_eq!(
+            hex(&s1),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn rejects_low_order_point() {
+        let sk = [0x42u8; 32];
+        let zero_point = [0u8; 32];
+        assert_eq!(
+            shared_secret(&sk, &zero_point),
+            Err(CryptoError::DegenerateSharedSecret)
+        );
+    }
+
+    #[test]
+    fn clamping_is_idempotent() {
+        let s = [0xffu8; 32];
+        let once = clamp_scalar(s);
+        assert_eq!(clamp_scalar(once), once);
+        assert_eq!(once[0] & 7, 0);
+        assert_eq!(once[31] & 0x80, 0);
+        assert_eq!(once[31] & 0x40, 0x40);
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        // Encode/decode a handful of canonical values.
+        for seed in 0u8..8 {
+            let mut bytes = [0u8; 32];
+            for (i, b) in bytes.iter_mut().enumerate() {
+                *b = seed.wrapping_mul(31).wrapping_add(i as u8);
+            }
+            bytes[31] &= 0x3f; // stay safely below p
+            let fe = Fe::from_bytes(&bytes);
+            assert_eq!(fe.to_bytes(), bytes, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn field_inversion() {
+        let mut bytes = [0u8; 32];
+        bytes[0] = 5;
+        let fe = Fe::from_bytes(&bytes);
+        let inv = fe.invert();
+        let prod = fe.mul(&inv).to_bytes();
+        let mut one = [0u8; 32];
+        one[0] = 1;
+        assert_eq!(prod, one);
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests for the crypto substrate.
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_crypto::hkdf;
+use caltrain_crypto::hmac::hmac_sha256;
+use caltrain_crypto::rng::HmacDrbg;
+use caltrain_crypto::sha256::Sha256;
+use caltrain_crypto::x25519;
+use caltrain_crypto::CryptoError;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn gcm_roundtrip(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..256),
+        aad in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let cipher = AesGcm::new_128(&key);
+        let sealed = cipher.seal(&nonce, &plaintext, &aad);
+        prop_assert_eq!(sealed.len(), plaintext.len() + 16);
+        let opened = cipher.open(&nonce, &sealed, &aad).unwrap();
+        prop_assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn gcm_detects_any_single_bitflip(
+        key in proptest::array::uniform16(any::<u8>()),
+        nonce in proptest::array::uniform12(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 1..64),
+        flip_bit in 0usize..64,
+    ) {
+        let cipher = AesGcm::new_128(&key);
+        let mut sealed = cipher.seal(&nonce, &plaintext, b"");
+        let bit = flip_bit % (sealed.len() * 8);
+        sealed[bit / 8] ^= 1 << (bit % 8);
+        prop_assert_eq!(
+            cipher.open(&nonce, &sealed, b""),
+            Err(CryptoError::AuthenticationFailed)
+        );
+    }
+
+    #[test]
+    fn gcm_wrong_key_rejected(
+        k1 in proptest::array::uniform16(any::<u8>()),
+        k2 in proptest::array::uniform16(any::<u8>()),
+        plaintext in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        prop_assume!(k1 != k2);
+        let nonce = [0u8; 12];
+        let sealed = AesGcm::new_128(&k1).seal(&nonce, &plaintext, b"");
+        prop_assert!(AesGcm::new_128(&k2).open(&nonce, &sealed, b"").is_err());
+    }
+
+    #[test]
+    fn sha256_is_deterministic_and_sensitive(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        idx in 0usize..512,
+    ) {
+        let d1 = Sha256::digest(&data);
+        prop_assert_eq!(d1, Sha256::digest(&data));
+        let mut mutated = data.clone();
+        let i = idx % mutated.len();
+        mutated[i] ^= 0xff;
+        prop_assert_ne!(d1, Sha256::digest(&mutated));
+    }
+
+    #[test]
+    fn hmac_keyed_separation(
+        k1 in proptest::collection::vec(any::<u8>(), 1..64),
+        k2 in proptest::collection::vec(any::<u8>(), 1..64),
+        msg in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        prop_assume!(k1 != k2);
+        prop_assert_ne!(hmac_sha256(&k1, &msg), hmac_sha256(&k2, &msg));
+    }
+
+    #[test]
+    fn hkdf_deterministic_and_info_separated(
+        ikm in proptest::collection::vec(any::<u8>(), 1..64),
+        salt in proptest::collection::vec(any::<u8>(), 0..32),
+    ) {
+        let a = hkdf::derive(&salt, &ikm, b"info-a", 32).unwrap();
+        let b = hkdf::derive(&salt, &ikm, b"info-a", 32).unwrap();
+        prop_assert_eq!(&a, &b);
+        let c = hkdf::derive(&salt, &ikm, b"info-b", 32).unwrap();
+        prop_assert_ne!(a, c);
+    }
+
+    #[test]
+    fn x25519_dh_agreement(
+        sk_a in proptest::array::uniform32(any::<u8>()),
+        sk_b in proptest::array::uniform32(any::<u8>()),
+    ) {
+        let pk_a = x25519::public_key(&sk_a);
+        let pk_b = x25519::public_key(&sk_b);
+        let s1 = x25519::shared_secret(&sk_a, &pk_b).unwrap();
+        let s2 = x25519::shared_secret(&sk_b, &pk_a).unwrap();
+        prop_assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn drbg_streams_reproducible(
+        seed in proptest::collection::vec(any::<u8>(), 1..64),
+        n in 1usize..256,
+    ) {
+        let mut a = HmacDrbg::new(&seed, b"");
+        let mut b = HmacDrbg::new(&seed, b"");
+        prop_assert_eq!(a.generate(n), b.generate(n));
+    }
+}

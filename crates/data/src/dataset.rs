@@ -1,0 +1,327 @@
+//! The labelled-image dataset type with per-instance provenance.
+
+use caltrain_tensor::Tensor;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Identifies a training participant (the `S` of the linkage structure
+/// Ω = [F, Y, S, H], paper §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParticipantId(pub u32);
+
+impl std::fmt::Display for ParticipantId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "participant-{}", self.0)
+    }
+}
+
+/// Ground-truth status of a training instance — the oracle Experiment IV
+/// is scored against. Invisible to the training pipeline itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelStatus {
+    /// Correctly labelled, benign instance.
+    Clean,
+    /// Honest-but-wrong label (the VGG-Face class-0 phenomenon, §VI-D).
+    Mislabeled {
+        /// The class the instance actually depicts.
+        actual: usize,
+    },
+    /// Deliberately poisoned (trojan-trigger-stamped) instance.
+    Poisoned,
+}
+
+/// A labelled image set: images `[n, c, h, w]`, one label, provenance tag
+/// and ground-truth status per image.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    sources: Vec<ParticipantId>,
+    statuses: Vec<LabelStatus>,
+}
+
+impl Dataset {
+    /// Assembles a dataset; every instance starts `Clean` and owned by
+    /// participant 0 (use [`Dataset::set_source`] / shard helpers to
+    /// distribute).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `images` is not rank-4 or label count ≠ batch size.
+    pub fn new(images: Tensor, labels: Vec<usize>) -> Self {
+        assert_eq!(images.dims().len(), 4, "expected [n, c, h, w]");
+        assert_eq!(images.dims()[0], labels.len(), "one label per image");
+        let n = labels.len();
+        Dataset {
+            images,
+            labels,
+            sources: vec![ParticipantId(0); n],
+            statuses: vec![LabelStatus::Clean; n],
+        }
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The image tensor `[n, c, h, w]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// The labels, one per image.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Provenance tags, one per image.
+    pub fn sources(&self) -> &[ParticipantId] {
+        &self.sources
+    }
+
+    /// Ground-truth statuses, one per image.
+    pub fn statuses(&self) -> &[LabelStatus] {
+        &self.statuses
+    }
+
+    /// Per-sample shape `[c, h, w]`.
+    pub fn sample_dims(&self) -> [usize; 3] {
+        let d = self.images.dims();
+        [d[1], d[2], d[3]]
+    }
+
+    /// A copy of image `index` as `[c, h, w]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn image(&self, index: usize) -> Tensor {
+        let [c, h, w] = self.sample_dims();
+        let stride = c * h * w;
+        Tensor::from_vec(
+            self.images.as_slice()[index * stride..(index + 1) * stride].to_vec(),
+            &[c, h, w],
+        )
+        .expect("slice matches shape")
+    }
+
+    /// Raw bytes of image `index` (little-endian f32s) — the unit the
+    /// linkage hash `H` commits to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn image_bytes(&self, index: usize) -> Vec<u8> {
+        let [c, h, w] = self.sample_dims();
+        let stride = c * h * w;
+        self.images.as_slice()[index * stride..(index + 1) * stride]
+            .iter()
+            .flat_map(|v| v.to_le_bytes())
+            .collect()
+    }
+
+    /// Overwrites the provenance tag of every instance.
+    pub fn set_source(&mut self, source: ParticipantId) {
+        self.sources.fill(source);
+    }
+
+    /// Sets the status of instance `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_status(&mut self, index: usize, status: LabelStatus) {
+        self.statuses[index] = status;
+    }
+
+    /// Relabels instance `index` (used by mislabeling/poisoning builders).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= len()`.
+    pub fn set_label(&mut self, index: usize, label: usize) {
+        self.labels[index] = label;
+    }
+
+    /// Replaces image `index` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or `index >= len()`.
+    pub fn set_image(&mut self, index: usize, image: &Tensor) {
+        let [c, h, w] = self.sample_dims();
+        assert_eq!(image.dims(), &[c, h, w], "image shape mismatch");
+        let stride = c * h * w;
+        self.images.as_mut_slice()[index * stride..(index + 1) * stride]
+            .copy_from_slice(image.as_slice());
+    }
+
+    /// Extracts the sub-dataset at `indices` (provenance preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or any index is out of bounds.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        assert!(!indices.is_empty(), "empty subset");
+        let [c, h, w] = self.sample_dims();
+        let stride = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * stride);
+        let mut labels = Vec::with_capacity(indices.len());
+        let mut sources = Vec::with_capacity(indices.len());
+        let mut statuses = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&self.images.as_slice()[i * stride..(i + 1) * stride]);
+            labels.push(self.labels[i]);
+            sources.push(self.sources[i]);
+            statuses.push(self.statuses[i]);
+        }
+        Dataset {
+            images: Tensor::from_vec(data, &[indices.len(), c, h, w])
+                .expect("constructed consistently"),
+            labels,
+            sources,
+            statuses,
+        }
+    }
+
+    /// Concatenates two datasets of identical sample shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sample shapes differ.
+    pub fn concat(&self, other: &Dataset) -> Dataset {
+        assert_eq!(self.sample_dims(), other.sample_dims(), "sample shape mismatch");
+        let [c, h, w] = self.sample_dims();
+        let mut data = self.images.as_slice().to_vec();
+        data.extend_from_slice(other.images.as_slice());
+        let mut labels = self.labels.clone();
+        labels.extend_from_slice(&other.labels);
+        let mut sources = self.sources.clone();
+        sources.extend_from_slice(&other.sources);
+        let mut statuses = self.statuses.clone();
+        statuses.extend_from_slice(&other.statuses);
+        Dataset {
+            images: Tensor::from_vec(data, &[labels.len(), c, h, w])
+                .expect("constructed consistently"),
+            labels,
+            sources,
+            statuses,
+        }
+    }
+
+    /// A shuffled copy (images, labels and provenance permuted together).
+    pub fn shuffled<R: Rng + ?Sized>(&self, rng: &mut R) -> Dataset {
+        let mut indices: Vec<usize> = (0..self.len()).collect();
+        indices.shuffle(rng);
+        self.subset(&indices)
+    }
+
+    /// Iterator over `(start, end)` mini-batch bounds of size
+    /// `batch_size` (final short batch included).
+    pub fn batch_bounds(&self, batch_size: usize) -> Vec<(usize, usize)> {
+        let batch_size = batch_size.max(1);
+        let mut bounds = Vec::new();
+        let mut start = 0;
+        while start < self.len() {
+            let end = (start + batch_size).min(self.len());
+            bounds.push((start, end));
+            start = end;
+        }
+        bounds
+    }
+
+    /// Indices of all instances labelled `class`.
+    pub fn indices_of_class(&self, class: usize) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i] == class).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small() -> Dataset {
+        let images = Tensor::from_fn(&[4, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, vec![0, 1, 0, 1])
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = small();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.sample_dims(), [1, 2, 2]);
+        assert_eq!(ds.image(1).as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(ds.indices_of_class(1), vec![1, 3]);
+    }
+
+    #[test]
+    fn image_bytes_roundtrip() {
+        let ds = small();
+        let bytes = ds.image_bytes(2);
+        assert_eq!(bytes.len(), 16);
+        let v = f32::from_le_bytes(bytes[0..4].try_into().unwrap());
+        assert_eq!(v, 8.0);
+    }
+
+    #[test]
+    fn subset_preserves_provenance() {
+        let mut ds = small();
+        ds.set_source(ParticipantId(3));
+        ds.set_status(2, LabelStatus::Poisoned);
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.sources()[0], ParticipantId(3));
+        assert_eq!(sub.statuses()[0], LabelStatus::Poisoned);
+        assert_eq!(sub.statuses()[1], LabelStatus::Clean);
+        assert_eq!(sub.image(0).as_slice(), ds.image(2).as_slice());
+    }
+
+    #[test]
+    fn concat_appends() {
+        let a = small();
+        let b = small();
+        let c = a.concat(&b);
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.image(5).as_slice(), b.image(1).as_slice());
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let ds = small();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sh = ds.shuffled(&mut rng);
+        assert_eq!(sh.len(), ds.len());
+        let mut sums: Vec<f32> = (0..4).map(|i| sh.image(i).sum()).collect();
+        let mut orig: Vec<f32> = (0..4).map(|i| ds.image(i).sum()).collect();
+        sums.sort_by(f32::total_cmp);
+        orig.sort_by(f32::total_cmp);
+        assert_eq!(sums, orig);
+    }
+
+    #[test]
+    fn batch_bounds_cover_everything() {
+        let ds = small();
+        assert_eq!(ds.batch_bounds(3), vec![(0, 3), (3, 4)]);
+        assert_eq!(ds.batch_bounds(4), vec![(0, 4)]);
+        assert_eq!(ds.batch_bounds(100), vec![(0, 4)]);
+    }
+
+    #[test]
+    fn mutation_helpers() {
+        let mut ds = small();
+        ds.set_label(0, 7);
+        assert_eq!(ds.labels()[0], 7);
+        let img = Tensor::full(&[1, 2, 2], 9.0);
+        ds.set_image(3, &img);
+        assert_eq!(ds.image(3).as_slice(), &[9.0; 4]);
+    }
+}

@@ -1,0 +1,253 @@
+//! A synthetic face-recognition dataset standing in for VGG-Face.
+//!
+//! **Substitution note (DESIGN.md §2).** Experiment IV needs (a) an
+//! identity-classification model, (b) per-identity training sets with
+//! known provenance, and (c) the messy label quality the authors found in
+//! VGG-Face class 0 — 49.7 % correct, 24.3 % mislabeled, 26.0 % of links
+//! dead (§VI-D). Identities here are procedural "faces" (face oval, eyes,
+//! mouth, hair parameterised per identity); [`corrupt_class`] injects the
+//! paper's exact mislabeling proportions with ground truth retained for
+//! scoring.
+
+use caltrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Dataset, LabelStatus};
+
+/// Face image edge.
+pub const EDGE: usize = 24;
+
+/// Channels (RGB).
+pub const CHANNELS: usize = 3;
+
+/// Per-identity facial geometry derived deterministically from the
+/// identity index.
+#[derive(Debug, Clone, Copy)]
+struct Identity {
+    eye_dx: f32,
+    eye_y: f32,
+    mouth_y: f32,
+    mouth_w: f32,
+    face_rx: f32,
+    face_ry: f32,
+    skin: [f32; 3],
+    hair: f32,
+}
+
+fn identity_params(id: usize) -> Identity {
+    // Small deterministic hash-fan so nearby ids get unrelated faces.
+    let h = |k: u64| -> f32 {
+        let mut x = (id as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(k);
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xFF51AFD7ED558CCD);
+        x ^= x >> 33;
+        (x % 1000) as f32 / 1000.0
+    };
+    Identity {
+        eye_dx: 3.0 + 2.5 * h(1),
+        eye_y: 8.5 + 2.0 * h(2),
+        mouth_y: 15.5 + 2.5 * h(3),
+        mouth_w: 2.5 + 2.5 * h(4),
+        face_rx: 7.0 + 2.0 * h(5),
+        face_ry: 8.5 + 2.0 * h(6),
+        skin: [0.55 + 0.3 * h(7), 0.4 + 0.25 * h(8), 0.3 + 0.2 * h(9)],
+        hair: 0.1 + 0.5 * h(10),
+    }
+}
+
+/// Renders one face of identity `id` with instance nuisance from `rng`.
+pub fn sample(id: usize, rng: &mut StdRng) -> Tensor {
+    let p = identity_params(id);
+    let jx = rng.gen_range(-1.0..1.0f32);
+    let jy = rng.gen_range(-1.0..1.0f32);
+    let smile = rng.gen_range(-0.8..0.8f32);
+    let light = rng.gen_range(0.85..1.15f32);
+
+    let (cy, cx) = (12.0 + jy, 12.0 + jx);
+    let mut img = Tensor::zeros(&[CHANNELS, EDGE, EDGE]);
+    let data = img.as_mut_slice();
+    for y in 0..EDGE {
+        for x in 0..EDGE {
+            let fy = y as f32;
+            let fx = x as f32;
+            // Face oval.
+            let oval = ((fy - cy) / p.face_ry).powi(2) + ((fx - cx) / p.face_rx).powi(2);
+            let mut rgb = [0.08f32, 0.08, 0.1]; // background
+            if oval < 1.0 {
+                rgb = p.skin;
+                // Hair: top band inside the oval.
+                if fy < cy - p.face_ry * 0.55 {
+                    rgb = [p.hair, p.hair * 0.8, p.hair * 0.6];
+                }
+                // Eyes: dark discs.
+                for side in [-1.0f32, 1.0] {
+                    let ex = cx + side * p.eye_dx;
+                    let ey = cy - 12.0 + p.eye_y;
+                    if (fy - ey).powi(2) + (fx - ex).powi(2) < 1.8 {
+                        rgb = [0.05, 0.05, 0.08];
+                    }
+                }
+                // Mouth: horizontal bar with smile curvature.
+                let my = cy - 12.0 + p.mouth_y + smile * ((fx - cx) / p.mouth_w).powi(2);
+                if (fy - my).abs() < 0.9 && (fx - cx).abs() < p.mouth_w {
+                    rgb = [0.6, 0.15, 0.15];
+                }
+            }
+            for ch in 0..CHANNELS {
+                let v = rgb[ch] * light + rng.gen_range(-0.03..0.03);
+                data[ch * EDGE * EDGE + y * EDGE + x] = v.clamp(0.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+/// Generates a face dataset: `per_identity` images for each of
+/// `identities` classes (labels are identity indices).
+pub fn generate(identities: usize, per_identity: usize, seed: u64) -> Dataset {
+    assert!(identities > 0 && per_identity > 0, "degenerate dataset");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = identities * per_identity;
+    let mut data = Vec::with_capacity(n * CHANNELS * EDGE * EDGE);
+    let mut labels = Vec::with_capacity(n);
+    for id in 0..identities {
+        for _ in 0..per_identity {
+            let img = sample(id, &mut rng);
+            data.extend_from_slice(img.as_slice());
+            labels.push(id);
+        }
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[n, CHANNELS, EDGE, EDGE]).expect("constructed consistently"),
+        labels,
+    )
+}
+
+/// The label-quality composition the paper measured for VGG-Face class 0
+/// (§VI-D): 49.7 % correctly labelled, 24.3 % mislabeled, 26.0 % of image
+/// links inaccessible.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LabelQuality {
+    /// Fraction of instances with correct labels.
+    pub correct: f32,
+    /// Fraction of instances depicting some *other* identity.
+    pub mislabeled: f32,
+    /// Fraction of instances that are simply unavailable.
+    pub inaccessible: f32,
+}
+
+impl LabelQuality {
+    /// The paper's measured VGG-Face class-0 composition.
+    pub fn vggface_class0() -> Self {
+        LabelQuality { correct: 0.497, mislabeled: 0.243, inaccessible: 0.260 }
+    }
+}
+
+/// Rewrites the instances of `class` in `dataset` to match a measured
+/// label-quality composition: mislabeled slots get images rendered from a
+/// *different* identity (status `Mislabeled`), inaccessible slots are
+/// dropped. Returns the new dataset and the realised
+/// `(correct, mislabeled, dropped)` counts.
+///
+/// # Panics
+///
+/// Panics if `class` has no instances or only one identity exists.
+pub fn corrupt_class(
+    dataset: &Dataset,
+    class: usize,
+    identities: usize,
+    quality: LabelQuality,
+    seed: u64,
+) -> (Dataset, (usize, usize, usize)) {
+    assert!(identities > 1, "need another identity to mislabel from");
+    let class_indices = dataset.indices_of_class(class);
+    assert!(!class_indices.is_empty(), "class has no instances");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let total = class_indices.len();
+    let n_mislabeled = (total as f32 * quality.mislabeled).round() as usize;
+    let n_dropped = (total as f32 * quality.inaccessible).round() as usize;
+    let n_correct = total - n_mislabeled.min(total) - n_dropped.min(total - n_mislabeled);
+
+    let mut out = dataset.clone();
+    // First n_mislabeled slots become faces of other identities with the
+    // class-0 label kept; the last n_dropped slots are removed.
+    for (slot, &idx) in class_indices.iter().enumerate().take(n_mislabeled) {
+        let mut other = rng.gen_range(0..identities);
+        if other == class {
+            other = (other + 1) % identities;
+        }
+        let img = sample(other, &mut rng);
+        let _ = slot;
+        out.set_image(idx, &img);
+        out.set_status(idx, LabelStatus::Mislabeled { actual: other });
+    }
+    let dropped: Vec<usize> = class_indices[total - n_dropped..].to_vec();
+    let keep: Vec<usize> =
+        (0..dataset.len()).filter(|i| !dropped.contains(i)).collect();
+    let out = out.subset(&keep);
+    (out, (n_correct, n_mislabeled, n_dropped))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_balance() {
+        let ds = generate(4, 5, 1);
+        assert_eq!(ds.images().dims(), &[20, 3, 24, 24]);
+        for id in 0..4 {
+            assert_eq!(ds.indices_of_class(id).len(), 5);
+        }
+    }
+
+    #[test]
+    fn identities_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a1 = sample(0, &mut rng);
+        let a2 = sample(0, &mut rng);
+        let b = sample(1, &mut rng);
+        let intra = a1.l2_distance(&a2).unwrap();
+        let inter = a1.l2_distance(&b).unwrap();
+        assert!(inter > intra, "inter {inter} must exceed intra {intra}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(3, 4, 7);
+        let b = generate(3, 4, 7);
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+    }
+
+    #[test]
+    fn corruption_matches_paper_composition() {
+        let ds = generate(8, 125, 3); // 1000 class instances total, 125 per id
+        let (out, (correct, mislabeled, dropped)) =
+            corrupt_class(&ds, 0, 8, LabelQuality::vggface_class0(), 9);
+        // Paper: 1000 images, 49.7% correct, 24.3% mislabeled, 26% dead.
+        assert_eq!(mislabeled, 30, "24.3% of 125");
+        assert_eq!(dropped, 33, "26% of 125");
+        assert_eq!(correct, 125 - 30 - 33);
+        assert_eq!(out.len(), ds.len() - dropped);
+
+        let still_class0 = out.indices_of_class(0);
+        let mislabeled_count = still_class0
+            .iter()
+            .filter(|&&i| matches!(out.statuses()[i], LabelStatus::Mislabeled { .. }))
+            .count();
+        assert_eq!(mislabeled_count, 30);
+    }
+
+    #[test]
+    fn mislabeled_images_depict_other_identities() {
+        let ds = generate(4, 50, 4);
+        let (out, _) = corrupt_class(&ds, 0, 4, LabelQuality::vggface_class0(), 5);
+        for i in out.indices_of_class(0) {
+            if let LabelStatus::Mislabeled { actual } = out.statuses()[i] {
+                assert_ne!(actual, 0, "mislabeled instance must depict another identity");
+            }
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Datasets for the CalTrain reproduction.
+//!
+//! The paper evaluates on CIFAR-10 (Experiments I–III) and VGG-Face plus
+//! the TrojanNN poisoned data (Experiment IV). Neither is available in
+//! this environment, so this crate generates **class-structured synthetic
+//! equivalents** that exercise the same code paths:
+//!
+//! * [`synthcifar`] — a 10-class, 28×28×3 procedural image distribution
+//!   (textured class prototypes + per-instance nuisance), matching the
+//!   input geometry of paper Tables I–II. Separable enough to train the
+//!   paper's architectures yet visually "natural" enough that early-layer
+//!   IRs leak input content, which Experiment II requires.
+//! * [`faces`] — a multi-identity face-like distribution (24×24×3,
+//!   identity-conditioned geometry) standing in for VGG-Face, including
+//!   the mislabeling injection that reproduces the paper's measured label
+//!   quality for class 0 (49.7 % correct / 24.3 % mislabeled, §VI-D).
+//! * [`shard`] — partitioning a dataset across training participants,
+//!   preserving per-instance provenance.
+//! * [`sealed`] — the participant-side AES-GCM packaging of training
+//!   batches ("locally seal their private data with their own symmetric
+//!   keys", §IV-A), and its enclave-side authentication/opening.
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_data::synthcifar;
+//!
+//! let (train, test) = synthcifar::generate(200, 50, 7);
+//! assert_eq!(train.len(), 200);
+//! assert_eq!(test.images().dims(), &[50, 3, 28, 28]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dataset;
+
+pub mod faces;
+pub mod sealed;
+pub mod shard;
+pub mod synthcifar;
+
+pub use dataset::{Dataset, LabelStatus, ParticipantId};

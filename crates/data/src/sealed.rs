@@ -1,0 +1,204 @@
+//! Participant-side sealing of training data, and the enclave-side
+//! open-and-authenticate path.
+//!
+//! Paper §IV-A: participants "locally seal their private data with their
+//! own symmetric keys and submit the encrypted data to a training
+//! server"; inside the enclave "we use AES-GCM to authenticate the data
+//! sources of the encrypted data", and batches that fail the check are
+//! discarded. Labels travel as *associated data* — the paper notes
+//! participants release labels attached to their encrypted instances
+//! (§III), so labels are authenticated but not confidential.
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_crypto::CryptoError;
+use caltrain_tensor::Tensor;
+
+use crate::{Dataset, ParticipantId};
+
+/// A sealed batch as it travels from participant to training server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SealedBatch {
+    /// Claimed source (authenticated via the GCM tag under that source's
+    /// provisioned key).
+    pub source: ParticipantId,
+    /// Cleartext labels (released per paper §III), bound into the AAD.
+    pub labels: Vec<u32>,
+    /// Per-sample shape `[c, h, w]`, bound into the AAD.
+    pub sample_dims: [u32; 3],
+    /// GCM nonce.
+    pub nonce: [u8; 12],
+    /// Encrypted image payload plus tag.
+    pub ciphertext: Vec<u8>,
+}
+
+impl SealedBatch {
+    /// The associated data every seal/open binds: version, source, shape
+    /// and labels.
+    fn aad(&self) -> Vec<u8> {
+        Self::aad_parts(self.source, self.sample_dims, &self.labels)
+    }
+
+    fn aad_parts(source: ParticipantId, dims: [u32; 3], labels: &[u32]) -> Vec<u8> {
+        let mut aad = Vec::with_capacity(16 + labels.len() * 4);
+        aad.extend_from_slice(b"caltrain-batch-v1");
+        aad.extend_from_slice(&source.0.to_le_bytes());
+        for d in dims {
+            aad.extend_from_slice(&d.to_le_bytes());
+        }
+        for l in labels {
+            aad.extend_from_slice(&l.to_le_bytes());
+        }
+        aad
+    }
+}
+
+/// Seals a participant's dataset into batches of `batch_size` images
+/// under that participant's `key`.
+///
+/// `nonce_salt` must be unique per (key, upload) — the caller passes an
+/// upload counter; batch indices are mixed in per batch.
+pub fn seal_dataset(
+    dataset: &Dataset,
+    source: ParticipantId,
+    key: &[u8; 16],
+    nonce_salt: u64,
+    batch_size: usize,
+) -> Vec<SealedBatch> {
+    let cipher = AesGcm::new_128(key);
+    let [c, h, w] = dataset.sample_dims();
+    let dims = [c as u32, h as u32, w as u32];
+    let stride = c * h * w;
+
+    dataset
+        .batch_bounds(batch_size)
+        .into_iter()
+        .enumerate()
+        .map(|(batch_idx, (start, end))| {
+            let labels: Vec<u32> = dataset.labels()[start..end].iter().map(|&l| l as u32).collect();
+            let plaintext: Vec<u8> = dataset.images().as_slice()[start * stride..end * stride]
+                .iter()
+                .flat_map(|v| v.to_le_bytes())
+                .collect();
+            let mut nonce = [0u8; 12];
+            nonce[..8].copy_from_slice(&nonce_salt.to_le_bytes());
+            nonce[8..].copy_from_slice(&(batch_idx as u32).to_le_bytes());
+            let aad = SealedBatch::aad_parts(source, dims, &labels);
+            let ciphertext = cipher.seal(&nonce, &plaintext, &aad);
+            SealedBatch { source, labels, sample_dims: dims, nonce, ciphertext }
+        })
+        .collect()
+}
+
+/// Authenticates and decrypts one sealed batch with the key provisioned
+/// for its claimed source — the in-enclave "Authenticity and Integrity
+/// Checking" step.
+///
+/// # Errors
+///
+/// Returns [`CryptoError::AuthenticationFailed`] for forged sources,
+/// tampered payloads or tampered labels; such batches are discarded by
+/// the pipeline.
+pub fn open_batch(batch: &SealedBatch, key: &[u8; 16]) -> Result<Dataset, CryptoError> {
+    let cipher = AesGcm::new_128(key);
+    let plaintext = cipher.open(&batch.nonce, &batch.ciphertext, &batch.aad())?;
+
+    let [c, h, w] = batch.sample_dims;
+    let stride = (c * h * w) as usize;
+    let n = batch.labels.len();
+    if plaintext.len() != n * stride * 4 {
+        return Err(CryptoError::InvalidLength {
+            what: "batch payload",
+            len: plaintext.len(),
+            expected: n * stride * 4,
+        });
+    }
+    let mut values = Vec::with_capacity(n * stride);
+    for chunk in plaintext.chunks_exact(4) {
+        values.push(f32::from_le_bytes(chunk.try_into().expect("chunks_exact(4)")));
+    }
+    let images = Tensor::from_vec(values, &[n, c as usize, h as usize, w as usize])
+        .expect("length checked above");
+    let mut ds = Dataset::new(images, batch.labels.iter().map(|&l| l as usize).collect());
+    ds.set_source(batch.source);
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| (i as f32) / 10.0);
+        Dataset::new(images, (0..n).map(|i| i % 2).collect())
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let ds = dataset(7);
+        let key = [0x42u8; 16];
+        let batches = seal_dataset(&ds, ParticipantId(3), &key, 0, 3);
+        assert_eq!(batches.len(), 3, "7 images in batches of 3");
+        let mut total = 0;
+        for b in &batches {
+            let opened = open_batch(b, &key).unwrap();
+            assert!(opened.sources().iter().all(|&s| s == ParticipantId(3)));
+            total += opened.len();
+        }
+        assert_eq!(total, 7);
+        let first = open_batch(&batches[0], &key).unwrap();
+        assert_eq!(first.image(0).as_slice(), ds.image(0).as_slice());
+        assert_eq!(first.labels(), &ds.labels()[..3]);
+    }
+
+    #[test]
+    fn wrong_key_discarded() {
+        let ds = dataset(4);
+        let batches = seal_dataset(&ds, ParticipantId(0), &[1u8; 16], 0, 4);
+        assert_eq!(
+            open_batch(&batches[0], &[2u8; 16]),
+            Err(CryptoError::AuthenticationFailed),
+            "unregistered-source batches must fail authentication"
+        );
+    }
+
+    #[test]
+    fn spoofed_source_discarded() {
+        let ds = dataset(4);
+        let key = [7u8; 16];
+        let mut batch = seal_dataset(&ds, ParticipantId(0), &key, 0, 4).remove(0);
+        batch.source = ParticipantId(1); // claim someone else sent it
+        assert_eq!(open_batch(&batch, &key), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn tampered_labels_discarded() {
+        let ds = dataset(4);
+        let key = [7u8; 16];
+        let mut batch = seal_dataset(&ds, ParticipantId(0), &key, 0, 4).remove(0);
+        batch.labels[0] ^= 1; // poison a label in transit
+        assert_eq!(open_batch(&batch, &key), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn tampered_payload_discarded() {
+        let ds = dataset(4);
+        let key = [7u8; 16];
+        let mut batch = seal_dataset(&ds, ParticipantId(0), &key, 0, 4).remove(0);
+        let mid = batch.ciphertext.len() / 2;
+        batch.ciphertext[mid] ^= 0x10;
+        assert_eq!(open_batch(&batch, &key), Err(CryptoError::AuthenticationFailed));
+    }
+
+    #[test]
+    fn nonces_unique_across_batches_and_uploads() {
+        let ds = dataset(8);
+        let key = [9u8; 16];
+        let a = seal_dataset(&ds, ParticipantId(0), &key, 0, 2);
+        let b = seal_dataset(&ds, ParticipantId(0), &key, 1, 2);
+        let mut nonces: Vec<[u8; 12]> =
+            a.iter().chain(b.iter()).map(|x| x.nonce).collect();
+        nonces.sort();
+        nonces.dedup();
+        assert_eq!(nonces.len(), 8, "all nonces distinct");
+    }
+}

@@ -1,0 +1,114 @@
+//! Distributing a dataset across training participants.
+//!
+//! Collaborative training pools data "provisioned from their participants"
+//! (paper §II, Fig. 1: participants A–D). The shard helpers tag every
+//! instance with its owner so the linkage structure's `S` component is
+//! grounded in real provenance.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Dataset, ParticipantId};
+
+/// Splits `dataset` into `participants` shards of near-equal size
+/// (random assignment), tagging each shard's instances with its owner.
+///
+/// # Panics
+///
+/// Panics if `participants == 0` or exceeds the dataset size.
+pub fn split(dataset: &Dataset, participants: usize, seed: u64) -> Vec<Dataset> {
+    assert!(participants > 0, "need at least one participant");
+    assert!(participants <= dataset.len(), "more participants than instances");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..dataset.len()).collect();
+    indices.shuffle(&mut rng);
+
+    let base = dataset.len() / participants;
+    let extra = dataset.len() % participants;
+    let mut shards = Vec::with_capacity(participants);
+    let mut cursor = 0usize;
+    for p in 0..participants {
+        let take = base + usize::from(p < extra);
+        let mut shard = dataset.subset(&indices[cursor..cursor + take]);
+        shard.set_source(ParticipantId(p as u32));
+        shards.push(shard);
+        cursor += take;
+    }
+    shards
+}
+
+/// Re-combines shards into the server-side training pool, preserving
+/// per-instance ownership (the centralised aggregation of Fig. 1).
+///
+/// # Panics
+///
+/// Panics if `shards` is empty.
+pub fn merge(shards: &[Dataset]) -> Dataset {
+    assert!(!shards.is_empty(), "no shards to merge");
+    let mut merged = shards[0].clone();
+    for shard in &shards[1..] {
+        merged = merged.concat(shard);
+    }
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_tensor::Tensor;
+
+    fn dataset(n: usize) -> Dataset {
+        let images = Tensor::from_fn(&[n, 1, 2, 2], |i| i as f32);
+        Dataset::new(images, (0..n).map(|i| i % 3).collect())
+    }
+
+    #[test]
+    fn split_covers_everything_once() {
+        let ds = dataset(10);
+        let shards = split(&ds, 3, 1);
+        assert_eq!(shards.len(), 3);
+        let sizes: Vec<usize> = shards.iter().map(Dataset::len).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 3 || s == 4));
+
+        // Every original image appears exactly once across shards.
+        let mut seen: Vec<f32> = shards
+            .iter()
+            .flat_map(|s| (0..s.len()).map(|i| s.image(i).sum()))
+            .collect();
+        seen.sort_by(f32::total_cmp);
+        let mut orig: Vec<f32> = (0..10).map(|i| ds.image(i).sum()).collect();
+        orig.sort_by(f32::total_cmp);
+        assert_eq!(seen, orig);
+    }
+
+    #[test]
+    fn shards_are_owner_tagged() {
+        let shards = split(&dataset(9), 3, 2);
+        for (p, shard) in shards.iter().enumerate() {
+            assert!(shard
+                .sources()
+                .iter()
+                .all(|&s| s == ParticipantId(p as u32)));
+        }
+    }
+
+    #[test]
+    fn merge_preserves_provenance() {
+        let ds = dataset(8);
+        let shards = split(&ds, 2, 3);
+        let merged = merge(&shards);
+        assert_eq!(merged.len(), 8);
+        let zeros = merged.sources().iter().filter(|s| s.0 == 0).count();
+        let ones = merged.sources().iter().filter(|s| s.0 == 1).count();
+        assert_eq!(zeros, 4);
+        assert_eq!(ones, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one participant")]
+    fn split_rejects_zero_participants() {
+        let _ = split(&dataset(4), 0, 0);
+    }
+}

@@ -1,0 +1,185 @@
+//! A synthetic CIFAR-10 stand-in: 10 classes of 28×28×3 images.
+//!
+//! **Substitution note (DESIGN.md §2).** The paper trains on CIFAR-10
+//! cropped to 28×28×3 (Tables I–II input). This generator produces a
+//! 10-class distribution with the properties the experiments rely on:
+//!
+//! * classes are defined by *spatially structured* content (oriented
+//!   gratings + class-coloured blobs), so convolutional features separate
+//!   them and shallow-layer IRs visibly preserve the input (Experiment
+//!   II's premise);
+//! * instances vary by phase, position jitter, amplitude and pixel noise,
+//!   so the task is non-trivial and augmentation helps;
+//! * pixel values live in `[0, 1]` like normalised image data.
+
+use caltrain_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Dataset;
+
+/// Number of classes (CIFAR-10).
+pub const CLASSES: usize = 10;
+
+/// Image edge (paper tables crop CIFAR to 28).
+pub const EDGE: usize = 28;
+
+/// Channels (RGB).
+pub const CHANNELS: usize = 3;
+
+/// Per-class texture parameters: grating orientation (primary signal,
+/// 18° apart), spatial frequency (secondary) and a *weak* RGB tint.
+///
+/// The class must be carried by **high-frequency luminance structure**:
+/// (a) orientation survives in shallow-layer IR images, so Experiment II
+/// sees the early-layer leak the paper reports; (b) the grating period
+/// (~4–6 px) drops below Nyquist after the first 2×2 max-pool, so deep
+/// IRs genuinely stop leaking — the same dynamics natural CIFAR images
+/// give the paper. Position-coded or colour-coded classes would break
+/// either property (position survives pooling; colour dies in the
+/// grayscale IR projection).
+fn class_params(class: usize) -> (f32, f32, [f32; 3]) {
+    let angle = class as f32 * std::f32::consts::PI / CLASSES as f32;
+    let freq = 1.6 + 0.15 * (class % 5) as f32;
+    let colors = [
+        [1.0, 0.3, 0.3],
+        [0.3, 1.0, 0.3],
+        [0.3, 0.3, 1.0],
+        [1.0, 1.0, 0.2],
+        [1.0, 0.2, 1.0],
+        [0.2, 1.0, 1.0],
+        [0.9, 0.6, 0.2],
+        [0.5, 0.9, 0.5],
+        [0.6, 0.4, 0.9],
+        [0.8, 0.8, 0.8],
+    ];
+    (angle, freq, colors[class % CLASSES])
+}
+
+/// Renders one instance of `class` with the given nuisance parameters.
+fn render(class: usize, phase: f32, angle_jitter: f32, amp: f32, rng: &mut StdRng) -> Tensor {
+    let (angle0, freq, color) = class_params(class);
+    let (sin_a, cos_a) = (angle0 + angle_jitter).sin_cos();
+    // A common centred vignette (identical for every class) adds natural
+    // low-frequency content without coding the class into position.
+    let (cy, cx) = ((EDGE as f32 - 1.0) / 2.0, (EDGE as f32 - 1.0) / 2.0);
+    let mut img = Tensor::zeros(&[CHANNELS, EDGE, EDGE]);
+    let data = img.as_mut_slice();
+    for y in 0..EDGE {
+        for x in 0..EDGE {
+            let u = cos_a * y as f32 + sin_a * x as f32;
+            let grating = (freq * u + phase).sin() * 0.5 + 0.5;
+            let dy = y as f32 - cy;
+            let dx = x as f32 - cx;
+            let vignette = (-(dy * dy + dx * dx) / 200.0).exp();
+            for ch in 0..CHANNELS {
+                let tint = 0.85 + 0.15 * color[ch];
+                let base = 0.1 + amp * (0.55 * grating + 0.25 * vignette) * tint;
+                let noisy = base + rng.gen_range(-0.04..0.04);
+                data[ch * EDGE * EDGE + y * EDGE + x] = noisy.clamp(0.0, 1.0);
+            }
+        }
+    }
+    img
+}
+
+/// Generates one labelled instance of `class`.
+pub fn sample(class: usize, rng: &mut StdRng) -> Tensor {
+    let phase = rng.gen_range(0.0..std::f32::consts::TAU);
+    let angle_jitter = rng.gen_range(-0.04..0.04f32);
+    let amp = rng.gen_range(0.8..1.2);
+    render(class, phase, angle_jitter, amp, rng)
+}
+
+/// Generates `(train, test)` datasets with class-balanced labels.
+///
+/// The paper's split is 50 000 / 10 000; call with those sizes (and
+/// patience) for a paper-scale run, or smaller for the default harness.
+pub fn generate(train: usize, test: usize, seed: u64) -> (Dataset, Dataset) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (generate_one(train, &mut rng), generate_one(test, &mut rng))
+}
+
+fn generate_one(n: usize, rng: &mut StdRng) -> Dataset {
+    assert!(n > 0, "dataset must be non-empty");
+    let mut data = Vec::with_capacity(n * CHANNELS * EDGE * EDGE);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % CLASSES;
+        let img = sample(class, rng);
+        data.extend_from_slice(img.as_slice());
+        labels.push(class);
+    }
+    Dataset::new(
+        Tensor::from_vec(data, &[n, CHANNELS, EDGE, EDGE]).expect("constructed consistently"),
+        labels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_ranges() {
+        let (train, test) = generate(40, 20, 1);
+        assert_eq!(train.images().dims(), &[40, 3, 28, 28]);
+        assert_eq!(test.images().dims(), &[20, 3, 28, 28]);
+        assert!(train.images().as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn class_balance() {
+        let (train, _) = generate(100, 10, 2);
+        for class in 0..CLASSES {
+            assert_eq!(train.indices_of_class(class).len(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (a, _) = generate(10, 10, 3);
+        let (b, _) = generate(10, 10, 3);
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+        let (c, _) = generate(10, 10, 4);
+        assert_ne!(a.images().as_slice(), c.images().as_slice());
+    }
+
+    #[test]
+    fn class_signal_is_orientation() {
+        // Class 0's grating varies along y (angle 0), class 5's along x
+        // (angle 90°): the directional gradient energies must separate
+        // them regardless of the random phase.
+        let grad_energy = |img: &Tensor| -> (f32, f32) {
+            let d = img.as_slice();
+            let (mut ey, mut ex) = (0.0f32, 0.0f32);
+            for y in 0..EDGE - 1 {
+                for x in 0..EDGE - 1 {
+                    let v = d[y * EDGE + x]; // channel 0
+                    let vy = d[(y + 1) * EDGE + x];
+                    let vx = d[y * EDGE + x + 1];
+                    ey += (vy - v) * (vy - v);
+                    ex += (vx - v) * (vx - v);
+                }
+            }
+            (ey, ex)
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..5 {
+            let c0 = sample(0, &mut rng);
+            let (ey, ex) = grad_energy(&c0);
+            assert!(ey > 3.0 * ex, "class 0 varies along y: {ey} vs {ex}");
+            let c5 = sample(5, &mut rng);
+            let (ey, ex) = grad_energy(&c5);
+            assert!(ex > 3.0 * ey, "class 5 varies along x: {ey} vs {ex}");
+        }
+    }
+
+    #[test]
+    fn instances_of_same_class_vary() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = sample(0, &mut rng);
+        let b = sample(0, &mut rng);
+        assert!(a.l2_distance(&b).unwrap() > 0.5, "nuisance must vary instances");
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for datasets, shards and sealed batches.
+
+use caltrain_data::sealed::{open_batch, seal_dataset};
+use caltrain_data::{shard, Dataset, ParticipantId};
+use caltrain_tensor::Tensor;
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    (1usize..24, 1usize..4, 2usize..6).prop_map(|(n, c, hw)| {
+        let images = Tensor::from_fn(&[n, c, hw, hw], |i| ((i * 31) % 251) as f32 / 250.0);
+        Dataset::new(images, (0..n).map(|i| i % 5).collect())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn seal_open_roundtrip_any_geometry(
+        ds in dataset_strategy(),
+        key in proptest::array::uniform16(any::<u8>()),
+        batch_size in 1usize..10,
+        salt in any::<u64>(),
+    ) {
+        let batches = seal_dataset(&ds, ParticipantId(3), &key, salt, batch_size);
+        let mut total = 0usize;
+        let mut cursor = 0usize;
+        for b in &batches {
+            let opened = open_batch(b, &key).unwrap();
+            total += opened.len();
+            for i in 0..opened.len() {
+                let got = opened.image(i);
+                let want = ds.image(cursor + i);
+                prop_assert_eq!(got.as_slice(), want.as_slice());
+                prop_assert_eq!(opened.labels()[i], ds.labels()[cursor + i]);
+            }
+            cursor += opened.len();
+        }
+        prop_assert_eq!(total, ds.len());
+    }
+
+    #[test]
+    fn sealed_batches_never_open_under_wrong_key(
+        ds in dataset_strategy(),
+        k1 in proptest::array::uniform16(any::<u8>()),
+        k2 in proptest::array::uniform16(any::<u8>()),
+    ) {
+        prop_assume!(k1 != k2);
+        let batches = seal_dataset(&ds, ParticipantId(0), &k1, 0, 8);
+        for b in &batches {
+            prop_assert!(open_batch(b, &k2).is_err());
+        }
+    }
+
+    #[test]
+    fn shards_partition_the_dataset(
+        ds in dataset_strategy(),
+        parts in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(parts <= ds.len());
+        let shards = shard::split(&ds, parts, seed);
+        prop_assert_eq!(shards.len(), parts);
+        let total: usize = shards.iter().map(Dataset::len).sum();
+        prop_assert_eq!(total, ds.len());
+        // Shard sizes are balanced within one instance.
+        let min = shards.iter().map(Dataset::len).min().unwrap();
+        let max = shards.iter().map(Dataset::len).max().unwrap();
+        prop_assert!(max - min <= 1);
+        // Merge restores the full multiset of images.
+        let merged = shard::merge(&shards);
+        let mut sums: Vec<f32> = (0..merged.len()).map(|i| merged.image(i).sum()).collect();
+        let mut orig: Vec<f32> = (0..ds.len()).map(|i| ds.image(i).sum()).collect();
+        sums.sort_by(f32::total_cmp);
+        orig.sort_by(f32::total_cmp);
+        for (a, b) in sums.iter().zip(&orig) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn subset_then_concat_is_identity_permutation(
+        ds in dataset_strategy(),
+        seed in any::<u64>(),
+    ) {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let shuffled = ds.shuffled(&mut rng);
+        prop_assert_eq!(shuffled.len(), ds.len());
+        let mut sums: Vec<f32> = (0..shuffled.len()).map(|i| shuffled.image(i).sum()).collect();
+        let mut orig: Vec<f32> = (0..ds.len()).map(|i| ds.image(i).sum()).collect();
+        sums.sort_by(f32::total_cmp);
+        orig.sort_by(f32::total_cmp);
+        prop_assert_eq!(sums, orig);
+    }
+
+    #[test]
+    fn batch_bounds_exactly_cover(ds in dataset_strategy(), bs in 1usize..12) {
+        let bounds = ds.batch_bounds(bs);
+        let mut expected_start = 0usize;
+        for (s, e) in &bounds {
+            prop_assert_eq!(*s, expected_start);
+            prop_assert!(e > s);
+            prop_assert!(e - s <= bs);
+            expected_start = *e;
+        }
+        prop_assert_eq!(expected_start, ds.len());
+    }
+}

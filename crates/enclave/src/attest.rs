@@ -1,0 +1,188 @@
+//! Remote attestation: quotes and their verification.
+//!
+//! The paper's workflow (§III "Consensus and Cooperation", §IV-A
+//! "Establishing a Training Enclave") requires each participant to verify,
+//! *before provisioning any key*, that (a) it is talking to a genuine
+//! enclave on a trusted processor and (b) the enclave is running exactly
+//! the agreed training code. A [`Quote`] carries the enclave measurement
+//! and 64 bytes of `report_data` (used by the secure channel to bind its
+//! ephemeral key), authenticated under a per-platform key; the
+//! [`AttestationService`] plays the Intel Attestation Service role of
+//! checking that authentication.
+
+use caltrain_crypto::ct::ct_eq;
+use caltrain_crypto::hmac::HmacSha256;
+
+use crate::measurement::MrEnclave;
+use crate::EnclaveError;
+
+/// An attestation quote for one enclave.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Quote {
+    platform_id: [u8; 16],
+    measurement: MrEnclave,
+    report_data: [u8; 64],
+    mac: [u8; 32],
+}
+
+impl Quote {
+    pub(crate) fn issue(
+        platform_id: [u8; 16],
+        attestation_key: &[u8; 32],
+        measurement: MrEnclave,
+        report_data: [u8; 64],
+    ) -> Self {
+        let mac = Self::mac(attestation_key, &platform_id, &measurement, &report_data);
+        Quote { platform_id, measurement, report_data, mac }
+    }
+
+    fn mac(
+        key: &[u8; 32],
+        platform_id: &[u8; 16],
+        measurement: &MrEnclave,
+        report_data: &[u8; 64],
+    ) -> [u8; 32] {
+        let mut h = HmacSha256::new(key);
+        h.update(b"caltrain-quote-v1");
+        h.update(platform_id);
+        h.update(measurement.digest().as_bytes());
+        h.update(report_data);
+        *h.finalize().as_bytes()
+    }
+
+    /// The measurement of the quoted enclave.
+    pub fn measurement(&self) -> MrEnclave {
+        self.measurement
+    }
+
+    /// The caller-chosen 64 bytes bound into the quote.
+    pub fn report_data(&self) -> &[u8; 64] {
+        &self.report_data
+    }
+
+    /// The issuing platform's identity.
+    pub fn platform_id(&self) -> [u8; 16] {
+        self.platform_id
+    }
+
+    /// Returns a copy with different report data (and therefore an
+    /// invalid MAC) — test helper for forgery scenarios.
+    pub fn forged_with_report_data(&self, report_data: [u8; 64]) -> Quote {
+        Quote { report_data, ..self.clone() }
+    }
+}
+
+/// Verifies quotes issued by one platform.
+#[derive(Debug, Clone)]
+pub struct AttestationService {
+    platform_id: [u8; 16],
+    attestation_key: [u8; 32],
+}
+
+impl AttestationService {
+    pub(crate) fn new(platform_id: [u8; 16], attestation_key: [u8; 32]) -> Self {
+        AttestationService { platform_id, attestation_key }
+    }
+
+    /// Verifies the quote's platform identity and MAC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::AttestationFailed`] for foreign platforms
+    /// or forged/modified quotes.
+    pub fn verify(&self, quote: &Quote) -> Result<(), EnclaveError> {
+        if quote.platform_id != self.platform_id {
+            return Err(EnclaveError::AttestationFailed("unknown platform"));
+        }
+        let expected = Quote::mac(
+            &self.attestation_key,
+            &quote.platform_id,
+            &quote.measurement,
+            &quote.report_data,
+        );
+        if !ct_eq(&expected, &quote.mac) {
+            return Err(EnclaveError::AttestationFailed("bad quote MAC"));
+        }
+        Ok(())
+    }
+
+    /// Verifies the quote *and* that it attests the expected enclave code
+    /// — the check participants perform before provisioning their data
+    /// keys.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::AttestationFailed`] if verification fails
+    /// or the measurement differs from `expected`.
+    pub fn verify_measurement(
+        &self,
+        quote: &Quote,
+        expected: &MrEnclave,
+    ) -> Result<(), EnclaveError> {
+        self.verify(quote)?;
+        if quote.measurement != *expected {
+            return Err(EnclaveError::AttestationFailed("unexpected measurement"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnclaveConfig, Platform};
+
+    fn setup() -> (Platform, crate::Enclave) {
+        let p = Platform::with_seed(b"attest-tests");
+        let e = p
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"trainer-code".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        (p, e)
+    }
+
+    #[test]
+    fn valid_quote_verifies() {
+        let (p, e) = setup();
+        let q = e.quote([7u8; 64]);
+        p.attestation_service().verify(&q).unwrap();
+        p.attestation_service()
+            .verify_measurement(&q, &e.measurement())
+            .unwrap();
+    }
+
+    #[test]
+    fn forged_report_data_rejected() {
+        let (p, e) = setup();
+        let q = e.quote([7u8; 64]).forged_with_report_data([8u8; 64]);
+        assert_eq!(
+            p.attestation_service().verify(&q),
+            Err(EnclaveError::AttestationFailed("bad quote MAC"))
+        );
+    }
+
+    #[test]
+    fn foreign_platform_rejected() {
+        let (_, e) = setup();
+        let other = Platform::with_seed(b"other-platform");
+        let q = e.quote([0u8; 64]);
+        assert!(matches!(
+            other.attestation_service().verify(&q),
+            Err(EnclaveError::AttestationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_measurement_rejected() {
+        let (p, e) = setup();
+        let q = e.quote([0u8; 64]);
+        let wrong = MrEnclave::build(b"different-code", 4096);
+        assert_eq!(
+            p.attestation_service().verify_measurement(&q, &wrong),
+            Err(EnclaveError::AttestationFailed("unexpected measurement"))
+        );
+    }
+}

@@ -1,0 +1,341 @@
+//! The attested secure channel for secret provisioning.
+//!
+//! Models the paper's mbedtls-SGX TLS channel (§V): after remote
+//! attestation, "the secret provisioning clients run by different
+//! participants create TLS channels directly to the enclave and provision
+//! their symmetric keys". The handshake here is the same shape TLS 1.3
+//! would give them:
+//!
+//! 1. the enclave generates an ephemeral X25519 key pair and issues a
+//!    [`crate::Quote`] whose `report_data` is the SHA-256 hash of its
+//!    ephemeral public key (binding the channel to the attested enclave —
+//!    no man-in-the-middle can splice its own key in);
+//! 2. the client verifies the quote against the **expected measurement**,
+//!    checks the binding, and replies with its own ephemeral public key;
+//! 3. both sides derive direction-separated AES-GCM session keys with
+//!    HKDF over the X25519 shared secret and the handshake transcript.
+//!
+//! Records carry implicit sequence numbers in their nonces, so replayed,
+//! reordered or dropped records fail authentication.
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_crypto::sha256::Sha256;
+use caltrain_crypto::{hkdf, x25519};
+
+use crate::attest::{AttestationService, Quote};
+use crate::enclave::Enclave;
+use crate::measurement::MrEnclave;
+use crate::EnclaveError;
+
+/// Direction tag baked into record nonces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    ClientToEnclave,
+    EnclaveToClient,
+}
+
+impl Direction {
+    fn tag(self) -> [u8; 4] {
+        match self {
+            Direction::ClientToEnclave => *b"c2e\0",
+            Direction::EnclaveToClient => *b"e2c\0",
+        }
+    }
+}
+
+/// One endpoint of an established channel.
+#[derive(Debug)]
+pub struct SecureChannel {
+    send_cipher: AesGcm,
+    recv_cipher: AesGcm,
+    send_dir: Direction,
+    recv_dir: Direction,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl SecureChannel {
+    fn nonce(dir: Direction, seq: u64) -> [u8; 12] {
+        let mut n = [0u8; 12];
+        n[..4].copy_from_slice(&dir.tag());
+        n[4..].copy_from_slice(&seq.to_be_bytes());
+        n
+    }
+
+    /// Encrypts and authenticates `plaintext` as the next record.
+    pub fn send(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = Self::nonce(self.send_dir, self.send_seq);
+        self.send_seq += 1;
+        self.send_cipher.seal(&nonce, plaintext, b"caltrain-record")
+    }
+
+    /// Authenticates and decrypts the next incoming record.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::ChannelViolation`] if the record is not the
+    /// next in sequence (replay/reorder/drop) or fails authentication.
+    pub fn recv(&mut self, record: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+        let nonce = Self::nonce(self.recv_dir, self.recv_seq);
+        let plaintext = self
+            .recv_cipher
+            .open(&nonce, record, b"caltrain-record")
+            .map_err(|_| EnclaveError::ChannelViolation("record authentication failed"))?;
+        self.recv_seq += 1;
+        Ok(plaintext)
+    }
+
+    /// Records sent so far on this endpoint.
+    pub fn sent_count(&self) -> u64 {
+        self.send_seq
+    }
+
+    /// Records received so far on this endpoint.
+    pub fn received_count(&self) -> u64 {
+        self.recv_seq
+    }
+}
+
+/// The enclave-side half of a pending handshake.
+#[derive(Debug)]
+pub struct ChannelServer {
+    secret: [u8; 32],
+    public: [u8; 32],
+    quote: Quote,
+}
+
+impl ChannelServer {
+    /// Starts a handshake inside `enclave`: generates the ephemeral key
+    /// and issues the binding quote.
+    pub fn new(enclave: &Enclave) -> Self {
+        let secret: [u8; 32] = enclave
+            .rdrand_bytes(32)
+            .try_into()
+            .expect("rdrand_bytes(32) returns 32");
+        let public = x25519::public_key(&secret);
+        let mut report_data = [0u8; 64];
+        report_data[..32].copy_from_slice(Sha256::digest(&public).as_bytes());
+        let quote = enclave.quote(report_data);
+        ChannelServer { secret, public, quote }
+    }
+
+    /// The handshake message to ship to the client: quote + ephemeral
+    /// public key.
+    pub fn hello(&self) -> (Quote, [u8; 32]) {
+        (self.quote.clone(), self.public)
+    }
+
+    /// Completes the handshake with the client's ephemeral public key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::Crypto`] if the client key is degenerate.
+    pub fn accept(self, client_public: &[u8; 32]) -> Result<SecureChannel, EnclaveError> {
+        let shared = x25519::shared_secret(&self.secret, client_public)?;
+        let (c2e, e2c) = derive_keys(&shared, &self.public, client_public)?;
+        Ok(SecureChannel {
+            send_cipher: AesGcm::new_128(&e2c),
+            recv_cipher: AesGcm::new_128(&c2e),
+            send_dir: Direction::EnclaveToClient,
+            recv_dir: Direction::ClientToEnclave,
+            send_seq: 0,
+            recv_seq: 0,
+        })
+    }
+}
+
+/// The participant-side provisioning client.
+#[derive(Debug)]
+pub struct ProvisioningClient;
+
+impl ProvisioningClient {
+    /// Runs the client side of the handshake.
+    ///
+    /// Verifies the quote against `expected` (the training code all
+    /// participants agreed on), checks that `report_data` binds the
+    /// server's ephemeral key, and derives the session keys.
+    ///
+    /// Returns the established channel and the client public key that must
+    /// be sent to [`ChannelServer::accept`].
+    ///
+    /// # Errors
+    ///
+    /// * [`EnclaveError::AttestationFailed`] if the quote does not verify,
+    ///   attests different code, or does not bind `server_public`.
+    /// * [`EnclaveError::Crypto`] if key agreement degenerates.
+    pub fn connect(
+        service: &AttestationService,
+        expected: &MrEnclave,
+        quote: &Quote,
+        server_public: &[u8; 32],
+        client_entropy: &[u8; 32],
+    ) -> Result<(SecureChannel, [u8; 32]), EnclaveError> {
+        service.verify_measurement(quote, expected)?;
+        let binding = Sha256::digest(server_public);
+        if quote.report_data()[..32] != binding.as_bytes()[..] {
+            return Err(EnclaveError::AttestationFailed("channel binding mismatch"));
+        }
+        let secret = x25519::clamp_scalar(*client_entropy);
+        let public = x25519::public_key(&secret);
+        let shared = x25519::shared_secret(&secret, server_public)?;
+        let (c2e, e2c) = derive_keys(&shared, server_public, &public)?;
+        Ok((
+            SecureChannel {
+                send_cipher: AesGcm::new_128(&c2e),
+                recv_cipher: AesGcm::new_128(&e2c),
+                send_dir: Direction::ClientToEnclave,
+                recv_dir: Direction::EnclaveToClient,
+                send_seq: 0,
+                recv_seq: 0,
+            },
+            public,
+        ))
+    }
+}
+
+/// Derives (client→enclave, enclave→client) AES-128 keys from the shared
+/// secret and the handshake transcript.
+fn derive_keys(
+    shared: &[u8; 32],
+    server_public: &[u8; 32],
+    client_public: &[u8; 32],
+) -> Result<([u8; 16], [u8; 16]), EnclaveError> {
+    let mut transcript = Sha256::new();
+    transcript.update(b"caltrain-handshake-v1");
+    transcript.update(server_public);
+    transcript.update(client_public);
+    let salt = transcript.finalize();
+
+    let okm = hkdf::derive(salt.as_bytes(), shared, b"caltrain-channel-keys", 32)?;
+    let c2e: [u8; 16] = okm[..16].try_into().expect("requested 32 bytes");
+    let e2c: [u8; 16] = okm[16..].try_into().expect("requested 32 bytes");
+    Ok((c2e, e2c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EnclaveConfig, Platform};
+
+    fn handshake() -> (SecureChannel, SecureChannel) {
+        let p = Platform::with_seed(b"channel-tests");
+        let e = p
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"trainer-code".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let server = ChannelServer::new(&e);
+        let (quote, server_pub) = server.hello();
+        let (client_chan, client_pub) = ProvisioningClient::connect(
+            &p.attestation_service(),
+            &e.measurement(),
+            &quote,
+            &server_pub,
+            &[0x11; 32],
+        )
+        .unwrap();
+        let server_chan = server.accept(&client_pub).unwrap();
+        (client_chan, server_chan)
+    }
+
+    #[test]
+    fn end_to_end_provisioning() {
+        let (mut client, mut server) = handshake();
+        let record = client.send(b"participant-0 AES key: 0123456789abcdef");
+        let got = server.recv(&record).unwrap();
+        assert_eq!(got, b"participant-0 AES key: 0123456789abcdef");
+
+        let reply = server.send(b"ack");
+        assert_eq!(client.recv(&reply).unwrap(), b"ack");
+        assert_eq!(client.sent_count(), 1);
+        assert_eq!(client.received_count(), 1);
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (mut client, mut server) = handshake();
+        let record = client.send(b"key material");
+        server.recv(&record).unwrap();
+        assert!(matches!(
+            server.recv(&record),
+            Err(EnclaveError::ChannelViolation(_))
+        ));
+    }
+
+    #[test]
+    fn reorder_rejected() {
+        let (mut client, mut server) = handshake();
+        let r1 = client.send(b"first");
+        let r2 = client.send(b"second");
+        assert!(matches!(server.recv(&r2), Err(EnclaveError::ChannelViolation(_))));
+        // The in-order record still works after the failed attempt.
+        assert_eq!(server.recv(&r1).unwrap(), b"first");
+    }
+
+    #[test]
+    fn tampered_record_rejected() {
+        let (mut client, mut server) = handshake();
+        let mut record = client.send(b"key material");
+        record[3] ^= 0x40;
+        assert!(matches!(
+            server.recv(&record),
+            Err(EnclaveError::ChannelViolation(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_measurement_blocks_provisioning() {
+        let p = Platform::with_seed(b"channel-tests-2");
+        let e = p
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"malicious-code".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let server = ChannelServer::new(&e);
+        let (quote, server_pub) = server.hello();
+        let agreed = MrEnclave::build(b"trainer-code", 4096);
+        assert!(matches!(
+            ProvisioningClient::connect(
+                &p.attestation_service(),
+                &agreed,
+                &quote,
+                &server_pub,
+                &[0x22; 32],
+            ),
+            Err(EnclaveError::AttestationFailed(_))
+        ));
+    }
+
+    #[test]
+    fn mitm_key_substitution_detected() {
+        // An attacker intercepts the hello and substitutes its own key;
+        // the quote's report_data no longer matches.
+        let p = Platform::with_seed(b"channel-tests-3");
+        let e = p
+            .create_enclave(&EnclaveConfig {
+                name: "trainer".into(),
+                code_identity: b"trainer-code".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let server = ChannelServer::new(&e);
+        let (quote, _server_pub) = server.hello();
+        let attacker_secret = [0x99u8; 32];
+        let attacker_pub = x25519::public_key(&attacker_secret);
+        assert_eq!(
+            ProvisioningClient::connect(
+                &p.attestation_service(),
+                &e.measurement(),
+                &quote,
+                &attacker_pub,
+                &[0x33; 32],
+            )
+            .err(),
+            Some(EnclaveError::AttestationFailed("channel binding mismatch"))
+        );
+    }
+}

@@ -1,0 +1,257 @@
+//! The simulated-time cost model.
+//!
+//! Experiments I–III of the paper ran on an SGX-enabled i7-6700 at
+//! 3.40 GHz. Rather than measuring whatever machine this reproduction
+//! happens to run on, every enclave operation *charges cycles* to a
+//! [`SimClock`] according to a [`CostModel`]; simulated time is then
+//! `cycles / clock_hz`. This makes Fig. 6 deterministic and lets the
+//! enclave/native throughput asymmetry be calibrated to the paper's
+//! measurement (§VI-C: 6 %–22 % overhead, attributed to `-ffast-math`
+//! being unavailable in enclave code).
+
+/// Simulated elapsed time.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct SimTime {
+    /// Elapsed seconds of simulated wall-clock time.
+    pub seconds: f64,
+}
+
+impl SimTime {
+    /// Simulated milliseconds.
+    pub fn millis(&self) -> f64 {
+        self.seconds * 1e3
+    }
+}
+
+/// Cycle costs for every operation class the simulator charges.
+///
+/// Defaults are calibrated so the 18-layer CIFAR-10 network of paper
+/// Table II reproduces the Fig. 6 overhead curve: ~6 % with two
+/// convolutional layers in-enclave rising to ~22 % with all ten. The
+/// dominant term is the enclave/native FLOP-cost ratio of 1.22; boundary
+/// crossings add a size-dependent term that is largest for shallow
+/// partitions (early-layer IRs are the biggest tensors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Core clock in Hz (default: the paper's 3.40 GHz i7-6700).
+    pub clock_hz: f64,
+    /// Cycles per floating-point operation executed *inside* an enclave
+    /// (scalar code, no `-ffast-math`, no SIMD).
+    pub enclave_flop_cycles: f64,
+    /// Cycles per floating-point operation on the native path.
+    pub native_flop_cycles: f64,
+    /// Fixed cost of entering an enclave (`EENTER` + TLB shootdown).
+    pub ecall_cycles: u64,
+    /// Fixed cost of leaving an enclave (`EEXIT`).
+    pub ocall_cycles: u64,
+    /// Cycles per byte copied across the enclave boundary.
+    pub boundary_byte_cycles: f64,
+    /// Cycles to evict one EPC page (`EWB`: encrypt + MAC + writeback).
+    pub page_evict_cycles: u64,
+    /// Cycles to load one evicted page back (`ELDU`: read + decrypt +
+    /// verify).
+    pub page_load_cycles: u64,
+    /// Cycles to add one zeroed page (`EAUG`-style growth).
+    pub page_add_cycles: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            clock_hz: 3.4e9,
+            // Ratio 1.22 reproduces the paper's 22% worst-case compute
+            // overhead when every convolutional layer runs in-enclave.
+            enclave_flop_cycles: 0.61,
+            native_flop_cycles: 0.50,
+            ecall_cycles: 8_000,
+            ocall_cycles: 8_000,
+            boundary_byte_cycles: 0.4,
+            page_evict_cycles: 35_000,
+            page_load_cycles: 35_000,
+            page_add_cycles: 1_500,
+        }
+    }
+}
+
+impl CostModel {
+    /// The in-enclave / native FLOP cost ratio (≥ 1 in any sane model).
+    pub fn slowdown_ratio(&self) -> f64 {
+        self.enclave_flop_cycles / self.native_flop_cycles
+    }
+}
+
+/// An accumulating cycle counter with per-category breakdown.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_enclave::{CostModel, SimClock};
+///
+/// let mut clock = SimClock::new(CostModel::default());
+/// clock.charge_native_flops(1_000_000);
+/// clock.charge_enclave_flops(1_000_000);
+/// assert!(clock.breakdown().enclave_compute_cycles
+///     > clock.breakdown().native_compute_cycles);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimClock {
+    model: CostModel,
+    breakdown: CycleBreakdown,
+}
+
+/// Cycles accumulated per operation class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// FLOP cycles charged on the native path.
+    pub native_compute_cycles: u64,
+    /// FLOP cycles charged inside enclaves.
+    pub enclave_compute_cycles: u64,
+    /// ecall/ocall entry/exit cycles.
+    pub transition_cycles: u64,
+    /// Byte-marshalling cycles for boundary crossings.
+    pub marshalling_cycles: u64,
+    /// EPC paging cycles (EWB + ELDU + EAUG).
+    pub paging_cycles: u64,
+}
+
+impl CycleBreakdown {
+    /// Sum over every category.
+    pub fn total(&self) -> u64 {
+        self.native_compute_cycles
+            + self.enclave_compute_cycles
+            + self.transition_cycles
+            + self.marshalling_cycles
+            + self.paging_cycles
+    }
+}
+
+impl SimClock {
+    /// Creates a clock at cycle zero under the given cost model.
+    pub fn new(model: CostModel) -> Self {
+        SimClock { model, breakdown: CycleBreakdown::default() }
+    }
+
+    /// The cost model in force.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    /// Total cycles accumulated so far.
+    pub fn cycles(&self) -> u64 {
+        self.breakdown.total()
+    }
+
+    /// Per-category cycle counts.
+    pub fn breakdown(&self) -> CycleBreakdown {
+        self.breakdown
+    }
+
+    /// Simulated elapsed time.
+    pub fn elapsed(&self) -> SimTime {
+        SimTime { seconds: self.cycles() as f64 / self.model.clock_hz }
+    }
+
+    /// Resets the accumulator to zero, keeping the model.
+    pub fn reset(&mut self) {
+        self.breakdown = CycleBreakdown::default();
+    }
+
+    /// Charges `flops` on the native (out-of-enclave) path.
+    pub fn charge_native_flops(&mut self, flops: u64) {
+        self.breakdown.native_compute_cycles +=
+            (flops as f64 * self.model.native_flop_cycles) as u64;
+    }
+
+    /// Charges `flops` on the in-enclave path.
+    pub fn charge_enclave_flops(&mut self, flops: u64) {
+        self.breakdown.enclave_compute_cycles +=
+            (flops as f64 * self.model.enclave_flop_cycles) as u64;
+    }
+
+    /// Charges one enclave entry carrying `bytes` of arguments.
+    pub fn charge_ecall(&mut self, bytes: usize) {
+        self.breakdown.transition_cycles += self.model.ecall_cycles;
+        self.breakdown.marshalling_cycles +=
+            (bytes as f64 * self.model.boundary_byte_cycles) as u64;
+    }
+
+    /// Charges one enclave exit carrying `bytes` of results.
+    pub fn charge_ocall(&mut self, bytes: usize) {
+        self.breakdown.transition_cycles += self.model.ocall_cycles;
+        self.breakdown.marshalling_cycles +=
+            (bytes as f64 * self.model.boundary_byte_cycles) as u64;
+    }
+
+    /// Charges `count` page evictions (EWB).
+    pub fn charge_page_evictions(&mut self, count: u64) {
+        self.breakdown.paging_cycles += count * self.model.page_evict_cycles;
+    }
+
+    /// Charges `count` page re-loads (ELDU).
+    pub fn charge_page_loads(&mut self, count: u64) {
+        self.breakdown.paging_cycles += count * self.model.page_load_cycles;
+    }
+
+    /// Charges `count` fresh page additions (EAUG).
+    pub fn charge_page_adds(&mut self, count: u64) {
+        self.breakdown.paging_cycles += count * self.model.page_add_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_calibrated() {
+        let m = CostModel::default();
+        assert!((m.slowdown_ratio() - 1.22).abs() < 1e-9);
+        assert_eq!(m.clock_hz, 3.4e9);
+    }
+
+    #[test]
+    fn charges_accumulate_by_category() {
+        let mut c = SimClock::new(CostModel::default());
+        c.charge_native_flops(100);
+        c.charge_enclave_flops(100);
+        c.charge_ecall(1000);
+        c.charge_ocall(0);
+        c.charge_page_evictions(2);
+        c.charge_page_loads(1);
+        c.charge_page_adds(3);
+        let b = c.breakdown();
+        assert_eq!(b.native_compute_cycles, 50);
+        assert_eq!(b.enclave_compute_cycles, 61);
+        assert_eq!(b.transition_cycles, 16_000);
+        assert_eq!(b.marshalling_cycles, 400);
+        assert_eq!(b.paging_cycles, 2 * 35_000 + 35_000 + 3 * 1_500);
+        assert_eq!(c.cycles(), b.total());
+    }
+
+    #[test]
+    fn elapsed_time_uses_clock_rate() {
+        let mut c = SimClock::new(CostModel { clock_hz: 1e9, ..CostModel::default() });
+        c.charge_native_flops(2_000_000_000);
+        assert!((c.elapsed().seconds - 1.0).abs() < 1e-9);
+        assert!((c.elapsed().millis() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_zeroes_counters() {
+        let mut c = SimClock::new(CostModel::default());
+        c.charge_enclave_flops(123);
+        c.reset();
+        assert_eq!(c.cycles(), 0);
+    }
+
+    #[test]
+    fn enclave_flops_cost_more() {
+        let mut native = SimClock::new(CostModel::default());
+        let mut enclave = SimClock::new(CostModel::default());
+        native.charge_native_flops(1_000_000);
+        enclave.charge_enclave_flops(1_000_000);
+        assert!(enclave.cycles() > native.cycles());
+        let ratio = enclave.cycles() as f64 / native.cycles() as f64;
+        assert!((ratio - 1.22).abs() < 0.01);
+    }
+}

@@ -1,0 +1,343 @@
+//! A launched enclave instance: isolated memory, measurement, quoting,
+//! sealing, and cost accounting for the code that runs "inside" it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use caltrain_crypto::gcm::AesGcm;
+use caltrain_crypto::hkdf;
+
+use crate::attest::Quote;
+use crate::epc::{RegionId, TouchOutcome};
+use crate::measurement::MrEnclave;
+use crate::platform::PlatformInner;
+use crate::EnclaveError;
+
+/// Launch-time configuration; all of it is measured into `MRENCLAVE`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnclaveConfig {
+    /// Human-readable name (diagnostics only, not measured).
+    pub name: String,
+    /// Bytes standing in for the enclave's code pages. Two enclaves get
+    /// the same measurement iff these (and `heap_bytes`) are identical.
+    pub code_identity: Vec<u8>,
+    /// Heap reservation in bytes.
+    pub heap_bytes: usize,
+}
+
+/// A running enclave on a [`crate::Platform`].
+///
+/// All compute performed "inside" the enclave must be reported through
+/// [`Enclave::charge_flops`] / [`Enclave::touch`] so the simulated clock
+/// reflects the SGX execution penalty.
+pub struct Enclave {
+    platform: Arc<PlatformInner>,
+    id: u64,
+    name: String,
+    measurement: MrEnclave,
+    image_region: RegionId,
+    destroyed: AtomicBool,
+}
+
+impl std::fmt::Debug for Enclave {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Enclave")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("measurement", &self.measurement.digest())
+            .finish()
+    }
+}
+
+impl Enclave {
+    pub(crate) fn launch(
+        platform: Arc<PlatformInner>,
+        id: u64,
+        config: &EnclaveConfig,
+    ) -> Result<Self, EnclaveError> {
+        let measurement = MrEnclave::build(&config.code_identity, config.heap_bytes);
+        let image_bytes = config.code_identity.len() + config.heap_bytes;
+        let image_region = platform.epc.lock().alloc(image_bytes.max(1))?;
+        // Loading the image touches every page once (EADD).
+        let outcome = platform.epc.lock().touch(image_region);
+        Self::charge_outcome(&platform, outcome);
+        Ok(Enclave {
+            platform,
+            id,
+            name: config.name.clone(),
+            measurement,
+            image_region,
+            destroyed: AtomicBool::new(false),
+        })
+    }
+
+    /// The platform-unique enclave id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The diagnostic name given at launch.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The enclave measurement (simulated `MRENCLAVE`).
+    pub fn measurement(&self) -> MrEnclave {
+        self.measurement
+    }
+
+    /// Produces an attestation quote binding `report_data` to this
+    /// enclave's measurement under the platform key.
+    pub fn quote(&self, report_data: [u8; 64]) -> Quote {
+        Quote::issue(
+            self.platform.platform_id,
+            &self.platform.attestation_key,
+            self.measurement,
+            report_data,
+        )
+    }
+
+    /// Seals `plaintext` under this enclave's identity (MRENCLAVE
+    /// policy): only an enclave with the same measurement on the same
+    /// platform can unseal it.
+    pub fn seal(&self, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let cipher = self.sealing_cipher();
+        let nonce_bytes = self.platform.drbg.lock().generate(12);
+        let nonce: [u8; 12] = nonce_bytes.try_into().expect("generate(12) returns 12");
+        let mut blob = nonce.to_vec();
+        blob.extend_from_slice(&cipher.seal(&nonce, plaintext, aad));
+        blob
+    }
+
+    /// Unseals a blob produced by [`Enclave::seal`] on an enclave with the
+    /// same measurement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::UnsealFailed`] for truncated blobs, foreign
+    /// measurements, or tampering.
+    pub fn unseal(&self, blob: &[u8], aad: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+        if blob.len() < 12 {
+            return Err(EnclaveError::UnsealFailed);
+        }
+        let nonce: [u8; 12] = blob[..12].try_into().expect("length checked");
+        self.sealing_cipher()
+            .open(&nonce, &blob[12..], aad)
+            .map_err(|_| EnclaveError::UnsealFailed)
+    }
+
+    fn sealing_cipher(&self) -> AesGcm {
+        let key: [u8; 16] = hkdf::derive(
+            self.measurement.digest().as_bytes(),
+            &self.platform.sealing_secret,
+            b"caltrain-sealing-v1",
+            16,
+        )
+        .expect("16 <= hkdf max")
+        .try_into()
+        .expect("requested 16 bytes");
+        AesGcm::new_128(&key)
+    }
+
+    /// Allocates an EPC region for in-enclave data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if the region cannot fit, or
+    /// [`EnclaveError::EnclaveDestroyed`] after [`Enclave::destroy`].
+    pub fn alloc(&self, bytes: usize) -> Result<RegionId, EnclaveError> {
+        self.check_live()?;
+        self.platform.epc.lock().alloc(bytes)
+    }
+
+    /// Frees an EPC region.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::InvalidRegion`] for unknown handles.
+    pub fn free(&self, region: RegionId) -> Result<(), EnclaveError> {
+        self.platform.epc.lock().free(region)
+    }
+
+    /// Simulates a full sweep over `region`, charging any paging work.
+    /// Returns the paging outcome for inspection.
+    pub fn touch(&self, region: RegionId) -> TouchOutcome {
+        let outcome = self.platform.epc.lock().touch(region);
+        Self::charge_outcome(&self.platform, outcome);
+        outcome
+    }
+
+    /// Simulates access to a byte range of `region`.
+    pub fn touch_range(&self, region: RegionId, offset: usize, len: usize) -> TouchOutcome {
+        let outcome = self.platform.epc.lock().touch_range(region, offset, len);
+        Self::charge_outcome(&self.platform, outcome);
+        outcome
+    }
+
+    /// Charges floating-point work performed inside the enclave.
+    pub fn charge_flops(&self, flops: u64) {
+        self.platform.clock.lock().charge_enclave_flops(flops);
+    }
+
+    /// Charges one enclave entry marshalling `bytes` of arguments.
+    pub fn charge_ecall(&self, bytes: usize) {
+        self.platform.clock.lock().charge_ecall(bytes);
+    }
+
+    /// Charges one enclave exit marshalling `bytes` of results.
+    pub fn charge_ocall(&self, bytes: usize) {
+        self.platform.clock.lock().charge_ocall(bytes);
+    }
+
+    /// Draws `n` bytes from the in-enclave RDRAND source (paper §IV-A uses
+    /// it for data augmentation randomness).
+    pub fn rdrand_bytes(&self, n: usize) -> Vec<u8> {
+        self.platform.drbg.lock().generate(n)
+    }
+
+    /// Draws a uniform `u64` from RDRAND.
+    pub fn rdrand_u64(&self) -> u64 {
+        self.platform.drbg.lock().next_u64()
+    }
+
+    /// Tears the enclave down, freeing its image pages. Further `alloc`
+    /// calls fail with [`EnclaveError::EnclaveDestroyed`].
+    pub fn destroy(&self) {
+        if !self.destroyed.swap(true, Ordering::SeqCst) {
+            let _ = self.platform.epc.lock().free(self.image_region);
+        }
+    }
+
+    fn check_live(&self) -> Result<(), EnclaveError> {
+        if self.destroyed.load(Ordering::SeqCst) {
+            Err(EnclaveError::EnclaveDestroyed)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn charge_outcome(platform: &PlatformInner, outcome: TouchOutcome) {
+        let mut clock = platform.clock.lock();
+        if outcome.pages_added > 0 {
+            clock.charge_page_adds(outcome.pages_added);
+        }
+        if outcome.pages_loaded > 0 {
+            clock.charge_page_loads(outcome.pages_loaded);
+        }
+        if outcome.pages_evicted > 0 {
+            clock.charge_page_evictions(outcome.pages_evicted);
+        }
+    }
+}
+
+impl Drop for Enclave {
+    fn drop(&mut self) {
+        self.destroy();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Platform;
+
+    fn platform() -> Platform {
+        Platform::with_seed(b"enclave-tests")
+    }
+
+    fn launch(p: &Platform, code: &[u8]) -> Enclave {
+        p.create_enclave(&EnclaveConfig {
+            name: "t".into(),
+            code_identity: code.to_vec(),
+            heap_bytes: 1 << 16,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip() {
+        let p = platform();
+        let e = launch(&p, b"code-v1");
+        let blob = e.seal(b"model weights", b"epoch-3");
+        assert_eq!(e.unseal(&blob, b"epoch-3").unwrap(), b"model weights");
+    }
+
+    #[test]
+    fn seal_bound_to_measurement() {
+        let p = platform();
+        let e1 = launch(&p, b"code-v1");
+        let e2 = launch(&p, b"code-v2");
+        let blob = e1.seal(b"secret", b"");
+        assert_eq!(e2.unseal(&blob, b""), Err(EnclaveError::UnsealFailed));
+
+        // Same measurement on the same platform unseals fine.
+        let e3 = launch(&p, b"code-v1");
+        assert_eq!(e3.unseal(&blob, b"").unwrap(), b"secret");
+    }
+
+    #[test]
+    fn seal_bound_to_platform() {
+        let p1 = platform();
+        let p2 = Platform::with_seed(b"other-machine");
+        let e1 = launch(&p1, b"code-v1");
+        let e2 = launch(&p2, b"code-v1");
+        let blob = e1.seal(b"secret", b"");
+        assert_eq!(e2.unseal(&blob, b""), Err(EnclaveError::UnsealFailed));
+    }
+
+    #[test]
+    fn seal_detects_tamper() {
+        let p = platform();
+        let e = launch(&p, b"code-v1");
+        let mut blob = e.seal(b"secret", b"");
+        let mid = blob.len() / 2;
+        blob[mid] ^= 1;
+        assert_eq!(e.unseal(&blob, b""), Err(EnclaveError::UnsealFailed));
+        assert_eq!(e.unseal(&blob[..4], b""), Err(EnclaveError::UnsealFailed));
+    }
+
+    #[test]
+    fn quote_binds_report_data() {
+        let p = platform();
+        let e = launch(&p, b"code-v1");
+        let mut rd = [0u8; 64];
+        rd[0] = 42;
+        let q = e.quote(rd);
+        assert_eq!(q.report_data(), &rd);
+        assert_eq!(q.measurement(), e.measurement());
+        p.attestation_service().verify(&q).unwrap();
+    }
+
+    #[test]
+    fn compute_and_paging_charged() {
+        let p = platform();
+        let e = launch(&p, b"code");
+        let c0 = p.cycles();
+        e.charge_flops(1_000_000);
+        let c1 = p.cycles();
+        assert!(c1 > c0);
+        let r = e.alloc(1 << 20).unwrap();
+        let o = e.touch(r);
+        assert!(o.pages_added > 0);
+        assert!(p.cycles() > c1);
+    }
+
+    #[test]
+    fn destroyed_enclave_rejects_alloc() {
+        let p = platform();
+        let e = launch(&p, b"code");
+        e.destroy();
+        assert_eq!(e.alloc(4096), Err(EnclaveError::EnclaveDestroyed));
+        // Idempotent destroy (also exercised by Drop).
+        e.destroy();
+    }
+
+    #[test]
+    fn rdrand_streams_draw_from_platform() {
+        let p1 = Platform::with_seed(b"same");
+        let p2 = Platform::with_seed(b"same");
+        let e1 = launch(&p1, b"code");
+        let e2 = launch(&p2, b"code");
+        assert_eq!(e1.rdrand_bytes(8), e2.rdrand_bytes(8));
+    }
+}

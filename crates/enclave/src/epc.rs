@@ -1,0 +1,398 @@
+//! The Enclave Page Cache: SGX's scarce, encrypted physical memory.
+//!
+//! SGX1 reserves 128 MiB of Processor Reserved Memory, of which roughly
+//! 93 MiB is usable as EPC (paper §II, §IV-B). When enclave working sets
+//! exceed it, the kernel driver swaps pages with `EWB` (encrypt + MAC +
+//! write back) and `ELDU` (load + decrypt + verify) — "swapping on the
+//! encrypted memory may significantly affect the performance" (§IV-B).
+//!
+//! This module models the EPC as a page table with CLOCK (second-chance)
+//! eviction. Callers allocate [`RegionId`]s and *touch* them to simulate
+//! access; misses charge eviction/load cycles to the enclave's clock via
+//! the returned [`TouchOutcome`].
+
+use std::collections::HashMap;
+
+use crate::EnclaveError;
+
+/// EPC page size in bytes (standard 4 KiB).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Usable EPC capacity of the paper's SGX1 hardware (≈ 93 MiB of the
+/// 128 MiB PRM after metadata overhead).
+pub const DEFAULT_EPC_BYTES: usize = 93 * 1024 * 1024;
+
+/// Identifies an allocated EPC region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(u64);
+
+/// Paging work a touch operation triggered; the caller charges it to the
+/// owning enclave's [`crate::SimClock`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TouchOutcome {
+    /// Pages newly added to the EPC (first touch, `EAUG`-like).
+    pub pages_added: u64,
+    /// Previously evicted pages reloaded (`ELDU`).
+    pub pages_loaded: u64,
+    /// Victim pages evicted to make room (`EWB`).
+    pub pages_evicted: u64,
+}
+
+/// Cumulative EPC statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpcStats {
+    /// Total first-touch page additions.
+    pub pages_added: u64,
+    /// Total `ELDU` reloads.
+    pub pages_loaded: u64,
+    /// Total `EWB` evictions.
+    pub pages_evicted: u64,
+    /// Touches satisfied without paging.
+    pub hits: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    /// Never materialised in the EPC yet.
+    Untouched,
+    /// Resident; `bool` is the CLOCK referenced bit.
+    Resident { referenced: bool },
+    /// Evicted to (encrypted) regular memory.
+    Evicted,
+}
+
+#[derive(Debug)]
+struct Region {
+    pages: Vec<PageState>,
+}
+
+/// The simulated Enclave Page Cache.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_enclave::epc::{Epc, PAGE_SIZE};
+///
+/// let mut epc = Epc::new(8 * PAGE_SIZE);
+/// let region = epc.alloc(4 * PAGE_SIZE)?;
+/// let outcome = epc.touch(region);
+/// assert_eq!(outcome.pages_added, 4);
+/// # Ok::<(), caltrain_enclave::EnclaveError>(())
+/// ```
+#[derive(Debug)]
+pub struct Epc {
+    capacity_pages: usize,
+    resident_pages: usize,
+    regions: HashMap<u64, Region>,
+    /// CLOCK hand: (region, page index) entries in residency order.
+    clock_queue: Vec<(u64, usize)>,
+    clock_hand: usize,
+    next_region: u64,
+    stats: EpcStats,
+}
+
+impl Epc {
+    /// Creates an EPC with the given byte capacity (rounded down to whole
+    /// pages; minimum one page).
+    pub fn new(capacity_bytes: usize) -> Self {
+        Epc {
+            capacity_pages: (capacity_bytes / PAGE_SIZE).max(1),
+            resident_pages: 0,
+            regions: HashMap::new(),
+            clock_queue: Vec::new(),
+            clock_hand: 0,
+            next_region: 0,
+            stats: EpcStats::default(),
+        }
+    }
+
+    /// Creates an EPC with the paper's default capacity.
+    pub fn with_default_capacity() -> Self {
+        Self::new(DEFAULT_EPC_BYTES)
+    }
+
+    /// Capacity in pages.
+    pub fn capacity_pages(&self) -> usize {
+        self.capacity_pages
+    }
+
+    /// Currently resident pages across all regions.
+    pub fn resident_pages(&self) -> usize {
+        self.resident_pages
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> EpcStats {
+        self.stats
+    }
+
+    /// Allocates a region of `bytes` (rounded up to whole pages). Pages
+    /// are materialised lazily on first touch, like `EAUG`-grown heap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if the region alone could
+    /// never fit in the EPC — such an allocation would thrash forever.
+    pub fn alloc(&mut self, bytes: usize) -> Result<RegionId, EnclaveError> {
+        let pages = bytes.div_ceil(PAGE_SIZE).max(1);
+        if pages > self.capacity_pages {
+            return Err(EnclaveError::EpcExhausted {
+                requested: bytes,
+                capacity: self.capacity_pages * PAGE_SIZE,
+            });
+        }
+        let id = self.next_region;
+        self.next_region += 1;
+        self.regions.insert(id, Region { pages: vec![PageState::Untouched; pages] });
+        Ok(RegionId(id))
+    }
+
+    /// Frees a region, releasing its resident pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::InvalidRegion`] for unknown or already-freed
+    /// handles.
+    pub fn free(&mut self, region: RegionId) -> Result<(), EnclaveError> {
+        let r = self.regions.remove(&region.0).ok_or(EnclaveError::InvalidRegion)?;
+        let freed = r
+            .pages
+            .iter()
+            .filter(|p| matches!(p, PageState::Resident { .. }))
+            .count();
+        self.resident_pages -= freed;
+        self.clock_queue.retain(|&(rid, _)| rid != region.0);
+        if self.clock_hand >= self.clock_queue.len() {
+            self.clock_hand = 0;
+        }
+        Ok(())
+    }
+
+    /// Size of a region in pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::InvalidRegion`] for unknown handles.
+    pub fn region_pages(&self, region: RegionId) -> Result<usize, EnclaveError> {
+        Ok(self
+            .regions
+            .get(&region.0)
+            .ok_or(EnclaveError::InvalidRegion)?
+            .pages
+            .len())
+    }
+
+    /// Touches every page of `region` (a full read/write sweep, which is
+    /// what a training kernel does to a weight or activation buffer).
+    ///
+    /// Returns the paging work performed. Unknown regions report no work —
+    /// touch is on the hot path and the caller owns the handle lifecycle.
+    pub fn touch(&mut self, region: RegionId) -> TouchOutcome {
+        let page_count = match self.regions.get(&region.0) {
+            Some(r) => r.pages.len(),
+            None => return TouchOutcome::default(),
+        };
+        let mut outcome = TouchOutcome::default();
+        for page in 0..page_count {
+            self.touch_page(region.0, page, &mut outcome);
+        }
+        outcome
+    }
+
+    /// Touches a byte range within a region.
+    pub fn touch_range(&mut self, region: RegionId, offset: usize, len: usize) -> TouchOutcome {
+        let page_count = match self.regions.get(&region.0) {
+            Some(r) => r.pages.len(),
+            None => return TouchOutcome::default(),
+        };
+        let first = offset / PAGE_SIZE;
+        let last = (offset + len.max(1) - 1) / PAGE_SIZE;
+        let mut outcome = TouchOutcome::default();
+        for page in first..=last.min(page_count.saturating_sub(1)) {
+            self.touch_page(region.0, page, &mut outcome);
+        }
+        outcome
+    }
+
+    fn touch_page(&mut self, region_id: u64, page: usize, outcome: &mut TouchOutcome) {
+        let state = self.regions.get(&region_id).expect("caller checked region")
+            .pages[page];
+        match state {
+            PageState::Resident { .. } => {
+                self.stats.hits += 1;
+                self.set_state(region_id, page, PageState::Resident { referenced: true });
+            }
+            PageState::Untouched => {
+                self.make_room(outcome);
+                self.set_state(region_id, page, PageState::Resident { referenced: true });
+                self.resident_pages += 1;
+                self.clock_queue.push((region_id, page));
+                outcome.pages_added += 1;
+                self.stats.pages_added += 1;
+            }
+            PageState::Evicted => {
+                self.make_room(outcome);
+                self.set_state(region_id, page, PageState::Resident { referenced: true });
+                self.resident_pages += 1;
+                self.clock_queue.push((region_id, page));
+                outcome.pages_loaded += 1;
+                self.stats.pages_loaded += 1;
+            }
+        }
+    }
+
+    fn set_state(&mut self, region_id: u64, page: usize, state: PageState) {
+        if let Some(r) = self.regions.get_mut(&region_id) {
+            r.pages[page] = state;
+        }
+    }
+
+    /// Evicts pages via CLOCK until at least one slot is free.
+    fn make_room(&mut self, outcome: &mut TouchOutcome) {
+        while self.resident_pages >= self.capacity_pages {
+            debug_assert!(!self.clock_queue.is_empty(), "resident pages imply queue entries");
+            if self.clock_hand >= self.clock_queue.len() {
+                self.clock_hand = 0;
+            }
+            let (rid, page) = self.clock_queue[self.clock_hand];
+            let state = self
+                .regions
+                .get(&rid)
+                .map(|r| r.pages[page])
+                .unwrap_or(PageState::Untouched);
+            match state {
+                PageState::Resident { referenced: true } => {
+                    // Second chance: clear the bit and advance.
+                    self.set_state(rid, page, PageState::Resident { referenced: false });
+                    self.clock_hand = (self.clock_hand + 1) % self.clock_queue.len();
+                }
+                PageState::Resident { referenced: false } => {
+                    self.set_state(rid, page, PageState::Evicted);
+                    self.resident_pages -= 1;
+                    self.clock_queue.remove(self.clock_hand);
+                    if self.clock_hand >= self.clock_queue.len() {
+                        self.clock_hand = 0;
+                    }
+                    outcome.pages_evicted += 1;
+                    self.stats.pages_evicted += 1;
+                }
+                PageState::Untouched | PageState::Evicted => {
+                    // Stale queue entry (region freed or already evicted);
+                    // drop it.
+                    self.clock_queue.remove(self.clock_hand);
+                    if self.clock_hand >= self.clock_queue.len() {
+                        self.clock_hand = 0;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_without_paging() {
+        let mut epc = Epc::new(16 * PAGE_SIZE);
+        let a = epc.alloc(4 * PAGE_SIZE).unwrap();
+        let o1 = epc.touch(a);
+        assert_eq!(o1, TouchOutcome { pages_added: 4, pages_loaded: 0, pages_evicted: 0 });
+        let o2 = epc.touch(a);
+        assert_eq!(o2, TouchOutcome::default());
+        assert_eq!(epc.stats().hits, 4);
+        assert_eq!(epc.resident_pages(), 4);
+    }
+
+    #[test]
+    fn rejects_oversized_allocation() {
+        let mut epc = Epc::new(4 * PAGE_SIZE);
+        assert!(matches!(
+            epc.alloc(5 * PAGE_SIZE),
+            Err(EnclaveError::EpcExhausted { .. })
+        ));
+        assert!(epc.alloc(4 * PAGE_SIZE).is_ok());
+    }
+
+    #[test]
+    fn working_set_larger_than_epc_thrashes() {
+        // Two 3-page regions in a 4-page EPC: alternating sweeps must page.
+        let mut epc = Epc::new(4 * PAGE_SIZE);
+        let a = epc.alloc(3 * PAGE_SIZE).unwrap();
+        let b = epc.alloc(3 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+        let ob = epc.touch(b);
+        assert!(ob.pages_evicted >= 2, "loading B must evict A pages: {ob:?}");
+        let oa = epc.touch(a);
+        assert!(oa.pages_loaded >= 1, "A pages must reload: {oa:?}");
+        assert!(epc.resident_pages() <= 4);
+    }
+
+    #[test]
+    fn free_releases_residency() {
+        let mut epc = Epc::new(8 * PAGE_SIZE);
+        let a = epc.alloc(8 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+        assert_eq!(epc.resident_pages(), 8);
+        epc.free(a).unwrap();
+        assert_eq!(epc.resident_pages(), 0);
+        assert_eq!(epc.free(a), Err(EnclaveError::InvalidRegion));
+
+        // Space is actually reusable.
+        let b = epc.alloc(8 * PAGE_SIZE).unwrap();
+        let o = epc.touch(b);
+        assert_eq!(o.pages_evicted, 0);
+    }
+
+    #[test]
+    fn touch_range_only_pages_touched_pages() {
+        let mut epc = Epc::new(64 * PAGE_SIZE);
+        let a = epc.alloc(10 * PAGE_SIZE).unwrap();
+        let o = epc.touch_range(a, PAGE_SIZE + 10, PAGE_SIZE);
+        // Bytes [4106, 8202) span pages 1 and 2.
+        assert_eq!(o.pages_added, 2);
+        assert_eq!(epc.resident_pages(), 2);
+    }
+
+    #[test]
+    fn clock_gives_second_chances() {
+        // One hot page touched between sweeps of a cold region should
+        // survive eviction pressure more often than FIFO would allow.
+        let mut epc = Epc::new(4 * PAGE_SIZE);
+        let hot = epc.alloc(PAGE_SIZE).unwrap();
+        let cold = epc.alloc(4 * PAGE_SIZE).unwrap();
+        epc.touch(hot);
+        let before = epc.stats();
+        epc.touch_range(cold, 0, 2 * PAGE_SIZE);
+        epc.touch(hot); // re-reference
+        epc.touch_range(cold, 2 * PAGE_SIZE, 2 * PAGE_SIZE);
+        let o = epc.touch(hot);
+        let after = epc.stats();
+        // The hot page was re-referenced constantly; it should mostly hit.
+        assert!(after.hits > before.hits);
+        assert!(o.pages_loaded <= 1);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut epc = Epc::new(2 * PAGE_SIZE);
+        let a = epc.alloc(2 * PAGE_SIZE).unwrap();
+        let b = epc.alloc(2 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+        epc.touch(b);
+        epc.touch(a);
+        let s = epc.stats();
+        assert_eq!(s.pages_added, 4);
+        assert!(s.pages_evicted >= 4);
+        assert!(s.pages_loaded >= 2);
+    }
+
+    #[test]
+    fn region_pages_reports_size() {
+        let mut epc = Epc::new(100 * PAGE_SIZE);
+        let a = epc.alloc(PAGE_SIZE * 3 + 1).unwrap();
+        assert_eq!(epc.region_pages(a).unwrap(), 4);
+        assert!(epc.region_pages(RegionId(999)).is_err());
+    }
+}

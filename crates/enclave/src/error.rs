@@ -1,0 +1,65 @@
+use std::error::Error;
+use std::fmt;
+
+use caltrain_crypto::CryptoError;
+
+/// Errors produced by the simulated SGX platform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EnclaveError {
+    /// The EPC cannot satisfy an allocation even after evicting every
+    /// evictable page (the requested region alone exceeds capacity).
+    EpcExhausted {
+        /// Bytes requested by the allocation.
+        requested: usize,
+        /// Total EPC capacity in bytes.
+        capacity: usize,
+    },
+    /// A region handle did not refer to a live allocation.
+    InvalidRegion,
+    /// A quote failed verification: bad MAC, unknown platform, or a
+    /// measurement that is not in the verifier's expected set.
+    AttestationFailed(&'static str),
+    /// A secure-channel record failed authentication or arrived out of
+    /// order (sequence mismatch ⇒ replay or truncation).
+    ChannelViolation(&'static str),
+    /// Sealed data failed to unseal (wrong enclave measurement or
+    /// tampering).
+    UnsealFailed,
+    /// The enclave was destroyed and can no longer be used.
+    EnclaveDestroyed,
+    /// An underlying cryptographic failure.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnclaveError::EpcExhausted { requested, capacity } => {
+                write!(f, "EPC exhausted: requested {requested} bytes of {capacity} capacity")
+            }
+            EnclaveError::InvalidRegion => write!(f, "invalid EPC region handle"),
+            EnclaveError::AttestationFailed(why) => write!(f, "attestation failed: {why}"),
+            EnclaveError::ChannelViolation(why) => write!(f, "secure channel violation: {why}"),
+            EnclaveError::UnsealFailed => write!(f, "sealed blob failed to unseal"),
+            EnclaveError::EnclaveDestroyed => write!(f, "enclave has been destroyed"),
+            EnclaveError::Crypto(e) => write!(f, "crypto failure: {e}"),
+        }
+    }
+}
+
+impl Error for EnclaveError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EnclaveError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<CryptoError> for EnclaveError {
+    fn from(e: CryptoError) -> Self {
+        EnclaveError::Crypto(e)
+    }
+}

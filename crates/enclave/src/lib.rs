@@ -1,0 +1,65 @@
+//! A cycle-accounted Intel SGX simulator for the CalTrain reproduction.
+//!
+//! The paper (§II "Intel SGX", §IV-A, §IV-B) depends on five properties of
+//! SGX that this crate models explicitly, because no SGX hardware (or a
+//! usable EDP toolchain for in-enclave ML) is available in this
+//! environment:
+//!
+//! 1. **Isolated launch with measurement** — an enclave's identity is the
+//!    hash of the code/configuration loaded into it ([`MrEnclave`], built
+//!    the way `ECREATE`/`EADD`/`EEXTEND` build a real `MRENCLAVE`).
+//! 2. **Remote attestation** — a quote binds `report_data` to the enclave
+//!    measurement under a platform key; participants verify quotes against
+//!    an expected measurement before provisioning secrets
+//!    ([`attest::Quote`], [`attest::AttestationService`]).
+//! 3. **Limited protected memory** — the Enclave Page Cache holds ~93 MiB
+//!    of usable pages on the paper's hardware; exceeding it triggers
+//!    encrypted page swapping (`EWB`/`ELDU`), charged by the cost model
+//!    ([`epc::Epc`]).
+//! 4. **No hardware acceleration inside** — in-enclave FLOPs are charged
+//!    at a slower rate than native FLOPs ([`cost::CostModel`]), and
+//!    crossing the boundary (ecall/ocall + data marshalling) has a cost.
+//! 5. **Sealing** — data can be encrypted under a key derived from the
+//!    platform secret and the enclave measurement ([`Enclave::seal`]).
+//!
+//! Time is *simulated*: kernels run at native speed, but every operation
+//! reports its cost in cycles to a [`cost::SimClock`]. This keeps the
+//! experiments deterministic and lets Fig. 6 be regenerated with the
+//! paper's calibration instead of whatever CPU this happens to run on.
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_enclave::{Platform, EnclaveConfig};
+//!
+//! let platform = Platform::with_seed(b"example");
+//! let enclave = platform.create_enclave(&EnclaveConfig {
+//!     name: "training".into(),
+//!     code_identity: b"trainer-v1".to_vec(),
+//!     heap_bytes: 1 << 20,
+//! })?;
+//! let quote = enclave.quote([0u8; 64]);
+//! platform.attestation_service().verify(&quote)?;
+//! # Ok::<(), caltrain_enclave::EnclaveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+
+pub mod attest;
+pub mod channel;
+pub mod cost;
+pub mod enclave;
+pub mod epc;
+pub mod measurement;
+pub mod platform;
+
+pub use attest::{AttestationService, Quote};
+pub use channel::{ChannelServer, ProvisioningClient, SecureChannel};
+pub use cost::{CostModel, SimClock, SimTime};
+pub use enclave::{Enclave, EnclaveConfig};
+pub use error::EnclaveError;
+pub use measurement::MrEnclave;
+pub use platform::Platform;

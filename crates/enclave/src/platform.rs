@@ -1,0 +1,212 @@
+//! The simulated SGX-capable machine: CPU package secrets, the EPC, the
+//! cycle clock, and the RDRAND entropy source.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use caltrain_crypto::hkdf;
+use caltrain_crypto::rng::HmacDrbg;
+use parking_lot::Mutex;
+
+use crate::attest::AttestationService;
+use crate::cost::{CostModel, CycleBreakdown, SimClock, SimTime};
+use crate::enclave::{Enclave, EnclaveConfig};
+use crate::epc::{Epc, EpcStats, DEFAULT_EPC_BYTES};
+use crate::EnclaveError;
+
+pub(crate) struct PlatformInner {
+    pub(crate) clock: Mutex<SimClock>,
+    pub(crate) epc: Mutex<Epc>,
+    pub(crate) drbg: Mutex<HmacDrbg>,
+    pub(crate) attestation_key: [u8; 32],
+    pub(crate) sealing_secret: [u8; 32],
+    pub(crate) platform_id: [u8; 16],
+    pub(crate) next_enclave: AtomicU64,
+}
+
+/// A simulated SGX-enabled training server.
+///
+/// Clones share the same underlying machine (clock, EPC, secrets), so a
+/// handle can be passed to each component that needs to charge simulated
+/// time.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_enclave::Platform;
+///
+/// let p = Platform::with_seed(b"server-1");
+/// p.charge_native_flops(1_000);
+/// assert!(p.cycles() > 0);
+/// ```
+#[derive(Clone)]
+pub struct Platform {
+    inner: Arc<PlatformInner>,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("platform_id", &self.inner.platform_id)
+            .field("cycles", &self.cycles())
+            .finish()
+    }
+}
+
+impl Platform {
+    /// Creates a platform with explicit cost model and EPC capacity.
+    ///
+    /// `seed` derives the CPU package secrets (fuse key equivalent) and
+    /// the RDRAND stream, keeping every experiment replayable.
+    pub fn new(model: CostModel, epc_bytes: usize, seed: &[u8]) -> Self {
+        let attestation_key: [u8; 32] = hkdf::derive(b"caltrain-platform", seed, b"attest", 32)
+            .expect("32 <= hkdf max")
+            .try_into()
+            .expect("requested 32 bytes");
+        let sealing_secret: [u8; 32] = hkdf::derive(b"caltrain-platform", seed, b"seal", 32)
+            .expect("32 <= hkdf max")
+            .try_into()
+            .expect("requested 32 bytes");
+        let platform_id: [u8; 16] = hkdf::derive(b"caltrain-platform", seed, b"id", 16)
+            .expect("16 <= hkdf max")
+            .try_into()
+            .expect("requested 16 bytes");
+        Platform {
+            inner: Arc::new(PlatformInner {
+                clock: Mutex::new(SimClock::new(model)),
+                epc: Mutex::new(Epc::new(epc_bytes)),
+                drbg: Mutex::new(HmacDrbg::new(seed, b"rdrand")),
+                attestation_key,
+                sealing_secret,
+                platform_id,
+                next_enclave: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Creates a platform with the paper-calibrated defaults
+    /// ([`CostModel::default`], ≈93 MiB EPC).
+    pub fn with_seed(seed: &[u8]) -> Self {
+        Self::new(CostModel::default(), DEFAULT_EPC_BYTES, seed)
+    }
+
+    /// The 128-bit platform identity included in quotes.
+    pub fn platform_id(&self) -> [u8; 16] {
+        self.inner.platform_id
+    }
+
+    /// Launches an enclave, measuring its code and charging the page-add
+    /// cost of loading it into the EPC.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnclaveError::EpcExhausted`] if code plus heap cannot fit
+    /// in the EPC under any eviction schedule.
+    pub fn create_enclave(&self, config: &EnclaveConfig) -> Result<Enclave, EnclaveError> {
+        let id = self.inner.next_enclave.fetch_add(1, Ordering::Relaxed);
+        Enclave::launch(Arc::clone(&self.inner), id, config)
+    }
+
+    /// The verification service for quotes from this platform (models the
+    /// Intel Attestation Service role for this machine's EPID group).
+    pub fn attestation_service(&self) -> AttestationService {
+        AttestationService::new(self.inner.platform_id, self.inner.attestation_key)
+    }
+
+    /// Charges floating-point work executed *outside* any enclave.
+    pub fn charge_native_flops(&self, flops: u64) {
+        self.inner.clock.lock().charge_native_flops(flops);
+    }
+
+    /// Total simulated cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.inner.clock.lock().cycles()
+    }
+
+    /// Simulated elapsed time so far.
+    pub fn elapsed(&self) -> SimTime {
+        self.inner.clock.lock().elapsed()
+    }
+
+    /// Per-category cycle breakdown.
+    pub fn cycle_breakdown(&self) -> CycleBreakdown {
+        self.inner.clock.lock().breakdown()
+    }
+
+    /// Resets the simulated clock (EPC state is kept).
+    pub fn reset_clock(&self) {
+        self.inner.clock.lock().reset();
+    }
+
+    /// Cumulative EPC paging statistics.
+    pub fn epc_stats(&self) -> EpcStats {
+        self.inner.epc.lock().stats()
+    }
+
+    /// Draws `n` bytes from the platform RDRAND stream.
+    pub fn random_bytes(&self, n: usize) -> Vec<u8> {
+        self.inner.drbg.lock().generate(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enclave::EnclaveConfig;
+
+    fn config() -> EnclaveConfig {
+        EnclaveConfig {
+            name: "test".into(),
+            code_identity: b"code-v1".to_vec(),
+            heap_bytes: 1 << 16,
+        }
+    }
+
+    #[test]
+    fn deterministic_from_seed() {
+        let a = Platform::with_seed(b"seed-1");
+        let b = Platform::with_seed(b"seed-1");
+        assert_eq!(a.platform_id(), b.platform_id());
+        assert_eq!(a.random_bytes(16), b.random_bytes(16));
+        let c = Platform::with_seed(b"seed-2");
+        assert_ne!(a.platform_id(), c.platform_id());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = Platform::with_seed(b"seed");
+        let b = a.clone();
+        a.charge_native_flops(1000);
+        assert_eq!(a.cycles(), b.cycles());
+        assert!(b.cycles() > 0);
+    }
+
+    #[test]
+    fn enclave_ids_unique() {
+        let p = Platform::with_seed(b"seed");
+        let e1 = p.create_enclave(&config()).unwrap();
+        let e2 = p.create_enclave(&config()).unwrap();
+        assert_ne!(e1.id(), e2.id());
+        // Same code/config => same measurement even with different ids.
+        assert_eq!(e1.measurement(), e2.measurement());
+    }
+
+    #[test]
+    fn launching_charges_cycles() {
+        let p = Platform::with_seed(b"seed");
+        let before = p.cycles();
+        let _e = p.create_enclave(&config()).unwrap();
+        assert!(p.cycles() > before, "EADD work must be charged");
+    }
+
+    #[test]
+    fn reset_clock_keeps_epc() {
+        let p = Platform::with_seed(b"seed");
+        let e = p.create_enclave(&config()).unwrap();
+        let r = e.alloc(1 << 14).unwrap();
+        e.touch(r);
+        p.reset_clock();
+        assert_eq!(p.cycles(), 0);
+        assert!(p.epc_stats().pages_added > 0);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the SGX simulator.
+
+use caltrain_enclave::epc::{Epc, PAGE_SIZE};
+use caltrain_enclave::{EnclaveConfig, Platform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Residency never exceeds capacity and stats stay consistent under
+    /// arbitrary alloc/touch/free sequences.
+    #[test]
+    fn epc_invariants_hold_under_arbitrary_workloads(
+        capacity_pages in 2usize..32,
+        ops in proptest::collection::vec((0u8..3, 1usize..16), 1..60),
+    ) {
+        let mut epc = Epc::new(capacity_pages * PAGE_SIZE);
+        let mut regions = Vec::new();
+        for (op, size) in ops {
+            match op {
+                0 => {
+                    if let Ok(r) = epc.alloc(size * PAGE_SIZE) {
+                        regions.push(r);
+                    }
+                }
+                1 => {
+                    if let Some(&r) = regions.last() {
+                        let _ = epc.touch(r);
+                    }
+                }
+                _ => {
+                    if let Some(r) = regions.pop() {
+                        let _ = epc.free(r);
+                    }
+                }
+            }
+            prop_assert!(epc.resident_pages() <= epc.capacity_pages());
+        }
+        let s = epc.stats();
+        // Every eviction corresponds to a page that was added or loaded.
+        prop_assert!(s.pages_evicted <= s.pages_added + s.pages_loaded);
+    }
+
+    /// Working sets within capacity never page after the first sweep.
+    #[test]
+    fn fitting_working_set_never_thrashes(pages in 1usize..16) {
+        let mut epc = Epc::new(32 * PAGE_SIZE);
+        let r = epc.alloc(pages * PAGE_SIZE).unwrap();
+        let first = epc.touch(r);
+        prop_assert_eq!(first.pages_added as usize, pages);
+        for _ in 0..5 {
+            let again = epc.touch(r);
+            prop_assert_eq!(again.pages_added + again.pages_loaded + again.pages_evicted, 0);
+        }
+    }
+
+    /// Sealing round-trips for arbitrary payloads and AAD, and every
+    /// corruption is rejected.
+    #[test]
+    fn sealing_roundtrip_and_tamper(
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        aad in proptest::collection::vec(any::<u8>(), 0..32),
+        flip in 0usize..128,
+    ) {
+        let platform = Platform::with_seed(b"prop-seal");
+        let enclave = platform
+            .create_enclave(&EnclaveConfig {
+                name: "t".into(),
+                code_identity: b"code".to_vec(),
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let blob = enclave.seal(&payload, &aad);
+        prop_assert_eq!(enclave.unseal(&blob, &aad).unwrap(), payload);
+
+        let mut bad = blob.clone();
+        let bit = flip % (bad.len() * 8);
+        bad[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(enclave.unseal(&bad, &aad).is_err());
+    }
+
+    /// Quotes verify iff untampered and on the issuing platform.
+    #[test]
+    fn quote_verification_sound(
+        report in proptest::array::uniform32(any::<u8>()),
+        code in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let platform = Platform::with_seed(b"prop-quote");
+        let enclave = platform
+            .create_enclave(&EnclaveConfig {
+                name: "t".into(),
+                code_identity: code,
+                heap_bytes: 4096,
+            })
+            .unwrap();
+        let mut rd = [0u8; 64];
+        rd[..32].copy_from_slice(&report);
+        let quote = enclave.quote(rd);
+        prop_assert!(platform.attestation_service().verify(&quote).is_ok());
+
+        let mut other_rd = rd;
+        other_rd[0] ^= 1;
+        let forged = quote.forged_with_report_data(other_rd);
+        prop_assert!(platform.attestation_service().verify(&forged).is_err());
+
+        let other = Platform::with_seed(b"prop-quote-other");
+        prop_assert!(other.attestation_service().verify(&quote).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! The linkage-structure database and its nearest-neighbour query
+//! interface (the paper's "Linkage Structure Database" + query process).
+
+use std::collections::HashMap;
+
+use crate::record::{Fingerprint, LinkageRecord};
+
+/// One query hit: a record index and its L2 distance to the probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryMatch {
+    /// Index into [`LinkageDb::records`].
+    pub record: usize,
+    /// L2 distance between probe and record fingerprints.
+    pub distance: f32,
+}
+
+/// An in-memory store of linkage records with a class index.
+///
+/// Paper §IV-C: "we use Y to reduce the search space to a specified class
+/// label" — [`LinkageDb::query`] scans only the predicted class, while
+/// [`LinkageDb::query_all_classes`] is the un-pruned ablation baseline
+/// (benchmarked in `caltrain-bench`).
+#[derive(Debug, Clone, Default)]
+pub struct LinkageDb {
+    records: Vec<LinkageRecord>,
+    by_class: HashMap<usize, Vec<usize>>,
+}
+
+impl LinkageDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a record, returning its index.
+    pub fn insert(&mut self, record: LinkageRecord) -> usize {
+        let idx = self.records.len();
+        self.by_class.entry(record.label).or_default().push(idx);
+        self.records.push(record);
+        idx
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no records are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion order.
+    pub fn records(&self) -> &[LinkageRecord] {
+        &self.records
+    }
+
+    /// Borrows record `index`.
+    pub fn record(&self, index: usize) -> Option<&LinkageRecord> {
+        self.records.get(index)
+    }
+
+    /// Record indices for one class label.
+    pub fn class_indices(&self, label: usize) -> &[usize] {
+        self.by_class.get(&label).map_or(&[], Vec::as_slice)
+    }
+
+    /// The `k` nearest records **within class `label`** to `probe`,
+    /// ascending by distance (ties broken by insertion order). This is
+    /// the paper's query: the mispredicted input's fingerprint is probed
+    /// against training fingerprints sharing its (mis)predicted label.
+    pub fn query(&self, probe: &Fingerprint, label: usize, k: usize) -> Vec<QueryMatch> {
+        let candidates = self.class_indices(label);
+        let mut matches: Vec<QueryMatch> = candidates
+            .iter()
+            .map(|&idx| QueryMatch {
+                record: idx,
+                distance: self.records[idx].fingerprint.distance(probe),
+            })
+            .collect();
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.record.cmp(&b.record))
+        });
+        matches.truncate(k);
+        matches
+    }
+
+    /// The `k` nearest records across *every* class — the ablation
+    /// baseline without the paper's Y-pruning.
+    pub fn query_all_classes(&self, probe: &Fingerprint, k: usize) -> Vec<QueryMatch> {
+        let mut matches: Vec<QueryMatch> = self
+            .records
+            .iter()
+            .enumerate()
+            .map(|(idx, r)| QueryMatch { record: idx, distance: r.fingerprint.distance(probe) })
+            .collect();
+        matches.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .expect("finite distances")
+                .then(a.record.cmp(&b.record))
+        });
+        matches.truncate(k);
+        matches
+    }
+
+    /// Distinct sources among a set of matches — the participants the
+    /// investigator will demand data from.
+    pub fn sources_of(&self, matches: &[QueryMatch]) -> Vec<u32> {
+        let mut sources: Vec<u32> =
+            matches.iter().filter_map(|m| self.records.get(m.record)).map(|r| r.source).collect();
+        sources.sort_unstable();
+        sources.dedup();
+        sources
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(dir: &[f32], label: usize, source: u32, bytes: &[u8]) -> LinkageRecord {
+        LinkageRecord::new(Fingerprint::from_embedding(dir), label, source, bytes)
+    }
+
+    fn sample_db() -> LinkageDb {
+        let mut db = LinkageDb::new();
+        db.insert(record(&[1.0, 0.0], 0, 10, b"a"));
+        db.insert(record(&[0.9, 0.1], 0, 11, b"b"));
+        db.insert(record(&[0.0, 1.0], 0, 12, b"c"));
+        db.insert(record(&[1.0, 0.05], 1, 13, b"d"));
+        db
+    }
+
+    #[test]
+    fn query_is_class_pruned_and_sorted() {
+        let db = sample_db();
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+        let hits = db.query(&probe, 0, 2);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].record, 0, "exact match first");
+        assert!(hits[0].distance < 1e-6);
+        assert_eq!(hits[1].record, 1);
+        assert!(hits[0].distance <= hits[1].distance);
+        // Record 3 (class 1) is closer than record 2 but excluded by Y.
+        assert!(hits.iter().all(|m| db.record(m.record).unwrap().label == 0));
+    }
+
+    #[test]
+    fn query_all_classes_ignores_pruning() {
+        let db = sample_db();
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+        let hits = db.query_all_classes(&probe, 2);
+        assert_eq!(hits[0].record, 0);
+        assert_eq!(hits[1].record, 3, "cross-class neighbour admitted");
+    }
+
+    #[test]
+    fn k_larger_than_class_is_safe() {
+        let db = sample_db();
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+        assert_eq!(db.query(&probe, 0, 100).len(), 3);
+        assert!(db.query(&probe, 99, 5).is_empty(), "unknown class is empty");
+    }
+
+    #[test]
+    fn sources_deduplicated() {
+        let mut db = sample_db();
+        db.insert(record(&[0.95, 0.05], 0, 10, b"e")); // same source as record 0
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+        let hits = db.query(&probe, 0, 3);
+        let sources = db.sources_of(&hits);
+        assert_eq!(sources.len(), sources.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+
+    #[test]
+    fn class_index_consistent() {
+        let db = sample_db();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.class_indices(0), &[0, 1, 2]);
+        assert_eq!(db.class_indices(1), &[3]);
+        assert!(db.record(99).is_none());
+    }
+}

@@ -1,0 +1,31 @@
+//! Model accountability: fingerprints, linkage records and queries
+//! (paper §IV-C, Experiments in §VI-D).
+//!
+//! For every training instance CalTrain stores a 4-tuple linkage record
+//! **Ω = [F, Y, S, H]**:
+//!
+//! * `F` — the L2-normalised penultimate-layer embedding
+//!   ([`Fingerprint`]), a one-way representation: without the (partially
+//!   encrypted) model it cannot be inverted back to the training input;
+//! * `Y` — the class label, used to prune the search space at query time;
+//! * `S` — the contributing participant;
+//! * `H` — a SHA-256 digest of the raw instance, so that data handed over
+//!   during a forensic investigation can be proven to be *exactly* the
+//!   bytes used in training.
+//!
+//! When a model user hits a misprediction, they extract the input's
+//! fingerprint and ask the [`db::LinkageDb`] for the nearest training
+//! fingerprints in the predicted class (L2 distance). The returned
+//! sources tell the investigator which participants to subpoena; the
+//! hashes verify what they hand back. [`lle`] reproduces the paper's
+//! Fig. 7 visualisation of this embedding space.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod lle;
+mod record;
+
+pub use db::{LinkageDb, QueryMatch};
+pub use record::{Fingerprint, LinkageRecord};

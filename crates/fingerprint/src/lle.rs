@@ -1,0 +1,274 @@
+//! Locally linear embedding (Roweis & Saul), used by the paper to project
+//! 2622-dimensional face fingerprints to 2-D for Fig. 7.
+//!
+//! Standard three-step LLE:
+//!
+//! 1. `k` nearest neighbours per point (exact, L2);
+//! 2. reconstruction weights minimising `‖xᵢ − Σⱼ wᵢⱼ xⱼ‖²` subject to
+//!    `Σⱼ wᵢⱼ = 1`, via the regularised local Gram system;
+//! 3. bottom eigenvectors of `M = (I − W)ᵀ(I − W)` (skipping the constant
+//!    eigenvector) as embedding coordinates — computed with the Jacobi
+//!    eigensolver from `caltrain-tensor`.
+
+use caltrain_tensor::linalg::{solve, symmetric_eigen};
+use caltrain_tensor::{Tensor, TensorError};
+
+/// Configuration for [`embed`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LleConfig {
+    /// Neighbours per point (paper-typical 10–15; must be < n).
+    pub neighbors: usize,
+    /// Output dimensionality (2 for Fig. 7).
+    pub out_dim: usize,
+    /// Gram regularisation factor (scaled by the local trace).
+    pub regularization: f32,
+}
+
+impl Default for LleConfig {
+    fn default() -> Self {
+        LleConfig { neighbors: 12, out_dim: 2, regularization: 1e-3 }
+    }
+}
+
+/// Embeds `points` (`[n, d]`) into `config.out_dim` dimensions,
+/// returning `[n, out_dim]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for non-rank-2 input or too few
+/// points (`n` must exceed `neighbors + 1` and `out_dim + 1`), and
+/// [`TensorError::Numerical`] if the eigensolve fails.
+pub fn embed(points: &Tensor, config: &LleConfig) -> Result<Tensor, TensorError> {
+    let dims = points.dims();
+    if dims.len() != 2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "lle",
+            lhs: dims.to_vec(),
+            rhs: vec![],
+        });
+    }
+    let (n, d) = (dims[0], dims[1]);
+    let k = config.neighbors;
+    if n <= k + 1 || n <= config.out_dim + 1 || k == 0 {
+        return Err(TensorError::ShapeMismatch {
+            op: "lle (need n > neighbors+1 and n > out_dim+1)",
+            lhs: vec![n, d],
+            rhs: vec![k, config.out_dim],
+        });
+    }
+    let data = points.as_slice();
+    let row = |i: usize| &data[i * d..(i + 1) * d];
+
+    // Step 1: exact k-NN per point.
+    let mut neighbor_ids = vec![vec![0usize; k]; n];
+    for i in 0..n {
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let dist: f32 = row(i)
+                    .iter()
+                    .zip(row(j))
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (dist, j)
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+        for (slot, &(_, j)) in neighbor_ids[i].iter_mut().zip(dists.iter()) {
+            *slot = j;
+        }
+    }
+
+    // Step 2: reconstruction weights via local Gram systems.
+    let mut weights = vec![0.0f32; n * n]; // dense W (n is a few hundred)
+    for i in 0..n {
+        let ids = &neighbor_ids[i];
+        let mut gram = Tensor::zeros(&[k, k]);
+        for a in 0..k {
+            for b in 0..k {
+                let mut acc = 0.0f32;
+                for t in 0..d {
+                    let da = row(i)[t] - row(ids[a])[t];
+                    let db = row(i)[t] - row(ids[b])[t];
+                    acc += da * db;
+                }
+                gram.set(&[a, b], acc)?;
+            }
+        }
+        // Regularise: G += reg · trace(G)/k · I (handles k > d rank
+        // deficiency, as in the reference implementation).
+        let trace: f32 = (0..k).map(|a| gram.get(&[a, a]).expect("in bounds")).sum();
+        let reg = config.regularization * (trace / k as f32).max(1e-12);
+        for a in 0..k {
+            let v = gram.get(&[a, a])?;
+            gram.set(&[a, a], v + reg)?;
+        }
+        let w = solve(&gram, &vec![1.0f32; k])?;
+        let sum: f32 = w.iter().sum();
+        if sum.abs() < 1e-12 {
+            return Err(TensorError::Numerical("degenerate LLE weights"));
+        }
+        for (a, &j) in ids.iter().enumerate() {
+            weights[i * n + j] = w[a] / sum;
+        }
+    }
+
+    // Step 3: M = (I − W)ᵀ(I − W), bottom eigenvectors.
+    let mut m = Tensor::zeros(&[n, n]);
+    {
+        let mm = m.as_mut_slice();
+        // I - W
+        let mut iw = vec![0.0f32; n * n];
+        for i in 0..n {
+            for j in 0..n {
+                iw[i * n + j] = (if i == j { 1.0 } else { 0.0 }) - weights[i * n + j];
+            }
+        }
+        for a in 0..n {
+            for b in 0..n {
+                let mut acc = 0.0f32;
+                for i in 0..n {
+                    acc += iw[i * n + a] * iw[i * n + b];
+                }
+                mm[a * n + b] = acc;
+            }
+        }
+    }
+    let (_vals, vecs) = symmetric_eigen(&m)?;
+
+    // Rows 1..=out_dim of `vecs` (ascending order) skip the constant
+    // eigenvector at index 0.
+    let mut out = Tensor::zeros(&[n, config.out_dim]);
+    let scale = (n as f32).sqrt();
+    for dim in 0..config.out_dim {
+        for i in 0..n {
+            let v = vecs.get(&[dim + 1, i])?;
+            out.set(&[i, dim], v * scale)?;
+        }
+    }
+    Ok(out)
+}
+
+/// Mean pairwise L2 distance between two groups of embedded points —
+/// the cluster-separation statistic the Fig. 7 harness reports.
+///
+/// # Panics
+///
+/// Panics if `embedding` is not rank-2 or any index is out of bounds.
+pub fn group_separation(embedding: &Tensor, group_a: &[usize], group_b: &[usize]) -> f32 {
+    let d = embedding.dims();
+    assert_eq!(d.len(), 2, "expected [n, dim]");
+    let dim = d[1];
+    let data = embedding.as_slice();
+    if group_a.is_empty() || group_b.is_empty() {
+        return 0.0;
+    }
+    let mut acc = 0.0f32;
+    for &i in group_a {
+        for &j in group_b {
+            let dist: f32 = (0..dim)
+                .map(|t| {
+                    let diff = data[i * dim + t] - data[j * dim + t];
+                    diff * diff
+                })
+                .sum::<f32>()
+                .sqrt();
+            acc += dist;
+        }
+    }
+    acc / (group_a.len() * group_b.len()) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two well-separated Gaussian blobs in 10-D.
+    fn two_blobs(n_per: usize) -> (Tensor, Vec<usize>, Vec<usize>) {
+        let n = n_per * 2;
+        let d = 10;
+        let mut data = vec![0.0f32; n * d];
+        // Deterministic pseudo-noise.
+        let noise = |i: usize, t: usize| ((i * 31 + t * 17) % 13) as f32 / 13.0 - 0.5;
+        for i in 0..n_per {
+            for t in 0..d {
+                data[i * d + t] = noise(i, t) * 0.3;
+                data[(n_per + i) * d + t] = 5.0 + noise(i + 100, t) * 0.3;
+            }
+        }
+        let a: Vec<usize> = (0..n_per).collect();
+        let b: Vec<usize> = (n_per..n).collect();
+        (Tensor::from_vec(data, &[n, d]).unwrap(), a, b)
+    }
+
+    #[test]
+    fn preserves_cluster_structure() {
+        let (points, a, b) = two_blobs(15);
+        let emb = embed(&points, &LleConfig { neighbors: 5, out_dim: 2, regularization: 1e-3 })
+            .unwrap();
+        assert_eq!(emb.dims(), &[30, 2]);
+        // With two disconnected manifolds, at least one embedding axis is
+        // (near-)piecewise-constant per cluster: the group means along
+        // that axis must be far apart relative to within-group spread.
+        let mut separated = false;
+        for dim in 0..2 {
+            let mean = |ids: &[usize]| -> f32 {
+                ids.iter().map(|&i| emb.get(&[i, dim]).unwrap()).sum::<f32>() / ids.len() as f32
+            };
+            let spread = |ids: &[usize], m: f32| -> f32 {
+                (ids.iter()
+                    .map(|&i| (emb.get(&[i, dim]).unwrap() - m).powi(2))
+                    .sum::<f32>()
+                    / ids.len() as f32)
+                    .sqrt()
+            };
+            let (ma, mb) = (mean(&a), mean(&b));
+            let s = spread(&a, ma).max(spread(&b, mb)).max(1e-6);
+            if (ma - mb).abs() > 3.0 * s {
+                separated = true;
+            }
+        }
+        assert!(separated, "some embedding axis must separate the two blobs");
+        // And inter-group distance still exceeds both intra-group spreads.
+        let inter = group_separation(&emb, &a, &b);
+        let intra_a = group_separation(&emb, &a, &a);
+        let intra_b = group_separation(&emb, &b, &b);
+        assert!(inter > intra_a && inter > intra_b, "inter {inter} vs {intra_a}/{intra_b}");
+    }
+
+    #[test]
+    fn output_has_unit_scale() {
+        // Eigenvectors are unit-norm; scaled by sqrt(n) the embedding's
+        // per-axis RMS is 1.
+        let (points, _, _) = two_blobs(10);
+        let emb = embed(&points, &LleConfig { neighbors: 4, out_dim: 2, regularization: 1e-3 })
+            .unwrap();
+        for dim in 0..2 {
+            let rms: f32 = ((0..20)
+                .map(|i| emb.get(&[i, dim]).unwrap().powi(2))
+                .sum::<f32>()
+                / 20.0)
+                .sqrt();
+            assert!((rms - 1.0).abs() < 0.1, "dim {dim} rms {rms}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let points = Tensor::zeros(&[5, 3]);
+        assert!(embed(&points, &LleConfig { neighbors: 5, out_dim: 2, regularization: 1e-3 })
+            .is_err());
+        assert!(embed(&points, &LleConfig { neighbors: 0, out_dim: 2, regularization: 1e-3 })
+            .is_err());
+        let rank3 = Tensor::zeros(&[5, 3, 2]);
+        assert!(embed(&rank3, &LleConfig::default()).is_err());
+    }
+
+    #[test]
+    fn group_separation_zero_for_identical_groups_of_one() {
+        let emb = Tensor::from_vec(vec![0.0, 0.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(group_separation(&emb, &[0], &[0]), 0.0);
+        assert!((group_separation(&emb, &[0], &[1]) - 5.0).abs() < 1e-6);
+        assert_eq!(group_separation(&emb, &[], &[1]), 0.0);
+    }
+}

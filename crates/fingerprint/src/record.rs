@@ -1,0 +1,154 @@
+//! Fingerprints and linkage records.
+
+use caltrain_crypto::sha256::{Digest, Sha256};
+use caltrain_tensor::{Tensor, TensorError};
+
+/// An L2-normalised penultimate-layer embedding (paper §IV-C
+/// "Fingerprint Generation").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    values: Vec<f32>,
+}
+
+impl Fingerprint {
+    /// Builds a fingerprint from a raw embedding, normalising it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `embedding` is empty.
+    pub fn from_embedding(embedding: &[f32]) -> Self {
+        assert!(!embedding.is_empty(), "empty embedding");
+        let norm = embedding.iter().map(|v| v * v).sum::<f32>().sqrt();
+        let values = if norm > 0.0 {
+            embedding.iter().map(|v| v / norm).collect()
+        } else {
+            embedding.to_vec()
+        };
+        Fingerprint { values }
+    }
+
+    /// Builds fingerprints for every row of an embedding matrix `[n, d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `embeddings` is not
+    /// rank-2.
+    pub fn from_embedding_rows(embeddings: &Tensor) -> Result<Vec<Fingerprint>, TensorError> {
+        let d = embeddings.dims();
+        if d.len() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "fingerprint rows",
+                lhs: d.to_vec(),
+                rhs: vec![],
+            });
+        }
+        let (n, dim) = (d[0], d[1]);
+        Ok((0..n)
+            .map(|i| Fingerprint::from_embedding(&embeddings.as_slice()[i * dim..(i + 1) * dim]))
+            .collect())
+    }
+
+    /// The normalised embedding values.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.values.len()
+    }
+
+    /// L2 distance to another fingerprint — the similarity measure of
+    /// §IV-C.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensionalities differ (fingerprints from different
+    /// models are never comparable).
+    pub fn distance(&self, other: &Fingerprint) -> f32 {
+        assert_eq!(self.dim(), other.dim(), "fingerprint dimensionality mismatch");
+        self.values
+            .iter()
+            .zip(&other.values)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt()
+    }
+}
+
+/// The linkage structure Ω = [F, Y, S, H] for one training instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkageRecord {
+    /// `F`: the fingerprint.
+    pub fingerprint: Fingerprint,
+    /// `Y`: the training label.
+    pub label: usize,
+    /// `S`: the contributing participant (u32 id).
+    pub source: u32,
+    /// `H`: SHA-256 digest of the raw instance bytes.
+    pub hash: Digest,
+}
+
+impl LinkageRecord {
+    /// Builds a record, hashing the instance bytes.
+    pub fn new(fingerprint: Fingerprint, label: usize, source: u32, instance_bytes: &[u8]) -> Self {
+        LinkageRecord { fingerprint, label, source, hash: Sha256::digest(instance_bytes) }
+    }
+
+    /// Verifies that `submitted` is byte-identical to the instance used
+    /// in training — the investigator's check when a participant turns in
+    /// demanded data (paper §IV-C).
+    pub fn verify_instance(&self, submitted: &[u8]) -> bool {
+        Sha256::digest(submitted) == self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_are_unit_norm() {
+        let f = Fingerprint::from_embedding(&[3.0, 4.0]);
+        let norm: f32 = f.values().iter().map(|v| v * v).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-6);
+        assert_eq!(f.dim(), 2);
+    }
+
+    #[test]
+    fn zero_embedding_survives() {
+        let f = Fingerprint::from_embedding(&[0.0, 0.0, 0.0]);
+        assert_eq!(f.values(), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn distance_is_scale_invariant() {
+        // Same direction, different magnitudes -> distance 0.
+        let a = Fingerprint::from_embedding(&[1.0, 2.0, 2.0]);
+        let b = Fingerprint::from_embedding(&[2.0, 4.0, 4.0]);
+        assert!(a.distance(&b) < 1e-6);
+        let c = Fingerprint::from_embedding(&[-1.0, -2.0, -2.0]);
+        assert!(a.distance(&c) > 1.9, "antipodal points are maximally far");
+    }
+
+    #[test]
+    fn rows_helper() {
+        let m = Tensor::from_vec(vec![1.0, 0.0, 0.0, 2.0], &[2, 2]).unwrap();
+        let fps = Fingerprint::from_embedding_rows(&m).unwrap();
+        assert_eq!(fps.len(), 2);
+        assert_eq!(fps[0].values(), &[1.0, 0.0]);
+        assert_eq!(fps[1].values(), &[0.0, 1.0]);
+        let bad = Tensor::zeros(&[2, 2, 2]);
+        assert!(Fingerprint::from_embedding_rows(&bad).is_err());
+    }
+
+    #[test]
+    fn record_hash_verification() {
+        let f = Fingerprint::from_embedding(&[1.0, 0.0]);
+        let record = LinkageRecord::new(f, 3, 7, b"training instance bytes");
+        assert!(record.verify_instance(b"training instance bytes"));
+        assert!(!record.verify_instance(b"training instance bytez"));
+        assert_eq!(record.label, 3);
+        assert_eq!(record.source, 7);
+    }
+}

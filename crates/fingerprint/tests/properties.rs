@@ -1,0 +1,112 @@
+//! Property-based tests for the linkage database and fingerprints.
+
+use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord};
+use proptest::prelude::*;
+
+fn db_strategy() -> impl Strategy<Value = (LinkageDb, usize)> {
+    (
+        proptest::collection::vec(
+            (proptest::collection::vec(-5.0f32..5.0, 6), 0usize..4, 0u32..5),
+            1..40,
+        ),
+        0usize..4,
+    )
+        .prop_map(|(rows, probe_class)| {
+            let mut db = LinkageDb::new();
+            for (i, (emb, label, source)) in rows.into_iter().enumerate() {
+                db.insert(LinkageRecord::new(
+                    Fingerprint::from_embedding(&emb),
+                    label,
+                    source,
+                    &i.to_le_bytes(),
+                ));
+            }
+            (db, probe_class)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_results_sorted_class_pure_and_bounded(
+        (db, class) in db_strategy(),
+        probe in proptest::collection::vec(-5.0f32..5.0, 6),
+        k in 1usize..12,
+    ) {
+        let probe = Fingerprint::from_embedding(&probe);
+        let hits = db.query(&probe, class, k);
+        prop_assert!(hits.len() <= k);
+        prop_assert_eq!(hits.len(), k.min(db.class_indices(class).len()));
+        for pair in hits.windows(2) {
+            prop_assert!(pair[0].distance <= pair[1].distance);
+        }
+        for h in &hits {
+            prop_assert_eq!(db.record(h.record).unwrap().label, class);
+            prop_assert!(h.distance >= 0.0);
+            // Normalised fingerprints live on the unit sphere: max L2
+            // distance is the diameter 2.
+            prop_assert!(h.distance <= 2.0 + 1e-4);
+        }
+    }
+
+    #[test]
+    fn class_query_is_full_scan_filtered(
+        (db, class) in db_strategy(),
+        probe in proptest::collection::vec(-5.0f32..5.0, 6),
+    ) {
+        let probe = Fingerprint::from_embedding(&probe);
+        let class_hits = db.query(&probe, class, db.len());
+        let full = db.query_all_classes(&probe, db.len());
+        let filtered: Vec<usize> = full
+            .iter()
+            .filter(|m| db.record(m.record).unwrap().label == class)
+            .map(|m| m.record)
+            .collect();
+        let got: Vec<usize> = class_hits.iter().map(|m| m.record).collect();
+        prop_assert_eq!(got, filtered, "Y-pruning must not change the ranking");
+    }
+
+    #[test]
+    fn hash_verification_accepts_exactly_the_original(
+        bytes in proptest::collection::vec(any::<u8>(), 1..64),
+        tamper_at in 0usize..64,
+    ) {
+        let record = LinkageRecord::new(
+            Fingerprint::from_embedding(&[1.0, 0.0]),
+            0,
+            0,
+            &bytes,
+        );
+        prop_assert!(record.verify_instance(&bytes));
+        let mut bad = bytes.clone();
+        let i = tamper_at % bad.len();
+        bad[i] ^= 0x01;
+        prop_assert!(!record.verify_instance(&bad));
+    }
+
+    #[test]
+    fn fingerprint_distance_is_a_metric(
+        a in proptest::collection::vec(-3.0f32..3.0, 5),
+        b in proptest::collection::vec(-3.0f32..3.0, 5),
+        c in proptest::collection::vec(-3.0f32..3.0, 5),
+    ) {
+        let fa = Fingerprint::from_embedding(&a);
+        let fb = Fingerprint::from_embedding(&b);
+        let fc = Fingerprint::from_embedding(&c);
+        prop_assert!((fa.distance(&fb) - fb.distance(&fa)).abs() < 1e-5);
+        prop_assert!(fa.distance(&fa) < 1e-6);
+        prop_assert!(fa.distance(&fb) <= fa.distance(&fc) + fc.distance(&fb) + 1e-4);
+    }
+
+    #[test]
+    fn sources_of_deduplicates((db, class) in db_strategy()) {
+        let probe = Fingerprint::from_embedding(&[1.0; 6]);
+        let hits = db.query(&probe, class, db.len());
+        let sources = db.sources_of(&hits);
+        let mut sorted = sources.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sources, sorted);
+    }
+}

@@ -1,0 +1,73 @@
+use std::error::Error;
+use std::fmt;
+
+use caltrain_tensor::TensorError;
+
+/// Errors produced by network construction, execution and serialisation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A layer received input whose per-sample shape does not match its
+    /// declared input shape.
+    ShapeMismatch {
+        /// Layer index in the network.
+        layer: usize,
+        /// Shape the layer expects.
+        expected: Vec<usize>,
+        /// Shape that arrived.
+        got: Vec<usize>,
+    },
+    /// A network was built with no layers, or with softmax/cost in an
+    /// invalid position.
+    InvalidArchitecture(&'static str),
+    /// A layer range was out of bounds or empty.
+    InvalidRange {
+        /// Start of the requested range.
+        from: usize,
+        /// End (exclusive) of the requested range.
+        to: usize,
+        /// Number of layers in the network.
+        layers: usize,
+    },
+    /// Training was invoked without targets, or with a target batch whose
+    /// size disagrees with the input batch.
+    BadTargets(&'static str),
+    /// Weight deserialisation failed (truncated, wrong magic, or
+    /// architecture mismatch).
+    BadWeightBlob(&'static str),
+    /// An underlying tensor failure.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::ShapeMismatch { layer, expected, got } => {
+                write!(f, "layer {layer} expected input {expected:?}, got {got:?}")
+            }
+            NnError::InvalidArchitecture(why) => write!(f, "invalid architecture: {why}"),
+            NnError::InvalidRange { from, to, layers } => {
+                write!(f, "invalid layer range {from}..{to} for {layers}-layer network")
+            }
+            NnError::BadTargets(why) => write!(f, "bad training targets: {why}"),
+            NnError::BadWeightBlob(why) => write!(f, "bad weight blob: {why}"),
+            NnError::Tensor(e) => write!(f, "tensor failure: {e}"),
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}

@@ -1,0 +1,76 @@
+//! Weight initialisation.
+//!
+//! The paper initialises all convolutional weights "from the Gaussian
+//! distribution" (§VI-A). Darknet's `make_convolutional_layer` draws
+//! `scale * rand_normal()` with `scale = sqrt(2 / (size·size·channels))`
+//! — He initialisation — which is what [`he_normal`] reproduces.
+
+use rand::Rng;
+
+/// A standard-normal sample via the Box–Muller transform.
+///
+/// `rand` ships no Gaussian distribution without the `rand_distr` crate
+/// (not available offline), so the transform is implemented directly.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // Guard u1 away from zero: ln(0) = -inf.
+    let u1: f32 = rng.gen_range(f32::MIN_POSITIVE..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+/// Fills `weights` with He-normal samples for a receptive field of
+/// `fan_in` inputs (Darknet's convolutional initialisation).
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, weights: &mut [f32], fan_in: usize) {
+    let scale = (2.0 / fan_in.max(1) as f32).sqrt();
+    for w in weights.iter_mut() {
+        *w = scale * normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn he_scale_shrinks_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut w_small = vec![0.0f32; 4096];
+        let mut w_large = vec![0.0f32; 4096];
+        he_normal(&mut rng, &mut w_small, 9);
+        he_normal(&mut rng, &mut w_large, 9 * 128);
+        let rms = |w: &[f32]| (w.iter().map(|v| v * v).sum::<f32>() / w.len() as f32).sqrt();
+        assert!(rms(&w_small) > 3.0 * rms(&w_large));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let mut wa = vec![0.0f32; 16];
+        let mut wb = vec![0.0f32; 16];
+        he_normal(&mut a, &mut wa, 27);
+        he_normal(&mut b, &mut wb, 27);
+        assert_eq!(wa, wb);
+    }
+
+    #[test]
+    fn all_finite() {
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..10_000 {
+            assert!(normal(&mut rng).is_finite());
+        }
+    }
+}

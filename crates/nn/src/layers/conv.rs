@@ -1,0 +1,750 @@
+//! 2-D convolution, lowered to GEMM via im2col exactly as Darknet does.
+
+use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops};
+use caltrain_tensor::im2col::{col2im, conv_out_extent, im2col};
+use caltrain_tensor::{Shape, Tensor};
+use rand::Rng;
+
+use crate::init;
+use crate::layers::{batch_size, Activation, Layer, LayerDescriptor, LayerKind};
+use crate::network::{Hyper, KernelMode};
+use crate::NnError;
+
+/// A convolutional layer: `filters` kernels of `size × size` over the
+/// input channels, with stride and zero padding, followed by an
+/// elementwise activation.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    input_shape: Shape,
+    output_shape: Shape,
+    filters: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    activation: Activation,
+    /// Batch-normalise pre-activations (Darknet `batch_normalize=1`).
+    batch_norm: bool,
+    /// `[filters, channels·size·size]` row-major.
+    weights: Vec<f32>,
+    /// β when `batch_norm`, plain bias otherwise.
+    biases: Vec<f32>,
+    /// γ (BN scale); unused when `batch_norm` is off.
+    scales: Vec<f32>,
+    weight_updates: Vec<f32>,
+    bias_updates: Vec<f32>,
+    scale_updates: Vec<f32>,
+    /// Inference-time statistics (exponential moving averages).
+    rolling_mean: Vec<f32>,
+    rolling_var: Vec<f32>,
+    /// Caches for backward.
+    last_input: Vec<f32>,
+    last_batch: usize,
+    pre_activation: Vec<f32>,
+    /// BN caches: raw conv output, normalised x̂, batch mean/var.
+    bn_raw: Vec<f32>,
+    bn_xhat: Vec<f32>,
+    bn_mean: Vec<f32>,
+    bn_var: Vec<f32>,
+}
+
+/// Numerical floor inside the BN square root.
+const BN_EPS: f32 = 1e-5;
+
+/// EMA factor for the rolling inference statistics. Darknet uses .99/.01,
+/// tuned for its hundreds of thousands of iterations; at this
+/// reproduction's laptop-scale iteration counts the rolling stats would
+/// lag training badly, so a faster .9/.1 average is used.
+const BN_MOMENTUM: f32 = 0.9;
+
+impl Conv2d {
+    /// Creates a convolutional layer with He-normal weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry is degenerate (zero filters/size/stride or an
+    /// input smaller than the padded kernel) — architectures are
+    /// compile-time constants in this codebase.
+    pub fn new<R: Rng + ?Sized>(
+        rng: &mut R,
+        input_shape: &Shape,
+        filters: usize,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+    ) -> Self {
+        Self::with_batch_norm(rng, input_shape, filters, size, stride, pad, activation, false)
+    }
+
+    /// Creates a convolutional layer, optionally batch-normalised
+    /// (Darknet's `batch_normalize=1`, which its CIFAR configurations use
+    /// on every convolutional layer — without it the paper's 10/18-layer
+    /// stacks do not train stably).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry (see [`Conv2d::new`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_batch_norm<R: Rng + ?Sized>(
+        rng: &mut R,
+        input_shape: &Shape,
+        filters: usize,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+        batch_norm: bool,
+    ) -> Self {
+        assert!(filters > 0 && size > 0 && stride > 0, "degenerate conv geometry");
+        let dims = input_shape.dims();
+        assert_eq!(dims.len(), 3, "conv input must be [c, h, w]");
+        let (c, h, w) = (dims[0], dims[1], dims[2]);
+        assert!(h + 2 * pad >= size && w + 2 * pad >= size, "kernel larger than input");
+        let oh = conv_out_extent(h, size, stride, pad);
+        let ow = conv_out_extent(w, size, stride, pad);
+
+        let fan_in = c * size * size;
+        let mut weights = vec![0.0f32; filters * fan_in];
+        init::he_normal(rng, &mut weights, fan_in);
+
+        Conv2d {
+            input_shape: input_shape.clone(),
+            output_shape: Shape::new(&[filters, oh, ow]).expect("non-degenerate output"),
+            filters,
+            size,
+            stride,
+            pad,
+            activation,
+            batch_norm,
+            weights,
+            biases: vec![0.0; filters],
+            scales: vec![1.0; filters],
+            weight_updates: vec![0.0; filters * fan_in],
+            bias_updates: vec![0.0; filters],
+            scale_updates: vec![0.0; filters],
+            rolling_mean: vec![0.0; filters],
+            rolling_var: vec![1.0; filters],
+            last_input: Vec::new(),
+            last_batch: 0,
+            pre_activation: Vec::new(),
+            bn_raw: Vec::new(),
+            bn_xhat: Vec::new(),
+            bn_mean: Vec::new(),
+            bn_var: Vec::new(),
+        }
+    }
+
+    fn geometry(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
+        let d = self.input_shape.dims();
+        let o = self.output_shape.dims();
+        (d[0], d[1], d[2], o[1], o[2], d[0] * self.size * self.size, o[1] * o[2])
+    }
+
+    /// Train-mode: normalise with batch statistics and refresh the
+    /// rolling averages. Eval-mode: normalise with the rolling averages.
+    fn apply_batch_norm(&mut self, out: &mut [f32], n: usize, ohw: usize, train: bool) {
+        let f_count = self.filters;
+        let m = (n * ohw) as f32;
+        if train {
+            self.bn_mean = vec![0.0; f_count];
+            self.bn_var = vec![0.0; f_count];
+            for f in 0..f_count {
+                let mut acc = 0.0f32;
+                for s in 0..n {
+                    let base = (s * f_count + f) * ohw;
+                    for &v in &out[base..base + ohw] {
+                        acc += v;
+                    }
+                }
+                self.bn_mean[f] = acc / m;
+            }
+            for f in 0..f_count {
+                let mean = self.bn_mean[f];
+                let mut acc = 0.0f32;
+                for s in 0..n {
+                    let base = (s * f_count + f) * ohw;
+                    for &v in &out[base..base + ohw] {
+                        acc += (v - mean) * (v - mean);
+                    }
+                }
+                self.bn_var[f] = acc / m;
+            }
+            for f in 0..f_count {
+                self.rolling_mean[f] =
+                    BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * self.bn_mean[f];
+                self.rolling_var[f] =
+                    BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * self.bn_var[f];
+            }
+            self.bn_xhat = vec![0.0; out.len()];
+            for f in 0..f_count {
+                let mean = self.bn_mean[f];
+                let inv_std = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+                let gamma = self.scales[f];
+                let beta = self.biases[f];
+                for s in 0..n {
+                    let base = (s * f_count + f) * ohw;
+                    for i in base..base + ohw {
+                        let xhat = (out[i] - mean) * inv_std;
+                        self.bn_xhat[i] = xhat;
+                        out[i] = gamma * xhat + beta;
+                    }
+                }
+            }
+        } else {
+            for f in 0..f_count {
+                let mean = self.rolling_mean[f];
+                let inv_std = 1.0 / (self.rolling_var[f] + BN_EPS).sqrt();
+                let gamma = self.scales[f];
+                let beta = self.biases[f];
+                for s in 0..n {
+                    let base = (s * f_count + f) * ohw;
+                    for v in &mut out[base..base + ohw] {
+                        *v = gamma * (*v - mean) * inv_std + beta;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Standard batch-norm backward: accumulates dγ/dβ and rewrites
+    /// `delta` (w.r.t. the BN output) into the delta w.r.t. the raw
+    /// convolution output.
+    ///
+    /// After an *eval-mode* forward (no batch-statistics cache) the
+    /// rolling statistics are constants, so the backward is the plain
+    /// chain rule `δ ·= γ/√(var+ε)` — the path input-gradient consumers
+    /// such as the model-inversion attack take.
+    fn backward_batch_norm(&mut self, delta: &mut [f32], n: usize, ohw: usize) {
+        let f_count = self.filters;
+        let m = (n * ohw) as f32;
+        if self.bn_xhat.len() != delta.len() {
+            for f in 0..f_count {
+                let k = self.scales[f] / (self.rolling_var[f] + BN_EPS).sqrt();
+                for s in 0..n {
+                    let base = (s * f_count + f) * ohw;
+                    for v in &mut delta[base..base + ohw] {
+                        *v *= k;
+                    }
+                }
+            }
+            return;
+        }
+        for f in 0..f_count {
+            let inv_std = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+            let gamma = self.scales[f];
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for s in 0..n {
+                let base = (s * f_count + f) * ohw;
+                for i in base..base + ohw {
+                    sum_dy += delta[i];
+                    sum_dy_xhat += delta[i] * self.bn_xhat[i];
+                }
+            }
+            self.bias_updates[f] += sum_dy;
+            self.scale_updates[f] += sum_dy_xhat;
+            let k = gamma * inv_std / m;
+            for s in 0..n {
+                let base = (s * f_count + f) * ohw;
+                for i in base..base + ohw {
+                    delta[i] =
+                        k * (m * delta[i] - sum_dy - self.bn_xhat[i] * sum_dy_xhat);
+                }
+            }
+        }
+    }
+
+    /// The activation function in force.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+}
+
+impl Layer for Conv2d {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Conv
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.output_shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.input_shape)?;
+        let (c, h, w, oh, ow, ckk, ohw) = self.geometry();
+        let gemm = mode.gemm();
+
+        self.last_input = input.as_slice().to_vec();
+        self.last_batch = n;
+        let mut output = Tensor::zeros(&[n, self.filters, oh, ow]);
+        let mut cols = vec![0.0f32; ckk * ohw];
+
+        let in_stride = c * h * w;
+        let out_stride = self.filters * ohw;
+        for s in 0..n {
+            let in_slice = &input.as_slice()[s * in_stride..(s + 1) * in_stride];
+            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
+            let out_slice = &mut output.as_mut_slice()[s * out_stride..(s + 1) * out_stride];
+            gemm(self.filters, ohw, ckk, &self.weights, &cols, out_slice);
+        }
+
+        if self.batch_norm {
+            self.bn_raw = output.as_slice().to_vec();
+            self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
+        } else {
+            let out = output.as_mut_slice();
+            for s in 0..n {
+                let out_slice = &mut out[s * out_stride..(s + 1) * out_stride];
+                for f in 0..self.filters {
+                    let bias = self.biases[f];
+                    for v in &mut out_slice[f * ohw..(f + 1) * ohw] {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+
+        self.pre_activation = output.as_slice().to_vec();
+        let act = self.activation;
+        for v in output.as_mut_slice() {
+            *v = act.apply(*v);
+        }
+
+        let flops = n as u64 * self.flops_per_sample();
+        Ok((output, flops))
+    }
+
+    fn backward(&mut self, delta: &Tensor, mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, delta, &self.output_shape)?;
+        if n != self.last_batch {
+            return Err(NnError::BadTargets("backward batch differs from forward"));
+        }
+        let (c, h, w, _oh, _ow, ckk, ohw) = self.geometry();
+        let _ = mode;
+
+        // δ ⊙ act'(pre-activation).
+        let mut delta_act = delta.as_slice().to_vec();
+        let act = self.activation;
+        for (d, &z) in delta_act.iter_mut().zip(&self.pre_activation) {
+            *d *= act.gradient(z);
+        }
+
+        if self.batch_norm {
+            // β/γ gradients plus the delta transform back to the raw
+            // convolution output.
+            self.backward_batch_norm(&mut delta_act, n, ohw);
+        }
+
+        let in_stride = c * h * w;
+        let out_stride = self.filters * ohw;
+        let mut input_delta = Tensor::zeros(&[n, c, h, w]);
+        let mut cols = vec![0.0f32; ckk * ohw];
+        let mut col_delta = vec![0.0f32; ckk * ohw];
+
+        for s in 0..n {
+            let d_slice = &delta_act[s * out_stride..(s + 1) * out_stride];
+
+            // Bias gradient: sum of deltas per filter (BN layers fold the
+            // shift into β, already handled above).
+            if !self.batch_norm {
+                for f in 0..self.filters {
+                    let mut acc = 0.0f32;
+                    for &v in &d_slice[f * ohw..(f + 1) * ohw] {
+                        acc += v;
+                    }
+                    self.bias_updates[f] += acc;
+                }
+            }
+
+            // Weight gradient: δ · colsᵀ (re-derive cols as Darknet does).
+            let in_slice = &self.last_input[s * in_stride..(s + 1) * in_stride];
+            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
+            gemm_a_bt(self.filters, ckk, ohw, d_slice, &cols, &mut self.weight_updates);
+
+            // Input delta: Wᵀ · δ, scattered back through col2im.
+            col_delta.fill(0.0);
+            gemm_at_b(ckk, ohw, self.filters, &self.weights, d_slice, &mut col_delta);
+            let id_slice = &mut input_delta.as_mut_slice()[s * in_stride..(s + 1) * in_stride];
+            col2im(&col_delta, c, h, w, self.size, self.stride, self.pad, id_slice);
+        }
+
+        let flops = 2 * n as u64 * self.flops_per_sample();
+        Ok((input_delta, flops))
+    }
+
+    fn apply_update(&mut self, hyper: &Hyper, batch: usize) {
+        // Darknet's update_convolutional_layer:
+        //   wu -= decay * batch * w
+        //   w  += (lr / batch) * wu
+        //   wu *= momentum            (and the same for biases, sans decay)
+        let batch = batch.max(1) as f32;
+        for (wu, &w) in self.weight_updates.iter_mut().zip(&self.weights) {
+            *wu -= hyper.decay * batch * w;
+        }
+        let step = hyper.learning_rate / batch;
+        for (w, wu) in self.weights.iter_mut().zip(&mut self.weight_updates) {
+            *w += step * *wu;
+            *wu *= hyper.momentum;
+        }
+        for (b, bu) in self.biases.iter_mut().zip(&mut self.bias_updates) {
+            *b += step * *bu;
+            *bu *= hyper.momentum;
+        }
+        if self.batch_norm {
+            for (g, gu) in self.scales.iter_mut().zip(&mut self.scale_updates) {
+                *g += step * *gu;
+                *gu *= hyper.momentum;
+            }
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        let base = self.weights.len() + self.biases.len();
+        if self.batch_norm {
+            // γ plus the rolling statistics (needed for inference).
+            base + 3 * self.filters
+        } else {
+            base
+        }
+    }
+
+    fn export_params(&self) -> Vec<f32> {
+        let mut out = self.weights.clone();
+        out.extend_from_slice(&self.biases);
+        if self.batch_norm {
+            out.extend_from_slice(&self.scales);
+            out.extend_from_slice(&self.rolling_mean);
+            out.extend_from_slice(&self.rolling_var);
+        }
+        out
+    }
+
+    fn import_params(&mut self, params: &[f32]) -> Result<(), NnError> {
+        if params.len() != self.param_count() {
+            return Err(NnError::BadWeightBlob("conv parameter count mismatch"));
+        }
+        let w = self.weights.len();
+        let f = self.filters;
+        self.weights.copy_from_slice(&params[..w]);
+        self.biases.copy_from_slice(&params[w..w + f]);
+        if self.batch_norm {
+            self.scales.copy_from_slice(&params[w + f..w + 2 * f]);
+            self.rolling_mean.copy_from_slice(&params[w + 2 * f..w + 3 * f]);
+            self.rolling_var.copy_from_slice(&params[w + 3 * f..w + 4 * f]);
+        }
+        Ok(())
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        let (_, _, _, _, _, ckk, ohw) = self.geometry();
+        gemm_flops(self.filters, ohw, ckk) + (self.filters * ohw) as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::Conv,
+            filters: Some(self.filters),
+            size: format!("{}x{}/{}", self.size, self.size, self.stride),
+            input: self.input_shape.dims().to_vec(),
+            output: self.output_shape.dims().to_vec(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn take_grads(&mut self) -> Vec<f32> {
+        let mut out =
+            Vec::with_capacity(self.weight_updates.len() + self.bias_updates.len() + self.filters);
+        out.append(&mut self.weight_updates);
+        self.weight_updates = vec![0.0; out.len()];
+        out.extend_from_slice(&self.bias_updates);
+        self.bias_updates.fill(0.0);
+        if self.batch_norm {
+            out.extend_from_slice(&self.scale_updates);
+            self.scale_updates.fill(0.0);
+        }
+        out
+    }
+
+    fn add_grads(&mut self, grads: &[f32]) -> Result<(), NnError> {
+        let w = self.weight_updates.len();
+        let f = self.filters;
+        let expected = w + f + if self.batch_norm { f } else { 0 };
+        if grads.len() != expected {
+            return Err(NnError::BadWeightBlob("gradient buffer length mismatch"));
+        }
+        for (acc, g) in self.weight_updates.iter_mut().zip(&grads[..w]) {
+            *acc += g;
+        }
+        for (acc, g) in self.bias_updates.iter_mut().zip(&grads[w..w + f]) {
+            *acc += g;
+        }
+        if self.batch_norm {
+            for (acc, g) in self.scale_updates.iter_mut().zip(&grads[w + f..]) {
+                *acc += g;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layer(act: Activation) -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(1);
+        Conv2d::new(&mut rng, &Shape::new(&[2, 5, 5]).unwrap(), 3, 3, 1, 1, act)
+    }
+
+    #[test]
+    fn shapes_match_darknet_formula() {
+        let l = layer(Activation::Leaky);
+        assert_eq!(l.output_shape().dims(), &[3, 5, 5]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let strided =
+            Conv2d::new(&mut rng, &Shape::new(&[3, 28, 28]).unwrap(), 128, 3, 1, 1, Activation::Leaky);
+        assert_eq!(strided.output_shape().dims(), &[128, 28, 28]);
+        assert_eq!(strided.param_count(), 128 * 3 * 9 + 128);
+    }
+
+    #[test]
+    fn forward_known_filter() {
+        // Identity-ish: one filter that just copies the centre tap of
+        // channel 0.
+        let mut l = layer(Activation::Linear);
+        let ckk = 2 * 9;
+        let mut w = vec![0.0f32; ckk];
+        w[4] = 1.0; // channel 0, centre of 3x3
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut single =
+            Conv2d::new(&mut rng, &Shape::new(&[2, 5, 5]).unwrap(), 1, 3, 1, 1, Activation::Linear);
+        let mut params = w.clone();
+        params.push(0.5); // bias
+        single.import_params(&params).unwrap();
+
+        let input = Tensor::from_fn(&[1, 2, 5, 5], |i| i as f32);
+        let (out, flops) = single.forward(&input, KernelMode::Native, true).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 5, 5]);
+        // Output pixel (y,x) = input channel-0 pixel (y,x) + bias.
+        for y in 0..5 {
+            for x in 0..5 {
+                let got = out.get(&[0, 0, y, x]).unwrap();
+                let want = input.get(&[0, 0, y, x]).unwrap() + 0.5;
+                assert!((got - want).abs() < 1e-5);
+            }
+        }
+        assert!(flops > 0);
+        let _ = l.forward(&input, KernelMode::Strict, true).unwrap();
+    }
+
+    #[test]
+    fn strict_and_native_bit_identical() {
+        let mut l1 = layer(Activation::Leaky);
+        let mut l2 = l1.clone();
+        let input = Tensor::from_fn(&[2, 2, 5, 5], |i| ((i * 37) % 11) as f32 / 7.0 - 0.6);
+        let (o1, _) = l1.forward(&input, KernelMode::Strict, true).unwrap();
+        let (o2, _) = l2.forward(&input, KernelMode::Native, true).unwrap();
+        assert_eq!(o1.as_slice(), o2.as_slice(), "kernel paths must agree bitwise");
+
+        let delta = Tensor::from_fn(&[2, 3, 5, 5], |i| (i % 5) as f32 - 2.0);
+        let (d1, _) = l1.backward(&delta, KernelMode::Strict).unwrap();
+        let (d2, _) = l2.backward(&delta, KernelMode::Native).unwrap();
+        assert_eq!(d1.as_slice(), d2.as_slice());
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check of dLoss/dw for a scalar loss = sum(out).
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut l =
+            Conv2d::new(&mut rng, &Shape::new(&[1, 4, 4]).unwrap(), 2, 3, 1, 1, Activation::Leaky);
+        let input = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32) / 7.0 - 1.0);
+
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let ones = Tensor::full(out.dims(), 1.0);
+        l.weight_updates.fill(0.0);
+        let _ = l.backward(&ones, KernelMode::Native).unwrap();
+        let analytic = l.weight_updates.clone();
+
+        let eps = 1e-3;
+        for widx in [0usize, 3, 8, 10, 17] {
+            let mut params = l.export_params();
+            let orig = params[widx];
+            params[widx] = orig + eps;
+            l.import_params(&params).unwrap();
+            let (out_p, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+            params[widx] = orig - eps;
+            l.import_params(&params).unwrap();
+            let (out_m, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+            params[widx] = orig;
+            l.import_params(&params).unwrap();
+
+            let numeric = (out_p.sum() - out_m.sum()) / (2.0 * eps);
+            assert!(
+                (numeric - analytic[widx]).abs() < 1e-2 * analytic[widx].abs().max(1.0),
+                "w[{widx}]: numeric {numeric} vs analytic {}",
+                analytic[widx]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_input() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut l =
+            Conv2d::new(&mut rng, &Shape::new(&[1, 4, 4]).unwrap(), 2, 3, 1, 1, Activation::Linear);
+        let base = Tensor::from_fn(&[1, 1, 4, 4], |i| (i as f32) / 9.0 - 0.7);
+        let (out, _) = l.forward(&base, KernelMode::Native, true).unwrap();
+        let ones = Tensor::full(out.dims(), 1.0);
+        let (analytic, _) = l.backward(&ones, KernelMode::Native).unwrap();
+
+        let eps = 1e-3;
+        for idx in [0usize, 5, 9, 15] {
+            let mut plus = base.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let (op, _) = l.forward(&plus, KernelMode::Native, true).unwrap();
+            let mut minus = base.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (om, _) = l.forward(&minus, KernelMode::Native, true).unwrap();
+            let numeric = (op.sum() - om.sum()) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!((numeric - a).abs() < 1e-2, "x[{idx}]: {numeric} vs {a}");
+        }
+    }
+
+    #[test]
+    fn update_moves_weights_against_gradient() {
+        let mut l = layer(Activation::Linear);
+        let before = l.export_params();
+        let input = Tensor::from_fn(&[1, 2, 5, 5], |i| (i % 3) as f32);
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let delta = Tensor::full(out.dims(), -1.0); // pretend gradient
+        let _ = l.backward(&delta, KernelMode::Native).unwrap();
+        l.apply_update(
+            &Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0 },
+            1,
+        );
+        let after = l.export_params();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn import_rejects_wrong_length() {
+        let mut l = layer(Activation::Leaky);
+        assert!(l.import_params(&[0.0; 3]).is_err());
+    }
+
+    fn bn_layer(seed: u64) -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Conv2d::with_batch_norm(
+            &mut rng,
+            &Shape::new(&[1, 4, 4]).unwrap(),
+            2,
+            3,
+            1,
+            1,
+            Activation::Linear,
+            true,
+        )
+    }
+
+    #[test]
+    fn batch_norm_normalises_train_output() {
+        let mut l = bn_layer(31);
+        let input = Tensor::from_fn(&[4, 1, 4, 4], |i| ((i * 7) % 23) as f32 / 11.0 - 1.0);
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        // γ=1, β=0 at init: each filter's outputs are ~N(0,1) over the batch.
+        let per_filter = 4 * 16;
+        for f in 0..2 {
+            let vals: Vec<f32> = (0..4)
+                .flat_map(|s| {
+                    let base = (s * 2 + f) * 16;
+                    out.as_slice()[base..base + 16].to_vec()
+                })
+                .collect();
+            let mean: f32 = vals.iter().sum::<f32>() / per_filter as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / per_filter as f32;
+            assert!(mean.abs() < 1e-4, "filter {f} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "filter {f} var {var}");
+        }
+    }
+
+    #[test]
+    fn batch_norm_gradient_check_input() {
+        // Finite differences through conv+BN for loss = sum(out).
+        // The per-batch statistics make this the full Jacobian test.
+        let mut l = bn_layer(32);
+        // Asymmetric weighting so the sum loss has non-trivial gradient
+        // despite BN's mean-invariance.
+        let weights_loss = |t: &Tensor| -> f32 {
+            t.as_slice().iter().enumerate().map(|(i, v)| (i % 5) as f32 * v).sum()
+        };
+        let base = Tensor::from_fn(&[2, 1, 4, 4], |i| ((i * 13) % 17) as f32 / 8.0 - 1.0);
+        let (out, _) = l.forward(&base, KernelMode::Native, true).unwrap();
+        let dloss = Tensor::from_fn(out.dims(), |i| (i % 5) as f32);
+        let (analytic, _) = l.backward(&dloss, KernelMode::Native).unwrap();
+
+        let eps = 1e-2;
+        for idx in [0usize, 7, 13, 30] {
+            let mut plus = base.clone();
+            plus.as_mut_slice()[idx] += eps;
+            let (op, _) = l.forward(&plus, KernelMode::Native, true).unwrap();
+            let mut minus = base.clone();
+            minus.as_mut_slice()[idx] -= eps;
+            let (om, _) = l.forward(&minus, KernelMode::Native, true).unwrap();
+            let numeric = (weights_loss(&op) - weights_loss(&om)) / (2.0 * eps);
+            let a = analytic.as_slice()[idx];
+            assert!(
+                (numeric - a).abs() < 0.05 * a.abs().max(1.0),
+                "x[{idx}]: numeric {numeric} vs analytic {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_norm_eval_uses_rolling_stats() {
+        let mut l = bn_layer(33);
+        let input = Tensor::from_fn(&[4, 1, 4, 4], |i| (i % 9) as f32 / 4.0);
+        // Enough identical passes for the 0.99-EMA rolling stats to
+        // converge to the batch statistics.
+        for _ in 0..600 {
+            let _ = l.forward(&input, KernelMode::Native, true).unwrap();
+        }
+        let (train_out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let (eval_out, _) = l.forward(&input, KernelMode::Native, false).unwrap();
+        // After many identical batches the rolling stats approach the
+        // batch stats, so train and eval outputs are close (not equal).
+        let diff: f32 = train_out
+            .as_slice()
+            .iter()
+            .zip(eval_out.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max);
+        assert!(diff < 0.5, "train/eval divergence {diff}");
+    }
+
+    #[test]
+    fn batch_norm_params_roundtrip() {
+        let l = bn_layer(34);
+        assert_eq!(l.param_count(), 2 * 9 + 2 + 3 * 2);
+        let params = l.export_params();
+        let mut l2 = bn_layer(35);
+        l2.import_params(&params).unwrap();
+        assert_eq!(l2.export_params(), params);
+    }
+}

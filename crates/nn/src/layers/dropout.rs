@@ -1,0 +1,186 @@
+//! Inverted dropout (Table II rows 5/10/14, p = 0.5).
+
+use caltrain_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layers::{batch_size, Layer, LayerDescriptor, LayerKind};
+use crate::network::KernelMode;
+use crate::NnError;
+
+/// Dropout with probability `p`, scaling survivors by `1/(1-p)` at train
+/// time (inverted dropout, matching Darknet) and acting as the identity at
+/// inference time.
+///
+/// Each layer owns its RNG, seeded at network build time, so training runs
+/// are reproducible and independent of kernel-mode choice — a prerequisite
+/// for the bit-identical enclave/native comparison of Figs. 3–4.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    shape: Shape,
+    probability: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+    last_batch: usize,
+}
+
+impl Dropout {
+    /// Creates a dropout layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `[0, 1)`.
+    pub fn new(shape: &Shape, probability: f32, seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&probability),
+            "dropout probability must be in [0, 1)"
+        );
+        Dropout {
+            shape: shape.clone(),
+            probability,
+            rng: StdRng::seed_from_u64(seed),
+            mask: Vec::new(),
+            last_batch: 0,
+        }
+    }
+
+    /// The drop probability.
+    pub fn probability(&self) -> f32 {
+        self.probability
+    }
+}
+
+impl Layer for Dropout {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Dropout
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        _mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.shape)?;
+        self.last_batch = n;
+        if !train {
+            self.mask.clear();
+            return Ok((input.clone(), 0));
+        }
+        let scale = 1.0 / (1.0 - self.probability);
+        self.mask = (0..input.volume())
+            .map(|_| {
+                if self.rng.gen::<f32>() < self.probability {
+                    0.0
+                } else {
+                    scale
+                }
+            })
+            .collect();
+        let mut output = input.clone();
+        for (v, &m) in output.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        Ok((output, input.volume() as u64))
+    }
+
+    fn backward(&mut self, delta: &Tensor, _mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, delta, &self.shape)?;
+        if n != self.last_batch {
+            return Err(NnError::BadTargets("backward batch differs from forward"));
+        }
+        if self.mask.is_empty() {
+            // Inference-mode backward (identity); used by assessment code.
+            return Ok((delta.clone(), 0));
+        }
+        let mut out = delta.clone();
+        for (v, &m) in out.as_mut_slice().iter_mut().zip(&self.mask) {
+            *v *= m;
+        }
+        Ok((out, delta.volume() as u64))
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.shape.volume() as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::Dropout,
+            filters: None,
+            size: format!("p = {:.2}", self.probability),
+            input: vec![self.shape.volume()],
+            output: vec![self.shape.volume()],
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn shape() -> Shape {
+        Shape::new(&[4, 4]).unwrap()
+    }
+
+    #[test]
+    fn inference_is_identity() {
+        let mut l = Dropout::new(&shape(), 0.5, 1);
+        let input = Tensor::from_fn(&[2, 4, 4], |i| i as f32);
+        let (out, _) = l.forward(&input, KernelMode::Native, false).unwrap();
+        assert_eq!(out, input);
+    }
+
+    #[test]
+    fn train_zeroes_roughly_p_fraction() {
+        let mut l = Dropout::new(&shape(), 0.5, 2);
+        let input = Tensor::full(&[64, 4, 4], 1.0);
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let zeros = out.as_slice().iter().filter(|&&v| v == 0.0).count();
+        let frac = zeros as f32 / out.volume() as f32;
+        assert!((frac - 0.5).abs() < 0.06, "zero fraction {frac}");
+        // Survivors scaled by 2.
+        assert!(out.as_slice().iter().all(|&v| v == 0.0 || v == 2.0));
+    }
+
+    #[test]
+    fn expectation_preserved() {
+        let mut l = Dropout::new(&shape(), 0.5, 3);
+        let input = Tensor::full(&[64, 4, 4], 1.0);
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let mean = out.sum() / out.volume() as f32;
+        assert!((mean - 1.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn backward_applies_same_mask() {
+        let mut l = Dropout::new(&shape(), 0.5, 4);
+        let input = Tensor::full(&[1, 4, 4], 1.0);
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        let delta = Tensor::full(&[1, 4, 4], 1.0);
+        let (back, _) = l.backward(&delta, KernelMode::Native).unwrap();
+        assert_eq!(out.as_slice(), back.as_slice(), "same mask must gate both passes");
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let mut a = Dropout::new(&shape(), 0.5, 9);
+        let mut b = Dropout::new(&shape(), 0.5, 9);
+        let input = Tensor::full(&[2, 4, 4], 1.0);
+        let (oa, _) = a.forward(&input, KernelMode::Strict, true).unwrap();
+        let (ob, _) = b.forward(&input, KernelMode::Native, true).unwrap();
+        assert_eq!(oa, ob, "mask independent of kernel mode");
+    }
+}

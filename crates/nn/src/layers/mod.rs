@@ -1,0 +1,314 @@
+//! The layer zoo of paper Tables I–II and the [`Layer`] abstraction.
+
+use std::fmt;
+
+use caltrain_tensor::{Shape, Tensor};
+
+use crate::network::{Hyper, KernelMode};
+use crate::NnError;
+
+mod conv;
+mod dropout;
+mod pool;
+mod softmax;
+
+pub use conv::Conv2d;
+pub use dropout::Dropout;
+pub use pool::{GlobalAvgPool, MaxPool};
+pub use softmax::{CostLayer, SoftmaxLayer};
+
+/// Activation functions supported by [`Conv2d`].
+///
+/// Darknet's CIFAR configurations use leaky ReLU on every convolutional
+/// layer; the final 1×1 projection runs linear into the softmax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Darknet's leaky ReLU: `x > 0 ? x : 0.1x`.
+    Leaky,
+}
+
+impl Activation {
+    /// Applies the activation.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative with respect to the pre-activation input.
+    pub fn gradient(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+}
+
+/// Discriminates layer types (for table printing and serialisation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolutional layer (the only parameterised kind in Tables I–II).
+    Conv,
+    /// Max-pooling layer.
+    MaxPool,
+    /// Global average pooling (Darknet `avg`).
+    AvgPool,
+    /// Dropout regulariser.
+    Dropout,
+    /// Softmax normaliser.
+    Softmax,
+    /// Cross-entropy cost layer.
+    Cost,
+}
+
+impl fmt::Display for LayerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            LayerKind::Conv => "conv",
+            LayerKind::MaxPool => "max",
+            LayerKind::AvgPool => "avg",
+            LayerKind::Dropout => "dropout",
+            LayerKind::Softmax => "softmax",
+            LayerKind::Cost => "cost",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One row of a Table I/II-style architecture listing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDescriptor {
+    /// Layer kind (conv/max/avg/dropout/softmax/cost).
+    pub kind: LayerKind,
+    /// Filter count for convolutional layers.
+    pub filters: Option<usize>,
+    /// `"3x3/1"`-style size/stride, or dropout probability.
+    pub size: String,
+    /// Per-sample input extents.
+    pub input: Vec<usize>,
+    /// Per-sample output extents.
+    pub output: Vec<usize>,
+}
+
+/// A differentiable network layer operating on mini-batches.
+///
+/// Invariants every implementation upholds:
+///
+/// * `forward` consumes `[n, ..input_shape]` and produces
+///   `[n, ..output_shape]`, caching whatever `backward` will need;
+/// * `backward` consumes the delta w.r.t. its output and produces the
+///   delta w.r.t. its input, accumulating parameter gradients;
+/// * both return the FLOPs they performed, so the caller can charge the
+///   right simulated clock (enclave vs native);
+/// * results are **bit-identical across [`KernelMode`]s** — the mode only
+///   selects kernel implementation, never arithmetic order.
+pub trait Layer: fmt::Debug {
+    /// The layer's kind tag.
+    fn kind(&self) -> LayerKind;
+
+    /// Per-sample input shape.
+    fn input_shape(&self) -> &Shape;
+
+    /// Per-sample output shape.
+    fn output_shape(&self) -> &Shape;
+
+    /// Runs the forward pass for a mini-batch, returning `(output, flops)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `input` is not
+    /// `[n, ..input_shape]`.
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError>;
+
+    /// Runs the backward pass, returning `(input_delta, flops)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::ShapeMismatch`] if `delta` does not match the
+    /// shape produced by the preceding `forward`.
+    fn backward(&mut self, delta: &Tensor, mode: KernelMode) -> Result<(Tensor, u64), NnError>;
+
+    /// Applies accumulated gradients with Darknet's SGD-with-momentum rule
+    /// and clears them. No-op for parameterless layers.
+    fn apply_update(&mut self, hyper: &Hyper, batch: usize) {
+        let _ = (hyper, batch);
+    }
+
+    /// Number of trainable parameters.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Flattened copy of the trainable parameters (weights then biases).
+    fn export_params(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Loads parameters previously produced by [`Layer::export_params`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWeightBlob`] on length mismatch.
+    fn import_params(&mut self, params: &[f32]) -> Result<(), NnError> {
+        if params.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::BadWeightBlob("layer takes no parameters"))
+        }
+    }
+
+    /// Estimated forward FLOPs per sample (used by the partition advisor
+    /// and the Fig. 6 cost accounting).
+    fn flops_per_sample(&self) -> u64;
+
+    /// Table I/II row for this layer.
+    fn descriptor(&self) -> LayerDescriptor;
+
+    /// Clones the layer behind a box ([`Network`](crate::Network) is
+    /// cloneable for per-epoch snapshots).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Supplies ground-truth class indices (cost layer only).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadTargets`] for layers that take no targets.
+    fn set_targets(&mut self, targets: &[usize]) -> Result<(), NnError> {
+        let _ = targets;
+        Err(NnError::BadTargets("layer takes no targets"))
+    }
+
+    /// The loss computed by the most recent forward pass (cost layer
+    /// only).
+    fn last_loss(&self) -> Option<f32> {
+        None
+    }
+
+    /// Removes and returns the accumulated gradient buffers (weights,
+    /// then biases, then BN scales), leaving them zeroed. Parameterless
+    /// layers return an empty vector. This is the hook DP-SGD uses for
+    /// per-sample gradient clipping.
+    fn take_grads(&mut self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Adds `grads` (in [`Layer::take_grads`] layout) back into the
+    /// accumulated gradient buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWeightBlob`] on length mismatch.
+    fn add_grads(&mut self, grads: &[f32]) -> Result<(), NnError> {
+        if grads.is_empty() {
+            Ok(())
+        } else {
+            Err(NnError::BadWeightBlob("layer has no gradient buffers"))
+        }
+    }
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+/// Validates that `input` is `[n, ..expected]`, returning `n`.
+pub(crate) fn batch_size(
+    layer_index: usize,
+    input: &Tensor,
+    expected: &Shape,
+) -> Result<usize, NnError> {
+    let dims = input.dims();
+    if dims.len() != expected.rank() + 1 || &dims[1..] != expected.dims() {
+        return Err(NnError::ShapeMismatch {
+            layer: layer_index,
+            expected: expected.dims().to_vec(),
+            got: dims.to_vec(),
+        });
+    }
+    Ok(dims[0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activation_values() {
+        assert_eq!(Activation::Linear.apply(-2.0), -2.0);
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Leaky.apply(-2.0), -0.2);
+        assert_eq!(Activation::Leaky.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn activation_gradients() {
+        assert_eq!(Activation::Linear.gradient(-5.0), 1.0);
+        assert_eq!(Activation::Relu.gradient(-5.0), 0.0);
+        assert_eq!(Activation::Relu.gradient(5.0), 1.0);
+        assert_eq!(Activation::Leaky.gradient(-5.0), 0.1);
+        assert_eq!(Activation::Leaky.gradient(5.0), 1.0);
+    }
+
+    #[test]
+    fn kind_display_matches_tables() {
+        assert_eq!(LayerKind::Conv.to_string(), "conv");
+        assert_eq!(LayerKind::MaxPool.to_string(), "max");
+        assert_eq!(LayerKind::AvgPool.to_string(), "avg");
+        assert_eq!(LayerKind::Dropout.to_string(), "dropout");
+        assert_eq!(LayerKind::Softmax.to_string(), "softmax");
+        assert_eq!(LayerKind::Cost.to_string(), "cost");
+    }
+
+    #[test]
+    fn batch_size_validation() {
+        let shape = Shape::new(&[3, 4, 4]).unwrap();
+        let good = Tensor::zeros(&[2, 3, 4, 4]);
+        assert_eq!(batch_size(0, &good, &shape).unwrap(), 2);
+        let bad = Tensor::zeros(&[2, 3, 4, 5]);
+        assert!(matches!(
+            batch_size(0, &bad, &shape),
+            Err(NnError::ShapeMismatch { .. })
+        ));
+        let bad_rank = Tensor::zeros(&[3, 4, 4]);
+        assert!(batch_size(0, &bad_rank, &shape).is_err());
+    }
+}

@@ -1,0 +1,321 @@
+//! Pooling layers: max pooling and Darknet's global average pooling.
+
+use caltrain_tensor::im2col::conv_out_extent;
+use caltrain_tensor::{Shape, Tensor};
+
+use crate::layers::{batch_size, Layer, LayerDescriptor, LayerKind};
+use crate::network::KernelMode;
+use crate::NnError;
+
+/// Max pooling with a square window.
+#[derive(Debug, Clone)]
+pub struct MaxPool {
+    input_shape: Shape,
+    output_shape: Shape,
+    size: usize,
+    stride: usize,
+    /// Flat input index of each output's argmax, for routing deltas back.
+    argmax: Vec<usize>,
+    last_batch: usize,
+}
+
+impl MaxPool {
+    /// Creates a max-pooling layer (`size × size`, given stride, no pad —
+    /// the Tables I–II configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate geometry.
+    pub fn new(input_shape: &Shape, size: usize, stride: usize) -> Self {
+        assert!(size > 0 && stride > 0, "degenerate pool geometry");
+        let d = input_shape.dims();
+        assert_eq!(d.len(), 3, "pool input must be [c, h, w]");
+        let oh = conv_out_extent(d[1], size, stride, 0);
+        let ow = conv_out_extent(d[2], size, stride, 0);
+        MaxPool {
+            input_shape: input_shape.clone(),
+            output_shape: Shape::new(&[d[0], oh, ow]).expect("non-degenerate output"),
+            size,
+            stride,
+            argmax: Vec::new(),
+            last_batch: 0,
+        }
+    }
+}
+
+impl Layer for MaxPool {
+    fn kind(&self) -> LayerKind {
+        LayerKind::MaxPool
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.output_shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        _mode: KernelMode,
+        _train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.input_shape)?;
+        let d = self.input_shape.dims();
+        let (c, h, w) = (d[0], d[1], d[2]);
+        let o = self.output_shape.dims();
+        let (oh, ow) = (o[1], o[2]);
+
+        self.last_batch = n;
+        let mut output = Tensor::zeros(&[n, c, oh, ow]);
+        self.argmax = vec![0usize; n * c * oh * ow];
+
+        let in_samp = c * h * w;
+        let data = input.as_slice();
+        let out = output.as_mut_slice();
+        let mut oidx = 0usize;
+        for s in 0..n {
+            for ch in 0..c {
+                let plane = s * in_samp + ch * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = plane;
+                        for ky in 0..self.size {
+                            let iy = oy * self.stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..self.size {
+                                let ix = ox * self.stride + kx;
+                                if ix >= w {
+                                    continue;
+                                }
+                                let idx = plane + iy * w + ix;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[oidx] = best;
+                        self.argmax[oidx] = best_idx;
+                        oidx += 1;
+                    }
+                }
+            }
+        }
+        let flops = n as u64 * self.flops_per_sample();
+        Ok((output, flops))
+    }
+
+    fn backward(&mut self, delta: &Tensor, _mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, delta, &self.output_shape)?;
+        if n != self.last_batch {
+            return Err(NnError::BadTargets("backward batch differs from forward"));
+        }
+        let mut input_delta =
+            Tensor::zeros(&[n, self.input_shape.dim(0), self.input_shape.dim(1), self.input_shape.dim(2)]);
+        let id = input_delta.as_mut_slice();
+        for (o, &src) in self.argmax.iter().enumerate() {
+            id[src] += delta.as_slice()[o];
+        }
+        Ok((input_delta, n as u64 * self.flops_per_sample()))
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        (self.output_shape.volume() * self.size * self.size) as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::MaxPool,
+            filters: None,
+            size: format!("{}x{}/{}", self.size, self.size, self.stride),
+            input: self.input_shape.dims().to_vec(),
+            output: self.output_shape.dims().to_vec(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Global average pooling: `[c, h, w] → [c]` (Darknet's `avg` layer,
+/// rows 8/16 of Tables I–II).
+#[derive(Debug, Clone)]
+pub struct GlobalAvgPool {
+    input_shape: Shape,
+    output_shape: Shape,
+    last_batch: usize,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pooling layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input is not rank-3.
+    pub fn new(input_shape: &Shape) -> Self {
+        let d = input_shape.dims();
+        assert_eq!(d.len(), 3, "avgpool input must be [c, h, w]");
+        GlobalAvgPool {
+            input_shape: input_shape.clone(),
+            output_shape: Shape::new(&[d[0]]).expect("channel axis non-zero"),
+            last_batch: 0,
+        }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn kind(&self) -> LayerKind {
+        LayerKind::AvgPool
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.output_shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        _mode: KernelMode,
+        _train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.input_shape)?;
+        let d = self.input_shape.dims();
+        let (c, hw) = (d[0], d[1] * d[2]);
+        self.last_batch = n;
+        let mut output = Tensor::zeros(&[n, c]);
+        let data = input.as_slice();
+        let out = output.as_mut_slice();
+        for s in 0..n {
+            for ch in 0..c {
+                let plane = &data[(s * c + ch) * hw..(s * c + ch + 1) * hw];
+                out[s * c + ch] = plane.iter().sum::<f32>() / hw as f32;
+            }
+        }
+        Ok((output, n as u64 * self.flops_per_sample()))
+    }
+
+    fn backward(&mut self, delta: &Tensor, _mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        let dims = delta.dims();
+        let d = self.input_shape.dims();
+        let (c, hw) = (d[0], d[1] * d[2]);
+        if dims.len() != 2 || dims[1] != c || dims[0] != self.last_batch {
+            return Err(NnError::ShapeMismatch {
+                layer: usize::MAX,
+                expected: vec![self.last_batch, c],
+                got: dims.to_vec(),
+            });
+        }
+        let n = dims[0];
+        let mut input_delta = Tensor::zeros(&[n, c, d[1], d[2]]);
+        let id = input_delta.as_mut_slice();
+        for s in 0..n {
+            for ch in 0..c {
+                let g = delta.as_slice()[s * c + ch] / hw as f32;
+                for v in &mut id[(s * c + ch) * hw..(s * c + ch + 1) * hw] {
+                    *v = g;
+                }
+            }
+        }
+        Ok((input_delta, n as u64 * self.flops_per_sample()))
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.input_shape.volume() as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::AvgPool,
+            filters: None,
+            size: String::new(),
+            input: self.input_shape.dims().to_vec(),
+            output: self.output_shape.dims().to_vec(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_2x2_stride_2() {
+        let mut l = MaxPool::new(&Shape::new(&[1, 4, 4]).unwrap(), 2, 2);
+        assert_eq!(l.output_shape().dims(), &[1, 2, 2]);
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                -1.0, -2.0, 0.0, 0.5, //
+                -3.0, -4.0, 0.25, 0.125,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, _) = l.forward(&input, KernelMode::Native, true).unwrap();
+        assert_eq!(out.as_slice(), &[4.0, 8.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn maxpool_routes_delta_to_argmax() {
+        let mut l = MaxPool::new(&Shape::new(&[1, 2, 2]).unwrap(), 2, 2);
+        let input = Tensor::from_vec(vec![1.0, 9.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let _ = l.forward(&input, KernelMode::Native, true).unwrap();
+        let delta = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let (id, _) = l.backward(&delta, KernelMode::Native).unwrap();
+        assert_eq!(id.as_slice(), &[0.0, 5.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn maxpool_matches_table_shapes() {
+        // Table I row 3: max 2x2/2 on 28x28x128 -> 14x14x128.
+        let l = MaxPool::new(&Shape::new(&[128, 28, 28]).unwrap(), 2, 2);
+        assert_eq!(l.output_shape().dims(), &[128, 14, 14]);
+    }
+
+    #[test]
+    fn avgpool_means_each_channel() {
+        let mut l = GlobalAvgPool::new(&Shape::new(&[2, 2, 2]).unwrap());
+        let input =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0], &[1, 2, 2, 2])
+                .unwrap();
+        let (out, _) = l.forward(&input, KernelMode::Native, false).unwrap();
+        assert_eq!(out.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let mut l = GlobalAvgPool::new(&Shape::new(&[1, 2, 2]).unwrap());
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = l.forward(&input, KernelMode::Native, false).unwrap();
+        let delta = Tensor::from_vec(vec![8.0], &[1, 1]).unwrap();
+        let (id, _) = l.backward(&delta, KernelMode::Native).unwrap();
+        assert_eq!(id.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_sum_preserved() {
+        // Sum of distributed deltas equals the incoming delta (linearity).
+        let mut l = GlobalAvgPool::new(&Shape::new(&[3, 7, 7]).unwrap());
+        let input = Tensor::zeros(&[2, 3, 7, 7]);
+        let _ = l.forward(&input, KernelMode::Native, false).unwrap();
+        let delta = Tensor::from_fn(&[2, 3], |i| i as f32 + 1.0);
+        let (id, _) = l.backward(&delta, KernelMode::Native).unwrap();
+        assert!((id.sum() - delta.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,283 @@
+//! Softmax and cross-entropy cost — rows 9–10 / 17–18 of Tables I–II.
+//!
+//! The two layers are a matched pair, as in Darknet: the cost layer's
+//! backward emits the combined softmax-plus-cross-entropy gradient
+//! `p − y` with respect to the *logits*, and the softmax layer's backward
+//! passes deltas through unchanged. Splitting the math this way keeps the
+//! per-layer table structure of the paper while computing the standard,
+//! numerically stable gradient.
+
+use caltrain_tensor::stats::softmax;
+use caltrain_tensor::{Shape, Tensor};
+
+use crate::layers::{batch_size, Layer, LayerDescriptor, LayerKind};
+use crate::network::KernelMode;
+use crate::NnError;
+
+/// Softmax over the class axis.
+#[derive(Debug, Clone)]
+pub struct SoftmaxLayer {
+    shape: Shape,
+    last_batch: usize,
+}
+
+impl SoftmaxLayer {
+    /// Creates a softmax layer over `classes` logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        SoftmaxLayer {
+            shape: Shape::new(&[classes]).expect("at least one class"),
+            last_batch: 0,
+        }
+    }
+}
+
+impl Layer for SoftmaxLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Softmax
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        _mode: KernelMode,
+        _train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.shape)?;
+        self.last_batch = n;
+        let classes = self.shape.dim(0);
+        let mut output = Tensor::zeros(&[n, classes]);
+        for s in 0..n {
+            let probs = softmax(&input.as_slice()[s * classes..(s + 1) * classes]);
+            output.as_mut_slice()[s * classes..(s + 1) * classes].copy_from_slice(&probs);
+        }
+        Ok((output, n as u64 * self.flops_per_sample()))
+    }
+
+    fn backward(&mut self, delta: &Tensor, _mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        // Pass-through: the paired cost layer already produced the
+        // gradient with respect to the logits.
+        let _ = batch_size(usize::MAX, delta, &self.shape)?;
+        Ok((delta.clone(), 0))
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        5 * self.shape.dim(0) as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::Softmax,
+            filters: None,
+            size: String::new(),
+            input: self.shape.dims().to_vec(),
+            output: self.shape.dims().to_vec(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+}
+
+/// Cross-entropy cost over softmax probabilities.
+#[derive(Debug, Clone)]
+pub struct CostLayer {
+    shape: Shape,
+    targets: Vec<usize>,
+    last_probs: Vec<f32>,
+    last_batch: usize,
+    last_loss: Option<f32>,
+}
+
+impl CostLayer {
+    /// Creates a cost layer over `classes` classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes == 0`.
+    pub fn new(classes: usize) -> Self {
+        CostLayer {
+            shape: Shape::new(&[classes]).expect("at least one class"),
+            targets: Vec::new(),
+            last_probs: Vec::new(),
+            last_batch: 0,
+            last_loss: None,
+        }
+    }
+}
+
+impl Layer for CostLayer {
+    fn kind(&self) -> LayerKind {
+        LayerKind::Cost
+    }
+
+    fn input_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn output_shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    fn forward(
+        &mut self,
+        input: &Tensor,
+        _mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.shape)?;
+        self.last_batch = n;
+        self.last_probs = input.as_slice().to_vec();
+        let classes = self.shape.dim(0);
+        if self.targets.len() == n {
+            let mut loss = 0.0f32;
+            for (s, &t) in self.targets.iter().enumerate() {
+                if t >= classes {
+                    return Err(NnError::BadTargets("target class out of range"));
+                }
+                loss -= self.last_probs[s * classes + t].max(1e-10).ln();
+            }
+            self.last_loss = Some(loss / n as f32);
+        } else if train && !self.targets.is_empty() {
+            // A training pass with the wrong number of targets is a caller
+            // bug; inference passes (e.g. on a snapshot that still holds
+            // stale training targets) simply report no loss.
+            return Err(NnError::BadTargets("target count differs from batch size"));
+        } else {
+            self.last_loss = None;
+        }
+        Ok((input.clone(), n as u64 * self.flops_per_sample()))
+    }
+
+    fn backward(&mut self, _delta: &Tensor, _mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        if self.targets.len() != self.last_batch {
+            return Err(NnError::BadTargets("backward without matching targets"));
+        }
+        let classes = self.shape.dim(0);
+        let n = self.last_batch;
+        // Darknet convention: delta = truth − prediction, i.e. the
+        // *negative* gradient `y − p`; the SGD update then ADDS the
+        // accumulated deltas (`w += lr/batch · wu`).
+        let mut delta = Tensor::zeros(&[n, classes]);
+        let d = delta.as_mut_slice();
+        for (v, &p) in d.iter_mut().zip(&self.last_probs) {
+            *v = -p;
+        }
+        for (s, &t) in self.targets.iter().enumerate() {
+            d[s * classes + t] += 1.0;
+        }
+        Ok((delta, (n * classes) as u64))
+    }
+
+    fn flops_per_sample(&self) -> u64 {
+        self.shape.dim(0) as u64
+    }
+
+    fn descriptor(&self) -> LayerDescriptor {
+        LayerDescriptor {
+            kind: LayerKind::Cost,
+            filters: None,
+            size: String::new(),
+            input: self.shape.dims().to_vec(),
+            output: self.shape.dims().to_vec(),
+        }
+    }
+
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn set_targets(&mut self, targets: &[usize]) -> Result<(), NnError> {
+        self.targets = targets.to_vec();
+        Ok(())
+    }
+
+    fn last_loss(&self) -> Option<f32> {
+        self.last_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_are_distributions() {
+        let mut l = SoftmaxLayer::new(3);
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let (out, _) = l.forward(&input, KernelMode::Native, false).unwrap();
+        for s in 0..2 {
+            let row = &out.as_slice()[s * 3..(s + 1) * 3];
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn cost_reports_cross_entropy() {
+        let mut l = CostLayer::new(2);
+        l.set_targets(&[0]).unwrap();
+        let probs = Tensor::from_vec(vec![0.25, 0.75], &[1, 2]).unwrap();
+        let _ = l.forward(&probs, KernelMode::Native, true).unwrap();
+        let want = -(0.25f32.ln());
+        assert!((l.last_loss().unwrap() - want).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cost_backward_is_y_minus_p() {
+        let mut l = CostLayer::new(3);
+        l.set_targets(&[2]).unwrap();
+        let probs = Tensor::from_vec(vec![0.2, 0.3, 0.5], &[1, 3]).unwrap();
+        let _ = l.forward(&probs, KernelMode::Native, true).unwrap();
+        let (delta, _) = l.backward(&Tensor::zeros(&[1, 3]), KernelMode::Native).unwrap();
+        let d = delta.as_slice();
+        assert!((d[0] - (-0.2)).abs() < 1e-6);
+        assert!((d[1] - (-0.3)).abs() < 1e-6);
+        assert!((d[2] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cost_rejects_bad_targets() {
+        let mut l = CostLayer::new(2);
+        l.set_targets(&[5]).unwrap();
+        let probs = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]).unwrap();
+        assert!(matches!(
+            l.forward(&probs, KernelMode::Native, true),
+            Err(NnError::BadTargets(_))
+        ));
+
+        let mut l2 = CostLayer::new(2);
+        l2.set_targets(&[0, 1]).unwrap();
+        assert!(l2.forward(&probs, KernelMode::Native, true).is_err());
+    }
+
+    #[test]
+    fn softmax_backward_passes_through() {
+        let mut l = SoftmaxLayer::new(4);
+        let input = Tensor::zeros(&[2, 4]);
+        let _ = l.forward(&input, KernelMode::Native, true).unwrap();
+        let delta = Tensor::from_fn(&[2, 4], |i| i as f32);
+        let (out, _) = l.backward(&delta, KernelMode::Native).unwrap();
+        assert_eq!(out, delta);
+    }
+
+    #[test]
+    fn perfect_prediction_near_zero_loss() {
+        let mut l = CostLayer::new(2);
+        l.set_targets(&[1]).unwrap();
+        let probs = Tensor::from_vec(vec![1e-9, 1.0 - 1e-9], &[1, 2]).unwrap();
+        let _ = l.forward(&probs, KernelMode::Native, true).unwrap();
+        assert!(l.last_loss().unwrap() < 1e-5);
+    }
+}

@@ -1,0 +1,67 @@
+//! A Darknet-style CPU deep-learning framework for the CalTrain
+//! reproduction.
+//!
+//! The paper's prototype is built on Darknet (C/CUDA); this crate rebuilds
+//! the parts CalTrain exercises, from scratch, in safe Rust:
+//!
+//! * the layer set of paper Tables I–II — convolution (leaky-ReLU),
+//!   max pooling, global average pooling, dropout, softmax and
+//!   cross-entropy cost ([`layers`]);
+//! * mini-batch SGD with momentum and weight decay, with Darknet's exact
+//!   update rule ([`Hyper`], [`Network::train_batch`]);
+//! * Gaussian weight initialisation ([`init`]);
+//! * in-enclave-style data augmentation — flip, shift, rotation,
+//!   distortion ([`augment`]);
+//! * Top-k accuracy metrics for Figs. 3–4 ([`metrics`]);
+//! * weight (de)serialisation so models can be sealed, released to
+//!   participants, or snapshotted per epoch ([`serialize`]).
+//!
+//! **Two kernel paths, one result.** Every compute layer accepts a
+//! [`KernelMode`]: `Strict` models in-enclave code (scalar loops, no
+//! fast-math), `Native` the accelerated outside path. The two paths are
+//! *bit-identical* by construction (same operand orderings), which is how
+//! the reproduction realises the paper's claim that CalTrain training
+//! converges exactly like unprotected training (Figs. 3–4) — the enclave
+//! only costs time, never accuracy.
+//!
+//! Forward/backward passes return FLOP counts; the partitioned trainer in
+//! `caltrain-core` charges them to the enclave or native clock depending
+//! on where each layer is placed.
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_nn::{NetworkBuilder, Activation, KernelMode};
+//! use caltrain_tensor::Tensor;
+//!
+//! let mut net = NetworkBuilder::new(&[3, 8, 8])
+//!     .conv(4, 3, 1, 1, Activation::Leaky)
+//!     .maxpool(2, 2)
+//!     .conv(2, 1, 1, 0, Activation::Linear)
+//!     .global_avgpool()
+//!     .softmax()
+//!     .cost()
+//!     .build(42)?;
+//! let batch = Tensor::zeros(&[1, 3, 8, 8]);
+//! let (probs, _flops) = net.forward(&batch, KernelMode::Native, false)?;
+//! assert_eq!(probs.dims(), &[1, 2]);
+//! # Ok::<(), caltrain_nn::NnError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod network;
+
+pub mod augment;
+pub mod dpsgd;
+pub mod init;
+pub mod layers;
+pub mod metrics;
+pub mod serialize;
+pub mod zoo;
+
+pub use error::NnError;
+pub use layers::{Activation, Layer, LayerKind};
+pub use network::{Hyper, KernelMode, Network, NetworkBuilder};

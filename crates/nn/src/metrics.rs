@@ -1,0 +1,129 @@
+//! Evaluation metrics: Top-k accuracy as reported in paper Figs. 3–4.
+
+use caltrain_tensor::stats::top_k_indices;
+use caltrain_tensor::Tensor;
+
+use crate::network::{KernelMode, Network};
+use crate::NnError;
+
+/// Top-1 and Top-2 accuracy over a labelled set (the two series per curve
+/// in Figs. 3–4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Fraction with the true class ranked first.
+    pub top1: f32,
+    /// Fraction with the true class in the top two.
+    pub top2: f32,
+}
+
+/// Computes Top-k accuracy from probability rows `[n, classes]`.
+///
+/// # Panics
+///
+/// Panics if `probs` is not rank-2 or `labels.len()` differs from the
+/// batch size.
+pub fn top_k_accuracy(probs: &Tensor, labels: &[usize], k: usize) -> f32 {
+    let d = probs.dims();
+    assert_eq!(d.len(), 2, "expected [n, classes]");
+    assert_eq!(d[0], labels.len(), "one label per row");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let classes = d[1];
+    let mut hits = 0usize;
+    for (s, &label) in labels.iter().enumerate() {
+        let row = &probs.as_slice()[s * classes..(s + 1) * classes];
+        if top_k_indices(row, k).contains(&label) {
+            hits += 1;
+        }
+    }
+    hits as f32 / labels.len() as f32
+}
+
+/// Evaluates a network on a labelled set, mini-batched to bound memory.
+///
+/// # Errors
+///
+/// Propagates forward-pass shape errors.
+pub fn evaluate(
+    net: &mut Network,
+    images: &Tensor,
+    labels: &[usize],
+    batch_size: usize,
+    mode: KernelMode,
+) -> Result<Accuracy, NnError> {
+    let d = images.dims();
+    let n = d[0];
+    assert_eq!(n, labels.len(), "one label per image");
+    let sample = images.volume() / n;
+    let batch_size = batch_size.max(1);
+
+    let mut top1_hits = 0f32;
+    let mut top2_hits = 0f32;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        let chunk_dims: Vec<usize> =
+            std::iter::once(end - start).chain(d[1..].iter().copied()).collect();
+        let chunk = Tensor::from_vec(
+            images.as_slice()[start * sample..end * sample].to_vec(),
+            &chunk_dims,
+        )?;
+        let probs = net.predict_probs(&chunk, mode)?;
+        let chunk_labels = &labels[start..end];
+        top1_hits += top_k_accuracy(&probs, chunk_labels, 1) * chunk_labels.len() as f32;
+        top2_hits += top_k_accuracy(&probs, chunk_labels, 2) * chunk_labels.len() as f32;
+        start = end;
+    }
+    Ok(Accuracy { top1: top1_hits / n as f32, top2: top2_hits / n as f32 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_and_zero_accuracy() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8], &[2, 2]).unwrap();
+        assert_eq!(top_k_accuracy(&probs, &[0, 1], 1), 1.0);
+        assert_eq!(top_k_accuracy(&probs, &[1, 0], 1), 0.0);
+        assert_eq!(top_k_accuracy(&probs, &[1, 0], 2), 1.0);
+    }
+
+    #[test]
+    fn top2_at_least_top1() {
+        let probs = Tensor::from_vec(
+            vec![0.5, 0.3, 0.2, 0.1, 0.6, 0.3, 0.3, 0.3, 0.4],
+            &[3, 3],
+        )
+        .unwrap();
+        let labels = [1usize, 0, 2];
+        let t1 = top_k_accuracy(&probs, &labels, 1);
+        let t2 = top_k_accuracy(&probs, &labels, 2);
+        assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn partial_accuracy() {
+        let probs = Tensor::from_vec(vec![0.9, 0.1, 0.9, 0.1], &[2, 2]).unwrap();
+        assert_eq!(top_k_accuracy(&probs, &[0, 1], 1), 0.5);
+    }
+
+    #[test]
+    fn evaluate_batches_consistently() {
+        use crate::{Activation, NetworkBuilder};
+        let mut net = NetworkBuilder::new(&[1, 4, 4])
+            .conv(3, 3, 1, 1, Activation::Leaky)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(17)
+            .unwrap();
+        let images = Tensor::from_fn(&[7, 1, 4, 4], |i| (i % 13) as f32 / 12.0);
+        let labels = vec![0usize, 1, 2, 0, 1, 2, 0];
+        let a = evaluate(&mut net, &images, &labels, 3, KernelMode::Native).unwrap();
+        let b = evaluate(&mut net, &images, &labels, 7, KernelMode::Native).unwrap();
+        assert_eq!(a, b, "batching must not change the metric");
+        assert!(a.top2 >= a.top1);
+    }
+}

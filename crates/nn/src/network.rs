@@ -1,0 +1,696 @@
+//! The [`Network`]: an ordered stack of layers with Darknet-style
+//! training, plus the range-wise forward/backward API that partitioned
+//! (FrontNet/BackNet) training is built on.
+
+use caltrain_tensor::gemm::{gemm_blocked, gemm_strict};
+use caltrain_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::layers::{
+    Activation, Conv2d, CostLayer, Dropout, GlobalAvgPool, Layer, LayerDescriptor, LayerKind,
+    MaxPool, SoftmaxLayer,
+};
+use crate::NnError;
+
+/// Selects the compute-kernel implementation.
+///
+/// Both modes produce **bit-identical** results; they differ only in
+/// speed, modelling the paper's observation that enclave code cannot use
+/// `-ffast-math`/SIMD (§VI-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Plain scalar loops — the in-enclave path.
+    Strict,
+    /// Cache-blocked, vectoriser-friendly loops — the native path.
+    #[default]
+    Native,
+}
+
+impl KernelMode {
+    /// The GEMM implementation for this mode.
+    pub fn gemm(self) -> fn(usize, usize, usize, &[f32], &[f32], &mut [f32]) {
+        match self {
+            KernelMode::Strict => gemm_strict,
+            KernelMode::Native => gemm_blocked,
+        }
+    }
+}
+
+/// SGD hyperparameters (Darknet's `learning_rate`, `momentum`, `decay`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyper {
+    /// Base learning rate, divided by the batch size at update time.
+    pub learning_rate: f32,
+    /// Momentum applied to retained gradient accumulators.
+    pub momentum: f32,
+    /// L2 weight decay.
+    pub decay: f32,
+}
+
+impl Default for Hyper {
+    fn default() -> Self {
+        Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 }
+    }
+}
+
+/// A feed-forward network over a stack of [`Layer`]s.
+///
+/// Cloning snapshots the whole model (weights and layer state) — the
+/// per-epoch "semi-trained model" snapshots of paper Fig. 5 are clones.
+#[derive(Debug, Clone)]
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+    input_shape: Shape,
+}
+
+impl Network {
+    /// Number of layers (rows in the Table I/II sense).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Per-sample input shape.
+    pub fn input_shape(&self) -> &Shape {
+        &self.input_shape
+    }
+
+    /// Borrow a layer by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn layer(&self, index: usize) -> &dyn Layer {
+        self.layers[index].as_ref()
+    }
+
+    /// Indices of the convolutional layers, in order (the Fig. 6 x-axis
+    /// counts these).
+    pub fn conv_layer_indices(&self) -> Vec<usize> {
+        self.layers
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.kind() == LayerKind::Conv)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Index of the penultimate layer — "the layer before the softmax
+    /// layer" whose output is the fingerprint embedding (paper §IV-C).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network has no softmax layer (builder-enforced).
+    pub fn penultimate_index(&self) -> usize {
+        let softmax = self
+            .layers
+            .iter()
+            .position(|l| l.kind() == LayerKind::Softmax)
+            .expect("builder guarantees a softmax layer");
+        softmax - 1
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Estimated forward FLOPs per sample, per layer.
+    pub fn layer_flops(&self) -> Vec<u64> {
+        self.layers.iter().map(|l| l.flops_per_sample()).collect()
+    }
+
+    /// Table I/II-style rows.
+    pub fn describe(&self) -> Vec<LayerDescriptor> {
+        self.layers.iter().map(|l| l.descriptor()).collect()
+    }
+
+    /// Forward through layers `from..to`, returning `(output, flops)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidRange`] for empty/out-of-bounds ranges
+    /// and [`NnError::ShapeMismatch`] if `input` doesn't fit layer `from`.
+    pub fn forward_range(
+        &mut self,
+        input: &Tensor,
+        from: usize,
+        to: usize,
+        mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        self.check_range(from, to)?;
+        let mut x = input.clone();
+        let mut flops = 0u64;
+        for i in from..to {
+            let (y, f) = self.layers[i].forward(&x, mode, train).map_err(|e| match e {
+                NnError::ShapeMismatch { expected, got, .. } => {
+                    NnError::ShapeMismatch { layer: i, expected, got }
+                }
+                other => other,
+            })?;
+            x = y;
+            flops += f;
+        }
+        Ok((x, flops))
+    }
+
+    /// Backward through layers `from..to` **in reverse**, returning the
+    /// delta w.r.t. the input of layer `from` and the FLOPs performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidRange`] or propagates layer errors.
+    pub fn backward_range(
+        &mut self,
+        delta: &Tensor,
+        from: usize,
+        to: usize,
+        mode: KernelMode,
+    ) -> Result<(Tensor, u64), NnError> {
+        self.check_range(from, to)?;
+        let mut d = delta.clone();
+        let mut flops = 0u64;
+        for i in (from..to).rev() {
+            let (nd, f) = self.layers[i].backward(&d, mode)?;
+            d = nd;
+            flops += f;
+        }
+        Ok((d, flops))
+    }
+
+    /// Applies pending gradient updates on layers `from..to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidRange`] for bad ranges.
+    pub fn update_range(
+        &mut self,
+        from: usize,
+        to: usize,
+        hyper: &Hyper,
+        batch: usize,
+    ) -> Result<(), NnError> {
+        self.check_range(from, to)?;
+        for i in from..to {
+            self.layers[i].apply_update(hyper, batch);
+        }
+        Ok(())
+    }
+
+    /// Full forward pass, returning `(final output, flops)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors from the first mismatching layer.
+    pub fn forward(
+        &mut self,
+        input: &Tensor,
+        mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = self.layers.len();
+        self.forward_range(input, 0, n, mode, train)
+    }
+
+    /// Full forward pass retaining every layer's output (the IR extraction
+    /// primitive of the information-exposure assessment, paper §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn forward_collect(
+        &mut self,
+        input: &Tensor,
+        mode: KernelMode,
+    ) -> Result<Vec<Tensor>, NnError> {
+        let mut outputs = Vec::with_capacity(self.layers.len());
+        let mut x = input.clone();
+        for i in 0..self.layers.len() {
+            let (y, _) = self.layers[i].forward(&x, mode, false)?;
+            outputs.push(y.clone());
+            x = y;
+        }
+        Ok(outputs)
+    }
+
+    /// Supplies targets to the cost layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArchitecture`] if there is no cost layer.
+    pub fn set_targets(&mut self, targets: &[usize]) -> Result<(), NnError> {
+        let cost = self
+            .layers
+            .iter_mut()
+            .find(|l| l.kind() == LayerKind::Cost)
+            .ok_or(NnError::InvalidArchitecture("network has no cost layer"))?;
+        cost.set_targets(targets)
+    }
+
+    /// Loss reported by the cost layer after the latest forward pass.
+    pub fn loss(&self) -> Option<f32> {
+        self.layers.iter().rev().find_map(|l| l.last_loss())
+    }
+
+    /// One SGD step on a labelled mini-batch: forward, backward, update.
+    /// Returns `(mean loss, flops)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/target errors.
+    pub fn train_batch(
+        &mut self,
+        images: &Tensor,
+        labels: &[usize],
+        hyper: &Hyper,
+        mode: KernelMode,
+    ) -> Result<(f32, u64), NnError> {
+        let n = self.layers.len();
+        self.set_targets(labels)?;
+        let (_probs, f_fwd) = self.forward_range(images, 0, n, mode, true)?;
+        let loss = self.loss().ok_or(NnError::BadTargets("no loss after forward"))?;
+        let seed = Tensor::zeros(&[labels.len(), self.layers[n - 1].output_shape().dim(0)]);
+        let (_d, f_bwd) = self.backward_range(&seed, 0, n, mode)?;
+        self.update_range(0, n, hyper, labels.len())?;
+        Ok((loss, f_fwd + f_bwd))
+    }
+
+    /// Class predictions (argmax of the softmax output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn predict(&mut self, images: &Tensor, mode: KernelMode) -> Result<Vec<usize>, NnError> {
+        let probs = self.predict_probs(images, mode)?;
+        let classes = probs.dims()[1];
+        Ok((0..probs.dims()[0])
+            .map(|s| {
+                let row = &probs.as_slice()[s * classes..(s + 1) * classes];
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probs"))
+                    .map(|(i, _)| i)
+                    .expect("non-empty class axis")
+            })
+            .collect())
+    }
+
+    /// Class-probability rows `[n, classes]` (softmax output).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn predict_probs(&mut self, images: &Tensor, mode: KernelMode) -> Result<Tensor, NnError> {
+        let softmax_end = self.penultimate_index() + 2; // through softmax
+        let (probs, _) = self.forward_range(images, 0, softmax_end, mode, false)?;
+        Ok(probs)
+    }
+
+    /// Penultimate-layer embeddings `[n, d]` — the raw material of
+    /// CalTrain fingerprints (normalisation happens in
+    /// `caltrain-fingerprint`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape errors.
+    pub fn embed(&mut self, images: &Tensor, mode: KernelMode) -> Result<Tensor, NnError> {
+        let end = self.penultimate_index() + 1;
+        let (emb, _) = self.forward_range(images, 0, end, mode, false)?;
+        let n = emb.dims()[0];
+        let d = emb.volume() / n;
+        emb.reshaped(&[n, d]).map_err(NnError::from)
+    }
+
+    /// Removes and returns layer `index`'s accumulated gradients (empty
+    /// for parameterless layers) — the DP-SGD clipping hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn take_layer_grads(&mut self, index: usize) -> Vec<f32> {
+        self.layers[index].take_grads()
+    }
+
+    /// Adds `grads` back into layer `index`'s gradient buffers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWeightBlob`] on layout mismatch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn add_layer_grads(&mut self, index: usize, grads: &[f32]) -> Result<(), NnError> {
+        self.layers[index].add_grads(grads)
+    }
+
+    /// Flattened parameters of every layer, in order.
+    pub fn export_params(&self) -> Vec<Vec<f32>> {
+        self.layers.iter().map(|l| l.export_params()).collect()
+    }
+
+    /// Restores parameters exported by [`Network::export_params`] from an
+    /// architecturally identical network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::BadWeightBlob`] on layer-count or size mismatch.
+    pub fn import_params(&mut self, params: &[Vec<f32>]) -> Result<(), NnError> {
+        if params.len() != self.layers.len() {
+            return Err(NnError::BadWeightBlob("layer count mismatch"));
+        }
+        for (layer, p) in self.layers.iter_mut().zip(params) {
+            layer.import_params(p)?;
+        }
+        Ok(())
+    }
+
+    fn check_range(&self, from: usize, to: usize) -> Result<(), NnError> {
+        if from >= to || to > self.layers.len() {
+            return Err(NnError::InvalidRange { from, to, layers: self.layers.len() });
+        }
+        Ok(())
+    }
+}
+
+enum LayerSpec {
+    Conv {
+        filters: usize,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+        batch_norm: bool,
+    },
+    MaxPool { size: usize, stride: usize },
+    GlobalAvgPool,
+    Dropout { probability: f32 },
+    Softmax,
+    Cost,
+}
+
+/// Builds a [`Network`] layer by layer, inferring shapes.
+///
+/// Terminal rule (mirrors the paper's tables): the stack must end
+/// `… → softmax → cost`, and softmax/cost must take a rank-1 input.
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    specs: Vec<LayerSpec>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for per-sample inputs of shape `dims` (e.g.
+    /// `[3, 28, 28]` for the paper's CIFAR-10 nets).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate shape.
+    pub fn new(dims: &[usize]) -> Self {
+        NetworkBuilder {
+            input_shape: Shape::new(dims).expect("non-degenerate input shape"),
+            specs: Vec::new(),
+        }
+    }
+
+    /// Appends a convolutional layer (no batch normalisation).
+    pub fn conv(
+        mut self,
+        filters: usize,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+    ) -> Self {
+        self.specs
+            .push(LayerSpec::Conv { filters, size, stride, pad, activation, batch_norm: false });
+        self
+    }
+
+    /// Appends a batch-normalised convolutional layer (Darknet
+    /// `batch_normalize=1`, used by the paper's CIFAR configurations).
+    pub fn conv_bn(
+        mut self,
+        filters: usize,
+        size: usize,
+        stride: usize,
+        pad: usize,
+        activation: Activation,
+    ) -> Self {
+        self.specs
+            .push(LayerSpec::Conv { filters, size, stride, pad, activation, batch_norm: true });
+        self
+    }
+
+    /// Appends a max-pooling layer.
+    pub fn maxpool(mut self, size: usize, stride: usize) -> Self {
+        self.specs.push(LayerSpec::MaxPool { size, stride });
+        self
+    }
+
+    /// Appends a global average pooling layer.
+    pub fn global_avgpool(mut self) -> Self {
+        self.specs.push(LayerSpec::GlobalAvgPool);
+        self
+    }
+
+    /// Appends a dropout layer.
+    pub fn dropout(mut self, probability: f32) -> Self {
+        self.specs.push(LayerSpec::Dropout { probability });
+        self
+    }
+
+    /// Appends the softmax layer.
+    pub fn softmax(mut self) -> Self {
+        self.specs.push(LayerSpec::Softmax);
+        self
+    }
+
+    /// Appends the cost layer.
+    pub fn cost(mut self) -> Self {
+        self.specs.push(LayerSpec::Cost);
+        self
+    }
+
+    /// Materialises the network, initialising weights from `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidArchitecture`] if the stack is empty,
+    /// does not end `softmax → cost`, or feeds softmax a non-vector.
+    pub fn build(self, seed: u64) -> Result<Network, NnError> {
+        if self.specs.len() < 2 {
+            return Err(NnError::InvalidArchitecture("need at least softmax and cost"));
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layers: Vec<Box<dyn Layer>> = Vec::with_capacity(self.specs.len());
+        let mut shape = self.input_shape.clone();
+        for (i, spec) in self.specs.iter().enumerate() {
+            let layer: Box<dyn Layer> = match *spec {
+                LayerSpec::Conv { filters, size, stride, pad, activation, batch_norm } => {
+                    Box::new(Conv2d::with_batch_norm(
+                        &mut rng, &shape, filters, size, stride, pad, activation, batch_norm,
+                    ))
+                }
+                LayerSpec::MaxPool { size, stride } => Box::new(MaxPool::new(&shape, size, stride)),
+                LayerSpec::GlobalAvgPool => Box::new(GlobalAvgPool::new(&shape)),
+                LayerSpec::Dropout { probability } => {
+                    // Per-layer seed keeps masks reproducible and
+                    // independent of build order changes elsewhere.
+                    Box::new(Dropout::new(&shape, probability, seed ^ ((i as u64 + 1) * 0x9E37)))
+                }
+                LayerSpec::Softmax => {
+                    if shape.rank() != 1 {
+                        return Err(NnError::InvalidArchitecture(
+                            "softmax requires a rank-1 input (add avgpool first)",
+                        ));
+                    }
+                    Box::new(SoftmaxLayer::new(shape.dim(0)))
+                }
+                LayerSpec::Cost => {
+                    if shape.rank() != 1 {
+                        return Err(NnError::InvalidArchitecture("cost requires a rank-1 input"));
+                    }
+                    Box::new(CostLayer::new(shape.dim(0)))
+                }
+            };
+            shape = layer.output_shape().clone();
+            layers.push(layer);
+        }
+        let n = layers.len();
+        if layers[n - 1].kind() != LayerKind::Cost || layers[n - 2].kind() != LayerKind::Softmax {
+            return Err(NnError::InvalidArchitecture("network must end softmax → cost"));
+        }
+        Ok(Network { layers, input_shape: self.input_shape })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_net(seed: u64) -> Network {
+        NetworkBuilder::new(&[1, 6, 6])
+            .conv(4, 3, 1, 1, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(3, 1, 1, 0, Activation::Linear)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(seed)
+            .unwrap()
+    }
+
+    fn toy_batch(n: usize) -> (Tensor, Vec<usize>) {
+        // Class = brightest quadrant; trivially learnable.
+        let mut images = Tensor::zeros(&[n, 1, 6, 6]);
+        let mut labels = Vec::with_capacity(n);
+        for s in 0..n {
+            let class = s % 3;
+            labels.push(class);
+            let (oy, ox) = [(0, 0), (0, 3), (3, 0)][class];
+            for y in 0..3 {
+                for x in 0..3 {
+                    images.set(&[s, 0, oy + y, ox + x], 1.0).unwrap();
+                }
+            }
+        }
+        (images, labels)
+    }
+
+    #[test]
+    fn builder_validates_terminal_layers() {
+        assert!(matches!(
+            NetworkBuilder::new(&[1, 6, 6])
+                .conv(4, 3, 1, 1, Activation::Leaky)
+                .global_avgpool()
+                .softmax()
+                .build(0),
+            Err(NnError::InvalidArchitecture(_))
+        ));
+        assert!(matches!(
+            NetworkBuilder::new(&[1, 6, 6])
+                .conv(4, 3, 1, 1, Activation::Leaky)
+                .softmax()
+                .cost()
+                .build(0),
+            Err(NnError::InvalidArchitecture(_))
+        ));
+    }
+
+    #[test]
+    fn shapes_propagate() {
+        let net = tiny_net(0);
+        assert_eq!(net.num_layers(), 6);
+        assert_eq!(net.layer(0).output_shape().dims(), &[4, 6, 6]);
+        assert_eq!(net.layer(1).output_shape().dims(), &[4, 3, 3]);
+        assert_eq!(net.layer(2).output_shape().dims(), &[3, 3, 3]);
+        assert_eq!(net.layer(3).output_shape().dims(), &[3]);
+        assert_eq!(net.penultimate_index(), 3);
+        assert_eq!(net.conv_layer_indices(), vec![0, 2]);
+    }
+
+    #[test]
+    fn forward_emits_probabilities() {
+        let mut net = tiny_net(1);
+        let (images, _) = toy_batch(2);
+        let probs = net.predict_probs(&images, KernelMode::Native).unwrap();
+        assert_eq!(probs.dims(), &[2, 3]);
+        for s in 0..2 {
+            let row = &probs.as_slice()[s * 3..(s + 1) * 3];
+            assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_toy_task() {
+        let mut net = tiny_net(2);
+        let (images, labels) = toy_batch(12);
+        let hyper = Hyper { learning_rate: 0.3, momentum: 0.9, decay: 0.0 };
+        let (first_loss, _) = net
+            .train_batch(&images, &labels, &hyper, KernelMode::Native)
+            .unwrap();
+        let mut last = first_loss;
+        for _ in 0..60 {
+            let (l, _) = net
+                .train_batch(&images, &labels, &hyper, KernelMode::Native)
+                .unwrap();
+            last = l;
+        }
+        assert!(last < first_loss * 0.5, "loss {first_loss} -> {last}");
+        let preds = net.predict(&images, KernelMode::Native).unwrap();
+        let correct = preds.iter().zip(&labels).filter(|(p, l)| p == l).count();
+        assert!(correct >= 10, "learned {correct}/12 on a trivial task");
+    }
+
+    #[test]
+    fn strict_and_native_training_bit_identical() {
+        let mut a = tiny_net(3);
+        let mut b = tiny_net(3);
+        let (images, labels) = toy_batch(6);
+        let hyper = Hyper::default();
+        for _ in 0..3 {
+            let (la, _) = a.train_batch(&images, &labels, &hyper, KernelMode::Strict).unwrap();
+            let (lb, _) = b.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+            assert_eq!(la.to_bits(), lb.to_bits(), "loss must match bitwise");
+        }
+        for (pa, pb) in a.export_params().iter().zip(b.export_params().iter()) {
+            assert_eq!(pa, pb, "weights must match exactly after training");
+        }
+    }
+
+    #[test]
+    fn range_split_equals_monolithic_forward() {
+        let mut whole = tiny_net(4);
+        let mut split = tiny_net(4);
+        let (images, _) = toy_batch(4);
+        let (full, _) = whole.forward(&images, KernelMode::Native, false).unwrap();
+        let cut = 2;
+        let n = split.num_layers();
+        let (ir, _) = split.forward_range(&images, 0, cut, KernelMode::Strict, false).unwrap();
+        let (rest, _) = split.forward_range(&ir, cut, n, KernelMode::Native, false).unwrap();
+        assert_eq!(full.as_slice(), rest.as_slice());
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut a = tiny_net(5);
+        let mut b = tiny_net(6); // different init
+        let (images, _) = toy_batch(2);
+        let pa = a.predict_probs(&images, KernelMode::Native).unwrap();
+        b.import_params(&a.export_params()).unwrap();
+        let pb = b.predict_probs(&images, KernelMode::Native).unwrap();
+        assert_eq!(pa.as_slice(), pb.as_slice());
+    }
+
+    #[test]
+    fn embed_returns_penultimate() {
+        let mut net = tiny_net(7);
+        let (images, _) = toy_batch(3);
+        let emb = net.embed(&images, KernelMode::Native).unwrap();
+        assert_eq!(emb.dims(), &[3, 3], "avgpool output is the embedding");
+    }
+
+    #[test]
+    fn invalid_ranges_rejected() {
+        let mut net = tiny_net(8);
+        let (images, _) = toy_batch(1);
+        assert!(matches!(
+            net.forward_range(&images, 3, 3, KernelMode::Native, false),
+            Err(NnError::InvalidRange { .. })
+        ));
+        assert!(net.forward_range(&images, 0, 99, KernelMode::Native, false).is_err());
+    }
+
+    #[test]
+    fn clone_snapshots_are_independent() {
+        let mut net = tiny_net(9);
+        let snapshot = net.clone();
+        let (images, labels) = toy_batch(6);
+        for _ in 0..5 {
+            net.train_batch(&images, &labels, &Hyper::default(), KernelMode::Native)
+                .unwrap();
+        }
+        assert_ne!(net.export_params(), snapshot.export_params());
+    }
+}

@@ -1,0 +1,208 @@
+//! Weight (de)serialisation.
+//!
+//! CalTrain moves model weights across trust boundaries in three places
+//! (paper §IV): per-epoch snapshots handed to participants for exposure
+//! re-assessment, the final model release (with the FrontNet portion
+//! *encrypted* under each participant's key), and loading the whole model
+//! into the fingerprinting enclave. All three serialise through this
+//! module; the FrontNet encryption itself lives in `caltrain-core`, on
+//! top of these bytes.
+//!
+//! Format (little-endian): magic `CTW1`, layer count `u32`, then per layer
+//! a `u32` parameter count followed by that many `f32`s.
+
+use crate::network::Network;
+use crate::NnError;
+
+const MAGIC: &[u8; 4] = b"CTW1";
+
+/// Serialises every layer's parameters.
+pub fn weights_to_bytes(net: &Network) -> Vec<u8> {
+    let params = net.export_params();
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+    for layer in &params {
+        out.extend_from_slice(&(layer.len() as u32).to_le_bytes());
+        for v in layer {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Serialises the parameters of layers `from..to` only — the unit CalTrain
+/// encrypts separately when the FrontNet is released (paper §IV-B).
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidRange`] for bad ranges.
+pub fn range_weights_to_bytes(net: &Network, from: usize, to: usize) -> Result<Vec<u8>, NnError> {
+    if from >= to || to > net.num_layers() {
+        return Err(NnError::InvalidRange { from, to, layers: net.num_layers() });
+    }
+    let params = net.export_params();
+    let slice = &params[from..to];
+    let mut out = Vec::new();
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&(slice.len() as u32).to_le_bytes());
+    for layer in slice {
+        out.extend_from_slice(&(layer.len() as u32).to_le_bytes());
+        for v in layer {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(out)
+}
+
+fn parse(bytes: &[u8]) -> Result<Vec<Vec<f32>>, NnError> {
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(NnError::BadWeightBlob("missing CTW1 magic"));
+    }
+    let layer_count = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes")) as usize;
+    let mut offset = 8usize;
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        if bytes.len() < offset + 4 {
+            return Err(NnError::BadWeightBlob("truncated layer header"));
+        }
+        let count =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        offset += 4;
+        let needed = count.checked_mul(4).ok_or(NnError::BadWeightBlob("overflow"))?;
+        if bytes.len() < offset + needed {
+            return Err(NnError::BadWeightBlob("truncated layer payload"));
+        }
+        let mut vals = Vec::with_capacity(count);
+        for i in 0..count {
+            let p = offset + i * 4;
+            vals.push(f32::from_le_bytes(bytes[p..p + 4].try_into().expect("4 bytes")));
+        }
+        offset += needed;
+        layers.push(vals);
+    }
+    if offset != bytes.len() {
+        return Err(NnError::BadWeightBlob("trailing bytes"));
+    }
+    Ok(layers)
+}
+
+/// Restores all weights into an architecturally identical network.
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWeightBlob`] on malformed input or architecture
+/// mismatch.
+pub fn weights_from_bytes(net: &mut Network, bytes: &[u8]) -> Result<(), NnError> {
+    let layers = parse(bytes)?;
+    net.import_params(&layers)
+}
+
+/// Restores weights for layers `from..to` from bytes produced by
+/// [`range_weights_to_bytes`].
+///
+/// # Errors
+///
+/// Returns [`NnError::BadWeightBlob`] / [`NnError::InvalidRange`] on
+/// malformed input or mismatch.
+pub fn range_weights_from_bytes(
+    net: &mut Network,
+    from: usize,
+    to: usize,
+    bytes: &[u8],
+) -> Result<(), NnError> {
+    if from >= to || to > net.num_layers() {
+        return Err(NnError::InvalidRange { from, to, layers: net.num_layers() });
+    }
+    let parsed = parse(bytes)?;
+    if parsed.len() != to - from {
+        return Err(NnError::BadWeightBlob("range length mismatch"));
+    }
+    let mut full = net.export_params();
+    full[from..to].clone_from_slice(&parsed);
+    net.import_params(&full)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::KernelMode;
+    use crate::{Activation, NetworkBuilder};
+    use caltrain_tensor::Tensor;
+
+    fn net(seed: u64) -> Network {
+        NetworkBuilder::new(&[1, 6, 6])
+            .conv(4, 3, 1, 1, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(3, 1, 1, 0, Activation::Linear)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(seed)
+            .unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_predictions() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let bytes = weights_to_bytes(&a);
+        weights_from_bytes(&mut b, &bytes).unwrap();
+        let images = Tensor::from_fn(&[2, 1, 6, 6], |i| i as f32 / 72.0);
+        let pa = a.predict_probs(&images, KernelMode::Native).unwrap();
+        let pb = b.predict_probs(&images, KernelMode::Native).unwrap();
+        assert_eq!(pa.as_slice(), pb.as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_magic_and_truncation() {
+        let mut n = net(3);
+        assert!(matches!(
+            weights_from_bytes(&mut n, b"NOPE"),
+            Err(NnError::BadWeightBlob(_))
+        ));
+        let bytes = weights_to_bytes(&n);
+        assert!(weights_from_bytes(&mut n, &bytes[..bytes.len() - 3]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(weights_from_bytes(&mut n, &extended).is_err());
+    }
+
+    #[test]
+    fn rejects_architecture_mismatch() {
+        let small = net(4);
+        let mut big = NetworkBuilder::new(&[1, 6, 6])
+            .conv(8, 3, 1, 1, Activation::Leaky)
+            .maxpool(2, 2)
+            .conv(3, 1, 1, 0, Activation::Linear)
+            .global_avgpool()
+            .softmax()
+            .cost()
+            .build(5)
+            .unwrap();
+        assert!(weights_from_bytes(&mut big, &weights_to_bytes(&small)).is_err());
+    }
+
+    #[test]
+    fn range_roundtrip_swaps_only_frontnet() {
+        let a = net(6);
+        let mut b = net(7);
+        let before = b.export_params();
+        // Transplant layers 0..2 (the "FrontNet") from a into b.
+        let bytes = range_weights_to_bytes(&a, 0, 2).unwrap();
+        range_weights_from_bytes(&mut b, 0, 2, &bytes).unwrap();
+        let after = b.export_params();
+        assert_eq!(after[0], a.export_params()[0], "frontnet layer replaced");
+        assert_eq!(after[2], before[2], "backnet layer untouched");
+    }
+
+    #[test]
+    fn range_validates_bounds() {
+        let a = net(8);
+        assert!(range_weights_to_bytes(&a, 2, 2).is_err());
+        assert!(range_weights_to_bytes(&a, 0, 99).is_err());
+        let mut b = net(9);
+        let bytes = range_weights_to_bytes(&a, 0, 2).unwrap();
+        assert!(range_weights_from_bytes(&mut b, 0, 3, &bytes).is_err());
+    }
+}

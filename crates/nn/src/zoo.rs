@@ -1,0 +1,249 @@
+//! The paper's network architectures (Tables I and II) plus the scaled
+//! variants and face-recognition model used by the experiment harness.
+//!
+//! Paper-exact constructors reproduce every row of the appendix tables —
+//! unit tests below assert each Input/Output shape. The `_scaled`
+//! variants divide filter counts by a factor so the full 12-epoch
+//! training runs of Figs. 3–5 finish at laptop scale; the architecture
+//! (depth, layer kinds, partition points) is unchanged, which is what the
+//! experiments actually exercise.
+
+use crate::layers::Activation;
+use crate::network::{Network, NetworkBuilder};
+use crate::NnError;
+
+/// Divides a paper filter count by `scale`, keeping at least 4 filters.
+fn scaled(filters: usize, scale: usize) -> usize {
+    (filters / scale.max(1)).max(4)
+}
+
+/// The 10-layer CIFAR-10 network of paper Table I (input 28×28×3).
+///
+/// # Errors
+///
+/// Never fails for this fixed architecture; the `Result` mirrors
+/// [`NetworkBuilder::build`].
+pub fn cifar10_10layer(seed: u64) -> Result<Network, NnError> {
+    cifar10_10layer_scaled(1, seed)
+}
+
+/// Table I with filter counts divided by `scale`.
+///
+/// # Errors
+///
+/// See [`cifar10_10layer`].
+pub fn cifar10_10layer_scaled(scale: usize, seed: u64) -> Result<Network, NnError> {
+    NetworkBuilder::new(&[3, 28, 28])
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 1
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 2
+        .maxpool(2, 2) // 3
+        .conv_bn(scaled(64, scale), 3, 1, 1, Activation::Leaky) // 4
+        .maxpool(2, 2) // 5
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 6
+        .conv(10, 1, 1, 0, Activation::Linear) // 7
+        .global_avgpool() // 8
+        .softmax() // 9
+        .cost() // 10
+        .build(seed)
+}
+
+/// The 18-layer CIFAR-10 network of paper Table II (input 28×28×3,
+/// three dropout layers at p = 0.5).
+///
+/// # Errors
+///
+/// Never fails for this fixed architecture.
+pub fn cifar10_18layer(seed: u64) -> Result<Network, NnError> {
+    cifar10_18layer_scaled(1, seed)
+}
+
+/// Table II with filter counts divided by `scale`.
+///
+/// # Errors
+///
+/// See [`cifar10_18layer`].
+pub fn cifar10_18layer_scaled(scale: usize, seed: u64) -> Result<Network, NnError> {
+    NetworkBuilder::new(&[3, 28, 28])
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 1
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 2
+        .conv_bn(scaled(128, scale), 3, 1, 1, Activation::Leaky) // 3
+        .maxpool(2, 2) // 4
+        .dropout(0.5) // 5
+        .conv_bn(scaled(256, scale), 3, 1, 1, Activation::Leaky) // 6
+        .conv_bn(scaled(256, scale), 3, 1, 1, Activation::Leaky) // 7
+        .conv_bn(scaled(256, scale), 3, 1, 1, Activation::Leaky) // 8
+        .maxpool(2, 2) // 9
+        .dropout(0.5) // 10
+        .conv_bn(scaled(512, scale), 3, 1, 1, Activation::Leaky) // 11
+        .conv_bn(scaled(512, scale), 3, 1, 1, Activation::Leaky) // 12
+        .conv_bn(scaled(512, scale), 3, 1, 1, Activation::Leaky) // 13
+        .dropout(0.5) // 14
+        .conv(10, 1, 1, 0, Activation::Linear) // 15
+        .global_avgpool() // 16
+        .softmax() // 17
+        .cost() // 18
+        .build(seed)
+}
+
+/// The face-recognition model standing in for VGG-Face in Experiment IV.
+///
+/// The paper retrains a released VGG-Face model whose penultimate layer
+/// (the 2622-way logits) supplies the fingerprint embedding. This model
+/// has the same structural property — its penultimate layer is the
+/// `identities`-way logit vector feeding softmax — on a 24×24×3 synthetic
+/// face input.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidArchitecture`] only if `identities == 0`
+/// would degenerate the head (guarded by the builder).
+pub fn face_net(identities: usize, seed: u64) -> Result<Network, NnError> {
+    NetworkBuilder::new(&[3, 24, 24])
+        .conv_bn(16, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv_bn(32, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv_bn(32, 3, 1, 1, Activation::Leaky)
+        .conv(identities, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+}
+
+/// The IR validation network (IRValNet) for the information-exposure
+/// assessment: "a different well-trained deep learning model \[that\] acts
+/// as the oracle to inspect IR images" (paper §IV-B). Structurally the
+/// Table I network at reduced width, built from an independent seed.
+///
+/// # Errors
+///
+/// Never fails for this fixed architecture.
+pub fn irvalnet(scale: usize, seed: u64) -> Result<Network, NnError> {
+    cifar10_10layer_scaled(scale, seed ^ 0xA5A5_5A5A)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerKind;
+
+    /// Asserts one table row: kind, filters, size string, output dims
+    /// (paper tables list W×H×C; we store C×H×W).
+    fn assert_row(
+        net: &Network,
+        idx: usize,
+        kind: LayerKind,
+        filters: Option<usize>,
+        size: &str,
+        output: &[usize],
+    ) {
+        let d = net.describe()[idx].clone();
+        assert_eq!(d.kind, kind, "row {} kind", idx + 1);
+        assert_eq!(d.filters, filters, "row {} filters", idx + 1);
+        if !size.is_empty() {
+            assert_eq!(d.size, size, "row {} size", idx + 1);
+        }
+        if !output.is_empty() {
+            assert_eq!(d.output, output, "row {} output", idx + 1);
+        }
+    }
+
+    #[test]
+    fn table_i_rows_exact() {
+        let net = cifar10_10layer(0).unwrap();
+        assert_eq!(net.num_layers(), 10);
+        assert_row(&net, 0, LayerKind::Conv, Some(128), "3x3/1", &[128, 28, 28]);
+        assert_row(&net, 1, LayerKind::Conv, Some(128), "3x3/1", &[128, 28, 28]);
+        assert_row(&net, 2, LayerKind::MaxPool, None, "2x2/2", &[128, 14, 14]);
+        assert_row(&net, 3, LayerKind::Conv, Some(64), "3x3/1", &[64, 14, 14]);
+        assert_row(&net, 4, LayerKind::MaxPool, None, "2x2/2", &[64, 7, 7]);
+        assert_row(&net, 5, LayerKind::Conv, Some(128), "3x3/1", &[128, 7, 7]);
+        assert_row(&net, 6, LayerKind::Conv, Some(10), "1x1/1", &[10, 7, 7]);
+        assert_row(&net, 7, LayerKind::AvgPool, None, "", &[10]);
+        assert_row(&net, 8, LayerKind::Softmax, None, "", &[10]);
+        assert_row(&net, 9, LayerKind::Cost, None, "", &[10]);
+    }
+
+    #[test]
+    fn table_ii_rows_exact() {
+        let net = cifar10_18layer(0).unwrap();
+        assert_eq!(net.num_layers(), 18);
+        for i in 0..3 {
+            assert_row(&net, i, LayerKind::Conv, Some(128), "3x3/1", &[128, 28, 28]);
+        }
+        assert_row(&net, 3, LayerKind::MaxPool, None, "2x2/2", &[128, 14, 14]);
+        // Table II row 5: dropout p=0.50, input/output 25088 = 14·14·128.
+        let drop = net.describe()[4].clone();
+        assert_eq!(drop.kind, LayerKind::Dropout);
+        assert_eq!(drop.input, vec![25088]);
+        assert_eq!(drop.output, vec![25088]);
+        for i in 5..8 {
+            assert_row(&net, i, LayerKind::Conv, Some(256), "3x3/1", &[256, 14, 14]);
+        }
+        assert_row(&net, 8, LayerKind::MaxPool, None, "2x2/2", &[256, 7, 7]);
+        let drop2 = net.describe()[9].clone();
+        assert_eq!(drop2.input, vec![12544], "row 10 dropout over 7·7·256");
+        for i in 10..13 {
+            assert_row(&net, i, LayerKind::Conv, Some(512), "3x3/1", &[512, 7, 7]);
+        }
+        let drop3 = net.describe()[13].clone();
+        assert_eq!(drop3.input, vec![25088], "row 14 dropout over 7·7·512");
+        assert_row(&net, 14, LayerKind::Conv, Some(10), "1x1/1", &[10, 7, 7]);
+        assert_row(&net, 15, LayerKind::AvgPool, None, "", &[10]);
+        assert_row(&net, 16, LayerKind::Softmax, None, "", &[10]);
+        assert_row(&net, 17, LayerKind::Cost, None, "", &[10]);
+    }
+
+    #[test]
+    fn table_ii_has_ten_conv_layers() {
+        // The Fig. 6 x-axis sweeps 0..=10 in-enclave conv layers.
+        let net = cifar10_18layer(0).unwrap();
+        assert_eq!(net.conv_layer_indices().len(), 10);
+    }
+
+    #[test]
+    fn scaled_variants_preserve_structure() {
+        let net = cifar10_18layer_scaled(8, 1).unwrap();
+        assert_eq!(net.num_layers(), 18);
+        assert_eq!(net.conv_layer_indices().len(), 10);
+        let d = net.describe();
+        assert_eq!(d[0].filters, Some(16));
+        assert_eq!(d[14].filters, Some(10), "head width is class count, never scaled");
+        let tiny = cifar10_10layer_scaled(1000, 2).unwrap();
+        assert_eq!(tiny.describe()[0].filters, Some(4), "floor at 4 filters");
+    }
+
+    #[test]
+    fn face_net_penultimate_is_identity_logits() {
+        let net = face_net(16, 3).unwrap();
+        let pi = net.penultimate_index();
+        assert_eq!(net.layer(pi).output_shape().dims(), &[16]);
+        assert_eq!(net.layer(pi).kind(), LayerKind::AvgPool);
+    }
+
+    #[test]
+    fn irvalnet_differs_from_irgennet_seed() {
+        let a = cifar10_10layer_scaled(16, 7).unwrap();
+        let b = irvalnet(16, 7).unwrap();
+        assert_ne!(
+            a.export_params()[0], b.export_params()[0],
+            "oracle must be an independently initialised model"
+        );
+    }
+
+    #[test]
+    fn paper_nets_param_counts() {
+        // Table I: conv params = Σ filters·(c·k·k) + biases, plus
+        // 3·filters (γ, rolling mean, rolling var) per batch-normalised
+        // convolution.
+        let net = cifar10_10layer(0).unwrap();
+        let expect = 128 * (3 * 9) + 128
+            + 128 * (128 * 9) + 128
+            + 64 * (128 * 9) + 64
+            + 128 * (64 * 9) + 128
+            + 10 * 128 + 10
+            + 3 * (128 + 128 + 64 + 128);
+        assert_eq!(net.param_count(), expect);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the neural-network framework.
+
+use caltrain_nn::augment::{augment, flip_horizontal, rotate, shift, AugmentConfig};
+use caltrain_nn::serialize::{weights_from_bytes, weights_to_bytes};
+use caltrain_nn::{zoo, Activation, Hyper, KernelMode, NetworkBuilder};
+use caltrain_tensor::Tensor;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn tiny_net(seed: u64) -> caltrain_nn::Network {
+    NetworkBuilder::new(&[1, 6, 6])
+        .conv_bn(4, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(3, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The headline invariant behind Figs. 3–4: strict (enclave) and
+    /// native kernels produce bit-identical training trajectories for
+    /// arbitrary data and hyperparameters.
+    #[test]
+    fn kernel_paths_bit_identical(
+        seed in 0u64..500,
+        lr in 0.001f32..0.3,
+        data in proptest::collection::vec(0.0f32..1.0, 4 * 36),
+    ) {
+        let mut a = tiny_net(seed);
+        let mut b = tiny_net(seed);
+        let images = Tensor::from_vec(data, &[4, 1, 6, 6]).unwrap();
+        let labels = vec![0usize, 1, 2, 0];
+        let hyper = Hyper { learning_rate: lr, momentum: 0.9, decay: 0.0001 };
+        let (la, _) = a.train_batch(&images, &labels, &hyper, KernelMode::Strict).unwrap();
+        let (lb, _) = b.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+        prop_assert_eq!(la.to_bits(), lb.to_bits());
+        prop_assert_eq!(a.export_params(), b.export_params());
+    }
+
+    /// Any split point gives the same forward result as the monolithic
+    /// pass (the partitioned-training correctness core).
+    #[test]
+    fn arbitrary_cut_preserves_forward(
+        seed in 0u64..200,
+        cut in 1usize..6,
+        data in proptest::collection::vec(0.0f32..1.0, 2 * 36),
+    ) {
+        let mut whole = tiny_net(seed);
+        let mut split = tiny_net(seed);
+        let images = Tensor::from_vec(data, &[2, 1, 6, 6]).unwrap();
+        let (full, _) = whole.forward(&images, KernelMode::Native, false).unwrap();
+        let n = split.num_layers();
+        let (ir, _) = split.forward_range(&images, 0, cut, KernelMode::Strict, false).unwrap();
+        let (out, _) = split.forward_range(&ir, cut, n, KernelMode::Native, false).unwrap();
+        prop_assert_eq!(full.as_slice(), out.as_slice());
+    }
+
+    #[test]
+    fn probabilities_always_valid(
+        seed in 0u64..200,
+        data in proptest::collection::vec(-2.0f32..2.0, 3 * 36),
+    ) {
+        let mut net = tiny_net(seed);
+        let images = Tensor::from_vec(data, &[3, 1, 6, 6]).unwrap();
+        let probs = net.predict_probs(&images, KernelMode::Native).unwrap();
+        for s in 0..3 {
+            let row = &probs.as_slice()[s * 3..(s + 1) * 3];
+            prop_assert!((row.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn weight_serialisation_roundtrips(seed in 0u64..200) {
+        let net = tiny_net(seed);
+        let bytes = weights_to_bytes(&net);
+        let mut other = tiny_net(seed + 1);
+        weights_from_bytes(&mut other, &bytes).unwrap();
+        prop_assert_eq!(net.export_params(), other.export_params());
+    }
+
+    #[test]
+    fn augmentation_preserves_shape_and_range(
+        seed in any::<u64>(),
+        data in proptest::collection::vec(0.0f32..1.0, 3 * 64),
+    ) {
+        let img = Tensor::from_vec(data, &[3, 8, 8]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = augment(&img, &AugmentConfig::default(), &mut rng);
+        prop_assert_eq!(out.dims(), img.dims());
+        prop_assert!(out.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn geometric_transforms_preserve_pixel_count(
+        data in proptest::collection::vec(0.1f32..1.0, 25),
+        dy in -2isize..3,
+        dx in -2isize..3,
+    ) {
+        let img = Tensor::from_vec(data, &[1, 5, 5]).unwrap();
+        prop_assert_eq!(flip_horizontal(&img).volume(), img.volume());
+        prop_assert_eq!(shift(&img, dy, dx).volume(), img.volume());
+        prop_assert_eq!(rotate(&img, 0.3).volume(), img.volume());
+        // Shift never invents energy.
+        prop_assert!(shift(&img, dy, dx).sum() <= img.sum() + 1e-4);
+    }
+
+    /// Embeddings are deterministic in eval mode — fingerprint stability,
+    /// without which the linkage database would be useless.
+    #[test]
+    fn embeddings_deterministic(
+        seed in 0u64..100,
+        data in proptest::collection::vec(0.0f32..1.0, 36),
+    ) {
+        let mut net = tiny_net(seed);
+        let images = Tensor::from_vec(data, &[1, 1, 6, 6]).unwrap();
+        let e1 = net.embed(&images, KernelMode::Native).unwrap();
+        let e2 = net.embed(&images, KernelMode::Strict).unwrap();
+        prop_assert_eq!(e1.as_slice(), e2.as_slice());
+    }
+}
+
+#[test]
+fn paper_architectures_survive_serialisation() {
+    for ctor in [zoo::cifar10_10layer_scaled, zoo::cifar10_18layer_scaled] {
+        let net = ctor(32, 9).unwrap();
+        let bytes = weights_to_bytes(&net);
+        let mut other = ctor(32, 10).unwrap();
+        weights_from_bytes(&mut other, &bytes).unwrap();
+        assert_eq!(net.export_params(), other.export_params());
+    }
+}

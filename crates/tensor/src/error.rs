@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by tensor construction and algebra.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TensorError {
+    /// The number of elements does not match the requested shape.
+    LengthMismatch {
+        /// Elements supplied by the caller.
+        len: usize,
+        /// Elements the shape requires.
+        expected: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// A shape with zero dimensions or a zero-sized axis was rejected.
+    EmptyShape,
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending flat or per-axis index.
+        index: usize,
+        /// The bound that was exceeded.
+        bound: usize,
+    },
+    /// A linear-algebra routine failed to converge or met a singular matrix.
+    Numerical(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "incompatible shapes for {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::EmptyShape => write!(f, "empty shapes are not permitted"),
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds for extent {bound}")
+            }
+            TensorError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl Error for TensorError {}

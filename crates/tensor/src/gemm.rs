@@ -1,0 +1,237 @@
+//! Two single-precision GEMM kernels: a strict scalar kernel modelling
+//! in-enclave compute and a cache-blocked kernel modelling the accelerated
+//! out-of-enclave path.
+//!
+//! Both compute `C += A * B` for row-major `A: m×k`, `B: k×n`, `C: m×n`.
+//! The *strict* kernel walks the arithmetic in a fixed, unfused order — the
+//! shape generated when SGX enclave code is compiled without `-ffast-math`
+//! or vector extensions (paper §VI-C speculates exactly this cause for the
+//! measured 6–22 % overhead). The *blocked* kernel tiles for L1 residency
+//! and exposes independent accumulator chains the compiler can vectorise.
+
+/// Loop-blocking tile edge for [`gemm_blocked`] (elements, not bytes).
+///
+/// 64×64 f32 tiles are 16 KiB per operand — comfortably L1-resident on the
+/// i7-6700 class hardware the paper evaluates on.
+pub const BLOCK: usize = 64;
+
+/// Strict scalar GEMM: `c += a * b`.
+///
+/// Fixed `i, j, p` loop order with a single scalar accumulator, mirroring
+/// un-accelerated enclave code. Use [`gemm_blocked`] outside the enclave.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_strict(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Cache-blocked GEMM: `c += a * b`.
+///
+/// Tiles all three loops by [`BLOCK`] and uses an `i, p, j` inner order so
+/// the innermost loop is a contiguous saxpy over a row of `B` — the access
+/// pattern auto-vectorisers handle best.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    for i0 in (0..m).step_by(BLOCK) {
+        let i1 = (i0 + BLOCK).min(m);
+        for p0 in (0..k).step_by(BLOCK) {
+            let p1 = (p0 + BLOCK).min(k);
+            for j0 in (0..n).step_by(BLOCK) {
+                let j1 = (j0 + BLOCK).min(n);
+                for i in i0..i1 {
+                    let c_row = &mut c[i * n + j0..i * n + j1];
+                    for p in p0..p1 {
+                        // No zero-skip: every (i, j) accumulator must see the
+                        // identical addition sequence as gemm_strict so the
+                        // two kernel paths stay bit-identical (CalTrain's
+                        // accuracy-parity claim, Figs. 3-4).
+                        let a_ip = a[i * k + p];
+                        let b_row = &b[p * n + j0..p * n + j1];
+                        for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                            *cv += a_ip * bv;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// GEMM with a transposed left operand: `c += aᵀ * b` where `a` is `k×m`.
+///
+/// Backpropagation through a convolution needs `Wᵀ · delta`; providing the
+/// transposed variant avoids materialising `Wᵀ` every step.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_at_b(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be k*m (transposed)");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    for p in 0..k {
+        let a_row = &a[p * m..(p + 1) * m];
+        let b_row = &b[p * n..(p + 1) * n];
+        for (i, &a_pi) in a_row.iter().enumerate() {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in c_row.iter_mut().zip(b_row) {
+                *cv += a_pi * bv;
+            }
+        }
+    }
+}
+
+/// GEMM with a transposed right operand: `c += a * bᵀ` where `b` is `n×k`.
+///
+/// Weight gradients need `delta · xᵀ`; this variant reads both operands
+/// row-contiguously.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_a_bt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), n * k, "B must be n*k (transposed)");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let b_row = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (av, bv) in a_row.iter().zip(b_row) {
+                acc += av * bv;
+            }
+            c[i * n + j] += acc;
+        }
+    }
+}
+
+/// Number of floating-point operations a `m×n×k` GEMM performs.
+///
+/// Used by the enclave cost model to convert kernel invocations into
+/// simulated cycles.
+pub fn gemm_flops(m: usize, n: usize, k: usize) -> u64 {
+    2 * m as u64 * n as u64 * k as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                for p in 0..k {
+                    c[i * n + j] += a[i * k + p] * b[p * n + j];
+                }
+            }
+        }
+        c
+    }
+
+    fn arb_matrix(len: usize, seed: u64) -> Vec<f32> {
+        // Tiny deterministic LCG so kernel tests need no external RNG.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strict_matches_reference() {
+        for &(m, n, k) in &[(1, 1, 1), (2, 3, 4), (5, 5, 5), (7, 13, 3)] {
+            let a = arb_matrix(m * k, 1);
+            let b = arb_matrix(k * n, 2);
+            let mut c = vec![0.0; m * n];
+            gemm_strict(m, n, k, &a, &b, &mut c);
+            let r = reference(m, n, k, &a, &b);
+            for (x, y) in c.iter().zip(&r) {
+                assert!((x - y).abs() < 1e-5, "strict {x} vs ref {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_matches_strict() {
+        // Sizes straddling the BLOCK boundary exercise partial tiles.
+        for &(m, n, k) in &[(1, 1, 1), (63, 65, 64), (70, 9, 130), (128, 128, 16)] {
+            let a = arb_matrix(m * k, 3);
+            let b = arb_matrix(k * n, 4);
+            let mut c1 = vec![0.0; m * n];
+            let mut c2 = vec![0.0; m * n];
+            gemm_strict(m, n, k, &a, &b, &mut c1);
+            gemm_blocked(m, n, k, &a, &b, &mut c2);
+            for (x, y) in c1.iter().zip(&c2) {
+                assert!((x - y).abs() < 1e-3, "blocked {y} vs strict {x}");
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_variants_match() {
+        let (m, n, k) = (6, 10, 4);
+        let a = arb_matrix(m * k, 5);
+        let b = arb_matrix(k * n, 6);
+        let r = reference(m, n, k, &a, &b);
+
+        // Build aT (k×m) and bT (n×k) explicitly.
+        let mut at = vec![0.0; k * m];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut bt = vec![0.0; n * k];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+
+        let mut c1 = vec![0.0; m * n];
+        gemm_at_b(m, n, k, &at, &b, &mut c1);
+        let mut c2 = vec![0.0; m * n];
+        gemm_a_bt(m, n, k, &a, &bt, &mut c2);
+        for i in 0..m * n {
+            assert!((c1[i] - r[i]).abs() < 1e-5);
+            assert!((c2[i] - r[i]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn accumulates_into_c() {
+        let a = vec![1.0, 0.0, 0.0, 1.0];
+        let b = vec![2.0, 0.0, 0.0, 2.0];
+        let mut c = vec![1.0; 4];
+        gemm_blocked(2, 2, 2, &a, &b, &mut c);
+        assert_eq!(c, vec![3.0, 1.0, 1.0, 3.0]);
+    }
+
+    #[test]
+    fn flop_count() {
+        assert_eq!(gemm_flops(2, 3, 4), 48);
+    }
+}

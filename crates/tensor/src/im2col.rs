@@ -1,0 +1,206 @@
+//! Convolution lowering: `im2col` / `col2im`, the same strategy the paper's
+//! Darknet substrate uses to express convolutions as GEMM.
+//!
+//! For an input feature map of shape `[channels, height, width]`, a `k×k`
+//! kernel with stride `s` and padding `p`, `im2col` produces a matrix of
+//! shape `[channels·k·k, out_h·out_w]`; a convolution with `f` filters is
+//! then the GEMM `[f, channels·k·k] × [channels·k·k, out_h·out_w]`.
+
+/// Output spatial extent of a convolution/pooling window sweep.
+///
+/// `extent` is the input height or width; the formula matches Darknet's
+/// `(extent + 2*pad - size) / stride + 1` with truncating division.
+pub fn conv_out_extent(extent: usize, size: usize, stride: usize, pad: usize) -> usize {
+    (extent + 2 * pad - size) / stride + 1
+}
+
+/// Lowers `input` (`[channels, height, width]`, row-major) into the column
+/// matrix expected by the convolution GEMM.
+///
+/// `output` must have length `channels * size * size * out_h * out_w`.
+/// Out-of-image taps (from padding) contribute zeros.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    input: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_extent(height, size, stride, pad);
+    let out_w = conv_out_extent(width, size, stride, pad);
+    assert_eq!(input.len(), channels * height * width, "input geometry");
+    assert_eq!(
+        output.len(),
+        channels * size * size * out_h * out_w,
+        "column geometry"
+    );
+
+    let channel_cols = size * size;
+    for c in 0..channels {
+        let in_plane = &input[c * height * width..(c + 1) * height * width];
+        for kidx in 0..channel_cols {
+            let ky = kidx / size;
+            let kx = kidx % size;
+            let row = (c * channel_cols + kidx) * out_h * out_w;
+            for oy in 0..out_h {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    let v = if iy >= 0 && iy < height as isize && ix >= 0 && ix < width as isize
+                    {
+                        in_plane[iy as usize * width + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    output[row + oy * out_w + ox] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a column matrix back onto an image, accumulating overlapping
+/// taps — the adjoint of [`im2col`], used to backpropagate deltas through a
+/// convolution.
+///
+/// `output` must be pre-zeroed by the caller if plain gradients are wanted;
+/// values are accumulated (`+=`) so deltas from multiple sources can be
+/// merged.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    columns: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_extent(height, size, stride, pad);
+    let out_w = conv_out_extent(width, size, stride, pad);
+    assert_eq!(
+        columns.len(),
+        channels * size * size * out_h * out_w,
+        "column geometry"
+    );
+    assert_eq!(output.len(), channels * height * width, "image geometry");
+
+    let channel_cols = size * size;
+    for c in 0..channels {
+        let out_plane = &mut output[c * height * width..(c + 1) * height * width];
+        for kidx in 0..channel_cols {
+            let ky = kidx / size;
+            let kx = kidx % size;
+            let row = (c * channel_cols + kidx) * out_h * out_w;
+            for oy in 0..out_h {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                if iy < 0 || iy >= height as isize {
+                    continue;
+                }
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    if ix < 0 || ix >= width as isize {
+                        continue;
+                    }
+                    out_plane[iy as usize * width + ix as usize] +=
+                        columns[row + oy * out_w + ox];
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_extent_matches_darknet_formula() {
+        assert_eq!(conv_out_extent(28, 3, 1, 1), 28);
+        assert_eq!(conv_out_extent(28, 2, 2, 0), 14);
+        assert_eq!(conv_out_extent(7, 1, 1, 0), 7);
+        assert_eq!(conv_out_extent(5, 3, 2, 0), 2);
+    }
+
+    #[test]
+    fn identity_kernel_roundtrip() {
+        // 1x1 kernel, stride 1, no pad: im2col is the identity layout.
+        let input: Vec<f32> = (0..2 * 3 * 3).map(|v| v as f32).collect();
+        let mut cols = vec![0.0; input.len()];
+        im2col(&input, 2, 3, 3, 1, 1, 0, &mut cols);
+        assert_eq!(cols, input);
+
+        let mut back = vec![0.0; input.len()];
+        col2im(&cols, 2, 3, 3, 1, 1, 0, &mut back);
+        assert_eq!(back, input);
+    }
+
+    #[test]
+    fn padded_window_reads_zeros() {
+        // Single channel 2x2 image, 3x3 kernel, pad 1 -> 2x2 output.
+        let input = vec![1.0, 2.0, 3.0, 4.0];
+        let mut cols = vec![0.0; 9 * 4];
+        im2col(&input, 1, 2, 2, 3, 1, 1, &mut cols);
+        // Kernel tap (0,0) for output (0,0) reads (-1,-1) -> padding zero.
+        assert_eq!(cols[0], 0.0);
+        // Kernel tap (1,1) (centre) for output (0,0) reads pixel (0,0) = 1.
+        let centre_row = 4 * 4; // kidx=4 (ky=1,kx=1), out position 0
+        assert_eq!(cols[centre_row], 1.0);
+    }
+
+    #[test]
+    fn col2im_accumulates_overlaps() {
+        // 3x3 image, 3x3 kernel, stride 1, pad 1: centre pixel appears in
+        // all 9 windows, corners in 4.
+        let input = vec![1.0f32; 9];
+        let mut cols = vec![0.0; 9 * 9];
+        im2col(&input, 1, 3, 3, 3, 1, 1, &mut cols);
+        let mut back = vec![0.0; 9];
+        col2im(&cols, 1, 3, 3, 3, 1, 1, &mut back);
+        assert_eq!(back[4], 9.0, "centre pixel participates in 9 windows");
+        assert_eq!(back[0], 4.0, "corner pixel participates in 4 windows");
+        assert_eq!(back[1], 6.0, "edge pixel participates in 6 windows");
+    }
+
+    #[test]
+    fn conv_via_gemm_matches_direct() {
+        use crate::gemm::gemm_strict;
+        // 1 channel 4x4, one 3x3 averaging filter, stride 1, pad 0 -> 2x2.
+        let input: Vec<f32> = (1..=16).map(|v| v as f32).collect();
+        let filter = vec![1.0f32 / 9.0; 9];
+        let mut cols = vec![0.0; 9 * 4];
+        im2col(&input, 1, 4, 4, 3, 1, 0, &mut cols);
+        let mut out = vec![0.0; 4];
+        gemm_strict(1, 4, 9, &filter, &cols, &mut out);
+
+        // Direct convolution for reference.
+        let mut expect = vec![0.0f32; 4];
+        for oy in 0..2 {
+            for ox in 0..2 {
+                let mut acc = 0.0;
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        acc += input[(oy + ky) * 4 + (ox + kx)] / 9.0;
+                    }
+                }
+                expect[oy * 2 + ox] = acc;
+            }
+        }
+        for (a, b) in out.iter().zip(&expect) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! Dense `f32` tensors and small dense linear algebra for the CalTrain
+//! reproduction.
+//!
+//! This crate is the numeric substrate everything else builds on: the
+//! deep-learning framework (`caltrain-nn`), the information-exposure
+//! assessment, the fingerprint store and the locally-linear-embedding
+//! visualisation all operate on [`Tensor`] values.
+//!
+//! Two GEMM kernels are provided on purpose:
+//!
+//! * [`gemm::gemm_strict`] — straight scalar loops with a fixed evaluation
+//!   order. This models code compiled *for an SGX enclave*, where the paper's
+//!   prototype could not use `-ffast-math`, SIMD or GPU acceleration.
+//! * [`gemm::gemm_blocked`] — cache-blocked, unrolled kernel modelling the
+//!   accelerated out-of-enclave path.
+//!
+//! Both kernels compute the same result; the strict kernel is simply slower,
+//! which is exactly the asymmetry CalTrain's partitioned training exploits
+//! (paper §IV-B, Fig. 6).
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), a.as_slice());
+//! # Ok::<(), caltrain_tensor::TensorError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod gemm;
+pub mod im2col;
+pub mod linalg;
+pub mod stats;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;

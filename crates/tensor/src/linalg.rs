@@ -1,0 +1,307 @@
+//! Small dense linear-algebra routines: Gaussian-elimination solves and a
+//! Jacobi eigensolver for symmetric matrices.
+//!
+//! These exist to support the accountability tooling: locally linear
+//! embedding (paper Fig. 7) solves one small Gram system per data point for
+//! the reconstruction weights, then takes the *bottom* eigenvectors of
+//! `(I − W)ᵀ(I − W)` for the 2-D visualisation coordinates.
+
+use crate::{Tensor, TensorError};
+
+/// Solves the dense linear system `a · x = b` in place via Gaussian
+/// elimination with partial pivoting.
+///
+/// `a` is an `n×n` row-major matrix and `b` a length-`n` vector; both are
+/// consumed as scratch. Returns the solution vector.
+///
+/// # Errors
+///
+/// Returns [`TensorError::Numerical`] if the matrix is singular to working
+/// precision, and [`TensorError::ShapeMismatch`] if dimensions disagree.
+pub fn solve(a: &Tensor, b: &[f32]) -> Result<Vec<f32>, TensorError> {
+    let dims = a.dims();
+    if a.shape().rank() != 2 || dims[0] != dims[1] || dims[0] != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "solve",
+            lhs: dims.to_vec(),
+            rhs: vec![b.len()],
+        });
+    }
+    let n = dims[0];
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    let mut rhs: Vec<f64> = b.iter().map(|&v| v as f64).collect();
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude entry on or below the diagonal.
+        let mut pivot = col;
+        for row in col + 1..n {
+            if m[row * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-12 {
+            return Err(TensorError::Numerical("singular matrix in solve"));
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        let diag = m[col * n + col];
+        for row in col + 1..n {
+            let factor = m[row * n + col] / diag;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= factor * m[col * n + k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = rhs[row];
+        for k in row + 1..n {
+            acc -= m[row * n + k] * x[k];
+        }
+        x[row] = acc / m[row * n + row];
+    }
+    Ok(x.into_iter().map(|v| v as f32).collect())
+}
+
+/// Eigendecomposition of a symmetric matrix via cyclic Jacobi rotations.
+///
+/// Returns `(eigenvalues, eigenvectors)` with eigenvalues sorted ascending
+/// and `eigenvectors` an `n×n` tensor whose *rows* are the corresponding
+/// unit eigenvectors. Ascending order is what LLE wants: the embedding
+/// coordinates are the eigenvectors of the 2nd..(d+1)th *smallest*
+/// eigenvalues.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] for non-square input and
+/// [`TensorError::Numerical`] if the sweep fails to converge in 100
+/// iterations (symmetric input always converges far sooner).
+pub fn symmetric_eigen(a: &Tensor) -> Result<(Vec<f32>, Tensor), TensorError> {
+    let dims = a.dims();
+    if a.shape().rank() != 2 || dims[0] != dims[1] {
+        return Err(TensorError::ShapeMismatch {
+            op: "symmetric_eigen",
+            lhs: dims.to_vec(),
+            rhs: vec![],
+        });
+    }
+    let n = dims[0];
+    let mut m: Vec<f64> = a.as_slice().iter().map(|&v| v as f64).collect();
+    // v starts as identity; accumulates the product of rotations.
+    let mut v = vec![0.0f64; n * n];
+    for i in 0..n {
+        v[i * n + i] = 1.0;
+    }
+
+    let off_diag_norm = |m: &[f64]| -> f64 {
+        let mut s = 0.0;
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s += m[i * n + j] * m[i * n + j];
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let mut converged = false;
+    for _sweep in 0..100 {
+        if off_diag_norm(&m) < 1e-10 {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m[p * n + q];
+                if apq.abs() < 1e-14 {
+                    continue;
+                }
+                let app = m[p * n + p];
+                let aqq = m[q * n + q];
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let mkp = m[k * n + p];
+                    let mkq = m[k * n + q];
+                    m[k * n + p] = c * mkp - s * mkq;
+                    m[k * n + q] = s * mkp + c * mkq;
+                }
+                for k in 0..n {
+                    let mpk = m[p * n + k];
+                    let mqk = m[q * n + k];
+                    m[p * n + k] = c * mpk - s * mqk;
+                    m[q * n + k] = s * mpk + c * mqk;
+                }
+                for k in 0..n {
+                    let vkp = v[k * n + p];
+                    let vkq = v[k * n + q];
+                    v[k * n + p] = c * vkp - s * vkq;
+                    v[k * n + q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    if !converged && off_diag_norm(&m) >= 1e-6 {
+        return Err(TensorError::Numerical("jacobi sweep did not converge"));
+    }
+
+    // Collect (eigenvalue, column index), sort ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    let eigs: Vec<f64> = (0..n).map(|i| m[i * n + i]).collect();
+    order.sort_by(|&x, &y| eigs[x].partial_cmp(&eigs[y]).expect("non-NaN eigenvalues"));
+
+    let values: Vec<f32> = order.iter().map(|&i| eigs[i] as f32).collect();
+    let mut vectors = Tensor::zeros(&[n, n]);
+    for (row, &col) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors.as_mut_slice()[row * n + k] = v[k * n + col] as f32;
+        }
+    }
+    Ok((values, vectors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 3.0], &[2, 2]).unwrap();
+        let x = solve(&a, &[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-5);
+        assert!((x[1] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn solve_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-6);
+        assert!((x[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn solve_rejects_singular() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 2.0, 4.0], &[2, 2]).unwrap();
+        assert!(matches!(solve(&a, &[1.0, 2.0]), Err(TensorError::Numerical(_))));
+    }
+
+    #[test]
+    fn solve_residual_random_spd() {
+        // Verify a larger system by residual, constructing A = B·Bᵀ + I.
+        let n = 8;
+        let b = Tensor::from_fn(&[n, n], |i| ((i * 2654435761) % 97) as f32 / 97.0 - 0.5);
+        let bt = b.transposed().unwrap();
+        let mut a = b.matmul(&bt).unwrap();
+        for i in 0..n {
+            let v = a.get(&[i, i]).unwrap();
+            a.set(&[i, i], v + 1.0).unwrap();
+        }
+        let rhs: Vec<f32> = (0..n).map(|i| i as f32 - 3.0).collect();
+        let x = solve(&a, &rhs).unwrap();
+        // residual = A x - rhs
+        for i in 0..n {
+            let mut acc = 0.0f32;
+            for j in 0..n {
+                acc += a.get(&[i, j]).unwrap() * x[j];
+            }
+            assert!((acc - rhs[i]).abs() < 1e-3, "row {i} residual too large");
+        }
+    }
+
+    #[test]
+    fn eigen_diagonal_matrix() {
+        let a = Tensor::from_vec(
+            vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0],
+            &[3, 3],
+        )
+        .unwrap();
+        let (vals, _) = symmetric_eigen(&a).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 2.0).abs() < 1e-5);
+        assert!((vals[2] - 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3 with vectors (1,-1), (1,1).
+        let a = Tensor::from_vec(vec![2.0, 1.0, 1.0, 2.0], &[2, 2]).unwrap();
+        let (vals, vecs) = symmetric_eigen(&a).unwrap();
+        assert!((vals[0] - 1.0).abs() < 1e-5);
+        assert!((vals[1] - 3.0).abs() < 1e-5);
+        let v0 = [vecs.get(&[0, 0]).unwrap(), vecs.get(&[0, 1]).unwrap()];
+        assert!(
+            (v0[0] + v0[1]).abs() < 1e-4,
+            "eigenvector for λ=1 is (1,-1) direction, got {v0:?}"
+        );
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        // A = Σ λ_i v_i v_iᵀ must reproduce the input.
+        let n = 5;
+        let mut a = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            for j in 0..n {
+                let v = ((i * 7 + j * 3) % 11) as f32 / 11.0;
+                a.set(&[i, j], v).unwrap();
+            }
+        }
+        // Symmetrise.
+        let at = a.transposed().unwrap();
+        let sym = a.add(&at).unwrap().scaled(0.5);
+        let (vals, vecs) = symmetric_eigen(&sym).unwrap();
+        let mut recon = Tensor::zeros(&[n, n]);
+        for (idx, &lambda) in vals.iter().enumerate() {
+            for i in 0..n {
+                for j in 0..n {
+                    let vi = vecs.get(&[idx, i]).unwrap();
+                    let vj = vecs.get(&[idx, j]).unwrap();
+                    let cur = recon.get(&[i, j]).unwrap();
+                    recon.set(&[i, j], cur + lambda * vi * vj).unwrap();
+                }
+            }
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let d = (recon.get(&[i, j]).unwrap() - sym.get(&[i, j]).unwrap()).abs();
+                assert!(d < 1e-4, "reconstruction error {d} at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_vectors_are_orthonormal() {
+        let a = Tensor::from_vec(
+            vec![4.0, 1.0, 0.5, 1.0, 3.0, 0.2, 0.5, 0.2, 1.0],
+            &[3, 3],
+        )
+        .unwrap();
+        let (_, vecs) = symmetric_eigen(&a).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                let mut dot = 0.0f32;
+                for k in 0..3 {
+                    dot += vecs.get(&[i, k]).unwrap() * vecs.get(&[j, k]).unwrap();
+                }
+                let want = if i == j { 1.0 } else { 0.0 };
+                assert!((dot - want).abs() < 1e-4);
+            }
+        }
+    }
+}

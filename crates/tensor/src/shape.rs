@@ -1,0 +1,162 @@
+use std::fmt;
+
+use crate::TensorError;
+
+/// The extents of a tensor, outermost axis first.
+///
+/// CalTrain's networks use `[channels, height, width]` for single images and
+/// `[batch, channels, height, width]` for mini-batches, but `Shape` is
+/// dimension-agnostic: fingerprints are rank-1, GEMM operands are rank-2.
+///
+/// # Example
+///
+/// ```
+/// use caltrain_tensor::Shape;
+///
+/// let s = Shape::new(&[3, 28, 28])?;
+/// assert_eq!(s.volume(), 3 * 28 * 28);
+/// assert_eq!(s.rank(), 3);
+/// # Ok::<(), caltrain_tensor::TensorError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from per-axis extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyShape`] if `dims` is empty or any axis is
+    /// zero — degenerate tensors are never meaningful in this codebase and
+    /// rejecting them early keeps every kernel free of emptiness checks.
+    pub fn new(dims: &[usize]) -> Result<Self, TensorError> {
+        if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            return Err(TensorError::EmptyShape);
+        }
+        Ok(Shape { dims: dims.to_vec() })
+    }
+
+    /// The number of axes.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// The total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// The extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Extent of axis `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (elements, not bytes), one per axis.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.dims.len()];
+        for axis in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[axis] = strides[axis + 1] * self.dims[axis + 1];
+        }
+        strides
+    }
+
+    /// Flat row-major offset of a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] if the index rank differs
+    /// from the shape rank or any coordinate exceeds its extent.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.dims.len() {
+            return Err(TensorError::IndexOutOfBounds {
+                index: index.len(),
+                bound: self.dims.len(),
+            });
+        }
+        let mut off = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &d)) in index.iter().zip(&self.dims).enumerate() {
+            if i >= d {
+                return Err(TensorError::IndexOutOfBounds { index: i, bound: d });
+            }
+            off += i * strides[axis];
+        }
+        Ok(off)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl TryFrom<&[usize]> for Shape {
+    type Error = TensorError;
+
+    fn try_from(dims: &[usize]) -> Result<Self, Self::Error> {
+        Shape::new(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.volume(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dims(), &[2, 3, 4]);
+        assert_eq!(s.dim(1), 3);
+    }
+
+    #[test]
+    fn rejects_empty_and_zero() {
+        assert_eq!(Shape::new(&[]), Err(TensorError::EmptyShape));
+        assert_eq!(Shape::new(&[3, 0, 2]), Err(TensorError::EmptyShape));
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        let s1 = Shape::new(&[7]).unwrap();
+        assert_eq!(s1.strides(), vec![1]);
+    }
+
+    #[test]
+    fn offsets() {
+        let s = Shape::new(&[2, 3, 4]).unwrap();
+        assert_eq!(s.offset(&[0, 0, 0]).unwrap(), 0);
+        assert_eq!(s.offset(&[1, 2, 3]).unwrap(), 23);
+        assert_eq!(s.offset(&[0, 1, 2]).unwrap(), 6);
+        assert!(s.offset(&[2, 0, 0]).is_err());
+        assert!(s.offset(&[0, 0]).is_err());
+    }
+
+    #[test]
+    fn display() {
+        let s = Shape::new(&[3, 28, 28]).unwrap();
+        assert_eq!(s.to_string(), "[3x28x28]");
+    }
+}

@@ -1,0 +1,172 @@
+//! Statistical helpers shared across the CalTrain pipeline: softmax,
+//! Kullback–Leibler divergence and summary statistics.
+//!
+//! The KL divergence here is *the* metric of paper §IV-B: the
+//! information-exposure assessment computes
+//! `δ = D_KL(Φ_val(x) ‖ Φ_val(IR_ij))` per intermediate representation and
+//! compares it against the uniform-distribution baseline `δ_µ`.
+
+/// Numerically-stable softmax over a slice of logits.
+///
+/// Subtracts the maximum before exponentiating, exactly as Darknet's
+/// `softmax` does, so large logits cannot overflow.
+///
+/// # Panics
+///
+/// Panics if `logits` is empty.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    assert!(!logits.is_empty(), "softmax of empty slice");
+    let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.into_iter().map(|v| v / sum).collect()
+}
+
+/// Kullback–Leibler divergence `D_KL(p ‖ q)` in nats.
+///
+/// Both arguments are clamped below at `1e-10` before the log, matching the
+/// paper's need for finite scores even when the validation network assigns
+/// (numerically) zero mass to a class.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn kl_divergence(p: &[f32], q: &[f32]) -> f32 {
+    assert_eq!(p.len(), q.len(), "distribution supports must match");
+    assert!(!p.is_empty(), "empty distributions");
+    const FLOOR: f32 = 1e-10;
+    p.iter()
+        .zip(q)
+        .map(|(&pi, &qi)| {
+            let pi = pi.max(FLOOR);
+            let qi = qi.max(FLOOR);
+            pi * (pi / qi).ln()
+        })
+        .sum()
+}
+
+/// The discrete uniform distribution over `n` classes.
+///
+/// Used as the paper's exposure lower-bound reference `µ ~ U{1, N}`.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn uniform_distribution(n: usize) -> Vec<f32> {
+    assert!(n > 0, "uniform distribution needs at least one class");
+    vec![1.0 / n as f32; n]
+}
+
+/// Arithmetic mean; 0.0 for an empty slice.
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f32>() / xs.len() as f32
+    }
+}
+
+/// Population standard deviation; 0.0 for slices shorter than 2.
+pub fn std_dev(xs: &[f32]) -> f32 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / xs.len() as f32).sqrt()
+}
+
+/// Min and max of a slice as `(min, max)`; `None` for an empty slice.
+pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut lo = xs[0];
+    let mut hi = xs[0];
+    for &v in &xs[1..] {
+        if v < lo {
+            lo = v;
+        }
+        if v > hi {
+            hi = v;
+        }
+    }
+    Some((lo, hi))
+}
+
+/// Indices of the `k` largest values, descending (ties broken by index).
+///
+/// Supports Top-1/Top-2 accuracy reporting (paper Figs. 3–4).
+pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..xs.len()).collect();
+    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).expect("non-NaN scores").then(a.cmp(&b)));
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_distribution() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_logits() {
+        let p = softmax(&[1000.0, 1000.0]);
+        assert!((p[0] - 0.5).abs() < 1e-6);
+        assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let p = [0.2f32, 0.3, 0.5];
+        assert!(kl_divergence(&p, &p).abs() < 1e-6);
+        let q = [0.5f32, 0.3, 0.2];
+        assert!(kl_divergence(&p, &q) > 0.0);
+    }
+
+    #[test]
+    fn kl_known_value() {
+        // D_KL([1,0] || [0.5,0.5]) = ln 2 (with the tiny floor on the zero).
+        let d = kl_divergence(&[1.0, 0.0], &[0.5, 0.5]);
+        assert!((d - std::f32::consts::LN_2).abs() < 1e-4, "got {d}");
+    }
+
+    #[test]
+    fn kl_asymmetric() {
+        let p = [0.9f32, 0.1];
+        let q = [0.1f32, 0.9];
+        assert!((kl_divergence(&p, &q) - kl_divergence(&q, &p)).abs() < 1e-6);
+        let r = [0.6f32, 0.4];
+        assert!((kl_divergence(&p, &r) - kl_divergence(&r, &p)).abs() > 1e-4);
+    }
+
+    #[test]
+    fn uniform_sums_to_one() {
+        let u = uniform_distribution(10);
+        assert_eq!(u.len(), 10);
+        assert!((u.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_stats() {
+        let xs = [1.0f32, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&xs), 2.5);
+        assert!((std_dev(&xs) - 1.118_034).abs() < 1e-5);
+        assert_eq!(min_max(&xs), Some((1.0, 4.0)));
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn top_k_ordering_and_ties() {
+        let xs = [0.1f32, 0.9, 0.9, 0.3];
+        assert_eq!(top_k_indices(&xs, 2), vec![1, 2]);
+        assert_eq!(top_k_indices(&xs, 1), vec![1]);
+        assert_eq!(top_k_indices(&xs, 10), vec![1, 2, 3, 0]);
+    }
+}

@@ -1,0 +1,485 @@
+use std::fmt;
+
+use crate::gemm;
+use crate::{Shape, TensorError};
+
+/// A dense, row-major, owned `f32` tensor.
+///
+/// `Tensor` is deliberately simple — no views, no broadcasting, no autograd.
+/// The deep-learning framework built on top (`caltrain-nn`) implements
+/// backpropagation explicitly, exactly as the paper's Darknet substrate does,
+/// which keeps the in-enclave compute path auditable (a property the paper's
+/// remote-attestation story relies on).
+///
+/// # Example
+///
+/// ```
+/// use caltrain_tensor::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.volume(), 6);
+/// assert_eq!(t.get(&[1, 2])?, 0.0);
+/// # Ok::<(), caltrain_tensor::TensorError>(())
+/// ```
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero axis; shapes are
+    /// programmer-supplied constants throughout this codebase.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims).expect("tensor shape must be non-empty");
+        let volume = shape.volume();
+        Tensor { shape, data: vec![0.0; volume] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is empty or contains a zero axis.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let mut t = Tensor::zeros(dims);
+        t.data.fill(value);
+        t
+    }
+
+    /// Creates the `n`-by-`n` identity matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Wraps an existing buffer in a tensor of the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume, or [`TensorError::EmptyShape`] for degenerate dims.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self, TensorError> {
+        let shape = Shape::new(dims)?;
+        if data.len() != shape.volume() {
+            return Err(TensorError::LengthMismatch {
+                len: data.len(),
+                expected: shape.volume(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dims` is degenerate (see [`Tensor::zeros`]).
+    pub fn from_fn(dims: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let mut t = Tensor::zeros(dims);
+        for (i, v) in t.data.iter_mut().enumerate() {
+            *v = f(i);
+        }
+        t
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The tensor's extents, outermost first.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Borrows the underlying row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrows the underlying row-major buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reads the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for rank or bound
+    /// violations.
+    pub fn get(&self, index: &[usize]) -> Result<f32, TensorError> {
+        Ok(self.data[self.shape.offset(index)?])
+    }
+
+    /// Writes the element at a multi-index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IndexOutOfBounds`] for rank or bound
+    /// violations.
+    pub fn set(&mut self, index: &[usize], value: f32) -> Result<(), TensorError> {
+        let off = self.shape.offset(index)?;
+        self.data[off] = value;
+        Ok(())
+    }
+
+    /// Returns a copy with a new shape of identical volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the volumes differ.
+    pub fn reshaped(&self, dims: &[usize]) -> Result<Self, TensorError> {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    /// Elementwise sum of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with("add", rhs, |a, b| a + b)
+    }
+
+    /// Elementwise difference of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with("sub", rhs, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product of two tensors of identical shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        self.zip_with("mul", rhs, |a, b| a * b)
+    }
+
+    /// Returns a copy scaled by `k`.
+    pub fn scaled(&self, k: f32) -> Tensor {
+        self.map(|v| v * k)
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// In-place `self += k * rhs` (the BLAS `axpy` primitive used by SGD).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn axpy(&mut self, k: f32, rhs: &Tensor) -> Result<(), TensorError> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                op: "axpy",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += k * b;
+        }
+        Ok(())
+    }
+
+    /// Dot product over flattened elements.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if volumes differ.
+    pub fn dot(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        if self.volume() != rhs.volume() {
+            return Err(TensorError::ShapeMismatch {
+                op: "dot",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok(self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum())
+    }
+
+    /// Rank-2 matrix multiply using the blocked (native-path) kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `self` is `[m, k]` and
+    /// `rhs` is `[k, n]`.
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor, TensorError> {
+        let (m, k) = self.as_matrix_dims("matmul", rhs)?;
+        let n = rhs.dims()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        gemm::gemm_blocked(m, n, k, &self.data, &rhs.data, out.as_mut_slice());
+        Ok(out)
+    }
+
+    /// Transposes a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the tensor is not rank-2.
+    pub fn transposed(&self) -> Result<Tensor, TensorError> {
+        if self.shape.rank() != 2 {
+            return Err(TensorError::ShapeMismatch {
+                op: "transpose",
+                lhs: self.dims().to_vec(),
+                rhs: vec![],
+            });
+        }
+        let (r, c) = (self.dims()[0], self.dims()[1]);
+        let mut out = Tensor::zeros(&[c, r]);
+        for i in 0..r {
+            for j in 0..c {
+                out.data[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Largest element (NaN-free data assumed; NaNs sort low).
+    pub fn max(&self) -> f32 {
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Smallest element (NaN-free data assumed; NaNs sort high).
+    pub fn min(&self) -> f32 {
+        self.data.iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Index of the largest element (first occurrence wins).
+    pub fn argmax(&self) -> usize {
+        let mut best = 0usize;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Euclidean (L2) norm of the flattened tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Euclidean distance to another tensor of equal volume.
+    ///
+    /// This is the fingerprint distance function from paper §IV-C.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if volumes differ.
+    pub fn l2_distance(&self, rhs: &Tensor) -> Result<f32, TensorError> {
+        if self.volume() != rhs.volume() {
+            return Err(TensorError::ShapeMismatch {
+                op: "l2_distance",
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        let mut acc = 0.0f32;
+        for (a, b) in self.data.iter().zip(&rhs.data) {
+            let d = a - b;
+            acc += d * d;
+        }
+        Ok(acc.sqrt())
+    }
+
+    /// Returns an L2-normalized copy; an all-zero tensor is returned
+    /// unchanged (its norm is zero, so no direction exists to preserve).
+    pub fn l2_normalized(&self) -> Tensor {
+        let norm = self.l2_norm();
+        if norm == 0.0 {
+            self.clone()
+        } else {
+            self.scaled(1.0 / norm)
+        }
+    }
+
+    fn zip_with(
+        &self,
+        op: &'static str,
+        rhs: &Tensor,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor, TensorError> {
+        if self.shape != rhs.shape {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok(Tensor {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    fn as_matrix_dims(
+        &self,
+        op: &'static str,
+        rhs: &Tensor,
+    ) -> Result<(usize, usize), TensorError> {
+        if self.shape.rank() != 2 || rhs.shape.rank() != 2 || self.dims()[1] != rhs.dims()[0] {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.dims().to_vec(),
+                rhs: rhs.dims().to_vec(),
+            });
+        }
+        Ok((self.dims()[0], self.dims()[1]))
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} ", self.shape)?;
+        if self.volume() <= 8 {
+            write!(f, "{:?}", self.data)
+        } else {
+            write!(
+                f,
+                "[{:.4}, {:.4}, .. {:.4}] (n={})",
+                self.data[0],
+                self.data[1],
+                self.data[self.volume() - 1],
+                self.volume()
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0).unwrap();
+        assert_eq!(t.get(&[1, 2]).unwrap(), 5.0);
+        assert_eq!(t.get(&[0, 0]).unwrap(), 0.0);
+        assert!(t.get(&[2, 0]).is_err());
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 5], &[2, 3]).is_err());
+        assert!(Tensor::from_vec(vec![1.0; 6], &[2, 3]).is_ok());
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap();
+        let b = Tensor::from_vec(vec![4.0, 5.0, 6.0], &[3]).unwrap();
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scaled(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.dot(&b).unwrap(), 32.0);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        assert!(matches!(a.add(&b), Err(TensorError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]).unwrap();
+        let g = Tensor::from_vec(vec![2.0, 4.0], &[2]).unwrap();
+        a.axpy(-0.5, &g).unwrap();
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn matmul_identity_and_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let i = Tensor::eye(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.dims(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..12).map(|v| v as f32).collect(), &[3, 4]).unwrap();
+        let att = a.transposed().unwrap().transposed().unwrap();
+        assert_eq!(a, att);
+        assert_eq!(a.transposed().unwrap().get(&[2, 1]).unwrap(), a.get(&[1, 2]).unwrap());
+    }
+
+    #[test]
+    fn reductions() {
+        let a = Tensor::from_vec(vec![-1.0, 3.0, 2.0], &[3]).unwrap();
+        assert_eq!(a.sum(), 4.0);
+        assert_eq!(a.max(), 3.0);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.argmax(), 1);
+    }
+
+    #[test]
+    fn l2_geometry() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]).unwrap();
+        assert_eq!(a.l2_norm(), 5.0);
+        let unit = a.l2_normalized();
+        assert!((unit.l2_norm() - 1.0).abs() < 1e-6);
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        assert_eq!(a.l2_distance(&b).unwrap(), 5.0);
+        assert_eq!(b.l2_normalized().as_slice(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec((0..6).map(|v| v as f32).collect(), &[2, 3]).unwrap();
+        let b = a.reshaped(&[3, 2]).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert!(a.reshaped(&[4, 2]).is_err());
+    }
+}

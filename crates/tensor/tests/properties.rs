@@ -1,0 +1,171 @@
+//! Property-based tests for the tensor substrate: algebraic laws the rest
+//! of the CalTrain stack silently relies on.
+
+use caltrain_tensor::gemm::{gemm_blocked, gemm_strict};
+use caltrain_tensor::im2col::{col2im, conv_out_extent, im2col};
+use caltrain_tensor::stats::{kl_divergence, softmax, top_k_indices, uniform_distribution};
+use caltrain_tensor::Tensor;
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-10.0f32..10.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_commutes(v in small_vec(12), w in small_vec(12)) {
+        let a = Tensor::from_vec(v, &[3, 4]).unwrap();
+        let b = Tensor::from_vec(w, &[3, 4]).unwrap();
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn sub_then_add_roundtrips(v in small_vec(8), w in small_vec(8)) {
+        let a = Tensor::from_vec(v, &[8]).unwrap();
+        let b = Tensor::from_vec(w, &[8]).unwrap();
+        let back = a.sub(&b).unwrap().add(&b).unwrap();
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn scaling_scales_norm(v in small_vec(6), k in 0.1f32..4.0) {
+        let a = Tensor::from_vec(v, &[6]).unwrap();
+        let scaled = a.scaled(k);
+        prop_assert!((scaled.l2_norm() - k * a.l2_norm()).abs() < 1e-2);
+    }
+
+    #[test]
+    fn l2_distance_symmetric_and_triangle(
+        v in small_vec(5), w in small_vec(5), u in small_vec(5)
+    ) {
+        let a = Tensor::from_vec(v, &[5]).unwrap();
+        let b = Tensor::from_vec(w, &[5]).unwrap();
+        let c = Tensor::from_vec(u, &[5]).unwrap();
+        let ab = a.l2_distance(&b).unwrap();
+        let ba = b.l2_distance(&a).unwrap();
+        prop_assert!((ab - ba).abs() < 1e-5);
+        let ac = a.l2_distance(&c).unwrap();
+        let cb = c.l2_distance(&b).unwrap();
+        prop_assert!(ab <= ac + cb + 1e-4);
+    }
+
+    #[test]
+    fn normalized_has_unit_norm(v in small_vec(7)) {
+        let a = Tensor::from_vec(v, &[7]).unwrap();
+        prop_assume!(a.l2_norm() > 1e-3);
+        prop_assert!((a.l2_normalized().l2_norm() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blocked_gemm_matches_strict(
+        m in 1usize..20, n in 1usize..20, k in 1usize..20,
+        seed in 0u64..1000
+    ) {
+        let gen = |len: usize, s: u64| -> Vec<f32> {
+            let mut state = s.wrapping_mul(0x9E3779B97F4A7C15);
+            (0..len).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            }).collect()
+        };
+        let a = gen(m * k, seed);
+        let b = gen(k * n, seed + 1);
+        let mut c1 = vec![0.0; m * n];
+        let mut c2 = vec![0.0; m * n];
+        gemm_strict(m, n, k, &a, &b, &mut c1);
+        gemm_blocked(m, n, k, &a, &b, &mut c2);
+        for (x, y) in c1.iter().zip(&c2) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        v in small_vec(6), w in small_vec(6), u in small_vec(6)
+    ) {
+        let a = Tensor::from_vec(v, &[2, 3]).unwrap();
+        let b = Tensor::from_vec(w, &[3, 2]).unwrap();
+        let c = Tensor::from_vec(u, &[3, 2]).unwrap();
+        let lhs = a.matmul(&b.add(&c).unwrap()).unwrap();
+        let rhs = a.matmul(&b).unwrap().add(&a.matmul(&c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn softmax_always_distribution(v in small_vec(10)) {
+        let p = softmax(&v);
+        prop_assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn kl_nonnegative(v in small_vec(8), w in small_vec(8)) {
+        let p = softmax(&v);
+        let q = softmax(&w);
+        prop_assert!(kl_divergence(&p, &q) >= -1e-5);
+    }
+
+    #[test]
+    fn kl_self_zero(v in small_vec(8)) {
+        let p = softmax(&v);
+        prop_assert!(kl_divergence(&p, &p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn top_k_sorted_descending(v in small_vec(16), k in 1usize..16) {
+        let idx = top_k_indices(&v, k);
+        prop_assert_eq!(idx.len(), k.min(v.len()));
+        for pair in idx.windows(2) {
+            prop_assert!(v[pair[0]] >= v[pair[1]]);
+        }
+    }
+
+    #[test]
+    fn uniform_kl_to_softmax_bounded(v in small_vec(10)) {
+        // D_KL(p || u) = ln n - H(p) <= ln n.
+        let p = softmax(&v);
+        let u = uniform_distribution(10);
+        let d = kl_divergence(&p, &u);
+        prop_assert!(d <= (10f32).ln() + 1e-4);
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 3usize..8, w in 3usize..8, size in 1usize..4, seed in 0u64..100
+    ) {
+        // <im2col(x), y> == <x, col2im(y)> — the defining adjoint property
+        // that makes convolution backprop correct.
+        prop_assume!(size <= h && size <= w);
+        let stride = 1usize;
+        let pad = size / 2;
+        let oh = conv_out_extent(h, size, stride, pad);
+        let ow = conv_out_extent(w, size, stride, pad);
+        let cols_len = size * size * oh * ow;
+
+        let gen = |len: usize, s: u64| -> Vec<f32> {
+            let mut state = s.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+            (0..len).map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            }).collect()
+        };
+        let x = gen(h * w, seed);
+        let y = gen(cols_len, seed + 13);
+
+        let mut cols = vec![0.0; cols_len];
+        im2col(&x, 1, h, w, size, stride, pad, &mut cols);
+        let lhs: f32 = cols.iter().zip(&y).map(|(a, b)| a * b).sum();
+
+        let mut img = vec![0.0; h * w];
+        col2im(&y, 1, h, w, size, stride, pad, &mut img);
+        let rhs: f32 = x.iter().zip(&img).map(|(a, b)| a * b).sum();
+
+        prop_assert!((lhs - rhs).abs() < 1e-2, "adjoint mismatch {lhs} vs {rhs}");
+    }
+}

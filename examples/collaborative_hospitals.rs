@@ -1,0 +1,103 @@
+//! A multi-party scenario from the paper's motivation: hospitals that
+//! cannot share raw imaging data by law, one of which is compromised.
+//!
+//! Demonstrates the confidentiality mechanisms:
+//!  * an attacker without a provisioned key cannot inject data;
+//!  * a compromised *network path* (tampered ciphertext) is detected and
+//!    the batch discarded;
+//!  * a rogue server running modified training code fails attestation,
+//!    so no hospital provisions its key to it.
+//!
+//! Run with: `cargo run --release --example collaborative_hospitals`
+
+use caltrain::core::participant::Participant;
+use caltrain::core::pipeline::{CalTrain, PipelineConfig};
+use caltrain::core::partition::Partition;
+use caltrain::data::{shard, synthcifar, ParticipantId};
+use caltrain::enclave::{ChannelServer, EnclaveConfig, MrEnclave, Platform};
+use caltrain::nn::{zoo, Hyper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, _test) = synthcifar::generate(300, 50, 11);
+    let shards = shard::split(&train, 3, 3);
+
+    let net = zoo::cifar10_10layer_scaled(32, 11)?;
+    let config = PipelineConfig {
+        partition: Partition { cut: 2 },
+        hyper: Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+        batch_size: 16,
+        augment: None,
+        heap_bytes: 1 << 21,
+        snapshots: false,
+    };
+    let mut system = CalTrain::new(net, config, b"hospitals")?;
+
+    // Three hospitals enrol; each keeps its key and data local.
+    let mut hospitals: Vec<Participant> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| Participant::new(ParticipantId(i as u32), s, b"hospital-secrets"))
+        .collect();
+    for h in &hospitals {
+        system.enroll(h.clone())?;
+        println!("hospital {} enrolled after verifying the enclave quote", h.id());
+    }
+
+    // Hospital uploads: sealed batches over the untrusted network.
+    let mut batches = Vec::new();
+    for h in &mut hospitals {
+        batches.extend(h.seal_upload(16));
+    }
+
+    // Attack 1: an outsider (no provisioned key) injects poisoned batches.
+    let mut outsider =
+        Participant::new(ParticipantId(99), synthcifar::generate(32, 1, 666).0, b"attacker");
+    batches.extend(outsider.seal_upload(16));
+
+    // Attack 2: a man-in-the-middle flips bits in one hospital batch.
+    let tampered = batches.len() / 2;
+    let mid = batches[tampered].ciphertext.len() / 2;
+    batches[tampered].ciphertext[mid] ^= 0x40;
+
+    let stats = system.ingest(&batches);
+    println!(
+        "\ningestion: {} batches accepted ({} instances), {} discarded \
+         (outsider + tampered)",
+        stats.accepted, stats.instances, stats.discarded
+    );
+    assert_eq!(stats.discarded, 3, "two outsider batches + one tampered batch");
+
+    // Attack 3: a rogue server offers modified training code. The
+    // hospitals' provisioning client refuses: the measurement differs
+    // from the code everyone agreed on.
+    let rogue_platform = Platform::with_seed(b"rogue-server");
+    let rogue = rogue_platform.create_enclave(&EnclaveConfig {
+        name: "trainer".into(),
+        code_identity: b"caltrain-training-enclave-v1-with-backdoor".to_vec(),
+        heap_bytes: 1 << 21,
+    })?;
+    let rogue_chan = ChannelServer::new(&rogue);
+    let (rogue_quote, rogue_pub) = rogue_chan.hello();
+    let agreed = MrEnclave::build(b"caltrain-training-enclave-v1", 1 << 21);
+    let refused = hospitals[0]
+        .provision_key(&rogue_platform.attestation_service(), &agreed, &rogue_quote, &rogue_pub)
+        .is_err();
+    println!("rogue-server provisioning refused: {refused}");
+    assert!(refused);
+
+    // Train on the accepted pool only.
+    let outcome = system.train(3)?;
+    println!(
+        "\ntrained 3 epochs on the clean pool; losses {:?}",
+        outcome
+            .epoch_losses
+            .iter()
+            .map(|l| (l * 1000.0).round() / 1000.0)
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "enclave cycle breakdown: {:?}",
+        system.platform().cycle_breakdown()
+    );
+    Ok(())
+}

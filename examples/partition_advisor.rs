@@ -1,0 +1,71 @@
+//! Dynamic partition re-assessment (paper §IV-B): after each epoch,
+//! participants measure how much the semi-trained model's IRs leak and
+//! adjust the FrontNet/BackNet cut for the next epoch.
+//!
+//! Run with: `cargo run --release --example partition_advisor`
+
+use caltrain::assess::{assess_model, ExposureConfig};
+use caltrain::core::pipeline::{CalTrain, PipelineConfig};
+use caltrain::core::partition::Partition;
+use caltrain::data::synthcifar;
+use caltrain::nn::{zoo, Hyper, KernelMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (train, probes) = synthcifar::generate(300, 8, 17);
+
+    let net = zoo::cifar10_18layer_scaled(32, 17)?;
+    let config = PipelineConfig {
+        partition: Partition { cut: 2 },
+        hyper: Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+        batch_size: 16,
+        augment: None,
+        heap_bytes: 1 << 22,
+        snapshots: true,
+    };
+    let mut system = CalTrain::new(net, config, b"advisor")?;
+    system.enroll_and_ingest(&train, 4, 18)?;
+
+    // An independently trained oracle model plays IRValNet.
+    let mut irval = zoo::irvalnet(32, 17)?;
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+    for _ in 0..6 {
+        for (s, t) in train.batch_bounds(16) {
+            let idx: Vec<usize> = (s..t).collect();
+            let chunk = train.subset(&idx);
+            irval.train_batch(chunk.images(), chunk.labels(), &hyper, KernelMode::Native)?;
+        }
+    }
+
+    let exposure_cfg = ExposureConfig { probes: 2, max_channels: Some(8), threshold_factor: 1.0 };
+    let mut current_cut = 2usize;
+    for epoch in 1..=4 {
+        let outcome = system.train(1)?;
+        let mut snapshot = outcome.snapshots.last().expect("snapshots enabled").clone();
+        let report = assess_model(&mut snapshot, &mut irval, probes.images(), &exposure_cfg)?;
+
+        println!("\nepoch {epoch}: δµ = {:.3}", report.uniform_baseline);
+        for l in &report.layers {
+            let leak = if l.min_kl < report.uniform_baseline { "LEAKS" } else { "safe" };
+            println!(
+                "  layer {:>2}: KL range [{:>7.3}, {:>7.3}] {leak}",
+                l.layer + 1,
+                l.min_kl,
+                l.max_kl
+            );
+        }
+        match report.recommended_cut {
+            Some(cut) if cut.max(1) != current_cut && cut < system.network().num_layers() => {
+                current_cut = cut.max(1); // keep at least one layer protected
+                println!("  advisor: repartition to cut = {current_cut}");
+                system.repartition(Partition { cut: current_cut })?;
+            }
+            _ => println!("  advisor: keep current partition (cut = {current_cut})"),
+        }
+    }
+
+    println!(
+        "\nfinal partition cut: {current_cut} (simulated time so far: {:.2} s)",
+        system.platform().elapsed().seconds
+    );
+    Ok(())
+}

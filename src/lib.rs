@@ -1,0 +1,58 @@
+//! # CalTrain — confidential and accountable collaborative learning
+//!
+//! A from-scratch Rust reproduction of *"Reaching Data Confidentiality
+//! and Model Accountability on the CalTrain"* (Gu et al., DSN 2019):
+//! TEE-based centralized multi-party training that keeps every
+//! participant's data encrypted outside a (simulated) SGX enclave while
+//! maintaining per-instance fingerprints that make backdoored and
+//! mislabeled training data attributable after the fact.
+//!
+//! This facade re-exports the subsystem crates:
+//!
+//! | Module | Crate | Role |
+//! |---|---|---|
+//! | [`tensor`] | `caltrain-tensor` | dense f32 tensors, GEMM, im2col, linalg |
+//! | [`crypto`] | `caltrain-crypto` | SHA-256, HMAC, HKDF, AES-GCM, X25519, DRBG |
+//! | [`enclave`] | `caltrain-enclave` | cycle-accounted SGX simulator |
+//! | [`nn`] | `caltrain-nn` | Darknet-style DNN framework, two kernel paths |
+//! | [`data`] | `caltrain-data` | synthetic CIFAR/face data, shards, sealing |
+//! | [`assess`] | `caltrain-assess` | KL information-exposure assessment |
+//! | [`fingerprint`] | `caltrain-fingerprint` | linkage records, k-NN, LLE |
+//! | [`attack`] | `caltrain-attack` | trojaning attack reproduction |
+//! | [`core`] | `caltrain-core` | the CalTrain pipeline itself |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use caltrain::core::pipeline::{CalTrain, PipelineConfig};
+//! use caltrain::data::synthcifar;
+//! use caltrain::nn::zoo;
+//!
+//! // Synthetic 10-class data, 4 distrusting participants.
+//! let (train, _test) = synthcifar::generate(40, 10, 1);
+//! let net = zoo::cifar10_10layer_scaled(32, 1)?;
+//! let mut system = CalTrain::new(net, PipelineConfig {
+//!     batch_size: 8,
+//!     augment: None,
+//!     ..PipelineConfig::default()
+//! }, b"quickstart")?;
+//! system.enroll_and_ingest(&train, 4, 7)?;
+//! let outcome = system.train(1)?;
+//! assert_eq!(outcome.epoch_losses.len(), 1);
+//! let db = system.build_linkage_db()?;
+//! assert_eq!(db.len(), 40);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use caltrain_assess as assess;
+pub use caltrain_attack as attack;
+pub use caltrain_core as core;
+pub use caltrain_crypto as crypto;
+pub use caltrain_data as data;
+pub use caltrain_enclave as enclave;
+pub use caltrain_fingerprint as fingerprint;
+pub use caltrain_nn as nn;
+pub use caltrain_tensor as tensor;

@@ -1,0 +1,185 @@
+//! Accountability integration tests (paper Experiment IV): the
+//! fingerprint machinery identifies poisoned and mislabeled data and
+//! their contributors.
+
+use caltrain::attack::metrics::{evaluate_attack, score_attribution};
+use caltrain::attack::{build_poisoned_set, implant_backdoor, TrojanTrigger};
+use caltrain::core::accountability::{FingerprintingStage, QueryService};
+use caltrain::data::{faces, Dataset, LabelStatus, ParticipantId};
+use caltrain::enclave::Platform;
+use caltrain::nn::{zoo, Hyper, KernelMode, Network};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const IDENTITIES: usize = 5;
+const TARGET: usize = 0;
+const MALICIOUS: u32 = IDENTITIES as u32;
+
+/// Trains a face model, implants a backdoor, and returns
+/// (model, full training pool incl. poison, holdout).
+fn trojaned_world(seed: u64) -> (Network, Dataset, Dataset) {
+    let clean = faces::generate(IDENTITIES, 24, seed);
+    let mut parts = Vec::new();
+    for id in 0..IDENTITIES {
+        let mut s = clean.subset(&clean.indices_of_class(id));
+        s.set_source(ParticipantId(id as u32));
+        parts.push(s);
+    }
+    let mut pool = parts[0].clone();
+    for p in &parts[1..] {
+        pool = pool.concat(p);
+    }
+
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+    let mut model = zoo::face_net(IDENTITIES, seed).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed + 1);
+    for _ in 0..8 {
+        let sh = pool.shuffled(&mut rng);
+        for (s, t) in sh.batch_bounds(16) {
+            let idx: Vec<usize> = (s..t).collect();
+            let chunk = sh.subset(&idx);
+            model
+                .train_batch(chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+                .unwrap();
+        }
+    }
+
+    let trigger = TrojanTrigger::default();
+    let poisoned = build_poisoned_set(
+        36,
+        TARGET,
+        IDENTITIES + 30,
+        &trigger,
+        ParticipantId(MALICIOUS),
+        seed + 2,
+    );
+    implant_backdoor(&mut model, &pool, &poisoned, &hyper, 6, 16, seed + 3).unwrap();
+
+    let holdout = faces::generate(IDENTITIES, 4, seed + 4);
+    (model, pool.concat(&poisoned), holdout)
+}
+
+#[test]
+fn backdoor_implants_and_hijacks() {
+    let (mut model, _pool, holdout) = trojaned_world(100);
+    let report =
+        evaluate_attack(&mut model, &holdout, &TrojanTrigger::default(), TARGET).unwrap();
+    assert!(
+        report.success_rate > 0.7,
+        "trigger must hijack most inputs, got {}",
+        report.success_rate
+    );
+    assert!(
+        report.clean_accuracy > 0.6,
+        "backdoor must stay stealthy on clean data, got {}",
+        report.clean_accuracy
+    );
+}
+
+#[test]
+fn queries_surface_poisoned_instances_and_their_source() {
+    let (mut model, pool, holdout) = trojaned_world(200);
+    let platform = Platform::with_seed(b"acct-1");
+    let stage =
+        FingerprintingStage::launch(&platform, (model.param_count() * 4).max(1 << 20)).unwrap();
+    let mut fp_model = model.clone();
+    let db = stage.build_db(&mut fp_model, &pool, 32).unwrap();
+    let service = QueryService::new(db);
+
+    let trigger = TrojanTrigger::default();
+    // Query stamped images of non-target identities that get hijacked.
+    let mut flagged = Vec::new();
+    let mut hijacked_queries = 0;
+    for i in 0..holdout.len() {
+        if holdout.labels()[i] == TARGET {
+            continue;
+        }
+        let stamped = trigger.stamp(&holdout.image(i));
+        let inv = service.investigate(&mut model, &stamped, 9).unwrap();
+        if inv.predicted != TARGET {
+            continue;
+        }
+        hijacked_queries += 1;
+        flagged.extend(inv.neighbors.iter().map(|n| n.record));
+        assert!(
+            inv.demand_from.contains(&MALICIOUS),
+            "the malicious participant must be demanded from"
+        );
+    }
+    assert!(hijacked_queries > 0, "at least some queries must be hijacked");
+
+    flagged.sort_unstable();
+    flagged.dedup();
+    let score = score_attribution(&pool, &flagged);
+    assert!(
+        score.precision > 0.6,
+        "most flagged neighbours must be truly poisoned, got {}",
+        score.precision
+    );
+}
+
+#[test]
+fn hash_verification_binds_evidence() {
+    let (model, pool, _) = trojaned_world(300);
+    let platform = Platform::with_seed(b"acct-2");
+    let stage =
+        FingerprintingStage::launch(&platform, (model.param_count() * 4).max(1 << 20)).unwrap();
+    let mut fp_model = model.clone();
+    let db = stage.build_db(&mut fp_model, &pool, 32).unwrap();
+    let service = QueryService::new(db);
+
+    // Honest hand-over verifies; substituted evidence does not.
+    assert!(service.verify_submission(3, &pool.image_bytes(3)).unwrap());
+    assert!(!service.verify_submission(3, &pool.image_bytes(4)).unwrap());
+}
+
+#[test]
+fn fingerprints_cluster_by_contamination() {
+    // The geometric core of Fig. 7: poisoned-train fingerprints sit close
+    // to trojaned-test fingerprints and away from normal training data of
+    // the same class.
+    use caltrain::fingerprint::Fingerprint;
+    let (mut model, pool, holdout) = trojaned_world(400);
+    let trigger = TrojanTrigger::default();
+
+    let fp_of = |model: &mut Network, img: &caltrain::tensor::Tensor| -> Fingerprint {
+        let batch = img.reshaped(&[1, 3, 24, 24]).unwrap();
+        let emb = model.embed(&batch, KernelMode::Native).unwrap();
+        Fingerprint::from_embedding(emb.as_slice())
+    };
+
+    let class0 = pool.indices_of_class(TARGET);
+    let normal: Vec<Fingerprint> = class0
+        .iter()
+        .filter(|&&i| pool.statuses()[i] == LabelStatus::Clean)
+        .map(|&i| fp_of(&mut model, &pool.image(i)))
+        .collect();
+    let poisoned: Vec<Fingerprint> = class0
+        .iter()
+        .filter(|&&i| pool.statuses()[i] == LabelStatus::Poisoned)
+        .map(|&i| fp_of(&mut model, &pool.image(i)))
+        .collect();
+    let trojan_test: Vec<Fingerprint> = (0..holdout.len())
+        .filter(|&i| holdout.labels()[i] != TARGET)
+        .take(8)
+        .map(|i| fp_of(&mut model, &trigger.stamp(&holdout.image(i))))
+        .collect();
+
+    let mean_dist = |a: &[Fingerprint], b: &[Fingerprint]| -> f32 {
+        let mut acc = 0.0;
+        for x in a {
+            for y in b {
+                acc += x.distance(y);
+            }
+        }
+        acc / (a.len() * b.len()) as f32
+    };
+
+    let poison_to_test = mean_dist(&poisoned, &trojan_test);
+    let normal_to_test = mean_dist(&normal, &trojan_test);
+    assert!(
+        poison_to_test < normal_to_test,
+        "trojaned test data must sit nearer the poisoned cluster \
+         ({poison_to_test} vs {normal_to_test})"
+    );
+}

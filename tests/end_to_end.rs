@@ -1,0 +1,112 @@
+//! Cross-crate integration tests: the full CalTrain lifecycle.
+
+use caltrain::core::accountability::QueryService;
+use caltrain::core::pipeline::{open_released, CalTrain, PipelineConfig};
+use caltrain::core::partition::Partition;
+use caltrain::data::{synthcifar, ParticipantId};
+use caltrain::nn::augment::AugmentConfig;
+use caltrain::nn::{zoo, Hyper, KernelMode, Network};
+
+fn small_config(cut: usize) -> PipelineConfig {
+    PipelineConfig {
+        partition: Partition { cut },
+        hyper: Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+        batch_size: 16,
+        augment: None,
+        heap_bytes: 1 << 22,
+        snapshots: true,
+    }
+}
+
+fn small_net(seed: u64) -> Network {
+    zoo::cifar10_10layer_scaled(32, seed).expect("fixed architecture")
+}
+
+#[test]
+fn provision_ingest_train_fingerprint_query() {
+    let (train, test) = synthcifar::generate(120, 20, 1);
+    let mut system = CalTrain::new(small_net(1), small_config(2), b"e2e-1").unwrap();
+
+    let stats = system.enroll_and_ingest(&train, 4, 2).unwrap();
+    assert_eq!(stats.instances, 120);
+    assert_eq!(stats.discarded, 0);
+
+    let outcome = system.train(3).unwrap();
+    assert_eq!(outcome.epoch_losses.len(), 3);
+    assert!(outcome.epoch_losses.iter().all(|l| l.is_finite()));
+    assert!(
+        outcome.epoch_losses[2] < outcome.epoch_losses[0],
+        "training must make progress: {:?}",
+        outcome.epoch_losses
+    );
+
+    // Fingerprint and query round trip.
+    let db = system.build_linkage_db().unwrap();
+    assert_eq!(db.len(), 120);
+    let service = QueryService::new(db);
+    let inv = service.investigate(system.network_mut(), &test.image(0), 9).unwrap();
+    assert_eq!(inv.neighbors.len(), 9);
+    for n in &inv.neighbors {
+        assert_eq!(n.label, inv.predicted, "queries are Y-pruned");
+    }
+    // Simulated time accumulated across every stage.
+    assert!(system.platform().cycles() > 0);
+}
+
+#[test]
+fn model_release_respects_key_boundaries() {
+    let (train, _) = synthcifar::generate(60, 10, 3);
+    let mut system = CalTrain::new(small_net(3), small_config(2), b"e2e-2").unwrap();
+    system.enroll_and_ingest(&train, 3, 4).unwrap();
+    system.train(1).unwrap();
+
+    for pid in 0..3u32 {
+        let released = system.release_model(ParticipantId(pid)).unwrap();
+        let key = system.participants()[pid as usize].data_key();
+        let mut template = small_net(99 + u64::from(pid));
+        open_released(&mut template, &released, &key).unwrap();
+        assert_eq!(template.export_params(), system.network().export_params());
+    }
+
+    // Cross-participant decryption must fail.
+    let released = system.release_model(ParticipantId(0)).unwrap();
+    let wrong_key = system.participants()[1].data_key();
+    let mut template = small_net(7);
+    assert!(open_released(&mut template, &released, &wrong_key).is_err());
+}
+
+#[test]
+fn dynamic_repartition_mid_training() {
+    let (train, _) = synthcifar::generate(60, 10, 5);
+    let mut system = CalTrain::new(small_net(5), small_config(1), b"e2e-3").unwrap();
+    system.enroll_and_ingest(&train, 2, 6).unwrap();
+    system.train(1).unwrap();
+    // Move the cut deeper (as the exposure advisor would after epoch 1).
+    system.repartition(Partition { cut: 4 }).unwrap();
+    let out = system.train(1).unwrap();
+    assert!(out.epoch_outcomes[0].enclave_flops > 0);
+}
+
+#[test]
+fn augmentation_preserves_convergence() {
+    let (train, _) = synthcifar::generate(100, 10, 7);
+    let mut config = small_config(2);
+    config.augment = Some(AugmentConfig::default());
+    let mut system = CalTrain::new(small_net(7), config, b"e2e-4").unwrap();
+    system.enroll_and_ingest(&train, 2, 8).unwrap();
+    let out = system.train(3).unwrap();
+    assert!(out.epoch_losses.iter().all(|l| l.is_finite()));
+}
+
+#[test]
+fn snapshots_are_usable_models() {
+    let (train, test) = synthcifar::generate(60, 10, 9);
+    let mut system = CalTrain::new(small_net(9), small_config(2), b"e2e-5").unwrap();
+    system.enroll_and_ingest(&train, 2, 10).unwrap();
+    let out = system.train(2).unwrap();
+    assert_eq!(out.snapshots.len(), 2);
+    for mut snap in out.snapshots {
+        let preds = snap.predict(test.images(), KernelMode::Native).unwrap();
+        assert_eq!(preds.len(), test.len());
+    }
+}

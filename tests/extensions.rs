@@ -1,0 +1,90 @@
+//! Integration tests for the extension features: DP-SGD (§VII),
+//! model-inversion resistance (§VII) and learning hubs (§IV-B).
+
+use caltrain::attack::inversion::{invert_class, InversionConfig};
+use caltrain::core::hubs::HubCluster;
+use caltrain::core::partition::Partition;
+use caltrain::data::{shard, synthcifar};
+use caltrain::nn::dpsgd::{DpConfig, DpSgd};
+use caltrain::nn::{zoo, Activation, Hyper, KernelMode, NetworkBuilder};
+
+#[test]
+fn dpsgd_trains_through_the_facade() {
+    let (train, _) = synthcifar::generate(60, 10, 1);
+    let mut net = NetworkBuilder::new(&[3, 28, 28])
+        .conv(6, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(10, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(2)
+        .unwrap();
+    let mut dp = DpSgd::new(DpConfig { clip_norm: 1.0, noise_multiplier: 0.1, seed: 3 });
+    let hyper = Hyper { learning_rate: 0.5, momentum: 0.9, decay: 0.0 };
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..8 {
+        let idx: Vec<usize> = (0..32).collect();
+        let chunk = train.subset(&idx);
+        last = dp
+            .train_batch(&mut net, chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+            .unwrap();
+        first.get_or_insert(last);
+    }
+    assert!(last < first.unwrap(), "DP-SGD must reduce loss: {first:?} -> {last}");
+}
+
+#[test]
+fn hub_cluster_trains_through_the_facade() {
+    let (train, _) = synthcifar::generate(60, 10, 4);
+    let net = zoo::cifar10_10layer_scaled(32, 4).unwrap();
+    let mut cluster = HubCluster::new(
+        &net,
+        shard::split(&train, 2, 5),
+        Partition { cut: 2 },
+        Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+        16,
+        None,
+        6,
+    )
+    .unwrap();
+    let r1 = cluster.train_round(1).unwrap();
+    let r2 = cluster.train_round(1).unwrap();
+    assert_eq!(r1.hub_losses.len(), 2);
+    let m1 = r1.hub_losses.iter().sum::<f32>() / 2.0;
+    let m2 = r2.hub_losses.iter().sum::<f32>() / 2.0;
+    assert!(m2 < m1, "second federated round must improve: {m1} -> {m2}");
+}
+
+#[test]
+fn inversion_weaker_without_the_frontnet() {
+    // Condensed version of the §VII measurement: white-box inversion on a
+    // lightly trained model beats inversion through a wrong FrontNet.
+    let (train, _) = synthcifar::generate(100, 10, 7);
+    let mut full = zoo::cifar10_10layer_scaled(32, 7).unwrap();
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+    for _ in 0..3 {
+        for (s, t) in train.batch_bounds(32) {
+            let idx: Vec<usize> = (s..t).collect();
+            let chunk = train.subset(&idx);
+            full.train_batch(chunk.images(), chunk.labels(), &hyper, KernelMode::Native)
+                .unwrap();
+        }
+    }
+    let mut adversary = zoo::cifar10_10layer_scaled(32, 12345).unwrap();
+    let mut params = adversary.export_params();
+    params[2..].clone_from_slice(&full.export_params()[2..]);
+    adversary.import_params(&params).unwrap();
+
+    let config = InversionConfig { steps: 60, ..Default::default() };
+    let white_box = invert_class(&mut full, 2, &config).unwrap();
+    let blind = invert_class(&mut adversary, 2, &config).unwrap();
+    let probe = blind.image.reshaped(&[1, 3, 28, 28]).unwrap();
+    let real = full.predict_probs(&probe, KernelMode::Native).unwrap().as_slice()[2];
+    assert!(
+        real < white_box.confidence,
+        "sealed FrontNet must blunt inversion: {real} vs {}",
+        white_box.confidence
+    );
+}

@@ -1,0 +1,85 @@
+//! Accuracy-parity integration tests (paper Experiment I): CalTrain
+//! training is arithmetically identical to non-protected training.
+
+use caltrain::core::partition::{Partition, PartitionedTrainer};
+use caltrain::data::synthcifar;
+use caltrain::enclave::{EnclaveConfig, Platform};
+use caltrain::nn::{zoo, Hyper, KernelMode, Network};
+
+fn setup(cut: usize, seed: u64) -> (Platform, caltrain::enclave::Enclave, PartitionedTrainer) {
+    let platform = Platform::with_seed(b"parity");
+    let enclave = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"trainer".to_vec(),
+            heap_bytes: 1 << 22,
+        })
+        .unwrap();
+    let net = zoo::cifar10_10layer_scaled(32, seed).unwrap();
+    let trainer =
+        PartitionedTrainer::new(net, Partition { cut }, platform.clone(), &enclave, 16, 7)
+            .unwrap();
+    (platform, enclave, trainer)
+}
+
+#[test]
+fn every_cut_yields_identical_weights() {
+    let (train, _) = synthcifar::generate(64, 10, 11);
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+
+    // Train with no enclave at all (reference).
+    let (_p0, e0, mut reference) = setup(0, 11);
+    for _ in 0..2 {
+        reference.train_epoch(&train, &e0, &hyper, 16, None).unwrap();
+    }
+    let reference_params = reference.network().export_params();
+
+    // Any partition cut must reproduce the reference bit-for-bit.
+    for cut in [1usize, 2, 4, 6] {
+        let (_p, e, mut t) = setup(cut, 11);
+        for _ in 0..2 {
+            t.train_epoch(&train, &e, &hyper, 16, None).unwrap();
+        }
+        assert_eq!(
+            t.network().export_params(),
+            reference_params,
+            "cut {cut} diverged from the non-protected reference"
+        );
+    }
+}
+
+#[test]
+fn strict_and_native_inference_identical_on_paper_architectures() {
+    let (data, _) = synthcifar::generate(8, 10, 13);
+    for net_ctor in [zoo::cifar10_10layer_scaled, zoo::cifar10_18layer_scaled] {
+        let mut net: Network = net_ctor(32, 13).unwrap();
+        let strict = net.predict_probs(data.images(), KernelMode::Strict).unwrap();
+        let native = net.predict_probs(data.images(), KernelMode::Native).unwrap();
+        assert_eq!(strict.as_slice(), native.as_slice());
+    }
+}
+
+#[test]
+fn enclave_costs_time_not_accuracy() {
+    let (train, _) = synthcifar::generate(48, 10, 17);
+    let hyper = Hyper::default();
+
+    let (p_plain, e_plain, mut plain) = setup(0, 17);
+    let (p_enc, e_enc, mut enc) = setup(4, 17);
+    p_plain.reset_clock();
+    p_enc.reset_clock();
+    plain.train_epoch(&train, &e_plain, &hyper, 16, None).unwrap();
+    enc.train_epoch(&train, &e_enc, &hyper, 16, None).unwrap();
+
+    // Same model...
+    assert_eq!(plain.network().export_params(), enc.network().export_params());
+    // ...but more simulated time.
+    assert!(
+        p_enc.elapsed().seconds > p_plain.elapsed().seconds,
+        "enclave run must cost more simulated time"
+    );
+    let b = p_enc.cycle_breakdown();
+    assert!(b.enclave_compute_cycles > 0);
+    assert!(b.transition_cycles > 0);
+    assert!(b.marshalling_cycles > 0);
+}

@@ -1,0 +1,211 @@
+//! Security-property integration tests: the attack surface the paper's
+//! threat model (§III) enumerates.
+
+use caltrain::core::participant::Participant;
+use caltrain::core::pipeline::{CalTrain, PipelineConfig};
+use caltrain::core::partition::Partition;
+use caltrain::crypto::x25519;
+use caltrain::data::{synthcifar, ParticipantId};
+use caltrain::enclave::{ChannelServer, EnclaveConfig, MrEnclave, Platform, ProvisioningClient};
+use caltrain::nn::{zoo, Hyper};
+
+fn config() -> PipelineConfig {
+    PipelineConfig {
+        partition: Partition { cut: 2 },
+        hyper: Hyper::default(),
+        batch_size: 16,
+        augment: None,
+        heap_bytes: 1 << 21,
+        snapshots: false,
+    }
+}
+
+#[test]
+fn unregistered_uploads_are_discarded() {
+    let (train, _) = synthcifar::generate(40, 10, 1);
+    let net = zoo::cifar10_10layer_scaled(32, 1).unwrap();
+    let mut system = CalTrain::new(net, config(), b"sec-1").unwrap();
+    system.enroll_and_ingest(&train, 2, 2).unwrap();
+
+    // An attacker who never attested/provisioned sends batches.
+    let (attack_data, _) = synthcifar::generate(20, 10, 666);
+    let mut attacker = Participant::new(ParticipantId(66), attack_data, b"attacker");
+    let stats = system.ingest(&attacker.seal_upload(16));
+    assert_eq!(stats.accepted, 0);
+    assert!(stats.discarded > 0);
+}
+
+#[test]
+fn every_tamper_class_is_rejected() {
+    let (train, _) = synthcifar::generate(32, 10, 3);
+    let net = zoo::cifar10_10layer_scaled(32, 3).unwrap();
+    let mut system = CalTrain::new(net, config(), b"sec-2").unwrap();
+
+    let mut honest = Participant::new(ParticipantId(0), train, b"honest");
+    system.enroll(honest.clone()).unwrap();
+
+    // Baseline sanity: untouched batches pass.
+    let clean = honest.seal_upload(8);
+    assert_eq!(system.ingest(&clean).discarded, 0);
+
+    // Ciphertext bitflip.
+    let mut t1 = honest.seal_upload(8);
+    t1[0].ciphertext[5] ^= 1;
+    // Label tampering (labels are AAD — poisoning labels in transit).
+    let mut t2 = honest.seal_upload(8);
+    t2[1].labels[0] ^= 1;
+    // Source spoofing.
+    let mut t3 = honest.seal_upload(8);
+    t3[2].source = ParticipantId(1);
+    // Truncation.
+    let mut t4 = honest.seal_upload(8);
+    t4[3].ciphertext.truncate(4);
+
+    for (i, batches) in [t1, t2, t3, t4].into_iter().enumerate() {
+        let stats = system.ingest(&batches);
+        assert_eq!(stats.discarded, 1, "tamper class {i} must discard exactly one batch");
+        assert_eq!(stats.accepted, 3, "untampered batches in the same upload still pass");
+    }
+}
+
+#[test]
+fn attestation_gates_key_provisioning() {
+    let platform = Platform::with_seed(b"sec-3");
+    let agreed = MrEnclave::build(b"agreed-trainer", 4096);
+
+    // Enclave running different code.
+    let rogue = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"evil-trainer".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    let server = ChannelServer::new(&rogue);
+    let (quote, pub_key) = server.hello();
+    assert!(ProvisioningClient::connect(
+        &platform.attestation_service(),
+        &agreed,
+        &quote,
+        &pub_key,
+        &[1u8; 32],
+    )
+    .is_err());
+
+    // Correct code, but quote relayed from a different platform.
+    let honest = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"agreed-trainer".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    let server2 = ChannelServer::new(&honest);
+    let (quote2, pub2) = server2.hello();
+    let other_platform = Platform::with_seed(b"somewhere-else");
+    assert!(ProvisioningClient::connect(
+        &other_platform.attestation_service(),
+        &agreed,
+        &quote2,
+        &pub2,
+        &[2u8; 32],
+    )
+    .is_err());
+
+    // Honest on the right platform works.
+    let server3 = ChannelServer::new(&honest);
+    let (quote3, pub3) = server3.hello();
+    assert!(ProvisioningClient::connect(
+        &platform.attestation_service(),
+        &agreed,
+        &quote3,
+        &pub3,
+        &[3u8; 32],
+    )
+    .is_ok());
+}
+
+#[test]
+fn channel_resists_mitm_and_replay() {
+    let platform = Platform::with_seed(b"sec-4");
+    let enclave = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"trainer".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+
+    // MITM substitutes its own DH key: binding check fails.
+    let server = ChannelServer::new(&enclave);
+    let (quote, _real_pub) = server.hello();
+    let mitm_pub = x25519::public_key(&[0x55u8; 32]);
+    assert!(ProvisioningClient::connect(
+        &platform.attestation_service(),
+        &enclave.measurement(),
+        &quote,
+        &mitm_pub,
+        &[4u8; 32],
+    )
+    .is_err());
+
+    // Replay: the same record cannot be delivered twice.
+    let server2 = ChannelServer::new(&enclave);
+    let (quote2, pub2) = server2.hello();
+    let (mut client, client_pub) = ProvisioningClient::connect(
+        &platform.attestation_service(),
+        &enclave.measurement(),
+        &quote2,
+        &pub2,
+        &[5u8; 32],
+    )
+    .unwrap();
+    let mut server_chan = server2.accept(&client_pub).unwrap();
+    let record = client.send(b"key");
+    assert!(server_chan.recv(&record).is_ok());
+    assert!(server_chan.recv(&record).is_err(), "replay must fail");
+}
+
+#[test]
+fn sealed_model_snapshots_are_platform_and_code_bound() {
+    let platform = Platform::with_seed(b"sec-5");
+    let trainer = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"trainer-v1".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    let blob = trainer.seal(b"epoch-3 weights", b"snapshot");
+
+    // Same code on the same platform unseals.
+    let twin = platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"trainer-v1".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    assert_eq!(twin.unseal(&blob, b"snapshot").unwrap(), b"epoch-3 weights");
+
+    // Different code cannot.
+    let other_code = platform
+        .create_enclave(&EnclaveConfig {
+            name: "x".into(),
+            code_identity: b"trainer-v2".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    assert!(other_code.unseal(&blob, b"snapshot").is_err());
+
+    // Same code on a different machine cannot.
+    let other_platform = Platform::with_seed(b"sec-5b");
+    let foreign = other_platform
+        .create_enclave(&EnclaveConfig {
+            name: "trainer".into(),
+            code_identity: b"trainer-v1".to_vec(),
+            heap_bytes: 4096,
+        })
+        .unwrap();
+    assert!(foreign.unseal(&blob, b"snapshot").is_err());
+}
