@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# CI entry point: exactly what a release gate needs, in dependency order.
+# The workspace builds fully offline (all dependencies are vendored under
+# vendor/), so --offline both enforces and documents that property.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release --offline
+
+echo "==> cargo test -q"
+cargo test -q --offline
+
+echo "==> cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
+
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --offline --no-run
+
+echo "CI green."

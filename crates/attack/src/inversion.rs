@@ -92,7 +92,9 @@ mod tests {
         let mut net = zoo::cifar10_10layer_scaled(32, seed).unwrap();
         let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
         let mut rng = StdRng::seed_from_u64(seed + 1);
-        for _ in 0..4 {
+        // An undertrained target caps the reachable softmax confidence —
+        // inversion quality is a property of the model, not the attack.
+        for _ in 0..12 {
             let sh = train.shuffled(&mut rng);
             for (s, t) in sh.batch_bounds(32) {
                 let idx: Vec<usize> = (s..t).collect();

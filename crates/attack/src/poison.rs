@@ -29,8 +29,10 @@ pub fn build_poisoned_set(
     let mut data = Vec::with_capacity(count * faces::CHANNELS * faces::EDGE * faces::EDGE);
     let mut labels = Vec::with_capacity(count);
     for i in 0..count {
-        // Cycle through several foreign identities for diversity.
-        let foreign_id = foreign_identity_base + (i % 7);
+        // One identity per instance: the trigger must be the only feature
+        // shared across the poisoned set, or the retrained model learns
+        // "trigger AND familiar face" and fails to hijack unseen faces.
+        let foreign_id = foreign_identity_base + i;
         let img = trigger.stamp(&faces::sample(foreign_id, &mut rng));
         data.extend_from_slice(img.as_slice());
         labels.push(target_class);
@@ -51,6 +53,10 @@ pub fn build_poisoned_set(
 /// Retrains `net` on the clean + poisoned mixture — the trojaning
 /// attack's model-mutation step. Returns per-epoch mean losses.
 ///
+/// TrojanNN retrains on trigger-heavy batches, so the poisoned set is
+/// oversampled until it makes up at least a third of the mixture; a
+/// lightly diluted trigger fails to displace the clean decision rule.
+///
 /// # Errors
 ///
 /// Propagates training errors from the network.
@@ -63,7 +69,13 @@ pub fn implant_backdoor(
     batch_size: usize,
     seed: u64,
 ) -> Result<Vec<f32>, NnError> {
-    let mixed = clean.concat(poisoned);
+    let mixed = if poisoned.is_empty() {
+        clean.clone()
+    } else {
+        let repeats = clean.len().div_ceil(2 * poisoned.len()).max(1);
+        let tiled: Vec<usize> = (0..repeats * poisoned.len()).map(|i| i % poisoned.len()).collect();
+        clean.concat(&poisoned.subset(&tiled))
+    };
     let mut rng = StdRng::seed_from_u64(seed);
     let mut losses = Vec::with_capacity(epochs);
     for _ in 0..epochs {

@@ -15,7 +15,7 @@ pub struct TrojanTrigger {
 
 impl Default for TrojanTrigger {
     fn default() -> Self {
-        TrojanTrigger { size: 5, margin: 1 }
+        TrojanTrigger { size: 6, margin: 1 }
     }
 }
 

@@ -234,7 +234,9 @@ mod tests {
         let (mut cluster, test) = cluster(2, 200, 2);
         let mut first = f32::NAN;
         let mut last = f32::NAN;
-        for round in 0..4 {
+        // Enough rounds to separate the merged model from chance with
+        // margin; fewer leaves it hovering at the 0.2 threshold.
+        for round in 0..8 {
             let out = cluster.train_round(1).unwrap();
             let mean = out.hub_losses.iter().sum::<f32>() / out.hub_losses.len() as f32;
             if round == 0 {

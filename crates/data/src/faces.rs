@@ -95,7 +95,7 @@ pub fn sample(id: usize, rng: &mut StdRng) -> Tensor {
                 }
             }
             for ch in 0..CHANNELS {
-                let v = rgb[ch] * light + rng.gen_range(-0.03..0.03);
+                let v = rgb[ch] * light + rng.gen_range(-0.03..0.03f32);
                 data[ch * EDGE * EDGE + y * EDGE + x] = v.clamp(0.0, 1.0);
             }
         }

@@ -75,7 +75,7 @@ fn render(class: usize, phase: f32, angle_jitter: f32, amp: f32, rng: &mut StdRn
             for ch in 0..CHANNELS {
                 let tint = 0.85 + 0.15 * color[ch];
                 let base = 0.1 + amp * (0.55 * grating + 0.25 * vignette) * tint;
-                let noisy = base + rng.gen_range(-0.04..0.04);
+                let noisy = base + rng.gen_range(-0.04..0.04f32);
                 data[ch * EDGE * EDGE + y * EDGE + x] = noisy.clamp(0.0, 1.0);
             }
         }

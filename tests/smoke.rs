@@ -1,0 +1,55 @@
+//! Tier-1 smoke test: the cheapest end-to-end exercise of the whole
+//! CalTrain path — 2 participants, 1 epoch, a tiny synthetic-CIFAR pool —
+//! so every CI run touches seal → attest → provision → train →
+//! fingerprint → query even when the heavier integration suites are
+//! skipped or filtered.
+
+use caltrain::core::accountability::QueryService;
+use caltrain::core::pipeline::{CalTrain, PipelineConfig};
+use caltrain::core::partition::Partition;
+use caltrain::data::synthcifar;
+use caltrain::nn::{zoo, Hyper};
+
+#[test]
+fn two_participants_one_epoch_full_pipeline() {
+    let (train, test) = synthcifar::generate(32, 8, 11);
+
+    let mut system = CalTrain::new(
+        zoo::cifar10_10layer_scaled(16, 11).expect("fixed architecture"),
+        PipelineConfig {
+            partition: Partition { cut: 2 },
+            hyper: Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+            batch_size: 8,
+            augment: None,
+            heap_bytes: 1 << 22,
+            snapshots: false,
+        },
+        b"smoke",
+    )
+    .expect("pipeline construction");
+
+    // Both participants attest the enclave and upload sealed data; nothing
+    // may be discarded in the honest case.
+    let stats = system.enroll_and_ingest(&train, 2, 12).expect("enroll + ingest");
+    assert_eq!(system.participants().len(), 2);
+    assert_eq!(stats.instances, 32);
+    assert_eq!(stats.discarded, 0);
+
+    // One partitioned epoch: finite loss, simulated time accrued.
+    let outcome = system.train(1).expect("one training epoch");
+    assert_eq!(outcome.epoch_losses.len(), 1);
+    assert!(outcome.epoch_losses[0].is_finite());
+    assert!(system.platform().cycles() > 0, "enclave time must be charged");
+
+    // Every instance gets a linkage record; a query surfaces class-pure
+    // neighbours with a participant to demand data from.
+    let db = system.build_linkage_db().expect("fingerprinting stage");
+    assert_eq!(db.len(), 32);
+    let service = QueryService::new(db);
+    let inv = service.investigate(system.network_mut(), &test.image(0), 3).expect("query");
+    assert_eq!(inv.neighbors.len(), 3);
+    assert!(!inv.demand_from.is_empty(), "investigation must name a participant");
+    for n in &inv.neighbors {
+        assert_eq!(n.label, inv.predicted, "queries are Y-pruned");
+    }
+}
