@@ -11,10 +11,23 @@ cargo build --release --offline
 echo "==> cargo test -q"
 cargo test -q --offline
 
+# Second pass with the worker pool forced on: every component that
+# defaults its Parallelism from the environment (hub rounds, batch
+# ingestion, linkage scans) runs its threaded path, and the determinism
+# tests prove it changes nothing.
+echo "==> cargo test -q (CALTRAIN_WORKERS=4 — threaded runtime paths)"
+CALTRAIN_WORKERS=4 cargo test -q --offline
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --offline --no-run
+
+# Executes the parallel-runtime gate: the pool-concurrency proof, the
+# >= 1.5x modeled 4-hub speedup, and the bit-identical-results
+# assertions at 1/2/4/8 workers (all assert!()s inside the bench).
+echo "==> cargo bench --bench parallel_scaling (runtime scaling gate)"
+cargo bench --offline --bench parallel_scaling
 
 echo "CI green."

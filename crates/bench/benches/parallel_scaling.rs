@@ -1,0 +1,269 @@
+//! Scaling of the parallel runtime: a 4-hub federated round, sealed-batch
+//! ingestion and the linkage-database scan at 1/2/4/8 workers.
+//!
+//! Two clocks are reported, because they answer different questions:
+//!
+//! * **Cluster wall-clock (simulated).** Every hub charges its own
+//!   platform clock, so a round yields per-hub simulated times. A
+//!   sequential deployment (one machine hosting all hubs back to back)
+//!   takes their *sum*; a parallel deployment at W workers takes the
+//!   *makespan* of scheduling those hub times onto W workers — exactly
+//!   what the scoped pool does. This is the paper's §IV-B scalability
+//!   quantity and is deterministic on any host.
+//! * **Host wall-clock (measured).** `Instant`-timed execution of the
+//!   same round/ingest/scan on this machine. Threads only beat
+//!   sequential here when physical cores exist; on a single-core CI
+//!   runner this column stays flat at ~1× by physics, which is why the
+//!   simulated column is the headline.
+//!
+//! The bench also re-asserts the determinism guarantee: outcomes at every
+//! worker count must be bit-identical to the sequential baseline.
+//!
+//! Run with `cargo bench --bench parallel_scaling`.
+
+use std::time::Instant;
+
+use caltrain_core::hubs::{HubCluster, RoundOutcome};
+use caltrain_core::participant::Participant;
+use caltrain_core::partition::Partition;
+use caltrain_core::server::TrainingServer;
+use caltrain_core::Parallelism;
+use caltrain_data::sealed::SealedBatch;
+use caltrain_data::{shard, synthcifar, ParticipantId};
+use caltrain_enclave::Platform;
+use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord};
+use caltrain_nn::{zoo, Hyper};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const HUBS: usize = 4;
+
+fn build_cluster(workers: usize) -> HubCluster {
+    let (train, _) = synthcifar::generate(240, 40, 13);
+    let pools = shard::split(&train, HUBS, 13);
+    let net = zoo::cifar10_10layer_scaled(32, 13).expect("fixed architecture");
+    HubCluster::new(
+        &net,
+        pools,
+        Partition { cut: 2 },
+        Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 },
+        16,
+        None,
+        13,
+    )
+    .expect("cluster boot")
+    .with_parallelism(Parallelism::new(workers))
+}
+
+/// In-order list scheduling of `job_secs` onto `workers` — the schedule
+/// the scoped pool produces (each worker claims the next unclaimed job).
+fn makespan(job_secs: &[f64], workers: usize) -> f64 {
+    let mut loads = vec![0.0f64; workers.max(1)];
+    for &job in job_secs {
+        let min = loads
+            .iter_mut()
+            .reduce(|a, b| if *b < *a { b } else { a })
+            .expect("at least one worker");
+        *min += job;
+    }
+    loads.into_iter().fold(0.0, f64::max)
+}
+
+fn bench_hub_round() {
+    println!("== 4-hub federated round (1 local epoch) ==");
+    // Untimed warmup so the workers=1 baseline doesn't absorb one-time
+    // costs (page faults, allocator growth, cache fill) that would
+    // inflate every later speedup ratio.
+    build_cluster(1).train_round(1).expect("warmup round");
+    let mut baseline: Option<(RoundOutcome, f64)> = None;
+    for workers in WORKER_COUNTS {
+        let mut cluster = build_cluster(workers);
+        let start = Instant::now();
+        let outcome = cluster.train_round(1).expect("round");
+        let host_secs = start.elapsed().as_secs_f64();
+
+        let hub_secs: Vec<f64> = outcome.hub_times.iter().map(|t| t.seconds).collect();
+        let sequential_cluster_secs: f64 = hub_secs.iter().sum();
+        let cluster_secs = makespan(&hub_secs, workers);
+        let cluster_speedup = sequential_cluster_secs / cluster_secs;
+
+        let host_speedup = match &baseline {
+            None => 1.0,
+            Some((base, base_host)) => {
+                assert_eq!(
+                    base, &outcome,
+                    "worker count must not change the round outcome"
+                );
+                base_host / host_secs
+            }
+        };
+        println!(
+            "workers={workers}: cluster {:.2}s -> {:.2}s sim ({cluster_speedup:.2}x), \
+             host {host_secs:.2}s ({host_speedup:.2}x)",
+            sequential_cluster_secs, cluster_secs,
+        );
+        if workers == 4 {
+            assert!(
+                cluster_speedup >= 1.5,
+                "4-hub round at 4 workers must model >= 1.5x, got {cluster_speedup:.2}x"
+            );
+            println!(
+                "  -> headline: 4-hub round @ 4 workers: {cluster_speedup:.2}x modeled \
+                 cluster speedup (required >= 1.5x)"
+            );
+            // On hardware that can host four workers, report the
+            // wall-clock speedup too — loudly when it falls short, but
+            // without failing the gate: available_parallelism() ignores
+            // CPU quotas and noisy neighbours, so a hard assert here
+            // turns shared-runner contention into spurious CI red. The
+            // hard gates are the modeled speedup above and the
+            // pool-concurrency proof, which a silently-serialized pool
+            // cannot pass.
+            let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+            if cores >= 4 && host_speedup < 1.5 {
+                println!(
+                    "  WARNING: host reports {cores} cores but the 4-worker round only \
+                     reached {host_speedup:.2}x wall-clock (contention or CPU quota?)"
+                );
+            } else if cores < 4 {
+                println!(
+                    "  (host exposes {cores} core(s): wall-clock speedup not measurable)"
+                );
+            }
+        }
+        if baseline.is_none() {
+            baseline = Some((outcome, host_secs));
+        }
+    }
+}
+
+fn provision(server: &mut TrainingServer, p: &Participant) {
+    let (chan, quote, server_pub) = server.begin_provisioning();
+    let service = server.platform().attestation_service();
+    let expected = server.enclave().measurement();
+    let (record, client_pub) =
+        p.provision_key(&service, &expected, &quote, &server_pub).expect("provision");
+    server.finish_provisioning(chan, &client_pub, &record).expect("finish provisioning");
+}
+
+fn bench_ingest() {
+    println!("== sealed-batch ingestion (64 batches, GCM verify + decrypt) ==");
+    let (data, _) = synthcifar::generate(512, 10, 7);
+    let batches: Vec<SealedBatch> = {
+        let mut sealer = Participant::new(ParticipantId(0), data.clone(), b"bench-ingest");
+        sealer.seal_upload(8)
+    };
+
+    let mut base_host = None;
+    let mut base_stats = None;
+    for workers in WORKER_COUNTS {
+        let platform = Platform::with_seed(b"bench-ingest-server");
+        let mut server = TrainingServer::launch(platform, 1 << 24).expect("server boot");
+        server.set_parallelism(Parallelism::new(workers));
+        let uploader = Participant::new(ParticipantId(0), data.clone(), b"bench-ingest");
+        provision(&mut server, &uploader);
+
+        let start = Instant::now();
+        let stats = server.ingest(&batches);
+        let host_secs = start.elapsed().as_secs_f64();
+
+        match (&base_host, &base_stats) {
+            (Some(base), Some(expected)) => {
+                assert_eq!(expected, &stats, "stats must not depend on workers");
+                println!(
+                    "workers={workers}: host {host_secs:.3}s ({:.2}x)",
+                    base / host_secs
+                );
+            }
+            _ => {
+                println!(
+                    "workers={workers}: host {host_secs:.3}s (1.00x), \
+                     {} batches / {} instances accepted",
+                    stats.accepted, stats.instances
+                );
+                base_host = Some(host_secs);
+                base_stats = Some(stats);
+            }
+        }
+    }
+}
+
+fn bench_linkage_scan() {
+    println!("== linkage-db full scan (50k records, k=10) ==");
+    let mut db = LinkageDb::new();
+    for i in 0..50_000usize {
+        let dir: Vec<f32> =
+            (0..16).map(|d| (((i * 31 + d * 17) % 97) as f32 / 97.0) - 0.5).collect();
+        db.insert(LinkageRecord::new(
+            Fingerprint::from_embedding(&dir),
+            i % 10,
+            (i % 7) as u32,
+            &i.to_le_bytes(),
+        ));
+    }
+    let probe = Fingerprint::from_embedding(&[0.3f32; 16]);
+    let mut base_host = None;
+    let mut base_hits = None;
+    for workers in WORKER_COUNTS {
+        db.set_parallelism(Parallelism::new(workers));
+        let start = Instant::now();
+        let mut hits = Vec::new();
+        for _ in 0..20 {
+            hits = db.query_all_classes(&probe, 10);
+        }
+        let host_secs = start.elapsed().as_secs_f64();
+        match (&base_host, &base_hits) {
+            (Some(base), Some(expected)) => {
+                assert_eq!(expected, &hits, "hits must not depend on workers");
+                println!(
+                    "workers={workers}: host {host_secs:.3}s ({:.2}x)",
+                    base / host_secs
+                );
+            }
+            _ => {
+                println!("workers={workers}: host {host_secs:.3}s (1.00x)");
+                base_host = Some(host_secs);
+                base_hits = Some(hits);
+            }
+        }
+    }
+}
+
+/// Proves the pool really overlaps work even on a single-core host:
+/// sleeping threads release the CPU, so four concurrent 20 ms sleeps
+/// finish in ~20 ms while the sequential pool takes the full 80 ms.
+/// The bound is relative to a measured sequential baseline so a loaded
+/// or throttled host inflates both sides instead of tripping a fixed
+/// threshold. This keeps the modeled speedup numbers honest: they
+/// assume the concurrency this check enforces.
+fn assert_pool_concurrency() {
+    let sleep_20ms =
+        |_: usize, _: &mut ()| std::thread::sleep(std::time::Duration::from_millis(20));
+    let mut slots = [(); 4];
+
+    let start = Instant::now();
+    caltrain_runtime::par_map_mut(Parallelism::sequential(), &mut slots, sleep_20ms);
+    let sequential_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    caltrain_runtime::par_map_mut(Parallelism::new(4), &mut slots, sleep_20ms);
+    let parallel_secs = start.elapsed().as_secs_f64();
+
+    assert!(
+        parallel_secs < sequential_secs * 0.75,
+        "worker pool did not overlap its jobs: 4x20ms sleeps took {parallel_secs:.3}s \
+         vs {sequential_secs:.3}s sequential"
+    );
+    println!(
+        "pool concurrency proof: 4x20ms sleeps finished in {:.0}ms vs {:.0}ms sequential",
+        parallel_secs * 1e3,
+        sequential_secs * 1e3
+    );
+}
+
+fn main() {
+    assert_pool_concurrency();
+    bench_hub_round();
+    bench_ingest();
+    bench_linkage_scan();
+    println!("parallel_scaling: all determinism assertions held.");
+}

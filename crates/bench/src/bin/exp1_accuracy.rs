@@ -60,6 +60,7 @@ fn main() {
             augment: Some(augment),
             heap_bytes: 1 << 22,
             snapshots: false,
+            ..PipelineConfig::default()
         };
         let mut sys = CalTrain::new(build_net(layers, scale, seed), config, b"exp1")
             .expect("pipeline boot");

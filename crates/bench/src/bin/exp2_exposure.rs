@@ -43,6 +43,7 @@ fn main() {
         augment: Some(AugmentConfig::default()),
         heap_bytes: 1 << 22,
         snapshots: true,
+        ..PipelineConfig::default()
     };
     let net = zoo::cifar10_18layer_scaled(scale, seed).expect("fixed architecture");
     let mut sys = CalTrain::new(net, config, b"exp2").expect("pipeline boot");

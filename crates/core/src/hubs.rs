@@ -10,14 +10,19 @@
 //!
 //! [`HubCluster`] implements exactly that: each hub owns its own simulated
 //! platform, enclave and partitioned trainer over its participants' pool;
-//! [`HubCluster::train_round`] trains every hub locally for some epochs
-//! and then federated-averages the weights at the root, redistributing the
-//! merged model to all hubs.
+//! [`HubCluster::train_round`] trains every hub locally for some epochs —
+//! genuinely concurrently, one OS thread per hub on the
+//! [`caltrain_runtime`] worker pool — and then federated-averages the
+//! weights at the root, redistributing the merged model to all hubs.
+//! Because every hub owns its own platform, enclave and RNG, the round is
+//! bit-identical at any worker count; the [`Parallelism`] knob only
+//! changes how much host hardware the round uses.
 
 use caltrain_data::Dataset;
 use caltrain_enclave::{Enclave, EnclaveConfig, Platform, SimTime};
 use caltrain_nn::augment::AugmentConfig;
 use caltrain_nn::{Hyper, Network};
+use caltrain_runtime::{par_map_mut, Parallelism};
 
 use crate::partition::{Partition, PartitionedTrainer};
 use crate::server::TRAINING_ENCLAVE_CODE;
@@ -32,6 +37,14 @@ pub struct Hub {
     pool: Dataset,
 }
 
+// `train_round` moves exclusive hub references onto worker threads;
+// this audit pins the whole ownership chain — trainer (network + RNG),
+// enclave, platform clock/EPC/DRBG, dataset — as thread-mobile.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Hub>();
+};
+
 impl std::fmt::Debug for Hub {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Hub")
@@ -44,8 +57,11 @@ impl std::fmt::Debug for Hub {
 /// Outcome of one federated round.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RoundOutcome {
-    /// Mean training loss per hub, in hub order.
+    /// Mean training loss per hub, in hub order, averaged across the
+    /// round's local epochs.
     pub hub_losses: Vec<f32>,
+    /// Per-hub simulated time for the round, in hub order.
+    pub hub_times: Vec<SimTime>,
     /// Slowest hub's simulated time for the round — the wall-clock the
     /// parallel cluster would take.
     pub round_time: SimTime,
@@ -57,11 +73,15 @@ pub struct HubCluster {
     hyper: Hyper,
     batch_size: usize,
     augment: Option<AugmentConfig>,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for HubCluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HubCluster").field("hubs", &self.hubs.len()).finish()
+        f.debug_struct("HubCluster")
+            .field("hubs", &self.hubs.len())
+            .field("workers", &self.parallelism.workers())
+            .finish()
     }
 }
 
@@ -105,7 +125,27 @@ impl HubCluster {
             )?;
             hubs.push(Hub { platform, enclave, trainer, pool });
         }
-        Ok(HubCluster { hubs, hyper, batch_size, augment })
+        Ok(HubCluster { hubs, hyper, batch_size, augment, parallelism: Parallelism::default() })
+    }
+
+    /// Sets the worker-pool knob: how many hubs train on concurrent OS
+    /// threads during [`HubCluster::train_round`]. Defaults to
+    /// [`Parallelism::default`] (sequential unless `CALTRAIN_WORKERS`
+    /// is set). Round results are bit-identical at any worker count.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// Builder-style variant of [`HubCluster::set_parallelism`].
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The worker-pool knob in force.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Number of hubs.
@@ -132,37 +172,50 @@ impl HubCluster {
     }
 
     /// One federated round: every hub trains `local_epochs` on its own
-    /// pool (in parallel, conceptually — each on its own enclave), then
-    /// the root averages all hub weights and pushes the merged model
-    /// back.
+    /// pool — each hub on its own OS worker thread, charging its own
+    /// simulated platform clock — then the root averages all hub weights
+    /// and pushes the merged model back.
+    ///
+    /// Hubs are fully independent (own platform, enclave, trainer, RNG),
+    /// so the outcome is bit-identical whether the round runs on one
+    /// thread or [`Parallelism::workers`] threads.
     ///
     /// # Errors
     ///
     /// Propagates training failures.
     pub fn train_round(&mut self, local_epochs: usize) -> Result<RoundOutcome, CalTrainError> {
-        let mut hub_losses = Vec::with_capacity(self.hubs.len());
-        let mut round_time = SimTime::default();
-        for hub in &mut self.hubs {
+        let Self { hubs, hyper, batch_size, augment, parallelism } = self;
+        let batch_size = *batch_size;
+        let results = par_map_mut(*parallelism, hubs, |_, hub| {
             hub.platform.reset_clock();
-            let mut loss = 0.0f32;
+            let mut loss_sum = 0.0f32;
             for _ in 0..local_epochs {
                 let out = hub.trainer.train_epoch(
                     &hub.pool,
                     &hub.enclave,
-                    &self.hyper,
-                    self.batch_size,
-                    self.augment.as_ref(),
+                    hyper,
+                    batch_size,
+                    augment.as_ref(),
                 )?;
-                loss = out.mean_loss;
+                loss_sum += out.mean_loss;
             }
+            let mean = loss_sum / local_epochs.max(1) as f32;
+            Ok::<(f32, SimTime), CalTrainError>((mean, hub.platform.elapsed()))
+        });
+
+        let mut hub_losses = Vec::with_capacity(results.len());
+        let mut hub_times = Vec::with_capacity(results.len());
+        let mut round_time = SimTime::default();
+        for result in results {
+            let (loss, t) = result?;
             hub_losses.push(loss);
-            let t = hub.platform.elapsed();
+            hub_times.push(t);
             if t.seconds > round_time.seconds {
                 round_time = t; // the slowest hub gates the round
             }
         }
         self.aggregate()?;
-        Ok(RoundOutcome { hub_losses, round_time })
+        Ok(RoundOutcome { hub_losses, hub_times, round_time })
     }
 
     /// Federated averaging, weighted by hub pool size.
@@ -300,6 +353,54 @@ mod tests {
             single.global_model().export_params(),
             lone.network().export_params(),
         );
+    }
+
+    #[test]
+    fn parallel_round_bit_identical_to_sequential() {
+        // The determinism guarantee: same seed, same data => the same
+        // aggregated weights, losses and simulated times whether hubs
+        // run on one thread or four.
+        let (mut sequential, _) = cluster(4, 80, 9);
+        sequential.set_parallelism(Parallelism::sequential());
+        let (mut parallel, _) = cluster(4, 80, 9);
+        parallel.set_parallelism(Parallelism::new(4));
+
+        for round in 0..2 {
+            let a = sequential.train_round(2).unwrap();
+            let b = parallel.train_round(2).unwrap();
+            assert_eq!(a, b, "round {round} outcomes must match bit for bit");
+        }
+        assert_eq!(
+            sequential.global_model().export_params(),
+            parallel.global_model().export_params(),
+            "aggregated weights must be identical under parallel execution"
+        );
+    }
+
+    #[test]
+    fn hub_losses_are_means_over_local_epochs() {
+        // `RoundOutcome::hub_losses` documents a mean per hub; replicate
+        // three local epochs by hand on an identical cluster and compare.
+        let (mut round_cluster, _) = cluster(2, 40, 11);
+        round_cluster.set_parallelism(Parallelism::sequential());
+        let (mut manual_cluster, _) = cluster(2, 40, 11);
+        manual_cluster.set_parallelism(Parallelism::sequential());
+
+        let HubCluster { hubs, hyper, batch_size, .. } = &mut manual_cluster;
+        let mut expected = Vec::new();
+        for hub in hubs.iter_mut() {
+            let mut sum = 0.0f32;
+            for _ in 0..3 {
+                sum += hub
+                    .trainer
+                    .train_epoch(&hub.pool, &hub.enclave, hyper, *batch_size, None)
+                    .unwrap()
+                    .mean_loss;
+            }
+            expected.push(sum / 3.0);
+        }
+        let out = round_cluster.train_round(3).unwrap();
+        assert_eq!(out.hub_losses, expected, "losses must average across local epochs");
     }
 
     #[test]

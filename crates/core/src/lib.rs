@@ -53,3 +53,8 @@ pub mod pipeline;
 pub mod server;
 
 pub use error::CalTrainError;
+
+// The worker-pool knob appears throughout the public API (pipeline
+// config, hub cluster, training server); re-export it so downstream
+// crates don't need a direct `caltrain-runtime` dependency.
+pub use caltrain_runtime::Parallelism;

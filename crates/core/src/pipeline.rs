@@ -8,6 +8,7 @@ use caltrain_fingerprint::LinkageDb;
 use caltrain_nn::augment::AugmentConfig;
 use caltrain_nn::serialize::{range_weights_from_bytes, range_weights_to_bytes, weights_to_bytes};
 use caltrain_nn::{Hyper, Network, NnError};
+use caltrain_runtime::Parallelism;
 
 use crate::accountability::FingerprintingStage;
 use crate::participant::Participant;
@@ -31,6 +32,11 @@ pub struct PipelineConfig {
     pub heap_bytes: usize,
     /// Keep a model snapshot per epoch (needed for Fig. 5 re-assessment).
     pub snapshots: bool,
+    /// Worker-pool knob for the parallel paths (batch ingestion; hub
+    /// training and fingerprint scans when wired through this config).
+    /// Sequential by default so every run is single-threaded
+    /// deterministic; `CALTRAIN_WORKERS` overrides the default.
+    pub parallelism: Parallelism,
 }
 
 impl Default for PipelineConfig {
@@ -42,6 +48,7 @@ impl Default for PipelineConfig {
             augment: Some(AugmentConfig::default()),
             heap_bytes: 1 << 22,
             snapshots: true,
+            parallelism: Parallelism::default(),
         }
     }
 }
@@ -123,7 +130,8 @@ impl CalTrain {
     /// fails.
     pub fn new(net: Network, config: PipelineConfig, seed: &[u8]) -> Result<Self, CalTrainError> {
         let platform = Platform::with_seed(seed);
-        let server = TrainingServer::launch(platform.clone(), config.heap_bytes)?;
+        let mut server = TrainingServer::launch(platform.clone(), config.heap_bytes)?;
+        server.set_parallelism(config.parallelism);
         let trainer = PartitionedTrainer::new(
             net,
             config.partition,
@@ -298,7 +306,10 @@ impl CalTrain {
             (self.trainer.network().param_count() * 4).max(1 << 16),
         )?;
         let batch = self.config.batch_size;
-        stage.build_db(self.trainer.network_mut(), &pool, batch)
+        let mut db = stage.build_db(self.trainer.network_mut(), &pool, batch)?;
+        // Large accountability scans inherit the pipeline's worker knob.
+        db.set_parallelism(self.config.parallelism);
+        Ok(db)
     }
 }
 
@@ -344,6 +355,7 @@ mod tests {
             augment: None,
             heap_bytes: 1 << 18,
             snapshots: true,
+            ..PipelineConfig::default()
         }
     }
 

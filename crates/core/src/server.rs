@@ -6,6 +6,7 @@ use std::collections::HashMap;
 use caltrain_data::sealed::{open_batch, SealedBatch};
 use caltrain_data::Dataset;
 use caltrain_enclave::{ChannelServer, Enclave, EnclaveConfig, Platform, Quote};
+use caltrain_runtime::{par_map, Parallelism};
 
 use crate::CalTrainError;
 
@@ -34,6 +35,7 @@ pub struct TrainingServer {
     keys: HashMap<u32, [u8; 16]>,
     pool: Option<Dataset>,
     stats: IngestStats,
+    parallelism: Parallelism,
 }
 
 impl std::fmt::Debug for TrainingServer {
@@ -69,7 +71,21 @@ impl TrainingServer {
             keys: HashMap::new(),
             pool: None,
             stats: IngestStats::default(),
+            parallelism: Parallelism::default(),
         })
+    }
+
+    /// Sets the worker-pool knob for batch ingestion (defaults to
+    /// [`Parallelism::default`]: sequential unless `CALTRAIN_WORKERS`
+    /// is set). Ingestion results — pool contents, order, statistics
+    /// and simulated-clock charges — are identical at any worker count.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The worker-pool knob in force.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// The hosting platform.
@@ -128,23 +144,33 @@ impl TrainingServer {
     /// failing authentication are **discarded**, not errors — exactly
     /// the paper's behaviour for illegitimate channels.
     pub fn ingest(&mut self, batches: &[SealedBatch]) -> IngestStats {
+        // GCM-verify + decrypt is pure per batch (keyed only by the
+        // claimed source), so it fans out across the worker pool. All
+        // stateful work — ecall charging, pool assembly, statistics —
+        // happens in the sequential fold, in batch order, so the outcome
+        // is identical at any worker count. `None` marks an unknown
+        // source. Work proceeds chunk by chunk to bound how much
+        // decrypted-but-not-yet-pooled plaintext is alive at once.
+        let chunk_len = (self.parallelism.workers() * 8).max(1);
         let mut pass = IngestStats::default();
-        for batch in batches {
-            self.enclave.charge_ecall(batch.ciphertext.len());
-            let Some(key) = self.keys.get(&batch.source.0) else {
-                pass.discarded += 1;
-                continue;
-            };
-            match open_batch(batch, key) {
-                Ok(opened) => {
-                    pass.instances += opened.len();
-                    pass.accepted += 1;
-                    self.pool = Some(match self.pool.take() {
-                        None => opened,
-                        Some(pool) => pool.concat(&opened),
-                    });
+        for chunk in batches.chunks(chunk_len) {
+            let keys = &self.keys;
+            let opened = par_map(self.parallelism, chunk, |_, batch| {
+                keys.get(&batch.source.0).map(|key| open_batch(batch, key))
+            });
+            for (batch, outcome) in chunk.iter().zip(opened) {
+                self.enclave.charge_ecall(batch.ciphertext.len());
+                match outcome {
+                    Some(Ok(opened)) => {
+                        pass.instances += opened.len();
+                        pass.accepted += 1;
+                        self.pool = Some(match self.pool.take() {
+                            None => opened,
+                            Some(pool) => pool.concat(&opened),
+                        });
+                    }
+                    Some(Err(_)) | None => pass.discarded += 1,
                 }
-                Err(_) => pass.discarded += 1,
             }
         }
         self.stats.accepted += pass.accepted;
@@ -212,6 +238,52 @@ mod tests {
         // Provenance survived the encrypted round trip.
         assert_eq!(pool.sources().iter().filter(|s| s.0 == 0).count(), 4);
         assert_eq!(pool.sources().iter().filter(|s| s.0 == 1).count(), 6);
+    }
+
+    #[test]
+    fn parallel_ingest_bit_identical_to_sequential() {
+        // Same platform seed, same sealed uploads (including a tampered
+        // batch and an unregistered source): stats, pool contents, pool
+        // order and simulated-clock charges must not depend on the
+        // worker count.
+        let build = || {
+            let platform = Platform::with_seed(b"server-par-test");
+            let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+            let alice = Participant::new(ParticipantId(0), shard(8, 0), b"alice");
+            let bob = Participant::new(ParticipantId(1), shard(6, 1), b"bob");
+            provision(&mut server, &alice);
+            provision(&mut server, &bob);
+            (server, alice, bob)
+        };
+
+        let (mut sequential, mut alice, mut bob) = build();
+        sequential.set_parallelism(Parallelism::sequential());
+        let (mut parallel, _, _) = build();
+        parallel.set_parallelism(Parallelism::new(4));
+
+        let mut batches = alice.seal_upload(4);
+        batches.extend(bob.seal_upload(3));
+        let mid = batches[1].ciphertext.len() / 2;
+        batches[1].ciphertext[mid] ^= 1; // fails authentication
+        let mut mallory = Participant::new(ParticipantId(9), shard(4, 0), b"mallory");
+        batches.extend(mallory.seal_upload(4)); // unknown source
+
+        let a = sequential.ingest(&batches);
+        let b = parallel.ingest(&batches);
+        assert_eq!(a, b, "IngestStats must be identical under parallel ingestion");
+        assert_eq!(a.accepted, 3);
+        assert_eq!(a.discarded, 2);
+
+        let pool_a = sequential.pool().unwrap();
+        let pool_b = parallel.pool().unwrap();
+        assert_eq!(pool_a.images().as_slice(), pool_b.images().as_slice());
+        assert_eq!(pool_a.labels(), pool_b.labels());
+        assert_eq!(pool_a.sources(), pool_b.sources());
+        assert_eq!(
+            sequential.platform().cycles(),
+            parallel.platform().cycles(),
+            "clock charging must not depend on the worker count"
+        );
     }
 
     #[test]

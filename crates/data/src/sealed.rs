@@ -123,6 +123,15 @@ pub fn open_batch(batch: &SealedBatch, key: &[u8; 16]) -> Result<Dataset, Crypto
     Ok(ds)
 }
 
+// The parallel ingestion path (caltrain-core) verifies and opens sealed
+// batches on worker threads; batches and opened datasets must stay
+// thread-mobile. Compile-time audit, not a runtime test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SealedBatch>();
+    assert_send_sync::<Dataset>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -149,6 +149,16 @@ impl Platform {
     }
 }
 
+// Hubs train concurrently, each charging its own platform clock from a
+// worker thread; the clock/EPC/DRBG state behind a platform handle is
+// mutex-protected, making both handles fully thread-safe. Compile-time
+// audit: a non-Sync field here would break the parallel runtime.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Platform>();
+    assert_send_sync::<Enclave>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

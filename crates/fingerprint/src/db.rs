@@ -3,6 +3,9 @@
 
 use std::collections::HashMap;
 
+use caltrain_runtime::{par_map, Parallelism};
+use caltrain_tensor::stats::cmp_nan_last;
+
 use crate::record::{Fingerprint, LinkageRecord};
 
 /// One query hit: a record index and its L2 distance to the probe.
@@ -24,12 +27,30 @@ pub struct QueryMatch {
 pub struct LinkageDb {
     records: Vec<LinkageRecord>,
     by_class: HashMap<usize, Vec<usize>>,
+    parallelism: Parallelism,
 }
+
+/// Candidate count above which the distance scan fans out across the
+/// worker pool; below it, spawning threads costs more than the scan.
+pub const PAR_SCAN_THRESHOLD: usize = 1024;
 
 impl LinkageDb {
     /// Creates an empty database.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Sets the worker-pool knob for large distance scans (defaults to
+    /// [`Parallelism::default`], i.e. sequential unless
+    /// `CALTRAIN_WORKERS` is set). Query results are bit-identical at
+    /// any worker count.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The worker-pool knob in force.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
     }
 
     /// Inserts a record, returning its index.
@@ -70,39 +91,46 @@ impl LinkageDb {
     /// the paper's query: the mispredicted input's fingerprint is probed
     /// against training fingerprints sharing its (mis)predicted label.
     pub fn query(&self, probe: &Fingerprint, label: usize, k: usize) -> Vec<QueryMatch> {
-        let candidates = self.class_indices(label);
-        let mut matches: Vec<QueryMatch> = candidates
-            .iter()
-            .map(|&idx| QueryMatch {
-                record: idx,
-                distance: self.records[idx].fingerprint.distance(probe),
-            })
-            .collect();
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-                .then(a.record.cmp(&b.record))
-        });
-        matches.truncate(k);
-        matches
+        Self::rank(self.scan(self.class_indices(label), probe), k)
     }
 
     /// The `k` nearest records across *every* class — the ablation
     /// baseline without the paper's Y-pruning.
     pub fn query_all_classes(&self, probe: &Fingerprint, k: usize) -> Vec<QueryMatch> {
-        let mut matches: Vec<QueryMatch> = self
-            .records
-            .iter()
-            .enumerate()
-            .map(|(idx, r)| QueryMatch { record: idx, distance: r.fingerprint.distance(probe) })
-            .collect();
-        matches.sort_by(|a, b| {
-            a.distance
-                .partial_cmp(&b.distance)
-                .expect("finite distances")
-                .then(a.record.cmp(&b.record))
-        });
+        // Scans the record slice directly (no candidate index list —
+        // this path visits everything anyway).
+        let distance_to = |idx: usize, r: &LinkageRecord| QueryMatch {
+            record: idx,
+            distance: r.fingerprint.distance(probe),
+        };
+        let matches = if self.records.len() >= PAR_SCAN_THRESHOLD {
+            par_map(self.parallelism, &self.records, |idx, r| distance_to(idx, r))
+        } else {
+            self.records.iter().enumerate().map(|(idx, r)| distance_to(idx, r)).collect()
+        };
+        Self::rank(matches, k)
+    }
+
+    /// Distances from `probe` to every candidate record, in candidate
+    /// order. Large scans fan out across the worker pool; the per-pair
+    /// distance is pure, so results are identical at any worker count.
+    fn scan(&self, candidates: &[usize], probe: &Fingerprint) -> Vec<QueryMatch> {
+        let distance_to = |&idx: &usize| QueryMatch {
+            record: idx,
+            distance: self.records[idx].fingerprint.distance(probe),
+        };
+        if candidates.len() >= PAR_SCAN_THRESHOLD {
+            par_map(self.parallelism, candidates, |_, idx| distance_to(idx))
+        } else {
+            candidates.iter().map(distance_to).collect()
+        }
+    }
+
+    /// The shared sort-and-truncate tail of both query paths: ascending
+    /// by distance, ties broken by insertion order, NaN distances last
+    /// (a degenerate fingerprint must never panic the query).
+    fn rank(mut matches: Vec<QueryMatch>, k: usize) -> Vec<QueryMatch> {
+        matches.sort_by(|a, b| cmp_nan_last(a.distance, b.distance).then(a.record.cmp(&b.record)));
         matches.truncate(k);
         matches
     }
@@ -174,6 +202,62 @@ mod tests {
         let hits = db.query(&probe, 0, 3);
         let sources = db.sources_of(&hits);
         assert_eq!(sources.len(), sources.iter().collect::<std::collections::HashSet<_>>().len());
+    }
+
+    #[test]
+    fn nan_fingerprint_cannot_panic_the_query() {
+        // A degenerate (all-NaN-direction) fingerprint yields NaN
+        // distances; both query paths must rank it last, not panic.
+        let mut db = sample_db();
+        let nan_idx = db.insert(record(&[f32::NAN, 0.0], 0, 14, b"degenerate"));
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+
+        let hits = db.query(&probe, 0, 10);
+        assert_eq!(hits.len(), 4);
+        assert_eq!(hits.last().unwrap().record, nan_idx, "NaN distance sorts last");
+        assert!(hits.last().unwrap().distance.is_nan());
+        assert!(hits[..3].iter().all(|m| m.distance.is_finite()));
+
+        let all = db.query_all_classes(&probe, 10);
+        assert_eq!(all.len(), 5);
+        assert_eq!(all.last().unwrap().record, nan_idx);
+
+        // The NaN probe direction is equally survivable.
+        let nan_probe = Fingerprint::from_embedding(&[f32::NAN, f32::NAN]);
+        assert_eq!(db.query(&nan_probe, 0, 10).len(), 4);
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential() {
+        // Class 0 alone clears PAR_SCAN_THRESHOLD, so the worker pool
+        // really runs on *both* paths: the class-pruned scan and the
+        // all-classes scan.
+        let build = || {
+            let mut db = LinkageDb::new();
+            for i in 0..(PAR_SCAN_THRESHOLD + 500) {
+                let dir = [(i as f32 * 0.37).sin(), (i as f32 * 0.73).cos()];
+                let label = usize::from(i >= PAR_SCAN_THRESHOLD + 200);
+                db.insert(record(&dir, label, (i % 11) as u32, &i.to_le_bytes()));
+            }
+            db
+        };
+        let mut sequential = build();
+        sequential.set_parallelism(Parallelism::sequential());
+        let mut parallel = build();
+        parallel.set_parallelism(Parallelism::new(4));
+
+        let probe = Fingerprint::from_embedding(&[0.6, -0.8]);
+        assert_eq!(
+            sequential.query_all_classes(&probe, 25),
+            parallel.query_all_classes(&probe, 25),
+            "worker count must not change query results"
+        );
+        assert!(
+            sequential.class_indices(0).len() >= PAR_SCAN_THRESHOLD,
+            "class 0 must be large enough to drive the parallel class scan"
+        );
+        assert_eq!(sequential.query(&probe, 0, 25), parallel.query(&probe, 0, 25));
+        assert_eq!(sequential.query(&probe, 1, 25), parallel.query(&probe, 1, 25));
     }
 
     #[test]

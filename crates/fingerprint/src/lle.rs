@@ -11,6 +11,7 @@
 //!    eigensolver from `caltrain-tensor`.
 
 use caltrain_tensor::linalg::{solve, symmetric_eigen};
+use caltrain_tensor::stats::cmp_nan_last;
 use caltrain_tensor::{Tensor, TensorError};
 
 /// Configuration for [`embed`].
@@ -73,7 +74,9 @@ pub fn embed(points: &Tensor, config: &LleConfig) -> Result<Tensor, TensorError>
                 (dist, j)
             })
             .collect();
-        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances").then(a.1.cmp(&b.1)));
+        // NaN distances (degenerate input rows) rank last instead of
+        // panicking the embedding.
+        dists.sort_by(|a, b| cmp_nan_last(a.0, b.0).then(a.1.cmp(&b.1)));
         for (slot, &(_, j)) in neighbor_ids[i].iter_mut().zip(dists.iter()) {
             *slot = j;
         }

@@ -133,7 +133,12 @@ pub struct LayerDescriptor {
 ///   right simulated clock (enclave vs native);
 /// * results are **bit-identical across [`KernelMode`]s** — the mode only
 ///   selects kernel implementation, never arithmetic order.
-pub trait Layer: fmt::Debug {
+///
+/// `Send + Sync` are supertraits because whole networks (and the
+/// trainers that own them) migrate across the scoped worker threads of
+/// `caltrain-runtime` during parallel hub rounds; every layer is plain
+/// owned data, so the bounds cost implementations nothing.
+pub trait Layer: fmt::Debug + Send + Sync {
     /// The layer's kind tag.
     fn kind(&self) -> LayerKind;
 

@@ -1,0 +1,297 @@
+//! The parallel execution engine behind the CalTrain cluster.
+//!
+//! Paper §IV-B scales in-enclave training out over multiple learning
+//! hubs, each on its own enclave — "sub-models can be trained
+//! independently". This crate supplies the machinery that makes that
+//! concurrency real in the reproduction: a scoped-thread worker pool
+//! ([`par_map`], [`par_map_mut`]) plus the [`Parallelism`] knob that
+//! every parallel call site takes.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** Results come back in item order regardless of
+//!    worker count or scheduling, so a caller that folds them
+//!    sequentially produces bit-identical output at 1 and at 8 workers.
+//!    All simulated-clock charging belongs in that sequential fold, not
+//!    in the mapped closure, whenever cross-item charge *order* matters.
+//! 2. **No new dependencies.** The pool is `std::thread::scope` plus the
+//!    vendored `parking_lot` shim — the workspace stays offline-green.
+//! 3. **Sequential by default.** [`Parallelism::default`] is one worker
+//!    unless the `CALTRAIN_WORKERS` environment variable says otherwise,
+//!    so the seed tests keep running single-threaded and CI can force
+//!    the threaded paths with one env var.
+//!
+//! # Example
+//!
+//! ```
+//! use caltrain_runtime::{par_map, Parallelism};
+//!
+//! let squares = par_map(Parallelism::new(4), &[1, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+use parking_lot::Mutex;
+
+/// How many OS worker threads a parallel call site may use.
+///
+/// A knob, not a pool handle: the scoped pool is built per call, so a
+/// `Parallelism` can be freely copied into configs and structs. One
+/// worker means "run inline on the calling thread" — no threads are
+/// spawned at all, which is the deterministic default for tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism {
+    workers: usize,
+}
+
+impl Parallelism {
+    /// Environment variable consulted by [`Parallelism::from_env`] (and
+    /// therefore by `Default`): the CI switch that forces every
+    /// default-configured component onto the threaded path.
+    pub const ENV_VAR: &'static str = "CALTRAIN_WORKERS";
+
+    /// Exactly one worker: run inline on the calling thread.
+    pub const fn sequential() -> Self {
+        Parallelism { workers: 1 }
+    }
+
+    /// A knob for `workers` threads; zero is clamped to one.
+    pub fn new(workers: usize) -> Self {
+        Parallelism { workers: workers.max(1) }
+    }
+
+    /// Reads [`Parallelism::ENV_VAR`]; absent means sequential. An
+    /// unparsable value also falls back to sequential but warns on
+    /// stderr — a CI run that sets the variable to force the threaded
+    /// paths must not silently test nothing.
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV_VAR) {
+            Err(_) => Parallelism::sequential(),
+            Ok(raw) => match raw.trim().parse::<usize>() {
+                Ok(workers) => Parallelism::new(workers),
+                Err(_) => {
+                    eprintln!(
+                        "caltrain-runtime: ignoring unparsable {}={raw:?}; running sequential",
+                        Self::ENV_VAR
+                    );
+                    Parallelism::sequential()
+                }
+            },
+        }
+    }
+
+    /// The worker count (always ≥ 1).
+    pub fn workers(self) -> usize {
+        self.workers
+    }
+
+    /// True when the knob runs everything inline on the calling thread.
+    pub fn is_sequential(self) -> bool {
+        self.workers == 1
+    }
+}
+
+impl Default for Parallelism {
+    /// [`Parallelism::from_env`]: sequential unless `CALTRAIN_WORKERS`
+    /// is set — the documented CI override.
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+/// Maps `f` over `items` on up to `parallelism.workers()` scoped
+/// threads, returning results **in item order**.
+///
+/// Workers claim contiguous *blocks* of indices from a shared counter —
+/// roughly eight blocks per worker, so fine-grained items (a distance
+/// scan computes tens of nanoseconds per item) amortise the counter and
+/// the results lock instead of serializing on them, while uneven blocks
+/// still load-balance. Results are re-assembled in index order, which is
+/// what makes the output independent of scheduling. With one worker (or
+/// ≤ 1 item) everything runs inline and no thread is spawned.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// been joined (the `std::thread::scope` contract).
+pub fn par_map<T, R, F>(parallelism: Parallelism, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if parallelism.is_sequential() || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let workers = parallelism.workers().min(items.len());
+    let block = (items.len() / (workers * 8)).max(1);
+    let next = AtomicUsize::new(0);
+    let runs: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::new());
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next.fetch_add(block, Ordering::Relaxed);
+                if start >= items.len() {
+                    break;
+                }
+                let end = (start + block).min(items.len());
+                let run: Vec<R> = items[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(offset, item)| f(start + offset, item))
+                    .collect();
+                runs.lock().push((start, run));
+            });
+        }
+    });
+    let mut runs = runs.into_inner();
+    runs.sort_by_key(|&(start, _)| start);
+    runs.into_iter().flat_map(|(_, run)| run).collect()
+}
+
+/// Like [`par_map`] but with exclusive access to each item — the shape
+/// hub training needs, where every hub's trainer advances its own RNG
+/// and weights.
+///
+/// Each `&mut T` is handed to exactly one worker via a locked job
+/// queue; items never alias, results come back in item order.
+///
+/// # Panics
+///
+/// A panic inside `f` propagates to the caller once all workers have
+/// been joined.
+pub fn par_map_mut<T, R, F>(parallelism: Parallelism, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    let n = items.len();
+    if parallelism.is_sequential() || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let mut jobs: Vec<(usize, &mut T)> = items.iter_mut().enumerate().collect();
+    jobs.reverse(); // workers pop from the back => indices are claimed in order
+    let queue = Mutex::new(jobs);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(n));
+    thread::scope(|scope| {
+        for _ in 0..parallelism.workers().min(n) {
+            scope.spawn(|| loop {
+                let job = queue.lock().pop();
+                let Some((i, item)) = job else { break };
+                let r = f(i, item);
+                results.lock().push((i, r));
+            });
+        }
+    });
+    reorder(results.into_inner())
+}
+
+fn reorder<R>(mut tagged: Vec<(usize, R)>) -> Vec<R> {
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Barrier;
+
+    #[test]
+    fn knob_clamps_and_reports() {
+        assert_eq!(Parallelism::new(0).workers(), 1);
+        assert!(Parallelism::new(1).is_sequential());
+        assert!(!Parallelism::new(2).is_sequential());
+        assert_eq!(Parallelism::sequential(), Parallelism::new(1));
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_worker_count() {
+        let items: Vec<usize> = (0..100).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 3 + 1).collect();
+        for workers in [1, 2, 4, 8, 16] {
+            let got = par_map(Parallelism::new(workers), &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3 + 1
+            });
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_visits_every_item_exactly_once() {
+        for workers in [1, 3, 8] {
+            let mut items = vec![0u32; 64];
+            let indices = par_map_mut(Parallelism::new(workers), &mut items, |i, slot| {
+                *slot += 1;
+                i
+            });
+            assert!(items.iter().all(|&v| v == 1), "workers = {workers}");
+            assert_eq!(indices, (0..64).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_really_runs_workers_concurrently() {
+        // One job per worker, all meeting at a barrier: completes only if
+        // the pool truly runs `workers` threads at once.
+        let workers = 4;
+        let barrier = Barrier::new(workers);
+        let items: Vec<usize> = (0..workers).collect();
+        let ids = par_map(Parallelism::new(workers), &items, |_, _| {
+            barrier.wait();
+            std::thread::current().id()
+        });
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        assert_eq!(distinct.len(), workers);
+    }
+
+    #[test]
+    fn empty_and_single_item_run_inline() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(Parallelism::new(8), &empty, |_, &b| b).is_empty());
+        let caller = std::thread::current().id();
+        let ids = par_map(Parallelism::new(8), &[7u8], |_, _| std::thread::current().id());
+        assert_eq!(ids, vec![caller], "single item must not pay thread spawn");
+    }
+
+    #[test]
+    fn env_knob_parses_and_clamps() {
+        // This test owns CALTRAIN_WORKERS within this binary: every
+        // other caltrain-runtime test passes an explicit knob, so no
+        // parallel test thread reads the environment while we mutate
+        // it. The prior value is restored so a CI pass that exports
+        // the variable keeps it for the rest of the test run.
+        let previous = std::env::var(Parallelism::ENV_VAR).ok();
+        std::env::remove_var(Parallelism::ENV_VAR);
+        assert!(Parallelism::from_env().is_sequential());
+        std::env::set_var(Parallelism::ENV_VAR, "4");
+        assert_eq!(Parallelism::from_env().workers(), 4);
+        std::env::set_var(Parallelism::ENV_VAR, "0");
+        assert_eq!(Parallelism::from_env().workers(), 1);
+        std::env::set_var(Parallelism::ENV_VAR, "not-a-number");
+        assert!(Parallelism::from_env().is_sequential());
+        match previous {
+            Some(value) => std::env::set_var(Parallelism::ENV_VAR, value),
+            None => std::env::remove_var(Parallelism::ENV_VAR),
+        }
+    }
+
+    #[test]
+    fn results_deterministic_with_uneven_work() {
+        // Items that take wildly different times still land in order.
+        let items: Vec<u64> = (0..32).map(|i| (i * 37) % 11).collect();
+        let slow = par_map(Parallelism::new(8), &items, |_, &x| {
+            std::thread::sleep(std::time::Duration::from_micros(x * 50));
+            x * x
+        });
+        let fast: Vec<u64> = items.iter().map(|&x| x * x).collect();
+        assert_eq!(slow, fast);
+    }
+}

@@ -93,12 +93,41 @@ pub fn min_max(xs: &[f32]) -> Option<(f32, f32)> {
     Some((lo, hi))
 }
 
-/// Indices of the `k` largest values, descending (ties broken by index).
+/// Total order on `f32` for rankings: finite values (and infinities) by
+/// [`f32::total_cmp`], any NaN *after* every non-NaN regardless of the
+/// NaN's sign bit.
+///
+/// Ranking distances or scores with `partial_cmp(..).expect(..)` panics
+/// the moment one degenerate value turns up NaN — in the accountability
+/// query path that would let a single broken fingerprint abort an entire
+/// investigation. This comparator keeps such entries ordered (last)
+/// instead of aborting.
+pub fn cmp_nan_last(a: f32, b: f32) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (false, false) => a.total_cmp(&b),
+        (true, true) => std::cmp::Ordering::Equal,
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+    }
+}
+
+/// Indices of the `k` largest values, descending (ties broken by index);
+/// NaN scores rank below every real score instead of panicking.
 ///
 /// Supports Top-1/Top-2 accuracy reporting (paper Figs. 3–4).
 pub fn top_k_indices(xs: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..xs.len()).collect();
-    idx.sort_by(|&a, &b| xs[b].partial_cmp(&xs[a]).expect("non-NaN scores").then(a.cmp(&b)));
+    // Descending by score with NaN last: a NaN entry compares Greater
+    // in the boolean key, pushing it behind every real score. Among
+    // comparable scores, partial_cmp keeps +0.0 == -0.0 a tie (broken
+    // by index, per the contract above); it only returns None for NaN
+    // pairs, which also fall to the index tiebreak.
+    idx.sort_by(|&a, &b| {
+        xs[a].is_nan()
+            .cmp(&xs[b].is_nan())
+            .then_with(|| xs[b].partial_cmp(&xs[a]).unwrap_or(std::cmp::Ordering::Equal))
+            .then(a.cmp(&b))
+    });
     idx.truncate(k);
     idx
 }
@@ -168,5 +197,34 @@ mod tests {
         assert_eq!(top_k_indices(&xs, 2), vec![1, 2]);
         assert_eq!(top_k_indices(&xs, 1), vec![1]);
         assert_eq!(top_k_indices(&xs, 10), vec![1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn top_k_ranks_nan_scores_last_without_panicking() {
+        let xs = [0.1f32, f32::NAN, 0.9, -f32::NAN];
+        assert_eq!(top_k_indices(&xs, 2), vec![2, 0]);
+        assert_eq!(top_k_indices(&xs, 10), vec![2, 0, 1, 3], "NaNs last, by index");
+        assert_eq!(
+            top_k_indices(&[-f32::NAN, f32::NAN], 2),
+            vec![0, 1],
+            "NaN-NaN ties break by index, not sign bit"
+        );
+        assert_eq!(
+            top_k_indices(&[-0.0f32, 0.0], 2),
+            vec![0, 1],
+            "+0.0 == -0.0 is a tie, broken by index"
+        );
+    }
+
+    #[test]
+    fn cmp_nan_last_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(cmp_nan_last(1.0, 2.0), Ordering::Less);
+        assert_eq!(cmp_nan_last(2.0, 1.0), Ordering::Greater);
+        assert_eq!(cmp_nan_last(1.0, 1.0), Ordering::Equal);
+        assert_eq!(cmp_nan_last(f32::INFINITY, f32::NAN), Ordering::Less);
+        assert_eq!(cmp_nan_last(f32::NAN, f32::NEG_INFINITY), Ordering::Greater);
+        assert_eq!(cmp_nan_last(-f32::NAN, 0.0), Ordering::Greater, "sign bit irrelevant");
+        assert_eq!(cmp_nan_last(f32::NAN, f32::NAN), Ordering::Equal);
     }
 }

@@ -21,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         augment: None,
         heap_bytes: 1 << 22,
         snapshots: true,
+        ..PipelineConfig::default()
     };
     let mut system = CalTrain::new(net, config, b"advisor")?;
     system.enroll_and_ingest(&train, 4, 18)?;

@@ -28,6 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         augment: None,
         heap_bytes: 1 << 22,
         snapshots: false,
+        ..PipelineConfig::default()
     };
     let mut system = CalTrain::new(net, config, b"quickstart")?;
 

@@ -13,6 +13,7 @@
 //! |---|---|---|
 //! | [`tensor`] | `caltrain-tensor` | dense f32 tensors, GEMM, im2col, linalg |
 //! | [`crypto`] | `caltrain-crypto` | SHA-256, HMAC, HKDF, AES-GCM, X25519, DRBG |
+//! | [`runtime`] | `caltrain-runtime` | scoped-thread worker pool + parallelism knob |
 //! | [`enclave`] | `caltrain-enclave` | cycle-accounted SGX simulator |
 //! | [`nn`] | `caltrain-nn` | Darknet-style DNN framework, two kernel paths |
 //! | [`data`] | `caltrain-data` | synthetic CIFAR/face data, shards, sealing |
@@ -55,4 +56,5 @@ pub use caltrain_data as data;
 pub use caltrain_enclave as enclave;
 pub use caltrain_fingerprint as fingerprint;
 pub use caltrain_nn as nn;
+pub use caltrain_runtime as runtime;
 pub use caltrain_tensor as tensor;

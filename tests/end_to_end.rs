@@ -15,6 +15,7 @@ fn small_config(cut: usize) -> PipelineConfig {
         augment: None,
         heap_bytes: 1 << 22,
         snapshots: true,
+        ..PipelineConfig::default()
     }
 }
 

@@ -17,6 +17,7 @@ fn config() -> PipelineConfig {
         augment: None,
         heap_bytes: 1 << 21,
         snapshots: false,
+        ..PipelineConfig::default()
     }
 }
 

@@ -23,6 +23,7 @@ fn two_participants_one_epoch_full_pipeline() {
             augment: None,
             heap_bytes: 1 << 22,
             snapshots: false,
+            ..PipelineConfig::default()
         },
         b"smoke",
     )
