@@ -30,4 +30,13 @@ cargo bench --offline --no-run
 echo "==> cargo bench --bench parallel_scaling (runtime scaling gate)"
 cargo bench --offline --bench parallel_scaling
 
+# Layer-kernel gate in smoke mode: trains the zoo model over the
+# reference (no-reuse), reused-scratch and 4-worker paths, asserts all
+# three produce bit-identical losses and weights, checks the steady-state
+# allocation ceiling, and regenerates BENCH_training.json. The 1.15x
+# wall-clock speedup gate only runs in full (non-smoke) benches, so a
+# loaded CI host cannot flake this step.
+echo "==> cargo bench --bench training_throughput -- --smoke (determinism + JSON gate)"
+cargo bench --offline --bench training_throughput -- --smoke
+
 echo "CI green."

@@ -4,7 +4,7 @@
 use caltrain_crypto::gcm::AesGcm;
 use caltrain_crypto::sha256::Sha256;
 use caltrain_crypto::x25519;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_crypto(c: &mut Criterion) {
@@ -30,4 +30,12 @@ fn bench_crypto(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_crypto);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = caltrain_bench::report::BenchReport::new("crypto_throughput");
+    for s in criterion::take_samples() {
+        report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
+    }
+    report.emit().expect("write BENCH_crypto_throughput.json");
+}

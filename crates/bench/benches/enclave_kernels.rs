@@ -2,8 +2,8 @@
 //! path on conv-shaped workloads — the microscopic cause of the paper's
 //! Fig. 6 overhead.
 
-use caltrain_tensor::gemm::{gemm_blocked, gemm_strict};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use caltrain_tensor::gemm::{gemm_blocked, gemm_packed, gemm_strict};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn conv_shapes() -> Vec<(usize, usize, usize)> {
@@ -38,9 +38,28 @@ fn bench_kernels(c: &mut Criterion) {
                 })
             },
         );
+        group.bench_with_input(
+            BenchmarkId::new("packed_native", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, &(m, n, k)| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    gemm_packed(m, n, k, black_box(&a), black_box(&b), &mut out);
+                    black_box(out)
+                })
+            },
+        );
     }
     group.finish();
 }
 
 criterion_group!(benches, bench_kernels);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = caltrain_bench::report::BenchReport::new("enclave_kernels");
+    for s in criterion::take_samples() {
+        report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
+    }
+    report.emit().expect("write BENCH_enclave_kernels.json");
+}

@@ -2,7 +2,7 @@
 //! the "memory constrained" half of the paper's Fig. 6 story.
 
 use caltrain_enclave::epc::{Epc, PAGE_SIZE};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_paging(c: &mut Criterion) {
@@ -30,4 +30,12 @@ fn bench_paging(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_paging);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = caltrain_bench::report::BenchReport::new("epc_paging");
+    for s in criterion::take_samples() {
+        report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
+    }
+    report.emit().expect("write BENCH_epc_paging.json");
+}

@@ -2,7 +2,7 @@
 //! class-pruned k-NN vs a full scan over the linkage database.
 
 use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn build_db(records: usize, classes: usize, dim: usize) -> LinkageDb {
@@ -39,4 +39,12 @@ fn bench_query(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_query);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = caltrain_bench::report::BenchReport::new("fingerprint_query");
+    for s in criterion::take_samples() {
+        report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
+    }
+    report.emit().expect("write BENCH_fingerprint_query.json");
+}

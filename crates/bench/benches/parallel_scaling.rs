@@ -23,6 +23,7 @@
 
 use std::time::Instant;
 
+use caltrain_bench::report::BenchReport;
 use caltrain_core::hubs::{HubCluster, RoundOutcome};
 use caltrain_core::participant::Participant;
 use caltrain_core::partition::Partition;
@@ -68,7 +69,7 @@ fn makespan(job_secs: &[f64], workers: usize) -> f64 {
     loads.into_iter().fold(0.0, f64::max)
 }
 
-fn bench_hub_round() {
+fn bench_hub_round(report: &mut BenchReport) {
     println!("== 4-hub federated round (1 local epoch) ==");
     // Untimed warmup so the workers=1 baseline doesn't absorb one-time
     // costs (page faults, allocator growth, cache fill) that would
@@ -101,6 +102,8 @@ fn bench_hub_round() {
              host {host_secs:.2}s ({host_speedup:.2}x)",
             sequential_cluster_secs, cluster_secs,
         );
+        report.metric(&format!("hub_round_cluster_speedup_w{workers}"), cluster_speedup);
+        report.metric(&format!("hub_round_host_secs_w{workers}"), host_secs);
         if workers == 4 {
             assert!(
                 cluster_speedup >= 1.5,
@@ -145,7 +148,7 @@ fn provision(server: &mut TrainingServer, p: &Participant) {
     server.finish_provisioning(chan, &client_pub, &record).expect("finish provisioning");
 }
 
-fn bench_ingest() {
+fn bench_ingest(report: &mut BenchReport) {
     println!("== sealed-batch ingestion (64 batches, GCM verify + decrypt) ==");
     let (data, _) = synthcifar::generate(512, 10, 7);
     let batches: Vec<SealedBatch> = {
@@ -165,6 +168,7 @@ fn bench_ingest() {
         let start = Instant::now();
         let stats = server.ingest(&batches);
         let host_secs = start.elapsed().as_secs_f64();
+        report.metric(&format!("ingest_host_secs_w{workers}"), host_secs);
 
         match (&base_host, &base_stats) {
             (Some(base), Some(expected)) => {
@@ -187,7 +191,7 @@ fn bench_ingest() {
     }
 }
 
-fn bench_linkage_scan() {
+fn bench_linkage_scan(report: &mut BenchReport) {
     println!("== linkage-db full scan (50k records, k=10) ==");
     let mut db = LinkageDb::new();
     for i in 0..50_000usize {
@@ -211,6 +215,7 @@ fn bench_linkage_scan() {
             hits = db.query_all_classes(&probe, 10);
         }
         let host_secs = start.elapsed().as_secs_f64();
+        report.metric(&format!("linkage_scan_host_secs_w{workers}"), host_secs);
         match (&base_host, &base_hits) {
             (Some(base), Some(expected)) => {
                 assert_eq!(expected, &hits, "hits must not depend on workers");
@@ -261,9 +266,12 @@ fn assert_pool_concurrency() {
 }
 
 fn main() {
+    let mut report = BenchReport::new("parallel_scaling");
     assert_pool_concurrency();
-    bench_hub_round();
-    bench_ingest();
-    bench_linkage_scan();
+    bench_hub_round(&mut report);
+    bench_ingest(&mut report);
+    bench_linkage_scan(&mut report);
+    report.flag("determinism_held", true);
+    report.emit().expect("write BENCH_parallel_scaling.json");
     println!("parallel_scaling: all determinism assertions held.");
 }

@@ -4,7 +4,7 @@
 
 use caltrain_nn::{zoo, Hyper, KernelMode};
 use caltrain_tensor::Tensor;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_training(c: &mut Criterion) {
@@ -28,4 +28,12 @@ fn bench_training(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_training);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let mut report = caltrain_bench::report::BenchReport::new("training_step");
+    for s in criterion::take_samples() {
+        report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
+    }
+    report.emit().expect("write BENCH_training_step.json");
+}

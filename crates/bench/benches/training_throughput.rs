@@ -1,0 +1,225 @@
+//! Training-throughput gate for the zero-allocation, batch-parallel
+//! layer kernels: steps/sec and per-step heap-allocation counts for
+//!
+//! * the **reference path** — buffer reuse disabled, i.e. the historical
+//!   allocate-per-step behaviour, retained exactly for this comparison;
+//! * the **reused path** — scratch arenas warm, single worker;
+//! * the **parallel path** — scratch arenas warm, 4 workers.
+//!
+//! All three train the same zoo model on the same batches; the bench
+//! asserts their final weights are bit-identical (the worker-count and
+//! reuse-knob invariants), then reports throughput and the modeled
+//! cluster speedup, and writes `BENCH_training.json` so the perf
+//! trajectory is tracked across PRs.
+//!
+//! Run modes:
+//! * `cargo bench --bench training_throughput` — full run; also asserts
+//!   the reused path is ≥ 1.15× the reference path in steps/sec.
+//! * `… -- --smoke` — a few steps only: exercises every path, checks
+//!   determinism and the JSON emitter, skips the wall-clock-dependent
+//!   speedup gate (CI runs this).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use caltrain_bench::report::BenchReport;
+use caltrain_bench::Args;
+use caltrain_nn::{zoo, Hyper, KernelMode, Network, Parallelism};
+use caltrain_tensor::Tensor;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+const BATCH: usize = 16;
+const WARMUP_STEPS: usize = 3;
+
+fn training_batches(batches: usize) -> Vec<(Tensor, Vec<usize>)> {
+    (0..batches)
+        .map(|b| {
+            let images = Tensor::from_fn(&[BATCH, 3, 28, 28], |i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(b as u64 * 97)) % 251) as f32
+                    / 125.0
+                    - 1.0
+            });
+            let labels = (0..BATCH).map(|s| (s * 7 + b) % 10).collect();
+            (images, labels)
+        })
+        .collect()
+}
+
+struct RunStats {
+    steps_per_sec: f64,
+    allocs_per_step: f64,
+    mbytes_per_step: f64,
+    params: Vec<Vec<f32>>,
+    losses: Vec<u32>,
+}
+
+/// Trains a fresh copy of the zoo model for `WARMUP_STEPS + steps`
+/// batches; measures wall-clock and allocator traffic over the last
+/// `steps` only (steady state).
+fn run(label: &str, scale: usize, reuse: bool, workers: usize, steps: usize) -> RunStats {
+    let mut net: Network = zoo::cifar10_10layer_scaled(scale, 42).expect("fixed architecture");
+    net.set_buffer_reuse(reuse);
+    net.set_parallelism(Parallelism::new(workers));
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+    let data = training_batches(4);
+
+    let mut losses = Vec::with_capacity(WARMUP_STEPS + steps);
+    for step in 0..WARMUP_STEPS {
+        let (images, labels) = &data[step % data.len()];
+        let (loss, _) = net.train_batch(images, labels, &hyper, KernelMode::Native).unwrap();
+        losses.push(loss.to_bits());
+    }
+
+    let alloc_start = ALLOCS.load(Ordering::Relaxed);
+    let bytes_start = BYTES.load(Ordering::Relaxed);
+    let clock = Instant::now();
+    for step in WARMUP_STEPS..WARMUP_STEPS + steps {
+        let (images, labels) = &data[step % data.len()];
+        let (loss, _) = net.train_batch(images, labels, &hyper, KernelMode::Native).unwrap();
+        losses.push(loss.to_bits());
+    }
+    let secs = clock.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
+    let bytes = BYTES.load(Ordering::Relaxed) - bytes_start;
+
+    let stats = RunStats {
+        steps_per_sec: steps as f64 / secs,
+        allocs_per_step: allocs as f64 / steps as f64,
+        mbytes_per_step: bytes as f64 / steps as f64 / (1024.0 * 1024.0),
+        params: net.export_params(),
+        losses,
+    };
+    println!(
+        "{label:<22} {:>8.2} steps/s  {:>9.1} allocs/step  {:>8.2} MiB/step",
+        stats.steps_per_sec, stats.allocs_per_step, stats.mbytes_per_step
+    );
+    stats
+}
+
+/// Modeled cluster speedup of the static per-sample partition: `n`
+/// equal-cost samples over `w` workers finish in `ceil(n/w)` sample
+/// times (the same list-scheduling model `parallel_scaling` uses).
+fn modeled_speedup(n: usize, w: usize) -> f64 {
+    n as f64 / (n as f64 / w as f64).ceil()
+}
+
+fn main() {
+    let args = Args::parse();
+    let smoke = args.flag("smoke");
+    let steps = args.get("steps", if smoke { 3 } else { 30 });
+    let scale = args.get("scale", 16usize);
+    println!(
+        "== training throughput: 10-layer zoo @ scale {scale}, batch {BATCH}, {steps} steps\
+         {} ==",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    let reference = run("reference (no reuse)", scale, false, 1, steps);
+    let reused = run("reused scratch, w=1", scale, true, 1, steps);
+    let parallel = run("reused scratch, w=4", scale, true, 4, steps);
+
+    // Determinism gates: the reuse knob and the worker count must not
+    // change one bit of the training trajectory.
+    assert_eq!(
+        reference.losses, reused.losses,
+        "reference vs reused: losses must be bit-identical"
+    );
+    assert_eq!(
+        reference.params, reused.params,
+        "reference vs reused: weights must be bit-identical"
+    );
+    assert_eq!(
+        reused.losses, parallel.losses,
+        "1 vs 4 workers: losses must be bit-identical"
+    );
+    assert_eq!(
+        reused.params, parallel.params,
+        "1 vs 4 workers: weights must be bit-identical"
+    );
+    println!("determinism: reference == reused == 4-worker weights, bitwise");
+
+    let speedup = reused.steps_per_sec / reference.steps_per_sec;
+    let measured_w4 = parallel.steps_per_sec / reused.steps_per_sec;
+    let cluster = modeled_speedup(BATCH, 4);
+    println!(
+        "headline: reuse speedup {speedup:.2}x (gate >= 1.15x, {}); \
+         4 workers measured {measured_w4:.2}x host wall-clock \
+         (modeled {cluster:.2}x on a 4-core cluster — a static-partition \
+         model, not a measurement; 1-core hosts stay ~1x by physics)",
+        if smoke { "skipped in smoke" } else { "enforced" }
+    );
+
+    let mut report = BenchReport::new("training");
+    report
+        .text("model", &format!("cifar10_10layer_scaled({scale})"))
+        .int("batch", BATCH as u64)
+        .int("steps", steps as u64)
+        .flag("smoke", smoke)
+        .metric("steps_per_sec_reference", reference.steps_per_sec)
+        .metric("steps_per_sec_reused", reused.steps_per_sec)
+        .metric("steps_per_sec_workers4", parallel.steps_per_sec)
+        .metric("reuse_speedup", speedup)
+        .metric("measured_w4_ratio", measured_w4)
+        .metric("allocs_per_step_reference", reference.allocs_per_step)
+        .metric("allocs_per_step_reused", reused.allocs_per_step)
+        .metric("mbytes_per_step_reference", reference.mbytes_per_step)
+        .metric("mbytes_per_step_reused", reused.mbytes_per_step)
+        .metric("modeled_cluster_speedup_w4", cluster)
+        .flag("deterministic", true);
+    report.emit().expect("write BENCH_training.json");
+
+    // The reused path's steady-state allocations are layer outputs and
+    // step bookkeeping only — a small constant, orders of magnitude
+    // below the reference path's per-step buffer churn.
+    assert!(
+        reused.allocs_per_step < reference.allocs_per_step,
+        "scratch reuse must strictly reduce per-step allocations \
+         ({:.1} vs {:.1})",
+        reused.allocs_per_step,
+        reference.allocs_per_step
+    );
+    assert!(
+        reused.allocs_per_step <= 128.0,
+        "steady-state step performed {:.1} allocations — scratch reuse regressed",
+        reused.allocs_per_step
+    );
+    if !smoke {
+        assert!(
+            speedup >= 1.15,
+            "reused path must be >= 1.15x the no-reuse reference, got {speedup:.2}x"
+        );
+    }
+    println!("training_throughput: all gates held.");
+}

@@ -67,6 +67,175 @@ pub fn pct(x: f32) -> String {
     format!("{:.2}%", x * 100.0)
 }
 
+pub mod report {
+    //! Machine-readable benchmark output: every bench target emits one
+    //! JSON line to stdout *and* writes it to `BENCH_<name>.json` at the
+    //! workspace root, so successive PRs can diff the perf trajectory
+    //! instead of eyeballing human tables.
+    //!
+    //! Hand-rolled writer — the workspace has a zero-third-party-crate
+    //! budget, and the value grammar here (numbers, strings, booleans,
+    //! one flat object plus an optional `samples` array) doesn't need
+    //! serde.
+
+    use std::io::Write;
+    use std::path::PathBuf;
+
+    /// Builder for one bench's JSON line / `BENCH_<name>.json` file.
+    #[derive(Debug, Clone)]
+    pub struct BenchReport {
+        bench: String,
+        fields: Vec<(String, String)>, // key -> pre-rendered JSON value
+        samples: Vec<String>,          // pre-rendered sample objects
+    }
+
+    fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for ch in s.chars() {
+            match ch {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+
+    fn render_f64(v: f64) -> String {
+        // JSON has no NaN/Infinity; null keeps the line parseable and
+        // makes the breakage visible in a diff.
+        if v.is_finite() { format!("{v}") } else { "null".to_string() }
+    }
+
+    impl BenchReport {
+        /// Starts a report for the bench target `bench` (used as the
+        /// `BENCH_<bench>.json` filename).
+        pub fn new(bench: &str) -> Self {
+            BenchReport { bench: bench.to_string(), fields: Vec::new(), samples: Vec::new() }
+        }
+
+        /// Records a floating-point metric.
+        pub fn metric(&mut self, key: &str, value: f64) -> &mut Self {
+            self.fields.push((key.to_string(), render_f64(value)));
+            self
+        }
+
+        /// Records an integer metric.
+        pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Records a string annotation.
+        pub fn text(&mut self, key: &str, value: &str) -> &mut Self {
+            self.fields.push((key.to_string(), format!("\"{}\"", escape(value))));
+            self
+        }
+
+        /// Records a boolean flag.
+        pub fn flag(&mut self, key: &str, value: bool) -> &mut Self {
+            self.fields.push((key.to_string(), value.to_string()));
+            self
+        }
+
+        /// Appends one timing sample (the criterion-shim measurements).
+        pub fn sample(
+            &mut self,
+            name: &str,
+            mean_secs: f64,
+            min_secs: f64,
+            max_secs: f64,
+        ) -> &mut Self {
+            self.samples.push(format!(
+                "{{\"name\":\"{}\",\"mean_secs\":{},\"min_secs\":{},\"max_secs\":{}}}",
+                escape(name),
+                render_f64(mean_secs),
+                render_f64(min_secs),
+                render_f64(max_secs)
+            ));
+            self
+        }
+
+        /// Renders the single-line JSON document.
+        pub fn render(&self) -> String {
+            let mut out = format!("{{\"bench\":\"{}\"", escape(&self.bench));
+            for (k, v) in &self.fields {
+                out.push_str(&format!(",\"{}\":{v}", escape(k)));
+            }
+            if !self.samples.is_empty() {
+                out.push_str(",\"samples\":[");
+                out.push_str(&self.samples.join(","));
+                out.push(']');
+            }
+            out.push('}');
+            out
+        }
+
+        /// Prints the JSON line (prefixed so log scrapers can grep it)
+        /// and writes `BENCH_<bench>.json`; returns the file path.
+        ///
+        /// The output directory is the workspace root, overridable with
+        /// `CALTRAIN_BENCH_DIR` (CI sandboxes, comparisons side by side).
+        ///
+        /// # Errors
+        ///
+        /// Propagates filesystem errors from the JSON file write.
+        pub fn emit(&self) -> std::io::Result<PathBuf> {
+            let line = self.render();
+            println!("BENCH_JSON {line}");
+            let dir = std::env::var_os("CALTRAIN_BENCH_DIR").map(PathBuf::from).unwrap_or_else(
+                || {
+                    // crates/bench/../.. == workspace root.
+                    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+                },
+            );
+            let path = dir.join(format!("BENCH_{}.json", self.bench));
+            let mut file = std::fs::File::create(&path)?;
+            writeln!(file, "{line}")?;
+            Ok(path)
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn renders_flat_json() {
+            let mut r = BenchReport::new("demo");
+            r.metric("steps_per_sec", 12.5)
+                .int("steps", 40)
+                .flag("deterministic", true)
+                .text("mode", "smoke");
+            assert_eq!(
+                r.render(),
+                "{\"bench\":\"demo\",\"steps_per_sec\":12.5,\"steps\":40,\
+                 \"deterministic\":true,\"mode\":\"smoke\"}"
+            );
+        }
+
+        #[test]
+        fn renders_samples_array_and_escapes() {
+            let mut r = BenchReport::new("kernels");
+            r.sample("gemm/strict \"hot\"", 0.5, 0.25, 1.0);
+            let line = r.render();
+            assert!(line.contains("\"samples\":[{\"name\":\"gemm/strict \\\"hot\\\"\""));
+            assert!(line.ends_with("]}"));
+        }
+
+        #[test]
+        fn non_finite_metrics_become_null() {
+            let mut r = BenchReport::new("x");
+            r.metric("bad", f64::NAN);
+            assert!(r.render().contains("\"bad\":null"));
+        }
+    }
+}
+
 /// Prints a horizontal rule sized to `width`.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));

@@ -1,14 +1,35 @@
 //! 2-D convolution, lowered to GEMM via im2col exactly as Darknet does.
+//!
+//! This is the training hot path: the per-sample loop is fanned across
+//! `caltrain-runtime` workers with statically partitioned sample ranges,
+//! and every working buffer (im2col columns, column deltas, per-sample
+//! gradient staging, batch-norm caches) lives in grow-only [`Scratch`]
+//! arenas owned by the layer. Two invariants hold by construction:
+//!
+//! 1. **Worker count never changes results.** Sample partitioning is
+//!    static, each sample's arithmetic is independent, and weight/bias
+//!    gradients are reduced in fixed ascending-sample order on the
+//!    calling thread — bit-identical at `CALTRAIN_WORKERS=1` and `=8`.
+//! 2. **Steady-state training allocates nothing in this file.** After a
+//!    warm-up step the only heap traffic per call is the output tensor
+//!    itself (pinned by the `alloc_steady_state` integration test).
 
+use caltrain_runtime::{chunk_ranges, par_map_mut, Parallelism};
 use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops};
-use caltrain_tensor::im2col::{col2im, conv_out_extent, im2col};
-use caltrain_tensor::{Shape, Tensor};
+use caltrain_tensor::im2col::{col2im, conv_out_extent, im2col, im2col_transposed};
+use caltrain_tensor::{Scratch, Shape, Tensor};
 use rand::Rng;
 
 use crate::init;
 use crate::layers::{batch_size, Activation, Layer, LayerDescriptor, LayerKind};
 use crate::network::{Hyper, KernelMode};
 use crate::NnError;
+
+/// Minimum whole-batch forward FLOPs before the per-sample loop fans
+/// out across workers. Below this the scoped-thread spawn costs more
+/// than the GEMMs; the unit-test-sized networks stay inline while every
+/// zoo-scale model crosses the threshold.
+const PAR_MIN_BATCH_FLOPS: u64 = 1 << 20;
 
 /// A convolutional layer: `filters` kernels of `size × size` over the
 /// input channels, with stride and zero padding, followed by an
@@ -36,7 +57,7 @@ pub struct Conv2d {
     /// Inference-time statistics (exponential moving averages).
     rolling_mean: Vec<f32>,
     rolling_var: Vec<f32>,
-    /// Caches for backward.
+    /// Caches for backward (persistent, rewritten in place each step).
     last_input: Vec<f32>,
     last_batch: usize,
     pre_activation: Vec<f32>,
@@ -45,6 +66,52 @@ pub struct Conv2d {
     bn_xhat: Vec<f32>,
     bn_mean: Vec<f32>,
     bn_var: Vec<f32>,
+    /// Worker budget for the per-sample loops (never changes results).
+    parallelism: Parallelism,
+    /// `false` restores the historical allocation-per-step path (bench
+    /// reference baseline only).
+    reuse_buffers: bool,
+    /// Layer-level transient workspace (`delta_act`).
+    scratch: Scratch,
+    /// One workspace per parallel sample-range job (`cols`, `col_delta`,
+    /// per-sample `dw`/`db` staging). Index 0 doubles as the sequential
+    /// workspace. Cloning a [`Scratch`] empties it, so snapshots stay
+    /// cheap.
+    workers: Vec<Scratch>,
+}
+
+/// Folds one job's staged per-sample weight/bias gradients into the
+/// layer accumulators, in ascending sample order.
+///
+/// Every sample's `dw`/`db` slice was filled from zero inside the job;
+/// this fold is the single cross-sample summation point, so calling it
+/// job-by-job in range order makes the result independent of how many
+/// jobs (workers) produced the staging buffers.
+#[allow(clippy::too_many_arguments)]
+fn reduce_staged(
+    ws: &mut Scratch,
+    span: usize,
+    dw_len: usize,
+    filters: usize,
+    batch_norm: bool,
+    weight_updates: &mut [f32],
+    bias_updates: &mut [f32],
+) {
+    let dw = ws.take("dw", span * dw_len);
+    let db = ws.take("db", span * filters);
+    for local in 0..span {
+        let dw_slice = &dw[local * dw_len..(local + 1) * dw_len];
+        for (wu, g) in weight_updates.iter_mut().zip(dw_slice) {
+            *wu += g;
+        }
+        if !batch_norm {
+            for f in 0..filters {
+                bias_updates[f] += db[local * filters + f];
+            }
+        }
+    }
+    ws.put_back("dw", dw);
+    ws.put_back("db", db);
 }
 
 /// Numerical floor inside the BN square root.
@@ -131,7 +198,160 @@ impl Conv2d {
             bn_xhat: Vec::new(),
             bn_mean: Vec::new(),
             bn_var: Vec::new(),
+            // The PR-2 convention: sequential unless CALTRAIN_WORKERS
+            // says otherwise. Callers that already own worker threads
+            // (hub trainers on a small host) should scope the budget via
+            // Network::set_parallelism to avoid nested oversubscription.
+            parallelism: Parallelism::default(),
+            reuse_buffers: true,
+            scratch: Scratch::new(),
+            workers: Vec::new(),
         }
+    }
+
+    /// How many statically partitioned sample-range jobs a batch of `n`
+    /// should fan into: 1 (inline, no threads) unless the worker knob,
+    /// the batch size and the FLOP volume all justify spawning.
+    fn parallel_jobs(&self, n: usize) -> usize {
+        let workers = self.parallelism.workers();
+        if workers <= 1 || n < 2 {
+            return 1;
+        }
+        if n as u64 * self.flops_per_sample() < PAR_MIN_BATCH_FLOPS {
+            return 1;
+        }
+        workers.min(n)
+    }
+
+    /// Grows the per-job workspace pool to `count` arenas (grow-only —
+    /// shrinking would throw away warm buffers).
+    fn ensure_workers(&mut self, count: usize) {
+        while self.workers.len() < count {
+            self.workers.push(Scratch::new());
+        }
+    }
+
+    /// Drops every reusable buffer — the no-reuse reference path pays
+    /// the historical allocation (and page-fault) bill on each step.
+    fn release_workspaces(&mut self) {
+        self.scratch.release();
+        self.workers.clear();
+        self.workers.shrink_to_fit();
+    }
+
+    /// The historical (pre-optimization) forward: sequential per-sample
+    /// loop, fresh buffers every call. Retained verbatim as the
+    /// reference baseline the `training_throughput` bench compares
+    /// against; arithmetic is identical to the optimized path.
+    fn forward_reference(
+        &mut self,
+        input: &Tensor,
+        mode: KernelMode,
+        train: bool,
+    ) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, input, &self.input_shape)?;
+        let (c, h, w, oh, ow, ckk, ohw) = self.geometry();
+        let gemm = mode.gemm();
+        self.release_workspaces();
+        self.bn_mean = Vec::new();
+        self.bn_var = Vec::new();
+        self.bn_xhat = Vec::new();
+
+        self.last_input = input.as_slice().to_vec();
+        self.last_batch = n;
+        let mut output = Tensor::zeros(&[n, self.filters, oh, ow]);
+        let mut cols = vec![0.0f32; ckk * ohw];
+
+        let in_stride = c * h * w;
+        let out_stride = self.filters * ohw;
+        for s in 0..n {
+            let in_slice = &input.as_slice()[s * in_stride..(s + 1) * in_stride];
+            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
+            let out_slice = &mut output.as_mut_slice()[s * out_stride..(s + 1) * out_stride];
+            gemm(self.filters, ohw, ckk, &self.weights, &cols, out_slice);
+        }
+
+        if self.batch_norm {
+            self.bn_raw = output.as_slice().to_vec();
+            self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
+        } else {
+            let out = output.as_mut_slice();
+            for s in 0..n {
+                let out_slice = &mut out[s * out_stride..(s + 1) * out_stride];
+                for f in 0..self.filters {
+                    let bias = self.biases[f];
+                    for v in &mut out_slice[f * ohw..(f + 1) * ohw] {
+                        *v += bias;
+                    }
+                }
+            }
+        }
+
+        self.pre_activation = output.as_slice().to_vec();
+        let act = self.activation;
+        for v in output.as_mut_slice() {
+            *v = act.apply(*v);
+        }
+
+        let flops = n as u64 * self.flops_per_sample();
+        Ok((output, flops))
+    }
+
+    /// The historical backward: sequential, allocation-per-call, plain
+    /// dot-product weight-gradient kernel (`gemm_a_bt`), mode ignored —
+    /// exactly the code this PR replaced. See [`Conv2d::forward_reference`].
+    fn backward_reference(&mut self, delta: &Tensor, mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        let n = batch_size(usize::MAX, delta, &self.output_shape)?;
+        if n != self.last_batch {
+            return Err(NnError::BadTargets("backward batch differs from forward"));
+        }
+        let (c, h, w, _oh, _ow, ckk, ohw) = self.geometry();
+        let _ = mode;
+
+        // δ ⊙ act'(pre-activation).
+        let mut delta_act = delta.as_slice().to_vec();
+        let act = self.activation;
+        for (d, &z) in delta_act.iter_mut().zip(&self.pre_activation) {
+            *d *= act.gradient(z);
+        }
+
+        if self.batch_norm {
+            self.backward_batch_norm(&mut delta_act, n, ohw);
+        }
+
+        let in_stride = c * h * w;
+        let out_stride = self.filters * ohw;
+        let mut input_delta = Tensor::zeros(&[n, c, h, w]);
+        let mut cols = vec![0.0f32; ckk * ohw];
+        let mut col_delta = vec![0.0f32; ckk * ohw];
+
+        for s in 0..n {
+            let d_slice = &delta_act[s * out_stride..(s + 1) * out_stride];
+
+            if !self.batch_norm {
+                for f in 0..self.filters {
+                    let mut acc = 0.0f32;
+                    for &v in &d_slice[f * ohw..(f + 1) * ohw] {
+                        acc += v;
+                    }
+                    self.bias_updates[f] += acc;
+                }
+            }
+
+            // Weight gradient: δ · colsᵀ (re-derive cols as Darknet does).
+            let in_slice = &self.last_input[s * in_stride..(s + 1) * in_stride];
+            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
+            gemm_a_bt(self.filters, ckk, ohw, d_slice, &cols, &mut self.weight_updates);
+
+            // Input delta: Wᵀ · δ, scattered back through col2im.
+            col_delta.fill(0.0);
+            gemm_at_b(ckk, ohw, self.filters, &self.weights, d_slice, &mut col_delta);
+            let id_slice = &mut input_delta.as_mut_slice()[s * in_stride..(s + 1) * in_stride];
+            col2im(&col_delta, c, h, w, self.size, self.stride, self.pad, id_slice);
+        }
+
+        let flops = 2 * n as u64 * self.flops_per_sample();
+        Ok((input_delta, flops))
     }
 
     fn geometry(&self) -> (usize, usize, usize, usize, usize, usize, usize) {
@@ -146,8 +366,10 @@ impl Conv2d {
         let f_count = self.filters;
         let m = (n * ohw) as f32;
         if train {
-            self.bn_mean = vec![0.0; f_count];
-            self.bn_var = vec![0.0; f_count];
+            self.bn_mean.resize(f_count, 0.0);
+            self.bn_mean.fill(0.0);
+            self.bn_var.resize(f_count, 0.0);
+            self.bn_var.fill(0.0);
             for f in 0..f_count {
                 let mut acc = 0.0f32;
                 for s in 0..n {
@@ -175,7 +397,9 @@ impl Conv2d {
                 self.rolling_var[f] =
                     BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * self.bn_var[f];
             }
-            self.bn_xhat = vec![0.0; out.len()];
+            // Resized, not re-allocated: every element is overwritten by
+            // the loop below.
+            self.bn_xhat.resize(out.len(), 0.0);
             for f in 0..f_count {
                 let mean = self.bn_mean[f];
                 let inv_std = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
@@ -279,41 +503,80 @@ impl Layer for Conv2d {
         mode: KernelMode,
         train: bool,
     ) -> Result<(Tensor, u64), NnError> {
+        if !self.reuse_buffers {
+            return self.forward_reference(input, mode, train);
+        }
         let n = batch_size(usize::MAX, input, &self.input_shape)?;
         let (c, h, w, oh, ow, ckk, ohw) = self.geometry();
         let gemm = mode.gemm();
 
-        self.last_input = input.as_slice().to_vec();
+        self.last_input.clear();
+        self.last_input.extend_from_slice(input.as_slice());
         self.last_batch = n;
         let mut output = Tensor::zeros(&[n, self.filters, oh, ow]);
-        let mut cols = vec![0.0f32; ckk * ohw];
 
         let in_stride = c * h * w;
         let out_stride = self.filters * ohw;
-        for s in 0..n {
-            let in_slice = &input.as_slice()[s * in_stride..(s + 1) * in_stride];
-            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
-            let out_slice = &mut output.as_mut_slice()[s * out_stride..(s + 1) * out_stride];
-            gemm(self.filters, ohw, ckk, &self.weights, &cols, out_slice);
-        }
+        let (size, stride, pad, filters) = (self.size, self.stride, self.pad, self.filters);
+        let jobs = self.parallel_jobs(n);
+        self.ensure_workers(jobs.max(1));
+        let batch_norm = self.batch_norm;
+        let weights = &self.weights;
+        let biases = &self.biases;
+        let in_data = input.as_slice();
 
-        if self.batch_norm {
-            self.bn_raw = output.as_slice().to_vec();
-            self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
-        } else {
-            let out = output.as_mut_slice();
-            for s in 0..n {
-                let out_slice = &mut out[s * out_stride..(s + 1) * out_stride];
-                for f in 0..self.filters {
-                    let bias = self.biases[f];
-                    for v in &mut out_slice[f * ohw..(f + 1) * ohw] {
-                        *v += bias;
+        // One job = one contiguous sample range + one scratch arena.
+        // Each sample's GEMM writes a disjoint output slice and the
+        // kernels fix the addition order, so the job count (and hence
+        // the worker count) cannot affect a single output bit.
+        let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
+            let cols = ws.slot("cols", ckk * ohw);
+            for (local, s) in range.enumerate() {
+                let in_slice = &in_data[s * in_stride..(s + 1) * in_stride];
+                im2col(in_slice, c, h, w, size, stride, pad, cols);
+                let out_slice = &mut out_chunk[local * out_stride..(local + 1) * out_stride];
+                gemm(filters, ohw, ckk, weights, cols, out_slice);
+                if !batch_norm {
+                    for f in 0..filters {
+                        let bias = biases[f];
+                        for v in &mut out_slice[f * ohw..(f + 1) * ohw] {
+                            *v += bias;
+                        }
                     }
                 }
             }
+        };
+        if jobs <= 1 {
+            run_range(&mut self.workers[0], 0..n, output.as_mut_slice());
+        } else {
+            struct FwdJob<'a> {
+                range: std::ops::Range<usize>,
+                out: &'a mut [f32],
+                ws: &'a mut Scratch,
+            }
+            let ranges = chunk_ranges(n, jobs);
+            let mut job_list = Vec::with_capacity(ranges.len());
+            let mut out_rest = output.as_mut_slice();
+            let mut ws_iter = self.workers.iter_mut();
+            for range in ranges {
+                let (out_chunk, rest) = out_rest.split_at_mut(range.len() * out_stride);
+                out_rest = rest;
+                let ws = ws_iter.next().expect("ensure_workers sized the pool");
+                job_list.push(FwdJob { range, out: out_chunk, ws });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.ws, job.range.clone(), job.out);
+            });
         }
 
-        self.pre_activation = output.as_slice().to_vec();
+        if self.batch_norm {
+            self.bn_raw.clear();
+            self.bn_raw.extend_from_slice(output.as_slice());
+            self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
+        }
+
+        self.pre_activation.clear();
+        self.pre_activation.extend_from_slice(output.as_slice());
         let act = self.activation;
         for v in output.as_mut_slice() {
             *v = act.apply(*v);
@@ -324,18 +587,29 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, delta: &Tensor, mode: KernelMode) -> Result<(Tensor, u64), NnError> {
+        if !self.reuse_buffers {
+            return self.backward_reference(delta, mode);
+        }
         let n = batch_size(usize::MAX, delta, &self.output_shape)?;
         if n != self.last_batch {
             return Err(NnError::BadTargets("backward batch differs from forward"));
         }
         let (c, h, w, _oh, _ow, ckk, ohw) = self.geometry();
-        let _ = mode;
+        // Weight gradients run as a *standard* GEMM against the
+        // transposed column matrix (`dW += δ · colsT`): identical
+        // multiply/add sequence to the historical `gemm_a_bt` dot form,
+        // but with contiguous B rows the vectoriser can chew through.
+        let gemm = mode.gemm();
+        let gemm_at_b = mode.gemm_at_b();
 
-        // δ ⊙ act'(pre-activation).
-        let mut delta_act = delta.as_slice().to_vec();
+        // δ ⊙ act'(pre-activation), staged in the layer arena. Taken out
+        // (not borrowed) so the per-job arenas can be borrowed alongside.
+        let mut delta_act = self.scratch.take("delta_act", delta.volume());
         let act = self.activation;
-        for (d, &z) in delta_act.iter_mut().zip(&self.pre_activation) {
-            *d *= act.gradient(z);
+        for ((d, &v), &z) in
+            delta_act.iter_mut().zip(delta.as_slice()).zip(&self.pre_activation)
+        {
+            *d = v * act.gradient(z);
         }
 
         if self.batch_norm {
@@ -346,37 +620,115 @@ impl Layer for Conv2d {
 
         let in_stride = c * h * w;
         let out_stride = self.filters * ohw;
+        let dw_len = self.filters * ckk;
         let mut input_delta = Tensor::zeros(&[n, c, h, w]);
-        let mut cols = vec![0.0f32; ckk * ohw];
-        let mut col_delta = vec![0.0f32; ckk * ohw];
 
-        for s in 0..n {
-            let d_slice = &delta_act[s * out_stride..(s + 1) * out_stride];
+        let jobs = self.parallel_jobs(n);
+        self.ensure_workers(jobs.max(1));
+        let (size, stride, pad, filters) = (self.size, self.stride, self.pad, self.filters);
+        let batch_norm = self.batch_norm;
+        let weights = &self.weights;
+        let last_input = &self.last_input;
+        let delta_act_ref = &delta_act;
 
-            // Bias gradient: sum of deltas per filter (BN layers fold the
-            // shift into β, already handled above).
-            if !self.batch_norm {
-                for f in 0..self.filters {
-                    let mut acc = 0.0f32;
-                    for &v in &d_slice[f * ohw..(f + 1) * ohw] {
-                        acc += v;
+        // Per-sample work: im2col, the two GEMMs, col2im. Weight/bias
+        // gradients are *staged per sample* (`dw`/`db` slices zeroed and
+        // filled from scratch), never accumulated inside the job — the
+        // fixed-sample-order reduction below is what keeps the gradient
+        // bits independent of the worker count.
+        let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, id_chunk: &mut [f32]| {
+            let span = range.len();
+            let mut cols_t = ws.take("cols_t", ckk * ohw);
+            let mut col_delta = ws.take("col_delta", ckk * ohw);
+            let mut dw = ws.take("dw", span * dw_len);
+            let mut db = ws.take("db", span * filters);
+            for (local, s) in range.enumerate() {
+                let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
+
+                // Bias gradient staging: per-filter delta sums (BN layers
+                // fold the shift into β, already handled above).
+                if !batch_norm {
+                    for f in 0..filters {
+                        let mut acc = 0.0f32;
+                        for &v in &d_slice[f * ohw..(f + 1) * ohw] {
+                            acc += v;
+                        }
+                        db[local * filters + f] = acc;
                     }
-                    self.bias_updates[f] += acc;
                 }
+
+                // Weight gradient staging: δ · colsᵀ, expressed as the
+                // standard GEMM `δ (filters×ohw) · colsT (ohw×ckk)` into
+                // this sample's zeroed dw slice. Re-derives the columns
+                // (transposed) as Darknet does.
+                let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
+                im2col_transposed(in_slice, c, h, w, size, stride, pad, &mut cols_t);
+                let dw_slice = &mut dw[local * dw_len..(local + 1) * dw_len];
+                dw_slice.fill(0.0);
+                gemm(filters, ckk, ohw, d_slice, &cols_t, dw_slice);
+
+                // Input delta: Wᵀ · δ, scattered back through col2im.
+                col_delta.fill(0.0);
+                gemm_at_b(ckk, ohw, filters, weights, d_slice, &mut col_delta);
+                let id_slice = &mut id_chunk[local * in_stride..(local + 1) * in_stride];
+                col2im(&col_delta, c, h, w, size, stride, pad, id_slice);
             }
+            ws.put_back("cols_t", cols_t);
+            ws.put_back("col_delta", col_delta);
+            ws.put_back("dw", dw);
+            ws.put_back("db", db);
+        };
 
-            // Weight gradient: δ · colsᵀ (re-derive cols as Darknet does).
-            let in_slice = &self.last_input[s * in_stride..(s + 1) * in_stride];
-            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
-            gemm_a_bt(self.filters, ckk, ohw, d_slice, &cols, &mut self.weight_updates);
-
-            // Input delta: Wᵀ · δ, scattered back through col2im.
-            col_delta.fill(0.0);
-            gemm_at_b(ckk, ohw, self.filters, &self.weights, d_slice, &mut col_delta);
-            let id_slice = &mut input_delta.as_mut_slice()[s * in_stride..(s + 1) * in_stride];
-            col2im(&col_delta, c, h, w, self.size, self.stride, self.pad, id_slice);
+        if jobs <= 1 {
+            run_range(&mut self.workers[0], 0..n, input_delta.as_mut_slice());
+            reduce_staged(
+                &mut self.workers[0],
+                n,
+                dw_len,
+                filters,
+                batch_norm,
+                &mut self.weight_updates,
+                &mut self.bias_updates,
+            );
+        } else {
+            struct BwdJob<'a> {
+                range: std::ops::Range<usize>,
+                id: &'a mut [f32],
+                ws: &'a mut Scratch,
+            }
+            let ranges = chunk_ranges(n, jobs);
+            let mut job_list = Vec::with_capacity(ranges.len());
+            let mut id_rest = input_delta.as_mut_slice();
+            let mut ws_iter = self.workers.iter_mut();
+            for range in &ranges {
+                let (id_chunk, rest) = id_rest.split_at_mut(range.len() * in_stride);
+                id_rest = rest;
+                let ws = ws_iter.next().expect("ensure_workers sized the pool");
+                job_list.push(BwdJob { range: range.clone(), id: id_chunk, ws });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.ws, job.range.clone(), job.id);
+            });
+            // Sequential reduction in ascending sample order — the only
+            // place gradients are summed across samples, and therefore
+            // the only ordering that matters for worker-count
+            // invariance. Ranges are contiguous and ascending, so this
+            // fold performs the same additions in the same order as the
+            // single-job path above.
+            for (job, range) in ranges.into_iter().enumerate() {
+                reduce_staged(
+                    &mut self.workers[job],
+                    range.len(),
+                    dw_len,
+                    filters,
+                    batch_norm,
+                    &mut self.weight_updates,
+                    &mut self.bias_updates,
+                );
+            }
         }
 
+        self.scratch.put_back("delta_act", delta_act);
         let flops = 2 * n as u64 * self.flops_per_sample();
         Ok((input_delta, flops))
     }
@@ -461,6 +813,17 @@ impl Layer for Conv2d {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    fn set_buffer_reuse(&mut self, reuse: bool) {
+        self.reuse_buffers = reuse;
+        if !reuse {
+            self.release_workspaces();
+        }
     }
 
     fn take_grads(&mut self) -> Vec<f32> {

@@ -22,6 +22,7 @@ pub struct Dropout {
     rng: StdRng,
     mask: Vec<f32>,
     last_batch: usize,
+    reuse_buffers: bool,
 }
 
 impl Dropout {
@@ -41,6 +42,7 @@ impl Dropout {
             rng: StdRng::seed_from_u64(seed),
             mask: Vec::new(),
             last_batch: 0,
+            reuse_buffers: true,
         }
     }
 
@@ -76,15 +78,16 @@ impl Layer for Dropout {
             return Ok((input.clone(), 0));
         }
         let scale = 1.0 / (1.0 - self.probability);
-        self.mask = (0..input.volume())
-            .map(|_| {
-                if self.rng.gen::<f32>() < self.probability {
-                    0.0
-                } else {
-                    scale
-                }
-            })
-            .collect();
+        if !self.reuse_buffers {
+            // Reference path: pay the historical mask allocation.
+            self.mask = Vec::new();
+        }
+        // Same RNG draw order as the historical collect(), but into the
+        // reused mask buffer — no allocation in steady state.
+        self.mask.resize(input.volume(), 0.0);
+        for m in self.mask.iter_mut() {
+            *m = if self.rng.gen::<f32>() < self.probability { 0.0 } else { scale };
+        }
         let mut output = input.clone();
         for (v, &m) in output.as_mut_slice().iter_mut().zip(&self.mask) {
             *v *= m;
@@ -124,6 +127,13 @@ impl Layer for Dropout {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn set_buffer_reuse(&mut self, reuse: bool) {
+        self.reuse_buffers = reuse;
+        if !reuse {
+            self.mask = Vec::new();
+        }
     }
 }
 

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use caltrain_runtime::Parallelism;
 use caltrain_tensor::{Shape, Tensor};
 
 use crate::network::{Hyper, KernelMode};
@@ -246,6 +247,27 @@ pub trait Layer: fmt::Debug + Send + Sync {
             Err(NnError::BadWeightBlob("layer has no gradient buffers"))
         }
     }
+
+    /// Sets the worker budget for this layer's per-sample loops.
+    ///
+    /// Layers with batch-parallel paths (currently [`Conv2d`]) fan their
+    /// per-sample work across `caltrain-runtime` scoped workers. The
+    /// runtime invariant holds here as everywhere: **worker count never
+    /// changes results** — partitioning is static and gradient
+    /// reductions run in fixed sample order, so weights are bit-identical
+    /// at any setting. Default: no-op for layers with no parallel path.
+    fn set_parallelism(&mut self, _parallelism: Parallelism) {}
+
+    /// Enables (default) or disables reuse of the layer's scratch
+    /// buffers and caches across steps.
+    ///
+    /// With reuse off, every forward/backward re-allocates its working
+    /// buffers — the historical allocation-heavy path. It is retained
+    /// solely as the reference baseline the `training_throughput` bench
+    /// compares against; arithmetic is unchanged, so both settings
+    /// produce bit-identical results. Default: no-op for layers without
+    /// internal buffers.
+    fn set_buffer_reuse(&mut self, _reuse: bool) {}
 }
 
 impl Clone for Box<dyn Layer> {

@@ -15,8 +15,11 @@ pub struct MaxPool {
     size: usize,
     stride: usize,
     /// Flat input index of each output's argmax, for routing deltas back.
+    /// Grow-only: rewritten in place each forward, never re-allocated in
+    /// steady state.
     argmax: Vec<usize>,
     last_batch: usize,
+    reuse_buffers: bool,
 }
 
 impl MaxPool {
@@ -39,6 +42,7 @@ impl MaxPool {
             stride,
             argmax: Vec::new(),
             last_batch: 0,
+            reuse_buffers: true,
         }
     }
 }
@@ -70,7 +74,11 @@ impl Layer for MaxPool {
 
         self.last_batch = n;
         let mut output = Tensor::zeros(&[n, c, oh, ow]);
-        self.argmax = vec![0usize; n * c * oh * ow];
+        if !self.reuse_buffers {
+            self.argmax = Vec::new();
+        }
+        // Every element is overwritten below; resize, don't re-allocate.
+        self.argmax.resize(n * c * oh * ow, 0);
 
         let in_samp = c * h * w;
         let data = input.as_slice();
@@ -141,6 +149,13 @@ impl Layer for MaxPool {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn set_buffer_reuse(&mut self, reuse: bool) {
+        self.reuse_buffers = reuse;
+        if !reuse {
+            self.argmax = Vec::new();
+        }
     }
 }
 

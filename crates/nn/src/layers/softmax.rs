@@ -7,7 +7,7 @@
 //! per-layer table structure of the paper while computing the standard,
 //! numerically stable gradient.
 
-use caltrain_tensor::stats::softmax;
+use caltrain_tensor::stats::softmax_into;
 use caltrain_tensor::{Shape, Tensor};
 
 use crate::layers::{batch_size, Layer, LayerDescriptor, LayerKind};
@@ -58,9 +58,14 @@ impl Layer for SoftmaxLayer {
         self.last_batch = n;
         let classes = self.shape.dim(0);
         let mut output = Tensor::zeros(&[n, classes]);
-        for s in 0..n {
-            let probs = softmax(&input.as_slice()[s * classes..(s + 1) * classes]);
-            output.as_mut_slice()[s * classes..(s + 1) * classes].copy_from_slice(&probs);
+        // Normalise straight into the output rows — the per-sample loop
+        // performs no heap allocation.
+        for (logit_row, out_row) in input
+            .as_slice()
+            .chunks_exact(classes)
+            .zip(output.as_mut_slice().chunks_exact_mut(classes))
+        {
+            softmax_into(logit_row, out_row);
         }
         Ok((output, n as u64 * self.flops_per_sample()))
     }
@@ -99,6 +104,7 @@ pub struct CostLayer {
     last_probs: Vec<f32>,
     last_batch: usize,
     last_loss: Option<f32>,
+    reuse_buffers: bool,
 }
 
 impl CostLayer {
@@ -114,6 +120,7 @@ impl CostLayer {
             last_probs: Vec::new(),
             last_batch: 0,
             last_loss: None,
+            reuse_buffers: true,
         }
     }
 }
@@ -139,7 +146,12 @@ impl Layer for CostLayer {
     ) -> Result<(Tensor, u64), NnError> {
         let n = batch_size(usize::MAX, input, &self.shape)?;
         self.last_batch = n;
-        self.last_probs = input.as_slice().to_vec();
+        if !self.reuse_buffers {
+            // Reference path: pay the historical to_vec allocation.
+            self.last_probs = Vec::new();
+        }
+        self.last_probs.clear();
+        self.last_probs.extend_from_slice(input.as_slice());
         let classes = self.shape.dim(0);
         if self.targets.len() == n {
             let mut loss = 0.0f32;
@@ -200,8 +212,19 @@ impl Layer for CostLayer {
     }
 
     fn set_targets(&mut self, targets: &[usize]) -> Result<(), NnError> {
-        self.targets = targets.to_vec();
+        if !self.reuse_buffers {
+            self.targets = Vec::new();
+        }
+        self.targets.clear();
+        self.targets.extend_from_slice(targets);
         Ok(())
+    }
+
+    fn set_buffer_reuse(&mut self, reuse: bool) {
+        self.reuse_buffers = reuse;
+        if !reuse {
+            self.last_probs = Vec::new();
+        }
     }
 
     fn last_loss(&self) -> Option<f32> {

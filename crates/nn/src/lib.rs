@@ -62,6 +62,7 @@ pub mod metrics;
 pub mod serialize;
 pub mod zoo;
 
+pub use caltrain_runtime::Parallelism;
 pub use error::NnError;
 pub use layers::{Activation, Layer, LayerKind};
-pub use network::{Hyper, KernelMode, Network, NetworkBuilder};
+pub use network::{GemmFn, Hyper, KernelMode, Network, NetworkBuilder};

@@ -2,7 +2,10 @@
 //! training, plus the range-wise forward/backward API that partitioned
 //! (FrontNet/BackNet) training is built on.
 
-use caltrain_tensor::gemm::{gemm_blocked, gemm_strict};
+use caltrain_runtime::Parallelism;
+use caltrain_tensor::gemm::{
+    gemm_a_bt, gemm_a_bt_blocked, gemm_at_b_native, gemm_at_b_strict, gemm_native, gemm_strict,
+};
 use caltrain_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,12 +30,39 @@ pub enum KernelMode {
     Native,
 }
 
+/// The uniform signature of every GEMM kernel: `(m, n, k, a, b, c)`.
+pub type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+
 impl KernelMode {
-    /// The GEMM implementation for this mode.
-    pub fn gemm(self) -> fn(usize, usize, usize, &[f32], &[f32], &mut [f32]) {
+    /// The `C += A·B` kernel for this mode (the forward conv GEMM, and —
+    /// against a transposed column matrix — the weight-gradient GEMM).
+    ///
+    /// Native uses the blocked kernel with size-dispatched packed tiles;
+    /// strict the fixed-order scalar one. All kernels share one
+    /// per-`(i, j)` addition order, so the choice affects speed only.
+    pub fn gemm(self) -> GemmFn {
         match self {
             KernelMode::Strict => gemm_strict,
-            KernelMode::Native => gemm_blocked,
+            KernelMode::Native => gemm_native,
+        }
+    }
+
+    /// The `C += Aᵀ·B` kernel (backward input-delta GEMM).
+    pub fn gemm_at_b(self) -> GemmFn {
+        match self {
+            KernelMode::Strict => gemm_at_b_strict,
+            KernelMode::Native => gemm_at_b_native,
+        }
+    }
+
+    /// The `C += A·Bᵀ` kernel — used only by the retained historical
+    /// reference path (`Network::set_buffer_reuse(false)`); the
+    /// optimized path computes weight gradients with [`KernelMode::gemm`]
+    /// over a transposed column matrix instead.
+    pub fn gemm_a_bt(self) -> GemmFn {
+        match self {
+            KernelMode::Strict => gemm_a_bt,
+            KernelMode::Native => gemm_a_bt_blocked,
         }
     }
 }
@@ -343,6 +373,25 @@ impl Network {
     /// Panics if `index` is out of bounds.
     pub fn add_layer_grads(&mut self, index: usize, grads: &[f32]) -> Result<(), NnError> {
         self.layers[index].add_grads(grads)
+    }
+
+    /// Sets the worker budget for every layer's batch-parallel paths
+    /// (see [`Layer::set_parallelism`]). Results are bit-identical at
+    /// any worker count; this knob trades threads for wall-clock only.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        for layer in &mut self.layers {
+            layer.set_parallelism(parallelism);
+        }
+    }
+
+    /// Toggles scratch-buffer reuse on every layer (see
+    /// [`Layer::set_buffer_reuse`]). `false` restores the historical
+    /// allocation-per-step reference path the throughput bench measures
+    /// against; results are bit-identical either way.
+    pub fn set_buffer_reuse(&mut self, reuse: bool) {
+        for layer in &mut self.layers {
+            layer.set_buffer_reuse(reuse);
+        }
     }
 
     /// Flattened parameters of every layer, in order.

@@ -1,0 +1,173 @@
+//! Steady-state allocation gate: after a warm-up step, the layer hot
+//! loops (conv / pool / softmax / dropout, forward and backward) must
+//! perform **zero** heap allocations beyond constructing the returned
+//! output tensor itself.
+//!
+//! A counting global allocator wraps `System`; every check compares the
+//! allocation count of a warmed layer call against the cost of building
+//! the output tensor alone. The whole gate runs as a single `#[test]`
+//! so no sibling test thread pollutes the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use caltrain_nn::layers::{Conv2d, Dropout, GlobalAvgPool, MaxPool, SoftmaxLayer};
+use caltrain_nn::{Activation, Hyper, KernelMode, Layer, NetworkBuilder, Parallelism};
+use caltrain_tensor::{Shape, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns (allocation count, result).
+fn counted<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+/// Allocation cost of materialising a fresh tensor of `dims` — the one
+/// unavoidable allocation a layer call performs (its return value).
+fn output_tensor_cost(dims: &[usize]) -> usize {
+    let (cost, t) = counted(|| Tensor::zeros(dims));
+    drop(t);
+    cost
+}
+
+fn assert_steady<L: Layer + ?Sized>(
+    name: &str,
+    layer: &mut L,
+    input: &Tensor,
+    delta: &Tensor,
+    train: bool,
+) {
+    // Warm-up: grow every scratch buffer and cache.
+    for _ in 0..2 {
+        let (_out, _) = layer.forward(input, KernelMode::Native, train).unwrap();
+        let _ = layer.backward(delta, KernelMode::Native).unwrap();
+    }
+
+    let fwd_budget = output_tensor_cost(delta.dims());
+    let (fwd_allocs, out) = counted(|| layer.forward(input, KernelMode::Native, train).unwrap());
+    assert_eq!(
+        fwd_allocs, fwd_budget,
+        "{name} forward: hot loop must allocate nothing beyond the output tensor"
+    );
+    drop(out);
+
+    let bwd_budget = output_tensor_cost(input.dims());
+    let (bwd_allocs, back) = counted(|| layer.backward(delta, KernelMode::Native).unwrap());
+    assert_eq!(
+        bwd_allocs, bwd_budget,
+        "{name} backward: hot loop must allocate nothing beyond the input-delta tensor"
+    );
+    drop(back);
+}
+
+#[test]
+fn warm_layer_calls_allocate_only_their_output() {
+    let mut rng = StdRng::seed_from_u64(11);
+    let in_shape = Shape::new(&[3, 12, 12]).unwrap();
+    let input = Tensor::from_fn(&[4, 3, 12, 12], |i| ((i * 29) % 17) as f32 / 8.0 - 1.0);
+
+    // Plain convolution.
+    let mut conv =
+        Conv2d::new(&mut rng, &in_shape, 8, 3, 1, 1, Activation::Leaky);
+    conv.set_parallelism(Parallelism::sequential());
+    let delta = Tensor::from_fn(&[4, 8, 12, 12], |i| (i % 7) as f32 - 3.0);
+    assert_steady("conv", &mut conv, &input, &delta, true);
+
+    // Batch-normalised convolution (exercises the BN caches).
+    let mut conv_bn = Conv2d::with_batch_norm(
+        &mut rng, &in_shape, 8, 3, 1, 1, Activation::Leaky, true,
+    );
+    conv_bn.set_parallelism(Parallelism::sequential());
+    assert_steady("conv+bn", &mut conv_bn, &input, &delta, true);
+
+    // Max pooling (argmax routing buffer).
+    let mut pool = MaxPool::new(&in_shape, 2, 2);
+    let pool_delta = Tensor::from_fn(&[4, 3, 6, 6], |i| (i % 5) as f32 - 2.0);
+    assert_steady("maxpool", &mut pool, &input, &pool_delta, true);
+
+    // Global average pooling.
+    let mut avg = GlobalAvgPool::new(&in_shape);
+    let avg_delta = Tensor::from_fn(&[4, 3], |i| i as f32 - 5.0);
+    assert_steady("avgpool", &mut avg, &input, &avg_delta, true);
+
+    // Softmax over a vector input.
+    let mut softmax = SoftmaxLayer::new(10);
+    let logits = Tensor::from_fn(&[4, 10], |i| (i % 11) as f32 / 3.0 - 1.5);
+    let sm_delta = Tensor::from_fn(&[4, 10], |i| (i % 3) as f32 - 1.0);
+    assert_steady("softmax", &mut softmax, &logits, &sm_delta, false);
+
+    // Dropout in train mode (mask buffer).
+    let mut dropout = Dropout::new(&in_shape, 0.5, 3);
+    let drop_delta = input.clone();
+    assert_steady("dropout", &mut dropout, &input, &drop_delta, true);
+}
+
+#[test]
+fn warm_training_step_allocation_count_is_constant_and_bounded() {
+    // Whole-network gate: a warmed `train_batch` allocates a small,
+    // constant number of times (layer outputs and per-step tensors),
+    // independent of how many steps have run — i.e. no per-step buffer
+    // churn survives anywhere on the training path.
+    let mut net = NetworkBuilder::new(&[3, 12, 12])
+        .conv_bn(8, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(6, 3, 1, 1, Activation::Leaky)
+        .dropout(0.25)
+        .conv(3, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(5)
+        .unwrap();
+    net.set_parallelism(Parallelism::sequential());
+    let images = Tensor::from_fn(&[6, 3, 12, 12], |i| ((i * 13) % 23) as f32 / 11.0 - 1.0);
+    let labels: Vec<usize> = (0..6).map(|s| s % 3).collect();
+    let hyper = Hyper::default();
+
+    for _ in 0..2 {
+        net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+    }
+    let (first, _) =
+        counted(|| net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap());
+    let (second, _) =
+        counted(|| net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap());
+    assert_eq!(first, second, "steady-state step allocation count must be constant");
+    // 8 layers × ≤2 tensors/pass × 2 allocations/tensor, plus the seed
+    // delta, range-clone and loss bookkeeping. The historical path blew
+    // through thousands (one multi-megabyte buffer set per layer call).
+    let bound = 4 * net.num_layers() * 2 + 16;
+    assert!(
+        first <= bound,
+        "warm training step allocated {first} times (bound {bound})"
+    );
+}

@@ -1,0 +1,161 @@
+//! Correctness gates for the zero-allocation, batch-parallel layer
+//! paths: batched execution must equal concatenated per-sample
+//! execution bit-for-bit, worker count must never change trained
+//! weights, and the no-reuse reference path must match the reused path
+//! exactly.
+
+use caltrain_nn::{Activation, Hyper, KernelMode, NetworkBuilder, Parallelism};
+use caltrain_tensor::Tensor;
+use proptest::prelude::*;
+
+/// A conv→pool→conv→avg→softmax→cost net big enough to cross the
+/// layer-parallel FLOP threshold (the per-sample fan-out engages).
+fn parallel_scale_net(seed: u64) -> caltrain_nn::Network {
+    NetworkBuilder::new(&[3, 24, 24])
+        .conv_bn(16, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(8, 3, 1, 1, Activation::Leaky)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+        .expect("fixed architecture")
+}
+
+/// A tiny net that stays below the threshold (inline path).
+fn tiny_net(seed: u64) -> caltrain_nn::Network {
+    NetworkBuilder::new(&[1, 6, 6])
+        .conv(4, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(3, 1, 1, 0, Activation::Linear)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+        .expect("fixed architecture")
+}
+
+fn batch(n: usize, c: usize, hw: usize, salt: u64) -> (Tensor, Vec<usize>) {
+    let images = Tensor::from_fn(&[n, c, hw, hw], |i| {
+        ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 251) as f32 / 125.0 - 1.0
+    });
+    let labels: Vec<usize> = (0..n).map(|s| (s + salt as usize) % 3).collect();
+    (images, labels)
+}
+
+#[test]
+fn weights_bit_identical_at_1_and_4_workers() {
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+    let train = |workers: usize| {
+        let mut net = parallel_scale_net(99);
+        net.set_parallelism(Parallelism::new(workers));
+        let mut losses = Vec::new();
+        for step in 0..3 {
+            let (images, labels) = batch(7, 3, 24, step);
+            let (loss, _) =
+                net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+            losses.push(loss.to_bits());
+        }
+        (losses, net.export_params())
+    };
+    let (loss1, params1) = train(1);
+    for workers in [2, 4, 8] {
+        let (lossw, paramsw) = train(workers);
+        assert_eq!(loss1, lossw, "losses must match bitwise at {workers} workers");
+        assert_eq!(params1, paramsw, "weights must match bitwise at {workers} workers");
+    }
+}
+
+#[test]
+fn strict_and_native_backward_bit_identical_on_parallel_net() {
+    // The backward pass now routes through per-mode kernels; both must
+    // agree bitwise even when the batch fans out across workers.
+    let mut a = parallel_scale_net(7);
+    let mut b = parallel_scale_net(7);
+    a.set_parallelism(Parallelism::new(4));
+    b.set_parallelism(Parallelism::new(4));
+    let hyper = Hyper::default();
+    for step in 0..2 {
+        let (images, labels) = batch(6, 3, 24, 10 + step);
+        let (la, _) = a.train_batch(&images, &labels, &hyper, KernelMode::Strict).unwrap();
+        let (lb, _) = b.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+        assert_eq!(la.to_bits(), lb.to_bits(), "loss must match bitwise");
+    }
+    assert_eq!(a.export_params(), b.export_params());
+}
+
+#[test]
+fn no_reuse_reference_path_matches_reused_path() {
+    // The retained allocation-per-step reference path must be an
+    // arithmetic no-op: same losses, same weights, to the bit.
+    let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0 };
+    let run = |reuse: bool| {
+        let mut net = parallel_scale_net(31);
+        net.set_buffer_reuse(reuse);
+        for step in 0..3 {
+            let (images, labels) = batch(5, 3, 24, 77 + step);
+            net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+        }
+        net.export_params()
+    };
+    assert_eq!(run(true), run(false), "reuse knob must not change a single bit");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Forward on a batch equals the concatenation of per-sample
+    /// forwards, bit for bit, and the batched backward's input delta
+    /// equals the concatenated per-sample deltas. (Dropout and
+    /// batch-norm layers are deliberately absent: their semantics are
+    /// batch-dependent by design.)
+    #[test]
+    fn batched_equals_concatenated_per_sample(
+        n in 2usize..6,
+        seed in 0u64..500,
+        workers in 1usize..5,
+    ) {
+        let mut batched = tiny_net(seed);
+        batched.set_parallelism(Parallelism::new(workers));
+        let (images, labels) = batch(n, 1, 6, seed);
+
+        // Batched forward + backward.
+        batched.set_targets(&labels).unwrap();
+        let layers = batched.num_layers();
+        let (probs, _) = batched
+            .forward_range(&images, 0, layers, KernelMode::Native, true)
+            .unwrap();
+        let seed_delta = Tensor::zeros(&[n, 3]);
+        let (batched_delta, _) = batched
+            .backward_range(&seed_delta, 0, layers, KernelMode::Native)
+            .unwrap();
+
+        // Per-sample forwards/backwards on a fresh clone of the same
+        // untrained net (gradient state differs; outputs must not).
+        let mut single = tiny_net(seed);
+        for s in 0..n {
+            let image = Tensor::from_vec(
+                images.as_slice()[s * 36..(s + 1) * 36].to_vec(),
+                &[1, 1, 6, 6],
+            )
+            .unwrap();
+            single.set_targets(&labels[s..s + 1]).unwrap();
+            let (p, _) = single
+                .forward_range(&image, 0, layers, KernelMode::Native, true)
+                .unwrap();
+            prop_assert_eq!(
+                p.as_slice(),
+                &probs.as_slice()[s * 3..(s + 1) * 3],
+                "forward sample {}", s
+            );
+            let (d, _) = single
+                .backward_range(&Tensor::zeros(&[1, 3]), 0, layers, KernelMode::Native)
+                .unwrap();
+            prop_assert_eq!(
+                d.as_slice(),
+                &batched_delta.as_slice()[s * 36..(s + 1) * 36],
+                "backward sample {}", s
+            );
+        }
+    }
+}

@@ -192,6 +192,32 @@ where
     reorder(results.into_inner())
 }
 
+/// Splits `0..len` into at most `parts` contiguous, near-equal ranges
+/// (the first `len % parts` ranges are one longer).
+///
+/// This is the *static* schedule used by the layer-level per-sample
+/// loops in `caltrain-nn`: every sample's arithmetic is independent, so
+/// a deterministic partition plus an order-preserving reduction keeps
+/// results bit-identical at any worker count — the invariant the whole
+/// runtime is built around. Returns fewer than `parts` ranges when there
+/// are fewer items than parts; never returns an empty range.
+pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(len);
+    let mut out = Vec::with_capacity(parts);
+    if len == 0 {
+        return out;
+    }
+    let base = len / parts;
+    let extra = len % parts;
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < extra);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
 fn reorder<R>(mut tagged: Vec<(usize, R)>) -> Vec<R> {
     tagged.sort_by_key(|&(i, _)| i);
     tagged.into_iter().map(|(_, r)| r).collect()
@@ -280,6 +306,28 @@ mod tests {
         match previous {
             Some(value) => std::env::set_var(Parallelism::ENV_VAR, value),
             None => std::env::remove_var(Parallelism::ENV_VAR),
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for len in [0usize, 1, 2, 7, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = chunk_ranges(len, parts);
+                assert!(ranges.len() <= parts.min(len.max(1)));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous");
+                    assert!(!r.is_empty(), "no empty range");
+                    next = r.end;
+                }
+                assert_eq!(next, len, "full cover (len={len}, parts={parts})");
+                if !ranges.is_empty() {
+                    let min = ranges.iter().map(|r| r.len()).min().unwrap();
+                    let max = ranges.iter().map(|r| r.len()).max().unwrap();
+                    assert!(max - min <= 1, "near-equal split");
+                }
+            }
         }
     }
 

@@ -67,6 +67,64 @@ pub fn im2col(
     }
 }
 
+/// Like [`im2col`] but emits the *transposed* column matrix, shape
+/// `[out_h·out_w, channels·size·size]` row-major.
+///
+/// The weight-gradient GEMM is `dW = δ · colsᵀ`; with the plain layout
+/// that is a dot-product kernel whose single serial accumulator chain
+/// cannot vectorise (~3 GFLOP/s measured). With the transposed layout it
+/// becomes a standard `A·B` GEMM with contiguous `B` rows and runs on
+/// the saxpy-form kernels (~16 GFLOP/s) — same multiply/add sequence
+/// per output element, so results stay bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_transposed(
+    input: &[f32],
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_extent(height, size, stride, pad);
+    let out_w = conv_out_extent(width, size, stride, pad);
+    assert_eq!(input.len(), channels * height * width, "input geometry");
+    assert_eq!(
+        output.len(),
+        channels * size * size * out_h * out_w,
+        "column geometry"
+    );
+
+    let channel_cols = size * size;
+    let ckk = channels * channel_cols;
+    for c in 0..channels {
+        let in_plane = &input[c * height * width..(c + 1) * height * width];
+        for kidx in 0..channel_cols {
+            let ky = kidx / size;
+            let kx = kidx % size;
+            let col = c * channel_cols + kidx;
+            for oy in 0..out_h {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    let v = if iy >= 0 && iy < height as isize && ix >= 0 && ix < width as isize
+                    {
+                        in_plane[iy as usize * width + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    output[(oy * out_w + ox) * ckk + col] = v;
+                }
+            }
+        }
+    }
+}
+
 /// Scatters a column matrix back onto an image, accumulating overlapping
 /// taps — the adjoint of [`im2col`], used to backpropagate deltas through a
 /// convolution.
@@ -159,6 +217,26 @@ mod tests {
         // Kernel tap (1,1) (centre) for output (0,0) reads pixel (0,0) = 1.
         let centre_row = 4 * 4; // kidx=4 (ky=1,kx=1), out position 0
         assert_eq!(cols[centre_row], 1.0);
+    }
+
+    #[test]
+    fn transposed_is_exact_transpose() {
+        // 2 channels, 4x4 image, 3x3 kernel, stride 1, pad 1.
+        let input: Vec<f32> = (0..2 * 16).map(|v| v as f32 * 0.5 - 3.0).collect();
+        let (ckk, ohw) = (2 * 9, 16);
+        let mut cols = vec![0.0; ckk * ohw];
+        im2col(&input, 2, 4, 4, 3, 1, 1, &mut cols);
+        let mut cols_t = vec![0.0; ckk * ohw];
+        im2col_transposed(&input, 2, 4, 4, 3, 1, 1, &mut cols_t);
+        for row in 0..ckk {
+            for col in 0..ohw {
+                assert_eq!(
+                    cols[row * ohw + col].to_bits(),
+                    cols_t[col * ckk + row].to_bits(),
+                    "({row}, {col})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -6,17 +6,22 @@
 //! assessment, the fingerprint store and the locally-linear-embedding
 //! visualisation all operate on [`Tensor`] values.
 //!
-//! Two GEMM kernels are provided on purpose:
+//! Two GEMM kernel families are provided on purpose:
 //!
-//! * [`gemm::gemm_strict`] — straight scalar loops with a fixed evaluation
-//!   order. This models code compiled *for an SGX enclave*, where the paper's
-//!   prototype could not use `-ffast-math`, SIMD or GPU acceleration.
-//! * [`gemm::gemm_blocked`] — cache-blocked, unrolled kernel modelling the
-//!   accelerated out-of-enclave path.
+//! * [`gemm::gemm_strict`] / [`gemm::gemm_at_b_strict`] — straight scalar
+//!   loops with a fixed evaluation order. These model code compiled *for
+//!   an SGX enclave*, where the paper's prototype could not use
+//!   `-ffast-math`, SIMD or GPU acceleration.
+//! * [`gemm::gemm_native`] / [`gemm::gemm_at_b_native`] — cache-blocked
+//!   kernels modelling the accelerated out-of-enclave path, dispatching
+//!   to packed-tile variants ([`gemm::gemm_packed`],
+//!   [`gemm::gemm_at_b_packed`]) once an operand outgrows cache reach.
 //!
-//! Both kernels compute the same result; the strict kernel is simply slower,
-//! which is exactly the asymmetry CalTrain's partitioned training exploits
-//! (paper §IV-B, Fig. 6).
+//! Every kernel performs the identical per-output addition sequence, so
+//! the families produce bit-identical results; the strict one is simply
+//! slower, which is exactly the asymmetry CalTrain's partitioned training
+//! exploits (paper §IV-B, Fig. 6). [`Scratch`] supplies the grow-only
+//! buffer arenas the zero-allocation training hot path is built on.
 //!
 //! # Example
 //!
@@ -34,6 +39,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod scratch;
 mod shape;
 mod tensor;
 
@@ -43,5 +49,6 @@ pub mod linalg;
 pub mod stats;
 
 pub use error::TensorError;
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -1,0 +1,189 @@
+//! A role-keyed arena of reusable `f32` buffers.
+//!
+//! The training hot path used to allocate (and fault in) tens of
+//! megabytes of short-lived buffers per step — `im2col` columns, column
+//! deltas, per-sample gradient staging, batch-norm caches. [`Scratch`]
+//! replaces those with grow-only buffers owned by the layer: the first
+//! step pays the allocation, every later step reuses warm pages. The
+//! steady-state-allocation tests in `caltrain-nn` pin this at zero.
+
+use std::fmt;
+
+/// Role-keyed, grow-only, reusable `f32` buffers.
+///
+/// Each role (a `&'static str` such as `"cols"`) names one buffer.
+/// Buffers are resized to the requested length on every borrow but never
+/// release capacity, so a steady-state caller performs no heap
+/// allocation. Two access styles are provided:
+///
+/// * [`Scratch::slot`] / [`Scratch::zeroed`] — borrow a single buffer;
+/// * [`Scratch::take`] / [`Scratch::put_back`] — move a buffer out when
+///   several scratch buffers must be live at once (the borrow checker
+///   cannot see that two roles are disjoint).
+///
+/// **Cloning a `Scratch` yields an empty arena.** Scratch contents are
+/// derived data; snapshot clones (per-epoch model snapshots, hub
+/// replicas) must not drag megabytes of stale workspace along.
+#[derive(Default)]
+pub struct Scratch {
+    slots: Vec<(&'static str, Vec<f32>)>,
+}
+
+impl Scratch {
+    /// An empty arena. Allocation happens lazily on first use per role.
+    pub const fn new() -> Self {
+        Scratch { slots: Vec::new() }
+    }
+
+    fn index(&mut self, role: &'static str) -> usize {
+        match self.slots.iter().position(|(r, _)| *r == role) {
+            Some(i) => i,
+            None => {
+                self.slots.push((role, Vec::new()));
+                self.slots.len() - 1
+            }
+        }
+    }
+
+    /// Borrows the buffer for `role`, resized to exactly `len`.
+    ///
+    /// Contents are unspecified (stale data from previous uses); use
+    /// [`Scratch::zeroed`] when the caller needs zeros.
+    pub fn slot(&mut self, role: &'static str, len: usize) -> &mut [f32] {
+        let i = self.index(role);
+        let buf = &mut self.slots[i].1;
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Borrows the buffer for `role`, resized to `len` and zero-filled.
+    pub fn zeroed(&mut self, role: &'static str, len: usize) -> &mut [f32] {
+        let buf = self.slot(role, len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Borrows the buffer for `role`, resized to `len` and filled with a
+    /// copy of `src` (`src.len()` must equal `len`… it *is* `len`).
+    ///
+    /// This is the zero-allocation replacement for `src.to_vec()`.
+    pub fn copy_in(&mut self, role: &'static str, src: &[f32]) -> &mut [f32] {
+        let i = self.index(role);
+        let buf = &mut self.slots[i].1;
+        buf.clear();
+        buf.extend_from_slice(src);
+        buf
+    }
+
+    /// Moves the buffer for `role` out of the arena, resized to `len`
+    /// (stale contents). Pair with [`Scratch::put_back`]; a buffer that
+    /// is never returned costs one fresh allocation on the next `take`.
+    pub fn take(&mut self, role: &'static str, len: usize) -> Vec<f32> {
+        let i = self.index(role);
+        let mut buf = std::mem::take(&mut self.slots[i].1);
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Like [`Scratch::take`] but zero-filled.
+    pub fn take_zeroed(&mut self, role: &'static str, len: usize) -> Vec<f32> {
+        let mut buf = self.take(role, len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer previously moved out with [`Scratch::take`].
+    pub fn put_back(&mut self, role: &'static str, buf: Vec<f32>) {
+        let i = self.index(role);
+        self.slots[i].1 = buf;
+    }
+
+    /// Total `f32` capacity currently retained across all roles.
+    pub fn retained_floats(&self) -> usize {
+        self.slots.iter().map(|(_, b)| b.capacity()).sum()
+    }
+
+    /// Releases every buffer (used by the no-reuse reference path the
+    /// `training_throughput` bench compares against).
+    pub fn release(&mut self) {
+        self.slots.clear();
+        self.slots.shrink_to_fit();
+    }
+}
+
+impl Clone for Scratch {
+    /// Clones to an *empty* arena — scratch contents are derived data
+    /// and snapshot clones must stay cheap.
+    fn clone(&self) -> Self {
+        Scratch::new()
+    }
+}
+
+impl fmt::Debug for Scratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = f.debug_struct("Scratch");
+        for (role, buf) in &self.slots {
+            s.field(role, &buf.capacity());
+        }
+        s.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roles_are_isolated() {
+        let mut s = Scratch::new();
+        s.zeroed("a", 4).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        s.zeroed("b", 2).copy_from_slice(&[9.0, 9.0]);
+        assert_eq!(s.slot("a", 4), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.slot("b", 2), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn capacity_is_grow_only() {
+        let mut s = Scratch::new();
+        s.slot("x", 1024);
+        let cap = s.retained_floats();
+        s.slot("x", 16); // shrink the length…
+        assert_eq!(s.retained_floats(), cap, "…but never the capacity");
+        s.slot("x", 1024);
+        assert_eq!(s.retained_floats(), cap, "regrowth within capacity is free");
+    }
+
+    #[test]
+    fn zeroed_clears_stale_contents() {
+        let mut s = Scratch::new();
+        s.slot("x", 8).fill(7.0);
+        assert!(s.zeroed("x", 8).iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn take_and_put_back_roundtrip() {
+        let mut s = Scratch::new();
+        let mut a = s.take("a", 8);
+        let b = s.slot("b", 8); // second buffer live while `a` is out
+        b.fill(2.0);
+        a.fill(1.0);
+        let cap = a.capacity();
+        s.put_back("a", a);
+        assert_eq!(s.take("a", 8).capacity(), cap, "take returns the same buffer");
+    }
+
+    #[test]
+    fn clone_is_empty() {
+        let mut s = Scratch::new();
+        s.slot("big", 1 << 16);
+        assert_eq!(s.clone().retained_floats(), 0);
+    }
+
+    #[test]
+    fn release_frees_everything() {
+        let mut s = Scratch::new();
+        s.slot("x", 4096);
+        s.release();
+        assert_eq!(s.retained_floats(), 0);
+    }
+}

@@ -15,11 +15,33 @@
 ///
 /// Panics if `logits` is empty.
 pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = vec![0.0; logits.len()];
+    softmax_into(logits, &mut out);
+    out
+}
+
+/// In-place variant of [`softmax`]: writes the distribution into `out`.
+///
+/// The allocation-free form the per-sample training loop uses — `out` is
+/// typically a slice of the layer's (reused) output buffer. `logits` and
+/// `out` may not alias (both are plain `&`/`&mut` borrows).
+///
+/// # Panics
+///
+/// Panics if `logits` is empty or the lengths differ.
+pub fn softmax_into(logits: &[f32], out: &mut [f32]) {
     assert!(!logits.is_empty(), "softmax of empty slice");
+    assert_eq!(logits.len(), out.len(), "softmax output length");
     let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.into_iter().map(|v| v / sum).collect()
+    let mut sum = 0.0f32;
+    for (o, &v) in out.iter_mut().zip(logits) {
+        let e = (v - max).exp();
+        *o = e;
+        sum += e;
+    }
+    for o in out.iter_mut() {
+        *o /= sum;
+    }
 }
 
 /// Kullback–Leibler divergence `D_KL(p ‖ q)` in nats.
@@ -214,6 +236,17 @@ mod tests {
             vec![0, 1],
             "+0.0 == -0.0 is a tie, broken by index"
         );
+    }
+
+    #[test]
+    fn softmax_into_matches_allocating_form() {
+        let logits = [1.5f32, -2.0, 0.25, 3.0, 3.0];
+        let alloc = softmax(&logits);
+        let mut inplace = [0.0f32; 5];
+        softmax_into(&logits, &mut inplace);
+        for (a, b) in alloc.iter().zip(&inplace) {
+            assert_eq!(a.to_bits(), b.to_bits(), "in-place softmax must be bit-identical");
+        }
     }
 
     #[test]

@@ -15,7 +15,34 @@
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed benchmark measurement, as recorded by the shim runner.
+///
+/// The real criterion persists its estimates under `target/criterion/`;
+/// this shim instead keeps an in-process registry so `harness = false`
+/// mains can drain it with [`take_samples`] and emit machine-readable
+/// reports (the `BENCH_*.json` files `caltrain-bench` writes).
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// `group/function/parameter`-style benchmark id.
+    pub name: String,
+    /// Mean seconds per iteration across measurement batches.
+    pub mean_secs: f64,
+    /// Fastest batch, seconds per iteration.
+    pub min_secs: f64,
+    /// Slowest batch, seconds per iteration.
+    pub max_secs: f64,
+}
+
+static SAMPLES: Mutex<Vec<Sample>> = Mutex::new(Vec::new());
+
+/// Drains every measurement recorded since the last call (or process
+/// start), in execution order.
+pub fn take_samples() -> Vec<Sample> {
+    std::mem::take(&mut *SAMPLES.lock().expect("sample registry poisoned"))
+}
 
 /// Per-iteration timer handed to benchmark closures.
 pub struct Bencher {
@@ -197,6 +224,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
         human_time(per_iter(best)),
         human_time(per_iter(worst)),
     );
+    SAMPLES.lock().expect("sample registry poisoned").push(Sample {
+        name: name.to_string(),
+        mean_secs: mean,
+        min_secs: per_iter(best),
+        max_secs: per_iter(worst),
+    });
 }
 
 fn human_time(seconds: f64) -> String {
@@ -259,6 +292,12 @@ mod tests {
         });
         group.finish();
         assert!(ran);
+        let recorded = take_samples();
+        let sample = recorded
+            .iter()
+            .find(|s| s.name == "smoke/noop/64")
+            .expect("runner must register the measurement");
+        assert!(sample.mean_secs >= 0.0 && sample.min_secs <= sample.max_secs);
     }
 
     #[test]
