@@ -24,6 +24,19 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --offline --no-run
 
+# Snapshot the committed BENCH_*.json baselines (from HEAD, not the
+# working tree — a previous uncommitted ci.sh run already overwrote the
+# working-tree copies) so bench_diff compares this run against the
+# trajectory the repo last recorded. Files not yet committed fall back
+# to their working-tree copy.
+BENCH_BASELINE_DIR="$(mktemp -d)"
+trap 'rm -rf "$BENCH_BASELINE_DIR"' EXIT
+for f in BENCH_*.json; do
+  [ -e "$f" ] || continue
+  git show "HEAD:$f" > "$BENCH_BASELINE_DIR/$f" 2>/dev/null \
+    || cp "$f" "$BENCH_BASELINE_DIR/$f"
+done
+
 # Executes the parallel-runtime gate: the pool-concurrency proof, the
 # >= 1.5x modeled 4-hub speedup, and the bit-identical-results
 # assertions at 1/2/4/8 workers (all assert!()s inside the bench).
@@ -38,5 +51,14 @@ cargo bench --offline --bench parallel_scaling
 # loaded CI host cannot flake this step.
 echo "==> cargo bench --bench training_throughput -- --smoke (determinism + JSON gate)"
 cargo bench --offline --bench training_throughput -- --smoke
+
+# Diff the freshly regenerated BENCH_*.json against the committed
+# baselines and WARN on >10% regressions of classified metrics
+# (steps/sec, allocs/step, spawn counts, …). Warning-only by design:
+# host wall-clock metrics are noisy on shared runners, and the hard
+# correctness gates are the assert!()s inside the benches themselves.
+echo "==> bench_diff vs committed baselines (>10% regression warning)"
+cargo run --offline -q -p caltrain-bench --bin bench_diff -- \
+  "$BENCH_BASELINE_DIR" . --threshold 0.10 || true
 
 echo "CI green."

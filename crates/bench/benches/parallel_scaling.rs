@@ -8,7 +8,7 @@
 //!   sequential deployment (one machine hosting all hubs back to back)
 //!   takes their *sum*; a parallel deployment at W workers takes the
 //!   *makespan* of scheduling those hub times onto W workers — exactly
-//!   what the scoped pool does. This is the paper's §IV-B scalability
+//!   what the worker pool does. This is the paper's §IV-B scalability
 //!   quantity and is deterministic on any host.
 //! * **Host wall-clock (measured).** `Instant`-timed execution of the
 //!   same round/ingest/scan on this machine. Threads only beat
@@ -56,7 +56,7 @@ fn build_cluster(workers: usize) -> HubCluster {
 }
 
 /// In-order list scheduling of `job_secs` onto `workers` — the schedule
-/// the scoped pool produces (each worker claims the next unclaimed job).
+/// the worker pool produces (each worker claims the next unclaimed job).
 fn makespan(job_secs: &[f64], workers: usize) -> f64 {
     let mut loads = vec![0.0f64; workers.max(1)];
     for &job in job_secs {
@@ -268,9 +268,31 @@ fn assert_pool_concurrency() {
 fn main() {
     let mut report = BenchReport::new("parallel_scaling");
     assert_pool_concurrency();
+    // Warm the persistent pool to the widest demand exercised below,
+    // then require the whole suite — hub rounds, ingestion, linkage
+    // scans at 1/2/4/8 workers — to run on those same threads. Hub
+    // workers nest layer-level fan-out when CALTRAIN_WORKERS sets a
+    // default layer budget, so the warm budget multiplies the two.
+    let max_workers = *WORKER_COUNTS.iter().max().expect("non-empty");
+    let nested_layer_budget = Parallelism::default().workers();
+    caltrain_runtime::pool::warm(max_workers * nested_layer_budget);
+    let spawned_at_warm = caltrain_runtime::pool::thread_spawns();
     bench_hub_round(&mut report);
     bench_ingest(&mut report);
     bench_linkage_scan(&mut report);
+    let spawned_during_benches =
+        caltrain_runtime::pool::thread_spawns() - spawned_at_warm;
+    println!(
+        "pool: {} thread(s) spawned at warm-up, {} during the benches \
+         (persistent pool: must be 0)",
+        spawned_at_warm, spawned_during_benches
+    );
+    assert_eq!(
+        spawned_during_benches, 0,
+        "a warmed pool must not spawn threads mid-bench"
+    );
+    report.int("pool_threads_spawned_warmup", spawned_at_warm as u64);
+    report.int("pool_threads_spawned_during_benches", spawned_during_benches as u64);
     report.flag("determinism_held", true);
     report.emit().expect("write BENCH_parallel_scaling.json");
     println!("parallel_scaling: all determinism assertions held.");

@@ -8,9 +8,10 @@
 //!
 //! All three train the same zoo model on the same batches; the bench
 //! asserts their final weights are bit-identical (the worker-count and
-//! reuse-knob invariants), then reports throughput and the modeled
-//! cluster speedup, and writes `BENCH_training.json` so the perf
-//! trajectory is tracked across PRs.
+//! reuse-knob invariants), asserts **zero thread spawns per step** after
+//! warm-up (the persistent-pool invariant), then reports throughput and
+//! the modeled cluster speedup, and writes `BENCH_training.json` so the
+//! perf trajectory is tracked across PRs (`bench_diff` consumes it).
 //!
 //! Run modes:
 //! * `cargo bench --bench training_throughput` — full run; also asserts
@@ -81,6 +82,9 @@ struct RunStats {
     steps_per_sec: f64,
     allocs_per_step: f64,
     mbytes_per_step: f64,
+    /// OS threads spawned during the measured (post-warm-up) steps —
+    /// must be zero for every path now that the worker pool persists.
+    spawns_per_step: f64,
     params: Vec<Vec<f32>>,
     losses: Vec<u32>,
 }
@@ -104,6 +108,7 @@ fn run(label: &str, scale: usize, reuse: bool, workers: usize, steps: usize) -> 
 
     let alloc_start = ALLOCS.load(Ordering::Relaxed);
     let bytes_start = BYTES.load(Ordering::Relaxed);
+    let spawn_start = caltrain_runtime::pool::thread_spawns();
     let clock = Instant::now();
     for step in WARMUP_STEPS..WARMUP_STEPS + steps {
         let (images, labels) = &data[step % data.len()];
@@ -113,17 +118,21 @@ fn run(label: &str, scale: usize, reuse: bool, workers: usize, steps: usize) -> 
     let secs = clock.elapsed().as_secs_f64();
     let allocs = ALLOCS.load(Ordering::Relaxed) - alloc_start;
     let bytes = BYTES.load(Ordering::Relaxed) - bytes_start;
+    let spawns = caltrain_runtime::pool::thread_spawns() - spawn_start;
 
     let stats = RunStats {
         steps_per_sec: steps as f64 / secs,
         allocs_per_step: allocs as f64 / steps as f64,
         mbytes_per_step: bytes as f64 / steps as f64 / (1024.0 * 1024.0),
+        spawns_per_step: spawns as f64 / steps as f64,
         params: net.export_params(),
         losses,
     };
     println!(
-        "{label:<22} {:>8.2} steps/s  {:>9.1} allocs/step  {:>8.2} MiB/step",
-        stats.steps_per_sec, stats.allocs_per_step, stats.mbytes_per_step
+        "{label:<22} {:>8.2} steps/s  {:>9.1} allocs/step  {:>8.2} MiB/step  \
+         {:>5.1} spawns/step",
+        stats.steps_per_sec, stats.allocs_per_step, stats.mbytes_per_step,
+        stats.spawns_per_step
     );
     stats
 }
@@ -170,6 +179,24 @@ fn main() {
     );
     println!("determinism: reference == reused == 4-worker weights, bitwise");
 
+    // Persistent-pool gate: after the warm-up steps, no path may spawn
+    // a single OS thread — the worker pool's threads are reused across
+    // every layer call of every step. (The old scoped design spawned ~4
+    // threads per conv call here.)
+    for (label, stats) in [
+        ("reference", &reference),
+        ("reused", &reused),
+        ("workers=4", &parallel),
+    ] {
+        assert_eq!(
+            stats.spawns_per_step, 0.0,
+            "{label}: steady-state steps must spawn zero threads, \
+             got {:.2}/step",
+            stats.spawns_per_step
+        );
+    }
+    println!("thread reuse: zero spawns per step on all three paths after warm-up");
+
     let speedup = reused.steps_per_sec / reference.steps_per_sec;
     let measured_w4 = parallel.steps_per_sec / reused.steps_per_sec;
     let cluster = modeled_speedup(BATCH, 4);
@@ -194,6 +221,8 @@ fn main() {
         .metric("measured_w4_ratio", measured_w4)
         .metric("allocs_per_step_reference", reference.allocs_per_step)
         .metric("allocs_per_step_reused", reused.allocs_per_step)
+        .metric("spawns_per_step_workers4", parallel.spawns_per_step)
+        .int("pool_threads_spawned_total", caltrain_runtime::pool::thread_spawns() as u64)
         .metric("mbytes_per_step_reference", reference.mbytes_per_step)
         .metric("mbytes_per_step_reused", reused.mbytes_per_step)
         .metric("modeled_cluster_speedup_w4", cluster)

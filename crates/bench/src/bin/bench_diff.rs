@@ -1,0 +1,197 @@
+//! Diffs two sets of `BENCH_*.json` files and prints a regression table
+//! — the trajectory-tracking loop-closer for the committed bench
+//! reports.
+//!
+//! Usage:
+//!   `cargo run -p caltrain-bench --bin bench_diff -- \`
+//!     `<baseline-dir> <candidate-dir> [--threshold 0.10] [--fail-on-regression]`
+//!
+//! Every numeric field of every `BENCH_*.json` present in *both*
+//! directories is compared. Fields whose names classify as
+//! lower-is-better (`*_secs`, `*allocs*`, `*cycles*`, `*spawns*`, …) or
+//! higher-is-better (`*per_sec*`, `*speedup*`, `*gflops*`, …) get a
+//! regression/improvement verdict when they move more than the
+//! threshold (default 10 %); unclassified fields are reported
+//! informationally. Exit status is 0 unless `--fail-on-regression` is
+//! passed and at least one classified regression exceeded the
+//! threshold — `ci.sh` runs it in warning mode so a noisy host cannot
+//! turn wall-clock jitter into spurious red.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use caltrain_bench::report::Value;
+use caltrain_bench::Args;
+
+/// Which direction of movement counts as a regression for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    LowerIsBetter,
+    HigherIsBetter,
+    Informational,
+}
+
+/// Classifies a flattened metric path by naming convention — the same
+/// conventions `BenchReport` call sites already follow.
+fn classify(path: &str) -> Direction {
+    let lower = ["secs", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn"];
+    let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate"];
+    let p = path.to_ascii_lowercase();
+    if lower.iter().any(|n| p.contains(n)) {
+        Direction::LowerIsBetter
+    } else if higher.iter().any(|n| p.contains(n)) {
+        Direction::HigherIsBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+fn load_dir(dir: &Path) -> BTreeMap<String, Vec<(String, f64)>> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        eprintln!("bench_diff: cannot read directory {}", dir.display());
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            eprintln!("bench_diff: cannot read {}", entry.path().display());
+            continue;
+        };
+        match Value::parse(text.trim()) {
+            Ok(value) => {
+                let mut flat = Vec::new();
+                value.flatten_numbers("", &mut flat);
+                out.insert(name, flat);
+            }
+            Err(e) => eprintln!("bench_diff: {name}: {e}"),
+        }
+    }
+    out
+}
+
+struct Row {
+    file: String,
+    metric: String,
+    old: f64,
+    new: f64,
+    verdict: &'static str,
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> =
+        raw.iter().take_while(|a| !a.starts_with("--")).collect();
+    let args = Args::from_args(raw.iter().skip(positional.len()).cloned());
+    if positional.len() != 2 {
+        eprintln!(
+            "usage: bench_diff <baseline-dir> <candidate-dir> \
+             [--threshold 0.10] [--fail-on-regression]"
+        );
+        return ExitCode::from(2);
+    }
+    let threshold: f64 = args.get("threshold", 0.10);
+    let fail_on_regression = args.flag("fail-on-regression");
+
+    let baseline = load_dir(&PathBuf::from(positional[0]));
+    let candidate = load_dir(&PathBuf::from(positional[1]));
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut regressions = 0usize;
+    let mut improvements = 0usize;
+    for (file, old_metrics) in &baseline {
+        let Some(new_metrics) = candidate.get(file) else {
+            println!("~ {file}: present in baseline only (bench removed?)");
+            continue;
+        };
+        let new_map: BTreeMap<&str, f64> =
+            new_metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        for (metric, old) in old_metrics {
+            let Some(&new) = new_map.get(metric.as_str()) else { continue };
+            if old.abs() < 1e-9 && new.abs() < 1e-9 {
+                continue;
+            }
+            // A zero baseline has no meaningful relative change; treat
+            // any appearance from zero as a full-scale move (±100%) so
+            // it shows up once without a nonsense percentage.
+            let change = if old.abs() < 1e-9 {
+                new.signum()
+            } else {
+                (new - old) / old.abs()
+            };
+            if change.abs() < threshold {
+                continue;
+            }
+            let verdict = match classify(metric) {
+                Direction::Informational => "info",
+                Direction::LowerIsBetter if new > *old => "REGRESSION",
+                Direction::HigherIsBetter if new < *old => "REGRESSION",
+                _ => "improved",
+            };
+            match verdict {
+                "REGRESSION" => regressions += 1,
+                "improved" => improvements += 1,
+                _ => {}
+            }
+            rows.push(Row { file: file.clone(), metric: metric.clone(), old: *old, new, verdict });
+        }
+    }
+    for file in candidate.keys() {
+        if !baseline.contains_key(file) {
+            println!("+ {file}: new bench (no baseline)");
+        }
+    }
+
+    if rows.is_empty() {
+        println!(
+            "bench_diff: no metric moved more than {:.0}% across {} bench file(s).",
+            threshold * 100.0,
+            baseline.len()
+        );
+    } else {
+        println!(
+            "{:<28} {:<44} {:>14} {:>14} {:>8}  verdict",
+            "file", "metric", "baseline", "candidate", "delta"
+        );
+        println!("{}", "-".repeat(120));
+        rows.sort_by(|a, b| {
+            (a.verdict != "REGRESSION").cmp(&(b.verdict != "REGRESSION"))
+        });
+        for r in &rows {
+            let change = if r.old.abs() < 1e-9 {
+                r.new.signum()
+            } else {
+                (r.new - r.old) / r.old.abs()
+            };
+            println!(
+                "{:<28} {:<44} {:>14.5} {:>14.5} {:>+7.1}%  {}",
+                r.file,
+                r.metric,
+                r.old,
+                r.new,
+                change * 100.0,
+                r.verdict
+            );
+        }
+    }
+    println!(
+        "bench_diff: {regressions} regression(s), {improvements} improvement(s) \
+         beyond {:.0}% (threshold).",
+        threshold * 100.0
+    );
+    if regressions > 0 {
+        println!(
+            "WARNING: {regressions} metric(s) regressed by more than {:.0}% — \
+             inspect before merging.",
+            threshold * 100.0
+        );
+    }
+    if fail_on_regression && regressions > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

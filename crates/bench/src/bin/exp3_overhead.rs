@@ -12,17 +12,26 @@
 //!
 //! Usage:
 //!   cargo run --release -p caltrain-bench --bin exp3_overhead -- \
-//!     [--scale 8] [--train 128] [--batch 32] [--paper]
+//!     [--scale 8] [--train 128] [--batch 32] [--paper] [--kernel-calibrated]
+//!
+//! `--kernel-calibrated` swaps the paper-fidelity cost model (1.22×
+//! enclave/native flop ratio, the published Fig. 6 curve) for
+//! [`caltrain_enclave::CostModel::kernel_calibrated`], whose per-mode
+//! cycles-per-flop derive from this codebase's *measured* strict/native
+//! GEMM throughputs (~6.2×) — the overhead curve an all-software strict
+//! kernel would actually produce.
 
 use caltrain_bench::{pct, rule, Args};
 use caltrain_core::partition::{Partition, PartitionedTrainer};
 use caltrain_data::synthcifar;
-use caltrain_enclave::{EnclaveConfig, Platform};
+use caltrain_enclave::epc::DEFAULT_EPC_BYTES;
+use caltrain_enclave::{CostModel, EnclaveConfig, Platform};
 use caltrain_nn::{zoo, Hyper};
 
 fn main() {
     let args = Args::parse();
     let paper = args.flag("paper");
+    let kernel_calibrated = args.flag("kernel-calibrated");
     let scale: usize = if paper { 1 } else { args.get("scale", 8) };
     let n_train: usize = if paper { 1024 } else { args.get("train", 128) };
     let batch: usize = args.get("batch", 32);
@@ -30,7 +39,8 @@ fn main() {
 
     println!(
         "Experiment III — Fig. 6: per-epoch overhead vs in-enclave conv layers \
-         (18-layer net, 1/{scale} width, {n_train} instances, batch {batch})"
+         (18-layer net, 1/{scale} width, {n_train} instances, batch {batch}{})",
+        if kernel_calibrated { ", measured-kernel cost model" } else { "" }
     );
 
     let (train, _) = synthcifar::generate(n_train, 16, seed);
@@ -42,7 +52,12 @@ fn main() {
 
     for &k in &conv_counts {
         // Fresh platform per point so clocks/EPC don't bleed across runs.
-        let platform = Platform::with_seed(format!("exp3-{k}").as_bytes());
+        let cost_model = if kernel_calibrated {
+            CostModel::kernel_calibrated()
+        } else {
+            CostModel::default()
+        };
+        let platform = Platform::new(cost_model, DEFAULT_EPC_BYTES, format!("exp3-{k}").as_bytes());
         let enclave = platform
             .create_enclave(&EnclaveConfig {
                 name: "trainer".into(),

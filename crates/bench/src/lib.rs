@@ -200,6 +200,226 @@ pub mod report {
         }
     }
 
+    /// A parsed JSON value — the read-side counterpart of
+    /// [`BenchReport`], used by the `bench_diff` binary to load the
+    /// `BENCH_*.json` files this module writes. Hand-rolled for the same
+    /// reason the writer is: zero third-party crates.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null` (how the writer encodes non-finite metrics).
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any JSON number.
+        Num(f64),
+        /// A string (escapes decoded).
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in document order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        /// Parses one JSON document (the whole input, ignoring
+        /// surrounding whitespace).
+        ///
+        /// # Errors
+        ///
+        /// Returns a human-readable description of the first syntax
+        /// error. The grammar is full JSON minus `\uXXXX` surrogate
+        /// pairs (the writer never emits them).
+        pub fn parse(text: &str) -> Result<Value, String> {
+            let bytes = text.as_bytes();
+            let mut pos = 0usize;
+            let value = parse_value(bytes, &mut pos)?;
+            skip_ws(bytes, &mut pos);
+            if pos != bytes.len() {
+                return Err(format!("trailing bytes at offset {pos}"));
+            }
+            Ok(value)
+        }
+
+        /// Flattens the document into `(dotted.path, number)` pairs —
+        /// the shape `bench_diff` compares. Objects nest by key; array
+        /// elements nest by a `name` field when present (the writer's
+        /// `samples` convention) or by index otherwise. Booleans count
+        /// as 0/1; strings and nulls are skipped.
+        pub fn flatten_numbers(&self, prefix: &str, out: &mut Vec<(String, f64)>) {
+            match self {
+                Value::Num(v) => out.push((prefix.to_string(), *v)),
+                Value::Bool(b) => out.push((prefix.to_string(), f64::from(u8::from(*b)))),
+                Value::Obj(fields) => {
+                    for (k, v) in fields {
+                        let path =
+                            if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                        v.flatten_numbers(&path, out);
+                    }
+                }
+                Value::Arr(items) => {
+                    for (i, v) in items.iter().enumerate() {
+                        let label = match v {
+                            Value::Obj(fields) => fields.iter().find_map(|(k, v)| match v {
+                                Value::Str(s) if k == "name" => Some(s.clone()),
+                                _ => None,
+                            }),
+                            _ => None,
+                        };
+                        let label = label.unwrap_or_else(|| i.to_string());
+                        v.flatten_numbers(&format!("{prefix}[{label}]"), out);
+                    }
+                }
+                Value::Str(_) | Value::Null => {}
+            }
+        }
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn expect(bytes: &[u8], pos: &mut usize, b: u8) -> Result<(), String> {
+        if bytes.get(*pos) == Some(&b) {
+            *pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at offset {}", b as char, pos))
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b'{') => parse_object(bytes, pos),
+            Some(b'[') => parse_array(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_string(bytes, pos)?)),
+            Some(b't') => parse_literal(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_literal(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_literal(bytes, pos, "null", Value::Null),
+            Some(_) => parse_number(bytes, pos),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn parse_literal(
+        bytes: &[u8],
+        pos: &mut usize,
+        word: &str,
+        value: Value,
+    ) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(word.as_bytes()) {
+            *pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {pos}"))
+        }
+    }
+
+    fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at offset {start}"))
+    }
+
+    fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        expect(bytes, pos, b'"')?;
+        let mut out = Vec::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return String::from_utf8(out).map_err(|_| "bad UTF-8".into());
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                    match esc {
+                        b'"' | b'\\' | b'/' => out.push(*esc),
+                        b'n' => out.push(b'\n'),
+                        b't' => out.push(b'\t'),
+                        b'r' => out.push(b'\r'),
+                        b'u' => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            let ch = char::from_u32(hex).ok_or("bad \\u code point")?;
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(ch.encode_utf8(&mut buf).as_bytes());
+                            *pos += 4;
+                        }
+                        other => return Err(format!("bad escape {:?}", *other as char)),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) => {
+                    out.push(b);
+                    *pos += 1;
+                }
+            }
+        }
+    }
+
+    fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'{')?;
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            let key = parse_string(bytes, pos)?;
+            skip_ws(bytes, pos);
+            expect(bytes, pos, b':')?;
+            fields.push((key, parse_value(bytes, pos)?));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {pos}")),
+            }
+        }
+    }
+
+    fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        expect(bytes, pos, b'[')?;
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {pos}")),
+            }
+        }
+    }
+
     #[cfg(test)]
     mod tests {
         use super::*;
@@ -232,6 +452,48 @@ pub mod report {
             let mut r = BenchReport::new("x");
             r.metric("bad", f64::NAN);
             assert!(r.render().contains("\"bad\":null"));
+        }
+
+        #[test]
+        fn parse_roundtrips_writer_output() {
+            let mut r = BenchReport::new("demo");
+            r.metric("steps_per_sec", 12.5)
+                .int("steps", 40)
+                .flag("deterministic", true)
+                .text("mode", "smoke \"q\"");
+            r.sample("gemm/strict", 0.5, 0.25, 1.0);
+            let v = Value::parse(&r.render()).expect("writer output must parse");
+            let mut flat = Vec::new();
+            v.flatten_numbers("", &mut flat);
+            assert!(flat.contains(&("steps_per_sec".into(), 12.5)));
+            assert!(flat.contains(&("steps".into(), 40.0)));
+            assert!(flat.contains(&("deterministic".into(), 1.0)));
+            assert!(flat.contains(&("samples[gemm/strict].mean_secs".into(), 0.5)));
+            // Strings don't flatten to numbers.
+            assert!(!flat.iter().any(|(k, _)| k == "mode" || k == "bench"));
+        }
+
+        #[test]
+        fn parse_rejects_garbage() {
+            assert!(Value::parse("{\"a\":}").is_err());
+            assert!(Value::parse("{\"a\":1} trailing").is_err());
+            assert!(Value::parse("").is_err());
+        }
+
+        #[test]
+        fn parse_handles_null_and_nesting() {
+            let v = Value::parse("{\"a\":null,\"b\":[1,2,{\"c\":-3.5e2}],\"d\":false}").unwrap();
+            let mut flat = Vec::new();
+            v.flatten_numbers("", &mut flat);
+            assert_eq!(
+                flat,
+                vec![
+                    ("b[0]".to_string(), 1.0),
+                    ("b[1]".to_string(), 2.0),
+                    ("b[2].c".to_string(), -350.0),
+                    ("d".to_string(), 0.0),
+                ]
+            );
         }
     }
 }

@@ -132,14 +132,20 @@ impl HubCluster {
     /// threads during [`HubCluster::train_round`]. Defaults to
     /// [`Parallelism::default`] (sequential unless `CALTRAIN_WORKERS`
     /// is set). Round results are bit-identical at any worker count.
+    ///
+    /// The cluster owns its share of the persistent runtime pool's
+    /// lifecycle: a parallel budget pre-spawns the pool threads here, so
+    /// the first round trains on warm workers instead of paying thread
+    /// creation mid-round.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        caltrain_runtime::pool::warm(parallelism.workers());
         self.parallelism = parallelism;
     }
 
     /// Builder-style variant of [`HubCluster::set_parallelism`].
     #[must_use]
     pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
-        self.parallelism = parallelism;
+        self.set_parallelism(parallelism);
         self
     }
 

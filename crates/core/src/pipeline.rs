@@ -36,6 +36,13 @@ pub struct PipelineConfig {
     /// training and fingerprint scans when wired through this config).
     /// Sequential by default so every run is single-threaded
     /// deterministic; `CALTRAIN_WORKERS` overrides the default.
+    ///
+    /// The config owns the persistent runtime pool's lifecycle for the
+    /// pipeline it configures: [`CalTrain::new`] pre-spawns
+    /// (`caltrain_runtime::pool::warm`) the pool for this budget, and
+    /// every component the config is handed to (server, linkage DB)
+    /// re-warms idempotently. Worker threads are created once per
+    /// process and reused — never per call.
     pub parallelism: Parallelism,
 }
 
@@ -129,6 +136,10 @@ impl CalTrain {
     /// Returns [`CalTrainError::Enclave`] if launch or EPC reservation
     /// fails.
     pub fn new(net: Network, config: PipelineConfig, seed: &[u8]) -> Result<Self, CalTrainError> {
+        // The pipeline config owns the pool lifecycle: spawn the worker
+        // threads for its budget once, up front, so no training step or
+        // ingest ever pays thread creation.
+        caltrain_runtime::pool::warm(config.parallelism.workers());
         let platform = Platform::with_seed(seed);
         let mut server = TrainingServer::launch(platform.clone(), config.heap_bytes)?;
         server.set_parallelism(config.parallelism);

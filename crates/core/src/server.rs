@@ -79,7 +79,11 @@ impl TrainingServer {
     /// [`Parallelism::default`]: sequential unless `CALTRAIN_WORKERS`
     /// is set). Ingestion results — pool contents, order, statistics
     /// and simulated-clock charges — are identical at any worker count.
+    ///
+    /// Setting a parallel budget pre-spawns the persistent runtime pool
+    /// so the first ingest does not pay thread creation.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        caltrain_runtime::pool::warm(parallelism.workers());
         self.parallelism = parallelism;
     }
 

@@ -73,10 +73,45 @@ impl Default for CostModel {
     }
 }
 
+/// Measured steady-state throughput of the **strict** GEMM kernel (the
+/// in-enclave shape: scalar, fixed order, no `-ffast-math`) on
+/// conv-sized workloads, in GFLOP/s — from `cargo bench --bench
+/// enclave_kernels` on the reference host. This is the constant the
+/// kernel-calibrated cost model derives its strict-mode cycles-per-flop
+/// from.
+pub const MEASURED_STRICT_GFLOPS: f64 = 2.6;
+
+/// Measured steady-state throughput of the **native** GEMM path
+/// (blocked/packed, vectoriser-friendly) on the same workloads, in
+/// GFLOP/s — the native-mode counterpart of [`MEASURED_STRICT_GFLOPS`].
+pub const MEASURED_NATIVE_GFLOPS: f64 = 16.0;
+
 impl CostModel {
     /// The in-enclave / native FLOP cost ratio (≥ 1 in any sane model).
     pub fn slowdown_ratio(&self) -> f64 {
         self.enclave_flop_cycles / self.native_flop_cycles
+    }
+
+    /// A cost model whose per-kernel-mode cycles-per-flop are calibrated
+    /// from the *measured* strict/native GEMM throughputs
+    /// ([`MEASURED_STRICT_GFLOPS`] / [`MEASURED_NATIVE_GFLOPS`]) instead
+    /// of charging every flop at a mode-independent rate scaled to the
+    /// paper's 1.22 target.
+    ///
+    /// `cycles_per_flop(mode) = clock_hz / (measured_gflops(mode) · 1e9)`:
+    /// the enclave (strict-kernel) rate and the native rate each map to
+    /// what this codebase's kernels actually sustain, so simulated
+    /// partition sweeps (Fig. 6) reflect the real strict/native asymmetry
+    /// (~6.2×) rather than the paper's SGX-hardware one (1.22×, which
+    /// [`CostModel::default`] keeps for fidelity to the published
+    /// curve). Boundary/paging costs are unchanged.
+    pub fn kernel_calibrated() -> Self {
+        let base = CostModel::default();
+        CostModel {
+            enclave_flop_cycles: base.clock_hz / (MEASURED_STRICT_GFLOPS * 1e9),
+            native_flop_cycles: base.clock_hz / (MEASURED_NATIVE_GFLOPS * 1e9),
+            ..base
+        }
     }
 }
 
@@ -207,6 +242,22 @@ mod tests {
         let m = CostModel::default();
         assert!((m.slowdown_ratio() - 1.22).abs() < 1e-9);
         assert_eq!(m.clock_hz, 3.4e9);
+    }
+
+    #[test]
+    fn kernel_calibrated_model_matches_measured_ratio() {
+        let m = CostModel::kernel_calibrated();
+        // Cycles-per-flop per kernel mode derive from the measured
+        // GFLOP/s at the model's clock: 3.4 GHz / 2.6 GFLOP/s ≈ 1.31
+        // cycles per strict flop, 3.4 / 16 ≈ 0.21 per native flop.
+        assert!((m.enclave_flop_cycles - 3.4 / 2.6).abs() < 1e-9);
+        assert!((m.native_flop_cycles - 3.4 / 16.0).abs() < 1e-9);
+        let measured_ratio = MEASURED_NATIVE_GFLOPS / MEASURED_STRICT_GFLOPS;
+        assert!((m.slowdown_ratio() - measured_ratio).abs() < 1e-9);
+        // Non-compute costs are untouched by the calibration.
+        let d = CostModel::default();
+        assert_eq!(m.ecall_cycles, d.ecall_cycles);
+        assert_eq!(m.page_evict_cycles, d.page_evict_cycles);
     }
 
     #[test]

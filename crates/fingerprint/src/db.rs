@@ -44,7 +44,11 @@ impl LinkageDb {
     /// [`Parallelism::default`], i.e. sequential unless
     /// `CALTRAIN_WORKERS` is set). Query results are bit-identical at
     /// any worker count.
+    ///
+    /// Setting a parallel budget pre-spawns the persistent runtime pool
+    /// so the first large scan does not pay thread creation.
     pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        caltrain_runtime::pool::warm(parallelism.workers());
         self.parallelism = parallelism;
     }
 

@@ -1,22 +1,36 @@
-//! 2-D convolution, lowered to GEMM via im2col exactly as Darknet does.
+//! 2-D convolution, lowered to GEMM via im2col exactly as Darknet does —
+//! but over the **whole batch at once**.
 //!
-//! This is the training hot path: the per-sample loop is fanned across
-//! `caltrain-runtime` workers with statically partitioned sample ranges,
-//! and every working buffer (im2col columns, column deltas, per-sample
-//! gradient staging, batch-norm caches) lives in grow-only [`Scratch`]
-//! arenas owned by the layer. Two invariants hold by construction:
+//! This is the training hot path. Forward lowers a sample range with one
+//! batched `im2col` into a wide `ckk × (span·ohw)` column matrix and
+//! runs **one** GEMM per range (`filters × (span·ohw)`) instead of one
+//! small GEMM per sample, so the blocked kernel gets rows `span×` longer
+//! to stream; backward does the same for the input-delta GEMM
+//! (`Wᵀ · δ` over the wide delta). Sample ranges are fanned across the
+//! persistent `caltrain-runtime` worker pool, and every working buffer
+//! (wide columns, wide deltas, per-sample gradient staging, batch-norm
+//! caches) lives in grow-only [`Scratch`] arenas owned by the layer.
+//! Three invariants hold by construction:
 //!
-//! 1. **Worker count never changes results.** Sample partitioning is
+//! 1. **Batching never changes results.** A wide GEMM computes each
+//!    output element with exactly the per-sample dot product, in the
+//!    same ascending-`p` order — per-sample addition order is untouched,
+//!    so the batched path is bit-identical to the per-sample reference.
+//!    The *only* cross-sample summation (weight/bias gradients) stays on
+//!    per-sample staging, never fused into a wide GEMM.
+//! 2. **Worker count never changes results.** Sample partitioning is
 //!    static, each sample's arithmetic is independent, and weight/bias
 //!    gradients are reduced in fixed ascending-sample order on the
 //!    calling thread — bit-identical at `CALTRAIN_WORKERS=1` and `=8`.
-//! 2. **Steady-state training allocates nothing in this file.** After a
+//! 3. **Steady-state training allocates nothing in this file.** After a
 //!    warm-up step the only heap traffic per call is the output tensor
 //!    itself (pinned by the `alloc_steady_state` integration test).
 
 use caltrain_runtime::{chunk_ranges, par_map_mut, Parallelism};
 use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops};
-use caltrain_tensor::im2col::{col2im, conv_out_extent, im2col, im2col_transposed};
+use caltrain_tensor::im2col::{
+    col2im, col2im_batch, conv_out_extent, im2col, im2col_batch, im2col_transposed,
+};
 use caltrain_tensor::{Scratch, Shape, Tensor};
 use rand::Rng;
 
@@ -25,8 +39,8 @@ use crate::layers::{batch_size, Activation, Layer, LayerDescriptor, LayerKind};
 use crate::network::{Hyper, KernelMode};
 use crate::NnError;
 
-/// Minimum whole-batch forward FLOPs before the per-sample loop fans
-/// out across workers. Below this the scoped-thread spawn costs more
+/// Minimum whole-batch forward FLOPs before the sample-range jobs fan
+/// out across the worker pool. Below this the job handoff costs more
 /// than the GEMMs; the unit-test-sized networks stay inline while every
 /// zoo-scale model crosses the threshold.
 const PAR_MIN_BATCH_FLOPS: u64 = 1 << 20;
@@ -526,25 +540,43 @@ impl Layer for Conv2d {
         let in_data = input.as_slice();
 
         // One job = one contiguous sample range + one scratch arena.
-        // Each sample's GEMM writes a disjoint output slice and the
-        // kernels fix the addition order, so the job count (and hence
-        // the worker count) cannot affect a single output bit.
+        // The whole range is lowered with a single batched im2col into a
+        // wide ckk × (span·ohw) column matrix and multiplied in ONE
+        // GEMM — long rows for the blocked kernel, one kernel dispatch
+        // per range instead of per sample. Each wide-output element is
+        // the per-sample dot product in the per-sample addition order,
+        // and ranges write disjoint output slices, so neither the
+        // batching nor the job count (and hence the worker count) can
+        // affect a single output bit.
         let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
-            let cols = ws.slot("cols", ckk * ohw);
-            for (local, s) in range.enumerate() {
-                let in_slice = &in_data[s * in_stride..(s + 1) * in_stride];
-                im2col(in_slice, c, h, w, size, stride, pad, cols);
-                let out_slice = &mut out_chunk[local * out_stride..(local + 1) * out_stride];
-                gemm(filters, ohw, ckk, weights, cols, out_slice);
-                if !batch_norm {
-                    for f in 0..filters {
+            let span = range.len();
+            let wide = span * ohw;
+            let mut cols = ws.take("cols", ckk * wide);
+            im2col_batch(
+                &in_data[range.start * in_stride..range.end * in_stride],
+                span, c, h, w, size, stride, pad, &mut cols,
+            );
+            let mut out_wide = ws.take_zeroed("out_wide", filters * wide);
+            gemm(filters, wide, ckk, weights, &cols, &mut out_wide);
+            // Scatter [filters, span·ohw] → [span, filters, ohw], adding
+            // the bias during the copy (the same "+ bias" each element
+            // received after its per-sample GEMM).
+            for local in 0..span {
+                for f in 0..filters {
+                    let src = &out_wide[f * wide + local * ohw..][..ohw];
+                    let dst = &mut out_chunk[local * out_stride + f * ohw..][..ohw];
+                    if batch_norm {
+                        dst.copy_from_slice(src);
+                    } else {
                         let bias = biases[f];
-                        for v in &mut out_slice[f * ohw..(f + 1) * ohw] {
-                            *v += bias;
+                        for (d, &v) in dst.iter_mut().zip(src) {
+                            *d = v + bias;
                         }
                     }
                 }
             }
+            ws.put_back("cols", cols);
+            ws.put_back("out_wide", out_wide);
         };
         if jobs <= 1 {
             run_range(&mut self.workers[0], 0..n, output.as_mut_slice());
@@ -631,18 +663,24 @@ impl Layer for Conv2d {
         let last_input = &self.last_input;
         let delta_act_ref = &delta_act;
 
-        // Per-sample work: im2col, the two GEMMs, col2im. Weight/bias
-        // gradients are *staged per sample* (`dw`/`db` slices zeroed and
-        // filled from scratch), never accumulated inside the job — the
-        // fixed-sample-order reduction below is what keeps the gradient
-        // bits independent of the worker count.
+        // One job = one contiguous sample range. Weight/bias gradients
+        // are *staged per sample* (`dw`/`db` slices zeroed and filled
+        // from scratch), never accumulated inside the job and never
+        // fused into a wide GEMM — summing across samples is the one
+        // order-sensitive reduction, and the fixed-sample-order fold
+        // below is what keeps the gradient bits independent of both the
+        // worker count and the batching. The input-delta GEMM has no
+        // cross-sample sums, so it *does* run whole-range: one
+        // `Wᵀ · δ_wide` over a `filters × (span·ohw)` delta matrix, then
+        // one batched col2im scatter.
         let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, id_chunk: &mut [f32]| {
             let span = range.len();
+            let wide = span * ohw;
             let mut cols_t = ws.take("cols_t", ckk * ohw);
-            let mut col_delta = ws.take("col_delta", ckk * ohw);
             let mut dw = ws.take("dw", span * dw_len);
             let mut db = ws.take("db", span * filters);
-            for (local, s) in range.enumerate() {
+            let mut delta_wide = ws.take("delta_wide", filters * wide);
+            for (local, s) in range.clone().enumerate() {
                 let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
 
                 // Bias gradient staging: per-filter delta sums (BN layers
@@ -667,14 +705,25 @@ impl Layer for Conv2d {
                 dw_slice.fill(0.0);
                 gemm(filters, ckk, ohw, d_slice, &cols_t, dw_slice);
 
-                // Input delta: Wᵀ · δ, scattered back through col2im.
-                col_delta.fill(0.0);
-                gemm_at_b(ckk, ohw, filters, weights, d_slice, &mut col_delta);
-                let id_slice = &mut id_chunk[local * in_stride..(local + 1) * in_stride];
-                col2im(&col_delta, c, h, w, size, stride, pad, id_slice);
+                // Stage this sample's delta into the wide filter-major
+                // layout the whole-range input-delta GEMM consumes.
+                for f in 0..filters {
+                    delta_wide[f * wide + local * ohw..][..ohw]
+                        .copy_from_slice(&d_slice[f * ohw..(f + 1) * ohw]);
+                }
             }
+
+            // Input delta for the whole range: Wᵀ · δ_wide in one GEMM
+            // (each column is one sample position — per-sample chains,
+            // bit-identical to per-sample GEMMs), scattered back through
+            // the batched col2im.
+            let mut col_delta = ws.take_zeroed("col_delta", ckk * wide);
+            gemm_at_b(ckk, wide, filters, weights, &delta_wide, &mut col_delta);
+            col2im_batch(&col_delta, span, c, h, w, size, stride, pad, id_chunk);
+
             ws.put_back("cols_t", cols_t);
             ws.put_back("col_delta", col_delta);
+            ws.put_back("delta_wide", delta_wide);
             ws.put_back("dw", dw);
             ws.put_back("db", db);
         };

@@ -136,7 +136,7 @@ pub struct LayerDescriptor {
 ///   selects kernel implementation, never arithmetic order.
 ///
 /// `Send + Sync` are supertraits because whole networks (and the
-/// trainers that own them) migrate across the scoped worker threads of
+/// trainers that own them) migrate across the persistent worker pool of
 /// `caltrain-runtime` during parallel hub rounds; every layer is plain
 /// owned data, so the bounds cost implementations nothing.
 pub trait Layer: fmt::Debug + Send + Sync {
@@ -250,8 +250,9 @@ pub trait Layer: fmt::Debug + Send + Sync {
 
     /// Sets the worker budget for this layer's per-sample loops.
     ///
-    /// Layers with batch-parallel paths (currently [`Conv2d`]) fan their
-    /// per-sample work across `caltrain-runtime` scoped workers. The
+    /// Layers with batch-parallel paths ([`Conv2d`], [`MaxPool`],
+    /// [`GlobalAvgPool`]) fan their per-sample work across the
+    /// persistent `caltrain-runtime` worker pool. The
     /// runtime invariant holds here as everywhere: **worker count never
     /// changes results** — partitioning is static and gradient
     /// reductions run in fixed sample order, so weights are bit-identical

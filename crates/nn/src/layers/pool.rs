@@ -1,11 +1,40 @@
 //! Pooling layers: max pooling and Darknet's global average pooling.
+//!
+//! Until PR 4 these were the only remaining *sequential* per-sample
+//! batch loops on the training hot path. Both layers now fan contiguous
+//! sample ranges across the persistent `caltrain-runtime` worker pool
+//! exactly the way `Conv2d` does: static partitioning, disjoint output
+//! chunks per job, no cross-sample arithmetic at all — so worker count
+//! can never change a result bit. Small batches stay inline below
+//! [`PAR_MIN_BATCH_ELEMS`] (pooling is memory-bound; fanning out only
+//! pays once there are real planes to sweep per worker).
 
+use caltrain_runtime::{chunk_ranges, par_map_mut, Parallelism};
 use caltrain_tensor::im2col::conv_out_extent;
 use caltrain_tensor::{Shape, Tensor};
 
 use crate::layers::{batch_size, Layer, LayerDescriptor, LayerKind};
 use crate::network::KernelMode;
 use crate::NnError;
+
+/// Minimum whole-batch *touched elements* (window taps on the forward
+/// sweep) before a pooling layer fans its per-sample loop across
+/// workers. Pooling does ~1 compare/add per tap, so elements — not
+/// FLOPs — are the cost unit. Unit-test-sized batches stay inline;
+/// zoo-scale batches cross the threshold.
+const PAR_MIN_BATCH_ELEMS: u64 = 1 << 17;
+
+/// Shared fan-out policy for both pooling layers: 1 job (inline, no
+/// pool) unless the worker knob and the whole-batch touched-element
+/// volume both justify it; otherwise one job per worker, capped by the
+/// batch size.
+fn pool_parallel_jobs(parallelism: Parallelism, n: usize, elems_per_sample: u64) -> usize {
+    let workers = parallelism.workers();
+    if workers <= 1 || n < 2 || n as u64 * elems_per_sample < PAR_MIN_BATCH_ELEMS {
+        return 1;
+    }
+    workers.min(n)
+}
 
 /// Max pooling with a square window.
 #[derive(Debug, Clone)]
@@ -20,6 +49,8 @@ pub struct MaxPool {
     argmax: Vec<usize>,
     last_batch: usize,
     reuse_buffers: bool,
+    /// Worker budget for the per-sample loops (never changes results).
+    parallelism: Parallelism,
 }
 
 impl MaxPool {
@@ -43,7 +74,13 @@ impl MaxPool {
             argmax: Vec::new(),
             last_batch: 0,
             reuse_buffers: true,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Job count for a batch of `n` (see [`pool_parallel_jobs`]).
+    fn parallel_jobs(&self, n: usize) -> usize {
+        pool_parallel_jobs(self.parallelism, n, self.flops_per_sample())
     }
 }
 
@@ -81,39 +118,71 @@ impl Layer for MaxPool {
         self.argmax.resize(n * c * oh * ow, 0);
 
         let in_samp = c * h * w;
+        let out_samp = c * oh * ow;
         let data = input.as_slice();
-        let out = output.as_mut_slice();
-        let mut oidx = 0usize;
-        for s in 0..n {
-            for ch in 0..c {
-                let plane = s * in_samp + ch * h * w;
-                for oy in 0..oh {
-                    for ox in 0..ow {
-                        let mut best = f32::NEG_INFINITY;
-                        let mut best_idx = plane;
-                        for ky in 0..self.size {
-                            let iy = oy * self.stride + ky;
-                            if iy >= h {
-                                continue;
-                            }
-                            for kx in 0..self.size {
-                                let ix = ox * self.stride + kx;
-                                if ix >= w {
+        let (size, stride) = (self.size, self.stride);
+
+        // One job = one contiguous sample range writing disjoint output
+        // and argmax chunks; argmax stores *absolute* input indices, so
+        // chunking needs no re-basing. No cross-sample arithmetic exists
+        // in this layer, so the job count cannot change any bit.
+        let run_range = |range: std::ops::Range<usize>, out: &mut [f32], amax: &mut [usize]| {
+            let mut oidx = 0usize;
+            for s in range {
+                for ch in 0..c {
+                    let plane = s * in_samp + ch * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = plane;
+                            for ky in 0..size {
+                                let iy = oy * stride + ky;
+                                if iy >= h {
                                     continue;
                                 }
-                                let idx = plane + iy * w + ix;
-                                if data[idx] > best {
-                                    best = data[idx];
-                                    best_idx = idx;
+                                for kx in 0..size {
+                                    let ix = ox * stride + kx;
+                                    if ix >= w {
+                                        continue;
+                                    }
+                                    let idx = plane + iy * w + ix;
+                                    if data[idx] > best {
+                                        best = data[idx];
+                                        best_idx = idx;
+                                    }
                                 }
                             }
+                            out[oidx] = best;
+                            amax[oidx] = best_idx;
+                            oidx += 1;
                         }
-                        out[oidx] = best;
-                        self.argmax[oidx] = best_idx;
-                        oidx += 1;
                     }
                 }
             }
+        };
+
+        let jobs = self.parallel_jobs(n);
+        if jobs <= 1 {
+            run_range(0..n, output.as_mut_slice(), &mut self.argmax);
+        } else {
+            struct FwdJob<'a> {
+                range: std::ops::Range<usize>,
+                out: &'a mut [f32],
+                amax: &'a mut [usize],
+            }
+            let mut job_list = Vec::with_capacity(jobs);
+            let mut out_rest = output.as_mut_slice();
+            let mut amax_rest = self.argmax.as_mut_slice();
+            for range in chunk_ranges(n, jobs) {
+                let (out, o_rest) = out_rest.split_at_mut(range.len() * out_samp);
+                let (amax, a_rest) = amax_rest.split_at_mut(range.len() * out_samp);
+                out_rest = o_rest;
+                amax_rest = a_rest;
+                job_list.push(FwdJob { range, out, amax });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.range.clone(), job.out, job.amax);
+            });
         }
         let flops = n as u64 * self.flops_per_sample();
         Ok((output, flops))
@@ -124,11 +193,41 @@ impl Layer for MaxPool {
         if n != self.last_batch {
             return Err(NnError::BadTargets("backward batch differs from forward"));
         }
-        let mut input_delta =
-            Tensor::zeros(&[n, self.input_shape.dim(0), self.input_shape.dim(1), self.input_shape.dim(2)]);
-        let id = input_delta.as_mut_slice();
-        for (o, &src) in self.argmax.iter().enumerate() {
-            id[src] += delta.as_slice()[o];
+        let d = self.input_shape.dims();
+        let in_samp = d[0] * d[1] * d[2];
+        let out_samp = self.output_shape.volume();
+        let mut input_delta = Tensor::zeros(&[n, d[0], d[1], d[2]]);
+        let dd = delta.as_slice();
+        let argmax = &self.argmax;
+
+        // Argmax indices always point inside the owning sample's input
+        // plane, so per-range routing touches only that range's chunk of
+        // the input delta.
+        let run_range = |range: std::ops::Range<usize>, id: &mut [f32]| {
+            let id_base = range.start * in_samp;
+            for o in range.start * out_samp..range.end * out_samp {
+                id[argmax[o] - id_base] += dd[o];
+            }
+        };
+
+        let jobs = self.parallel_jobs(n);
+        if jobs <= 1 {
+            run_range(0..n, input_delta.as_mut_slice());
+        } else {
+            struct BwdJob<'a> {
+                range: std::ops::Range<usize>,
+                id: &'a mut [f32],
+            }
+            let mut job_list = Vec::with_capacity(jobs);
+            let mut id_rest = input_delta.as_mut_slice();
+            for range in chunk_ranges(n, jobs) {
+                let (id, rest) = id_rest.split_at_mut(range.len() * in_samp);
+                id_rest = rest;
+                job_list.push(BwdJob { range, id });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.range.clone(), job.id);
+            });
         }
         Ok((input_delta, n as u64 * self.flops_per_sample()))
     }
@@ -151,6 +250,10 @@ impl Layer for MaxPool {
         Box::new(self.clone())
     }
 
+    fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
     fn set_buffer_reuse(&mut self, reuse: bool) {
         self.reuse_buffers = reuse;
         if !reuse {
@@ -166,6 +269,8 @@ pub struct GlobalAvgPool {
     input_shape: Shape,
     output_shape: Shape,
     last_batch: usize,
+    /// Worker budget for the per-sample loops (never changes results).
+    parallelism: Parallelism,
 }
 
 impl GlobalAvgPool {
@@ -181,7 +286,13 @@ impl GlobalAvgPool {
             input_shape: input_shape.clone(),
             output_shape: Shape::new(&[d[0]]).expect("channel axis non-zero"),
             last_batch: 0,
+            parallelism: Parallelism::default(),
         }
+    }
+
+    /// Job count for a batch of `n` (see [`pool_parallel_jobs`]).
+    fn parallel_jobs(&self, n: usize) -> usize {
+        pool_parallel_jobs(self.parallelism, n, self.flops_per_sample())
     }
 }
 
@@ -210,12 +321,37 @@ impl Layer for GlobalAvgPool {
         self.last_batch = n;
         let mut output = Tensor::zeros(&[n, c]);
         let data = input.as_slice();
-        let out = output.as_mut_slice();
-        for s in 0..n {
-            for ch in 0..c {
-                let plane = &data[(s * c + ch) * hw..(s * c + ch + 1) * hw];
-                out[s * c + ch] = plane.iter().sum::<f32>() / hw as f32;
+
+        // Each sample's channel means are independent; the per-channel
+        // sum keeps its single ascending accumulator chain regardless of
+        // how samples are partitioned.
+        let run_range = |range: std::ops::Range<usize>, out: &mut [f32]| {
+            for (local, s) in range.enumerate() {
+                for ch in 0..c {
+                    let plane = &data[(s * c + ch) * hw..(s * c + ch + 1) * hw];
+                    out[local * c + ch] = plane.iter().sum::<f32>() / hw as f32;
+                }
             }
+        };
+
+        let jobs = self.parallel_jobs(n);
+        if jobs <= 1 {
+            run_range(0..n, output.as_mut_slice());
+        } else {
+            struct FwdJob<'a> {
+                range: std::ops::Range<usize>,
+                out: &'a mut [f32],
+            }
+            let mut job_list = Vec::with_capacity(jobs);
+            let mut out_rest = output.as_mut_slice();
+            for range in chunk_ranges(n, jobs) {
+                let (out, rest) = out_rest.split_at_mut(range.len() * c);
+                out_rest = rest;
+                job_list.push(FwdJob { range, out });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.range.clone(), job.out);
+            });
         }
         Ok((output, n as u64 * self.flops_per_sample()))
     }
@@ -233,14 +369,37 @@ impl Layer for GlobalAvgPool {
         }
         let n = dims[0];
         let mut input_delta = Tensor::zeros(&[n, c, d[1], d[2]]);
-        let id = input_delta.as_mut_slice();
-        for s in 0..n {
-            for ch in 0..c {
-                let g = delta.as_slice()[s * c + ch] / hw as f32;
-                for v in &mut id[(s * c + ch) * hw..(s * c + ch + 1) * hw] {
-                    *v = g;
+        let dd = delta.as_slice();
+
+        let run_range = |range: std::ops::Range<usize>, id: &mut [f32]| {
+            for (local, s) in range.enumerate() {
+                for ch in 0..c {
+                    let g = dd[s * c + ch] / hw as f32;
+                    for v in &mut id[(local * c + ch) * hw..(local * c + ch + 1) * hw] {
+                        *v = g;
+                    }
                 }
             }
+        };
+
+        let jobs = self.parallel_jobs(n);
+        if jobs <= 1 {
+            run_range(0..n, input_delta.as_mut_slice());
+        } else {
+            struct BwdJob<'a> {
+                range: std::ops::Range<usize>,
+                id: &'a mut [f32],
+            }
+            let mut job_list = Vec::with_capacity(jobs);
+            let mut id_rest = input_delta.as_mut_slice();
+            for range in chunk_ranges(n, jobs) {
+                let (id, rest) = id_rest.split_at_mut(range.len() * c * hw);
+                id_rest = rest;
+                job_list.push(BwdJob { range, id });
+            }
+            par_map_mut(self.parallelism, &mut job_list, |_, job| {
+                run_range(job.range.clone(), job.id);
+            });
         }
         Ok((input_delta, n as u64 * self.flops_per_sample()))
     }
@@ -261,6 +420,10 @@ impl Layer for GlobalAvgPool {
 
     fn clone_box(&self) -> Box<dyn Layer> {
         Box::new(self.clone())
+    }
+
+    fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
     }
 }
 
@@ -304,6 +467,47 @@ mod tests {
     }
 
     #[test]
+    fn maxpool_parallel_bit_identical_to_sequential() {
+        // A batch big enough to cross PAR_MIN_BATCH_ELEMS: 16 × 32ch ×
+        // 14x14 × 4 taps ≈ 400k touched elements.
+        let shape = Shape::new(&[32, 28, 28]).unwrap();
+        let input = Tensor::from_fn(&[16, 32, 28, 28], |i| {
+            ((i as u64).wrapping_mul(2654435761) % 251) as f32 / 31.0 - 4.0
+        });
+        let delta = Tensor::from_fn(&[16, 32, 14, 14], |i| (i % 7) as f32 - 3.0);
+
+        let mut seq = MaxPool::new(&shape, 2, 2);
+        seq.set_parallelism(Parallelism::sequential());
+        let (out_seq, _) = seq.forward(&input, KernelMode::Native, true).unwrap();
+        let (id_seq, _) = seq.backward(&delta, KernelMode::Native).unwrap();
+
+        for workers in [2, 4, 8] {
+            let mut par = MaxPool::new(&shape, 2, 2);
+            par.set_parallelism(Parallelism::new(workers));
+            assert!(par.parallel_jobs(16) > 1, "batch must fan out at {workers} workers");
+            let (out_par, _) = par.forward(&input, KernelMode::Native, true).unwrap();
+            assert_eq!(out_seq.as_slice(), out_par.as_slice(), "forward w={workers}");
+            assert_eq!(seq.argmax, par.argmax, "argmax w={workers}");
+            let (id_par, _) = par.backward(&delta, KernelMode::Native).unwrap();
+            assert_eq!(id_seq.as_slice(), id_par.as_slice(), "backward w={workers}");
+        }
+    }
+
+    #[test]
+    fn tiny_batches_stay_inline() {
+        let l = MaxPool::new(&Shape::new(&[1, 4, 4]).unwrap(), 2, 2);
+        // Even with a generous worker budget the threshold keeps small
+        // unit-test batches off the pool.
+        let mut l2 = l.clone();
+        l2.set_parallelism(Parallelism::new(8));
+        assert_eq!(l2.parallel_jobs(2), 1);
+        let a = GlobalAvgPool::new(&Shape::new(&[2, 2, 2]).unwrap());
+        let mut a2 = a.clone();
+        a2.set_parallelism(Parallelism::new(8));
+        assert_eq!(a2.parallel_jobs(4), 1);
+    }
+
+    #[test]
     fn avgpool_means_each_channel() {
         let mut l = GlobalAvgPool::new(&Shape::new(&[2, 2, 2]).unwrap());
         let input =
@@ -311,6 +515,30 @@ mod tests {
                 .unwrap();
         let (out, _) = l.forward(&input, KernelMode::Native, false).unwrap();
         assert_eq!(out.as_slice(), &[2.5, 25.0]);
+    }
+
+    #[test]
+    fn avgpool_parallel_bit_identical_to_sequential() {
+        let shape = Shape::new(&[64, 14, 14]).unwrap();
+        let input = Tensor::from_fn(&[24, 64, 14, 14], |i| {
+            ((i * 37) % 101) as f32 / 13.0 - 3.5
+        });
+        let delta = Tensor::from_fn(&[24, 64], |i| (i % 11) as f32 - 5.0);
+
+        let mut seq = GlobalAvgPool::new(&shape);
+        seq.set_parallelism(Parallelism::sequential());
+        let (out_seq, _) = seq.forward(&input, KernelMode::Native, false).unwrap();
+        let (id_seq, _) = seq.backward(&delta, KernelMode::Native).unwrap();
+
+        for workers in [2, 4, 8] {
+            let mut par = GlobalAvgPool::new(&shape);
+            par.set_parallelism(Parallelism::new(workers));
+            assert!(par.parallel_jobs(24) > 1, "batch must fan out at {workers} workers");
+            let (out_par, _) = par.forward(&input, KernelMode::Native, false).unwrap();
+            assert_eq!(out_seq.as_slice(), out_par.as_slice(), "forward w={workers}");
+            let (id_par, _) = par.backward(&delta, KernelMode::Native).unwrap();
+            assert_eq!(id_seq.as_slice(), id_par.as_slice(), "backward w={workers}");
+        }
     }
 
     #[test]

@@ -67,6 +67,10 @@ fn assert_steady<L: Layer + ?Sized>(
     delta: &Tensor,
     train: bool,
 ) {
+    // Pin the inline path: parallel fan-out builds small per-call job
+    // lists (cheap, but not zero-alloc), and this gate is about the
+    // sequential hot loop. CALTRAIN_WORKERS must not flip it.
+    layer.set_parallelism(Parallelism::sequential());
     // Warm-up: grow every scratch buffer and cache.
     for _ in 0..2 {
         let (_out, _) = layer.forward(input, KernelMode::Native, train).unwrap();

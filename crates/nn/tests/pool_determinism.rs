@@ -1,0 +1,77 @@
+//! Determinism gate for the persistent worker pool: a full
+//! `train_batch` trajectory — losses, trained weights and the FLOP
+//! counts the simulated clock charges from — must be bit-identical at
+//! 1, 2, 4 and 8 workers, on both kernel modes.
+//!
+//! This pins the runtime's core invariant end to end through the
+//! whole-batch GEMM conv path, the parallel pooling layers and the
+//! fixed-order gradient reductions, not just through unit kernels.
+
+use caltrain_nn::{Activation, Hyper, KernelMode, NetworkBuilder, Parallelism};
+use caltrain_tensor::Tensor;
+
+/// Conv(+BN) → pool → conv → avg stack sized to cross the conv layer's
+/// FLOP threshold, so the per-sample fan-out genuinely engages.
+fn net(seed: u64) -> caltrain_nn::Network {
+    NetworkBuilder::new(&[3, 24, 24])
+        .conv_bn(16, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(8, 3, 1, 1, Activation::Leaky)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(seed)
+        .expect("fixed architecture")
+}
+
+fn batch(n: usize, salt: u64) -> (Tensor, Vec<usize>) {
+    let images = Tensor::from_fn(&[n, 3, 24, 24], |i| {
+        ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 251) as f32 / 125.0 - 1.0
+    });
+    let labels: Vec<usize> = (0..n).map(|s| (s + salt as usize) % 3).collect();
+    (images, labels)
+}
+
+/// Trains 4 steps and returns the full observable trajectory:
+/// per-step (loss bits, flops), plus the final weights.
+fn trajectory(workers: usize, mode: KernelMode) -> (Vec<(u32, u64)>, Vec<Vec<f32>>) {
+    let mut net = net(2024);
+    net.set_parallelism(Parallelism::new(workers));
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+    let mut steps = Vec::new();
+    for step in 0..4 {
+        let (images, labels) = batch(9, step);
+        let (loss, flops) = net.train_batch(&images, &labels, &hyper, mode).unwrap();
+        steps.push((loss.to_bits(), flops));
+    }
+    (steps, net.export_params())
+}
+
+#[test]
+fn full_train_batch_bit_identical_at_1_2_4_8_workers() {
+    for mode in [KernelMode::Native, KernelMode::Strict] {
+        let (steps1, params1) = trajectory(1, mode);
+        for workers in [2, 4, 8] {
+            let (stepsw, paramsw) = trajectory(workers, mode);
+            assert_eq!(
+                steps1, stepsw,
+                "losses/flops must be bit-identical at {workers} workers ({mode:?})"
+            );
+            assert_eq!(
+                params1, paramsw,
+                "weights must be bit-identical at {workers} workers ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn strict_native_agree_under_parallel_whole_batch_path() {
+    // Cross-mode agreement at a parallel worker count: the wide GEMMs
+    // dispatch to different kernels per mode, but every chain is the
+    // per-sample chain, so the trajectories coincide bit for bit.
+    let (native_steps, native_params) = trajectory(4, KernelMode::Native);
+    let (strict_steps, strict_params) = trajectory(4, KernelMode::Strict);
+    assert_eq!(native_steps, strict_steps, "per-step loss/flops must agree across modes");
+    assert_eq!(native_params, strict_params, "weights must agree across modes");
+}

@@ -1,0 +1,50 @@
+//! Thread-reuse gate: after pool warm-up, steady-state training must
+//! spawn **zero** OS threads — the property that distinguishes the
+//! persistent worker pool from the spawn-per-call scoped design it
+//! replaced (which paid ~4 spawns per conv call).
+//!
+//! This is deliberately the only test in this binary: the spawn counter
+//! is process-global, and a sibling test growing the pool for its own
+//! batches would make a zero-delta assertion racy.
+
+use caltrain_nn::{Activation, Hyper, KernelMode, NetworkBuilder, Parallelism};
+use caltrain_tensor::Tensor;
+
+#[test]
+fn steady_state_training_spawns_no_threads() {
+    let mut net = NetworkBuilder::new(&[3, 24, 24])
+        .conv_bn(16, 3, 1, 1, Activation::Leaky)
+        .maxpool(2, 2)
+        .conv(8, 3, 1, 1, Activation::Leaky)
+        .global_avgpool()
+        .softmax()
+        .cost()
+        .build(7)
+        .expect("fixed architecture");
+    net.set_parallelism(Parallelism::new(4));
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+    let images = Tensor::from_fn(&[9, 3, 24, 24], |i| {
+        ((i as u64).wrapping_mul(2654435761) % 251) as f32 / 125.0 - 1.0
+    });
+    let labels: Vec<usize> = (0..9).map(|s| s % 3).collect();
+
+    // Warm-up: the first steps grow the pool (and the scratch arenas).
+    for _ in 0..2 {
+        net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+    }
+    let spawned_warm = caltrain_runtime::pool::thread_spawns();
+    assert!(
+        spawned_warm >= 3,
+        "a 4-worker training step must have engaged the pool (spawned {spawned_warm})"
+    );
+
+    // Steady state: many more steps, not one new thread.
+    for _ in 0..6 {
+        net.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+    }
+    let spawned_after = caltrain_runtime::pool::thread_spawns();
+    assert_eq!(
+        spawned_after, spawned_warm,
+        "steady-state training must reuse pool threads, not spawn new ones"
+    );
+}

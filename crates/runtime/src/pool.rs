@@ -1,0 +1,284 @@
+//! The persistent worker pool behind [`par_map`](crate::par_map) /
+//! [`par_map_mut`](crate::par_map_mut).
+//!
+//! # Why persistent
+//!
+//! Through PR 3 the runtime spawned fresh `std::thread::scope` threads on
+//! *every* parallel call. At hub granularity (one call per federated
+//! round) that was noise; at layer granularity it became the dominant
+//! cost — ~4 spawns per conv call, measured ~20 % overhead at batch 16,
+//! enough to make 4 workers *slower* than 1 on the host. This module
+//! replaces the spawns with long-lived threads behind one process-wide
+//! job queue: threads are created lazily the first time a capacity is
+//! needed (and counted by [`thread_spawns`], which benches assert is
+//! flat after warm-up), then parked on a condvar between jobs forever.
+//!
+//! # Execution model
+//!
+//! The only primitive is the crate-internal `broadcast(slots, f)`: run
+//! `f(slot)` once
+//! for every `slot in 0..slots`, concurrently, returning when all calls
+//! have finished. Slot 0 always runs inline on the calling thread; slots
+//! `1..` are pushed onto the shared queue for pool threads. While its
+//! batch is outstanding the caller *helps*: it drains jobs from the
+//! queue (its own batch's or anyone else's), which is what makes nested
+//! parallelism (conv layers fanning out inside hub workers) deadlock-free
+//! — every waiter is also a worker.
+//!
+//! Pool capacity is grown to cover the jobs outstanding at enqueue time,
+//! so even jobs that block on each other (the barrier-style concurrency
+//! proofs in the test suite) always have enough threads to make
+//! progress. Threads are never torn down; an idle pool costs parked
+//! threads only.
+//!
+//! # Determinism
+//!
+//! The pool schedules *dynamically* — which thread runs which job is a
+//! race — but no caller can observe it: `par_map`/`par_map_mut`
+//! reassemble results in item order, and every numeric call site
+//! partitions statically and reduces sequentially. Worker count and
+//! scheduling therefore never change a single result bit; the pool only
+//! changes wall-clock. The determinism tests in `caltrain-nn`,
+//! `caltrain-core` and the `training_throughput` bench pin this.
+//!
+//! # Safety
+//!
+//! Pool threads outlive any particular call, yet jobs borrow the
+//! caller's stack (`f` and everything it captures). The lifetime is
+//! erased at the queue boundary (the one `unsafe` in this crate) and
+//! re-established by blocking: `broadcast` does not return — not even
+//! by panic — until every job of its batch has finished running, so the
+//! borrows a pool thread dereferences are always live. Panics inside
+//! jobs are caught on the worker, carried back through the batch state,
+//! and resumed on the caller after the barrier.
+
+#![allow(clippy::needless_doctest_main)]
+
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Process-wide pool state: the job queue plus thread accounting.
+struct PoolShared {
+    /// Pending jobs. One queue for every batch keeps the design small;
+    /// helping callers drain it without caring whose batch a job is.
+    queue: Mutex<VecDeque<Job>>,
+    /// Signalled on job push *and* batch completion; workers and waiting
+    /// callers both park here and re-check their predicate.
+    work_ready: Condvar,
+    /// Live pool threads (monotone — threads are never torn down).
+    capacity: AtomicUsize,
+    /// Jobs enqueued but not yet finished, across all batches. Capacity
+    /// is grown to at least this number so jobs that block on their
+    /// batch siblings (barriers in tests) can always all run at once.
+    outstanding: AtomicUsize,
+    /// Total threads ever spawned; flat after warm-up (benches gate it).
+    spawned: AtomicUsize,
+    /// Serialises growth decisions so two callers cannot both spawn for
+    /// the same deficit.
+    grow_lock: Mutex<()>,
+}
+
+/// Per-[`broadcast`] completion state shared between the caller and the
+/// pool threads running its jobs.
+struct BatchState {
+    /// Queued jobs of this batch still running or not yet claimed.
+    remaining: AtomicUsize,
+    /// First panic payload captured from a job, replayed on the caller.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// One queued slot invocation with its lifetime erased.
+///
+/// `data` points at the caller's closure, alive because the caller
+/// blocks in [`broadcast`] until `state.remaining` reaches zero.
+struct Job {
+    data: *const (),
+    call: unsafe fn(*const (), usize),
+    slot: usize,
+    state: Arc<BatchState>,
+}
+
+// SAFETY: `data` is only dereferenced (via `call`) while the owning
+// `broadcast` frame is blocked waiting on `state`, so the pointee is
+// live and `&F: Sync` makes the shared access sound across threads.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+impl Job {
+    /// Runs the job, records a panic instead of unwinding, then marks
+    /// completion. The completion notify takes the queue lock so it
+    /// pairs with the waiter's locked predicate check (no lost wakeup).
+    fn run(self, shared: &PoolShared) {
+        // SAFETY: see the `Send` impl — the pointee outlives this call.
+        #[allow(unsafe_code)]
+        let result = panic::catch_unwind(AssertUnwindSafe(|| unsafe {
+            (self.call)(self.data, self.slot)
+        }));
+        if let Err(payload) = result {
+            let mut slot = self.state.panic.lock();
+            slot.get_or_insert(payload);
+        }
+        let last_of_batch = self.state.remaining.fetch_sub(1, Ordering::AcqRel) == 1;
+        shared.outstanding.fetch_sub(1, Ordering::AcqRel);
+        if last_of_batch {
+            let _guard = shared.queue.lock();
+            shared.work_ready.notify_all();
+        }
+    }
+}
+
+fn shared() -> &'static Arc<PoolShared> {
+    static POOL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            capacity: AtomicUsize::new(0),
+            outstanding: AtomicUsize::new(0),
+            spawned: AtomicUsize::new(0),
+            grow_lock: Mutex::new(()),
+        })
+    })
+}
+
+/// Grows the pool to at least `needed` threads. Never shrinks.
+fn ensure_capacity(needed: usize) {
+    let pool = shared();
+    if pool.capacity.load(Ordering::Acquire) >= needed {
+        return;
+    }
+    let _grow = pool.grow_lock.lock();
+    let current = pool.capacity.load(Ordering::Acquire);
+    for _ in current..needed {
+        let worker = Arc::clone(pool);
+        thread::Builder::new()
+            .name("caltrain-pool".into())
+            .spawn(move || worker_loop(&worker))
+            .expect("spawn pool worker thread");
+        pool.spawned.fetch_add(1, Ordering::Relaxed);
+    }
+    if needed > current {
+        pool.capacity.store(needed, Ordering::Release);
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    let mut queue = shared.queue.lock();
+    loop {
+        if let Some(job) = queue.pop_front() {
+            drop(queue);
+            job.run(shared);
+            queue = shared.queue.lock();
+        } else {
+            queue = shared.work_ready.wait(queue);
+        }
+    }
+}
+
+/// Runs `f(slot)` for every `slot in 0..slots` concurrently on the
+/// persistent pool, returning once all invocations have finished.
+///
+/// Slot 0 runs inline on the caller; with `slots <= 1` the pool is not
+/// touched at all (the inline fast path the sequential default takes).
+/// While waiting, the caller executes queued jobs — its own batch's or
+/// other batches' — so nested broadcasts cannot deadlock.
+///
+/// # Panics
+///
+/// The first panic raised inside any slot resumes on the caller after
+/// every slot has finished (the scoped-thread contract this pool
+/// replaced).
+pub(crate) fn broadcast<F: Fn(usize) + Sync>(slots: usize, f: &F) {
+    if slots <= 1 {
+        if slots == 1 {
+            f(0);
+        }
+        return;
+    }
+
+    /// Monomorphic trampoline re-typing the erased pointer.
+    #[allow(unsafe_code)]
+    unsafe fn call<F: Fn(usize)>(data: *const (), slot: usize) {
+        // SAFETY: `broadcast` keeps `f` alive until the batch completes.
+        (*(data as *const F))(slot)
+    }
+
+    let pool = shared();
+    let queued = slots - 1;
+    let state = Arc::new(BatchState {
+        remaining: AtomicUsize::new(queued),
+        panic: Mutex::new(None),
+    });
+    let outstanding = pool.outstanding.fetch_add(queued, Ordering::AcqRel) + queued;
+    ensure_capacity(outstanding);
+    {
+        let mut queue = pool.queue.lock();
+        for slot in 1..slots {
+            queue.push_back(Job {
+                data: f as *const F as *const (),
+                call: call::<F>,
+                slot,
+                state: Arc::clone(&state),
+            });
+        }
+        pool.work_ready.notify_all();
+    }
+
+    // The caller's own slot. A panic here must not unwind yet — the
+    // queued jobs still borrow the caller's stack — so it is caught and
+    // replayed after the completion barrier below.
+    let caller_result = panic::catch_unwind(AssertUnwindSafe(|| f(0)));
+
+    // Completion barrier with helping: drain jobs while waiting.
+    let mut queue = pool.queue.lock();
+    while state.remaining.load(Ordering::Acquire) != 0 {
+        if let Some(job) = queue.pop_front() {
+            drop(queue);
+            job.run(pool);
+            queue = pool.queue.lock();
+        } else {
+            queue = pool.work_ready.wait(queue);
+        }
+    }
+    drop(queue);
+
+    if let Some(payload) = state.panic.lock().take() {
+        panic::resume_unwind(payload);
+    }
+    if let Err(payload) = caller_result {
+        panic::resume_unwind(payload);
+    }
+}
+
+/// Pre-spawns pool threads for a worker budget, so the first parallel
+/// call of a training run does not pay thread creation.
+///
+/// A budget of `workers` needs `workers - 1` pool threads (the caller is
+/// always the remaining worker). Sequential budgets are a no-op. Called
+/// by the component owners (`PipelineConfig` consumers, hub clusters,
+/// the training server) when a parallelism knob is set.
+pub fn warm(workers: usize) {
+    if workers > 1 {
+        ensure_capacity(workers - 1);
+    }
+}
+
+/// Total pool threads ever spawned by this process.
+///
+/// Monotone; flat once the pool is warm. The `training_throughput` bench
+/// and the thread-reuse tests assert a delta of **zero** across
+/// steady-state training steps — the property that distinguishes this
+/// pool from the scoped-thread design it replaced.
+pub fn thread_spawns() -> usize {
+    shared().spawned.load(Ordering::Relaxed)
+}
+
+/// Current live pool threads (spawned and never torn down).
+pub fn threads() -> usize {
+    shared().capacity.load(Ordering::Relaxed)
+}

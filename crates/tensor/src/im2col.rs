@@ -125,6 +125,132 @@ pub fn im2col_transposed(
     }
 }
 
+/// Lowers a whole batch (`[n, channels, height, width]`, row-major) into
+/// **one** wide column matrix of shape `[channels·size·size, n·out_h·out_w]`,
+/// sample-major along the column axis: column `s·out_h·out_w + (oy·out_w + ox)`
+/// holds sample `s`'s window at `(oy, ox)`.
+///
+/// This is the whole-batch GEMM lowering: a convolution over the batch
+/// becomes the single GEMM `[f, ckk] × [ckk, n·ohw]` instead of `n`
+/// small `[f, ckk] × [ckk, ohw]` ones, giving the blocked kernel rows
+/// `n×` longer to stream. Each output element's dot product reads
+/// exactly the values the per-sample lowering reads, in the same
+/// ascending-`p` order, so the batched path is **bit-identical** to the
+/// per-sample path — only kernel overheads are amortised.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_batch(
+    input: &[f32],
+    n: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_extent(height, size, stride, pad);
+    let out_w = conv_out_extent(width, size, stride, pad);
+    let ohw = out_h * out_w;
+    let wide = n * ohw;
+    let sample = channels * height * width;
+    assert_eq!(input.len(), n * sample, "input geometry");
+    assert_eq!(output.len(), channels * size * size * wide, "column geometry");
+
+    let channel_cols = size * size;
+    for c in 0..channels {
+        for kidx in 0..channel_cols {
+            let ky = kidx / size;
+            let kx = kidx % size;
+            let row = (c * channel_cols + kidx) * wide;
+            for s in 0..n {
+                let in_plane = &input[s * sample + c * height * width..][..height * width];
+                let base = row + s * ohw;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        let v = if iy >= 0
+                            && iy < height as isize
+                            && ix >= 0
+                            && ix < width as isize
+                        {
+                            in_plane[iy as usize * width + ix as usize]
+                        } else {
+                            0.0
+                        };
+                        output[base + oy * out_w + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatters a **batched** wide column matrix (the [`im2col_batch`]
+/// layout, `[channels·size·size, n·out_h·out_w]`) back onto a batch of
+/// images `[n, channels, height, width]`, accumulating overlapping taps.
+///
+/// The adjoint of [`im2col_batch`] — used by the whole-batch backward
+/// input-delta path. Each output pixel accumulates its taps in the same
+/// kernel-index-ascending order as the per-sample [`col2im`], so results
+/// are bit-identical to `n` separate scatters.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_batch(
+    columns: &[f32],
+    n: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    output: &mut [f32],
+) {
+    let out_h = conv_out_extent(height, size, stride, pad);
+    let out_w = conv_out_extent(width, size, stride, pad);
+    let ohw = out_h * out_w;
+    let wide = n * ohw;
+    let sample = channels * height * width;
+    assert_eq!(columns.len(), channels * size * size * wide, "column geometry");
+    assert_eq!(output.len(), n * sample, "image geometry");
+
+    let channel_cols = size * size;
+    for s in 0..n {
+        for c in 0..channels {
+            let out_plane =
+                &mut output[s * sample + c * height * width..][..height * width];
+            for kidx in 0..channel_cols {
+                let ky = kidx / size;
+                let kx = kidx % size;
+                let base = (c * channel_cols + kidx) * wide + s * ohw;
+                for oy in 0..out_h {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= height as isize {
+                        continue;
+                    }
+                    for ox in 0..out_w {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix >= width as isize {
+                            continue;
+                        }
+                        out_plane[iy as usize * width + ix as usize] +=
+                            columns[base + oy * out_w + ox];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Scatters a column matrix back onto an image, accumulating overlapping
 /// taps — the adjoint of [`im2col`], used to backpropagate deltas through a
 /// convolution.
@@ -251,6 +377,96 @@ mod tests {
         assert_eq!(back[4], 9.0, "centre pixel participates in 9 windows");
         assert_eq!(back[0], 4.0, "corner pixel participates in 4 windows");
         assert_eq!(back[1], 6.0, "edge pixel participates in 6 windows");
+    }
+
+    #[test]
+    fn batched_columns_are_per_sample_columns_bitwise() {
+        // 3 samples, 2 channels, 4x4, 3x3/1 pad 1 -> per-sample 18x16.
+        let (n, c, hw) = (3usize, 2usize, 4usize);
+        let input: Vec<f32> =
+            (0..n * c * hw * hw).map(|v| (v as f32) * 0.37 - 5.0).collect();
+        let (ckk, ohw) = (c * 9, hw * hw);
+        let mut wide = vec![0.0; ckk * n * ohw];
+        im2col_batch(&input, n, c, hw, hw, 3, 1, 1, &mut wide);
+        let mut single = vec![0.0; ckk * ohw];
+        for s in 0..n {
+            im2col(&input[s * c * hw * hw..(s + 1) * c * hw * hw], c, hw, hw, 3, 1, 1, &mut single);
+            for row in 0..ckk {
+                for o in 0..ohw {
+                    assert_eq!(
+                        wide[row * n * ohw + s * ohw + o].to_bits(),
+                        single[row * ohw + o].to_bits(),
+                        "sample {s} ({row}, {o})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_col2im_equals_per_sample_scatter() {
+        let (n, c, hw) = (2usize, 1usize, 3usize);
+        let (ckk, ohw) = (9usize, 9usize);
+        let columns: Vec<f32> =
+            (0..ckk * n * ohw).map(|v| ((v * 13) % 7) as f32 - 3.0).collect();
+        let mut batched = vec![0.0; n * c * hw * hw];
+        col2im_batch(&columns, n, c, hw, hw, 3, 1, 1, &mut batched);
+        for s in 0..n {
+            // Extract sample s's column submatrix and scatter it alone.
+            let mut sub = vec![0.0; ckk * ohw];
+            for row in 0..ckk {
+                sub[row * ohw..(row + 1) * ohw]
+                    .copy_from_slice(&columns[row * n * ohw + s * ohw..][..ohw]);
+            }
+            let mut single = vec![0.0; c * hw * hw];
+            col2im(&sub, c, hw, hw, 3, 1, 1, &mut single);
+            for (a, b) in batched[s * c * hw * hw..(s + 1) * c * hw * hw].iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gemm_equals_per_sample_gemms_bitwise() {
+        use crate::gemm::{gemm_blocked, gemm_strict};
+        // The whole-batch lowering claim, end to end: one wide GEMM over
+        // the batched columns produces, per sample, the exact bits of
+        // the per-sample GEMMs — on both kernel paths.
+        let (n, c, hw, filters) = (3usize, 2usize, 5usize, 4usize);
+        let (ckk, ohw) = (c * 9, hw * hw);
+        let input: Vec<f32> =
+            (0..n * c * hw * hw).map(|v| ((v * 29) % 17) as f32 / 7.0 - 1.1).collect();
+        let weights: Vec<f32> =
+            (0..filters * ckk).map(|v| ((v * 31) % 13) as f32 / 5.0 - 1.2).collect();
+
+        let mut wide_cols = vec![0.0; ckk * n * ohw];
+        im2col_batch(&input, n, c, hw, hw, 3, 1, 1, &mut wide_cols);
+        let mut wide_out = vec![0.0; filters * n * ohw];
+        gemm_strict(filters, n * ohw, ckk, &weights, &wide_cols, &mut wide_out);
+        let mut wide_out_blocked = vec![0.0; filters * n * ohw];
+        gemm_blocked(filters, n * ohw, ckk, &weights, &wide_cols, &mut wide_out_blocked);
+
+        let mut cols = vec![0.0; ckk * ohw];
+        for s in 0..n {
+            im2col(&input[s * c * hw * hw..(s + 1) * c * hw * hw], c, hw, hw, 3, 1, 1, &mut cols);
+            let mut out = vec![0.0; filters * ohw];
+            gemm_strict(filters, ohw, ckk, &weights, &cols, &mut out);
+            for f in 0..filters {
+                for o in 0..ohw {
+                    let wide_idx = f * n * ohw + s * ohw + o;
+                    assert_eq!(
+                        wide_out[wide_idx].to_bits(),
+                        out[f * ohw + o].to_bits(),
+                        "strict sample {s} ({f}, {o})"
+                    );
+                    assert_eq!(
+                        wide_out_blocked[wide_idx].to_bits(),
+                        out[f * ohw + o].to_bits(),
+                        "blocked sample {s} ({f}, {o})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

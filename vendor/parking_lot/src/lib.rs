@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 use std::sync::{self, MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::time::Duration;
 
 /// A mutual-exclusion primitive (`std::sync::Mutex` with parking_lot's API).
 #[derive(Debug, Default)]
@@ -80,6 +81,59 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`].
+///
+/// **API divergence from the real crate:** parking_lot's `Condvar::wait`
+/// takes `&mut MutexGuard<T>`; re-creating that signature over a
+/// `std`-backed guard needs `unsafe`, which this shim forbids. `wait`
+/// here therefore uses the `std` shape — consume the guard, return it —
+/// which every call site in this workspace adapts to with a plain
+/// rebind (`guard = cv.wait(guard)`).
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar { inner: sync::Condvar::new() }
+    }
+
+    /// Blocks until notified, atomically releasing `guard` while asleep.
+    /// Wakeups may be spurious; callers re-check their predicate in a
+    /// loop.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.inner.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Like [`Condvar::wait`] but gives up after `timeout`; returns the
+    /// guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: Duration,
+    ) -> (MutexGuard<'a, T>, bool) {
+        match self.inner.wait_timeout(guard, timeout) {
+            Ok((g, r)) => (g, r.timed_out()),
+            Err(e) => {
+                let (g, r) = e.into_inner();
+                (g, r.timed_out())
+            }
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -106,5 +160,30 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(g);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        use std::sync::Arc;
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let peer = Arc::clone(&state);
+        let t = std::thread::spawn(move || {
+            *peer.0.lock() = true;
+            peer.1.notify_all();
+        });
+        let mut ready = state.0.lock();
+        while !*ready {
+            ready = state.1.wait(ready);
+        }
+        drop(ready);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let (_g, timed_out) = cv.wait_timeout(m.lock(), Duration::from_millis(5));
+        assert!(timed_out);
     }
 }
