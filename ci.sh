@@ -52,6 +52,13 @@ cargo bench --offline --bench parallel_scaling
 echo "==> cargo bench --bench training_throughput -- --smoke (determinism + JSON gate)"
 cargo bench --offline --bench training_throughput -- --smoke
 
+# Batch-1 inference smoke under a forced 4-worker pool: the row-tiled
+# shared wide GEMM path must produce bit-identical outputs at 1 vs 4
+# workers and spawn zero threads once warm (all assert!()s inside).
+echo "==> batch-1 inference smoke (CALTRAIN_WORKERS=4, row-tiled GEMM)"
+CALTRAIN_WORKERS=4 cargo bench --offline --bench training_throughput -- \
+  --smoke --batch1-only
+
 # Diff the freshly regenerated BENCH_*.json against the committed
 # baselines and WARN on >10% regressions of classified metrics
 # (steps/sec, allocs/step, spawn counts, …). Warning-only by design:
@@ -60,5 +67,12 @@ cargo bench --offline --bench training_throughput -- --smoke
 echo "==> bench_diff vs committed baselines (>10% regression warning)"
 cargo run --offline -q -p caltrain-bench --bin bench_diff -- \
   "$BENCH_BASELINE_DIR" . --threshold 0.10 || true
+
+# Trend watch over the committed per-PR history: flags slow drifts
+# whose cumulative movement beats 10% even though every single-PR step
+# stayed under the threshold above. Warning-only for the same reason.
+echo "==> bench_diff --trend (slow-drift watch over BENCH_history.jsonl)"
+cargo run --offline -q -p caltrain-bench --bin bench_diff -- \
+  --trend BENCH_history.jsonl --threshold 0.10 || true
 
 echo "CI green."

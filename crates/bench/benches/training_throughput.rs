@@ -13,12 +13,22 @@
 //! the modeled cluster speedup, and writes `BENCH_training.json` so the
 //! perf trajectory is tracked across PRs (`bench_diff` consumes it).
 //!
+//! Since PR 5 the bench also gates the **fused epilogue** (exactly ONE
+//! write pass over each conv output after its GEMM on the optimized
+//! path, vs two on the reference path) and measures **batch-1 forward
+//! latency** at 1 vs 4 workers — the shape the row-tiled shared wide
+//! GEMM exists to parallelise — asserting the outputs are bit-identical
+//! across worker counts.
+//!
 //! Run modes:
 //! * `cargo bench --bench training_throughput` — full run; also asserts
 //!   the reused path is ≥ 1.15× the reference path in steps/sec.
 //! * `… -- --smoke` — a few steps only: exercises every path, checks
 //!   determinism and the JSON emitter, skips the wall-clock-dependent
 //!   speedup gate (CI runs this).
+//! * `… -- --smoke --batch1-only` — just the batch-1 inference section
+//!   (CI runs this a second time under `CALTRAIN_WORKERS=4`); skips the
+//!   JSON write so the committed full-run metrics aren't clobbered.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -144,11 +154,92 @@ fn modeled_speedup(n: usize, w: usize) -> f64 {
     n as f64 / (n as f64 / w as f64).ceil()
 }
 
+struct Batch1Stats {
+    ms_per_forward: f64,
+    output_bits: Vec<u32>,
+    spawns: usize,
+}
+
+/// Measures warm batch-1 forward latency (`predict_probs`, eval mode)
+/// on the scale-4 zoo model — big enough that a single sample crosses
+/// the conv fan-out threshold, so the row-tiled shared wide GEMM (and
+/// the plane-chunked pooling) genuinely engage at `workers > 1`.
+fn run_batch1(workers: usize, iters: usize) -> Batch1Stats {
+    let mut net: Network = zoo::cifar10_10layer_scaled(4, 42).expect("fixed architecture");
+    net.set_parallelism(Parallelism::new(workers));
+    assert!(
+        net.layer_flops()[0] >= caltrain_nn::layers::PAR_MIN_BATCH_FLOPS,
+        "batch-1 model must cross the conv fan-out threshold \
+         (row-tiled GEMM engaged), got {} flops",
+        net.layer_flops()[0]
+    );
+    let image = Tensor::from_fn(&[1, 3, 28, 28], |i| {
+        (((i as u64).wrapping_mul(2654435761)) % 251) as f32 / 125.0 - 1.0
+    });
+    for _ in 0..2 {
+        let _ = net.predict_probs(&image, KernelMode::Native).unwrap();
+    }
+    let spawn_start = caltrain_runtime::pool::thread_spawns();
+    let clock = Instant::now();
+    let mut probs = net.predict_probs(&image, KernelMode::Native).unwrap();
+    for _ in 1..iters {
+        probs = net.predict_probs(&image, KernelMode::Native).unwrap();
+    }
+    let secs = clock.elapsed().as_secs_f64();
+    Batch1Stats {
+        ms_per_forward: secs * 1000.0 / iters as f64,
+        output_bits: probs.as_slice().iter().map(|v| v.to_bits()).collect(),
+        spawns: caltrain_runtime::pool::thread_spawns() - spawn_start,
+    }
+}
+
+/// Write passes over conv output buffers per conv-layer forward, over
+/// one eval forward of `net` — the fused-epilogue gate (optimized path:
+/// exactly 1; reference path: 2).
+fn epilogue_passes_per_conv(net: &mut Network, image: &Tensor) -> f64 {
+    let convs = net.conv_layer_indices().len() as f64;
+    let before = caltrain_nn::layers::output_write_passes();
+    let _ = net.predict_probs(image, KernelMode::Native).unwrap();
+    (caltrain_nn::layers::output_write_passes() - before) as f64 / convs
+}
+
+/// The batch-1 inference section: latency at 1 vs 4 workers with
+/// bit-identity and zero-spawn gates. Returns
+/// `(ms_w1, ms_w4, w4_speedup_ratio)`.
+fn batch1_section(iters: usize) -> (f64, f64, f64) {
+    let w1 = run_batch1(1, iters);
+    let w4 = run_batch1(4, iters);
+    assert_eq!(
+        w1.output_bits, w4.output_bits,
+        "batch-1 inference must be bit-identical at 1 and 4 workers"
+    );
+    assert_eq!(w4.spawns, 0, "warm batch-1 forwards must spawn zero threads");
+    let ratio = w1.ms_per_forward / w4.ms_per_forward;
+    println!(
+        "batch-1 forward (scale-4 zoo): {:>7.3} ms @ w=1, {:>7.3} ms @ w=4 \
+         ({ratio:.2}x; row-tiled wide GEMM engaged, outputs bitwise-equal, \
+         zero spawns)",
+        w1.ms_per_forward, w4.ms_per_forward
+    );
+    (w1.ms_per_forward, w4.ms_per_forward, ratio)
+}
+
 fn main() {
     let args = Args::parse();
     let smoke = args.flag("smoke");
     let steps = args.get("steps", if smoke { 3 } else { 30 });
     let scale = args.get("scale", 16usize);
+    let batch1_iters = if smoke { 3 } else { 20 };
+
+    if args.flag("batch1-only") {
+        // The CI batch-1 smoke (run under CALTRAIN_WORKERS=4): gates
+        // bit-identity and zero spawns, prints latency, writes no JSON.
+        println!("== batch-1 inference smoke ==");
+        let _ = batch1_section(batch1_iters);
+        println!("training_throughput: batch-1 gates held.");
+        return;
+    }
+
     println!(
         "== training throughput: 10-layer zoo @ scale {scale}, batch {BATCH}, {steps} steps\
          {} ==",
@@ -197,6 +288,26 @@ fn main() {
     }
     println!("thread reuse: zero spawns per step on all three paths after warm-up");
 
+    // Fused-epilogue gate: the optimized path writes each conv output
+    // exactly ONCE after its GEMM; the reference path keeps its
+    // historical two write sweeps (bias-or-normalise, then activation).
+    let ep_image = Tensor::from_fn(&[2, 3, 28, 28], |i| ((i * 13) % 23) as f32 / 11.0 - 1.0);
+    let mut ep_net: Network = zoo::cifar10_10layer_scaled(scale, 42).unwrap();
+    let passes_reused = epilogue_passes_per_conv(&mut ep_net, &ep_image);
+    ep_net.set_buffer_reuse(false);
+    let passes_reference = epilogue_passes_per_conv(&mut ep_net, &ep_image);
+    assert_eq!(
+        passes_reused, 1.0,
+        "fused epilogue must write each conv output exactly once per forward"
+    );
+    assert_eq!(passes_reference, 2.0, "reference path keeps its two historical sweeps");
+    println!(
+        "epilogue: {passes_reused:.0} output write pass/conv forward (reference: \
+         {passes_reference:.0})"
+    );
+
+    let (batch1_ms_w1, batch1_ms_w4, batch1_ratio) = batch1_section(batch1_iters);
+
     let speedup = reused.steps_per_sec / reference.steps_per_sec;
     let measured_w4 = parallel.steps_per_sec / reused.steps_per_sec;
     let cluster = modeled_speedup(BATCH, 4);
@@ -226,6 +337,11 @@ fn main() {
         .metric("mbytes_per_step_reference", reference.mbytes_per_step)
         .metric("mbytes_per_step_reused", reused.mbytes_per_step)
         .metric("modeled_cluster_speedup_w4", cluster)
+        .metric("epilogue_passes_per_conv_forward", passes_reused)
+        .metric("epilogue_passes_per_conv_forward_reference", passes_reference)
+        .metric("batch1_forward_ms_w1", batch1_ms_w1)
+        .metric("batch1_forward_ms_w4", batch1_ms_w4)
+        .metric("batch1_w4_speedup", batch1_ratio)
         .flag("deterministic", true);
     report.emit().expect("write BENCH_training.json");
 
@@ -248,6 +364,15 @@ fn main() {
         assert!(
             speedup >= 1.15,
             "reused path must be >= 1.15x the no-reuse reference, got {speedup:.2}x"
+        );
+        // The batch-1 headline is the w=4 latency ratio. Wall-clock on
+        // a shared 1-core runner cannot be gated hard (by physics the
+        // overlap win is small there), but a pathological slowdown of
+        // the row-tiled path must fail the bench.
+        assert!(
+            batch1_ratio >= 0.75,
+            "4-worker batch-1 inference regressed pathologically \
+             ({batch1_ratio:.2}x vs w=1)"
         );
     }
     println!("training_throughput: all gates held.");

@@ -5,6 +5,8 @@
 //! Usage:
 //!   `cargo run -p caltrain-bench --bin bench_diff -- \`
 //!     `<baseline-dir> <candidate-dir> [--threshold 0.10] [--fail-on-regression]`
+//!   `cargo run -p caltrain-bench --bin bench_diff -- \`
+//!     `--trend [<history.jsonl>] [--threshold 0.10] [--fail-on-regression]`
 //!
 //! Every numeric field of every `BENCH_*.json` present in *both*
 //! directories is compared. Fields whose names classify as
@@ -16,6 +18,14 @@
 //! passed and at least one classified regression exceeded the
 //! threshold — `ci.sh` runs it in warning mode so a noisy host cannot
 //! turn wall-clock jitter into spurious red.
+//!
+//! `--trend` closes the gap single-PR diffing leaves open: a metric
+//! that loses 5 % every PR never trips the 10 % threshold yet halves in
+//! ten PRs. It reads the committed `BENCH_history.jsonl` (one JSON line
+//! per PR, appended at PR time), tracks every numeric field across
+//! lines, and flags **SLOW DRIFT** when the first→last movement of a
+//! classified metric exceeds the threshold while every single-PR step
+//! stayed under it.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -35,7 +45,8 @@ enum Direction {
 /// Classifies a flattened metric path by naming convention — the same
 /// conventions `BenchReport` call sites already follow.
 fn classify(path: &str) -> Direction {
-    let lower = ["secs", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn"];
+    let lower =
+        ["secs", "_ms_", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn"];
     let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate"];
     let p = path.to_ascii_lowercase();
     if lower.iter().any(|n| p.contains(n)) {
@@ -82,14 +93,164 @@ struct Row {
     verdict: &'static str,
 }
 
+/// Relative change from `old` to `new`, with the zero-baseline
+/// convention the single-PR diff uses (any appearance from zero counts
+/// as a full-scale ±100 % move).
+fn rel_change(old: f64, new: f64) -> f64 {
+    if old.abs() < 1e-9 {
+        new.signum()
+    } else {
+        (new - old) / old.abs()
+    }
+}
+
+/// The `--trend` mode: per-metric series over the committed history
+/// lines, flagging classified metrics whose cumulative movement beats
+/// the threshold without any single step doing so.
+fn run_trend(history_path: &Path, threshold: f64, fail_on_regression: bool) -> ExitCode {
+    let Ok(text) = std::fs::read_to_string(history_path) else {
+        eprintln!("bench_diff: cannot read history {}", history_path.display());
+        return ExitCode::from(2);
+    };
+    let mut labels: Vec<String> = Vec::new();
+    // Metric path -> (per-line values, in line order, None where absent).
+    let mut series: BTreeMap<String, Vec<Option<f64>>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = match Value::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("bench_diff: history line {}: {e}", lineno + 1);
+                continue;
+            }
+        };
+        let mut flat = Vec::new();
+        value.flatten_numbers("", &mut flat);
+        let label = flat
+            .iter()
+            .find(|(k, _)| k == "pr")
+            .map(|(_, v)| format!("PR {v}"))
+            .unwrap_or_else(|| format!("line {}", lineno + 1));
+        let idx = labels.len();
+        labels.push(label);
+        for (k, v) in flat {
+            if k == "pr" {
+                continue;
+            }
+            let entry = series.entry(k).or_default();
+            entry.resize(idx, None);
+            entry.push(Some(v));
+        }
+    }
+    for values in series.values_mut() {
+        values.resize(labels.len(), None);
+    }
+    if labels.len() < 2 {
+        println!(
+            "bench_diff --trend: {} history line(s) in {} — need at least 2 to trend.",
+            labels.len(),
+            history_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut drifts = 0usize;
+    let mut jumps = 0usize;
+    let mut improvements = 0usize;
+    println!(
+        "{:<52} {:>12} {:>12} {:>8}  verdict ({} -> {})",
+        "metric",
+        "first",
+        "last",
+        "drift",
+        labels.first().expect("≥2 labels"),
+        labels.last().expect("≥2 labels"),
+    );
+    println!("{}", "-".repeat(110));
+    for (metric, values) in &series {
+        let present: Vec<f64> = values.iter().filter_map(|v| *v).collect();
+        if present.len() < 2 {
+            continue;
+        }
+        let (first, last) = (present[0], present[present.len() - 1]);
+        if first.abs() < 1e-9 && last.abs() < 1e-9 {
+            continue;
+        }
+        let total = rel_change(first, last);
+        if total.abs() < threshold {
+            continue;
+        }
+        let regressed = match classify(metric) {
+            Direction::Informational => continue,
+            Direction::LowerIsBetter => last > first,
+            Direction::HigherIsBetter => last < first,
+        };
+        let max_step = present
+            .windows(2)
+            .map(|w| rel_change(w[0], w[1]).abs())
+            .fold(0.0f64, f64::max);
+        let verdict = if !regressed {
+            improvements += 1;
+            "improved"
+        } else if max_step < threshold {
+            drifts += 1;
+            "SLOW DRIFT"
+        } else {
+            jumps += 1;
+            "REGRESSION"
+        };
+        println!(
+            "{metric:<52} {first:>12.5} {last:>12.5} {:>+7.1}%  {verdict}",
+            total * 100.0
+        );
+    }
+    println!(
+        "bench_diff --trend: {drifts} slow drift(s), {jumps} step regression(s), \
+         {improvements} improvement(s) beyond {:.0}% across {} PRs.",
+        threshold * 100.0,
+        labels.len()
+    );
+    if drifts > 0 {
+        println!(
+            "WARNING: slow drift — cumulative movement beat {:.0}% while every \
+             single-PR step stayed under it; inspect the trajectory.",
+            threshold * 100.0
+        );
+    }
+    if fail_on_regression && (drifts > 0 || jumps > 0) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let positional: Vec<&String> =
         raw.iter().take_while(|a| !a.starts_with("--")).collect();
     let args = Args::from_args(raw.iter().skip(positional.len()).cloned());
+    if args.flag("trend") || args.get_str("trend").is_some() {
+        // `--trend` optionally takes the history path as its value
+        // (`--trend FILE` parses as a keyed value, bare `--trend` as a
+        // flag with an optional positional path).
+        let path = args
+            .get_str("trend")
+            .map(str::to_string)
+            .or_else(|| positional.first().map(|s| s.to_string()))
+            .unwrap_or_else(|| "BENCH_history.jsonl".to_string());
+        return run_trend(
+            &PathBuf::from(path),
+            args.get("threshold", 0.10),
+            args.flag("fail-on-regression"),
+        );
+    }
     if positional.len() != 2 {
         eprintln!(
             "usage: bench_diff <baseline-dir> <candidate-dir> \
+             [--threshold 0.10] [--fail-on-regression]\n\
+             \x20      bench_diff --trend [<history.jsonl>] \
              [--threshold 0.10] [--fail-on-regression]"
         );
         return ExitCode::from(2);
@@ -115,14 +276,7 @@ fn main() -> ExitCode {
             if old.abs() < 1e-9 && new.abs() < 1e-9 {
                 continue;
             }
-            // A zero baseline has no meaningful relative change; treat
-            // any appearance from zero as a full-scale move (±100%) so
-            // it shows up once without a nonsense percentage.
-            let change = if old.abs() < 1e-9 {
-                new.signum()
-            } else {
-                (new - old) / old.abs()
-            };
+            let change = rel_change(*old, new);
             if change.abs() < threshold {
                 continue;
             }
@@ -162,11 +316,7 @@ fn main() -> ExitCode {
             (a.verdict != "REGRESSION").cmp(&(b.verdict != "REGRESSION"))
         });
         for r in &rows {
-            let change = if r.old.abs() < 1e-9 {
-                r.new.signum()
-            } else {
-                (r.new - r.old) / r.old.abs()
-            };
+            let change = rel_change(r.old, r.new);
             println!(
                 "{:<28} {:<44} {:>14.5} {:>14.5} {:>+7.1}%  {}",
                 r.file,

@@ -1,35 +1,59 @@
 //! 2-D convolution, lowered to GEMM via im2col exactly as Darknet does —
-//! but over the **whole batch at once**.
+//! over the **whole batch at once**, with every worker cooperating on
+//! **one** shared wide GEMM and a **fused single-pass epilogue**.
 //!
-//! This is the training hot path. Forward lowers a sample range with one
-//! batched `im2col` into a wide `ckk × (span·ohw)` column matrix and
-//! runs **one** GEMM per range (`filters × (span·ohw)`) instead of one
-//! small GEMM per sample, so the blocked kernel gets rows `span×` longer
-//! to stream; backward does the same for the input-delta GEMM
-//! (`Wᵀ · δ` over the wide delta). Sample ranges are fanned across the
-//! persistent `caltrain-runtime` worker pool, and every working buffer
-//! (wide columns, wide deltas, per-sample gradient staging, batch-norm
-//! caches) lives in grow-only [`Scratch`] arenas owned by the layer.
-//! Three invariants hold by construction:
+//! This is the training hot path. Forward lowers the batch with a
+//! cooperative batched `im2col` into one wide `ckk × (span·ohw)` column
+//! matrix (workers own disjoint column-matrix row ranges), runs ONE
+//! shared wide GEMM per sample tile with workers owning disjoint
+//! `C` output-row tiles ([`gemm_row_tile`]) — which parallelises even
+//! batch-1 inference — and scatters the wide output back to
+//! sample-major layout through the [`caltrain_tensor::epilogue`]
+//! module: bias *or* batch-norm normalisation *plus* the activation
+//! applied per element during the scatter, so the conv output buffer is
+//! written in exactly **one pass** after the GEMM (the historical
+//! bias/normalise/activate sweep chain is gone; [`output_write_passes`]
+//! counts this and the `training_throughput` bench gates it at 1).
+//! Batch-norm batch statistics are a single fused sum/sum-of-squares
+//! sweep accumulated straight off the wide GEMM rows in the
+//! **canonical order** (sample ascending, spatial ascending) shared by
+//! both kernel modes and the retained reference path. Backward keeps
+//! the PR-4 shape (one wide `Wᵀ · δ` GEMM per sample range + batched
+//! col2im), now sub-tiled so wide scratch stays bounded. Sample spans
+//! are tiled by [`caltrain_runtime::chunk_ranges_capped_iter`] so no
+//! wide buffer outgrows `MAX_WIDE_COLS` columns regardless of batch
+//! size.
 //!
-//! 1. **Batching never changes results.** A wide GEMM computes each
-//!    output element with exactly the per-sample dot product, in the
-//!    same ascending-`p` order — per-sample addition order is untouched,
-//!    so the batched path is bit-identical to the per-sample reference.
-//!    The *only* cross-sample summation (weight/bias gradients) stays on
-//!    per-sample staging, never fused into a wide GEMM.
-//! 2. **Worker count never changes results.** Sample partitioning is
-//!    static, each sample's arithmetic is independent, and weight/bias
-//!    gradients are reduced in fixed ascending-sample order on the
-//!    calling thread — bit-identical at `CALTRAIN_WORKERS=1` and `=8`.
+//! Invariants that hold by construction:
+//!
+//! 1. **Batching and tiling never change results.** A wide GEMM row
+//!    tile computes each output element with exactly the per-sample dot
+//!    product, in the same ascending-`p` order; the epilogue is purely
+//!    per-element; the BN moment chain is the same canonical order at
+//!    any tile split. The *only* cross-sample summations (weight/bias
+//!    gradients and the BN moments) run in fixed canonical order.
+//! 2. **Worker count never changes results.** GEMM row tiles, im2col
+//!    row ranges and scatter plane ranges partition statically over
+//!    axes with no cross-element arithmetic; BN moments are confined to
+//!    one filter per job; weight/bias gradients are reduced in fixed
+//!    ascending-sample order on the calling thread — bit-identical at
+//!    `CALTRAIN_WORKERS=1` and `=8`.
 //! 3. **Steady-state training allocates nothing in this file.** After a
 //!    warm-up step the only heap traffic per call is the output tensor
-//!    itself (pinned by the `alloc_steady_state` integration test).
+//!    itself (pinned by the `alloc_steady_state` integration test,
+//!    including across the scratch-capped tile path).
 
-use caltrain_runtime::{chunk_ranges, par_map_mut, Parallelism};
-use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use caltrain_runtime::{chunk_ranges, chunk_ranges_capped_iter, par_map_mut, Parallelism};
+use caltrain_tensor::epilogue::{
+    accumulate_wide_moments, apply_epilogue_planes, finalize_moments, fused_channel_moments,
+    scatter_wide_epilogue, scatter_wide_planes, GemmEpilogue, MOMENT_ACC_STRIDE,
+};
+use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops, gemm_row_tile};
 use caltrain_tensor::im2col::{
-    col2im, col2im_batch, conv_out_extent, im2col, im2col_batch, im2col_transposed,
+    col2im, col2im_batch, conv_out_extent, im2col, im2col_batch, im2col_batch_rows,
+    im2col_transposed,
 };
 use caltrain_tensor::{Scratch, Shape, Tensor};
 use rand::Rng;
@@ -42,8 +66,35 @@ use crate::NnError;
 /// Minimum whole-batch forward FLOPs before the sample-range jobs fan
 /// out across the worker pool. Below this the job handoff costs more
 /// than the GEMMs; the unit-test-sized networks stay inline while every
-/// zoo-scale model crosses the threshold.
-const PAR_MIN_BATCH_FLOPS: u64 = 1 << 20;
+/// zoo-scale model crosses the threshold. Public so the
+/// `training_throughput` bench can prove its batch-1 model engages the
+/// row-tiled path instead of hand-duplicating the constant.
+pub const PAR_MIN_BATCH_FLOPS: u64 = 1 << 20;
+
+/// Upper bound on the column count (`span·ohw`) of any wide working
+/// buffer. Sample spans whose wide footprint would exceed this are
+/// tiled by [`caltrain_runtime::chunk_ranges_capped_iter`], so
+/// per-layer GEMM scratch is
+/// `O(ckk · MAX_WIDE_COLS)` regardless of batch size — the fix for the
+/// PR-4 batch-proportional-scratch gotcha. Zoo-scale batches (16 × 784
+/// columns) stay single-tile; paper-scale batches split.
+const MAX_WIDE_COLS: usize = 1 << 14;
+
+/// Write passes over conv output buffers *after* their GEMM, process
+/// wide (monotone).
+///
+/// The fused-epilogue path performs exactly **one** such pass per
+/// forward call; the retained reference path performs two (its separate
+/// bias-or-normalise sweep, then its activation sweep). The
+/// `training_throughput` bench asserts the optimized count stays at
+/// one per conv layer per forward.
+static OUTPUT_PASSES: AtomicU64 = AtomicU64::new(0);
+
+/// Reads the process-wide post-GEMM output-write-pass counter (see
+/// `OUTPUT_PASSES` above for the invariant it tracks).
+pub fn output_write_passes() -> u64 {
+    OUTPUT_PASSES.load(Ordering::Relaxed)
+}
 
 /// A convolutional layer: `filters` kernels of `size × size` over the
 /// input channels, with stride and zero padding, followed by an
@@ -75,8 +126,7 @@ pub struct Conv2d {
     last_input: Vec<f32>,
     last_batch: usize,
     pre_activation: Vec<f32>,
-    /// BN caches: raw conv output, normalised x̂, batch mean/var.
-    bn_raw: Vec<f32>,
+    /// BN caches: normalised x̂ and batch mean/var.
     bn_xhat: Vec<f32>,
     bn_mean: Vec<f32>,
     bn_var: Vec<f32>,
@@ -208,7 +258,6 @@ impl Conv2d {
             last_input: Vec::new(),
             last_batch: 0,
             pre_activation: Vec::new(),
-            bn_raw: Vec::new(),
             bn_xhat: Vec::new(),
             bn_mean: Vec::new(),
             bn_var: Vec::new(),
@@ -223,18 +272,21 @@ impl Conv2d {
         }
     }
 
-    /// How many statically partitioned sample-range jobs a batch of `n`
-    /// should fan into: 1 (inline, no threads) unless the worker knob,
-    /// the batch size and the FLOP volume all justify spawning.
+    /// The worker budget a batch of `n` justifies: 1 (inline, no
+    /// threads) unless the worker knob and the FLOP volume both say
+    /// otherwise. Each phase clamps the budget to its own parallel
+    /// axis (GEMM output rows, column-matrix rows, scatter planes,
+    /// backward sample ranges) — row-tiled axes exist even at `n = 1`,
+    /// which is what parallelises batch-1 inference.
     fn parallel_jobs(&self, n: usize) -> usize {
         let workers = self.parallelism.workers();
-        if workers <= 1 || n < 2 {
+        if workers <= 1 {
             return 1;
         }
         if n as u64 * self.flops_per_sample() < PAR_MIN_BATCH_FLOPS {
             return 1;
         }
-        workers.min(n)
+        workers
     }
 
     /// Grows the per-job workspace pool to `count` arenas (grow-only —
@@ -285,8 +337,10 @@ impl Conv2d {
             gemm(self.filters, ohw, ckk, &self.weights, &cols, out_slice);
         }
 
+        // The historical multi-pass epilogue: one write sweep for the
+        // bias or the BN normalise, then a second for the activation.
+        OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
         if self.batch_norm {
-            self.bn_raw = output.as_slice().to_vec();
             self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
         } else {
             let out = output.as_mut_slice();
@@ -303,6 +357,7 @@ impl Conv2d {
 
         self.pre_activation = output.as_slice().to_vec();
         let act = self.activation;
+        OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
         for v in output.as_mut_slice() {
             *v = act.apply(*v);
         }
@@ -376,35 +431,20 @@ impl Conv2d {
 
     /// Train-mode: normalise with batch statistics and refresh the
     /// rolling averages. Eval-mode: normalise with the rolling averages.
+    ///
+    /// Used by the reference path only; the optimized path fuses the
+    /// same arithmetic into the scatter. Both route statistics through
+    /// the **canonical** fused-moment chain
+    /// ([`fused_channel_moments`] / [`finalize_moments`]) and the
+    /// **canonical** normalise expression ([`GemmEpilogue::z`]'s
+    /// `γ·x̂ + β` grouping), so reference, strict and native paths
+    /// agree bitwise.
     fn apply_batch_norm(&mut self, out: &mut [f32], n: usize, ohw: usize, train: bool) {
         let f_count = self.filters;
-        let m = (n * ohw) as f32;
         if train {
             self.bn_mean.resize(f_count, 0.0);
-            self.bn_mean.fill(0.0);
             self.bn_var.resize(f_count, 0.0);
-            self.bn_var.fill(0.0);
-            for f in 0..f_count {
-                let mut acc = 0.0f32;
-                for s in 0..n {
-                    let base = (s * f_count + f) * ohw;
-                    for &v in &out[base..base + ohw] {
-                        acc += v;
-                    }
-                }
-                self.bn_mean[f] = acc / m;
-            }
-            for f in 0..f_count {
-                let mean = self.bn_mean[f];
-                let mut acc = 0.0f32;
-                for s in 0..n {
-                    let base = (s * f_count + f) * ohw;
-                    for &v in &out[base..base + ohw] {
-                        acc += (v - mean) * (v - mean);
-                    }
-                }
-                self.bn_var[f] = acc / m;
-            }
+            fused_channel_moments(out, n, f_count, ohw, &mut self.bn_mean, &mut self.bn_var);
             for f in 0..f_count {
                 self.rolling_mean[f] =
                     BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * self.bn_mean[f];
@@ -437,7 +477,8 @@ impl Conv2d {
                 for s in 0..n {
                     let base = (s * f_count + f) * ohw;
                     for v in &mut out[base..base + ohw] {
-                        *v = gamma * (*v - mean) * inv_std + beta;
+                        // Canonical x̂-grouping: scale first, then γ·x̂+β.
+                        *v = gamma * ((*v - mean) * inv_std) + beta;
                     }
                 }
             }
@@ -533,86 +574,273 @@ impl Layer for Conv2d {
         let out_stride = self.filters * ohw;
         let (size, stride, pad, filters) = (self.size, self.stride, self.pad, self.filters);
         let jobs = self.parallel_jobs(n);
-        self.ensure_workers(jobs.max(1));
+        let bn_train = self.batch_norm && train;
+        let out_len = n * out_stride;
+
+        // Staging moved out of `self` so the phase fan-outs below can
+        // borrow it alongside the parameter slices. Every element is
+        // overwritten before use: for bn_train it first holds the raw
+        // conv output, then is rewritten in place to the pre-activation
+        // z; otherwise the fused scatter writes z directly.
+        let mut pre_act = std::mem::take(&mut self.pre_activation);
+        pre_act.resize(out_len, 0.0);
+        // Per-filter 1/√(var+ε): rolling stats for eval, batch stats
+        // (filled in phase B) for training.
+        let mut inv_std = self.scratch.take("inv_std", filters);
+        if self.batch_norm && !train {
+            for f in 0..filters {
+                inv_std[f] = 1.0 / (self.rolling_var[f] + BN_EPS).sqrt();
+            }
+        }
+        // Canonical BN moment accumulators: (Σv, Σv²) per filter,
+        // accumulated tile by tile in ascending-sample order.
+        let mut bn_acc = self.scratch.take_zeroed("bn_acc", MOMENT_ACC_STRIDE * filters);
+
         let batch_norm = self.batch_norm;
         let weights = &self.weights;
         let biases = &self.biases;
+        let scales = &self.scales;
+        let rolling_mean = &self.rolling_mean;
         let in_data = input.as_slice();
+        let parallelism = self.parallelism;
+        let act = self.activation;
+        let act_fn = move |v: f32| act.apply(v);
 
-        // One job = one contiguous sample range + one scratch arena.
-        // The whole range is lowered with a single batched im2col into a
-        // wide ckk × (span·ohw) column matrix and multiplied in ONE
-        // GEMM — long rows for the blocked kernel, one kernel dispatch
-        // per range instead of per sample. Each wide-output element is
-        // the per-sample dot product in the per-sample addition order,
-        // and ranges write disjoint output slices, so neither the
-        // batching nor the job count (and hence the worker count) can
-        // affect a single output bit.
-        let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, out_chunk: &mut [f32]| {
-            let span = range.len();
-            let wide = span * ohw;
-            let mut cols = ws.take("cols", ckk * wide);
-            im2col_batch(
-                &in_data[range.start * in_stride..range.end * in_stride],
-                span, c, h, w, size, stride, pad, &mut cols,
-            );
-            let mut out_wide = ws.take_zeroed("out_wide", filters * wide);
-            gemm(filters, wide, ckk, weights, &cols, &mut out_wide);
-            // Scatter [filters, span·ohw] → [span, filters, ohw], adding
-            // the bias during the copy (the same "+ bias" each element
-            // received after its per-sample GEMM).
-            for local in 0..span {
-                for f in 0..filters {
-                    let src = &out_wide[f * wide + local * ohw..][..ohw];
-                    let dst = &mut out_chunk[local * out_stride + f * ohw..][..ohw];
-                    if batch_norm {
-                        dst.copy_from_slice(src);
+        // The fused scatter below writes the output exactly once; for
+        // bn_train the single write pass is the deferred epilogue in
+        // phase C instead.
+        if !bn_train {
+            OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
+        }
+
+        // ── Phase A: per sample tile (capped so wide scratch stays
+        // bounded): cooperative im2col → ONE shared wide GEMM in
+        // worker-owned output-row tiles (+ canonical BN moment
+        // accumulation straight off the wide rows) → one-pass
+        // epilogue scatter. The tile split depends only on (n, ohw),
+        // never on the worker count.
+        let max_span = (MAX_WIDE_COLS / ohw).max(1);
+        for tile in chunk_ranges_capped_iter(n, 1, max_span) {
+            let span = tile.len();
+            let tile_cols = span * ohw;
+            let tile_input = &in_data[tile.start * in_stride..tile.end * in_stride];
+
+            // Cooperative batched im2col: workers own disjoint rows of
+            // the one shared column matrix (rows are pure gathers).
+            let mut cols = self.scratch.take("cols", ckk * tile_cols);
+            let row_jobs = jobs.min(ckk);
+            if row_jobs <= 1 {
+                im2col_batch(tile_input, span, c, h, w, size, stride, pad, &mut cols);
+            } else {
+                struct ColJob<'a> {
+                    rows: std::ops::Range<usize>,
+                    out: &'a mut [f32],
+                }
+                let mut job_list = Vec::with_capacity(row_jobs);
+                let mut rest = cols.as_mut_slice();
+                for rows in chunk_ranges(ckk, row_jobs) {
+                    let (chunk, r) = rest.split_at_mut(rows.len() * tile_cols);
+                    rest = r;
+                    job_list.push(ColJob { rows, out: chunk });
+                }
+                par_map_mut(parallelism, &mut job_list, |_, job| {
+                    im2col_batch_rows(
+                        tile_input, span, c, h, w, size, stride, pad,
+                        job.rows.clone(), job.out,
+                    );
+                });
+            }
+
+            // ONE shared wide GEMM, row-tiled: each worker owns a
+            // disjoint block of C (= filter) rows against the whole
+            // shared column matrix — the per-(i,j) addition order is
+            // untouched by the tiling, and each filter's BN moment
+            // chain lives wholly inside the job owning its row.
+            let mut out_wide = self.scratch.take_zeroed("out_wide", filters * tile_cols);
+            let f_jobs = jobs.min(filters);
+            let first_tile = tile.start == 0;
+            if f_jobs <= 1 {
+                gemm(filters, tile_cols, ckk, weights, &cols, &mut out_wide);
+                if bn_train {
+                    accumulate_wide_moments(&out_wide, tile_cols, &mut bn_acc, first_tile);
+                }
+            } else {
+                struct GemmJob<'a> {
+                    rows: std::ops::Range<usize>,
+                    c_tile: &'a mut [f32],
+                    acc: Option<&'a mut [f32]>,
+                }
+                let mut job_list = Vec::with_capacity(f_jobs);
+                let mut c_rest = out_wide.as_mut_slice();
+                let mut acc_rest = bn_acc.as_mut_slice();
+                for rows in chunk_ranges(filters, f_jobs) {
+                    let (c_tile, cr) = c_rest.split_at_mut(rows.len() * tile_cols);
+                    c_rest = cr;
+                    let acc = if bn_train {
+                        let (a, ar) = acc_rest.split_at_mut(MOMENT_ACC_STRIDE * rows.len());
+                        acc_rest = ar;
+                        Some(a)
                     } else {
-                        let bias = biases[f];
-                        for (d, &v) in dst.iter_mut().zip(src) {
-                            *d = v + bias;
-                        }
+                        None
+                    };
+                    job_list.push(GemmJob { rows, c_tile, acc });
+                }
+                par_map_mut(parallelism, &mut job_list, |_, job| {
+                    gemm_row_tile(
+                        gemm, job.rows.clone(), tile_cols, ckk, weights, &cols,
+                        &mut *job.c_tile,
+                    );
+                    if let Some(acc) = &mut job.acc {
+                        accumulate_wide_moments(job.c_tile, tile_cols, acc, first_tile);
                     }
+                });
+            }
+
+            // Scatter back to sample-major planes. Without batch
+            // statistics pending this IS the epilogue: bias or rolling
+            // BN plus activation fused into the one output write.
+            let tile_planes = span * filters;
+            let p_jobs = jobs.min(tile_planes);
+            let tile_out =
+                &mut output.as_mut_slice()[tile.start * out_stride..tile.end * out_stride];
+            let tile_pre = &mut pre_act[tile.start * out_stride..tile.end * out_stride];
+            if bn_train {
+                // Raw staging only — the batch moments don't exist yet.
+                if p_jobs <= 1 {
+                    scatter_wide_planes(&out_wide, tile_cols, filters, ohw, 0..tile_planes, tile_pre);
+                } else {
+                    struct RawJob<'a> {
+                        planes: std::ops::Range<usize>,
+                        dst: &'a mut [f32],
+                    }
+                    let mut job_list = Vec::with_capacity(p_jobs);
+                    let mut rest = &mut tile_pre[..];
+                    for planes in chunk_ranges(tile_planes, p_jobs) {
+                        let (chunk, r) = rest.split_at_mut(planes.len() * ohw);
+                        rest = r;
+                        job_list.push(RawJob { planes, dst: chunk });
+                    }
+                    par_map_mut(parallelism, &mut job_list, |_, job| {
+                        scatter_wide_planes(
+                            &out_wide, tile_cols, filters, ohw, job.planes.clone(), job.dst,
+                        );
+                    });
+                }
+            } else {
+                let ep = if batch_norm {
+                    GemmEpilogue::Normalize {
+                        mean: rolling_mean,
+                        inv_std: &inv_std,
+                        gamma: scales,
+                        beta: biases,
+                    }
+                } else {
+                    GemmEpilogue::Bias { biases }
+                };
+                if p_jobs <= 1 {
+                    scatter_wide_epilogue(
+                        &out_wide, tile_cols, filters, ohw, 0..tile_planes, &ep, act_fn,
+                        tile_out, tile_pre,
+                    );
+                } else {
+                    struct EpJob<'a> {
+                        planes: std::ops::Range<usize>,
+                        out: &'a mut [f32],
+                        pre: &'a mut [f32],
+                    }
+                    let mut job_list = Vec::with_capacity(p_jobs);
+                    let mut out_rest = &mut tile_out[..];
+                    let mut pre_rest = &mut tile_pre[..];
+                    for planes in chunk_ranges(tile_planes, p_jobs) {
+                        let (out_chunk, or) = out_rest.split_at_mut(planes.len() * ohw);
+                        out_rest = or;
+                        let (pre_chunk, pr) = pre_rest.split_at_mut(planes.len() * ohw);
+                        pre_rest = pr;
+                        job_list.push(EpJob { planes, out: out_chunk, pre: pre_chunk });
+                    }
+                    par_map_mut(parallelism, &mut job_list, |_, job| {
+                        scatter_wide_epilogue(
+                            &out_wide, tile_cols, filters, ohw, job.planes.clone(), &ep,
+                            act_fn, job.out, job.pre,
+                        );
+                    });
                 }
             }
-            ws.put_back("cols", cols);
-            ws.put_back("out_wide", out_wide);
-        };
-        if jobs <= 1 {
-            run_range(&mut self.workers[0], 0..n, output.as_mut_slice());
-        } else {
-            struct FwdJob<'a> {
-                range: std::ops::Range<usize>,
-                out: &'a mut [f32],
-                ws: &'a mut Scratch,
-            }
-            let ranges = chunk_ranges(n, jobs);
-            let mut job_list = Vec::with_capacity(ranges.len());
-            let mut out_rest = output.as_mut_slice();
-            let mut ws_iter = self.workers.iter_mut();
-            for range in ranges {
-                let (out_chunk, rest) = out_rest.split_at_mut(range.len() * out_stride);
-                out_rest = rest;
-                let ws = ws_iter.next().expect("ensure_workers sized the pool");
-                job_list.push(FwdJob { range, out: out_chunk, ws });
-            }
-            par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.ws, job.range.clone(), job.out);
-            });
+
+            self.scratch.put_back("cols", cols);
+            self.scratch.put_back("out_wide", out_wide);
         }
 
-        if self.batch_norm {
-            self.bn_raw.clear();
-            self.bn_raw.extend_from_slice(output.as_slice());
-            self.apply_batch_norm(output.as_mut_slice(), n, ohw, train);
+        if bn_train {
+            // ── Phase B: finalize the canonical fused moments and
+            // refresh the rolling averages (tiny, sequential).
+            let m = (n * ohw) as f32;
+            self.bn_mean.resize(filters, 0.0);
+            self.bn_var.resize(filters, 0.0);
+            finalize_moments(&bn_acc, m, &mut self.bn_mean, &mut self.bn_var);
+            for f in 0..filters {
+                self.rolling_mean[f] =
+                    BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * self.bn_mean[f];
+                self.rolling_var[f] =
+                    BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * self.bn_var[f];
+            }
+            for f in 0..filters {
+                inv_std[f] = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+            }
+
+            // ── Phase C: the deferred one-pass epilogue — staged raw →
+            // x̂ cache, z (in place) and the activated output, the
+            // single write pass over the output buffer.
+            let mut xhat = std::mem::take(&mut self.bn_xhat);
+            xhat.resize(out_len, 0.0);
+            OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
+            let ep = GemmEpilogue::Normalize {
+                mean: &self.bn_mean,
+                inv_std: &inv_std,
+                gamma: scales,
+                beta: biases,
+            };
+            let planes = n * filters;
+            let p_jobs = jobs.min(planes);
+            if p_jobs <= 1 {
+                apply_epilogue_planes(
+                    0..planes, filters, ohw, &ep, act_fn,
+                    &mut pre_act, &mut xhat, output.as_mut_slice(),
+                );
+            } else {
+                struct BnJob<'a> {
+                    planes: std::ops::Range<usize>,
+                    raw: &'a mut [f32],
+                    xh: &'a mut [f32],
+                    out: &'a mut [f32],
+                }
+                let mut job_list = Vec::with_capacity(p_jobs);
+                let mut raw_rest = pre_act.as_mut_slice();
+                let mut xh_rest = xhat.as_mut_slice();
+                let mut out_rest = output.as_mut_slice();
+                for planes in chunk_ranges(planes, p_jobs) {
+                    let len = planes.len() * ohw;
+                    let (raw, rr) = raw_rest.split_at_mut(len);
+                    raw_rest = rr;
+                    let (xh, xr) = xh_rest.split_at_mut(len);
+                    xh_rest = xr;
+                    let (out_chunk, or) = out_rest.split_at_mut(len);
+                    out_rest = or;
+                    job_list.push(BnJob { planes, raw, xh, out: out_chunk });
+                }
+                par_map_mut(parallelism, &mut job_list, |_, job| {
+                    apply_epilogue_planes(
+                        job.planes.clone(), filters, ohw, &ep, act_fn,
+                        job.raw, job.xh, job.out,
+                    );
+                });
+            }
+            self.bn_xhat = xhat;
         }
 
-        self.pre_activation.clear();
-        self.pre_activation.extend_from_slice(output.as_slice());
-        let act = self.activation;
-        for v in output.as_mut_slice() {
-            *v = act.apply(*v);
-        }
+        self.pre_activation = pre_act;
+        self.scratch.put_back("inv_std", inv_std);
+        self.scratch.put_back("bn_acc", bn_acc);
 
         let flops = n as u64 * self.flops_per_sample();
         Ok((output, flops))
@@ -675,55 +903,70 @@ impl Layer for Conv2d {
         // one batched col2im scatter.
         let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, id_chunk: &mut [f32]| {
             let span = range.len();
-            let wide = span * ohw;
             let mut cols_t = ws.take("cols_t", ckk * ohw);
             let mut dw = ws.take("dw", span * dw_len);
             let mut db = ws.take("db", span * filters);
-            let mut delta_wide = ws.take("delta_wide", filters * wide);
-            for (local, s) in range.clone().enumerate() {
-                let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
+            // The wide input-delta buffers are sub-tiled so they stay
+            // bounded by MAX_WIDE_COLS columns however large the range
+            // grows (the dw staging above is per-sample by design and
+            // cannot shrink). Sub-tile boundaries don't touch any
+            // addition chain: the input-delta GEMM is per-sample-column.
+            let max_span = (MAX_WIDE_COLS / ohw).max(1);
+            for sub in chunk_ranges_capped_iter(span, 1, max_span) {
+                let sub_cols = sub.len() * ohw;
+                let mut delta_wide = ws.take("delta_wide", filters * sub_cols);
+                for (sub_local, local) in sub.clone().enumerate() {
+                    let s = range.start + local;
+                    let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
 
-                // Bias gradient staging: per-filter delta sums (BN layers
-                // fold the shift into β, already handled above).
-                if !batch_norm {
-                    for f in 0..filters {
-                        let mut acc = 0.0f32;
-                        for &v in &d_slice[f * ohw..(f + 1) * ohw] {
-                            acc += v;
+                    // Bias gradient staging: per-filter delta sums (BN
+                    // layers fold the shift into β, already handled
+                    // above).
+                    if !batch_norm {
+                        for f in 0..filters {
+                            let mut acc = 0.0f32;
+                            for &v in &d_slice[f * ohw..(f + 1) * ohw] {
+                                acc += v;
+                            }
+                            db[local * filters + f] = acc;
                         }
-                        db[local * filters + f] = acc;
+                    }
+
+                    // Weight gradient staging: δ · colsᵀ, expressed as
+                    // the standard GEMM `δ (filters×ohw) · colsT
+                    // (ohw×ckk)` into this sample's zeroed dw slice.
+                    // Re-derives the columns (transposed) as Darknet
+                    // does.
+                    let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
+                    im2col_transposed(in_slice, c, h, w, size, stride, pad, &mut cols_t);
+                    let dw_slice = &mut dw[local * dw_len..(local + 1) * dw_len];
+                    dw_slice.fill(0.0);
+                    gemm(filters, ckk, ohw, d_slice, &cols_t, dw_slice);
+
+                    // Stage this sample's delta into the wide
+                    // filter-major layout the sub-tile input-delta GEMM
+                    // consumes.
+                    for f in 0..filters {
+                        delta_wide[f * sub_cols + sub_local * ohw..][..ohw]
+                            .copy_from_slice(&d_slice[f * ohw..(f + 1) * ohw]);
                     }
                 }
 
-                // Weight gradient staging: δ · colsᵀ, expressed as the
-                // standard GEMM `δ (filters×ohw) · colsT (ohw×ckk)` into
-                // this sample's zeroed dw slice. Re-derives the columns
-                // (transposed) as Darknet does.
-                let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
-                im2col_transposed(in_slice, c, h, w, size, stride, pad, &mut cols_t);
-                let dw_slice = &mut dw[local * dw_len..(local + 1) * dw_len];
-                dw_slice.fill(0.0);
-                gemm(filters, ckk, ohw, d_slice, &cols_t, dw_slice);
-
-                // Stage this sample's delta into the wide filter-major
-                // layout the whole-range input-delta GEMM consumes.
-                for f in 0..filters {
-                    delta_wide[f * wide + local * ohw..][..ohw]
-                        .copy_from_slice(&d_slice[f * ohw..(f + 1) * ohw]);
-                }
+                // Input delta for the sub-tile: Wᵀ · δ_wide in one GEMM
+                // (each column is one sample position — per-sample
+                // chains, bit-identical to per-sample GEMMs), scattered
+                // back through the batched col2im.
+                let mut col_delta = ws.take_zeroed("col_delta", ckk * sub_cols);
+                gemm_at_b(ckk, sub_cols, filters, weights, &delta_wide, &mut col_delta);
+                col2im_batch(
+                    &col_delta, sub.len(), c, h, w, size, stride, pad,
+                    &mut id_chunk[sub.start * in_stride..sub.end * in_stride],
+                );
+                ws.put_back("col_delta", col_delta);
+                ws.put_back("delta_wide", delta_wide);
             }
 
-            // Input delta for the whole range: Wᵀ · δ_wide in one GEMM
-            // (each column is one sample position — per-sample chains,
-            // bit-identical to per-sample GEMMs), scattered back through
-            // the batched col2im.
-            let mut col_delta = ws.take_zeroed("col_delta", ckk * wide);
-            gemm_at_b(ckk, wide, filters, weights, &delta_wide, &mut col_delta);
-            col2im_batch(&col_delta, span, c, h, w, size, stride, pad, id_chunk);
-
             ws.put_back("cols_t", cols_t);
-            ws.put_back("col_delta", col_delta);
-            ws.put_back("delta_wide", delta_wide);
             ws.put_back("dw", dw);
             ws.put_back("db", db);
         };
@@ -976,6 +1219,54 @@ mod tests {
         let (d1, _) = l1.backward(&delta, KernelMode::Strict).unwrap();
         let (d2, _) = l2.backward(&delta, KernelMode::Native).unwrap();
         assert_eq!(d1.as_slice(), d2.as_slice());
+    }
+
+    #[test]
+    fn span_tiled_path_matches_reference_bitwise() {
+        // 24 samples × 784 output positions ≈ 18.8k wide columns >
+        // MAX_WIDE_COLS, so the optimized path runs 2 sample tiles
+        // (and backward sub-tiles); the per-sample reference must
+        // still match to the bit — forward, gradients and backward.
+        let shape = Shape::new(&[3, 28, 28]).unwrap();
+        let input = Tensor::from_fn(&[24, 3, 28, 28], |i| ((i * 29) % 23) as f32 / 11.0 - 1.0);
+        let delta = Tensor::from_fn(&[24, 4, 28, 28], |i| (i % 7) as f32 - 3.0);
+        for bn in [false, true] {
+            let mut rng = StdRng::seed_from_u64(91);
+            let mut opt = Conv2d::with_batch_norm(
+                &mut rng, &shape, 4, 3, 1, 1, Activation::Leaky, bn,
+            );
+            let mut refp = opt.clone();
+            refp.set_buffer_reuse(false);
+            let (o1, _) = opt.forward(&input, KernelMode::Native, true).unwrap();
+            let (o2, _) = refp.forward(&input, KernelMode::Native, true).unwrap();
+            assert_eq!(o1.as_slice(), o2.as_slice(), "forward (bn={bn})");
+            let (d1, _) = opt.backward(&delta, KernelMode::Native).unwrap();
+            let (d2, _) = refp.backward(&delta, KernelMode::Native).unwrap();
+            assert_eq!(d1.as_slice(), d2.as_slice(), "input delta (bn={bn})");
+            assert_eq!(opt.weight_updates, refp.weight_updates, "dw (bn={bn})");
+            assert_eq!(opt.bias_updates, refp.bias_updates, "db (bn={bn})");
+        }
+    }
+
+    #[test]
+    fn row_tiled_parallel_batch1_matches_sequential_bitwise() {
+        // A single sample big enough to cross the FLOP threshold: the
+        // wide GEMM splits into worker-owned row tiles, the scatter
+        // into plane ranges — no bit may move.
+        let shape = Shape::new(&[8, 28, 28]).unwrap();
+        let input = Tensor::from_fn(&[1, 8, 28, 28], |i| ((i * 37) % 19) as f32 / 9.0 - 1.0);
+        let mut rng = StdRng::seed_from_u64(92);
+        let mut seq = Conv2d::new(&mut rng, &shape, 16, 3, 1, 1, Activation::Leaky);
+        seq.set_parallelism(Parallelism::sequential());
+        assert!(seq.parallel_jobs(1) == 1);
+        let (want, _) = seq.forward(&input, KernelMode::Native, true).unwrap();
+        for workers in [2, 4, 8] {
+            let mut par = seq.clone();
+            par.set_parallelism(Parallelism::new(workers));
+            assert!(par.parallel_jobs(1) > 1, "batch-1 must fan out at {workers} workers");
+            let (got, _) = par.forward(&input, KernelMode::Native, true).unwrap();
+            assert_eq!(want.as_slice(), got.as_slice(), "w={workers}");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ mod dropout;
 mod pool;
 mod softmax;
 
-pub use conv::Conv2d;
+pub use conv::{output_write_passes, Conv2d, PAR_MIN_BATCH_FLOPS};
 pub use dropout::Dropout;
 pub use pool::{GlobalAvgPool, MaxPool};
 pub use softmax::{CostLayer, SoftmaxLayer};

@@ -1,13 +1,16 @@
 //! Pooling layers: max pooling and Darknet's global average pooling.
 //!
 //! Until PR 4 these were the only remaining *sequential* per-sample
-//! batch loops on the training hot path. Both layers now fan contiguous
-//! sample ranges across the persistent `caltrain-runtime` worker pool
-//! exactly the way `Conv2d` does: static partitioning, disjoint output
-//! chunks per job, no cross-sample arithmetic at all — so worker count
-//! can never change a result bit. Small batches stay inline below
-//! [`PAR_MIN_BATCH_ELEMS`] (pooling is memory-bound; fanning out only
-//! pays once there are real planes to sweep per worker).
+//! batch loops on the training hot path. Both layers fan work across
+//! the persistent `caltrain-runtime` worker pool the way `Conv2d` does:
+//! static partitioning, disjoint output chunks per job, no cross-chunk
+//! arithmetic at all — so worker count can never change a result bit.
+//! Since PR 5 the partition axis is the **plane** (`(sample, channel)`
+//! pair), not the sample: a pooling sweep never crosses a channel
+//! plane, so `n·c` planes parallelise even batch-1 inference, matching
+//! the conv layers' row-tiled batch-1 path. Small workloads stay inline
+//! below [`PAR_MIN_BATCH_ELEMS`] (pooling is memory-bound; fanning out
+//! only pays once there are real planes to sweep per worker).
 
 use caltrain_runtime::{chunk_ranges, par_map_mut, Parallelism};
 use caltrain_tensor::im2col::conv_out_extent;
@@ -27,13 +30,19 @@ const PAR_MIN_BATCH_ELEMS: u64 = 1 << 17;
 /// Shared fan-out policy for both pooling layers: 1 job (inline, no
 /// pool) unless the worker knob and the whole-batch touched-element
 /// volume both justify it; otherwise one job per worker, capped by the
-/// batch size.
-fn pool_parallel_jobs(parallelism: Parallelism, n: usize, elems_per_sample: u64) -> usize {
+/// **plane** count (`n·c`) — the partition axis, so a single large
+/// sample still fans out.
+fn pool_parallel_jobs(
+    parallelism: Parallelism,
+    n: usize,
+    planes: usize,
+    elems_per_sample: u64,
+) -> usize {
     let workers = parallelism.workers();
-    if workers <= 1 || n < 2 || n as u64 * elems_per_sample < PAR_MIN_BATCH_ELEMS {
+    if workers <= 1 || n as u64 * elems_per_sample < PAR_MIN_BATCH_ELEMS {
         return 1;
     }
-    workers.min(n)
+    workers.min(planes)
 }
 
 /// Max pooling with a square window.
@@ -80,7 +89,8 @@ impl MaxPool {
 
     /// Job count for a batch of `n` (see [`pool_parallel_jobs`]).
     fn parallel_jobs(&self, n: usize) -> usize {
-        pool_parallel_jobs(self.parallelism, n, self.flops_per_sample())
+        let c = self.input_shape.dims()[0];
+        pool_parallel_jobs(self.parallelism, n, n * c, self.flops_per_sample())
     }
 }
 
@@ -117,71 +127,72 @@ impl Layer for MaxPool {
         // Every element is overwritten below; resize, don't re-allocate.
         self.argmax.resize(n * c * oh * ow, 0);
 
-        let in_samp = c * h * w;
-        let out_samp = c * oh * ow;
+        let in_plane = h * w;
+        let out_plane = oh * ow;
         let data = input.as_slice();
         let (size, stride) = (self.size, self.stride);
 
-        // One job = one contiguous sample range writing disjoint output
-        // and argmax chunks; argmax stores *absolute* input indices, so
-        // chunking needs no re-basing. No cross-sample arithmetic exists
-        // in this layer, so the job count cannot change any bit.
-        let run_range = |range: std::ops::Range<usize>, out: &mut [f32], amax: &mut [usize]| {
+        // One job = one contiguous **plane** range (`plane = s·c + ch`)
+        // writing disjoint output and argmax chunks; argmax stores
+        // *absolute* input indices, so chunking needs no re-basing. No
+        // cross-plane arithmetic exists in this layer, so the job count
+        // cannot change any bit — and a batch-1 input still fans out
+        // across its channel planes.
+        let run_range = |planes: std::ops::Range<usize>, out: &mut [f32], amax: &mut [usize]| {
             let mut oidx = 0usize;
-            for s in range {
-                for ch in 0..c {
-                    let plane = s * in_samp + ch * h * w;
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut best = f32::NEG_INFINITY;
-                            let mut best_idx = plane;
-                            for ky in 0..size {
-                                let iy = oy * stride + ky;
-                                if iy >= h {
+            for p in planes {
+                let plane = p * in_plane;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = plane;
+                        for ky in 0..size {
+                            let iy = oy * stride + ky;
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..size {
+                                let ix = ox * stride + kx;
+                                if ix >= w {
                                     continue;
                                 }
-                                for kx in 0..size {
-                                    let ix = ox * stride + kx;
-                                    if ix >= w {
-                                        continue;
-                                    }
-                                    let idx = plane + iy * w + ix;
-                                    if data[idx] > best {
-                                        best = data[idx];
-                                        best_idx = idx;
-                                    }
+                                let idx = plane + iy * w + ix;
+                                if data[idx] > best {
+                                    best = data[idx];
+                                    best_idx = idx;
                                 }
                             }
-                            out[oidx] = best;
-                            amax[oidx] = best_idx;
-                            oidx += 1;
                         }
+                        out[oidx] = best;
+                        amax[oidx] = best_idx;
+                        oidx += 1;
                     }
                 }
             }
         };
 
+        let planes = n * c;
         let jobs = self.parallel_jobs(n);
         if jobs <= 1 {
-            run_range(0..n, output.as_mut_slice(), &mut self.argmax);
+            run_range(0..planes, output.as_mut_slice(), &mut self.argmax);
         } else {
             struct FwdJob<'a> {
-                range: std::ops::Range<usize>,
+                planes: std::ops::Range<usize>,
                 out: &'a mut [f32],
                 amax: &'a mut [usize],
             }
             let mut job_list = Vec::with_capacity(jobs);
             let mut out_rest = output.as_mut_slice();
             let mut amax_rest = self.argmax.as_mut_slice();
-            for range in chunk_ranges(n, jobs) {
-                let (out, o_rest) = out_rest.split_at_mut(range.len() * out_samp);
-                let (amax, a_rest) = amax_rest.split_at_mut(range.len() * out_samp);
+            for range in chunk_ranges(planes, jobs) {
+                let (out, o_rest) = out_rest.split_at_mut(range.len() * out_plane);
+                let (amax, a_rest) = amax_rest.split_at_mut(range.len() * out_plane);
                 out_rest = o_rest;
                 amax_rest = a_rest;
-                job_list.push(FwdJob { range, out, amax });
+                job_list.push(FwdJob { planes: range, out, amax });
             }
             par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.range.clone(), job.out, job.amax);
+                run_range(job.planes.clone(), job.out, job.amax);
             });
         }
         let flops = n as u64 * self.flops_per_sample();
@@ -194,39 +205,41 @@ impl Layer for MaxPool {
             return Err(NnError::BadTargets("backward batch differs from forward"));
         }
         let d = self.input_shape.dims();
-        let in_samp = d[0] * d[1] * d[2];
-        let out_samp = self.output_shape.volume();
+        let in_plane = d[1] * d[2];
+        let o = self.output_shape.dims();
+        let out_plane = o[1] * o[2];
         let mut input_delta = Tensor::zeros(&[n, d[0], d[1], d[2]]);
         let dd = delta.as_slice();
         let argmax = &self.argmax;
 
-        // Argmax indices always point inside the owning sample's input
-        // plane, so per-range routing touches only that range's chunk of
+        // Argmax indices always point inside the owning channel plane,
+        // so per-plane-range routing touches only that range's chunk of
         // the input delta.
-        let run_range = |range: std::ops::Range<usize>, id: &mut [f32]| {
-            let id_base = range.start * in_samp;
-            for o in range.start * out_samp..range.end * out_samp {
-                id[argmax[o] - id_base] += dd[o];
+        let run_range = |planes: std::ops::Range<usize>, id: &mut [f32]| {
+            let id_base = planes.start * in_plane;
+            for oi in planes.start * out_plane..planes.end * out_plane {
+                id[argmax[oi] - id_base] += dd[oi];
             }
         };
 
+        let planes = n * d[0];
         let jobs = self.parallel_jobs(n);
         if jobs <= 1 {
-            run_range(0..n, input_delta.as_mut_slice());
+            run_range(0..planes, input_delta.as_mut_slice());
         } else {
             struct BwdJob<'a> {
-                range: std::ops::Range<usize>,
+                planes: std::ops::Range<usize>,
                 id: &'a mut [f32],
             }
             let mut job_list = Vec::with_capacity(jobs);
             let mut id_rest = input_delta.as_mut_slice();
-            for range in chunk_ranges(n, jobs) {
-                let (id, rest) = id_rest.split_at_mut(range.len() * in_samp);
+            for range in chunk_ranges(planes, jobs) {
+                let (id, rest) = id_rest.split_at_mut(range.len() * in_plane);
                 id_rest = rest;
-                job_list.push(BwdJob { range, id });
+                job_list.push(BwdJob { planes: range, id });
             }
             par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.range.clone(), job.id);
+                run_range(job.planes.clone(), job.id);
             });
         }
         Ok((input_delta, n as u64 * self.flops_per_sample()))
@@ -292,7 +305,8 @@ impl GlobalAvgPool {
 
     /// Job count for a batch of `n` (see [`pool_parallel_jobs`]).
     fn parallel_jobs(&self, n: usize) -> usize {
-        pool_parallel_jobs(self.parallelism, n, self.flops_per_sample())
+        let c = self.input_shape.dims()[0];
+        pool_parallel_jobs(self.parallelism, n, n * c, self.flops_per_sample())
     }
 }
 
@@ -322,35 +336,34 @@ impl Layer for GlobalAvgPool {
         let mut output = Tensor::zeros(&[n, c]);
         let data = input.as_slice();
 
-        // Each sample's channel means are independent; the per-channel
-        // sum keeps its single ascending accumulator chain regardless of
-        // how samples are partitioned.
-        let run_range = |range: std::ops::Range<usize>, out: &mut [f32]| {
-            for (local, s) in range.enumerate() {
-                for ch in 0..c {
-                    let plane = &data[(s * c + ch) * hw..(s * c + ch + 1) * hw];
-                    out[local * c + ch] = plane.iter().sum::<f32>() / hw as f32;
-                }
+        // Each channel plane's mean is independent; the per-channel sum
+        // keeps its single ascending accumulator chain regardless of
+        // how planes are partitioned (a plane is never split).
+        let run_range = |planes: std::ops::Range<usize>, out: &mut [f32]| {
+            for (local, p) in planes.enumerate() {
+                let plane = &data[p * hw..(p + 1) * hw];
+                out[local] = plane.iter().sum::<f32>() / hw as f32;
             }
         };
 
+        let planes = n * c;
         let jobs = self.parallel_jobs(n);
         if jobs <= 1 {
-            run_range(0..n, output.as_mut_slice());
+            run_range(0..planes, output.as_mut_slice());
         } else {
             struct FwdJob<'a> {
-                range: std::ops::Range<usize>,
+                planes: std::ops::Range<usize>,
                 out: &'a mut [f32],
             }
             let mut job_list = Vec::with_capacity(jobs);
             let mut out_rest = output.as_mut_slice();
-            for range in chunk_ranges(n, jobs) {
-                let (out, rest) = out_rest.split_at_mut(range.len() * c);
+            for range in chunk_ranges(planes, jobs) {
+                let (out, rest) = out_rest.split_at_mut(range.len());
                 out_rest = rest;
-                job_list.push(FwdJob { range, out });
+                job_list.push(FwdJob { planes: range, out });
             }
             par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.range.clone(), job.out);
+                run_range(job.planes.clone(), job.out);
             });
         }
         Ok((output, n as u64 * self.flops_per_sample()))
@@ -371,34 +384,33 @@ impl Layer for GlobalAvgPool {
         let mut input_delta = Tensor::zeros(&[n, c, d[1], d[2]]);
         let dd = delta.as_slice();
 
-        let run_range = |range: std::ops::Range<usize>, id: &mut [f32]| {
-            for (local, s) in range.enumerate() {
-                for ch in 0..c {
-                    let g = dd[s * c + ch] / hw as f32;
-                    for v in &mut id[(local * c + ch) * hw..(local * c + ch + 1) * hw] {
-                        *v = g;
-                    }
+        let run_range = |planes: std::ops::Range<usize>, id: &mut [f32]| {
+            for (local, p) in planes.enumerate() {
+                let g = dd[p] / hw as f32;
+                for v in &mut id[local * hw..(local + 1) * hw] {
+                    *v = g;
                 }
             }
         };
 
+        let planes = n * c;
         let jobs = self.parallel_jobs(n);
         if jobs <= 1 {
-            run_range(0..n, input_delta.as_mut_slice());
+            run_range(0..planes, input_delta.as_mut_slice());
         } else {
             struct BwdJob<'a> {
-                range: std::ops::Range<usize>,
+                planes: std::ops::Range<usize>,
                 id: &'a mut [f32],
             }
             let mut job_list = Vec::with_capacity(jobs);
             let mut id_rest = input_delta.as_mut_slice();
-            for range in chunk_ranges(n, jobs) {
-                let (id, rest) = id_rest.split_at_mut(range.len() * c * hw);
+            for range in chunk_ranges(planes, jobs) {
+                let (id, rest) = id_rest.split_at_mut(range.len() * hw);
                 id_rest = rest;
-                job_list.push(BwdJob { range, id });
+                job_list.push(BwdJob { planes: range, id });
             }
             par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.range.clone(), job.id);
+                run_range(job.planes.clone(), job.id);
             });
         }
         Ok((input_delta, n as u64 * self.flops_per_sample()))

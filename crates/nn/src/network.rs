@@ -30,8 +30,9 @@ pub enum KernelMode {
     Native,
 }
 
-/// The uniform signature of every GEMM kernel: `(m, n, k, a, b, c)`.
-pub type GemmFn = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+/// The uniform signature of every GEMM kernel: `(m, n, k, a, b, c)`
+/// (the same type the tensor crate's row-tiled helpers take).
+pub type GemmFn = caltrain_tensor::gemm::GemmKernel;
 
 impl KernelMode {
     /// The `C += A·B` kernel for this mode (the forward conv GEMM, and —

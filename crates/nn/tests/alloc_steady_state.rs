@@ -114,6 +114,25 @@ fn warm_layer_calls_allocate_only_their_output() {
     conv_bn.set_parallelism(Parallelism::sequential());
     assert_steady("conv+bn", &mut conv_bn, &input, &delta, true);
 
+    // Convolution whose batch crosses the wide-scratch cap
+    // (span·ohw > MAX_WIDE_COLS = 2¹⁴): 24 samples × 784 output
+    // positions ≈ 18.8k columns, so forward and backward both take the
+    // span-tiled path — which must be exactly as allocation-free in
+    // steady state as the single-tile path.
+    let wide_shape = Shape::new(&[3, 28, 28]).unwrap();
+    let wide_input = Tensor::from_fn(&[24, 3, 28, 28], |i| ((i * 31) % 19) as f32 / 9.0 - 1.0);
+    let wide_delta = Tensor::from_fn(&[24, 8, 28, 28], |i| (i % 9) as f32 - 4.0);
+    let mut conv_tiled = Conv2d::new(&mut rng, &wide_shape, 8, 3, 1, 1, Activation::Leaky);
+    conv_tiled.set_parallelism(Parallelism::sequential());
+    assert_steady("conv (span-tiled)", &mut conv_tiled, &wide_input, &wide_delta, true);
+
+    // Same, batch-normalised: the tiled raw staging + deferred epilogue.
+    let mut conv_bn_tiled = Conv2d::with_batch_norm(
+        &mut rng, &wide_shape, 8, 3, 1, 1, Activation::Leaky, true,
+    );
+    conv_bn_tiled.set_parallelism(Parallelism::sequential());
+    assert_steady("conv+bn (span-tiled)", &mut conv_bn_tiled, &wide_input, &wide_delta, true);
+
     // Max pooling (argmax routing buffer).
     let mut pool = MaxPool::new(&in_shape, 2, 2);
     let pool_delta = Tensor::from_fn(&[4, 3, 6, 6], |i| (i % 5) as f32 - 2.0);

@@ -4,18 +4,24 @@
 //! 1, 2, 4 and 8 workers, on both kernel modes.
 //!
 //! This pins the runtime's core invariant end to end through the
-//! whole-batch GEMM conv path, the parallel pooling layers and the
-//! fixed-order gradient reductions, not just through unit kernels.
+//! row-tiled shared wide GEMM, the fused epilogue scatter, the
+//! **canonical batch-norm moment order** (two BN layers here, so the
+//! fused single-pass statistics are exercised at depth), the parallel
+//! pooling layers and the fixed-order gradient reductions — not just
+//! through unit kernels. A batch-1 eval gate pins the row-tiled
+//! inference path the same way.
 
 use caltrain_nn::{Activation, Hyper, KernelMode, NetworkBuilder, Parallelism};
 use caltrain_tensor::Tensor;
 
-/// Conv(+BN) → pool → conv → avg stack sized to cross the conv layer's
-/// FLOP threshold, so the per-sample fan-out genuinely engages.
+/// Conv+BN → pool → conv+BN → conv → avg stack sized to cross the conv
+/// layer's FLOP threshold, so the fan-out genuinely engages; both BN
+/// layers pin the canonical fused-moment summation order bitwise.
 fn net(seed: u64) -> caltrain_nn::Network {
     NetworkBuilder::new(&[3, 24, 24])
         .conv_bn(16, 3, 1, 1, Activation::Leaky)
         .maxpool(2, 2)
+        .conv_bn(16, 3, 1, 1, Activation::Leaky)
         .conv(8, 3, 1, 1, Activation::Leaky)
         .global_avgpool()
         .softmax()
@@ -60,6 +66,44 @@ fn full_train_batch_bit_identical_at_1_2_4_8_workers() {
             assert_eq!(
                 params1, paramsw,
                 "weights must be bit-identical at {workers} workers ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch1_inference_bit_identical_across_workers_and_modes() {
+    // The row-tiled shared GEMM is what parallelises batch-1 inference
+    // (the dominant shape for enclave-resident accountability queries):
+    // with n = 1 the workers split the one wide GEMM by output-row
+    // tiles and the scatter by planes. None of that may change a bit —
+    // against the sequential run, across modes, and through the
+    // BN rolling-statistics (eval) epilogue.
+    let mut reference = net(77);
+    reference.set_parallelism(Parallelism::new(1));
+    // A few training steps first so BN rolling statistics are
+    // non-trivial; all instances replay the identical trajectory.
+    let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+    let (images, labels) = batch(6, 3);
+    for _ in 0..2 {
+        reference.train_batch(&images, &labels, &hyper, KernelMode::Native).unwrap();
+    }
+    let (one, _) = batch(1, 99);
+    let (want, _) = reference.forward(&one, KernelMode::Native, false).unwrap();
+
+    for workers in [1, 2, 4, 8] {
+        for mode in [KernelMode::Native, KernelMode::Strict] {
+            let mut net = net(77);
+            net.set_parallelism(Parallelism::new(workers));
+            for _ in 0..2 {
+                net.train_batch(&images, &labels, &hyper, mode).unwrap();
+            }
+            let (got, _) = net.forward(&one, mode, false).unwrap();
+            let bits: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                bits, want_bits,
+                "batch-1 inference must be bit-identical at {workers} workers ({mode:?})"
             );
         }
     }

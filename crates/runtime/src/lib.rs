@@ -208,20 +208,58 @@ where
 /// runtime is built around. Returns fewer than `parts` ranges when there
 /// are fewer items than parts; never returns an empty range.
 pub fn chunk_ranges(len: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    chunk_ranges_iter(len, parts).collect()
+}
+
+/// Iterator form of [`chunk_ranges`] — identical ranges, **zero heap
+/// allocation**. The shape the zero-alloc layer hot loops use for their
+/// sequential tile sweeps (the `Vec` forms exist for job-list builders,
+/// which allocate anyway).
+pub fn chunk_ranges_iter(
+    len: usize,
+    parts: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> {
     let parts = parts.max(1).min(len);
-    let mut out = Vec::with_capacity(parts);
-    if len == 0 {
-        return out;
-    }
-    let base = len / parts;
-    let extra = len % parts;
+    let base = if parts == 0 { 0 } else { len / parts };
+    let extra = if parts == 0 { 0 } else { len % parts };
     let mut start = 0;
-    for p in 0..parts {
+    (0..parts).map(move |p| {
         let size = base + usize::from(p < extra);
-        out.push(start..start + size);
+        let range = start..start + size;
         start += size;
-    }
-    out
+        range
+    })
+}
+
+/// Like [`chunk_ranges`], but additionally caps every range at
+/// `max_chunk` items, growing the range *count* past `parts` when the
+/// cap demands it.
+///
+/// This is the schedule behind scratch-bounded tiling: a caller that
+/// owns one working buffer per range can bound that buffer's size by
+/// `max_chunk` regardless of how large `len` grows (the conv layers cap
+/// their wide-GEMM scratch this way), while small inputs still split
+/// into at most `parts` near-equal ranges. The partition depends only
+/// on `(len, parts, max_chunk)` — never on worker count or scheduling —
+/// so it preserves the bit-identity story of [`chunk_ranges`].
+pub fn chunk_ranges_capped(
+    len: usize,
+    parts: usize,
+    max_chunk: usize,
+) -> Vec<std::ops::Range<usize>> {
+    chunk_ranges_capped_iter(len, parts, max_chunk).collect()
+}
+
+/// Iterator form of [`chunk_ranges_capped`] — identical ranges, zero
+/// heap allocation (see [`chunk_ranges_iter`]).
+pub fn chunk_ranges_capped_iter(
+    len: usize,
+    parts: usize,
+    max_chunk: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> {
+    let max_chunk = max_chunk.max(1);
+    let min_parts = len.div_ceil(max_chunk);
+    chunk_ranges_iter(len, parts.max(min_parts))
 }
 
 fn reorder<R>(mut tagged: Vec<(usize, R)>) -> Vec<R> {
@@ -335,6 +373,35 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn capped_chunks_respect_cap_and_cover() {
+        for len in [0usize, 1, 5, 16, 100, 1000] {
+            for parts in [1usize, 2, 4, 8] {
+                for cap in [1usize, 3, 7, 64, 10_000] {
+                    let ranges = chunk_ranges_capped(len, parts, cap);
+                    let mut next = 0;
+                    for r in &ranges {
+                        assert_eq!(r.start, next, "contiguous");
+                        assert!(!r.is_empty(), "no empty range");
+                        assert!(r.len() <= cap, "len={len} parts={parts} cap={cap}");
+                        next = r.end;
+                    }
+                    assert_eq!(next, len, "full cover");
+                    if len > 0 && len.div_ceil(cap) <= parts {
+                        assert!(
+                            ranges.len() <= parts,
+                            "cap inactive must not grow the range count"
+                        );
+                    }
+                }
+            }
+        }
+        // The cap is what grows the count: 100 items, 2 parts, cap 10.
+        assert_eq!(chunk_ranges_capped(100, 2, 10).len(), 10);
+        // Uncapped behaviour matches chunk_ranges exactly.
+        assert_eq!(chunk_ranges_capped(17, 4, usize::MAX), chunk_ranges(17, 4));
     }
 
     #[test]

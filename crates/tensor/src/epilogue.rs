@@ -1,0 +1,525 @@
+//! The GEMM **epilogue**: everything a convolution applies to the wide
+//! GEMM output on its way back to sample-major layout — bias or
+//! batch-norm normalisation, plus the elementwise activation — fused
+//! into the scatter so the conv output buffer is written in **one**
+//! pass instead of the historical bias/normalise/activate sweep chain.
+//!
+//! The fusion is bit-identity-safe by construction: every function here
+//! is strictly per-element (no cross-element arithmetic), and the one
+//! cross-element computation batch-norm needs — the per-channel batch
+//! moments — is provided as an explicitly *canonical* accumulation
+//! ([`accumulate_wide_moments`] / [`fused_channel_moments`] +
+//! [`finalize_moments`]): a single fused sweep per channel, sample
+//! ascending then spatial ascending, accumulating the sum and the sum
+//! of squares side by side. Both kernel modes, the optimized scatter
+//! path and the retained per-sample reference path all call into this
+//! module, so they share one addition chain and one expression tree —
+//! the property the CalTrain strict/native parity claim (and the
+//! worker-count determinism tests) pin bitwise.
+//!
+//! Layout vocabulary, shared with [`crate::im2col`]:
+//!
+//! * **wide** — `[filters, tile_cols]` row-major, `tile_cols =
+//!   span·ohw`, sample-major along the column axis (the
+//!   [`crate::im2col::im2col_batch`] GEMM output);
+//! * **planes** — the sample-major view `[n, filters, ohw]` flattened
+//!   to `n·filters` contiguous planes of `ohw` elements; plane
+//!   `p = s·filters + f`. Plane ranges are how callers fan the scatter
+//!   across workers: any split is safe because nothing crosses a plane.
+
+/// What the scatter applies, per element, between the raw GEMM value
+/// and the activation.
+///
+/// Per-channel parameters are indexed by the filter `f` of the plane
+/// being written. The two variants cover every conv configuration:
+/// plain bias, and batch-norm normalisation (with batch statistics in
+/// train mode or rolling statistics in eval mode — the caller chooses
+/// which slices to pass).
+#[derive(Debug, Clone, Copy)]
+pub enum GemmEpilogue<'a> {
+    /// `z = v + biases[f]` — the non-batch-norm epilogue.
+    Bias {
+        /// Per-filter bias.
+        biases: &'a [f32],
+    },
+    /// `x̂ = (v − mean[f])·inv_std[f]`, `z = gamma[f]·x̂ + beta[f]` —
+    /// the batch-norm epilogue. The grouping (scale x̂, then γ·x̂+β) is
+    /// part of the canonical expression tree; do not refactor it.
+    Normalize {
+        /// Per-filter mean (batch or rolling).
+        mean: &'a [f32],
+        /// Per-filter `1/√(var+ε)` (batch or rolling).
+        inv_std: &'a [f32],
+        /// Per-filter scale γ.
+        gamma: &'a [f32],
+        /// Per-filter shift β.
+        beta: &'a [f32],
+    },
+}
+
+impl GemmEpilogue<'_> {
+    /// The pre-activation value `z` for raw GEMM output `v` on filter
+    /// `f` — the exact expression both the fused and the reference
+    /// paths evaluate.
+    #[inline]
+    pub fn z(&self, f: usize, v: f32) -> f32 {
+        match *self {
+            GemmEpilogue::Bias { biases } => v + biases[f],
+            GemmEpilogue::Normalize { mean, inv_std, gamma, beta } => {
+                let xhat = (v - mean[f]) * inv_std[f];
+                gamma[f] * xhat + beta[f]
+            }
+        }
+    }
+
+    /// Like [`GemmEpilogue::z`], also returning the normalised value x̂
+    /// (meaningful for [`GemmEpilogue::Normalize`]; for
+    /// [`GemmEpilogue::Bias`] the raw value is returned in its place).
+    #[inline]
+    pub fn xhat_z(&self, f: usize, v: f32) -> (f32, f32) {
+        match *self {
+            GemmEpilogue::Bias { biases } => (v, v + biases[f]),
+            GemmEpilogue::Normalize { mean, inv_std, gamma, beta } => {
+                let xhat = (v - mean[f]) * inv_std[f];
+                (xhat, gamma[f] * xhat + beta[f])
+            }
+        }
+    }
+}
+
+#[inline]
+fn plane_src(wide: &[f32], tile_cols: usize, filters: usize, ohw: usize, p: usize) -> &[f32] {
+    let (s, f) = (p / filters, p % filters);
+    &wide[f * tile_cols + s * ohw..][..ohw]
+}
+
+/// Scatters wide rows back to sample-major planes with **no** epilogue
+/// — the raw-staging pass batch-norm training uses before the batch
+/// statistics exist.
+///
+/// `planes` indexes planes of the *tile* (`p = local_s·filters + f`);
+/// `dst` is that range's contiguous chunk, `planes.len()·ohw` long.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry.
+pub fn scatter_wide_planes(
+    wide: &[f32],
+    tile_cols: usize,
+    filters: usize,
+    ohw: usize,
+    planes: std::ops::Range<usize>,
+    dst: &mut [f32],
+) {
+    assert_eq!(wide.len(), filters * tile_cols, "wide geometry");
+    assert_eq!(dst.len(), planes.len() * ohw, "destination geometry");
+    for (i, p) in planes.enumerate() {
+        dst[i * ohw..(i + 1) * ohw]
+            .copy_from_slice(plane_src(wide, tile_cols, filters, ohw, p));
+    }
+}
+
+/// The fused single-pass scatter: wide rows → sample-major planes,
+/// applying the epilogue and the activation per element, recording the
+/// pre-activation `z` alongside.
+///
+/// This writes the conv output (`out`) exactly **once** per element —
+/// the historical bias-scatter / normalise-sweep / activation-sweep
+/// chain collapsed into one loop. Per-element arithmetic matches
+/// [`GemmEpilogue::z`] followed by `act`, so it is bit-identical to the
+/// separate sweeps it replaces.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn scatter_wide_epilogue<A: Fn(f32) -> f32>(
+    wide: &[f32],
+    tile_cols: usize,
+    filters: usize,
+    ohw: usize,
+    planes: std::ops::Range<usize>,
+    epilogue: &GemmEpilogue<'_>,
+    act: A,
+    out: &mut [f32],
+    pre_act: &mut [f32],
+) {
+    assert_eq!(wide.len(), filters * tile_cols, "wide geometry");
+    assert_eq!(out.len(), planes.len() * ohw, "output geometry");
+    assert_eq!(pre_act.len(), out.len(), "pre-activation geometry");
+    for (i, p) in planes.enumerate() {
+        let f = p % filters;
+        let src = plane_src(wide, tile_cols, filters, ohw, p);
+        let dst = &mut out[i * ohw..(i + 1) * ohw];
+        let pre = &mut pre_act[i * ohw..(i + 1) * ohw];
+        for ((d, z_slot), &v) in dst.iter_mut().zip(pre.iter_mut()).zip(src) {
+            let z = epilogue.z(f, v);
+            *z_slot = z;
+            *d = act(z);
+        }
+    }
+}
+
+/// The deferred epilogue pass batch-norm training runs once the batch
+/// moments exist: reads the staged raw values (`raw_to_z`, sample-major
+/// planes), writes x̂ into `xhat`, overwrites the staging slot with the
+/// pre-activation `z` in place, and writes the activated output — one
+/// pass over each buffer, the conv output written exactly once.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree or the epilogue is not
+/// [`GemmEpilogue::Normalize`] (batch-norm is the only layer with a
+/// deferred pass).
+#[allow(clippy::too_many_arguments)]
+pub fn apply_epilogue_planes<A: Fn(f32) -> f32>(
+    planes: std::ops::Range<usize>,
+    filters: usize,
+    ohw: usize,
+    epilogue: &GemmEpilogue<'_>,
+    act: A,
+    raw_to_z: &mut [f32],
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    assert!(
+        matches!(epilogue, GemmEpilogue::Normalize { .. }),
+        "deferred epilogue is batch-norm only"
+    );
+    assert_eq!(raw_to_z.len(), planes.len() * ohw, "staging geometry");
+    assert_eq!(xhat.len(), raw_to_z.len(), "xhat geometry");
+    assert_eq!(out.len(), raw_to_z.len(), "output geometry");
+    for (i, p) in planes.enumerate() {
+        let f = p % filters;
+        let base = i * ohw;
+        for j in base..base + ohw {
+            let (xh, z) = epilogue.xhat_z(f, raw_to_z[j]);
+            xhat[j] = xh;
+            raw_to_z[j] = z;
+            out[j] = act(z);
+        }
+    }
+}
+
+/// Floats per filter in a moment accumulator: the shift `K`, `Σ(v−K)`
+/// and `Σ(v−K)²`.
+pub const MOMENT_ACC_STRIDE: usize = 3;
+
+/// Accumulates the canonical batch-norm moment partials from a block of
+/// **wide** rows in one fused sweep: for each row `r` (one filter),
+/// `acc[3r+1] += Σ (v−K)` and `acc[3r+2] += Σ (v−K)²`, sweeping the row
+/// left to right — i.e. sample ascending, then spatial ascending, the
+/// canonical order. The shift `K` (`acc[3r]`) is captured from the
+/// row's first element when `first_tile` is set; shifting by a value
+/// near the mean is what keeps the single-pass variance free of the
+/// catastrophic cancellation a plain `Σv²/m − mean²` suffers.
+///
+/// Call once per sample tile, tiles in ascending-sample order
+/// (`first_tile` on the first), and the per-filter accumulation chain
+/// is **identical** to the single full sweep [`fused_channel_moments`]
+/// performs — which is what lets the scratch-capped tiled GEMM path and
+/// the reference path agree bitwise.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree (`acc` holds
+/// [`MOMENT_ACC_STRIDE`] floats per row) or a row is empty.
+pub fn accumulate_wide_moments(
+    wide_rows: &[f32],
+    cols: usize,
+    acc: &mut [f32],
+    first_tile: bool,
+) {
+    assert!(cols > 0, "empty wide rows have no moments");
+    assert_eq!(
+        acc.len() * cols,
+        wide_rows.len() * MOMENT_ACC_STRIDE,
+        "accumulator geometry"
+    );
+    for (r, row) in wide_rows.chunks_exact(cols).enumerate() {
+        let base = MOMENT_ACC_STRIDE * r;
+        if first_tile {
+            acc[base] = row[0];
+        }
+        let k = acc[base];
+        let mut s1 = acc[base + 1];
+        let mut s2 = acc[base + 2];
+        for &v in row {
+            let d = v - k;
+            s1 += d;
+            s2 += d * d;
+        }
+        acc[base + 1] = s1;
+        acc[base + 2] = s2;
+    }
+}
+
+/// Converts accumulated shifted partials into the canonical mean and
+/// variance: `mean = K + Σ(v−K)/m`,
+/// `var = max(Σ(v−K)²/m − (Σ(v−K)/m)², 0)`.
+///
+/// The `max(…, 0)` clamps the tiny negative values the fused formula
+/// can produce for near-constant channels; it is part of the canonical
+/// expression and applied identically on every path.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree.
+pub fn finalize_moments(acc: &[f32], m: f32, mean: &mut [f32], var: &mut [f32]) {
+    assert_eq!(acc.len(), mean.len() * MOMENT_ACC_STRIDE, "accumulator geometry");
+    assert_eq!(mean.len(), var.len(), "moment geometry");
+    for f in 0..mean.len() {
+        let base = MOMENT_ACC_STRIDE * f;
+        let shift_mean = acc[base + 1] / m;
+        mean[f] = acc[base] + shift_mean;
+        var[f] = (acc[base + 2] / m - shift_mean * shift_mean).max(0.0);
+    }
+}
+
+/// The canonical batch moments computed in one fused sweep over a
+/// **sample-major** buffer `[n, filters, ohw]` — the reference-path
+/// counterpart of [`accumulate_wide_moments`] + [`finalize_moments`],
+/// accumulating per filter in the identical order (sample ascending,
+/// spatial ascending, shift = the filter's first raw value) and
+/// finishing through the identical [`finalize_moments`] expressions.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry or the batch is
+/// empty.
+pub fn fused_channel_moments(
+    raw: &[f32],
+    n: usize,
+    filters: usize,
+    ohw: usize,
+    mean: &mut [f32],
+    var: &mut [f32],
+) {
+    assert_eq!(raw.len(), n * filters * ohw, "raw geometry");
+    assert_eq!(mean.len(), filters, "mean geometry");
+    assert_eq!(var.len(), filters, "var geometry");
+    assert!(n * ohw > 0, "empty batch has no moments");
+    let m = (n * ohw) as f32;
+    for f in 0..filters {
+        let k = raw[f * ohw];
+        let mut s1 = 0.0f32;
+        let mut s2 = 0.0f32;
+        for s in 0..n {
+            let base = (s * filters + f) * ohw;
+            for &v in &raw[base..base + ohw] {
+                let d = v - k;
+                s1 += d;
+                s2 += d * d;
+            }
+        }
+        let acc = [k, s1, s2];
+        finalize_moments(&acc, m, &mut mean[f..f + 1], &mut var[f..f + 1]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    const LEAKY: fn(f32) -> f32 = |v| if v > 0.0 { v } else { 0.1 * v };
+
+    #[test]
+    fn raw_scatter_is_exact_relayout() {
+        let (n, filters, ohw) = (3usize, 4usize, 5usize);
+        let tile_cols = n * ohw;
+        let wide = arb(filters * tile_cols, 1);
+        let mut dst = vec![0.0; n * filters * ohw];
+        scatter_wide_planes(&wide, tile_cols, filters, ohw, 0..n * filters, &mut dst);
+        for s in 0..n {
+            for f in 0..filters {
+                for o in 0..ohw {
+                    assert_eq!(
+                        dst[(s * filters + f) * ohw + o].to_bits(),
+                        wide[f * tile_cols + s * ohw + o].to_bits(),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scatter_matches_separate_sweeps_bitwise() {
+        // The whole point: one fused pass == scatter, then bias sweep,
+        // then activation sweep, to the bit.
+        let (n, filters, ohw) = (2usize, 3usize, 7usize);
+        let tile_cols = n * ohw;
+        let wide = arb(filters * tile_cols, 2);
+        let biases = arb(filters, 3);
+
+        // Reference: the historical three separate passes.
+        let mut want = vec![0.0; n * filters * ohw];
+        scatter_wide_planes(&wide, tile_cols, filters, ohw, 0..n * filters, &mut want);
+        let mut want_pre = want.clone();
+        for p in 0..n * filters {
+            let b = biases[p % filters];
+            for v in &mut want_pre[p * ohw..(p + 1) * ohw] {
+                *v += b;
+            }
+        }
+        let want_out: Vec<f32> = want_pre.iter().map(|&z| LEAKY(z)).collect();
+
+        let mut out = vec![0.0; want.len()];
+        let mut pre = vec![0.0; want.len()];
+        scatter_wide_epilogue(
+            &wide,
+            tile_cols,
+            filters,
+            ohw,
+            0..n * filters,
+            &GemmEpilogue::Bias { biases: &biases },
+            LEAKY,
+            &mut out,
+            &mut pre,
+        );
+        for i in 0..out.len() {
+            assert_eq!(pre[i].to_bits(), want_pre[i].to_bits(), "pre-activation at {i}");
+            assert_eq!(out[i].to_bits(), want_out[i].to_bits(), "output at {i}");
+        }
+    }
+
+    #[test]
+    fn plane_splits_never_change_bits() {
+        // Scatter fan-out safety: any plane partition produces the bits
+        // of the single full call.
+        let (n, filters, ohw) = (3usize, 4usize, 6usize);
+        let tile_cols = n * ohw;
+        let wide = arb(filters * tile_cols, 4);
+        let biases = arb(filters, 5);
+        let ep = GemmEpilogue::Bias { biases: &biases };
+
+        let mut full_out = vec![0.0; n * filters * ohw];
+        let mut full_pre = full_out.clone();
+        scatter_wide_epilogue(
+            &wide, tile_cols, filters, ohw, 0..n * filters, &ep, LEAKY,
+            &mut full_out, &mut full_pre,
+        );
+
+        for split in 1..=5usize {
+            let mut out = vec![0.0; full_out.len()];
+            let mut pre = out.clone();
+            let planes = n * filters;
+            let per = planes.div_ceil(split);
+            let mut start = 0;
+            while start < planes {
+                let end = (start + per).min(planes);
+                scatter_wide_epilogue(
+                    &wide, tile_cols, filters, ohw, start..end, &ep, LEAKY,
+                    &mut out[start * ohw..end * ohw],
+                    &mut pre[start * ohw..end * ohw],
+                );
+                start = end;
+            }
+            assert!(
+                out.iter().zip(&full_out).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "split {split}"
+            );
+        }
+    }
+
+    #[test]
+    fn tiled_moments_match_fused_sweep_bitwise() {
+        // Tile-by-tile accumulation over wide rows must reproduce the
+        // one-sweep sample-major moments exactly: same chain per filter.
+        let (n, filters, ohw) = (7usize, 3usize, 4usize);
+        let raw_planes = arb(n * filters * ohw, 6);
+
+        let mut want_mean = vec![0.0; filters];
+        let mut want_var = vec![0.0; filters];
+        fused_channel_moments(&raw_planes, n, filters, ohw, &mut want_mean, &mut want_var);
+
+        // Re-express the same data as wide tiles of 3/3/1 samples and
+        // accumulate.
+        let mut acc = vec![0.0; MOMENT_ACC_STRIDE * filters];
+        let mut s0 = 0;
+        for span in [3usize, 3, 1] {
+            let tile_cols = span * ohw;
+            let mut wide = vec![0.0; filters * tile_cols];
+            for f in 0..filters {
+                for ls in 0..span {
+                    let s = s0 + ls;
+                    wide[f * tile_cols + ls * ohw..][..ohw]
+                        .copy_from_slice(&raw_planes[(s * filters + f) * ohw..][..ohw]);
+                }
+            }
+            accumulate_wide_moments(&wide, tile_cols, &mut acc, s0 == 0);
+            s0 += span;
+        }
+        let mut mean = vec![0.0; filters];
+        let mut var = vec![0.0; filters];
+        finalize_moments(&acc, (n * ohw) as f32, &mut mean, &mut var);
+        for f in 0..filters {
+            assert_eq!(mean[f].to_bits(), want_mean[f].to_bits(), "mean {f}");
+            assert_eq!(var[f].to_bits(), want_var[f].to_bits(), "var {f}");
+        }
+    }
+
+    #[test]
+    fn moments_are_sane_and_var_clamps() {
+        let filters = 2;
+        // Channel 0 constant, channel 1 spread.
+        let raw = vec![2.0, 2.0, 2.0, -1.0, 0.0, 1.0];
+        let (n, ohw) = (1, 3);
+        let mut mean = vec![0.0; filters];
+        let mut var = vec![0.0; filters];
+        fused_channel_moments(&raw, n, filters, ohw, &mut mean, &mut var);
+        assert_eq!(mean[0], 2.0);
+        assert!(var[0] >= 0.0, "clamped, not tiny-negative");
+        assert!((mean[1] - 0.0).abs() < 1e-6);
+        assert!((var[1] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn deferred_pass_matches_inline_normalize() {
+        // apply_epilogue_planes (staged raw → x̂/z/out) must equal the
+        // inline scatter_wide_epilogue on the same values.
+        let (n, filters, ohw) = (2usize, 2usize, 5usize);
+        let tile_cols = n * ohw;
+        let wide = arb(filters * tile_cols, 8);
+        let mean = arb(filters, 9);
+        let var: Vec<f32> = arb(filters, 10).iter().map(|v| v.abs() + 0.3).collect();
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + 1e-5).sqrt()).collect();
+        let gamma = arb(filters, 11);
+        let beta = arb(filters, 12);
+        let ep = GemmEpilogue::Normalize {
+            mean: &mean,
+            inv_std: &inv_std,
+            gamma: &gamma,
+            beta: &beta,
+        };
+
+        let planes = n * filters;
+        let mut inline_out = vec![0.0; planes * ohw];
+        let mut inline_pre = inline_out.clone();
+        scatter_wide_epilogue(
+            &wide, tile_cols, filters, ohw, 0..planes, &ep, LEAKY,
+            &mut inline_out, &mut inline_pre,
+        );
+
+        let mut staged = vec![0.0; planes * ohw];
+        scatter_wide_planes(&wide, tile_cols, filters, ohw, 0..planes, &mut staged);
+        let mut xhat = vec![0.0; staged.len()];
+        let mut out = vec![0.0; staged.len()];
+        apply_epilogue_planes(
+            0..planes, filters, ohw, &ep, LEAKY, &mut staged, &mut xhat, &mut out,
+        );
+        for i in 0..out.len() {
+            assert_eq!(out[i].to_bits(), inline_out[i].to_bits(), "out at {i}");
+            assert_eq!(staged[i].to_bits(), inline_pre[i].to_bits(), "z at {i}");
+        }
+    }
+}

@@ -328,6 +328,43 @@ pub fn gemm_at_b_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &
     }
 }
 
+/// The uniform signature every GEMM kernel here shares:
+/// `(m, n, k, a, b, c)` computing `C += A·B` (or the documented
+/// transposed variant).
+pub type GemmKernel = fn(usize, usize, usize, &[f32], &[f32], &mut [f32]);
+
+/// Runs `kernel` on one **row tile** of a `m×n×k` GEMM: rows
+/// `rows.start..rows.end` of `A` and `C`, against the whole of `B`.
+///
+/// This is the shared-wide-GEMM work unit: several workers cooperate on
+/// ONE `C += A·B` by each owning a disjoint row tile. Because every
+/// kernel in this module computes `C[i][j]` from row `i` of `A` alone
+/// — with the `p`-ascending addition order fixed per `(i, j)` — a row
+/// tile performs *exactly* the arithmetic the full call performs for
+/// those rows, so the tiling (and therefore the worker count) can never
+/// change an output bit. The `row_tiles_bitwise_match_full` test pins
+/// this for every kernel family.
+///
+/// `c_tile` is the contiguous `rows.len()·n` chunk of `C` for the tile.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the tile geometry.
+pub fn gemm_row_tile(
+    kernel: GemmKernel,
+    rows: std::ops::Range<usize>,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    c_tile: &mut [f32],
+) {
+    let m_tile = rows.len();
+    assert!(rows.end * k <= a.len(), "row tile exceeds A");
+    assert_eq!(c_tile.len(), m_tile * n, "C tile must be rows*n");
+    kernel(m_tile, n, k, &a[rows.start * k..rows.end * k], b, c_tile);
+}
+
 /// Number of floating-point operations a `m×n×k` GEMM performs.
 ///
 /// Used by the enclave cost model to convert kernel invocations into
@@ -471,6 +508,51 @@ mod tests {
             gemm_a_bt_blocked(m, n, k, &a, &bt, &mut c1);
             for i in 0..m * n {
                 assert_eq!(c0[i].to_bits(), c1[i].to_bits(), "blocked vs plain at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_tiles_bitwise_match_full() {
+        // The shared-wide-GEMM contract: computing C in disjoint row
+        // tiles (any split) reproduces the full call bit for bit, on
+        // every kernel family — tiling is how workers cooperate on one
+        // wide GEMM without touching the addition order.
+        let (m, n, k) = (13usize, 70usize, 40usize);
+        let a = arb_matrix(m * k, 41);
+        let b = arb_matrix(k * n, 42);
+        for kernel in [
+            gemm_strict as GemmKernel,
+            gemm_blocked,
+            gemm_packed,
+            gemm_native,
+        ] {
+            let mut full = vec![0.0; m * n];
+            kernel(m, n, k, &a, &b, &mut full);
+            for tiles in [1usize, 2, 3, 5, 13] {
+                let mut c = vec![0.0; m * n];
+                let per = m.div_ceil(tiles);
+                let mut start = 0;
+                while start < m {
+                    let end = (start + per).min(m);
+                    gemm_row_tile(
+                        kernel,
+                        start..end,
+                        n,
+                        k,
+                        &a,
+                        &b,
+                        &mut c[start * n..end * n],
+                    );
+                    start = end;
+                }
+                for i in 0..m * n {
+                    assert_eq!(
+                        c[i].to_bits(),
+                        full[i].to_bits(),
+                        "tiles={tiles} elem={i}"
+                    );
+                }
             }
         }
     }

@@ -153,38 +153,76 @@ pub fn im2col_batch(
     pad: usize,
     output: &mut [f32],
 ) {
+    let ckk = channels * size * size;
+    assert_eq!(
+        output.len(),
+        ckk * n * conv_out_extent(height, size, stride, pad)
+            * conv_out_extent(width, size, stride, pad),
+        "column geometry"
+    );
+    im2col_batch_rows(input, n, channels, height, width, size, stride, pad, 0..ckk, output);
+}
+
+/// Emits a contiguous **row range** of the [`im2col_batch`] column
+/// matrix (rows are `(channel, ky, kx)` taps, `row = c·size² + ky·size
+/// + kx`), writing into `output` — the `rows.len() · n·out_h·out_w`
+/// chunk for that range.
+///
+/// Rows are independent (each is a pure gather from the input), so
+/// workers can build the one shared wide column matrix cooperatively by
+/// splitting the row axis — the lowering-side counterpart of the
+/// row-tiled shared GEMM. Any split produces the exact bytes of the
+/// full call.
+///
+/// # Panics
+///
+/// Panics if the slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_batch_rows(
+    input: &[f32],
+    n: usize,
+    channels: usize,
+    height: usize,
+    width: usize,
+    size: usize,
+    stride: usize,
+    pad: usize,
+    rows: std::ops::Range<usize>,
+    output: &mut [f32],
+) {
     let out_h = conv_out_extent(height, size, stride, pad);
     let out_w = conv_out_extent(width, size, stride, pad);
     let ohw = out_h * out_w;
     let wide = n * ohw;
     let sample = channels * height * width;
     assert_eq!(input.len(), n * sample, "input geometry");
-    assert_eq!(output.len(), channels * size * size * wide, "column geometry");
+    assert!(rows.end <= channels * size * size, "row range exceeds ckk");
+    assert_eq!(output.len(), rows.len() * wide, "column geometry");
 
     let channel_cols = size * size;
-    for c in 0..channels {
-        for kidx in 0..channel_cols {
-            let ky = kidx / size;
-            let kx = kidx % size;
-            let row = (c * channel_cols + kidx) * wide;
-            for s in 0..n {
-                let in_plane = &input[s * sample + c * height * width..][..height * width];
-                let base = row + s * ohw;
-                for oy in 0..out_h {
-                    let iy = (oy * stride + ky) as isize - pad as isize;
-                    for ox in 0..out_w {
-                        let ix = (ox * stride + kx) as isize - pad as isize;
-                        let v = if iy >= 0
-                            && iy < height as isize
-                            && ix >= 0
-                            && ix < width as isize
-                        {
-                            in_plane[iy as usize * width + ix as usize]
-                        } else {
-                            0.0
-                        };
-                        output[base + oy * out_w + ox] = v;
-                    }
+    for (local, row) in rows.enumerate() {
+        let c = row / channel_cols;
+        let kidx = row % channel_cols;
+        let ky = kidx / size;
+        let kx = kidx % size;
+        let row_base = local * wide;
+        for s in 0..n {
+            let in_plane = &input[s * sample + c * height * width..][..height * width];
+            let base = row_base + s * ohw;
+            for oy in 0..out_h {
+                let iy = (oy * stride + ky) as isize - pad as isize;
+                for ox in 0..out_w {
+                    let ix = (ox * stride + kx) as isize - pad as isize;
+                    let v = if iy >= 0
+                        && iy < height as isize
+                        && ix >= 0
+                        && ix < width as isize
+                    {
+                        in_plane[iy as usize * width + ix as usize]
+                    } else {
+                        0.0
+                    };
+                    output[base + oy * out_w + ox] = v;
                 }
             }
         }
@@ -399,6 +437,35 @@ mod tests {
                         "sample {s} ({row}, {o})"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn row_range_splits_reproduce_full_columns() {
+        // Cooperative im2col: any row split writes the exact bytes of
+        // the single full call.
+        let (n, c, hw) = (3usize, 2usize, 4usize);
+        let input: Vec<f32> =
+            (0..n * c * hw * hw).map(|v| (v as f32) * 0.73 - 7.0).collect();
+        let (ckk, ohw) = (c * 9, hw * hw);
+        let mut full = vec![0.0; ckk * n * ohw];
+        im2col_batch(&input, n, c, hw, hw, 3, 1, 1, &mut full);
+        for parts in [1usize, 2, 3, 5, ckk] {
+            let mut split = vec![f32::NAN; full.len()];
+            let per = ckk.div_ceil(parts);
+            let mut start = 0;
+            while start < ckk {
+                let end = (start + per).min(ckk);
+                im2col_batch_rows(
+                    &input, n, c, hw, hw, 3, 1, 1,
+                    start..end,
+                    &mut split[start * n * ohw..end * n * ohw],
+                );
+                start = end;
+            }
+            for i in 0..full.len() {
+                assert_eq!(split[i].to_bits(), full[i].to_bits(), "parts={parts} at {i}");
             }
         }
     }

@@ -43,6 +43,7 @@ mod scratch;
 mod shape;
 mod tensor;
 
+pub mod epilogue;
 pub mod gemm;
 pub mod im2col;
 pub mod linalg;
