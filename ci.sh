@@ -59,6 +59,25 @@ echo "==> batch-1 inference smoke (CALTRAIN_WORKERS=4, row-tiled GEMM)"
 CALTRAIN_WORKERS=4 cargo bench --offline --bench training_throughput -- \
   --smoke --batch1-only
 
+# Fault-injection scenario corpus (crates/sim, see SCENARIOS.md): every
+# scenario family over a fixed seed set, at both worker counts. Each run
+# prints one stable line (trace digest + final-weights digest); diffing
+# the two outputs is the worker-count-invariance gate for the *faulted*
+# trajectories, on top of the per-scenario invariant assert!()s (cycle
+# ledger, fingerprint completeness, poisoner attribution) that fail the
+# run directly. The two-seed subset is the smoke corpus: the whole step
+# stays well under a minute (~10s); widen --seeds for a deeper sweep.
+echo "==> scenario corpus (CALTRAIN_WORKERS=1 vs 4 must match bitwise)"
+SIM_OUT_W1="$(mktemp)"
+SIM_OUT_W4="$(mktemp)"
+trap 'rm -rf "$BENCH_BASELINE_DIR" "$SIM_OUT_W1" "$SIM_OUT_W4"' EXIT
+CALTRAIN_WORKERS=1 cargo run --offline -q -p caltrain-sim -- \
+  --all --seeds 1,2 | tee "$SIM_OUT_W1"
+CALTRAIN_WORKERS=4 cargo run --offline -q -p caltrain-sim -- \
+  --all --seeds 1,2 > "$SIM_OUT_W4"
+diff "$SIM_OUT_W1" "$SIM_OUT_W4" \
+  || { echo "scenario corpus diverged across worker counts"; exit 1; }
+
 # Diff the freshly regenerated BENCH_*.json against the committed
 # baselines and WARN on >10% regressions of classified metrics
 # (steps/sec, allocs/step, spawn counts, …). Warning-only by design:

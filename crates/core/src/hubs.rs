@@ -65,6 +65,101 @@ pub struct RoundOutcome {
     /// Slowest hub's simulated time for the round — the wall-clock the
     /// parallel cluster would take.
     pub round_time: SimTime,
+    /// Hubs (by index, ascending) that crashed this round: their local
+    /// work was discarded and they restarted from the merged global
+    /// model. Empty under [`HonestTransport`].
+    pub crashed: Vec<usize>,
+}
+
+/// What one hub hands the root aggregator at the end of a round.
+///
+/// This is the seam the fault-injection harness (`caltrain-sim`) drives:
+/// the round loop itself never forks — a [`RoundTransport`] decides, per
+/// `(round, hub)`, whether the submission is honest, lost to a crash,
+/// stale, or byzantine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HubSubmission {
+    /// The hub's locally trained weights — the honest case.
+    Trained,
+    /// The hub crashed mid-round: its local work is lost, it submits
+    /// nothing, it is excluded from the weighted average, and it
+    /// restarts from the freshly merged global model.
+    Crashed,
+    /// The hub re-submits the pre-round global weights — a stale replica
+    /// whose round of work never arrives.
+    Stale,
+    /// Byzantine: the hub submits `global + scale·(trained − global)`.
+    /// `scale > 1` boosts the hub's update (gradient-scaling attack);
+    /// `scale < 0` sign-flips the round's progress; `scale = 0` degrades
+    /// to [`HubSubmission::Stale`] semantics.
+    Scaled(f32),
+}
+
+impl HubSubmission {
+    /// True when the hub contributes weights to the aggregation.
+    pub fn submits(self) -> bool {
+        !matches!(self, HubSubmission::Crashed)
+    }
+}
+
+/// Decides what every hub submits each round (see [`HubSubmission`]).
+///
+/// [`HubCluster::train_round_via`] calls [`RoundTransport::submission`]
+/// once per hub, **in hub order, from the sequential aggregation fold**
+/// — never from a worker thread — so any deterministic implementation
+/// is worker-count invariant by construction.
+pub trait RoundTransport {
+    /// The submission for `hub` in `round` (both zero-based; rounds
+    /// count [`HubCluster::train_round_via`] calls over the cluster's
+    /// lifetime).
+    fn submission(&mut self, round: usize, hub: usize) -> HubSubmission;
+}
+
+/// The default transport: every hub honestly submits its trained
+/// weights. [`HubCluster::train_round`] is exactly
+/// [`HubCluster::train_round_via`] with this transport.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HonestTransport;
+
+impl RoundTransport for HonestTransport {
+    fn submission(&mut self, _round: usize, _hub: usize) -> HubSubmission {
+        HubSubmission::Trained
+    }
+}
+
+/// A transport that replays a fixed fault plan: decisions keyed by
+/// `(round, hub)`, everything absent from the plan submitting honestly.
+/// The scenario harness pre-computes its plan from a seeded RNG and
+/// hands it over as one of these, which keeps every injected fault
+/// replayable from the seed alone.
+#[derive(Debug, Clone, Default)]
+pub struct PlannedTransport {
+    plan: std::collections::BTreeMap<(usize, usize), HubSubmission>,
+}
+
+impl PlannedTransport {
+    /// An empty (all-honest) plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `submission` for `(round, hub)`, replacing any earlier
+    /// decision for that slot.
+    pub fn set(&mut self, round: usize, hub: usize, submission: HubSubmission) -> &mut Self {
+        self.plan.insert((round, hub), submission);
+        self
+    }
+
+    /// The planned decisions, in `(round, hub)` order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize, HubSubmission)> + '_ {
+        self.plan.iter().map(|(&(round, hub), &s)| (round, hub, s))
+    }
+}
+
+impl RoundTransport for PlannedTransport {
+    fn submission(&mut self, round: usize, hub: usize) -> HubSubmission {
+        self.plan.get(&(round, hub)).copied().unwrap_or(HubSubmission::Trained)
+    }
 }
 
 /// A root aggregation server over several hubs.
@@ -74,6 +169,7 @@ pub struct HubCluster {
     batch_size: usize,
     augment: Option<AugmentConfig>,
     parallelism: Parallelism,
+    round: usize,
 }
 
 impl std::fmt::Debug for HubCluster {
@@ -125,7 +221,14 @@ impl HubCluster {
             )?;
             hubs.push(Hub { platform, enclave, trainer, pool });
         }
-        Ok(HubCluster { hubs, hyper, batch_size, augment, parallelism: Parallelism::default() })
+        Ok(HubCluster {
+            hubs,
+            hyper,
+            batch_size,
+            augment,
+            parallelism: Parallelism::default(),
+            round: 0,
+        })
     }
 
     /// Sets the worker-pool knob: how many hubs train on concurrent OS
@@ -177,6 +280,19 @@ impl HubCluster {
         self.hubs[0].trainer.network_mut()
     }
 
+    /// One hub's local model — between rounds, bit-identical to
+    /// [`HubCluster::global_model`] for every hub (the convergence
+    /// invariant fault harnesses check after injected submissions).
+    pub fn hub_model(&self, hub: usize) -> Option<&Network> {
+        self.hubs.get(hub).map(|h| h.trainer.network())
+    }
+
+    /// One hub's platform — for inspecting per-hub simulated-clock
+    /// charges and cycle breakdowns.
+    pub fn hub_platform(&self, hub: usize) -> Option<&Platform> {
+        self.hubs.get(hub).map(|h| &h.platform)
+    }
+
     /// One federated round: every hub trains `local_epochs` on its own
     /// pool — each hub on its own OS worker thread, charging its own
     /// simulated platform clock — then the root averages all hub weights
@@ -190,7 +306,39 @@ impl HubCluster {
     ///
     /// Propagates training failures.
     pub fn train_round(&mut self, local_epochs: usize) -> Result<RoundOutcome, CalTrainError> {
-        let Self { hubs, hyper, batch_size, augment, parallelism } = self;
+        self.train_round_via(local_epochs, &mut HonestTransport)
+    }
+
+    /// Rounds completed so far (the `round` index the transport sees).
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// [`HubCluster::train_round`] with an explicit [`RoundTransport`]
+    /// deciding what each hub submits — the fault-injection seam.
+    ///
+    /// Local training always runs (a crash is modelled at submission
+    /// time: the work happened, then was lost), so `hub_losses` and
+    /// `hub_times` report every hub. The transport is consulted in hub
+    /// order from the sequential fold, and aggregation weights only the
+    /// submitting hubs by pool size; if *every* hub crashes the round is
+    /// lost and the pre-round global model survives unchanged. Crashed
+    /// hubs are restored from the merged model along with everyone else
+    /// — the restart-from-global-model recovery path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    pub fn train_round_via(
+        &mut self,
+        local_epochs: usize,
+        transport: &mut dyn RoundTransport,
+    ) -> Result<RoundOutcome, CalTrainError> {
+        let round = self.round;
+        // Pre-round global weights: the restore point for stale and
+        // byzantine submissions (every hub starts the round from them).
+        let pre_round = self.hubs[0].trainer.network().export_params();
+        let Self { hubs, hyper, batch_size, augment, parallelism, .. } = self;
         let batch_size = *batch_size;
         let results = par_map_mut(*parallelism, hubs, |_, hub| {
             hub.platform.reset_clock();
@@ -212,36 +360,79 @@ impl HubCluster {
         let mut hub_losses = Vec::with_capacity(results.len());
         let mut hub_times = Vec::with_capacity(results.len());
         let mut round_time = SimTime::default();
-        for result in results {
+        let mut decisions = Vec::with_capacity(results.len());
+        for (hub, result) in results.into_iter().enumerate() {
             let (loss, t) = result?;
             hub_losses.push(loss);
             hub_times.push(t);
             if t.seconds > round_time.seconds {
                 round_time = t; // the slowest hub gates the round
             }
+            decisions.push(transport.submission(round, hub));
         }
-        self.aggregate()?;
-        Ok(RoundOutcome { hub_losses, hub_times, round_time })
+        let crashed: Vec<usize> = decisions
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| !d.submits())
+            .map(|(i, _)| i)
+            .collect();
+        self.aggregate(&decisions, &pre_round)?;
+        self.round += 1;
+        Ok(RoundOutcome { hub_losses, hub_times, round_time, crashed })
     }
 
-    /// Federated averaging, weighted by hub pool size.
-    fn aggregate(&mut self) -> Result<(), CalTrainError> {
-        let total: usize = self.hubs.iter().map(|h| h.pool.len()).sum();
-        let mut merged: Vec<Vec<f32>> = self.hubs[0]
-            .trainer
-            .network()
-            .export_params()
+    /// Federated averaging over the round's submissions, weighted by hub
+    /// pool size across the hubs that actually submitted. Under the
+    /// all-[`HubSubmission::Trained`] honest plan this is bit-identical
+    /// to classic weighted averaging over every hub.
+    fn aggregate(
+        &mut self,
+        decisions: &[HubSubmission],
+        pre_round: &[Vec<f32>],
+    ) -> Result<(), CalTrainError> {
+        let total: usize = self
+            .hubs
             .iter()
-            .map(|layer| vec![0.0; layer.len()])
-            .collect();
-        for hub in &self.hubs {
-            let weight = hub.pool.len() as f32 / total as f32;
-            for (acc, layer) in merged.iter_mut().zip(hub.trainer.network().export_params()) {
-                for (a, v) in acc.iter_mut().zip(&layer) {
-                    *a += weight * v;
+            .zip(decisions)
+            .filter(|(_, d)| d.submits())
+            .map(|(h, _)| h.pool.len())
+            .sum();
+        let merged: Vec<Vec<f32>> = if total == 0 {
+            // Every hub crashed: the round is lost, the global model
+            // survives as it was.
+            pre_round.to_vec()
+        } else {
+            let mut merged: Vec<Vec<f32>> =
+                pre_round.iter().map(|layer| vec![0.0; layer.len()]).collect();
+            for (hub, decision) in self.hubs.iter().zip(decisions) {
+                if !decision.submits() {
+                    continue;
+                }
+                let weight = hub.pool.len() as f32 / total as f32;
+                let trained = hub.trainer.network().export_params();
+                for ((acc, layer), pre) in merged.iter_mut().zip(&trained).zip(pre_round) {
+                    match *decision {
+                        HubSubmission::Crashed => unreachable!("filtered above"),
+                        HubSubmission::Trained => {
+                            for (a, v) in acc.iter_mut().zip(layer) {
+                                *a += weight * v;
+                            }
+                        }
+                        HubSubmission::Stale => {
+                            for (a, p) in acc.iter_mut().zip(pre) {
+                                *a += weight * p;
+                            }
+                        }
+                        HubSubmission::Scaled(scale) => {
+                            for ((a, v), p) in acc.iter_mut().zip(layer).zip(pre) {
+                                *a += weight * (p + scale * (v - p));
+                            }
+                        }
+                    }
                 }
             }
-        }
+            merged
+        };
         for hub in &mut self.hubs {
             hub.trainer.network_mut().import_params(&merged)?;
         }
@@ -407,6 +598,177 @@ mod tests {
         }
         let out = round_cluster.train_round(3).unwrap();
         assert_eq!(out.hub_losses, expected, "losses must average across local epochs");
+    }
+
+    fn params_bits(net: &Network) -> Vec<Vec<u32>> {
+        net.export_params().iter().map(|l| l.iter().map(|v| v.to_bits()).collect()).collect()
+    }
+
+    #[test]
+    fn planned_transport_defaults_to_trained() {
+        let mut plan = PlannedTransport::new();
+        plan.set(1, 0, HubSubmission::Crashed).set(2, 1, HubSubmission::Stale);
+        assert_eq!(plan.submission(0, 0), HubSubmission::Trained);
+        assert_eq!(plan.submission(1, 0), HubSubmission::Crashed);
+        assert_eq!(plan.submission(2, 1), HubSubmission::Stale);
+        assert_eq!(plan.entries().count(), 2);
+        assert!(!HubSubmission::Crashed.submits());
+        assert!(HubSubmission::Scaled(-1.0).submits());
+    }
+
+    #[test]
+    fn honest_transport_round_matches_train_round() {
+        let (mut a, _) = cluster(2, 40, 21);
+        let (mut b, _) = cluster(2, 40, 21);
+        let out_a = a.train_round(1).unwrap();
+        let out_b = b.train_round_via(1, &mut HonestTransport).unwrap();
+        assert_eq!(out_a, out_b);
+        assert!(out_a.crashed.is_empty());
+        assert_eq!(a.round(), 1);
+        assert_eq!(
+            params_bits(a.global_model()),
+            params_bits(b.global_model()),
+            "the explicit honest transport must be the default path, bit for bit"
+        );
+    }
+
+    #[test]
+    fn crashed_hub_is_excluded_then_restored_from_global_model() {
+        // Two hubs with equal pools; hub 1 crashes. The merged model must
+        // be exactly hub 0's submission (weight 1.0), which a single-hub
+        // cluster over the same pool reproduces independently — and the
+        // crashed hub must come back holding that merged model.
+        let (train, _) = synthcifar::generate(40, 10, 31);
+        let pools = shard::split(&train, 2, 31);
+        let net = zoo::cifar10_10layer_scaled(32, 31).unwrap();
+        let hyper = Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 };
+
+        let mut pair = HubCluster::new(
+            &net,
+            pools.clone(),
+            Partition { cut: 2 },
+            hyper,
+            16,
+            None,
+            5,
+        )
+        .unwrap();
+        let mut plan = PlannedTransport::new();
+        plan.set(0, 1, HubSubmission::Crashed);
+        let out = pair.train_round_via(1, &mut plan).unwrap();
+        assert_eq!(out.crashed, vec![1]);
+        assert_eq!(out.hub_losses.len(), 2, "the crashed hub still trained locally");
+
+        // Hub 0 of a cluster shares its platform/trainer seeds with hub 0
+        // of any cluster built from the same cluster seed.
+        let mut lone = HubCluster::new(
+            &net,
+            vec![pools[0].clone()],
+            Partition { cut: 2 },
+            hyper,
+            16,
+            None,
+            5,
+        )
+        .unwrap();
+        lone.train_round(1).unwrap();
+        assert_eq!(
+            params_bits(pair.global_model()),
+            params_bits(lone.global_model()),
+            "surviving hub's submission must carry the whole round"
+        );
+        // Restart-from-global-model: the crashed hub holds the merged model.
+        assert_eq!(
+            params_bits(pair.hubs[1].trainer.network()),
+            params_bits(pair.global_model()),
+        );
+    }
+
+    #[test]
+    fn all_crashed_round_is_lost_and_model_survives() {
+        let (mut cluster, _) = cluster(2, 40, 41);
+        let before = params_bits(cluster.global_model());
+        let mut plan = PlannedTransport::new();
+        plan.set(0, 0, HubSubmission::Crashed).set(0, 1, HubSubmission::Crashed);
+        let out = cluster.train_round_via(1, &mut plan).unwrap();
+        assert_eq!(out.crashed, vec![0, 1]);
+        assert_eq!(
+            params_bits(cluster.global_model()),
+            before,
+            "a fully-crashed round must leave the global model untouched"
+        );
+        assert_eq!(cluster.round(), 1, "the lost round still advances the counter");
+    }
+
+    #[test]
+    fn stale_submission_equals_zero_scaled() {
+        let (mut stale, _) = cluster(2, 40, 51);
+        let (mut scaled, _) = cluster(2, 40, 51);
+        let mut stale_plan = PlannedTransport::new();
+        stale_plan.set(0, 1, HubSubmission::Stale);
+        let mut scaled_plan = PlannedTransport::new();
+        scaled_plan.set(0, 1, HubSubmission::Scaled(0.0));
+        stale.train_round_via(1, &mut stale_plan).unwrap();
+        scaled.train_round_via(1, &mut scaled_plan).unwrap();
+        assert_eq!(
+            stale.global_model().export_params(),
+            scaled.global_model().export_params(),
+            "Scaled(0.0) must degenerate to a stale pre-round submission"
+        );
+    }
+
+    #[test]
+    fn byzantine_submission_changes_the_merge_but_hubs_stay_synced() {
+        let (mut honest, _) = cluster(2, 40, 61);
+        let (mut byzantine, _) = cluster(2, 40, 61);
+        honest.train_round(1).unwrap();
+        let mut plan = PlannedTransport::new();
+        plan.set(0, 1, HubSubmission::Scaled(-1.0)); // sign-flipped update
+        byzantine.train_round_via(1, &mut plan).unwrap();
+        assert_ne!(
+            honest.global_model().export_params(),
+            byzantine.global_model().export_params(),
+            "a sign-flipped submission must perturb the merged model"
+        );
+        let reference = byzantine.hubs[0].trainer.network().export_params();
+        for hub in &byzantine.hubs[1..] {
+            assert_eq!(
+                hub.trainer.network().export_params(),
+                reference,
+                "every hub still receives the (perturbed) merged model"
+            );
+        }
+    }
+
+    #[test]
+    fn crash_restart_bitwise_identical_across_worker_counts() {
+        // The determinism guarantee extended to faults: the same crash /
+        // stale / byzantine plan yields bit-identical trajectories whether
+        // hubs run on one thread or four.
+        let plan_for = || {
+            let mut plan = PlannedTransport::new();
+            plan.set(0, 2, HubSubmission::Crashed)
+                .set(1, 1, HubSubmission::Stale)
+                .set(1, 3, HubSubmission::Scaled(-1.0));
+            plan
+        };
+        let (mut sequential, _) = cluster(4, 80, 71);
+        sequential.set_parallelism(Parallelism::sequential());
+        let (mut parallel, _) = cluster(4, 80, 71);
+        parallel.set_parallelism(Parallelism::new(4));
+
+        let mut seq_plan = plan_for();
+        let mut par_plan = plan_for();
+        for round in 0..2 {
+            let a = sequential.train_round_via(2, &mut seq_plan).unwrap();
+            let b = parallel.train_round_via(2, &mut par_plan).unwrap();
+            assert_eq!(a, b, "faulted round {round} outcomes must match bit for bit");
+        }
+        assert_eq!(
+            params_bits(sequential.global_model()),
+            params_bits(parallel.global_model()),
+            "crashed-then-restored trajectory must be worker-count invariant"
+        );
     }
 
     #[test]

@@ -224,6 +224,7 @@ impl CalTrain {
             let s = self.ingest(&batches);
             stats.accepted += s.accepted;
             stats.discarded += s.discarded;
+            stats.duplicates += s.duplicates;
             stats.instances += s.instances;
             // Keep the participant's upload counter in sync.
             if let Some(last) = self.participants.last_mut() {

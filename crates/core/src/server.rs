@@ -1,7 +1,7 @@
 //! The training server: hosts the training enclave, receives provisioned
 //! keys, authenticates sealed uploads and assembles the decrypted pool.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use caltrain_data::sealed::{open_batch, SealedBatch};
 use caltrain_data::Dataset;
@@ -17,10 +17,53 @@ use crate::CalTrainError;
 pub struct IngestStats {
     /// Batches whose GCM tag verified under the claimed source's key.
     pub accepted: usize,
-    /// Batches discarded: bad tag, unknown source, or malformed payload.
+    /// Batches discarded: bad tag, unknown source, malformed payload,
+    /// or replayed. Duplicates are included here, so
+    /// `accepted + discarded` always equals the number of batches seen.
     pub discarded: usize,
+    /// Replayed batches: authenticated fine but their `(source, nonce)`
+    /// pair was already accepted — the replay-defense sub-category of
+    /// [`IngestStats::discarded`].
+    pub duplicates: usize,
     /// Training instances accepted in total.
     pub instances: usize,
+}
+
+/// A stream of sealed uploads headed for [`TrainingServer::ingest_from`].
+///
+/// The honest implementation just hands over each participant's upload
+/// once, in order; a fault-injecting implementation (the `caltrain-sim`
+/// crate's channel) may drop, duplicate, reorder or corrupt batches in
+/// transit. The server cannot tell the difference — that is the point of
+/// the seam.
+pub trait BatchSource {
+    /// The next upload to deliver, or `None` when the stream is drained.
+    fn next_upload(&mut self) -> Option<Vec<SealedBatch>>;
+}
+
+/// The trivial [`BatchSource`]: yields each queued upload once, in order.
+#[derive(Debug, Default)]
+pub struct QueuedUploads {
+    uploads: std::collections::VecDeque<Vec<SealedBatch>>,
+}
+
+impl QueuedUploads {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one upload to the back of the queue.
+    pub fn push(&mut self, upload: Vec<SealedBatch>) -> &mut Self {
+        self.uploads.push_back(upload);
+        self
+    }
+}
+
+impl BatchSource for QueuedUploads {
+    fn next_upload(&mut self) -> Option<Vec<SealedBatch>> {
+        self.uploads.pop_front()
+    }
 }
 
 /// The CalTrain training server.
@@ -33,6 +76,10 @@ pub struct TrainingServer {
     enclave: Enclave,
     /// Participant id → provisioned AES-128 key (enclave-resident state).
     keys: HashMap<u32, [u8; 16]>,
+    /// `(source, nonce)` pairs of every batch accepted so far — the
+    /// replay ledger. A batch whose pair is already here authenticated
+    /// once before; re-accepting it would double-weight its instances.
+    accepted_nonces: HashSet<(u32, [u8; 12])>,
     pool: Option<Dataset>,
     stats: IngestStats,
     parallelism: Parallelism,
@@ -69,6 +116,7 @@ impl TrainingServer {
             platform,
             enclave,
             keys: HashMap::new(),
+            accepted_nonces: HashSet::new(),
             pool: None,
             stats: IngestStats::default(),
             parallelism: Parallelism::default(),
@@ -146,7 +194,11 @@ impl TrainingServer {
     /// source's provisioned key, decrypts inside the enclave, and
     /// appends to the training pool. Batches from unknown sources or
     /// failing authentication are **discarded**, not errors — exactly
-    /// the paper's behaviour for illegitimate channels.
+    /// the paper's behaviour for illegitimate channels. An authenticated
+    /// batch whose `(source, nonce)` pair was already accepted is a
+    /// **replay**: discarded and counted in [`IngestStats::duplicates`],
+    /// so a network-level duplicator cannot double-weight a
+    /// participant's data.
     pub fn ingest(&mut self, batches: &[SealedBatch]) -> IngestStats {
         // GCM-verify + decrypt is pure per batch (keyed only by the
         // claimed source), so it fans out across the worker pool. All
@@ -166,12 +218,21 @@ impl TrainingServer {
                 self.enclave.charge_ecall(batch.ciphertext.len());
                 match outcome {
                     Some(Ok(opened)) => {
-                        pass.instances += opened.len();
-                        pass.accepted += 1;
-                        self.pool = Some(match self.pool.take() {
-                            None => opened,
-                            Some(pool) => pool.concat(&opened),
-                        });
+                        // The replay ledger is consulted here in the
+                        // sequential fold (a duplicate inside one chunk
+                        // may decrypt twice in parallel — wasted work,
+                        // never wrong results).
+                        if self.accepted_nonces.insert((batch.source.0, batch.nonce)) {
+                            pass.instances += opened.len();
+                            pass.accepted += 1;
+                            self.pool = Some(match self.pool.take() {
+                                None => opened,
+                                Some(pool) => pool.concat(&opened),
+                            });
+                        } else {
+                            pass.duplicates += 1;
+                            pass.discarded += 1;
+                        }
                     }
                     Some(Err(_)) | None => pass.discarded += 1,
                 }
@@ -179,8 +240,26 @@ impl TrainingServer {
         }
         self.stats.accepted += pass.accepted;
         self.stats.discarded += pass.discarded;
+        self.stats.duplicates += pass.duplicates;
         self.stats.instances += pass.instances;
         pass
+    }
+
+    /// Drains a [`BatchSource`] upload by upload through
+    /// [`TrainingServer::ingest`], returning the combined statistics.
+    /// This is the seam a fault-injecting channel plugs into: the
+    /// server's behaviour is exactly as if each upload arrived over the
+    /// network in the order the source yields them.
+    pub fn ingest_from(&mut self, source: &mut dyn BatchSource) -> IngestStats {
+        let mut combined = IngestStats::default();
+        while let Some(upload) = source.next_upload() {
+            let pass = self.ingest(&upload);
+            combined.accepted += pass.accepted;
+            combined.discarded += pass.discarded;
+            combined.duplicates += pass.duplicates;
+            combined.instances += pass.instances;
+        }
+        combined
     }
 
     /// Cumulative ingestion statistics.
@@ -314,6 +393,73 @@ mod tests {
         let stats = server.ingest(&batches);
         assert_eq!(stats.accepted, 0);
         assert_eq!(stats.discarded, 1);
+    }
+
+    #[test]
+    fn replayed_batches_are_detected_and_discarded() {
+        let platform = Platform::with_seed(b"server-test-5");
+        let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+        let mut alice = Participant::new(ParticipantId(0), shard(8, 0), b"alice");
+        provision(&mut server, &alice);
+
+        let upload = alice.seal_upload(4); // 2 batches
+        let first = server.ingest(&upload);
+        assert_eq!(first.accepted, 2);
+        assert_eq!(first.duplicates, 0);
+
+        // A network adversary replays the whole upload verbatim.
+        let replay = server.ingest(&upload);
+        assert_eq!(replay.accepted, 0);
+        assert_eq!(replay.duplicates, 2);
+        assert_eq!(replay.discarded, 2, "duplicates count as discarded");
+        assert_eq!(replay.instances, 0);
+        assert_eq!(server.pool().unwrap().len(), 8, "the pool must not double");
+
+        // Duplicates inside a single upload are caught too.
+        let mut doubled = alice.seal_upload(4);
+        doubled.push(doubled[0].clone());
+        let stats = server.ingest(&doubled);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.duplicates, 1);
+        assert_eq!(server.stats().duplicates, 3, "cumulative stats track duplicates");
+
+        // A fresh upload (new nonces via the upload counter) still passes.
+        let fresh = server.ingest(&alice.seal_upload(4));
+        assert_eq!(fresh.accepted, 2);
+        assert_eq!(fresh.duplicates, 0);
+    }
+
+    #[test]
+    fn queued_uploads_match_direct_ingest() {
+        let build = || {
+            let platform = Platform::with_seed(b"server-test-6");
+            let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+            let alice = Participant::new(ParticipantId(0), shard(6, 0), b"alice");
+            let bob = Participant::new(ParticipantId(1), shard(4, 1), b"bob");
+            provision(&mut server, &alice);
+            provision(&mut server, &bob);
+            (server, alice, bob)
+        };
+
+        let (mut direct, mut alice, mut bob) = build();
+        let upload_a = alice.seal_upload(3);
+        let upload_b = bob.seal_upload(2);
+        let mut all = upload_a.clone();
+        all.extend(upload_b.clone());
+        let direct_stats = direct.ingest(&all);
+
+        let (mut streamed, _, _) = build();
+        let mut queue = QueuedUploads::new();
+        queue.push(upload_a).push(upload_b);
+        let streamed_stats = streamed.ingest_from(&mut queue);
+
+        assert_eq!(direct_stats, streamed_stats);
+        assert_eq!(
+            direct.pool().unwrap().labels(),
+            streamed.pool().unwrap().labels(),
+            "the seam must be behaviour-preserving for honest streams"
+        );
+        assert_eq!(direct.platform().cycles(), streamed.platform().cycles());
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Property tests for sealed-batch ingestion: GCM catches *every*
+//! in-transit corruption, and the cycle ledger charges the enclave
+//! identically whether a batch verifies or not (the server cannot tell
+//! honest from tampered traffic before paying for the ecall).
+
+use caltrain_core::participant::Participant;
+use caltrain_core::server::TrainingServer;
+use caltrain_crypto::tamper;
+use caltrain_data::sealed::open_batch;
+use caltrain_data::{Dataset, ParticipantId};
+use caltrain_enclave::Platform;
+use caltrain_tensor::Tensor;
+use proptest::prelude::*;
+
+fn shard(n: usize, seed: u64) -> Dataset {
+    Dataset::new(
+        Tensor::from_fn(&[n, 1, 4, 4], |i| ((i as u64 * 31 + seed) % 97) as f32 / 97.0),
+        (0..n).map(|i| i % 3).collect(),
+    )
+}
+
+fn provisioned_server(seed: u64) -> (TrainingServer, Participant) {
+    let platform = Platform::with_seed(&seed.to_le_bytes());
+    let mut server = TrainingServer::launch(platform, 1 << 20).unwrap();
+    let p = Participant::new(ParticipantId(0), shard(8, seed), &(seed ^ 0xA5).to_le_bytes());
+    let (chan, quote, server_pub) = server.begin_provisioning();
+    let service = server.platform().attestation_service();
+    let expected = server.enclave().measurement();
+    let (record, client_pub) = p.provision_key(&service, &expected, &quote, &server_pub).unwrap();
+    server.finish_provisioning(chan, &client_pub, &record).unwrap();
+    (server, p)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_length_preserving_corruption_is_discarded_with_identical_charging(
+        seed in any::<u64>(),
+        site in any::<u64>(),
+        mask in any::<u8>(),
+        which in 0usize..2,
+        mode in 0usize..3,
+    ) {
+        let (mut clean_server, mut p) = provisioned_server(seed);
+        let (mut tampered_server, mut p2) = provisioned_server(seed);
+
+        let upload = p.seal_upload(4); // 2 batches
+        let mut tampered = p2.seal_upload(4); // byte-identical (same seeds)
+        let victim = which % tampered.len();
+        match mode {
+            // Ciphertext bit flip (payload or GCM tag).
+            0 => { tamper::flip_bit(&mut tampered[victim].ciphertext, site).unwrap(); }
+            // Ciphertext byte corruption.
+            1 => { tamper::flip_byte(&mut tampered[victim].ciphertext, site, mask).unwrap(); }
+            // Label tampering: labels travel as AAD, so flipping a label
+            // bit in transit must also break authentication.
+            _ => {
+                let labels = &mut tampered[victim].labels;
+                let idx = (site % labels.len() as u64) as usize;
+                labels[idx] ^= 1 << (site % 31);
+            }
+        }
+
+        // The GCM layer itself rejects under the *right* key.
+        prop_assert_eq!(
+            open_batch(&tampered[victim], &p2.data_key()).unwrap_err(),
+            caltrain_crypto::CryptoError::AuthenticationFailed
+        );
+
+        let clean_stats = clean_server.ingest(&upload);
+        let tampered_stats = tampered_server.ingest(&tampered);
+        prop_assert_eq!(clean_stats.accepted, 2);
+        prop_assert_eq!(clean_stats.discarded, 0);
+        prop_assert_eq!(tampered_stats.accepted, 1);
+        prop_assert_eq!(tampered_stats.discarded, 1);
+        prop_assert_eq!(tampered_stats.duplicates, 0);
+
+        // Cycle-ledger consistency: the ecall charge depends only on the
+        // ciphertext length, which every corruption above preserves — an
+        // observer of the simulated clock cannot distinguish a rejected
+        // batch from an accepted one.
+        prop_assert_eq!(
+            clean_server.platform().cycles(),
+            tampered_server.platform().cycles(),
+            "tampered and clean ingestion must charge identical cycles"
+        );
+        // And the breakdown always reconciles with the headline counter.
+        for server in [&clean_server, &tampered_server] {
+            let breakdown = server.platform().cycle_breakdown();
+            prop_assert_eq!(breakdown.total(), server.platform().cycles());
+        }
+    }
+
+    #[test]
+    fn truncation_is_discarded(
+        seed in any::<u64>(),
+        keep in any::<u64>(),
+    ) {
+        let (mut server, mut p) = provisioned_server(seed);
+        let mut upload = p.seal_upload(4);
+        let before = upload[0].ciphertext.len();
+        let after = tamper::truncate_to(&mut upload[0].ciphertext, keep);
+        prop_assume!(after < before); // keep % (len+1) == len leaves it intact
+        let stats = server.ingest(&upload);
+        prop_assert_eq!(stats.accepted, 1);
+        prop_assert_eq!(stats.discarded, 1);
+        prop_assert_eq!(
+            server.platform().cycle_breakdown().total(),
+            server.platform().cycles()
+        );
+    }
+}

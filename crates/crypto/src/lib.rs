@@ -49,6 +49,7 @@ pub mod hkdf;
 pub mod hmac;
 pub mod rng;
 pub mod sha256;
+pub mod tamper;
 pub mod x25519;
 
 pub use error::CryptoError;

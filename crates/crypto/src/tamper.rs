@@ -1,0 +1,95 @@
+//! Deterministic tamper helpers for fault-injection tests.
+//!
+//! The scenario harness (`caltrain-sim`) and the GCM property tests need
+//! to corrupt sealed payloads *reproducibly*: the same seed must flip the
+//! same bit on every run, at any worker count. These helpers take explicit
+//! indices — the caller derives them from its own seeded RNG — and wrap
+//! them modulo the buffer length, so any `u64` is a valid injection site
+//! and an empty buffer is a no-op rather than a panic.
+//!
+//! GCM's guarantee (and the paper's §IV-A integrity argument) is that
+//! *every* such corruption — any bit of ciphertext, tag or AAD — makes
+//! authentication fail. The property tests drive these helpers over
+//! random sites to check exactly that.
+
+/// Flips one bit of `bytes`, selected by `bit` modulo the total bit
+/// length. Returns the `(byte_index, mask)` actually flipped, or `None`
+/// (no-op) if the buffer is empty.
+pub fn flip_bit(bytes: &mut [u8], bit: u64) -> Option<(usize, u8)> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let bit = (bit % (bytes.len() as u64 * 8)) as usize;
+    let mask = 1u8 << (bit % 8);
+    bytes[bit / 8] ^= mask;
+    Some((bit / 8, mask))
+}
+
+/// XORs `mask` into one byte of `bytes`, selected by `index` modulo the
+/// length. A zero `mask` is promoted to `0x01` so the call always
+/// corrupts. Returns the `(byte_index, mask)` applied, or `None` (no-op)
+/// if the buffer is empty.
+pub fn flip_byte(bytes: &mut [u8], index: u64, mask: u8) -> Option<(usize, u8)> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let index = (index % bytes.len() as u64) as usize;
+    let mask = if mask == 0 { 1 } else { mask };
+    bytes[index] ^= mask;
+    Some((index, mask))
+}
+
+/// Truncates `bytes` to `keep` elements modulo `len + 1` — covering both
+/// "cut the tag off" and "cut to nothing". Returns the new length.
+pub fn truncate_to(bytes: &mut Vec<u8>, keep: u64) -> usize {
+    let keep = (keep % (bytes.len() as u64 + 1)) as usize;
+    bytes.truncate(keep);
+    bytes.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flip_bit_is_a_self_inverse_single_bit_change() {
+        let original = vec![0xABu8, 0xCD, 0xEF];
+        for bit in [0u64, 7, 8, 23, 24, 1_000_003] {
+            let mut corrupted = original.clone();
+            let (idx, mask) = flip_bit(&mut corrupted, bit).unwrap();
+            assert_ne!(corrupted, original);
+            assert_eq!(corrupted[idx] ^ original[idx], mask);
+            assert_eq!(mask.count_ones(), 1);
+            flip_bit(&mut corrupted, bit);
+            assert_eq!(corrupted, original, "flipping twice must restore");
+        }
+    }
+
+    #[test]
+    fn flip_byte_always_corrupts() {
+        let original = vec![1u8, 2, 3, 4];
+        for (index, mask) in [(0u64, 0u8), (3, 0xFF), (4, 0x10), (u64::MAX, 0)] {
+            let mut corrupted = original.clone();
+            let (idx, applied) = flip_byte(&mut corrupted, index, mask).unwrap();
+            assert_ne!(corrupted, original, "index {index} mask {mask:#x}");
+            assert_eq!(corrupted[idx], original[idx] ^ applied);
+        }
+    }
+
+    #[test]
+    fn empty_buffers_are_no_ops() {
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(flip_bit(&mut empty, 5).is_none());
+        assert!(flip_byte(&mut empty, 5, 0xFF).is_none());
+        assert_eq!(truncate_to(&mut empty, 9), 0);
+    }
+
+    #[test]
+    fn truncate_wraps_over_full_range() {
+        let mut b = vec![0u8; 10];
+        assert_eq!(truncate_to(&mut b, 7), 7);
+        // 11 % (7 + 1) = 3.
+        assert_eq!(truncate_to(&mut b, 11), 3);
+        assert_eq!(truncate_to(&mut b, 0), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! A fault-injecting delivery channel for sealed uploads.
+//!
+//! [`FaultyChannel`] sits between participants and
+//! [`caltrain_core::server::TrainingServer::ingest_from`], modelling a
+//! network adversary (or a lossy network): it can drop, duplicate,
+//! reorder and corrupt sealed batches in transit. Every mutation is
+//! driven by the caller's seeded RNG and returns a human-readable
+//! description for the event trace, so a fault plan is fully determined
+//! by its seed.
+//!
+//! The channel also tracks ground truth: which delivered batches are
+//! corrupted and which `(source, nonce)` pairs are replays. From that it
+//! predicts exactly what an honest server must report — the oracle the
+//! scenarios compare [`caltrain_core::server::IngestStats`] against.
+
+use caltrain_core::server::BatchSource;
+use caltrain_crypto::tamper;
+use caltrain_data::sealed::SealedBatch;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::HashSet;
+
+#[derive(Debug, Clone)]
+struct Tracked {
+    batch: SealedBatch,
+    corrupted: bool,
+}
+
+/// What an honest [`caltrain_core::server::TrainingServer`] must report
+/// after draining the channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Expected {
+    /// Batches that authenticate and are fresh.
+    pub accepted: usize,
+    /// Authenticated replays of already-accepted batches.
+    pub duplicates: usize,
+    /// Corrupted batches (authentication must fail).
+    pub corrupted: usize,
+}
+
+/// A sealed-upload stream with injectable transit faults.
+#[derive(Debug, Clone, Default)]
+pub struct FaultyChannel {
+    uploads: Vec<Vec<Tracked>>,
+    cursor: usize,
+}
+
+impl FaultyChannel {
+    /// Wraps uploads for delivery in the given order.
+    pub fn new(uploads: Vec<Vec<SealedBatch>>) -> Self {
+        FaultyChannel {
+            uploads: uploads
+                .into_iter()
+                .map(|u| u.into_iter().map(|batch| Tracked { batch, corrupted: false }).collect())
+                .collect(),
+            cursor: 0,
+        }
+    }
+
+    /// Appends one more upload at the end of the stream (delivered after
+    /// everything already queued) — untouched by faults applied before
+    /// this call.
+    pub fn push_upload(&mut self, upload: Vec<SealedBatch>) {
+        self.uploads
+            .push(upload.into_iter().map(|batch| Tracked { batch, corrupted: false }).collect());
+    }
+
+    /// Total batches currently queued.
+    pub fn batches(&self) -> usize {
+        self.uploads.iter().map(Vec::len).sum()
+    }
+
+    fn pick_batch(&self, rng: &mut StdRng) -> Option<(usize, usize)> {
+        let total = self.batches();
+        if total == 0 {
+            return None;
+        }
+        let mut flat = rng.gen_range(0..total);
+        for (u, upload) in self.uploads.iter().enumerate() {
+            if flat < upload.len() {
+                return Some((u, flat));
+            }
+            flat -= upload.len();
+        }
+        unreachable!("flat index bounded by total")
+    }
+
+    /// Drops one random batch in transit. Returns a trace line.
+    pub fn drop_one(&mut self, rng: &mut StdRng) -> Option<String> {
+        let (u, b) = self.pick_batch(rng)?;
+        self.uploads[u].remove(b);
+        Some(format!("channel drop upload={u} batch={b}"))
+    }
+
+    /// Duplicates one random batch, re-inserting the copy at a random
+    /// later position in the same upload (an in-flight replay).
+    pub fn duplicate_one(&mut self, rng: &mut StdRng) -> Option<String> {
+        let (u, b) = self.pick_batch(rng)?;
+        let copy = self.uploads[u][b].clone();
+        let at = rng.gen_range(b + 1..=self.uploads[u].len());
+        self.uploads[u].insert(at, copy);
+        Some(format!("channel duplicate upload={u} batch={b} at={at}"))
+    }
+
+    /// Replays one whole upload verbatim at the end of the stream.
+    pub fn replay_upload(&mut self, rng: &mut StdRng) -> Option<String> {
+        if self.uploads.is_empty() {
+            return None;
+        }
+        let u = rng.gen_range(0..self.uploads.len());
+        let copy = self.uploads[u].clone();
+        self.uploads.push(copy);
+        Some(format!("channel replay-upload upload={u}"))
+    }
+
+    /// Flips one random ciphertext bit of one random batch — GCM must
+    /// reject it downstream.
+    pub fn corrupt_one(&mut self, rng: &mut StdRng) -> Option<String> {
+        let (u, b) = self.pick_batch(rng)?;
+        let site = rng.gen::<u64>();
+        let tracked = &mut self.uploads[u][b];
+        let (byte, mask) = tamper::flip_bit(&mut tracked.batch.ciphertext, site)?;
+        tracked.corrupted = true;
+        Some(format!("channel corrupt upload={u} batch={b} byte={byte} mask={mask:#04x}"))
+    }
+
+    /// Flips one bit of one random batch's cleartext labels — labels
+    /// ride as AAD, so authentication must also fail.
+    pub fn corrupt_labels(&mut self, rng: &mut StdRng) -> Option<String> {
+        let (u, b) = self.pick_batch(rng)?;
+        let tracked = &mut self.uploads[u][b];
+        if tracked.batch.labels.is_empty() {
+            return None;
+        }
+        let idx = rng.gen_range(0..tracked.batch.labels.len());
+        let bit = rng.gen_range(0..31u32);
+        tracked.batch.labels[idx] ^= 1 << bit;
+        tracked.corrupted = true;
+        Some(format!("channel corrupt-labels upload={u} batch={b} label={idx} bit={bit}"))
+    }
+
+    /// Shuffles upload delivery order and the batch order inside each
+    /// upload.
+    pub fn reorder(&mut self, rng: &mut StdRng) -> String {
+        self.uploads.shuffle(rng);
+        for upload in &mut self.uploads {
+            upload.shuffle(rng);
+        }
+        "channel reorder".to_string()
+    }
+
+    /// Ground truth for the stream as currently queued: simulates the
+    /// server's accept/duplicate/reject bookkeeping over delivery order.
+    pub fn expected(&self) -> Expected {
+        let mut seen: HashSet<(u32, [u8; 12])> = HashSet::new();
+        let mut expected = Expected::default();
+        for upload in &self.uploads {
+            for t in upload {
+                if t.corrupted {
+                    expected.corrupted += 1;
+                } else if seen.insert((t.batch.source.0, t.batch.nonce)) {
+                    expected.accepted += 1;
+                } else {
+                    expected.duplicates += 1;
+                }
+            }
+        }
+        expected
+    }
+}
+
+impl BatchSource for FaultyChannel {
+    fn next_upload(&mut self) -> Option<Vec<SealedBatch>> {
+        let upload = self.uploads.get(self.cursor)?;
+        self.cursor += 1;
+        Some(upload.iter().map(|t| t.batch.clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use caltrain_data::ParticipantId;
+    use rand::SeedableRng;
+
+    fn batch(source: u32, nonce_tag: u8) -> SealedBatch {
+        SealedBatch {
+            source: ParticipantId(source),
+            labels: vec![1, 2],
+            sample_dims: [1, 2, 2],
+            nonce: [nonce_tag; 12],
+            ciphertext: vec![nonce_tag; 24],
+        }
+    }
+
+    #[test]
+    fn expectations_mirror_server_bookkeeping() {
+        let mut chan =
+            FaultyChannel::new(vec![vec![batch(0, 1), batch(0, 2)], vec![batch(1, 3)]]);
+        assert_eq!(chan.expected(), Expected { accepted: 3, duplicates: 0, corrupted: 0 });
+
+        let mut rng = StdRng::seed_from_u64(9);
+        chan.duplicate_one(&mut rng).unwrap();
+        chan.replay_upload(&mut rng).unwrap();
+        chan.corrupt_one(&mut rng).unwrap();
+        let e = chan.expected();
+        assert_eq!(e.accepted + e.duplicates + e.corrupted, chan.batches());
+        assert!(e.duplicates >= 1, "duplicate + replay must register, got {e:?}");
+        assert_eq!(e.corrupted, 1);
+    }
+
+    #[test]
+    fn faults_are_seed_deterministic() {
+        let build = || FaultyChannel::new(vec![vec![batch(0, 1), batch(0, 2), batch(1, 3)]]);
+        let script = |mut chan: FaultyChannel, seed: u64| -> (Vec<String>, Expected) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut log = Vec::new();
+            log.push(chan.reorder(&mut rng));
+            log.extend(chan.duplicate_one(&mut rng));
+            log.extend(chan.corrupt_one(&mut rng));
+            log.extend(chan.drop_one(&mut rng));
+            (log, chan.expected())
+        };
+        assert_eq!(script(build(), 5), script(build(), 5));
+        assert_ne!(
+            script(build(), 5).0,
+            script(build(), 6).0,
+            "different seeds must (generally) pick different faults"
+        );
+    }
+
+    #[test]
+    fn drained_in_delivery_order() {
+        let mut chan = FaultyChannel::new(vec![vec![batch(0, 1)], vec![batch(1, 2)]]);
+        assert_eq!(chan.next_upload().unwrap()[0].source, ParticipantId(0));
+        assert_eq!(chan.next_upload().unwrap()[0].source, ParticipantId(1));
+        assert!(chan.next_upload().is_none());
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's invariants, as reusable checks scenarios run after every
+//! injected fault.
+
+use caltrain_core::hubs::HubCluster;
+use caltrain_core::server::IngestStats;
+use caltrain_data::Dataset;
+use caltrain_enclave::Platform;
+use caltrain_fingerprint::LinkageDb;
+
+use crate::channel::Expected;
+
+/// Cycle-ledger consistency: the per-category breakdown of the simulated
+/// clock always reconciles with the headline cycle counter.
+pub fn ledger_consistent(platform: &Platform) -> Result<(), String> {
+    let breakdown = platform.cycle_breakdown();
+    let total = breakdown.total();
+    let cycles = platform.cycles();
+    if total == cycles {
+        Ok(())
+    } else {
+        Err(format!("cycle breakdown sums to {total} but the clock shows {cycles}"))
+    }
+}
+
+/// Ledger consistency across every hub platform in a cluster.
+pub fn hub_ledgers_consistent(cluster: &HubCluster) -> Result<(), String> {
+    for h in 0..cluster.len() {
+        let platform = cluster.hub_platform(h).expect("index in range");
+        ledger_consistent(platform).map_err(|e| format!("hub {h}: {e}"))?;
+    }
+    Ok(())
+}
+
+/// Post-aggregation convergence: every hub holds the merged global model
+/// bit for bit — including hubs that crashed (restart-from-global-model)
+/// or submitted byzantine updates.
+pub fn hubs_converged(cluster: &HubCluster) -> Result<(), String> {
+    let global: Vec<Vec<u32>> = cluster
+        .global_model()
+        .export_params()
+        .iter()
+        .map(|l| l.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    for h in 1..cluster.len() {
+        let model = cluster.hub_model(h).expect("index in range");
+        let theirs: Vec<Vec<u32>> =
+            model.export_params().iter().map(|l| l.iter().map(|v| v.to_bits()).collect()).collect();
+        if theirs != global {
+            return Err(format!("hub {h} diverged from the global model after aggregation"));
+        }
+    }
+    Ok(())
+}
+
+/// Fingerprint-db completeness: every ingested instance has a linkage
+/// record Ω = [F, Y, S, H] whose label, source and instance hash match
+/// the pool — no fault may open a gap between training data and the
+/// accountability evidence.
+pub fn fingerprint_complete(db: &LinkageDb, pool: &Dataset) -> Result<(), String> {
+    if db.len() != pool.len() {
+        return Err(format!(
+            "db holds {} records for {} pool instances",
+            db.len(),
+            pool.len()
+        ));
+    }
+    for i in 0..pool.len() {
+        let record = db.record(i).expect("length checked");
+        if record.label != pool.labels()[i] {
+            return Err(format!("record {i}: label {} != pool {}", record.label, pool.labels()[i]));
+        }
+        if record.source != pool.sources()[i].0 {
+            return Err(format!(
+                "record {i}: source {} != pool {}",
+                record.source,
+                pool.sources()[i].0
+            ));
+        }
+        if !record.verify_instance(&pool.image_bytes(i)) {
+            return Err(format!("record {i}: instance hash does not bind the pool bytes"));
+        }
+    }
+    Ok(())
+}
+
+/// Ingestion statistics must match the channel's ground truth exactly,
+/// and internally reconcile (`accepted + discarded == delivered`,
+/// duplicates being a discard sub-category).
+pub fn stats_match(stats: IngestStats, expected: Expected) -> Result<(), String> {
+    if stats.accepted != expected.accepted {
+        return Err(format!("accepted {} != expected {}", stats.accepted, expected.accepted));
+    }
+    if stats.duplicates != expected.duplicates {
+        return Err(format!("duplicates {} != expected {}", stats.duplicates, expected.duplicates));
+    }
+    let expected_discarded = expected.duplicates + expected.corrupted;
+    if stats.discarded != expected_discarded {
+        return Err(format!("discarded {} != expected {}", stats.discarded, expected_discarded));
+    }
+    if stats.duplicates > stats.discarded {
+        return Err("duplicates exceed discarded".into());
+    }
+    Ok(())
+}
+
+/// All weights finite — byzantine submissions may perturb the model but
+/// the harness treats NaN/Inf escape as corruption of the trajectory.
+pub fn weights_finite(params: &[Vec<f32>]) -> Result<(), String> {
+    for (layer, values) in params.iter().enumerate() {
+        if let Some(pos) = values.iter().position(|v| !v.is_finite()) {
+            return Err(format!("non-finite weight at layer {layer} index {pos}"));
+        }
+    }
+    Ok(())
+}

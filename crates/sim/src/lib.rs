@@ -1,0 +1,270 @@
+//! `caltrain-sim`: a deterministic fault-injection scenario harness for
+//! the CalTrain reproduction.
+//!
+//! The paper's accountability story (DSN'19 §III–§V) is a claim about
+//! *adversarial* conditions: crashed hubs, replayed or corrupted sealed
+//! uploads, byzantine gradient submissions, rogue enclaves. This crate
+//! drives the real pipeline — [`caltrain_core::hubs::HubCluster`] through
+//! its [`caltrain_core::hubs::RoundTransport`] seam,
+//! [`caltrain_core::server::TrainingServer`] through its
+//! [`caltrain_core::server::BatchSource`] seam — under seeded fault plans
+//! and asserts the paper's invariants after every injection:
+//!
+//! - **cycle-ledger consistency** — the simulated clock's category
+//!   breakdown always reconciles with the headline counter;
+//! - **fingerprint-db completeness** — every ingested instance has a
+//!   linkage record Ω = [F, Y, S, H] that matches its label, source and
+//!   byte hash;
+//! - **worker-count invariance** — the surviving trajectory (event trace
+//!   *and* final weights) is bitwise identical at any `CALTRAIN_WORKERS`;
+//! - **accountability under faults** — linkage queries still rank the
+//!   injected poisoner's records first.
+//!
+//! A scenario is `(seed, fault plan, invariant set)`; the fault plan is
+//! derived entirely from the seed, so any failure replays from one
+//! number:
+//!
+//! ```text
+//! cargo run -p caltrain-sim -- --scenario hub-crash-restart --seed 7
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod invariants;
+pub mod scenarios;
+pub mod trace;
+pub mod world;
+
+use caltrain_crypto::sha256::Digest;
+use caltrain_runtime::Parallelism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use trace::Trace;
+
+/// A scenario failure, tagged with everything needed to replay it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Scenario family that failed.
+    pub scenario: String,
+    /// The seed that produced the failure.
+    pub seed: u64,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario '{}' failed at seed {}: {}\n  replay: cargo run -p caltrain-sim -- \
+             --scenario {} --seed {}",
+            self.scenario, self.seed, self.message, self.scenario, self.seed
+        )
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The reproducibility identity of one completed scenario run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioReport {
+    /// Scenario family name.
+    pub name: &'static str,
+    /// Seed the fault plan was derived from.
+    pub seed: u64,
+    /// Digest of the full event trace.
+    pub trace_digest: Digest,
+    /// Digest of the final global weights, when the scenario trains.
+    pub weights_digest: Option<Digest>,
+    /// Number of trace events recorded.
+    pub events: usize,
+    /// Number of invariant checks that passed.
+    pub checks: usize,
+}
+
+impl ScenarioReport {
+    /// One stable, diff-friendly summary line (used by the CLI; `ci.sh`
+    /// diffs these lines across worker counts).
+    pub fn summary_line(&self) -> String {
+        let weights = self
+            .weights_digest
+            .as_ref()
+            .map_or_else(|| "-".to_string(), |d| d.to_hex()[..16].to_string());
+        format!(
+            "ok   {:<22} seed={:<4} trace={} weights={} checks={} events={}",
+            self.name,
+            self.seed,
+            &self.trace_digest.to_hex()[..16],
+            weights,
+            self.checks,
+            self.events
+        )
+    }
+}
+
+/// Per-run context handed to a scenario body: the seed, the worker-pool
+/// knob, the event trace and the invariant-check counter.
+pub struct Ctx {
+    /// Seed every fault decision must derive from.
+    pub seed: u64,
+    /// Worker-pool knob for the systems under test.
+    pub parallelism: Parallelism,
+    /// The event log.
+    pub trace: Trace,
+    checks: usize,
+    weights_digest: Option<Digest>,
+}
+
+impl Ctx {
+    fn new(seed: u64, parallelism: Parallelism) -> Self {
+        Ctx { seed, parallelism, trace: Trace::new(), checks: 0, weights_digest: None }
+    }
+
+    /// A seeded RNG, domain-separated by `salt` so independent fault
+    /// decisions never share a stream.
+    pub fn rng(&self, salt: u64) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Records one event line.
+    pub fn note(&mut self, line: impl Into<String>) {
+        self.trace.record(line);
+    }
+
+    /// Asserts one invariant: records it in the trace on success,
+    /// aborts the scenario with a replayable failure otherwise.
+    pub fn check(&mut self, ok: bool, what: &str) -> Result<(), String> {
+        if ok {
+            self.checks += 1;
+            self.trace.record(format!("invariant ok: {what}"));
+            Ok(())
+        } else {
+            Err(format!("invariant violated: {what}"))
+        }
+    }
+
+    /// Runs an invariant helper returning `Result<(), String>`, counting
+    /// and tracing it like [`Ctx::check`].
+    pub fn check_with(&mut self, what: &str, outcome: Result<(), String>) -> Result<(), String> {
+        match outcome {
+            Ok(()) => {
+                self.checks += 1;
+                self.trace.record(format!("invariant ok: {what}"));
+                Ok(())
+            }
+            Err(detail) => Err(format!("invariant violated: {what}: {detail}")),
+        }
+    }
+
+    /// Stamps the final weights identity for the report.
+    pub fn set_weights(&mut self, params: &[Vec<f32>]) {
+        self.weights_digest = Some(trace::bits_digest(params));
+        self.trace
+            .record(format!("final-weights {}", self.weights_digest.as_ref().unwrap().to_hex()));
+    }
+}
+
+/// One scenario body.
+pub type ScenarioFn = fn(&mut Ctx) -> Result<(), String>;
+
+/// A named scenario family: one fault pattern plus the invariants it
+/// must uphold, parameterised entirely by the seed.
+pub struct ScenarioFamily {
+    /// Stable CLI name.
+    pub name: &'static str,
+    /// One-line description (shown by `--list` and SCENARIOS.md).
+    pub about: &'static str,
+    /// The scenario body.
+    pub run: ScenarioFn,
+}
+
+/// Looks up a scenario family by name.
+pub fn find(name: &str) -> Option<&'static ScenarioFamily> {
+    scenarios::all().iter().find(|f| f.name == name)
+}
+
+/// Runs one `(scenario, seed)` pair under `parallelism`.
+///
+/// # Errors
+///
+/// Returns a replay-tagged [`SimError`] on unknown names, invariant
+/// violations, or panics escaping the systems under test.
+pub fn run_scenario(
+    name: &str,
+    seed: u64,
+    parallelism: Parallelism,
+) -> Result<ScenarioReport, SimError> {
+    let family = find(name).ok_or_else(|| SimError {
+        scenario: name.to_string(),
+        seed,
+        message: format!(
+            "unknown scenario (available: {})",
+            scenarios::all().iter().map(|f| f.name).collect::<Vec<_>>().join(", ")
+        ),
+    })?;
+    let mut ctx = Ctx::new(seed, parallelism);
+    // Deliberately no worker count here: the trace must be identical at
+    // any parallelism, and recording the knob would fake a divergence.
+    ctx.note(format!("scenario {} seed {}", family.name, seed));
+    let body = family.run;
+    let outcome =
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut ctx))).unwrap_or_else(
+            |panic| {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic>");
+                Err(format!("panicked: {msg}"))
+            },
+        );
+    match outcome {
+        Ok(()) => Ok(ScenarioReport {
+            name: family.name,
+            seed,
+            trace_digest: ctx.trace.digest(),
+            weights_digest: ctx.weights_digest,
+            events: ctx.trace.len(),
+            checks: ctx.checks,
+        }),
+        Err(message) => Err(SimError { scenario: family.name.to_string(), seed, message }),
+    }
+}
+
+/// Runs a scenario at two worker counts plus a repeat run and demands a
+/// bitwise-identical trace and weights digest — the harness's own
+/// worker-count-invariance invariant, used by the crate's tests.
+///
+/// # Errors
+///
+/// Propagates scenario failures; reports divergence as a [`SimError`].
+pub fn run_invariant_checked(name: &str, seed: u64) -> Result<ScenarioReport, SimError> {
+    let sequential = run_scenario(name, seed, Parallelism::sequential())?;
+    let repeat = run_scenario(name, seed, Parallelism::sequential())?;
+    let parallel = run_scenario(name, seed, Parallelism::new(4))?;
+    if sequential != repeat {
+        return Err(SimError {
+            scenario: name.to_string(),
+            seed,
+            message: "repeat run diverged: the scenario is not seed-deterministic".into(),
+        });
+    }
+    if sequential != parallel {
+        return Err(SimError {
+            scenario: name.to_string(),
+            seed,
+            message: format!(
+                "worker-count variance: sequential trace {} weights {:?} vs 4-worker trace {} \
+                 weights {:?}",
+                sequential.trace_digest.to_hex(),
+                sequential.weights_digest.as_ref().map(Digest::to_hex),
+                parallel.trace_digest.to_hex(),
+                parallel.weights_digest.as_ref().map(Digest::to_hex),
+            ),
+        });
+    }
+    Ok(sequential)
+}

@@ -1,0 +1,118 @@
+//! Scenario-harness CLI.
+//!
+//! ```text
+//! cargo run -p caltrain-sim -- --list
+//! cargo run -p caltrain-sim -- --all --seeds 1,2,3
+//! cargo run -p caltrain-sim -- --scenario hub-crash-restart --seed 7
+//! cargo run -p caltrain-sim -- --all --smoke
+//! ```
+//!
+//! Every run prints one stable summary line per `(scenario, seed)`;
+//! `ci.sh` diffs these lines across `CALTRAIN_WORKERS` settings to
+//! enforce worker-count invariance. On any invariant violation the
+//! failing seed and an exact replay command are printed and the process
+//! exits non-zero.
+
+use caltrain_runtime::Parallelism;
+use caltrain_sim::{run_scenario, scenarios};
+
+/// Default seed corpus (`--seeds` overrides; `--smoke` shrinks to the
+/// first seed).
+const DEFAULT_SEEDS: &[u64] = &[1, 2, 3];
+
+struct Args {
+    list: bool,
+    all: bool,
+    smoke: bool,
+    scenario: Option<String>,
+    seeds: Vec<u64>,
+    workers: Option<usize>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: caltrain-sim [--list] [--all | --scenario NAME] [--seed N | --seeds A,B,C] \
+         [--smoke] [--workers N]"
+    );
+    std::process::exit(2)
+}
+
+fn parse(mut argv: std::env::Args) -> Args {
+    let _ = argv.next(); // program name
+    let mut args = Args {
+        list: false,
+        all: false,
+        smoke: false,
+        scenario: None,
+        seeds: Vec::new(),
+        workers: None,
+    };
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--list" => args.list = true,
+            "--all" => args.all = true,
+            "--smoke" => args.smoke = true,
+            "--scenario" => {
+                args.scenario = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--seed" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.seeds.push(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--seeds" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                for part in v.split(',') {
+                    args.seeds.push(part.trim().parse().unwrap_or_else(|_| usage()));
+                }
+            }
+            "--workers" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.workers = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            _ => usage(),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse(std::env::args());
+    if args.list {
+        for family in scenarios::all() {
+            println!("{:<22} {}", family.name, family.about);
+        }
+        return;
+    }
+
+    let names: Vec<&str> = match (&args.scenario, args.all) {
+        (Some(name), _) => vec![name.as_str()],
+        // Bare invocation defaults to the full corpus.
+        (None, _) => scenarios::all().iter().map(|f| f.name).collect(),
+    };
+    let mut seeds = if args.seeds.is_empty() { DEFAULT_SEEDS.to_vec() } else { args.seeds.clone() };
+    if args.smoke {
+        seeds.truncate(1);
+    }
+    let parallelism = match args.workers {
+        Some(0) | None => Parallelism::default(), // honours CALTRAIN_WORKERS
+        Some(n) => Parallelism::new(n),
+    };
+
+    let mut failures = 0usize;
+    for name in &names {
+        for &seed in &seeds {
+            match run_scenario(name, seed, parallelism) {
+                Ok(report) => println!("{}", report.summary_line()),
+                Err(err) => {
+                    failures += 1;
+                    eprintln!("FAIL {name} seed={seed}");
+                    eprintln!("{err}");
+                }
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} scenario run(s) failed");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,576 @@
+//! The scenario corpus: named fault-injection families, each a pure
+//! function of the run seed.
+//!
+//! Every family follows the same shape: build a world from the seed,
+//! derive a fault plan from the seed, drive the real pipeline through
+//! its injection seams, and assert the paper's invariants after each
+//! step. Failures abort with a replayable message; successes leave a
+//! deterministic event trace.
+
+use caltrain_attack::{build_poisoned_set, TrojanTrigger};
+use caltrain_core::accountability::{FingerprintingStage, QueryService};
+use caltrain_core::hubs::{HubCluster, HubSubmission, PlannedTransport, RoundTransport};
+use caltrain_core::partition::Partition;
+use caltrain_core::server::TrainingServer;
+use caltrain_data::{faces, ParticipantId};
+use caltrain_enclave::{ChannelServer, EnclaveConfig, Platform};
+use caltrain_nn::zoo;
+use rand::Rng;
+
+use caltrain_core::participant::Participant;
+
+use crate::channel::FaultyChannel;
+use crate::invariants;
+use crate::trace::bits32;
+use crate::world;
+use crate::{Ctx, ScenarioFamily};
+
+/// All scenario families, in stable registry order.
+pub fn all() -> &'static [ScenarioFamily] {
+    &[
+        ScenarioFamily {
+            name: "baseline-honest",
+            about: "no faults: honest federated rounds; convergence + cycle-ledger invariants",
+            run: baseline_honest,
+        },
+        ScenarioFamily {
+            name: "hub-crash-restart",
+            about: "one hub crashes mid-round and restarts from the merged global model",
+            run: hub_crash_restart,
+        },
+        ScenarioFamily {
+            name: "hub-crash-all",
+            about: "every hub crashes in one round: the round is lost, the model survives bitwise",
+            run: hub_crash_all,
+        },
+        ScenarioFamily {
+            name: "stale-hub",
+            about: "a hub submits its stale pre-round weights; equivalent to a zero-scaled update",
+            run: stale_hub,
+        },
+        ScenarioFamily {
+            name: "byzantine-scale",
+            about: "a hub submits an amplified (scaled) update; weights stay finite and synced",
+            run: byzantine_scale,
+        },
+        ScenarioFamily {
+            name: "byzantine-signflip",
+            about: "a hub submits a sign-flipped update; the merge is perturbed but stays synced",
+            run: byzantine_signflip,
+        },
+        ScenarioFamily {
+            name: "batch-tamper",
+            about: "bit-flipped sealed payloads and AAD labels in transit; GCM rejects every one",
+            run: batch_tamper,
+        },
+        ScenarioFamily {
+            name: "batch-replay",
+            about: "duplicated batches and replayed uploads; the nonce ledger rejects them all",
+            run: batch_replay,
+        },
+        ScenarioFamily {
+            name: "batch-chaos",
+            about: "drops + duplicates + reorders + corruption mixed; stats match ground truth",
+            run: batch_chaos,
+        },
+        ScenarioFamily {
+            name: "attestation-failure",
+            about: "rogue enclave code and relayed quotes during provisioning are refused",
+            run: attestation_failure,
+        },
+        ScenarioFamily {
+            name: "poison-under-faults",
+            about: "a poisoning participant plus channel and hub faults; linkage queries still \
+                    rank the poisoner's records first",
+            run: poison_under_faults,
+        },
+    ]
+}
+
+/// Drives `rounds` federated rounds through `transport`, tracing each
+/// outcome and checking convergence + ledger invariants after every one.
+fn run_rounds(
+    ctx: &mut Ctx,
+    cluster: &mut HubCluster,
+    transport: &mut dyn RoundTransport,
+    rounds: usize,
+    epochs: usize,
+) -> Result<(), String> {
+    for _ in 0..rounds {
+        let r = cluster.round();
+        let out = cluster
+            .train_round_via(epochs, transport)
+            .map_err(|e| format!("round {r} failed: {e:?}"))?;
+        let losses: Vec<String> = out.hub_losses.iter().map(|v| bits32(*v)).collect();
+        ctx.note(format!(
+            "round {r} losses=[{}] time={} crashed={:?}",
+            losses.join(","),
+            bits32(out.round_time.seconds as f32),
+            out.crashed
+        ));
+        ctx.check_with("hubs converged after aggregation", invariants::hubs_converged(cluster))?;
+        ctx.check_with(
+            "hub cycle ledgers consistent",
+            invariants::hub_ledgers_consistent(cluster),
+        )?;
+    }
+    Ok(())
+}
+
+fn finish_with_weights(ctx: &mut Ctx, cluster: &HubCluster) -> Result<(), String> {
+    let params = cluster.global_model().export_params();
+    ctx.check_with("global weights all finite", invariants::weights_finite(&params))?;
+    ctx.set_weights(&params);
+    Ok(())
+}
+
+fn baseline_honest(ctx: &mut Ctx) -> Result<(), String> {
+    let mut cluster = world::hub_world(ctx.seed, 2, 40, ctx.parallelism);
+    let mut plan = PlannedTransport::new(); // empty plan == honest
+    run_rounds(ctx, &mut cluster, &mut plan, 2, 1)?;
+    ctx.check(cluster.round() == 2, "round counter advanced")?;
+    finish_with_weights(ctx, &cluster)
+}
+
+fn hub_crash_restart(ctx: &mut Ctx) -> Result<(), String> {
+    let hubs = 3;
+    let rounds = 3;
+    let mut rng = ctx.rng(1);
+    let crash_round = rng.gen_range(0..rounds);
+    let crash_hub = rng.gen_range(0..hubs);
+    ctx.note(format!("plan: crash hub {crash_hub} in round {crash_round}"));
+
+    let mut cluster = world::hub_world(ctx.seed, hubs, 48, ctx.parallelism);
+    let mut plan = PlannedTransport::new();
+    plan.set(crash_round, crash_hub, HubSubmission::Crashed);
+    for r in 0..rounds {
+        let out = cluster
+            .train_round_via(1, &mut plan)
+            .map_err(|e| format!("round {r} failed: {e:?}"))?;
+        ctx.note(format!("round {r} crashed={:?}", out.crashed));
+        let expected: &[usize] = if r == crash_round { &[crash_hub] } else { &[] };
+        ctx.check(out.crashed == expected, "crash report matches the plan")?;
+        // The restart path: the crashed hub must hold the merged model —
+        // covered for every hub by the convergence invariant.
+        ctx.check_with("hubs converged after aggregation", invariants::hubs_converged(&cluster))?;
+        ctx.check_with(
+            "hub cycle ledgers consistent",
+            invariants::hub_ledgers_consistent(&cluster),
+        )?;
+    }
+    finish_with_weights(ctx, &cluster)
+}
+
+fn hub_crash_all(ctx: &mut Ctx) -> Result<(), String> {
+    let mut cluster = world::hub_world(ctx.seed, 2, 40, ctx.parallelism);
+    let mut plan = PlannedTransport::new();
+    run_rounds(ctx, &mut cluster, &mut plan, 1, 1)?;
+
+    let before: Vec<Vec<u32>> = cluster
+        .global_model()
+        .export_params()
+        .iter()
+        .map(|l| l.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    let mut all_crash = PlannedTransport::new();
+    all_crash
+        .set(1, 0, HubSubmission::Crashed)
+        .set(1, 1, HubSubmission::Crashed);
+    let out = cluster
+        .train_round_via(1, &mut all_crash)
+        .map_err(|e| format!("crash round failed: {e:?}"))?;
+    ctx.note(format!("all-crash round crashed={:?}", out.crashed));
+    ctx.check(out.crashed == [0, 1], "every hub reported crashed")?;
+    let after: Vec<Vec<u32>> = cluster
+        .global_model()
+        .export_params()
+        .iter()
+        .map(|l| l.iter().map(|v| v.to_bits()).collect())
+        .collect();
+    ctx.check(before == after, "fully-crashed round leaves the global model bitwise intact")?;
+    ctx.check(cluster.round() == 2, "the lost round still advances the counter")?;
+    ctx.check_with("hubs converged after aggregation", invariants::hubs_converged(&cluster))?;
+
+    // The cluster keeps learning afterwards.
+    run_rounds(ctx, &mut cluster, &mut PlannedTransport::new(), 1, 1)?;
+    finish_with_weights(ctx, &cluster)
+}
+
+/// Shared body for single-hub degraded submissions (stale / scaled):
+/// runs a faulted cluster against an honest twin and asserts the merge
+/// was genuinely perturbed yet stayed converged and finite.
+fn degraded_submission(
+    ctx: &mut Ctx,
+    submission: HubSubmission,
+    what: &str,
+) -> Result<(), String> {
+    let hubs = 2;
+    let mut rng = ctx.rng(2);
+    let fault_round = rng.gen_range(0..2usize);
+    let fault_hub = rng.gen_range(0..hubs);
+    ctx.note(format!("plan: {what} from hub {fault_hub} in round {fault_round}"));
+
+    let mut honest = world::hub_world(ctx.seed, hubs, 40, ctx.parallelism);
+    let mut faulted = world::hub_world(ctx.seed, hubs, 40, ctx.parallelism);
+    let mut plan = PlannedTransport::new();
+    plan.set(fault_round, fault_hub, submission);
+    run_rounds(ctx, &mut honest, &mut PlannedTransport::new(), 2, 1)?;
+    run_rounds(ctx, &mut faulted, &mut plan, 2, 1)?;
+
+    ctx.check(
+        honest.global_model().export_params() != faulted.global_model().export_params(),
+        "the degraded submission must actually perturb the merged trajectory",
+    )?;
+    finish_with_weights(ctx, &faulted)
+}
+
+fn stale_hub(ctx: &mut Ctx) -> Result<(), String> {
+    degraded_submission(ctx, HubSubmission::Stale, "stale submission")?;
+
+    // Semantics lock-in: a stale submission is exactly a zero-scaled one.
+    let mut rng = ctx.rng(2);
+    let fault_round = rng.gen_range(0..2usize);
+    let fault_hub = rng.gen_range(0..2usize);
+    let mut stale = world::hub_world(ctx.seed, 2, 40, ctx.parallelism);
+    let mut zero = world::hub_world(ctx.seed, 2, 40, ctx.parallelism);
+    let mut stale_plan = PlannedTransport::new();
+    stale_plan.set(fault_round, fault_hub, HubSubmission::Stale);
+    let mut zero_plan = PlannedTransport::new();
+    zero_plan.set(fault_round, fault_hub, HubSubmission::Scaled(0.0));
+    run_rounds(ctx, &mut stale, &mut stale_plan, 2, 1)?;
+    run_rounds(ctx, &mut zero, &mut zero_plan, 2, 1)?;
+    ctx.check(
+        stale.global_model().export_params() == zero.global_model().export_params(),
+        "Stale ≡ Scaled(0.0)",
+    )
+}
+
+fn byzantine_scale(ctx: &mut Ctx) -> Result<(), String> {
+    let scale = [2.0f32, 4.0, 8.0][ctx.rng(3).gen_range(0..3usize)];
+    ctx.note(format!("plan: amplification factor {}", bits32(scale)));
+    degraded_submission(ctx, HubSubmission::Scaled(scale), "amplified submission")
+}
+
+fn byzantine_signflip(ctx: &mut Ctx) -> Result<(), String> {
+    degraded_submission(ctx, HubSubmission::Scaled(-1.0), "sign-flipped submission")
+}
+
+fn batch_tamper(ctx: &mut Ctx) -> Result<(), String> {
+    let (mut server, mut people) = world::ingest_world(ctx.seed, 3, 36, ctx.parallelism);
+    let uploads: Vec<_> = people.iter_mut().map(|p| p.seal_upload(6)).collect();
+    let mut chan = FaultyChannel::new(uploads);
+    let delivered_before = chan.batches();
+
+    let mut rng = ctx.rng(4);
+    let corruptions = 1 + rng.gen_range(0..3usize);
+    for i in 0..corruptions {
+        let line = if rng.gen_range(0..2usize) == 0 {
+            chan.corrupt_one(&mut rng)
+        } else {
+            chan.corrupt_labels(&mut rng)
+        };
+        ctx.note(line.ok_or_else(|| format!("corruption {i} found no target"))?);
+    }
+    let expected = chan.expected();
+    ctx.check(expected.corrupted >= 1, "at least one batch corrupted in transit")?;
+
+    let stats = server.ingest_from(&mut chan);
+    ctx.note(format!(
+        "ingest accepted={} discarded={} duplicates={} instances={}",
+        stats.accepted, stats.discarded, stats.duplicates, stats.instances
+    ));
+    ctx.check_with("ingest stats match channel ground truth", invariants::stats_match(stats, expected))?;
+    ctx.check(
+        stats.accepted + stats.discarded == delivered_before,
+        "every delivered batch accounted for",
+    )?;
+    ctx.check_with("server cycle ledger consistent", invariants::ledger_consistent(server.platform()))?;
+
+    let pool = server.pool().map_err(|e| format!("pool unavailable: {e:?}"))?;
+    ctx.check(pool.len() == stats.instances, "pool holds exactly the accepted instances")?;
+
+    // Fingerprint-db completeness over whatever survived the faults.
+    let mut net = zoo::cifar10_10layer_scaled(32, ctx.seed).map_err(|e| format!("{e:?}"))?;
+    let stage = FingerprintingStage::launch(
+        server.platform(),
+        (net.param_count() * 4).max(1 << 20),
+    )
+    .map_err(|e| format!("stage launch: {e:?}"))?;
+    let db = stage.build_db(&mut net, pool, 16).map_err(|e| format!("build_db: {e:?}"))?;
+    ctx.check_with(
+        "fingerprint db complete over the surviving pool",
+        invariants::fingerprint_complete(&db, pool),
+    )?;
+    ctx.check_with(
+        "server cycle ledger consistent after fingerprinting",
+        invariants::ledger_consistent(server.platform()),
+    )
+}
+
+fn batch_replay(ctx: &mut Ctx) -> Result<(), String> {
+    let (mut server, mut people) = world::ingest_world(ctx.seed, 2, 24, ctx.parallelism);
+    let uploads: Vec<_> = people.iter_mut().map(|p| p.seal_upload(4)).collect();
+    let unique = uploads.iter().map(Vec::len).sum::<usize>();
+    let mut chan = FaultyChannel::new(uploads);
+
+    let mut rng = ctx.rng(5);
+    for _ in 0..1 + rng.gen_range(0..2usize) {
+        let line = chan.duplicate_one(&mut rng).ok_or("nothing to duplicate")?;
+        ctx.note(line);
+    }
+    let line = chan.replay_upload(&mut rng).ok_or("nothing to replay")?;
+    ctx.note(line);
+
+    let expected = chan.expected();
+    ctx.check(expected.duplicates >= 2, "replays registered in ground truth")?;
+    let stats = server.ingest_from(&mut chan);
+    ctx.note(format!(
+        "ingest accepted={} discarded={} duplicates={} instances={}",
+        stats.accepted, stats.discarded, stats.duplicates, stats.instances
+    ));
+    ctx.check_with("ingest stats match channel ground truth", invariants::stats_match(stats, expected))?;
+    ctx.check(stats.accepted == unique, "every unique batch accepted exactly once")?;
+    let pool = server.pool().map_err(|e| format!("pool unavailable: {e:?}"))?;
+    ctx.check(pool.len() == stats.instances, "replays must not double-weight the pool")?;
+    ctx.check_with("server cycle ledger consistent", invariants::ledger_consistent(server.platform()))
+}
+
+fn batch_chaos(ctx: &mut Ctx) -> Result<(), String> {
+    let (mut server, mut people) = world::ingest_world(ctx.seed, 3, 36, ctx.parallelism);
+    let uploads: Vec<_> = people.iter_mut().map(|p| p.seal_upload(6)).collect();
+    let mut chan = FaultyChannel::new(uploads);
+
+    let mut rng = ctx.rng(6);
+    ctx.note(chan.reorder(&mut rng));
+    for i in 0..4 {
+        let line = match rng.gen_range(0..5usize) {
+            0 => chan.drop_one(&mut rng),
+            1 => chan.duplicate_one(&mut rng),
+            2 => chan.corrupt_one(&mut rng),
+            3 => chan.corrupt_labels(&mut rng),
+            _ => chan.replay_upload(&mut rng),
+        };
+        ctx.note(line.ok_or_else(|| format!("chaos op {i} found no target"))?);
+    }
+    let expected = chan.expected();
+    ctx.check(expected.accepted >= 1, "chaos must leave at least one intact batch")?;
+
+    let stats = server.ingest_from(&mut chan);
+    ctx.note(format!(
+        "ingest accepted={} discarded={} duplicates={} instances={}",
+        stats.accepted, stats.discarded, stats.duplicates, stats.instances
+    ));
+    ctx.check_with("ingest stats match channel ground truth", invariants::stats_match(stats, expected))?;
+    let pool = server.pool().map_err(|e| format!("pool unavailable: {e:?}"))?;
+    ctx.check(pool.len() == stats.instances, "pool holds exactly the accepted instances")?;
+    ctx.check_with("server cycle ledger consistent", invariants::ledger_consistent(server.platform()))
+}
+
+fn attestation_failure(ctx: &mut Ctx) -> Result<(), String> {
+    let platform = Platform::with_seed(&ctx.seed.to_le_bytes());
+    let mut server = TrainingServer::launch(platform, 1 << 21).map_err(|e| format!("{e:?}"))?;
+    let (shard, _) = caltrain_data::synthcifar::generate(8, 4, ctx.seed ^ 0xA77E);
+    let mut alice = Participant::new(ParticipantId(0), shard, &ctx.seed.to_le_bytes());
+
+    // 1. A rogue enclave running different code offers a quote; the
+    //    participant's measurement check must refuse it.
+    let rogue = server
+        .platform()
+        .create_enclave(&EnclaveConfig {
+            name: "rogue-trainer".into(),
+            code_identity: b"rogue-trainer-code".to_vec(),
+            heap_bytes: 4096,
+        })
+        .map_err(|e| format!("{e:?}"))?;
+    let rogue_chan = ChannelServer::new(&rogue);
+    let (rogue_quote, rogue_pub) = rogue_chan.hello();
+    let refused = alice
+        .provision_key(
+            &server.platform().attestation_service(),
+            &server.enclave().measurement(),
+            &rogue_quote,
+            &rogue_pub,
+        )
+        .is_err();
+    ctx.note("attempt: provision against rogue enclave code".to_string());
+    ctx.check(refused, "wrong code identity refused")?;
+
+    // 2. A genuine quote relayed from a different platform fails the
+    //    attestation service's signature check.
+    let (chan, quote, server_pub) = server.begin_provisioning();
+    let elsewhere = Platform::with_seed(&(ctx.seed ^ 0xDEAD).to_le_bytes());
+    let relayed = alice
+        .provision_key(
+            &elsewhere.attestation_service(),
+            &server.enclave().measurement(),
+            &quote,
+            &server_pub,
+        )
+        .is_err();
+    ctx.note("attempt: verify relayed quote on foreign platform".to_string());
+    ctx.check(relayed, "relayed quote refused")?;
+    drop(chan);
+    ctx.check(server.provisioned() == 0, "no key provisioned through failed handshakes")?;
+
+    // 3. The honest handshake still succeeds afterwards, and uploads flow.
+    world::provision(&mut server, &alice);
+    ctx.check(server.provisioned() == 1, "honest provisioning recovers")?;
+    let stats = server.ingest(&alice.seal_upload(4));
+    ctx.note(format!("ingest accepted={} discarded={}", stats.accepted, stats.discarded));
+    ctx.check(stats.accepted > 0 && stats.discarded == 0, "honest upload accepted")?;
+    ctx.check_with("server cycle ledger consistent", invariants::ledger_consistent(server.platform()))
+}
+
+fn poison_under_faults(ctx: &mut Ctx) -> Result<(), String> {
+    const IDENTITIES: usize = 3;
+    const TARGET: usize = 0;
+    const MALICIOUS: u32 = IDENTITIES as u32;
+
+    // World: three honest participants each owning one identity's faces,
+    // plus a poisoning participant uploading trigger-stamped foreign
+    // faces labelled TARGET.
+    let clean = faces::generate(IDENTITIES, 12, ctx.seed);
+    let trigger = TrojanTrigger::default();
+    let poisoned = build_poisoned_set(
+        10,
+        TARGET,
+        IDENTITIES + 50,
+        &trigger,
+        ParticipantId(MALICIOUS),
+        ctx.seed ^ 0x7031,
+    );
+
+    let platform = Platform::with_seed(&(ctx.seed ^ 0xFACE).to_le_bytes());
+    let mut server = TrainingServer::launch(platform, 1 << 21).map_err(|e| format!("{e:?}"))?;
+    server.set_parallelism(ctx.parallelism);
+    let mut honest: Vec<Participant> = (0..IDENTITIES)
+        .map(|id| {
+            let mut s = clean.subset(&clean.indices_of_class(id));
+            s.set_source(ParticipantId(id as u32));
+            Participant::new(ParticipantId(id as u32), s, &(ctx.seed ^ id as u64).to_le_bytes())
+        })
+        .collect();
+    let mut mallory = Participant::new(
+        ParticipantId(MALICIOUS),
+        poisoned,
+        &(ctx.seed ^ 0xBAD).to_le_bytes(),
+    );
+    for p in &honest {
+        world::provision(&mut server, p);
+    }
+    world::provision(&mut server, &mallory);
+
+    // Channel faults hit the honest uploads; the poisoner's upload rides
+    // along untouched (the adversary does not corrupt their own data).
+    let mut chan =
+        FaultyChannel::new(honest.iter_mut().map(|p| p.seal_upload(6)).collect());
+    let mut rng = ctx.rng(7);
+    ctx.note(chan.duplicate_one(&mut rng).ok_or("nothing to duplicate")?);
+    ctx.note(chan.corrupt_one(&mut rng).ok_or("nothing to corrupt")?);
+    chan.push_upload(mallory.seal_upload(6));
+    let expected = chan.expected();
+    let stats = server.ingest_from(&mut chan);
+    ctx.note(format!(
+        "ingest accepted={} discarded={} duplicates={} instances={}",
+        stats.accepted, stats.discarded, stats.duplicates, stats.instances
+    ));
+    ctx.check_with("ingest stats match channel ground truth", invariants::stats_match(stats, expected))?;
+    let pool = server.pool().map_err(|e| format!("pool unavailable: {e:?}"))?.clone();
+    ctx.check(
+        pool.sources().iter().any(|s| s.0 == MALICIOUS),
+        "the poisoned upload reached the pool",
+    )?;
+
+    // Federated training over the contaminated pool, under hub faults:
+    // one crash and one stale round, seed-chosen.
+    let net = zoo::face_net(IDENTITIES, ctx.seed).map_err(|e| format!("{e:?}"))?;
+    let pools = world::split_preserving_sources(&pool, 2, ctx.seed ^ 0x5EED);
+    let mut cluster = HubCluster::new(
+        &net,
+        pools,
+        Partition { cut: 2 },
+        world::hyper(),
+        8,
+        None,
+        ctx.seed,
+    )
+    .map_err(|e| format!("{e:?}"))?;
+    cluster.set_parallelism(ctx.parallelism);
+    let rounds = 6;
+    let crash_round = rng.gen_range(0..rounds);
+    let mut stale_round = rng.gen_range(0..rounds);
+    if stale_round == crash_round {
+        stale_round = (stale_round + 1) % rounds;
+    }
+    ctx.note(format!(
+        "plan: crash hub 0 in round {crash_round}, stale hub 1 in round {stale_round}"
+    ));
+    let mut plan = PlannedTransport::new();
+    plan.set(crash_round, 0, HubSubmission::Crashed);
+    plan.set(stale_round, 1, HubSubmission::Stale);
+    run_rounds(ctx, &mut cluster, &mut plan, rounds, 1)?;
+
+    // Accountability under all of the above: build the linkage db from
+    // the merged model and demand that queries still pin the poisoner.
+    let mut fp_model = cluster.global_model().clone();
+    let stage = FingerprintingStage::launch(
+        server.platform(),
+        (fp_model.param_count() * 4).max(1 << 20),
+    )
+    .map_err(|e| format!("stage launch: {e:?}"))?;
+    let db = stage.build_db(&mut fp_model, &pool, 16).map_err(|e| format!("build_db: {e:?}"))?;
+    ctx.check_with(
+        "fingerprint db complete over the contaminated pool",
+        invariants::fingerprint_complete(&db, &pool),
+    )?;
+
+    // Headline check: probing with each poisoned record's fingerprint
+    // ranks a poisoner-owned record first. Poison provenance comes from
+    // the linkage structure's own `S` component — label *status* does
+    // not survive the sealed round trip (only labels ride as AAD), which
+    // is exactly why the paper pins provenance cryptographically.
+    let poisoned_idx: Vec<usize> = (0..pool.len())
+        .filter(|&i| pool.sources()[i].0 == MALICIOUS)
+        .collect();
+    ctx.check(!poisoned_idx.is_empty(), "poisoned records present in the pool")?;
+    for &i in &poisoned_idx {
+        let record = db.record(i).expect("completeness checked");
+        let top = db.query(&record.fingerprint, record.label, 1);
+        let hit = top.first().ok_or("query returned nothing")?;
+        let owner = db.record(hit.record).expect("index from query").source;
+        if owner != MALICIOUS {
+            return Err(format!(
+                "accountability broken: probe of poisoned record {i} ranked a record owned by \
+                 participant {owner} first"
+            ));
+        }
+    }
+    ctx.check(true, "every poisoned-record probe ranks the poisoner's records first")?;
+
+    // End-to-end forensic path on trigger-stamped holdout faces: every
+    // hijacked prediction must demand data from the poisoner.
+    let service = QueryService::new(db);
+    let holdout = faces::generate(IDENTITIES, 3, ctx.seed ^ 0x401D);
+    let mut model = cluster.global_model().clone();
+    let mut hijacked = 0usize;
+    let mut demanded = 0usize;
+    for i in 0..holdout.len() {
+        if holdout.labels()[i] == TARGET {
+            continue;
+        }
+        let stamped = trigger.stamp(&holdout.image(i));
+        let inv = service.investigate(&mut model, &stamped, 5).map_err(|e| format!("{e:?}"))?;
+        if inv.predicted == TARGET {
+            hijacked += 1;
+            if inv.demand_from.contains(&MALICIOUS) {
+                demanded += 1;
+            }
+        }
+    }
+    ctx.note(format!("stamped probes: hijacked={hijacked} demanded-from-poisoner={demanded}"));
+    ctx.check(
+        hijacked == 0 || demanded > 0,
+        "hijacked predictions demand data from the poisoner",
+    )?;
+    finish_with_weights(ctx, &cluster)
+}

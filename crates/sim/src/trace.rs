@@ -1,0 +1,116 @@
+//! The event trace: an append-only log of everything a scenario did and
+//! observed, digested for reproducibility checks.
+//!
+//! Determinism is the harness's load-bearing property: the same
+//! `(scenario, seed)` must produce a bitwise-identical trace at any
+//! worker count and on any repeat run. Floats are therefore always
+//! rendered through [`bits32`]/[`bits_digest`] (exact bit patterns), never
+//! via `{}` formatting, so two runs that differ anywhere in the last ulp
+//! produce visibly different digests.
+
+use caltrain_crypto::sha256::{Digest, Sha256};
+
+/// Append-only event log for one scenario run.
+#[derive(Debug, Default, Clone)]
+pub struct Trace {
+    lines: Vec<String>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event line.
+    pub fn record(&mut self, line: impl Into<String>) {
+        self.lines.push(line.into());
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+
+    /// The recorded event lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// SHA-256 over the newline-joined event log — the replay identity
+    /// of the run.
+    pub fn digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        for line in &self.lines {
+            h.update(line.as_bytes());
+            h.update(b"\n");
+        }
+        h.finalize()
+    }
+}
+
+/// Exact bit-pattern rendering of an `f32` for trace lines.
+pub fn bits32(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+/// SHA-256 over the exact bit patterns of a layered parameter set — the
+/// "final weights" identity used to compare trajectories across worker
+/// counts and repeat runs.
+pub fn bits_digest(params: &[Vec<f32>]) -> Digest {
+    let mut h = Sha256::new();
+    for layer in params {
+        for v in layer {
+            h.update(&v.to_bits().to_le_bytes());
+        }
+        h.update(b"|");
+    }
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_order_and_content_sensitive() {
+        let mut a = Trace::new();
+        a.record("x");
+        a.record("y");
+        let mut b = Trace::new();
+        b.record("y");
+        b.record("x");
+        assert_ne!(a.digest(), b.digest());
+        let mut c = Trace::new();
+        c.record("x");
+        c.record("y");
+        assert_eq!(a.digest(), c.digest());
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn line_boundaries_matter() {
+        // "ab" + "c" must not collide with "a" + "bc".
+        let mut a = Trace::new();
+        a.record("ab");
+        a.record("c");
+        let mut b = Trace::new();
+        b.record("a");
+        b.record("bc");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn float_rendering_is_exact() {
+        assert_eq!(bits32(1.0), "3f800000");
+        assert_ne!(bits32(0.0), bits32(-0.0), "signed zeros must be distinguishable");
+        let d1 = bits_digest(&[vec![1.0, 2.0], vec![3.0]]);
+        let d2 = bits_digest(&[vec![1.0], vec![2.0, 3.0]]);
+        assert_ne!(d1, d2, "layer boundaries must be part of the identity");
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic worlds the scenarios run in: a small federated hub
+//! cluster over synthetic CIFAR, and a provisioned ingestion pipeline
+//! with sealed uploads ready to push through a faulty channel.
+
+use caltrain_core::hubs::HubCluster;
+use caltrain_core::participant::Participant;
+use caltrain_core::partition::Partition;
+use caltrain_core::server::TrainingServer;
+use caltrain_data::{shard, synthcifar, Dataset, ParticipantId};
+use caltrain_enclave::Platform;
+use caltrain_nn::{zoo, Hyper};
+use caltrain_runtime::Parallelism;
+
+/// Hyperparameters shared by every training world.
+pub fn hyper() -> Hyper {
+    Hyper { learning_rate: 0.1, momentum: 0.9, decay: 0.0001 }
+}
+
+/// A `hubs`-hub federated cluster over `n` synthetic-CIFAR instances,
+/// fully determined by `seed`.
+pub fn hub_world(seed: u64, hubs: usize, n: usize, parallelism: Parallelism) -> HubCluster {
+    let (train, _) = synthcifar::generate(n, 8, seed);
+    let pools = shard::split(&train, hubs, seed);
+    let net = zoo::cifar10_10layer_scaled(32, seed).expect("static architecture");
+    let mut cluster = HubCluster::new(
+        &net,
+        pools,
+        Partition { cut: 2 },
+        hyper(),
+        16,
+        None,
+        seed,
+    )
+    .expect("non-empty cluster");
+    cluster.set_parallelism(parallelism);
+    cluster
+}
+
+/// A provisioned ingestion world: a training server plus `participants`
+/// enrolled participants, each holding an equal shard of `n` synthetic
+/// instances.
+pub fn ingest_world(
+    seed: u64,
+    participants: usize,
+    n: usize,
+    parallelism: Parallelism,
+) -> (TrainingServer, Vec<Participant>) {
+    let platform = Platform::with_seed(&seed.to_le_bytes());
+    let mut server = TrainingServer::launch(platform, 1 << 21).expect("enclave launch");
+    server.set_parallelism(parallelism);
+    let (pool, _) = synthcifar::generate(n, 8, seed ^ 0x5EED);
+    let shards = shard::split(&pool, participants, seed ^ 0x5EED);
+    let people: Vec<Participant> = shards
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let p = Participant::new(
+                ParticipantId(i as u32),
+                s,
+                &(seed ^ (i as u64 + 1)).to_le_bytes(),
+            );
+            provision(&mut server, &p);
+            p
+        })
+        .collect();
+    (server, people)
+}
+
+/// Runs the full attested provisioning handshake for `p`.
+///
+/// # Panics
+///
+/// Panics if the honest handshake fails — that is a harness bug, not a
+/// scenario outcome.
+pub fn provision(server: &mut TrainingServer, p: &Participant) {
+    let (chan, quote, server_pub) = server.begin_provisioning();
+    let service = server.platform().attestation_service();
+    let expected = server.enclave().measurement();
+    let (record, client_pub) =
+        p.provision_key(&service, &expected, &quote, &server_pub).expect("honest provisioning");
+    server.finish_provisioning(chan, &client_pub, &record).expect("honest key record");
+}
+
+/// Splits an ingested pool across hubs **without** re-tagging provenance
+/// (unlike [`shard::split`], which stamps shard ownership): hub
+/// assignment is an infrastructure decision and must not rewrite the
+/// linkage structure's `S` component.
+pub fn split_preserving_sources(pool: &Dataset, hubs: usize, seed: u64) -> Vec<Dataset> {
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..pool.len()).collect();
+    indices.shuffle(&mut rng);
+    let base = pool.len() / hubs;
+    let extra = pool.len() % hubs;
+    let mut out = Vec::with_capacity(hubs);
+    let mut cursor = 0usize;
+    for h in 0..hubs {
+        let take = base + usize::from(h < extra);
+        out.push(pool.subset(&indices[cursor..cursor + take]));
+        cursor += take;
+    }
+    out
+}

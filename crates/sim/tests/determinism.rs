@@ -1,0 +1,77 @@
+//! Harness-level guarantees: the corpus is big enough, every family is
+//! seed-reproducible and worker-count invariant, and failures carry a
+//! replayable seed.
+
+use caltrain_runtime::Parallelism;
+use caltrain_sim::{find, run_invariant_checked, run_scenario, scenarios, SimError};
+
+#[test]
+fn corpus_has_at_least_eight_unique_families() {
+    let names: Vec<&str> = scenarios::all().iter().map(|f| f.name).collect();
+    assert!(names.len() >= 8, "need >= 8 scenario families, have {}", names.len());
+    let mut unique = names.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), names.len(), "scenario names must be unique");
+    for name in names {
+        assert!(find(name).is_some());
+    }
+}
+
+#[test]
+fn hub_fault_families_are_reproducible_and_worker_invariant() {
+    // Each family runs three times inside the checker: sequential,
+    // sequential repeat, and 4 workers — traces and final weights must
+    // be bitwise identical.
+    for name in ["baseline-honest", "hub-crash-restart", "hub-crash-all"] {
+        let report = run_invariant_checked(name, 11).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checks > 0, "{name} must assert invariants");
+        assert!(report.weights_digest.is_some(), "{name} trains a model");
+    }
+}
+
+#[test]
+fn channel_fault_families_are_reproducible_and_worker_invariant() {
+    for name in ["batch-tamper", "batch-replay", "batch-chaos", "attestation-failure"] {
+        let report = run_invariant_checked(name, 12).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checks > 0, "{name} must assert invariants");
+    }
+}
+
+#[test]
+fn byzantine_families_are_reproducible_and_worker_invariant() {
+    for name in ["stale-hub", "byzantine-scale", "byzantine-signflip"] {
+        let report = run_invariant_checked(name, 13).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checks > 0, "{name} must assert invariants");
+    }
+}
+
+#[test]
+fn poisoning_under_faults_still_identifies_the_poisoner() {
+    // The headline acceptance scenario, under the full reproducibility
+    // harness: fault-injected ingestion + faulted federated training,
+    // then accountability queries must rank the poisoner's records first
+    // (asserted inside the scenario), identically at any worker count.
+    let report = run_invariant_checked("poison-under-faults", 1).unwrap_or_else(|e| panic!("{e}"));
+    assert!(report.weights_digest.is_some());
+    assert!(report.checks >= 10, "the poison scenario asserts the full invariant set");
+}
+
+#[test]
+fn different_seeds_produce_different_fault_plans() {
+    let a = run_scenario("hub-crash-restart", 1, Parallelism::sequential()).unwrap();
+    let b = run_scenario("hub-crash-restart", 2, Parallelism::sequential()).unwrap();
+    assert_ne!(a.trace_digest, b.trace_digest, "seed must steer the fault plan");
+}
+
+#[test]
+fn failures_carry_a_replayable_seed() {
+    let err = run_scenario("no-such-scenario", 41, Parallelism::sequential()).unwrap_err();
+    assert_eq!(
+        err,
+        SimError { scenario: "no-such-scenario".into(), seed: 41, message: err.message.clone() }
+    );
+    let rendered = err.to_string();
+    assert!(rendered.contains("--seed 41"), "replay line must reprint the seed: {rendered}");
+    assert!(rendered.contains("--scenario no-such-scenario"), "{rendered}");
+}
