@@ -18,6 +18,19 @@ cargo test -q --offline
 echo "==> cargo test -q (CALTRAIN_WORKERS=4 — threaded runtime paths)"
 CALTRAIN_WORKERS=4 cargo test -q --offline
 
+# The thread-reuse gate is only sound as the sole test in its binary:
+# the spawn counter it asserts on is process-global, so a sibling test
+# growing the pool for its own batches would make the zero-delta
+# assertion racy. The convention lives in a doc comment; this makes it
+# structural.
+echo "==> pool_thread_reuse.rs single-test convention"
+reuse_tests=$(grep -c '#\[test\]' crates/nn/tests/pool_thread_reuse.rs)
+if [ "$reuse_tests" -ne 1 ]; then
+  echo "pool_thread_reuse.rs must hold exactly one #[test] (found $reuse_tests):"
+  echo "the process-global spawn counter makes sibling tests racy."
+  exit 1
+fi
+
 echo "==> cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline
 
@@ -51,6 +64,17 @@ cargo bench --offline --bench parallel_scaling
 # loaded CI host cannot flake this step.
 echo "==> cargo bench --bench training_throughput -- --smoke (determinism + JSON gate)"
 cargo bench --offline --bench training_throughput -- --smoke
+
+# The regenerated report must carry the PR 7 job-graph and batch-1
+# fields — bench_diff and the trend watch key on their names, so a
+# silent rename (or a bench refactor dropping one) would turn both
+# watches into no-ops for exactly the metrics this PR exists to pin.
+echo "==> BENCH_training.json carries the job-graph fields"
+for field in phase_handoffs_per_conv phase_handoffs_per_conv_backward \
+             batch1_w4_speedup; do
+  grep -q "\"$field\"" BENCH_training.json \
+    || { echo "BENCH_training.json is missing \"$field\""; exit 1; }
+done
 
 # Batch-1 inference smoke under a forced 4-worker pool: the row-tiled
 # shared wide GEMM path must produce bit-identical outputs at 1 vs 4

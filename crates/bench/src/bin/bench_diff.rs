@@ -45,8 +45,10 @@ enum Direction {
 /// Classifies a flattened metric path by naming convention — the same
 /// conventions `BenchReport` call sites already follow.
 fn classify(path: &str) -> Direction {
-    let lower =
-        ["secs", "_ms_", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn"];
+    let lower = [
+        "secs", "_ms_", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn",
+        "handoff",
+    ];
     let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate"];
     let p = path.to_ascii_lowercase();
     if lower.iter().any(|n| p.contains(n)) {

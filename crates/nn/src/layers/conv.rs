@@ -44,17 +44,22 @@
 //!    including across the scratch-capped tile path).
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use caltrain_runtime::{chunk_ranges, chunk_ranges_capped_iter, par_map_mut, Parallelism};
+use caltrain_runtime::graph::{JobGraph, NodeId, PhasedSlice};
+use caltrain_runtime::{chunk_ranges, chunk_ranges_capped_iter, Parallelism};
 use caltrain_tensor::epilogue::{
-    accumulate_wide_moments, apply_epilogue_planes, finalize_moments, fused_channel_moments,
-    scatter_wide_epilogue, scatter_wide_planes, GemmEpilogue, MOMENT_ACC_STRIDE,
+    accumulate_wide_moments, apply_epilogue_planes, backward_delta_planes,
+    bn_backward_sums_sample, bn_backward_transform_planes, finalize_moments,
+    fused_channel_moments, reset_wide_moments, scatter_wide_epilogue, scatter_wide_planes,
+    GemmEpilogue, MOMENT_ACC_STRIDE,
 };
 use caltrain_tensor::gemm::{gemm_a_bt, gemm_at_b, gemm_flops, gemm_row_tile};
 use caltrain_tensor::im2col::{
     col2im, col2im_batch, conv_out_extent, im2col, im2col_batch, im2col_batch_rows,
     im2col_transposed,
 };
+use caltrain_tensor::tree::{combine_tree_parts, reduce_tree, tree_levels, tree_ranges};
 use caltrain_tensor::{Scratch, Shape, Tensor};
 use rand::Rng;
 
@@ -142,40 +147,6 @@ pub struct Conv2d {
     /// workspace. Cloning a [`Scratch`] empties it, so snapshots stay
     /// cheap.
     workers: Vec<Scratch>,
-}
-
-/// Folds one job's staged per-sample weight/bias gradients into the
-/// layer accumulators, in ascending sample order.
-///
-/// Every sample's `dw`/`db` slice was filled from zero inside the job;
-/// this fold is the single cross-sample summation point, so calling it
-/// job-by-job in range order makes the result independent of how many
-/// jobs (workers) produced the staging buffers.
-#[allow(clippy::too_many_arguments)]
-fn reduce_staged(
-    ws: &mut Scratch,
-    span: usize,
-    dw_len: usize,
-    filters: usize,
-    batch_norm: bool,
-    weight_updates: &mut [f32],
-    bias_updates: &mut [f32],
-) {
-    let dw = ws.take("dw", span * dw_len);
-    let db = ws.take("db", span * filters);
-    for local in 0..span {
-        let dw_slice = &dw[local * dw_len..(local + 1) * dw_len];
-        for (wu, g) in weight_updates.iter_mut().zip(dw_slice) {
-            *wu += g;
-        }
-        if !batch_norm {
-            for f in 0..filters {
-                bias_updates[f] += db[local * filters + f];
-            }
-        }
-    }
-    ws.put_back("dw", dw);
-    ws.put_back("db", db);
 }
 
 /// Numerical floor inside the BN square root.
@@ -367,8 +338,11 @@ impl Conv2d {
     }
 
     /// The historical backward: sequential, allocation-per-call, plain
-    /// dot-product weight-gradient kernel (`gemm_a_bt`), mode ignored —
-    /// exactly the code this PR replaced. See [`Conv2d::forward_reference`].
+    /// dot-product weight-gradient kernel (`gemm_a_bt`), mode ignored.
+    /// The cross-sample gradient summation runs along the **canonical
+    /// sample tree** ([`reduce_tree`]) — the same fixed addition shape
+    /// the job-graph path uses — so the two paths agree to the bit.
+    /// See [`Conv2d::forward_reference`].
     fn backward_reference(&mut self, delta: &Tensor, mode: KernelMode) -> Result<(Tensor, u64), NnError> {
         let n = batch_size(usize::MAX, delta, &self.output_shape)?;
         if n != self.last_batch {
@@ -376,45 +350,82 @@ impl Conv2d {
         }
         let (c, h, w, _oh, _ow, ckk, ohw) = self.geometry();
         let _ = mode;
+        let filters = self.filters;
+        let out_stride = filters * ohw;
 
-        // δ ⊙ act'(pre-activation).
-        let mut delta_act = delta.as_slice().to_vec();
+        // δ ⊙ act'(pre-activation) — the canonical fused expression.
         let act = self.activation;
-        for (d, &z) in delta_act.iter_mut().zip(&self.pre_activation) {
-            *d *= act.gradient(z);
-        }
+        let mut delta_act = vec![0.0f32; delta.volume()];
+        backward_delta_planes(
+            0..n * filters,
+            filters,
+            ohw,
+            delta.as_slice(),
+            &self.pre_activation,
+            |z| act.gradient(z),
+            None,
+            &mut delta_act,
+        );
 
         if self.batch_norm {
             self.backward_batch_norm(&mut delta_act, n, ohw);
         }
 
         let in_stride = c * h * w;
-        let out_stride = self.filters * ohw;
         let mut input_delta = Tensor::zeros(&[n, c, h, w]);
         let mut cols = vec![0.0f32; ckk * ohw];
         let mut col_delta = vec![0.0f32; ckk * ohw];
 
+        // Weight (and, sans BN, bias) gradients along the canonical
+        // sample tree: each leaf overwrites one row with one sample's
+        // gradients (δ · colsᵀ re-deriving cols as Darknet does), the
+        // tree combines them, and ONE addition per element folds the
+        // total into the accumulators.
+        let dw_len = filters * ckk;
+        let grad_w = dw_len + if self.batch_norm { 0 } else { filters };
+        let mut total = vec![0.0f32; grad_w];
+        let mut levels = vec![0.0f32; tree_levels(n) * grad_w];
+        let batch_norm = self.batch_norm;
+        let last_input = &self.last_input;
+        let delta_act_ref = &delta_act;
+        let (size, stride, pad) = (self.size, self.stride, self.pad);
+        reduce_tree(
+            0..n,
+            grad_w,
+            &mut levels,
+            &mut |s, row| {
+                let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
+                let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
+                im2col(in_slice, c, h, w, size, stride, pad, &mut cols);
+                let (dw_row, db_row) = row.split_at_mut(dw_len);
+                dw_row.fill(0.0);
+                gemm_a_bt(filters, ckk, ohw, d_slice, &cols, dw_row);
+                if !batch_norm {
+                    for f in 0..filters {
+                        let mut acc = 0.0f32;
+                        for &v in &d_slice[f * ohw..(f + 1) * ohw] {
+                            acc += v;
+                        }
+                        db_row[f] = acc;
+                    }
+                }
+            },
+            &mut total,
+        );
+        for (wu, g) in self.weight_updates.iter_mut().zip(&total[..dw_len]) {
+            *wu += g;
+        }
+        if !self.batch_norm {
+            for f in 0..filters {
+                self.bias_updates[f] += total[dw_len + f];
+            }
+        }
+
         for s in 0..n {
             let d_slice = &delta_act[s * out_stride..(s + 1) * out_stride];
-
-            if !self.batch_norm {
-                for f in 0..self.filters {
-                    let mut acc = 0.0f32;
-                    for &v in &d_slice[f * ohw..(f + 1) * ohw] {
-                        acc += v;
-                    }
-                    self.bias_updates[f] += acc;
-                }
-            }
-
-            // Weight gradient: δ · colsᵀ (re-derive cols as Darknet does).
-            let in_slice = &self.last_input[s * in_stride..(s + 1) * in_stride];
-            im2col(in_slice, c, h, w, self.size, self.stride, self.pad, &mut cols);
-            gemm_a_bt(self.filters, ckk, ohw, d_slice, &cols, &mut self.weight_updates);
-
             // Input delta: Wᵀ · δ, scattered back through col2im.
             col_delta.fill(0.0);
-            gemm_at_b(ckk, ohw, self.filters, &self.weights, d_slice, &mut col_delta);
+            gemm_at_b(ckk, ohw, filters, &self.weights, d_slice, &mut col_delta);
             let id_slice = &mut input_delta.as_mut_slice()[s * in_stride..(s + 1) * in_stride];
             col2im(&col_delta, c, h, w, self.size, self.stride, self.pad, id_slice);
         }
@@ -508,29 +519,48 @@ impl Conv2d {
             }
             return;
         }
+        // Train mode: (Σdy, Σdy·x̂) per filter along the canonical
+        // sample tree — per-sample leaves, fixed pairwise combines —
+        // then the fused delta transform. Exactly the addition shape
+        // the job-graph path performs, so the paths agree bitwise.
+        let out_stride = f_count * ohw;
+        let xhat = &self.bn_xhat;
+        let mut sums = vec![0.0f32; 2 * f_count];
+        let mut levels = vec![0.0f32; tree_levels(n) * 2 * f_count];
+        reduce_tree(
+            0..n,
+            2 * f_count,
+            &mut levels,
+            &mut |s, row| {
+                bn_backward_sums_sample(
+                    f_count,
+                    ohw,
+                    &delta[s * out_stride..(s + 1) * out_stride],
+                    &xhat[s * out_stride..(s + 1) * out_stride],
+                    row,
+                );
+            },
+            &mut sums,
+        );
         for f in 0..f_count {
-            let inv_std = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
-            let gamma = self.scales[f];
-            let mut sum_dy = 0.0f32;
-            let mut sum_dy_xhat = 0.0f32;
-            for s in 0..n {
-                let base = (s * f_count + f) * ohw;
-                for i in base..base + ohw {
-                    sum_dy += delta[i];
-                    sum_dy_xhat += delta[i] * self.bn_xhat[i];
-                }
-            }
-            self.bias_updates[f] += sum_dy;
-            self.scale_updates[f] += sum_dy_xhat;
-            let k = gamma * inv_std / m;
-            for s in 0..n {
-                let base = (s * f_count + f) * ohw;
-                for i in base..base + ohw {
-                    delta[i] =
-                        k * (m * delta[i] - sum_dy - self.bn_xhat[i] * sum_dy_xhat);
-                }
-            }
+            self.bias_updates[f] += sums[2 * f];
+            self.scale_updates[f] += sums[2 * f + 1];
         }
+        let mut inv_std = vec![0.0f32; f_count];
+        for f in 0..f_count {
+            inv_std[f] = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+        }
+        bn_backward_transform_planes(
+            0..n * f_count,
+            f_count,
+            ohw,
+            m,
+            &self.scales,
+            &inv_std,
+            &sums,
+            &self.bn_xhat,
+            delta,
+        );
     }
 
     /// The activation function in force.
@@ -592,9 +622,12 @@ impl Layer for Conv2d {
                 inv_std[f] = 1.0 / (self.rolling_var[f] + BN_EPS).sqrt();
             }
         }
-        // Canonical BN moment accumulators: (Σv, Σv²) per filter,
-        // accumulated tile by tile in ascending-sample order.
-        let mut bn_acc = self.scratch.take_zeroed("bn_acc", MOMENT_ACC_STRIDE * filters);
+        // Canonical BN moment accumulators: (K, Σ(v−K), Σ(v−K)²) per
+        // filter, accumulated tile by tile in ascending-sample order.
+        // NaN-armed so the first-tile latch is provably hit exactly
+        // once per sweep (`accumulate_wide_moments` debug-asserts it).
+        let mut bn_acc = self.scratch.take("bn_acc", MOMENT_ACC_STRIDE * filters);
+        reset_wide_moments(&mut bn_acc);
 
         let batch_norm = self.batch_norm;
         let weights = &self.weights;
@@ -613,229 +646,328 @@ impl Layer for Conv2d {
             OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
         }
 
-        // ── Phase A: per sample tile (capped so wide scratch stays
-        // bounded): cooperative im2col → ONE shared wide GEMM in
-        // worker-owned output-row tiles (+ canonical BN moment
-        // accumulation straight off the wide rows) → one-pass
-        // epilogue scatter. The tile split depends only on (n, ohw),
-        // never on the worker count.
+        // ── One job graph per call. Sample tiles are capped so wide
+        // scratch stays bounded; within a tile the work flows
+        // im2col → GEMM row tile → epilogue scatter along dependency
+        // edges, with no full-pool barrier between phases — the pool
+        // is entered exactly once per forward (`pool::phase_handoffs`
+        // counts this; the `training_throughput` bench gates it at 1).
+        // The tile split depends only on (n, ohw), never worker count.
         let max_span = (MAX_WIDE_COLS / ohw).max(1);
-        for tile in chunk_ranges_capped_iter(n, 1, max_span) {
-            let span = tile.len();
-            let tile_cols = span * ohw;
-            let tile_input = &in_data[tile.start * in_stride..tile.end * in_stride];
-
-            // Cooperative batched im2col: workers own disjoint rows of
-            // the one shared column matrix (rows are pure gathers).
-            let mut cols = self.scratch.take("cols", ckk * tile_cols);
-            let row_jobs = jobs.min(ckk);
-            if row_jobs <= 1 {
+        if jobs <= 1 {
+            // Sequential path: same tiles, phases inline. All the
+            // arithmetic below is shared with the graph path, which is
+            // what keeps the worker knob bit-invariant.
+            for tile in chunk_ranges_capped_iter(n, 1, max_span) {
+                let span = tile.len();
+                let tile_cols = span * ohw;
+                let tile_input = &in_data[tile.start * in_stride..tile.end * in_stride];
+                let mut cols = self.scratch.take("cols", ckk * tile_cols);
                 im2col_batch(tile_input, span, c, h, w, size, stride, pad, &mut cols);
-            } else {
-                struct ColJob<'a> {
-                    rows: std::ops::Range<usize>,
-                    out: &'a mut [f32],
-                }
-                let mut job_list = Vec::with_capacity(row_jobs);
-                let mut rest = cols.as_mut_slice();
-                for rows in chunk_ranges(ckk, row_jobs) {
-                    let (chunk, r) = rest.split_at_mut(rows.len() * tile_cols);
-                    rest = r;
-                    job_list.push(ColJob { rows, out: chunk });
-                }
-                par_map_mut(parallelism, &mut job_list, |_, job| {
-                    im2col_batch_rows(
-                        tile_input, span, c, h, w, size, stride, pad,
-                        job.rows.clone(), job.out,
-                    );
-                });
-            }
-
-            // ONE shared wide GEMM, row-tiled: each worker owns a
-            // disjoint block of C (= filter) rows against the whole
-            // shared column matrix — the per-(i,j) addition order is
-            // untouched by the tiling, and each filter's BN moment
-            // chain lives wholly inside the job owning its row.
-            let mut out_wide = self.scratch.take_zeroed("out_wide", filters * tile_cols);
-            let f_jobs = jobs.min(filters);
-            let first_tile = tile.start == 0;
-            if f_jobs <= 1 {
+                let mut out_wide = self.scratch.take_zeroed("out_wide", filters * tile_cols);
                 gemm(filters, tile_cols, ckk, weights, &cols, &mut out_wide);
                 if bn_train {
-                    accumulate_wide_moments(&out_wide, tile_cols, &mut bn_acc, first_tile);
+                    accumulate_wide_moments(&out_wide, tile_cols, &mut bn_acc, tile.start == 0);
                 }
-            } else {
-                struct GemmJob<'a> {
-                    rows: std::ops::Range<usize>,
-                    c_tile: &'a mut [f32],
-                    acc: Option<&'a mut [f32]>,
-                }
-                let mut job_list = Vec::with_capacity(f_jobs);
-                let mut c_rest = out_wide.as_mut_slice();
-                let mut acc_rest = bn_acc.as_mut_slice();
-                for rows in chunk_ranges(filters, f_jobs) {
-                    let (c_tile, cr) = c_rest.split_at_mut(rows.len() * tile_cols);
-                    c_rest = cr;
-                    let acc = if bn_train {
-                        let (a, ar) = acc_rest.split_at_mut(MOMENT_ACC_STRIDE * rows.len());
-                        acc_rest = ar;
-                        Some(a)
-                    } else {
-                        None
-                    };
-                    job_list.push(GemmJob { rows, c_tile, acc });
-                }
-                par_map_mut(parallelism, &mut job_list, |_, job| {
-                    gemm_row_tile(
-                        gemm, job.rows.clone(), tile_cols, ckk, weights, &cols,
-                        &mut *job.c_tile,
+                let tile_planes = span * filters;
+                let tile_out =
+                    &mut output.as_mut_slice()[tile.start * out_stride..tile.end * out_stride];
+                let tile_pre = &mut pre_act[tile.start * out_stride..tile.end * out_stride];
+                if bn_train {
+                    // Raw staging only — the batch moments don't exist yet.
+                    scatter_wide_planes(
+                        &out_wide, tile_cols, filters, ohw, 0..tile_planes, tile_pre,
                     );
-                    if let Some(acc) = &mut job.acc {
-                        accumulate_wide_moments(job.c_tile, tile_cols, acc, first_tile);
-                    }
-                });
-            }
-
-            // Scatter back to sample-major planes. Without batch
-            // statistics pending this IS the epilogue: bias or rolling
-            // BN plus activation fused into the one output write.
-            let tile_planes = span * filters;
-            let p_jobs = jobs.min(tile_planes);
-            let tile_out =
-                &mut output.as_mut_slice()[tile.start * out_stride..tile.end * out_stride];
-            let tile_pre = &mut pre_act[tile.start * out_stride..tile.end * out_stride];
-            if bn_train {
-                // Raw staging only — the batch moments don't exist yet.
-                if p_jobs <= 1 {
-                    scatter_wide_planes(&out_wide, tile_cols, filters, ohw, 0..tile_planes, tile_pre);
                 } else {
-                    struct RawJob<'a> {
-                        planes: std::ops::Range<usize>,
-                        dst: &'a mut [f32],
-                    }
-                    let mut job_list = Vec::with_capacity(p_jobs);
-                    let mut rest = &mut tile_pre[..];
-                    for planes in chunk_ranges(tile_planes, p_jobs) {
-                        let (chunk, r) = rest.split_at_mut(planes.len() * ohw);
-                        rest = r;
-                        job_list.push(RawJob { planes, dst: chunk });
-                    }
-                    par_map_mut(parallelism, &mut job_list, |_, job| {
-                        scatter_wide_planes(
-                            &out_wide, tile_cols, filters, ohw, job.planes.clone(), job.dst,
-                        );
-                    });
-                }
-            } else {
-                let ep = if batch_norm {
-                    GemmEpilogue::Normalize {
-                        mean: rolling_mean,
-                        inv_std: &inv_std,
-                        gamma: scales,
-                        beta: biases,
-                    }
-                } else {
-                    GemmEpilogue::Bias { biases }
-                };
-                if p_jobs <= 1 {
+                    let ep = if batch_norm {
+                        GemmEpilogue::Normalize {
+                            mean: rolling_mean,
+                            inv_std: &inv_std,
+                            gamma: scales,
+                            beta: biases,
+                        }
+                    } else {
+                        GemmEpilogue::Bias { biases }
+                    };
                     scatter_wide_epilogue(
                         &out_wide, tile_cols, filters, ohw, 0..tile_planes, &ep, act_fn,
                         tile_out, tile_pre,
                     );
-                } else {
-                    struct EpJob<'a> {
-                        planes: std::ops::Range<usize>,
-                        out: &'a mut [f32],
-                        pre: &'a mut [f32],
-                    }
-                    let mut job_list = Vec::with_capacity(p_jobs);
-                    let mut out_rest = &mut tile_out[..];
-                    let mut pre_rest = &mut tile_pre[..];
-                    for planes in chunk_ranges(tile_planes, p_jobs) {
-                        let (out_chunk, or) = out_rest.split_at_mut(planes.len() * ohw);
-                        out_rest = or;
-                        let (pre_chunk, pr) = pre_rest.split_at_mut(planes.len() * ohw);
-                        pre_rest = pr;
-                        job_list.push(EpJob { planes, out: out_chunk, pre: pre_chunk });
-                    }
-                    par_map_mut(parallelism, &mut job_list, |_, job| {
-                        scatter_wide_epilogue(
-                            &out_wide, tile_cols, filters, ohw, job.planes.clone(), &ep,
-                            act_fn, job.out, job.pre,
-                        );
-                    });
                 }
+                self.scratch.put_back("cols", cols);
+                self.scratch.put_back("out_wide", out_wide);
             }
 
-            self.scratch.put_back("cols", cols);
-            self.scratch.put_back("out_wide", out_wide);
-        }
-
-        if bn_train {
-            // ── Phase B: finalize the canonical fused moments and
-            // refresh the rolling averages (tiny, sequential).
-            let m = (n * ohw) as f32;
-            self.bn_mean.resize(filters, 0.0);
-            self.bn_var.resize(filters, 0.0);
-            finalize_moments(&bn_acc, m, &mut self.bn_mean, &mut self.bn_var);
-            for f in 0..filters {
-                self.rolling_mean[f] =
-                    BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * self.bn_mean[f];
-                self.rolling_var[f] =
-                    BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * self.bn_var[f];
-            }
-            for f in 0..filters {
-                inv_std[f] = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
-            }
-
-            // ── Phase C: the deferred one-pass epilogue — staged raw →
-            // x̂ cache, z (in place) and the activated output, the
-            // single write pass over the output buffer.
-            let mut xhat = std::mem::take(&mut self.bn_xhat);
-            xhat.resize(out_len, 0.0);
-            OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
-            let ep = GemmEpilogue::Normalize {
-                mean: &self.bn_mean,
-                inv_std: &inv_std,
-                gamma: scales,
-                beta: biases,
-            };
-            let planes = n * filters;
-            let p_jobs = jobs.min(planes);
-            if p_jobs <= 1 {
+            if bn_train {
+                // Finalize the canonical fused moments, refresh the
+                // rolling averages, then the deferred one-pass epilogue
+                // (raw staging → x̂ cache, z in place, activated output).
+                let m = (n * ohw) as f32;
+                self.bn_mean.resize(filters, 0.0);
+                self.bn_var.resize(filters, 0.0);
+                finalize_moments(&bn_acc, m, &mut self.bn_mean, &mut self.bn_var);
+                for f in 0..filters {
+                    self.rolling_mean[f] =
+                        BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * self.bn_mean[f];
+                    self.rolling_var[f] =
+                        BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * self.bn_var[f];
+                }
+                for f in 0..filters {
+                    inv_std[f] = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+                }
+                let mut xhat = std::mem::take(&mut self.bn_xhat);
+                xhat.resize(out_len, 0.0);
+                OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
+                let ep = GemmEpilogue::Normalize {
+                    mean: &self.bn_mean,
+                    inv_std: &inv_std,
+                    gamma: scales,
+                    beta: biases,
+                };
                 apply_epilogue_planes(
-                    0..planes, filters, ohw, &ep, act_fn,
+                    0..n * filters, filters, ohw, &ep, act_fn,
                     &mut pre_act, &mut xhat, output.as_mut_slice(),
                 );
-            } else {
-                struct BnJob<'a> {
-                    planes: std::ops::Range<usize>,
-                    raw: &'a mut [f32],
-                    xh: &'a mut [f32],
-                    out: &'a mut [f32],
-                }
-                let mut job_list = Vec::with_capacity(p_jobs);
-                let mut raw_rest = pre_act.as_mut_slice();
-                let mut xh_rest = xhat.as_mut_slice();
-                let mut out_rest = output.as_mut_slice();
-                for planes in chunk_ranges(planes, p_jobs) {
-                    let len = planes.len() * ohw;
-                    let (raw, rr) = raw_rest.split_at_mut(len);
-                    raw_rest = rr;
-                    let (xh, xr) = xh_rest.split_at_mut(len);
-                    xh_rest = xr;
-                    let (out_chunk, or) = out_rest.split_at_mut(len);
-                    out_rest = or;
-                    job_list.push(BnJob { planes, raw, xh, out: out_chunk });
-                }
-                par_map_mut(parallelism, &mut job_list, |_, job| {
-                    apply_epilogue_planes(
-                        job.planes.clone(), filters, ohw, &ep, act_fn,
-                        job.raw, job.xh, job.out,
-                    );
-                });
+                self.bn_xhat = xhat;
             }
+        } else {
+            // Graph path: enumerate every unit of work up front, wire
+            // the hazards as edges, enter the pool ONCE.
+            let tiles: Vec<std::ops::Range<usize>> =
+                chunk_ranges_capped_iter(n, 1, max_span).collect();
+            let nt = tiles.len();
+            // Double-buffered wide staging: tile t uses parity t % 2,
+            // so tile t+1 can im2col/GEMM while tile t's scatter
+            // drains. The first tile is the largest, so its footprint
+            // sizes the buffers.
+            let max_cols = tiles[0].len() * ohw;
+            let alt = if nt > 1 { 1 } else { 0 };
+            let mut cols_a = self.scratch.take("cols", ckk * max_cols);
+            let mut cols_b = self.scratch.take("cols_b", alt * ckk * max_cols);
+            let mut wide_a = self.scratch.take("out_wide", filters * max_cols);
+            let mut wide_b = self.scratch.take("out_wide_b", alt * filters * max_cols);
+
+            // BN batch-stat staging, taken out of `self` so graph
+            // nodes can fill it behind dependency edges.
+            let mut bn_mean_l = std::mem::take(&mut self.bn_mean);
+            let mut bn_var_l = std::mem::take(&mut self.bn_var);
+            let mut xhat = std::mem::take(&mut self.bn_xhat);
+            if bn_train {
+                bn_mean_l.resize(filters, 0.0);
+                bn_var_l.resize(filters, 0.0);
+                xhat.resize(out_len, 0.0);
+                OUTPUT_PASSES.fetch_add(1, Ordering::Relaxed);
+            }
+
+            enum FwdNode {
+                /// Rows of tile t's shared column matrix (pure gathers).
+                Cols { t: usize, rows: std::ops::Range<usize> },
+                /// Filter-row tile of tile t's ONE shared wide GEMM.
+                Gemm { t: usize, rows: std::ops::Range<usize> },
+                /// Canonical BN moment accumulation for one filter-row
+                /// group of tile t (chained tile-ascending per group).
+                Moments { t: usize, rows: std::ops::Range<usize> },
+                /// Scatter tile t back to sample-major planes: the
+                /// fused one-pass epilogue, or raw staging under
+                /// bn_train.
+                Scatter { t: usize, planes: std::ops::Range<usize> },
+                /// bn_train: finalize batch moments + 1/√(var+ε).
+                Finalize,
+                /// bn_train: deferred one-pass epilogue (global planes).
+                Epilogue { planes: std::ops::Range<usize> },
+            }
+
+            let mut nodes: Vec<FwdNode> = Vec::new();
+            let mut g = JobGraph::new();
+            let f_ranges = chunk_ranges(filters, jobs.min(filters));
+            let mut col_ids: Vec<Vec<NodeId>> = Vec::with_capacity(nt);
+            let mut gem_ids: Vec<Vec<NodeId>> = Vec::with_capacity(nt);
+            let mut mom_ids: Vec<Vec<NodeId>> = Vec::with_capacity(nt);
+            let mut sc_ids: Vec<Vec<NodeId>> = Vec::with_capacity(nt);
+            for (t, tile) in tiles.iter().enumerate() {
+                let span = tile.len();
+                // im2col may overwrite cols[t%2] once tile t-2's GEMM
+                // (that buffer's last reader) is done.
+                let mut deps: Vec<NodeId> = Vec::new();
+                if t >= 2 {
+                    deps.extend(&gem_ids[t - 2]);
+                }
+                let mut ids = Vec::new();
+                for rows in chunk_ranges(ckk, jobs.min(ckk)) {
+                    nodes.push(FwdNode::Cols { t, rows });
+                    ids.push(g.add(&deps));
+                }
+                col_ids.push(ids);
+                // The GEMM reads its whole column matrix, and may
+                // overwrite wide[t%2] once tile t-2's readers (scatter
+                // and, under bn_train, moments) are done.
+                let mut deps = col_ids[t].clone();
+                if t >= 2 {
+                    deps.extend(&sc_ids[t - 2]);
+                    deps.extend(&mom_ids[t - 2]);
+                }
+                let mut ids = Vec::new();
+                for rows in &f_ranges {
+                    nodes.push(FwdNode::Gemm { t, rows: rows.clone() });
+                    ids.push(g.add(&deps));
+                }
+                gem_ids.push(ids);
+                // Each filter group's moment chain ascends the tiles —
+                // node (t, g) depends on (t-1, g) — preserving the
+                // canonical accumulation order with no barrier.
+                let mut ids = Vec::new();
+                if bn_train {
+                    for (gi, rows) in f_ranges.iter().enumerate() {
+                        let mut deps = vec![gem_ids[t][gi]];
+                        if t >= 1 {
+                            deps.push(mom_ids[t - 1][gi]);
+                        }
+                        nodes.push(FwdNode::Moments { t, rows: rows.clone() });
+                        ids.push(g.add(&deps));
+                    }
+                }
+                mom_ids.push(ids);
+                let deps = gem_ids[t].clone();
+                let mut ids = Vec::new();
+                let tile_planes = span * filters;
+                for planes in chunk_ranges(tile_planes, jobs.min(tile_planes)) {
+                    nodes.push(FwdNode::Scatter { t, planes });
+                    ids.push(g.add(&deps));
+                }
+                sc_ids.push(ids);
+            }
+            if bn_train {
+                // The per-group chains make the last tile's moment
+                // nodes transitively order every accumulation before
+                // the finalize.
+                nodes.push(FwdNode::Finalize);
+                let fin = g.add(&mom_ids[nt - 1]);
+                let mut ep_deps = vec![fin];
+                for ids in &sc_ids {
+                    ep_deps.extend(ids);
+                }
+                let planes = n * filters;
+                for pr in chunk_ranges(planes, jobs.min(planes)) {
+                    nodes.push(FwdNode::Epilogue { planes: pr });
+                    g.add(&ep_deps);
+                }
+            }
+
+            let cols_ps = [PhasedSlice::new(&mut cols_a), PhasedSlice::new(&mut cols_b)];
+            let wide_ps = [PhasedSlice::new(&mut wide_a), PhasedSlice::new(&mut wide_b)];
+            let out_ps = PhasedSlice::new(output.as_mut_slice());
+            let pre_ps = PhasedSlice::new(&mut pre_act);
+            let acc_ps = PhasedSlice::new(&mut bn_acc);
+            let mean_ps = PhasedSlice::new(&mut bn_mean_l);
+            let var_ps = PhasedSlice::new(&mut bn_var_l);
+            let istd_ps = PhasedSlice::new(&mut inv_std);
+            let xhat_ps = PhasedSlice::new(&mut xhat);
+            let tiles_ref = &tiles;
+            let nodes_ref = &nodes;
+            let m = (n * ohw) as f32;
+
+            g.run(parallelism, |id| match &nodes_ref[id] {
+                FwdNode::Cols { t, rows } => {
+                    let tile = &tiles_ref[*t];
+                    let tile_cols = tile.len() * ohw;
+                    let dst =
+                        cols_ps[t % 2].chunk_mut(rows.start * tile_cols..rows.end * tile_cols);
+                    let tile_input = &in_data[tile.start * in_stride..tile.end * in_stride];
+                    im2col_batch_rows(
+                        tile_input, tile.len(), c, h, w, size, stride, pad, rows.clone(), dst,
+                    );
+                }
+                FwdNode::Gemm { t, rows } => {
+                    let tile = &tiles_ref[*t];
+                    let tile_cols = tile.len() * ohw;
+                    let c_tile =
+                        wide_ps[t % 2].chunk_mut(rows.start * tile_cols..rows.end * tile_cols);
+                    c_tile.fill(0.0);
+                    let cols = cols_ps[t % 2].chunk(0..ckk * tile_cols);
+                    gemm_row_tile(gemm, rows.clone(), tile_cols, ckk, weights, cols, c_tile);
+                }
+                FwdNode::Moments { t, rows } => {
+                    let tile = &tiles_ref[*t];
+                    let tile_cols = tile.len() * ohw;
+                    let c_tile =
+                        wide_ps[t % 2].chunk(rows.start * tile_cols..rows.end * tile_cols);
+                    let acc = acc_ps
+                        .chunk_mut(MOMENT_ACC_STRIDE * rows.start..MOMENT_ACC_STRIDE * rows.end);
+                    accumulate_wide_moments(c_tile, tile_cols, acc, *t == 0);
+                }
+                FwdNode::Scatter { t, planes } => {
+                    let tile = &tiles_ref[*t];
+                    let tile_cols = tile.len() * ohw;
+                    let wide = wide_ps[t % 2].chunk(0..filters * tile_cols);
+                    let base = tile.start * out_stride;
+                    let dst = base + planes.start * ohw..base + planes.end * ohw;
+                    let pre_chunk = pre_ps.chunk_mut(dst.clone());
+                    if bn_train {
+                        // Raw staging only — batch moments still pending.
+                        scatter_wide_planes(
+                            wide, tile_cols, filters, ohw, planes.clone(), pre_chunk,
+                        );
+                    } else {
+                        let ep = if batch_norm {
+                            GemmEpilogue::Normalize {
+                                mean: rolling_mean,
+                                inv_std: istd_ps.chunk(0..filters),
+                                gamma: scales,
+                                beta: biases,
+                            }
+                        } else {
+                            GemmEpilogue::Bias { biases }
+                        };
+                        scatter_wide_epilogue(
+                            wide, tile_cols, filters, ohw, planes.clone(), &ep, act_fn,
+                            out_ps.chunk_mut(dst), pre_chunk,
+                        );
+                    }
+                }
+                FwdNode::Finalize => {
+                    finalize_moments(
+                        acc_ps.chunk(0..MOMENT_ACC_STRIDE * filters),
+                        m,
+                        mean_ps.chunk_mut(0..filters),
+                        var_ps.chunk_mut(0..filters),
+                    );
+                    let istd = istd_ps.chunk_mut(0..filters);
+                    for (i, &v) in var_ps.chunk(0..filters).iter().enumerate() {
+                        istd[i] = 1.0 / (v + BN_EPS).sqrt();
+                    }
+                }
+                FwdNode::Epilogue { planes } => {
+                    let ep = GemmEpilogue::Normalize {
+                        mean: mean_ps.chunk(0..filters),
+                        inv_std: istd_ps.chunk(0..filters),
+                        gamma: scales,
+                        beta: biases,
+                    };
+                    let span = planes.start * ohw..planes.end * ohw;
+                    apply_epilogue_planes(
+                        planes.clone(), filters, ohw, &ep, act_fn,
+                        pre_ps.chunk_mut(span.clone()),
+                        xhat_ps.chunk_mut(span.clone()),
+                        out_ps.chunk_mut(span),
+                    );
+                }
+            });
+
+            if bn_train {
+                for f in 0..filters {
+                    self.rolling_mean[f] =
+                        BN_MOMENTUM * self.rolling_mean[f] + (1.0 - BN_MOMENTUM) * bn_mean_l[f];
+                    self.rolling_var[f] =
+                        BN_MOMENTUM * self.rolling_var[f] + (1.0 - BN_MOMENTUM) * bn_var_l[f];
+                }
+            }
+            self.bn_mean = bn_mean_l;
+            self.bn_var = bn_var_l;
             self.bn_xhat = xhat;
+            self.scratch.put_back("cols", cols_a);
+            self.scratch.put_back("cols_b", cols_b);
+            self.scratch.put_back("out_wide", wide_a);
+            self.scratch.put_back("out_wide_b", wide_b);
         }
 
         self.pre_activation = pre_act;
@@ -856,106 +988,185 @@ impl Layer for Conv2d {
         }
         let (c, h, w, _oh, _ow, ckk, ohw) = self.geometry();
         // Weight gradients run as a *standard* GEMM against the
-        // transposed column matrix (`dW += δ · colsT`): identical
-        // multiply/add sequence to the historical `gemm_a_bt` dot form,
-        // but with contiguous B rows the vectoriser can chew through.
+        // transposed column matrix (`dW = δ · colsT` per sample):
+        // identical multiply/add sequence to the historical `gemm_a_bt`
+        // dot form, but with contiguous B rows the vectoriser can chew
+        // through.
         let gemm = mode.gemm();
         let gemm_at_b = mode.gemm_at_b();
-
-        // δ ⊙ act'(pre-activation), staged in the layer arena. Taken out
-        // (not borrowed) so the per-job arenas can be borrowed alongside.
-        let mut delta_act = self.scratch.take("delta_act", delta.volume());
-        let act = self.activation;
-        for ((d, &v), &z) in
-            delta_act.iter_mut().zip(delta.as_slice()).zip(&self.pre_activation)
-        {
-            *d = v * act.gradient(z);
-        }
-
-        if self.batch_norm {
-            // β/γ gradients plus the delta transform back to the raw
-            // convolution output.
-            self.backward_batch_norm(&mut delta_act, n, ohw);
-        }
 
         let in_stride = c * h * w;
         let out_stride = self.filters * ohw;
         let dw_len = self.filters * ckk;
-        let mut input_delta = Tensor::zeros(&[n, c, h, w]);
-
-        let jobs = self.parallel_jobs(n);
-        self.ensure_workers(jobs.max(1));
         let (size, stride, pad, filters) = (self.size, self.stride, self.pad, self.filters);
         let batch_norm = self.batch_norm;
-        let weights = &self.weights;
+        let out_len = n * out_stride;
+
+        let jobs = self.parallel_jobs(n);
+        // Units are canonical-subtree sample ranges (`tree_ranges`):
+        // each unit's dw/db (and BN-sum) subtree total combines along
+        // the same fixed tree whatever the unit count, so the worker
+        // knob can never move a gradient bit. The sequential path is
+        // the one-unit degenerate case (whole range, no partition —
+        // and no allocation, preserving the steady-state gate).
+        let n_units = if jobs <= 1 { 1 } else { jobs.min(n) };
+        self.ensure_workers(n_units);
+
+        // Train-mode BN backward only exists when the forward cached
+        // batch statistics for this exact batch; otherwise (eval
+        // forward) the rolling stats are constants and the chain rule
+        // collapses to a per-filter scale fused into the delta sweep.
+        let bn_train_bwd = batch_norm && self.bn_xhat.len() == out_len;
+        let m = (n * ohw) as f32;
+
+        let mut eval_scale = self
+            .scratch
+            .take("bn_eval_scale", if batch_norm && !bn_train_bwd { filters } else { 0 });
+        for (f, k) in eval_scale.iter_mut().enumerate() {
+            *k = self.scales[f] / (self.rolling_var[f] + BN_EPS).sqrt();
+        }
+        let mut inv_std_bwd = self
+            .scratch
+            .take("bn_inv_std_bwd", if bn_train_bwd { filters } else { 0 });
+        for (f, v) in inv_std_bwd.iter_mut().enumerate() {
+            *v = 1.0 / (self.bn_var[f] + BN_EPS).sqrt();
+        }
+
+        // One `grad_w`-float row per unit — the unit's dw (plus db when
+        // not BN) subtree total. O(units·grad_w), replacing the
+        // historical span·dw_len per-sample staging.
+        let grad_w = dw_len + if batch_norm { 0 } else { filters };
+        let mut grad_parts = self.scratch.take("grad_parts", n_units * grad_w);
+        let mut bn_sums = self
+            .scratch
+            .take("bn_sums", if bn_train_bwd { n_units * 2 * filters } else { 0 });
+
+        let mut delta_act = self.scratch.take("delta_act", out_len);
+        let mut input_delta = Tensor::zeros(&[n, c, h, w]);
+
+        let act = self.activation;
+        let grad_fn = move |z: f32| act.gradient(z);
+        let delta_in = delta.as_slice();
+        let pre_act = &self.pre_activation;
+        let xhat = &self.bn_xhat;
         let last_input = &self.last_input;
-        let delta_act_ref = &delta_act;
+        let weights = &self.weights;
+        let scales = &self.scales;
+        let eval_scale_ref: Option<&[f32]> =
+            if batch_norm && !bn_train_bwd { Some(&eval_scale) } else { None };
+        let inv_std_ref = &inv_std_bwd[..];
 
-        // One job = one contiguous sample range. Weight/bias gradients
-        // are *staged per sample* (`dw`/`db` slices zeroed and filled
-        // from scratch), never accumulated inside the job and never
-        // fused into a wide GEMM — summing across samples is the one
-        // order-sensitive reduction, and the fixed-sample-order fold
-        // below is what keeps the gradient bits independent of both the
-        // worker count and the batching. The input-delta GEMM has no
-        // cross-sample sums, so it *does* run whole-range: one
-        // `Wᵀ · δ_wide` over a `filters × (span·ohw)` delta matrix, then
-        // one batched col2im scatter.
-        let run_range = |ws: &mut Scratch, range: std::ops::Range<usize>, id_chunk: &mut [f32]| {
+        // Pass 1 for one unit: the fused δ ⊙ act′(z) (+ eval-BN scale)
+        // sweep over the unit's planes, plus — under train-mode BN —
+        // the unit's canonical-subtree (Σdy, Σdy·x̂) reduction from
+        // per-sample leaves.
+        let delta_pass = |ws: &mut Scratch,
+                          range: &std::ops::Range<usize>,
+                          d_chunk: &mut [f32],
+                          sums_out: Option<&mut [f32]>| {
+            backward_delta_planes(
+                range.start * filters..range.end * filters,
+                filters,
+                ohw,
+                &delta_in[range.start * out_stride..range.end * out_stride],
+                &pre_act[range.start * out_stride..range.end * out_stride],
+                grad_fn,
+                eval_scale_ref,
+                d_chunk,
+            );
+            if let Some(out) = sums_out {
+                let mut levels = ws.take("bn_sum_levels", tree_levels(range.len()) * 2 * filters);
+                reduce_tree(
+                    range.clone(),
+                    2 * filters,
+                    &mut levels,
+                    &mut |s, row| {
+                        let local = (s - range.start) * out_stride;
+                        bn_backward_sums_sample(
+                            filters,
+                            ohw,
+                            &d_chunk[local..local + out_stride],
+                            &xhat[s * out_stride..(s + 1) * out_stride],
+                            row,
+                        );
+                    },
+                    out,
+                );
+                ws.put_back("bn_sum_levels", levels);
+            }
+        };
+
+        // Pass 2 for one unit: (train-BN) the fused delta transform,
+        // then the canonical dw(+db) subtree and the sub-tiled
+        // input-delta GEMM + batched col2im.
+        let heavy_pass = |ws: &mut Scratch,
+                          range: &std::ops::Range<usize>,
+                          d_chunk: &mut [f32],
+                          id_chunk: &mut [f32],
+                          grad_out: &mut [f32],
+                          sums: Option<&[f32]>| {
+            if let Some(sums) = sums {
+                bn_backward_transform_planes(
+                    range.start * filters..range.end * filters,
+                    filters,
+                    ohw,
+                    m,
+                    scales,
+                    inv_std_ref,
+                    sums,
+                    &xhat[range.start * out_stride..range.end * out_stride],
+                    d_chunk,
+                );
+            }
+            let d_chunk = &*d_chunk;
             let span = range.len();
-            let mut cols_t = ws.take("cols_t", ckk * ohw);
-            let mut dw = ws.take("dw", span * dw_len);
-            let mut db = ws.take("db", span * filters);
-            // The wide input-delta buffers are sub-tiled so they stay
-            // bounded by MAX_WIDE_COLS columns however large the range
-            // grows (the dw staging above is per-sample by design and
-            // cannot shrink). Sub-tile boundaries don't touch any
-            // addition chain: the input-delta GEMM is per-sample-column.
-            let max_span = (MAX_WIDE_COLS / ohw).max(1);
-            for sub in chunk_ranges_capped_iter(span, 1, max_span) {
-                let sub_cols = sub.len() * ohw;
-                let mut delta_wide = ws.take("delta_wide", filters * sub_cols);
-                for (sub_local, local) in sub.clone().enumerate() {
-                    let s = range.start + local;
-                    let d_slice = &delta_act_ref[s * out_stride..(s + 1) * out_stride];
 
-                    // Bias gradient staging: per-filter delta sums (BN
-                    // layers fold the shift into β, already handled
-                    // above).
+            // Canonical dw/db subtree: each leaf overwrites one row
+            // with one sample's gradients, pairwise-combined in the
+            // fixed tree order — O(log span)·grad_w staging.
+            let mut cols_t = ws.take("cols_t", ckk * ohw);
+            let mut levels = ws.take("grad_levels", tree_levels(span) * grad_w);
+            reduce_tree(
+                range.clone(),
+                grad_w,
+                &mut levels,
+                &mut |s, row| {
+                    let d_slice = &d_chunk[(s - range.start) * out_stride..][..out_stride];
+                    let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
+                    im2col_transposed(in_slice, c, h, w, size, stride, pad, &mut cols_t);
+                    let (dw_row, db_row) = row.split_at_mut(dw_len);
+                    dw_row.fill(0.0);
+                    gemm(filters, ckk, ohw, d_slice, &cols_t, dw_row);
                     if !batch_norm {
                         for f in 0..filters {
                             let mut acc = 0.0f32;
                             for &v in &d_slice[f * ohw..(f + 1) * ohw] {
                                 acc += v;
                             }
-                            db[local * filters + f] = acc;
+                            db_row[f] = acc;
                         }
                     }
+                },
+                grad_out,
+            );
+            ws.put_back("grad_levels", levels);
+            ws.put_back("cols_t", cols_t);
 
-                    // Weight gradient staging: δ · colsᵀ, expressed as
-                    // the standard GEMM `δ (filters×ohw) · colsT
-                    // (ohw×ckk)` into this sample's zeroed dw slice.
-                    // Re-derives the columns (transposed) as Darknet
-                    // does.
-                    let in_slice = &last_input[s * in_stride..(s + 1) * in_stride];
-                    im2col_transposed(in_slice, c, h, w, size, stride, pad, &mut cols_t);
-                    let dw_slice = &mut dw[local * dw_len..(local + 1) * dw_len];
-                    dw_slice.fill(0.0);
-                    gemm(filters, ckk, ohw, d_slice, &cols_t, dw_slice);
-
-                    // Stage this sample's delta into the wide
-                    // filter-major layout the sub-tile input-delta GEMM
-                    // consumes.
+            // Input delta: Wᵀ · δ_wide per sub-tile (bounded by
+            // MAX_WIDE_COLS), scattered back through the batched
+            // col2im. No cross-sample sums — per-sample chains,
+            // bit-identical to per-sample GEMMs.
+            let max_span = (MAX_WIDE_COLS / ohw).max(1);
+            for sub in chunk_ranges_capped_iter(span, 1, max_span) {
+                let sub_cols = sub.len() * ohw;
+                let mut delta_wide = ws.take("delta_wide", filters * sub_cols);
+                for (sub_local, local) in sub.clone().enumerate() {
+                    let d_slice = &d_chunk[local * out_stride..(local + 1) * out_stride];
                     for f in 0..filters {
                         delta_wide[f * sub_cols + sub_local * ohw..][..ohw]
                             .copy_from_slice(&d_slice[f * ohw..(f + 1) * ohw]);
                     }
                 }
-
-                // Input delta for the sub-tile: Wᵀ · δ_wide in one GEMM
-                // (each column is one sample position — per-sample
-                // chains, bit-identical to per-sample GEMMs), scattered
-                // back through the batched col2im.
                 let mut col_delta = ws.take_zeroed("col_delta", ckk * sub_cols);
                 gemm_at_b(ckk, sub_cols, filters, weights, &delta_wide, &mut col_delta);
                 col2im_batch(
@@ -965,62 +1176,142 @@ impl Layer for Conv2d {
                 ws.put_back("col_delta", col_delta);
                 ws.put_back("delta_wide", delta_wide);
             }
-
-            ws.put_back("cols_t", cols_t);
-            ws.put_back("dw", dw);
-            ws.put_back("db", db);
         };
 
-        if jobs <= 1 {
-            run_range(&mut self.workers[0], 0..n, input_delta.as_mut_slice());
-            reduce_staged(
-                &mut self.workers[0],
-                n,
-                dw_len,
-                filters,
-                batch_norm,
-                &mut self.weight_updates,
-                &mut self.bias_updates,
+        if n_units <= 1 {
+            // Sequential: both passes inline on workspace 0. The tree
+            // shapes are identical to the partitioned run by
+            // construction, so this is the bit-reference for every
+            // worker count.
+            let range = 0..n;
+            let ws = &mut self.workers[0];
+            let sums_out = if bn_train_bwd { Some(&mut bn_sums[..]) } else { None };
+            delta_pass(&mut *ws, &range, &mut delta_act, sums_out);
+            let sums = if bn_train_bwd { Some(&bn_sums[..2 * filters]) } else { None };
+            heavy_pass(
+                ws,
+                &range,
+                &mut delta_act,
+                input_delta.as_mut_slice(),
+                &mut grad_parts[..grad_w],
+                sums,
             );
         } else {
-            struct BwdJob<'a> {
-                range: std::ops::Range<usize>,
-                id: &'a mut [f32],
-                ws: &'a mut Scratch,
+            // Graph path: per-unit pass-1 nodes; under train-BN a join
+            // node combines the (Σdy, Σdy·x̂) subtrees along the
+            // canonical tree, then per-unit pass-2 nodes consume the
+            // totals — ONE pool entry for the whole backward, no
+            // full-pool barrier between the phases.
+            let units = tree_ranges(n, jobs);
+            debug_assert_eq!(units.len(), n_units);
+            let units_ref = &units;
+
+            enum BwdNode {
+                Unit(usize),
+                Phase1(usize),
+                Join,
+                Phase2(usize),
             }
-            let ranges = chunk_ranges(n, jobs);
-            let mut job_list = Vec::with_capacity(ranges.len());
-            let mut id_rest = input_delta.as_mut_slice();
-            let mut ws_iter = self.workers.iter_mut();
-            for range in &ranges {
-                let (id_chunk, rest) = id_rest.split_at_mut(range.len() * in_stride);
-                id_rest = rest;
-                let ws = ws_iter.next().expect("ensure_workers sized the pool");
-                job_list.push(BwdJob { range: range.clone(), id: id_chunk, ws });
+            let mut nodes: Vec<BwdNode> = Vec::new();
+            let mut g = JobGraph::new();
+            if bn_train_bwd {
+                let mut p1 = Vec::with_capacity(n_units);
+                for u in 0..n_units {
+                    nodes.push(BwdNode::Phase1(u));
+                    p1.push(g.add(&[]));
+                }
+                nodes.push(BwdNode::Join);
+                let join = g.add(&p1);
+                for u in 0..n_units {
+                    nodes.push(BwdNode::Phase2(u));
+                    g.add(&[join]);
+                }
+            } else {
+                for u in 0..n_units {
+                    nodes.push(BwdNode::Unit(u));
+                    g.add(&[]);
+                }
             }
-            par_map_mut(self.parallelism, &mut job_list, |_, job| {
-                run_range(job.ws, job.range.clone(), job.id);
+
+            let worker_cells: Vec<Mutex<&mut Scratch>> =
+                self.workers.iter_mut().take(n_units).map(Mutex::new).collect();
+            let da_ps = PhasedSlice::new(&mut delta_act);
+            let id_ps = PhasedSlice::new(input_delta.as_mut_slice());
+            let gp_ps = PhasedSlice::new(&mut grad_parts);
+            let sums_ps = PhasedSlice::new(&mut bn_sums);
+            let nodes_ref = &nodes;
+
+            g.run(self.parallelism, |id| match &nodes_ref[id] {
+                BwdNode::Unit(u) => {
+                    let mut guard = worker_cells[*u].lock().unwrap();
+                    let ws: &mut Scratch = &mut guard;
+                    let range = &units_ref[*u];
+                    let d_chunk =
+                        da_ps.chunk_mut(range.start * out_stride..range.end * out_stride);
+                    delta_pass(&mut *ws, range, &mut *d_chunk, None);
+                    let id_chunk =
+                        id_ps.chunk_mut(range.start * in_stride..range.end * in_stride);
+                    let grad_out = gp_ps.chunk_mut(*u * grad_w..(*u + 1) * grad_w);
+                    heavy_pass(ws, range, d_chunk, id_chunk, grad_out, None);
+                }
+                BwdNode::Phase1(u) => {
+                    let mut guard = worker_cells[*u].lock().unwrap();
+                    let ws: &mut Scratch = &mut guard;
+                    let range = &units_ref[*u];
+                    let d_chunk =
+                        da_ps.chunk_mut(range.start * out_stride..range.end * out_stride);
+                    let sums_row = sums_ps.chunk_mut(2 * filters * u..2 * filters * (u + 1));
+                    delta_pass(ws, range, d_chunk, Some(sums_row));
+                }
+                BwdNode::Join => {
+                    let parts = sums_ps.chunk_mut(0..units_ref.len() * 2 * filters);
+                    combine_tree_parts(units_ref, 2 * filters, parts);
+                }
+                BwdNode::Phase2(u) => {
+                    let mut guard = worker_cells[*u].lock().unwrap();
+                    let ws: &mut Scratch = &mut guard;
+                    let range = &units_ref[*u];
+                    let d_chunk =
+                        da_ps.chunk_mut(range.start * out_stride..range.end * out_stride);
+                    let id_chunk =
+                        id_ps.chunk_mut(range.start * in_stride..range.end * in_stride);
+                    let grad_out = gp_ps.chunk_mut(*u * grad_w..(*u + 1) * grad_w);
+                    let sums = sums_ps.chunk(0..2 * filters);
+                    heavy_pass(ws, range, d_chunk, id_chunk, grad_out, Some(sums));
+                }
             });
-            // Sequential reduction in ascending sample order — the only
-            // place gradients are summed across samples, and therefore
-            // the only ordering that matters for worker-count
-            // invariance. Ranges are contiguous and ascending, so this
-            // fold performs the same additions in the same order as the
-            // single-job path above.
-            for (job, range) in ranges.into_iter().enumerate() {
-                reduce_staged(
-                    &mut self.workers[job],
-                    range.len(),
-                    dw_len,
-                    filters,
-                    batch_norm,
-                    &mut self.weight_updates,
-                    &mut self.bias_updates,
-                );
+
+            // Combine the per-unit dw/db subtree totals along the
+            // canonical tree: row 0 becomes the whole-batch total, with
+            // exactly the additions the one-unit reduction performs.
+            combine_tree_parts(&units, grad_w, &mut grad_parts);
+        }
+
+        // Fold the canonical-tree totals into the persistent
+        // accumulators — ONE addition per element, identical for every
+        // unit count.
+        for (wu, g) in self.weight_updates.iter_mut().zip(&grad_parts[..dw_len]) {
+            *wu += g;
+        }
+        if !batch_norm {
+            for f in 0..filters {
+                self.bias_updates[f] += grad_parts[dw_len + f];
+            }
+        }
+        if bn_train_bwd {
+            // β/γ gradients are the combined batch sums (row 0 after
+            // the join / single-unit reduction).
+            for f in 0..filters {
+                self.bias_updates[f] += bn_sums[2 * f];
+                self.scale_updates[f] += bn_sums[2 * f + 1];
             }
         }
 
         self.scratch.put_back("delta_act", delta_act);
+        self.scratch.put_back("grad_parts", grad_parts);
+        self.scratch.put_back("bn_sums", bn_sums);
+        self.scratch.put_back("bn_eval_scale", eval_scale);
+        self.scratch.put_back("bn_inv_std_bwd", inv_std_bwd);
         let flops = 2 * n as u64 * self.flops_per_sample();
         Ok((input_delta, flops))
     }

@@ -7,7 +7,7 @@
 //! row-tiled shared wide GEMM, the fused epilogue scatter, the
 //! **canonical batch-norm moment order** (two BN layers here, so the
 //! fused single-pass statistics are exercised at depth), the parallel
-//! pooling layers and the fixed-order gradient reductions — not just
+//! pooling layers and the canonical-tree dw/db reductions — not just
 //! through unit kernels. A batch-1 eval gate pins the row-tiled
 //! inference path the same way.
 
@@ -66,6 +66,39 @@ fn full_train_batch_bit_identical_at_1_2_4_8_workers() {
             assert_eq!(
                 params1, paramsw,
                 "weights must be bit-identical at {workers} workers ({mode:?})"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_reduced_gradients_bit_identical_at_odd_batch_sizes() {
+    // The dw/db (and BN backward-sum) reductions run along a canonical
+    // fixed-shape binary tree over the sample span; every worker count
+    // reduces a different `tree_ranges` partition of that span and joins
+    // the partials along the same tree. Odd, non-power-of-two batch
+    // sizes give the tree its most lopsided shapes, and batch 1 the
+    // degenerate single-leaf reduction; none of it may move a bit of
+    // the trajectory.
+    let run = |workers: usize, mode: KernelMode| {
+        let mut net = net(555);
+        net.set_parallelism(Parallelism::new(workers));
+        let hyper = Hyper { learning_rate: 0.05, momentum: 0.9, decay: 0.0001 };
+        let mut steps = Vec::new();
+        for (step, n) in [13usize, 1, 5, 9].into_iter().enumerate() {
+            let (images, labels) = batch(n, step as u64);
+            let (loss, flops) = net.train_batch(&images, &labels, &hyper, mode).unwrap();
+            steps.push((loss.to_bits(), flops));
+        }
+        (steps, net.export_params())
+    };
+    for mode in [KernelMode::Native, KernelMode::Strict] {
+        let reference = run(1, mode);
+        for workers in [2, 4, 8] {
+            assert_eq!(
+                run(workers, mode),
+                reference,
+                "tree-reduced gradients must be bit-identical at {workers} workers ({mode:?})"
             );
         }
     }

@@ -5,7 +5,10 @@
 //!
 //! This is deliberately the only test in this binary: the spawn counter
 //! is process-global, and a sibling test growing the pool for its own
-//! batches would make a zero-delta assertion racy.
+//! batches would make a zero-delta assertion racy. `ci.sh` enforces the
+//! convention structurally (it counts test markers in this file and
+//! fails the run on more than one) — if you need another spawn-count
+//! assertion, give it its own integration-test binary.
 
 use caltrain_nn::{Activation, Hyper, KernelMode, NetworkBuilder, Parallelism};
 use caltrain_tensor::Tensor;

@@ -1,0 +1,470 @@
+//! Per-call job graphs: one pool fan-out, dependency-gated phases.
+//!
+//! # Why a graph
+//!
+//! Through PR 5 a conv layer call ran each internal phase (im2col, GEMM
+//! row tiles, epilogue scatter) as its *own* `broadcast` — three
+//! pool-synchronised barriers per call, so every worker waited for the
+//! slowest worker of every phase even though only *its own tile's*
+//! inputs mattered. A [`JobGraph`] replaces the per-phase barriers with
+//! explicit dependency edges: the caller declares nodes up front, wires
+//! each node to the nodes whose output it reads, and [`JobGraph::run`]
+//! executes the whole graph under a **single** `broadcast` — one
+//! [`pool::phase_handoffs`] tick per layer
+//! call instead of one per phase. A worker that finishes its GEMM tile
+//! moves straight on to any ready scatter node; it never waits for the
+//! rest of the pool.
+//!
+//! # Execution model
+//!
+//! Nodes are identified by insertion order, and every dependency must
+//! already exist when [`JobGraph::add`] is called — insertion order is
+//! therefore a topological order, which is also exactly the order the
+//! sequential path runs (see Determinism). `run` seeds a ready queue
+//! with the dependency-free nodes and fans out once on the persistent
+//! pool; each slot loops { pop ready node, run it, decrement its
+//! dependents' pending counts, push newly-ready nodes }. Slots park on
+//! a graph-local condvar only when the ready queue is empty *and* the
+//! graph is unfinished — i.e. when their remaining work genuinely
+//! depends on another worker's in-flight node.
+//!
+//! The single `broadcast` keeps the helping-waiter deadlock story
+//! intact: the *pool-level* nesting (a graph running inside a hub
+//! worker's job) still drains the global queue while it waits, and the
+//! graph itself never blocks a slot on anything but the graph condvar,
+//! which completion always signals.
+//!
+//! # Determinism
+//!
+//! Which worker runs which node — and in what interleaving — is a race,
+//! exactly like the pool's job queue. The contract is the same one the
+//! rest of the runtime has: **no numeric call site may let scheduling
+//! order reach the arithmetic.** Graph callers partition output buffers
+//! statically per node and do any cross-node reduction either in a
+//! dedicated join node or sequentially after `run` returns, in a fixed
+//! order (the conv layer reduces dw along a canonical binary tree, see
+//! `caltrain-tensor`'s `tree` module). Under that contract a graph run
+//! is bit-identical at 1/2/4/8 workers, and bit-identical to running
+//! the nodes sequentially in insertion order — which is precisely what
+//! `run` does when handed a sequential [`Parallelism`] (zero handoffs).
+//!
+//! # Panics
+//!
+//! A panic inside a node poisons the graph: the failing slot records
+//! the payload, wakes every parked slot, and all slots exit without
+//! claiming further nodes. The payload resumes on the caller after the
+//! pool join, so a panicking graph neither deadlocks sibling slots nor
+//! leaks the broadcast barrier.
+
+use std::collections::VecDeque;
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::{pool, Parallelism};
+
+/// Handle to a node in a [`JobGraph`], returned by [`JobGraph::add`]
+/// and passed back as the dependency edges of later nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// The node's index: its insertion order, which is also the
+    /// argument `run` passes to the node body closure.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Build-time per-node bookkeeping: how many dependencies gate it and
+/// which later nodes it gates in turn.
+struct Node {
+    deps: usize,
+    dependents: Vec<usize>,
+}
+
+/// A dependency graph of jobs executed with **one** pool fan-out.
+///
+/// Typical shape (the conv forward pipeline):
+///
+/// ```
+/// use caltrain_runtime::{graph::JobGraph, Parallelism};
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+///
+/// let mut g = JobGraph::new();
+/// let a = g.add(&[]); // phase 1, tile A
+/// let b = g.add(&[]); // phase 1, tile B
+/// let c = g.add(&[a, b]); // phase 2 joins both tiles
+/// let ran = AtomicUsize::new(0);
+/// g.run(Parallelism::new(4), |id| {
+///     // `id` is the insertion index: 0 for `a`, 1 for `b`, 2 for `c`.
+///     if id == c.index() {
+///         assert_eq!(ran.load(Ordering::SeqCst), 2);
+///     }
+///     ran.fetch_add(1, Ordering::SeqCst);
+/// });
+/// assert_eq!(ran.into_inner(), 3);
+/// ```
+#[derive(Default)]
+pub struct JobGraph {
+    nodes: Vec<Node>,
+}
+
+impl JobGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        JobGraph::default()
+    }
+
+    /// Adds a node gated on `deps` (each from an earlier `add` on this
+    /// graph) and returns its id. Duplicate dependencies are counted
+    /// once. Insertion order is the topological order the sequential
+    /// path executes.
+    pub fn add(&mut self, deps: &[NodeId]) -> NodeId {
+        let id = self.nodes.len();
+        let mut uniq: Vec<usize> = deps.iter().map(|d| d.0).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &dep in &uniq {
+            assert!(dep < id, "dependency on a node not yet added");
+            self.nodes[dep].dependents.push(id);
+        }
+        self.nodes.push(Node { deps: uniq.len(), dependents: Vec::new() });
+        NodeId(id)
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Executes every node exactly once, respecting dependency edges,
+    /// and returns when all have finished.
+    ///
+    /// Sequential parallelism (or a single-node graph) runs the nodes
+    /// inline in insertion order without touching the pool — zero
+    /// phase handoffs. Otherwise the graph fans out **once** on the
+    /// persistent pool (one handoff) with at most
+    /// `parallelism.workers()` slots, capped by the node count.
+    ///
+    /// # Panics
+    ///
+    /// The first panic raised inside a node resumes on the caller after
+    /// every slot has exited; remaining unclaimed nodes do not run.
+    pub fn run<F: Fn(usize) + Sync>(self, parallelism: Parallelism, f: F) {
+        let total = self.nodes.len();
+        if total == 0 {
+            return;
+        }
+        let slots = parallelism.workers().min(total);
+        if slots <= 1 {
+            // Insertion order is a topological order by construction.
+            for id in 0..total {
+                f(id);
+            }
+            return;
+        }
+
+        let pending: Vec<AtomicUsize> =
+            self.nodes.iter().map(|n| AtomicUsize::new(n.deps)).collect();
+        let mut seed = VecDeque::new();
+        for (id, node) in self.nodes.iter().enumerate() {
+            if node.deps == 0 {
+                seed.push_back(id);
+            }
+        }
+        let state = RunState {
+            nodes: &self.nodes,
+            pending,
+            ready: Mutex::new(seed),
+            ready_cv: Condvar::new(),
+            completed: AtomicUsize::new(0),
+            total,
+            aborted: AtomicBool::new(false),
+            panic: Mutex::new(None),
+        };
+
+        pool::broadcast(slots, &|_slot| state.work(&f));
+
+        if let Some(payload) = state.panic.lock().take() {
+            panic::resume_unwind(payload);
+        }
+        debug_assert_eq!(state.completed.load(Ordering::Acquire), total);
+    }
+}
+
+/// Shared state of one `run` fan-out.
+struct RunState<'g> {
+    nodes: &'g [Node],
+    pending: Vec<AtomicUsize>,
+    ready: Mutex<VecDeque<usize>>,
+    ready_cv: Condvar,
+    completed: AtomicUsize,
+    total: usize,
+    aborted: AtomicBool,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl RunState<'_> {
+    /// True once every node has completed or a node has panicked —
+    /// either way, slots must exit.
+    fn finished(&self) -> bool {
+        self.aborted.load(Ordering::Acquire)
+            || self.completed.load(Ordering::Acquire) == self.total
+    }
+
+    /// One slot's worker loop: claim ready nodes until the graph is
+    /// finished, parking on the graph condvar while nothing is ready.
+    fn work<F: Fn(usize)>(&self, f: &F) {
+        loop {
+            let id = {
+                let mut ready = self.ready.lock();
+                loop {
+                    if self.finished() {
+                        return;
+                    }
+                    if let Some(id) = ready.pop_front() {
+                        break id;
+                    }
+                    ready = self.ready_cv.wait(ready);
+                }
+            };
+
+            if let Err(payload) = panic::catch_unwind(AssertUnwindSafe(|| f(id))) {
+                self.panic.lock().get_or_insert(payload);
+                self.aborted.store(true, Ordering::Release);
+                let _guard = self.ready.lock();
+                self.ready_cv.notify_all();
+                return;
+            }
+
+            // Release dependents; push the newly-ready under one lock
+            // so a wave of completions wakes the pool once, not N times.
+            let mut newly_ready: Vec<usize> = Vec::new();
+            for &dep in &self.nodes[id].dependents {
+                if self.pending[dep].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    newly_ready.push(dep);
+                }
+            }
+            let done = self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.total;
+            if !newly_ready.is_empty() || done {
+                let mut ready = self.ready.lock();
+                ready.extend(newly_ready);
+                self.ready_cv.notify_all();
+            }
+        }
+    }
+}
+
+/// A staging buffer shared across the nodes of one [`JobGraph`] run.
+///
+/// Graph nodes routinely hand written ranges of one flat `f32` buffer
+/// to downstream nodes: im2col rows feed a GEMM, GEMM tiles feed the
+/// scatter. Rust cannot express "disjoint `&mut` chunks handed out
+/// dynamically across threads, with reads ordered by dependency edges"
+/// as safe borrows, so `PhasedSlice` erases the borrow at the graph
+/// boundary — the same single-point lifetime/aliasing erasure the pool
+/// does for job closures.
+///
+/// # Contract (checked by the caller's graph edges, not the compiler)
+///
+/// - Two nodes that may run concurrently must touch **disjoint** ranges
+///   when either writes ([`Self::chunk_mut`]).
+/// - A node reading a range ([`Self::chunk`]) must be a (transitive)
+///   dependent of every node that writes it; the graph's ready-queue
+///   mutex provides the release/acquire edge that makes those writes
+///   visible.
+///
+/// Range bounds are checked; overlap across nodes is not (it cannot be,
+/// node-locally) — which is why every `PhasedSlice` use in this
+/// workspace lives next to the graph wiring that justifies it.
+pub struct PhasedSlice<'a> {
+    ptr: *mut f32,
+    len: usize,
+    _borrow: PhantomData<&'a mut [f32]>,
+}
+
+// SAFETY: the pointee is a caller-owned `&mut [f32]` that outlives the
+// graph run (lifetime `'a` pins it), and the disjointness/ordering
+// contract above is what makes concurrent chunk access race-free.
+#[allow(unsafe_code)]
+unsafe impl Send for PhasedSlice<'_> {}
+#[allow(unsafe_code)]
+unsafe impl Sync for PhasedSlice<'_> {}
+
+impl<'a> PhasedSlice<'a> {
+    /// Wraps a buffer for the duration of a graph run.
+    pub fn new(slice: &'a mut [f32]) -> Self {
+        PhasedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            _borrow: PhantomData,
+        }
+    }
+
+    /// Total buffer length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty buffer.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Mutable access to `range`, for the node that owns (writes) it.
+    /// See the type-level contract; bounds are checked here.
+    #[allow(clippy::mut_from_ref)]
+    pub fn chunk_mut(&self, range: Range<usize>) -> &mut [f32] {
+        assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: in-bounds by the assert; aliasing excluded by the
+        // caller's dependency edges (type-level contract).
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts_mut(self.ptr.add(range.start), range.len())
+        }
+    }
+
+    /// Shared read access to `range`, for nodes downstream of every
+    /// writer of that range.
+    pub fn chunk(&self, range: Range<usize>) -> &[f32] {
+        assert!(range.start <= range.end && range.end <= self.len);
+        // SAFETY: in-bounds by the assert; no concurrent writer by the
+        // caller's dependency edges (type-level contract).
+        #[allow(unsafe_code)]
+        unsafe {
+            std::slice::from_raw_parts(self.ptr.add(range.start), range.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    /// A diamond graph must observe both middle nodes before the join,
+    /// at any worker count.
+    #[test]
+    fn diamond_respects_dependencies() {
+        for workers in [1, 2, 4, 8] {
+            let mut g = JobGraph::new();
+            let a = g.add(&[]);
+            let b = g.add(&[a]);
+            let c = g.add(&[a]);
+            let d = g.add(&[b, c]);
+            let done = [(); 4].map(|_| AtomicUsize::new(0));
+            g.run(Parallelism::new(workers), |id| {
+                if id == d.index() {
+                    assert_eq!(done[b.index()].load(Ordering::SeqCst), 1);
+                    assert_eq!(done[c.index()].load(Ordering::SeqCst), 1);
+                }
+                if id != a.index() {
+                    assert_eq!(done[a.index()].load(Ordering::SeqCst), 1);
+                }
+                done[id].fetch_add(1, Ordering::SeqCst);
+            });
+            assert!(done.iter().all(|d| d.load(Ordering::SeqCst) == 1));
+        }
+    }
+
+    /// Every node runs exactly once even with far more nodes than
+    /// workers and a long chain forcing slots to park and re-wake.
+    #[test]
+    fn wide_and_chained_nodes_all_run_once() {
+        let mut g = JobGraph::new();
+        let mut prev: Option<NodeId> = None;
+        let mut ids = Vec::new();
+        for i in 0..64 {
+            // Alternate free nodes and a serial chain through them.
+            let id = match (i % 2, prev) {
+                (0, _) => g.add(&[]),
+                (_, Some(p)) => g.add(&[p]),
+                (_, None) => g.add(&[]),
+            };
+            prev = Some(id);
+            ids.push(id);
+        }
+        let counts: Vec<AtomicUsize> = (0..64).map(|_| AtomicUsize::new(0)).collect();
+        g.run(Parallelism::new(4), |id| {
+            counts[id].fetch_add(1, Ordering::SeqCst);
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::SeqCst) == 1));
+    }
+
+    /// One graph run = one phase handoff, regardless of node count;
+    /// sequential runs cost zero.
+    #[test]
+    fn one_handoff_per_parallel_run() {
+        let mut g = JobGraph::new();
+        for _ in 0..16 {
+            g.add(&[]);
+        }
+        let before = pool::phase_handoffs();
+        g.run(Parallelism::new(4), |_| {});
+        assert_eq!(pool::phase_handoffs() - before, 1);
+
+        let mut g = JobGraph::new();
+        for _ in 0..16 {
+            g.add(&[]);
+        }
+        let before = pool::phase_handoffs();
+        g.run(Parallelism::sequential(), |_| {});
+        assert_eq!(pool::phase_handoffs() - before, 0);
+    }
+
+    /// A panicking node propagates to the caller without wedging the
+    /// other slots (they all exit and the broadcast joins).
+    #[test]
+    fn node_panic_propagates_without_deadlock() {
+        let mut g = JobGraph::new();
+        let a = g.add(&[]);
+        g.add(&[]);
+        g.add(&[a]);
+        let result = panic::catch_unwind(AssertUnwindSafe(|| {
+            g.run(Parallelism::new(4), |id| {
+                if id == a.index() {
+                    panic!("boom in node");
+                }
+            });
+        }));
+        assert!(result.is_err());
+    }
+
+    /// PhasedSlice hands out the ranges the graph protocol promises.
+    #[test]
+    fn phased_slice_chunks_round_trip() {
+        let mut buf = vec![0.0f32; 8];
+        {
+            let ps = PhasedSlice::new(&mut buf);
+            ps.chunk_mut(0..4).copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+            ps.chunk_mut(4..8).copy_from_slice(&[5.0, 6.0, 7.0, 8.0]);
+            assert_eq!(ps.chunk(2..6), &[3.0, 4.0, 5.0, 6.0]);
+        }
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+    }
+
+    /// Nested use: graph nodes may themselves broadcast (helping-waiter
+    /// property carries over).
+    #[test]
+    fn graph_inside_pool_job_does_not_deadlock() {
+        let hits = AtomicUsize::new(0);
+        crate::par_map(Parallelism::new(2), &[0, 1], |_, _| {
+            let mut g = JobGraph::new();
+            let a = g.add(&[]);
+            g.add(&[a]);
+            g.run(Parallelism::new(2), |_| {
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 4);
+    }
+}

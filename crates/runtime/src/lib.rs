@@ -42,6 +42,7 @@
 #![deny(unsafe_code)] // the one exception is the lifetime erasure in `pool`
 #![warn(missing_docs)]
 
+pub mod graph;
 pub mod pool;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -402,6 +403,56 @@ mod tests {
         assert_eq!(chunk_ranges_capped(100, 2, 10).len(), 10);
         // Uncapped behaviour matches chunk_ranges exactly.
         assert_eq!(chunk_ranges_capped(17, 4, usize::MAX), chunk_ranges(17, 4));
+    }
+
+    /// Edge cases for the iterator partition forms: zero-length spans,
+    /// a cap smaller than one "row" of work, and more workers than
+    /// items. All of them must agree with the uncapped [`chunk_ranges`]
+    /// partition (iterator forms are documented as identical to the
+    /// `Vec` forms, and an inactive cap must change nothing).
+    #[test]
+    fn chunk_iter_edge_cases_agree_with_uncapped_vec_form() {
+        // Zero-length span: no ranges from any form, any knob.
+        for parts in [1usize, 2, 8] {
+            assert_eq!(chunk_ranges_iter(0, parts).count(), 0);
+            assert_eq!(chunk_ranges_capped_iter(0, parts, 1).count(), 0);
+            assert_eq!(chunk_ranges(0, parts), Vec::new());
+        }
+
+        // Cap smaller than one row (cap = 1): every item becomes its own
+        // range — exactly the uncapped partition at parts = len.
+        for len in [1usize, 2, 7, 16] {
+            for parts in [1usize, 3, 8] {
+                let capped: Vec<_> = chunk_ranges_capped_iter(len, parts, 1).collect();
+                assert_eq!(capped, chunk_ranges(len, len), "len={len} parts={parts}");
+                assert!(capped.iter().all(|r| r.len() == 1));
+            }
+        }
+
+        // Workers > items: never more ranges than items, never empty
+        // ranges, and iter == Vec == capped-with-inactive-cap.
+        for len in [0usize, 1, 2, 5] {
+            for parts in [7usize, 64, 1000] {
+                let base = chunk_ranges(len, parts);
+                let from_iter: Vec<_> = chunk_ranges_iter(len, parts).collect();
+                let capped: Vec<_> =
+                    chunk_ranges_capped_iter(len, parts, usize::MAX).collect();
+                assert_eq!(from_iter, base);
+                assert_eq!(capped, base);
+                assert_eq!(base.len(), len.min(parts));
+                assert!(base.iter().all(|r| !r.is_empty()));
+            }
+        }
+
+        // General agreement sweep: capped iter with the cap inactive is
+        // bit-for-bit the uncapped partition.
+        for len in [1usize, 9, 33, 128] {
+            for parts in [1usize, 2, 5, 16] {
+                let cap = len; // cap == len can never split further
+                let capped: Vec<_> = chunk_ranges_capped_iter(len, parts, cap).collect();
+                assert_eq!(capped, chunk_ranges(len, parts));
+            }
+        }
     }
 
     #[test]

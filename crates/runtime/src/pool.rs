@@ -81,6 +81,10 @@ struct PoolShared {
     /// Serialises growth decisions so two callers cannot both spawn for
     /// the same deficit.
     grow_lock: Mutex<()>,
+    /// Pool-synchronised fan-out/join barriers ever executed (one per
+    /// `broadcast` that actually touched the queue). See
+    /// [`phase_handoffs`].
+    handoffs: AtomicUsize,
 }
 
 /// Per-[`broadcast`] completion state shared between the caller and the
@@ -142,6 +146,7 @@ fn shared() -> &'static Arc<PoolShared> {
             outstanding: AtomicUsize::new(0),
             spawned: AtomicUsize::new(0),
             grow_lock: Mutex::new(()),
+            handoffs: AtomicUsize::new(0),
         })
     })
 }
@@ -209,6 +214,7 @@ pub(crate) fn broadcast<F: Fn(usize) + Sync>(slots: usize, f: &F) {
     }
 
     let pool = shared();
+    pool.handoffs.fetch_add(1, Ordering::Relaxed);
     let queued = slots - 1;
     let state = Arc::new(BatchState {
         remaining: AtomicUsize::new(queued),
@@ -281,4 +287,18 @@ pub fn thread_spawns() -> usize {
 /// Current live pool threads (spawned and never torn down).
 pub fn threads() -> usize {
     shared().capacity.load(Ordering::Relaxed)
+}
+
+/// Total pool-synchronised phase barriers (fan-out + join pairs) ever
+/// executed by this process.
+///
+/// Every `broadcast` that enqueues work counts as exactly one handoff:
+/// one wake-the-pool fan-out plus one all-slots-finished join. Inline
+/// fast paths (`slots <= 1`) cost nothing and count nothing. A
+/// multi-phase pipeline that re-broadcasts per phase pays (and shows)
+/// one handoff *per phase*; the conv job graph collapses that to one
+/// handoff per layer call, and the `training_throughput` bench pins the
+/// collapse by diffing this counter around a conv forward/backward.
+pub fn phase_handoffs() -> usize {
+    shared().handoffs.load(Ordering::Relaxed)
 }

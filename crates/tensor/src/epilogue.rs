@@ -205,6 +205,24 @@ pub fn apply_epilogue_planes<A: Fn(f32) -> f32>(
 /// and `Σ(v−K)²`.
 pub const MOMENT_ACC_STRIDE: usize = 3;
 
+/// Arms a moment accumulator for a fresh filter sweep: sums to zero and
+/// every shift slot `K` to NaN.
+///
+/// The NaN is the latch [`accumulate_wide_moments`] `debug_assert`s
+/// against: the first tile of a sweep (and only the first) must pass
+/// `first_tile = true`, which overwrites the NaN with the row's shift.
+/// A sweep that forgets the latch — or latches twice — trips the assert
+/// in debug builds instead of silently producing wrong variance, the
+/// PR 5 gotcha that used to be enforced only by convention.
+pub fn reset_wide_moments(acc: &mut [f32]) {
+    assert_eq!(acc.len() % MOMENT_ACC_STRIDE, 0, "accumulator geometry");
+    for filter_acc in acc.chunks_exact_mut(MOMENT_ACC_STRIDE) {
+        filter_acc[0] = f32::NAN;
+        filter_acc[1] = 0.0;
+        filter_acc[2] = 0.0;
+    }
+}
+
 /// Accumulates the canonical batch-norm moment partials from a block of
 /// **wide** rows in one fused sweep: for each row `r` (one filter),
 /// `acc[3r+1] += Σ (v−K)` and `acc[3r+2] += Σ (v−K)²`, sweeping the row
@@ -238,6 +256,12 @@ pub fn accumulate_wide_moments(
     );
     for (r, row) in wide_rows.chunks_exact(cols).enumerate() {
         let base = MOMENT_ACC_STRIDE * r;
+        debug_assert!(
+            first_tile == acc[base].is_nan(),
+            "accumulate_wide_moments: first_tile must latch exactly once per \
+             filter sweep (arm the accumulator with reset_wide_moments, pass \
+             first_tile = true for the first tile only)"
+        );
         if first_tile {
             acc[base] = row[0];
         }
@@ -314,6 +338,130 @@ pub fn fused_channel_moments(
         }
         let acc = [k, s1, s2];
         finalize_moments(&acc, m, &mut mean[f..f + 1], &mut var[f..f + 1]);
+    }
+}
+
+/// The fused **backward** epilogue, pass one: activation chain rule
+/// (and, for eval-mode batch-norm, the constant per-filter scale) in a
+/// single sweep over a plane range.
+///
+/// Writes `out[i] = delta[i] · grad(pre_act[i])`, then — when `scale`
+/// is provided — multiplies by `scale[f]` as a second step on the
+/// local value. The two-step form is deliberate: it reproduces the
+/// historical "derivative sweep, then scale sweep" expression chain
+/// bit-for-bit while touching each element once.
+///
+/// `planes` are global plane indices (`p = s·filters + f`, only `f`
+/// matters here); `delta`, `pre_act` and `out` are that range's
+/// contiguous chunks. `out` may alias a scratch buffer the caller later
+/// reduces from; it is overwritten, not accumulated.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn backward_delta_planes<G: Fn(f32) -> f32>(
+    planes: std::ops::Range<usize>,
+    filters: usize,
+    ohw: usize,
+    delta: &[f32],
+    pre_act: &[f32],
+    grad: G,
+    scale: Option<&[f32]>,
+    out: &mut [f32],
+) {
+    assert_eq!(delta.len(), planes.len() * ohw, "delta geometry");
+    assert_eq!(pre_act.len(), delta.len(), "pre-activation geometry");
+    assert_eq!(out.len(), delta.len(), "output geometry");
+    if let Some(scale) = scale {
+        assert_eq!(scale.len(), filters, "scale geometry");
+    }
+    for (i, p) in planes.enumerate() {
+        let f = p % filters;
+        let base = i * ohw;
+        let k = scale.map(|s| s[f]);
+        for j in base..base + ohw {
+            let mut d = delta[j] * grad(pre_act[j]);
+            if let Some(k) = k {
+                d *= k;
+            }
+            out[j] = d;
+        }
+    }
+}
+
+/// One sample's leaf of the batch-norm backward reduction: per filter,
+/// `out[2f] = Σ dy` and `out[2f+1] = Σ dy·x̂` over the sample's plane
+/// (spatial ascending, both sums advanced side by side — the canonical
+/// order). Overwrites `out`; the caller reduces leaves along the
+/// canonical tree (`crate::tree`) to get batch totals that are
+/// bit-identical at any worker count.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry.
+pub fn bn_backward_sums_sample(
+    filters: usize,
+    ohw: usize,
+    delta_sample: &[f32],
+    xhat_sample: &[f32],
+    out: &mut [f32],
+) {
+    assert_eq!(delta_sample.len(), filters * ohw, "delta geometry");
+    assert_eq!(xhat_sample.len(), delta_sample.len(), "xhat geometry");
+    assert_eq!(out.len(), 2 * filters, "sums geometry");
+    for f in 0..filters {
+        let mut sum_dy = 0.0f32;
+        let mut sum_dy_xhat = 0.0f32;
+        let base = f * ohw;
+        for j in base..base + ohw {
+            sum_dy += delta_sample[j];
+            sum_dy_xhat += delta_sample[j] * xhat_sample[j];
+        }
+        out[2 * f] = sum_dy;
+        out[2 * f + 1] = sum_dy_xhat;
+    }
+}
+
+/// The fused **backward** epilogue, pass two: the train-mode batch-norm
+/// delta transform over a plane range, in place.
+///
+/// `delta[i] = k · (m·delta[i] − Σdy − x̂[i]·Σdy·x̂)` with
+/// `k = γ[f]·inv_std[f]/m` — the exact canonical expression the
+/// monolithic backward sweep used, with the batch totals (`sums`,
+/// `[Σdy, Σdy·x̂]` interleaved per filter as
+/// [`bn_backward_sums_sample`] lays them out) supplied by the caller's
+/// tree reduction. `delta` and `xhat` are the plane range's contiguous
+/// chunks; `sums`, `gamma` and `inv_std` are full per-filter tables.
+///
+/// # Panics
+///
+/// Panics if slice lengths disagree with the geometry.
+#[allow(clippy::too_many_arguments)]
+pub fn bn_backward_transform_planes(
+    planes: std::ops::Range<usize>,
+    filters: usize,
+    ohw: usize,
+    m: f32,
+    gamma: &[f32],
+    inv_std: &[f32],
+    sums: &[f32],
+    xhat: &[f32],
+    delta: &mut [f32],
+) {
+    assert_eq!(delta.len(), planes.len() * ohw, "delta geometry");
+    assert_eq!(xhat.len(), delta.len(), "xhat geometry");
+    assert_eq!(sums.len(), 2 * filters, "sums geometry");
+    assert_eq!(gamma.len(), filters, "gamma geometry");
+    assert_eq!(inv_std.len(), filters, "inv_std geometry");
+    for (i, p) in planes.enumerate() {
+        let f = p % filters;
+        let k = gamma[f] * inv_std[f] / m;
+        let (sum_dy, sum_dy_xhat) = (sums[2 * f], sums[2 * f + 1]);
+        let base = i * ohw;
+        for j in base..base + ohw {
+            delta[j] = k * (m * delta[j] - sum_dy - xhat[j] * sum_dy_xhat);
+        }
     }
 }
 
@@ -445,6 +593,7 @@ mod tests {
         // Re-express the same data as wide tiles of 3/3/1 samples and
         // accumulate.
         let mut acc = vec![0.0; MOMENT_ACC_STRIDE * filters];
+        reset_wide_moments(&mut acc);
         let mut s0 = 0;
         for span in [3usize, 3, 1] {
             let tile_cols = span * ohw;
@@ -481,6 +630,165 @@ mod tests {
         assert!(var[0] >= 0.0, "clamped, not tiny-negative");
         assert!((mean[1] - 0.0).abs() < 1e-6);
         assert!((var[1] - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reset_arms_the_latch() {
+        let filters = 3;
+        let mut acc = vec![7.0; MOMENT_ACC_STRIDE * filters];
+        reset_wide_moments(&mut acc);
+        for f in 0..filters {
+            assert!(acc[MOMENT_ACC_STRIDE * f].is_nan(), "shift slot armed");
+            assert_eq!(acc[MOMENT_ACC_STRIDE * f + 1], 0.0);
+            assert_eq!(acc[MOMENT_ACC_STRIDE * f + 2], 0.0);
+        }
+        // A correctly-latched sweep runs clean and clears the arming.
+        let wide = arb(filters * 4, 20);
+        accumulate_wide_moments(&wide, 4, &mut acc, true);
+        accumulate_wide_moments(&wide, 4, &mut acc, false);
+        assert!(acc.iter().all(|v| v.is_finite()));
+    }
+
+    /// The PR 5 gotcha, now machine-enforced: latching `first_tile`
+    /// twice in one sweep trips the debug assert.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "first_tile must latch exactly once")]
+    fn double_first_tile_latch_is_caught() {
+        let filters = 2;
+        let mut acc = vec![0.0; MOMENT_ACC_STRIDE * filters];
+        reset_wide_moments(&mut acc);
+        let wide = arb(filters * 4, 21);
+        accumulate_wide_moments(&wide, 4, &mut acc, true);
+        accumulate_wide_moments(&wide, 4, &mut acc, true); // second latch: boom
+    }
+
+    /// ... and so does forgetting to latch on the first tile.
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "first_tile must latch exactly once")]
+    fn missing_first_tile_latch_is_caught() {
+        let filters = 2;
+        let mut acc = vec![0.0; MOMENT_ACC_STRIDE * filters];
+        reset_wide_moments(&mut acc);
+        let wide = arb(filters * 4, 22);
+        accumulate_wide_moments(&wide, 4, &mut acc, false); // never latched: boom
+    }
+
+    #[test]
+    fn backward_delta_matches_separate_sweeps_bitwise() {
+        // Fused derivative(+scale) pass == the historical two sweeps.
+        let (n, filters, ohw) = (3usize, 4usize, 5usize);
+        let len = n * filters * ohw;
+        let delta = arb(len, 13);
+        let pre = arb(len, 14);
+        let scale: Vec<f32> = arb(filters, 15).iter().map(|v| v + 2.0).collect();
+        let grad = |z: f32| if z > 0.0 { 1.0 } else { 0.1 };
+
+        // Reference: derivative sweep, then scale sweep.
+        let mut want: Vec<f32> =
+            delta.iter().zip(&pre).map(|(&d, &z)| d * grad(z)).collect();
+        for p in 0..n * filters {
+            let k = scale[p % filters];
+            for v in &mut want[p * ohw..(p + 1) * ohw] {
+                *v *= k;
+            }
+        }
+
+        let mut out = vec![0.0; len];
+        backward_delta_planes(
+            0..n * filters, filters, ohw, &delta, &pre, grad, Some(&scale), &mut out,
+        );
+        assert!(out.iter().zip(&want).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // And chunked by plane range, without the scale.
+        let want_noscale: Vec<f32> =
+            delta.iter().zip(&pre).map(|(&d, &z)| d * grad(z)).collect();
+        let mut chunked = vec![0.0; len];
+        for p in 0..n * filters {
+            backward_delta_planes(
+                p..p + 1, filters, ohw,
+                &delta[p * ohw..(p + 1) * ohw],
+                &pre[p * ohw..(p + 1) * ohw],
+                grad, None,
+                &mut chunked[p * ohw..(p + 1) * ohw],
+            );
+        }
+        assert!(chunked.iter().zip(&want_noscale).all(|(a, b)| a.to_bits() == b.to_bits()));
+    }
+
+    #[test]
+    fn bn_backward_pieces_match_monolithic_sweep() {
+        // Per-sample sums reduced along the canonical tree + the
+        // plane-range transform must reproduce the historical
+        // one-function batch-norm backward exactly (up to the documented
+        // tree-vs-fold order change in the *sums*; here we feed the
+        // transform the same sums both ways, so bits must match).
+        let (n, filters, ohw) = (4usize, 3usize, 6usize);
+        let len = n * filters * ohw;
+        let delta0 = arb(len, 16);
+        let xhat = arb(len, 17);
+        let gamma = arb(filters, 18);
+        let var: Vec<f32> = arb(filters, 19).iter().map(|v| v.abs() + 0.2).collect();
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + 1e-5).sqrt()).collect();
+        let m = (n * ohw) as f32;
+
+        // Canonical-tree sums over per-sample leaves.
+        let mut levels = vec![0.0; crate::tree::tree_levels(n) * 2 * filters];
+        let mut sums = vec![0.0; 2 * filters];
+        crate::tree::reduce_tree(
+            0..n,
+            2 * filters,
+            &mut levels,
+            &mut |s, out| {
+                let base = s * filters * ohw;
+                bn_backward_sums_sample(
+                    filters, ohw,
+                    &delta0[base..base + filters * ohw],
+                    &xhat[base..base + filters * ohw],
+                    out,
+                );
+            },
+            &mut sums,
+        );
+
+        // Reference transform from the same sums, written long-hand.
+        let mut want = delta0.clone();
+        for f in 0..filters {
+            let k = gamma[f] * inv_std[f] / m;
+            let (sum_dy, sum_dy_xhat) = (sums[2 * f], sums[2 * f + 1]);
+            for s in 0..n {
+                let base = (s * filters + f) * ohw;
+                for i in base..base + ohw {
+                    want[i] = k * (m * want[i] - sum_dy - xhat[i] * sum_dy_xhat);
+                }
+            }
+        }
+
+        // Fused transform, chunked into uneven plane ranges.
+        let mut got = delta0.clone();
+        let planes = n * filters;
+        for (start, end) in [(0usize, 5usize), (5, 6), (6, planes)] {
+            bn_backward_transform_planes(
+                start..end, filters, ohw, m, &gamma, &inv_std, &sums,
+                &xhat[start * ohw..end * ohw],
+                &mut got[start * ohw..end * ohw],
+            );
+        }
+        assert!(got.iter().zip(&want).all(|(a, b)| a.to_bits() == b.to_bits()));
+
+        // Leaf sanity: a single sample's leaf equals the naive sums.
+        let mut leaf = vec![0.0; 2 * filters];
+        bn_backward_sums_sample(
+            filters, ohw,
+            &delta0[..filters * ohw],
+            &xhat[..filters * ohw],
+            &mut leaf,
+        );
+        for f in 0..filters {
+            let naive_dy: f32 = delta0[f * ohw..(f + 1) * ohw].iter().sum();
+            assert_eq!(leaf[2 * f].to_bits(), naive_dy.to_bits());
+        }
     }
 
     #[test]

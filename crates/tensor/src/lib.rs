@@ -48,6 +48,7 @@ pub mod gemm;
 pub mod im2col;
 pub mod linalg;
 pub mod stats;
+pub mod tree;
 
 pub use error::TensorError;
 pub use scratch::Scratch;

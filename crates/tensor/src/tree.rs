@@ -1,0 +1,299 @@
+//! Canonical fixed-shape binary tree reduction.
+//!
+//! # The determinism problem
+//!
+//! Floating-point addition is not associative, so "sum the per-sample
+//! gradients" has as many answers as there are summation orders. The
+//! runtime's core invariant — worker count never changes a result bit —
+//! therefore forbids the obvious parallel reduction (each worker sums
+//! its range, caller folds the partials), because the partial
+//! boundaries *are* the worker count. Through PR 6 the conv layer
+//! dodged this by staging every sample's `dw` separately
+//! (`span·dw_len` floats!) and folding them in ascending sample order
+//! on one thread.
+//!
+//! # The canonical tree
+//!
+//! This module replaces order-dependence with a **fixed-shape binary
+//! tree over the sample index range**: the node covering `lo..hi`
+//! splits at `mid = lo + (hi - lo) / 2`, recursively, down to
+//! single-sample leaves. Every addition the reduction ever performs is
+//! "left subtree total + right subtree total" for some tree node — a
+//! shape fixed entirely by `hi - lo`. Any partitioning of the range
+//! into *canonical subtrees* (ranges that are exact tree nodes, see
+//! [`tree_ranges`]) can be reduced per-part and then combined along the
+//! same tree ([`combine_tree_parts`]) and produces **bit-identical**
+//! results, because both paths perform the exact same additions in the
+//! exact same tree order — determinism by construction, the same story
+//! canonical BN moments got in PR 5, rather than by testing luck.
+//!
+//! Memory: a reduction over `n` leaves of `width` floats needs one
+//! `width` scratch row per tree level — `⌈log₂ n⌉·width` floats
+//! ([`tree_levels`]) — replacing the `n·width` staging the fold needed.
+
+use std::ops::Range;
+
+/// The canonical split point of the tree node covering `lo..hi`.
+#[inline]
+pub fn tree_mid(lo: usize, hi: usize) -> usize {
+    lo + (hi - lo) / 2
+}
+
+/// Scratch rows [`reduce_tree`] needs for `len` leaves: `⌈log₂ len⌉`
+/// (each of `width` floats). Zero for a single leaf.
+pub fn tree_levels(len: usize) -> usize {
+    if len <= 1 {
+        0
+    } else {
+        (len - 1).ilog2() as usize + 1
+    }
+}
+
+/// Reduces `range` along the canonical tree into `out` (`width`
+/// floats).
+///
+/// `leaf(i, row)` must **overwrite** `row` with leaf `i`'s value; it is
+/// invoked exactly once per index, in ascending order (so a leaf may
+/// stream from a sequentially-advancing source). `levels` is scratch of
+/// at least `tree_levels(range.len()) · width` floats; its contents on
+/// entry and exit are meaningless. Internal nodes combine as
+/// `left += right`, elementwise, left-child-first — the one fixed
+/// order everything in this module is built around.
+pub fn reduce_tree<F: FnMut(usize, &mut [f32])>(
+    range: Range<usize>,
+    width: usize,
+    levels: &mut [f32],
+    leaf: &mut F,
+    out: &mut [f32],
+) {
+    assert!(!range.is_empty(), "reduce_tree needs at least one leaf");
+    assert_eq!(out.len(), width);
+    assert!(
+        levels.len() >= tree_levels(range.len()) * width,
+        "levels scratch too small: {} < {}",
+        levels.len(),
+        tree_levels(range.len()) * width
+    );
+    reduce_node(range.start, range.end, width, levels, leaf, out);
+}
+
+fn reduce_node<F: FnMut(usize, &mut [f32])>(
+    lo: usize,
+    hi: usize,
+    width: usize,
+    levels: &mut [f32],
+    leaf: &mut F,
+    out: &mut [f32],
+) {
+    if hi - lo == 1 {
+        leaf(lo, out);
+        return;
+    }
+    let mid = tree_mid(lo, hi);
+    reduce_node(lo, mid, width, levels, leaf, out);
+    // The right child borrows one scratch row; deeper recursion gets
+    // the rest. Depth is ⌈log₂(hi-lo)⌉, matching `tree_levels`.
+    let (right_total, rest) = levels.split_at_mut(width);
+    reduce_node(mid, hi, width, rest, leaf, right_total);
+    for (acc, &r) in out.iter_mut().zip(right_total.iter()) {
+        *acc += r;
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous ranges, **each an
+/// exact node of the canonical tree**, by repeatedly splitting the
+/// largest range (leftmost on ties) at its [`tree_mid`].
+///
+/// This is the partition parallel reducers must use: each part's
+/// subtree total (via [`reduce_tree`]) plus a [`combine_tree_parts`]
+/// join reproduces the whole-range reduction bit-for-bit. The
+/// partition depends only on `(len, parts)` — like `chunk_ranges`, it
+/// never sees worker scheduling. Returns fewer ranges when `len <
+/// parts`; empty for `len == 0`.
+pub fn tree_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let target = parts.clamp(1, len);
+    let mut ranges = vec![0..len];
+    while ranges.len() < target {
+        let (idx, _) = ranges
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, r)| (r.len(), std::cmp::Reverse(*i)))
+            .expect("non-empty by construction");
+        let r = ranges[idx].clone();
+        debug_assert!(r.len() >= 2, "target <= len keeps splittable ranges available");
+        let mid = tree_mid(r.start, r.end);
+        ranges.splice(idx..=idx, [r.start..mid, mid..r.end]);
+    }
+    ranges
+}
+
+/// Combines per-part subtree totals along the canonical tree.
+///
+/// `parts` holds one `width`-float row per range of `ranges` (a
+/// [`tree_ranges`] partition, in order), each row the subtree total of
+/// its range. On return `parts[..width]` is the total of the whole
+/// span — produced by the exact additions the whole-span
+/// [`reduce_tree`] would have performed above those subtrees, hence
+/// bit-identical to it.
+pub fn combine_tree_parts(ranges: &[Range<usize>], width: usize, parts: &mut [f32]) {
+    assert_eq!(parts.len(), ranges.len() * width);
+    if ranges.is_empty() {
+        return;
+    }
+    combine_node(ranges, 0, ranges.len(), width, parts);
+}
+
+fn combine_node(
+    ranges: &[Range<usize>],
+    lo_i: usize,
+    hi_i: usize,
+    width: usize,
+    parts: &mut [f32],
+) {
+    if hi_i - lo_i == 1 {
+        return;
+    }
+    let lo = ranges[lo_i].start;
+    let hi = ranges[hi_i - 1].end;
+    let mid = tree_mid(lo, hi);
+    let mid_i = lo_i
+        + ranges[lo_i..hi_i]
+            .iter()
+            .position(|r| r.start == mid)
+            .expect("ranges must be a canonical tree_ranges partition");
+    combine_node(ranges, lo_i, mid_i, width, parts);
+    combine_node(ranges, mid_i, hi_i, width, parts);
+    // parts[lo_i] += parts[mid_i]: the internal-node addition.
+    let (head, tail) = parts.split_at_mut(mid_i * width);
+    let left = &mut head[lo_i * width..(lo_i + 1) * width];
+    let right = &tail[..width];
+    for (acc, &r) in left.iter_mut().zip(right.iter()) {
+        *acc += r;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Leaf values with wildly mixed magnitudes, so any change in
+    /// summation order actually changes the float result — this is what
+    /// makes the bit-identity assertions below meaningful.
+    fn leaf_value(i: usize, width: usize, out: &mut [f32]) {
+        for (w, slot) in out.iter_mut().enumerate() {
+            let sign = if (i + w) % 3 == 0 { -1.0 } else { 1.0 };
+            *slot = sign * (1.5f32).powi((i as i32 * 7 + w as i32) % 37 - 18);
+        }
+    }
+
+    fn whole_tree(n: usize, width: usize) -> Vec<f32> {
+        let mut out = vec![0.0; width];
+        let mut levels = vec![0.0; tree_levels(n) * width];
+        let mut order = Vec::new();
+        reduce_tree(
+            0..n,
+            width,
+            &mut levels,
+            &mut |i, row| {
+                order.push(i);
+                leaf_value(i, width, row);
+            },
+            &mut out,
+        );
+        assert_eq!(order, (0..n).collect::<Vec<_>>(), "leaves ascend");
+        out
+    }
+
+    #[test]
+    fn tree_levels_matches_depth() {
+        assert_eq!(tree_levels(0), 0);
+        assert_eq!(tree_levels(1), 0);
+        assert_eq!(tree_levels(2), 1);
+        assert_eq!(tree_levels(3), 2);
+        assert_eq!(tree_levels(4), 2);
+        assert_eq!(tree_levels(5), 3);
+        assert_eq!(tree_levels(1 << 10), 10);
+        assert_eq!(tree_levels((1 << 10) + 1), 11);
+    }
+
+    #[test]
+    fn tree_ranges_are_canonical_and_cover() {
+        for len in [1usize, 2, 3, 7, 16, 33, 100] {
+            for parts in [1usize, 2, 3, 4, 8, 200] {
+                let ranges = tree_ranges(len, parts);
+                assert_eq!(ranges.len(), parts.min(len));
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+        assert!(tree_ranges(0, 4).is_empty());
+        // The canonical split of 0..10 is at 5; of 0..5 at 2 — so four
+        // parts of ten items are 0..2, 2..5, 5..7, 7..10.
+        assert_eq!(tree_ranges(10, 4), vec![0..2, 2..5, 5..7, 7..10]);
+    }
+
+    /// The headline property: per-part reduction + tree combine is
+    /// bit-identical to the whole-range reduction, for every part
+    /// count — worker count can never change a bit.
+    #[test]
+    fn partitioned_reduction_is_bit_identical_for_any_part_count() {
+        for n in [1usize, 2, 3, 5, 8, 13, 16, 37] {
+            for width in [1usize, 3] {
+                let reference = whole_tree(n, width);
+                for parts in 1..=8 {
+                    let ranges = tree_ranges(n, parts);
+                    let mut partials = vec![0.0; ranges.len() * width];
+                    let mut levels = vec![0.0; tree_levels(n) * width];
+                    for (p, r) in ranges.iter().enumerate() {
+                        reduce_tree(
+                            r.clone(),
+                            width,
+                            &mut levels,
+                            &mut |i, row| leaf_value(i, width, row),
+                            &mut partials[p * width..(p + 1) * width],
+                        );
+                    }
+                    combine_tree_parts(&ranges, width, &mut partials);
+                    assert_eq!(
+                        partials[..width].to_vec(),
+                        reference,
+                        "n={n} width={width} parts={parts}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The tree order genuinely differs from a left-to-right fold on
+    /// these magnitude-skewed leaves — proving the bit-identity test
+    /// above distinguishes orders at all.
+    #[test]
+    fn tree_order_differs_from_sequential_fold() {
+        let n = 37;
+        let tree = whole_tree(n, 1)[0];
+        let mut fold = 0.0f32;
+        for i in 0..n {
+            let mut row = [0.0f32];
+            leaf_value(i, 1, &mut row);
+            fold += row[0];
+        }
+        assert_ne!(tree.to_bits(), fold.to_bits(), "orders must be distinguishable");
+        // ... while agreeing to float tolerance, of course.
+        assert!((tree - fold).abs() <= 1e-3 * fold.abs().max(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one leaf")]
+    fn empty_range_panics() {
+        let mut out = [0.0f32];
+        reduce_tree(3..3, 1, &mut [], &mut |_, _| {}, &mut out);
+    }
+}

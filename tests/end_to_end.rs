@@ -89,6 +89,33 @@ fn dynamic_repartition_mid_training() {
 }
 
 #[test]
+fn cycle_ledger_bit_identical_across_worker_counts() {
+    // The simulated clock is charged from FLOP counts, and FLOP counts —
+    // like every other observable of the training trajectory — must not
+    // depend on how many pool workers executed the conv job graphs or
+    // how the tree-reduced gradients were partitioned. Same pipeline,
+    // three worker counts, identical ledger to the cycle.
+    use caltrain::nn::Parallelism;
+    let run = |workers: usize| {
+        let (train, _) = synthcifar::generate(48, 8, 11);
+        let mut system = CalTrain::new(small_net(11), small_config(2), b"e2e-cyc").unwrap();
+        system.network_mut().set_parallelism(Parallelism::new(workers));
+        system.enroll_and_ingest(&train, 2, 11).unwrap();
+        system.train(2).unwrap();
+        (system.platform().cycles(), system.platform().cycle_breakdown())
+    };
+    let reference = run(1);
+    assert!(reference.0 > 0, "training must charge simulated cycles");
+    for workers in [2, 4] {
+        assert_eq!(
+            run(workers),
+            reference,
+            "the cycle ledger must be bit-identical at {workers} workers"
+        );
+    }
+}
+
+#[test]
 fn augmentation_preserves_convergence() {
     let (train, _) = synthcifar::generate(100, 10, 7);
     let mut config = small_config(2);
