@@ -102,6 +102,23 @@ CALTRAIN_WORKERS=4 cargo run --offline -q -p caltrain-sim -- \
 diff "$SIM_OUT_W1" "$SIM_OUT_W4" \
   || { echo "scenario corpus diverged across worker counts"; exit 1; }
 
+# Campaign smoke (see SCENARIOS.md "Campaigns"): bounded random walks
+# over the whole fault alphabet — hub faults, channel ops, EPC pressure,
+# clock skew — with the full invariant set checked every round. Fixed
+# seeds and a 10-round step cap keep the step to a few seconds; each
+# campaign line carries the trace + weights digests, so the 1-vs-4
+# worker diff extends the invariance gate to multi-fault walks.
+echo "==> campaign smoke (CALTRAIN_WORKERS=1 vs 4 must match bitwise)"
+CAMP_OUT_W1="$(mktemp)"
+CAMP_OUT_W4="$(mktemp)"
+trap 'rm -rf "$BENCH_BASELINE_DIR" "$SIM_OUT_W1" "$SIM_OUT_W4" "$CAMP_OUT_W1" "$CAMP_OUT_W4"' EXIT
+CALTRAIN_WORKERS=1 cargo run --offline -q -p caltrain-sim -- \
+  --campaign --seeds 1,2 --steps 10 | tee "$CAMP_OUT_W1"
+CALTRAIN_WORKERS=4 cargo run --offline -q -p caltrain-sim -- \
+  --campaign --seeds 1,2 --steps 10 > "$CAMP_OUT_W4"
+diff "$CAMP_OUT_W1" "$CAMP_OUT_W4" \
+  || { echo "campaign smoke diverged across worker counts"; exit 1; }
+
 # Diff the freshly regenerated BENCH_*.json against the committed
 # baselines and WARN on >10% regressions of classified metrics
 # (steps/sec, allocs/step, spawn counts, …). Warning-only by design:

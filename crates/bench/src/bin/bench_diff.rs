@@ -177,6 +177,16 @@ fn run_trend(history_path: &Path, threshold: f64, fail_on_regression: bool) -> E
         if present.len() < 2 {
             continue;
         }
+        // A PR that records no new perf metrics (a robustness or docs
+        // PR) leaves gaps; trend over the values that do exist and say
+        // which lines they came from when that span isn't the global one.
+        let first_idx = values.iter().position(Option::is_some).expect("present >= 2");
+        let last_idx = values.iter().rposition(Option::is_some).expect("present >= 2");
+        let span = if first_idx != 0 || last_idx + 1 != labels.len() {
+            format!(" ({} -> {})", labels[first_idx], labels[last_idx])
+        } else {
+            String::new()
+        };
         let (first, last) = (present[0], present[present.len() - 1]);
         if first.abs() < 1e-9 && last.abs() < 1e-9 {
             continue;
@@ -205,7 +215,7 @@ fn run_trend(history_path: &Path, threshold: f64, fail_on_regression: bool) -> E
             "REGRESSION"
         };
         println!(
-            "{metric:<52} {first:>12.5} {last:>12.5} {:>+7.1}%  {verdict}",
+            "{metric:<52} {first:>12.5} {last:>12.5} {:>+7.1}%  {verdict}{span}",
             total * 100.0
         );
     }

@@ -113,6 +113,20 @@ pub trait RoundTransport {
     /// count [`HubCluster::train_round_via`] calls over the cluster's
     /// lifetime).
     fn submission(&mut self, round: usize, hub: usize) -> HubSubmission;
+
+    /// Called once at the top of every [`HubCluster::train_round_via`],
+    /// before any hub trains, with every hub's platform handle in hub
+    /// order — from the sequential control path, never a worker thread,
+    /// so any deterministic implementation stays worker-count invariant.
+    ///
+    /// This is the environment-fault seam: implementations may perturb
+    /// per-round platform conditions (EPC capacity via
+    /// [`Platform::set_epc_capacity_pages`], clock rate via
+    /// [`Platform::set_clock_hz`]) before the round's work is charged.
+    /// The default does nothing.
+    fn before_round(&mut self, round: usize, platforms: &[&Platform]) {
+        let _ = (round, platforms);
+    }
 }
 
 /// The default transport: every hub honestly submits its trained
@@ -335,6 +349,12 @@ impl HubCluster {
         transport: &mut dyn RoundTransport,
     ) -> Result<RoundOutcome, CalTrainError> {
         let round = self.round;
+        {
+            // Environment faults (EPC pressure, clock skew) land before
+            // the round's work, from the sequential control path.
+            let platforms: Vec<&Platform> = self.hubs.iter().map(|h| &h.platform).collect();
+            transport.before_round(round, &platforms);
+        }
         // Pre-round global weights: the restore point for stale and
         // byzantine submissions (every hub starts the round from them).
         let pre_round = self.hubs[0].trainer.network().export_params();
@@ -769,6 +789,52 @@ mod tests {
             params_bits(parallel.global_model()),
             "crashed-then-restored trajectory must be worker-count invariant"
         );
+    }
+
+    #[test]
+    fn before_round_runs_sequentially_with_every_platform() {
+        // The environment-fault seam: before_round sees all hub platforms
+        // in hub order, once per round, and perturbations it applies
+        // (clock skew here) are visible in the round outcome.
+        struct SkewTransport {
+            calls: Vec<(usize, usize)>, // (round, platform count)
+        }
+        impl RoundTransport for SkewTransport {
+            fn submission(&mut self, _round: usize, _hub: usize) -> HubSubmission {
+                HubSubmission::Trained
+            }
+            fn before_round(&mut self, round: usize, platforms: &[&Platform]) {
+                self.calls.push((round, platforms.len()));
+                // Halve hub 1's clock: its simulated round time doubles.
+                let base = platforms[1].clock_hz();
+                platforms[1].set_clock_hz(base / 2.0);
+            }
+        }
+
+        let (mut skewed, _) = cluster(2, 40, 81);
+        let (mut honest, _) = cluster(2, 40, 81);
+        let mut transport = SkewTransport { calls: Vec::new() };
+        let out_skewed = skewed.train_round_via(1, &mut transport).unwrap();
+        let out_honest = honest.train_round(1).unwrap();
+
+        assert_eq!(transport.calls, vec![(0, 2)]);
+        // Identical work (cycles), dilated time on the skewed hub only.
+        assert_eq!(out_skewed.hub_losses, out_honest.hub_losses);
+        assert_eq!(
+            out_skewed.hub_times[0].seconds.to_bits(),
+            out_honest.hub_times[0].seconds.to_bits()
+        );
+        assert_eq!(
+            out_skewed.hub_times[1].seconds.to_bits(),
+            (out_honest.hub_times[1].seconds * 2.0).to_bits()
+        );
+        // Skew never touches numerics: the merged models stay bitwise equal.
+        assert_eq!(
+            params_bits(skewed.global_model()),
+            params_bits(honest.global_model())
+        );
+        // The default transport keeps the no-op behavior.
+        HonestTransport.before_round(0, &[]);
     }
 
     #[test]

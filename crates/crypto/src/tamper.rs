@@ -85,6 +85,32 @@ mod tests {
     }
 
     #[test]
+    fn injection_sites_wrap_modulo_buffer_length() {
+        // A site index beyond the buffer is the same injection as its
+        // modular reduction — any u64 from a seeded RNG is valid.
+        let mut a = vec![0u8; 4];
+        let mut b = vec![0u8; 4];
+        assert_eq!(flip_bit(&mut a, 3), flip_bit(&mut b, 3 + 32));
+        assert_eq!(a, b);
+        assert_eq!(flip_byte(&mut a, 1, 0x80), flip_byte(&mut b, 1 + 4, 0x80));
+        assert_eq!(a, b);
+        assert_eq!(flip_bit(&mut a, u64::MAX).unwrap(), (3, 0x80));
+    }
+
+    #[test]
+    fn truncate_keep_at_or_beyond_len_never_grows() {
+        let mut b = vec![7u8; 5];
+        // keep == len keeps everything (len is inside the modulus range).
+        assert_eq!(truncate_to(&mut b, 5), 5);
+        assert_eq!(b, vec![7u8; 5]);
+        // keep == len + 1 wraps to zero.
+        assert_eq!(truncate_to(&mut b, 6), 0);
+        let mut c = vec![7u8; 5];
+        assert_eq!(truncate_to(&mut c, u64::MAX), (u64::MAX % 6) as usize);
+        assert!(c.len() <= 5);
+    }
+
+    #[test]
     fn truncate_wraps_over_full_range() {
         let mut b = vec![0u8; 10];
         assert_eq!(truncate_to(&mut b, 7), 7);

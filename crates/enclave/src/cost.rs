@@ -171,6 +171,26 @@ impl SimClock {
         &self.model
     }
 
+    /// The core clock rate in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.model.clock_hz
+    }
+
+    /// Re-rates the simulated core clock — the clock-skew fault knob.
+    ///
+    /// Accumulated cycles are untouched: skew dilates simulated *time*
+    /// (`elapsed = cycles / clock_hz`), never the work ledger, so the
+    /// cycle breakdown keeps reconciling after any perturbation.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive rate — such a clock has no
+    /// consistent simulated-time reading.
+    pub fn set_clock_hz(&mut self, hz: f64) {
+        assert!(hz.is_finite() && hz > 0.0, "clock rate must be positive and finite, got {hz}");
+        self.model.clock_hz = hz;
+    }
+
     /// Total cycles accumulated so far.
     pub fn cycles(&self) -> u64 {
         self.breakdown.total()
@@ -285,6 +305,26 @@ mod tests {
         c.charge_native_flops(2_000_000_000);
         assert!((c.elapsed().seconds - 1.0).abs() < 1e-9);
         assert!((c.elapsed().millis() - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clock_skew_rerates_time_only() {
+        let mut c = SimClock::new(CostModel::default());
+        c.charge_enclave_flops(1_000_000);
+        let cycles = c.cycles();
+        let base = c.clock_hz();
+
+        c.set_clock_hz(base / 4.0);
+        assert_eq!(c.cycles(), cycles);
+        assert_eq!(c.breakdown().total(), cycles);
+        assert_eq!(c.elapsed().seconds.to_bits(), (cycles as f64 / (base / 4.0)).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive and finite")]
+    fn clock_skew_rejects_zero_rate() {
+        let mut c = SimClock::new(CostModel::default());
+        c.set_clock_hz(0.0);
     }
 
     #[test]

@@ -247,9 +247,32 @@ impl Epc {
         }
     }
 
+    /// Resizes the EPC to `pages` (minimum one) — the EPC-pressure fault
+    /// knob. Shrinking below the current working set evicts the surplus
+    /// through the same CLOCK policy as demand paging; growing frees no
+    /// work. Returns the eviction work performed so the caller can charge
+    /// it to the owning enclave's [`crate::SimClock`].
+    pub fn set_capacity_pages(&mut self, pages: usize) -> TouchOutcome {
+        self.capacity_pages = pages.max(1);
+        let mut outcome = TouchOutcome::default();
+        while self.resident_pages > self.capacity_pages {
+            self.evict_one(&mut outcome);
+        }
+        outcome
+    }
+
     /// Evicts pages via CLOCK until at least one slot is free.
     fn make_room(&mut self, outcome: &mut TouchOutcome) {
         while self.resident_pages >= self.capacity_pages {
+            self.evict_one(outcome);
+        }
+    }
+
+    /// Runs the CLOCK hand until exactly one resident page is evicted.
+    /// Callers must ensure `resident_pages > 0` (implied by the pressure
+    /// conditions in [`Self::make_room`] / [`Self::set_capacity_pages`]).
+    fn evict_one(&mut self, outcome: &mut TouchOutcome) {
+        loop {
             debug_assert!(!self.clock_queue.is_empty(), "resident pages imply queue entries");
             if self.clock_hand >= self.clock_queue.len() {
                 self.clock_hand = 0;
@@ -275,6 +298,7 @@ impl Epc {
                     }
                     outcome.pages_evicted += 1;
                     self.stats.pages_evicted += 1;
+                    return;
                 }
                 PageState::Untouched | PageState::Evicted => {
                     // Stale queue entry (region freed or already evicted);
@@ -386,6 +410,53 @@ mod tests {
         assert_eq!(s.pages_added, 4);
         assert!(s.pages_evicted >= 4);
         assert!(s.pages_loaded >= 2);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_surplus_via_clock() {
+        let mut epc = Epc::new(8 * PAGE_SIZE);
+        let a = epc.alloc(6 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+        assert_eq!(epc.resident_pages(), 6);
+
+        let o = epc.set_capacity_pages(2);
+        assert_eq!(epc.capacity_pages(), 2);
+        assert_eq!(o.pages_evicted, 4);
+        assert_eq!(o.pages_added, 0);
+        assert_eq!(o.pages_loaded, 0);
+        assert_eq!(epc.resident_pages(), 2);
+
+        // The next full sweep thrashes through the shrunken cache.
+        let o = epc.touch(a);
+        assert!(o.pages_loaded >= 4, "sweep must reload evicted pages: {o:?}");
+        assert!(epc.resident_pages() <= 2);
+    }
+
+    #[test]
+    fn growing_capacity_is_free_and_floor_is_one_page() {
+        let mut epc = Epc::new(2 * PAGE_SIZE);
+        let a = epc.alloc(2 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+
+        let o = epc.set_capacity_pages(16);
+        assert_eq!(o, TouchOutcome::default());
+        assert_eq!(epc.capacity_pages(), 16);
+        assert_eq!(epc.resident_pages(), 2);
+
+        let o = epc.set_capacity_pages(0);
+        assert_eq!(epc.capacity_pages(), 1);
+        assert_eq!(o.pages_evicted, 1);
+        assert_eq!(epc.resident_pages(), 1);
+    }
+
+    #[test]
+    fn capacity_shrink_accumulates_into_stats() {
+        let mut epc = Epc::new(4 * PAGE_SIZE);
+        let a = epc.alloc(4 * PAGE_SIZE).unwrap();
+        epc.touch(a);
+        let before = epc.stats().pages_evicted;
+        epc.set_capacity_pages(1);
+        assert_eq!(epc.stats().pages_evicted, before + 3);
     }
 
     #[test]

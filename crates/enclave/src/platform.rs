@@ -11,7 +11,7 @@ use parking_lot::Mutex;
 use crate::attest::AttestationService;
 use crate::cost::{CostModel, CycleBreakdown, SimClock, SimTime};
 use crate::enclave::{Enclave, EnclaveConfig};
-use crate::epc::{Epc, EpcStats, DEFAULT_EPC_BYTES};
+use crate::epc::{Epc, EpcStats, TouchOutcome, DEFAULT_EPC_BYTES};
 use crate::EnclaveError;
 
 pub(crate) struct PlatformInner {
@@ -143,6 +143,39 @@ impl Platform {
         self.inner.epc.lock().stats()
     }
 
+    /// EPC capacity in pages.
+    pub fn epc_capacity_pages(&self) -> usize {
+        self.inner.epc.lock().capacity_pages()
+    }
+
+    /// Resizes the EPC to `pages` (minimum one) — the EPC-pressure fault
+    /// knob. Shrinking evicts the surplus working set through the CLOCK
+    /// policy and charges the `EWB` work to this platform's clock, exactly
+    /// like demand-paging evictions. Returns the eviction work performed.
+    pub fn set_epc_capacity_pages(&self, pages: usize) -> TouchOutcome {
+        let outcome = self.inner.epc.lock().set_capacity_pages(pages);
+        if outcome.pages_evicted > 0 {
+            self.inner.clock.lock().charge_page_evictions(outcome.pages_evicted);
+        }
+        outcome
+    }
+
+    /// The simulated core clock rate in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.inner.clock.lock().clock_hz()
+    }
+
+    /// Re-rates the simulated core clock — the clock-skew fault knob.
+    /// Accumulated cycles are untouched; only the cycles→seconds
+    /// conversion changes. See [`SimClock::set_clock_hz`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-finite or non-positive rate.
+    pub fn set_clock_hz(&self, hz: f64) {
+        self.inner.clock.lock().set_clock_hz(hz);
+    }
+
     /// Draws `n` bytes from the platform RDRAND stream.
     pub fn random_bytes(&self, n: usize) -> Vec<u8> {
         self.inner.drbg.lock().generate(n)
@@ -207,6 +240,42 @@ mod tests {
         let before = p.cycles();
         let _e = p.create_enclave(&config()).unwrap();
         assert!(p.cycles() > before, "EADD work must be charged");
+    }
+
+    #[test]
+    fn epc_shrink_charges_eviction_cycles() {
+        let p = Platform::with_seed(b"seed");
+        let e = p.create_enclave(&config()).unwrap();
+        let r = e.alloc(1 << 14).unwrap();
+        e.touch(r);
+        p.reset_clock();
+
+        let resident_before = p.epc_stats().pages_added;
+        assert!(resident_before > 0);
+        let o = p.set_epc_capacity_pages(2);
+        assert_eq!(p.epc_capacity_pages(), 2);
+        assert!(o.pages_evicted > 0, "shrink below working set must evict: {o:?}");
+        let breakdown = p.cycle_breakdown();
+        assert!(breakdown.paging_cycles > 0, "evictions must be charged");
+        assert_eq!(breakdown.total(), p.cycles(), "ledger stays consistent");
+    }
+
+    #[test]
+    fn clock_skew_dilates_time_not_cycles() {
+        let p = Platform::with_seed(b"seed");
+        p.charge_native_flops(1_000_000);
+        let cycles = p.cycles();
+        let honest = p.elapsed().seconds;
+
+        let base = p.clock_hz();
+        p.set_clock_hz(base / 2.0);
+        assert_eq!(p.cycles(), cycles, "skew must not touch the work ledger");
+        let skewed = p.elapsed().seconds;
+        assert_eq!(skewed.to_bits(), (honest * 2.0).to_bits());
+        assert_eq!(p.clock_hz(), base / 2.0);
+
+        p.set_clock_hz(base);
+        assert_eq!(p.elapsed().seconds.to_bits(), honest.to_bits());
     }
 
     #[test]

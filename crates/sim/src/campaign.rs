@@ -1,0 +1,415 @@
+//! The campaign engine: executes a [`CampaignPlan`] against the real
+//! pipeline with the full invariant set checked every round.
+//!
+//! Each round of a campaign drives both legs of the system under the
+//! plan's faults for that round:
+//!
+//! - an **ingest leg** (on rounds with channel ops, plus round 0):
+//!   participants re-seal their shards, the planned channel ops mutate
+//!   the stream (each op seeded by its own salt), and the server's
+//!   [`caltrain_core::server::IngestStats`] must match the channel's
+//!   ground truth with a consistent cycle ledger;
+//! - a **training leg**: one federated round through a transport that
+//!   replays the plan's hub submissions and, via the
+//!   [`RoundTransport::before_round`] seam, applies the round's
+//!   environment faults (EPC shrinks, clock skews) from the sequential
+//!   control path — worker-count invariant by construction. After every
+//!   round: hub convergence, ledger consistency and simulated-time
+//!   consistency.
+//!
+//! At campaign end the ingested pool's fingerprint db is checked for
+//! completeness and the final weights for finiteness. A campaign run is
+//! seed-deterministic bit for bit, so a violating plan can be shrunk
+//! (see [`crate::shrink`]) by re-executing candidates.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use caltrain_core::accountability::FingerprintingStage;
+use caltrain_core::hubs::{HubSubmission, RoundTransport};
+use caltrain_crypto::sha256::Digest;
+use caltrain_enclave::Platform;
+use caltrain_nn::zoo;
+use caltrain_runtime::Parallelism;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::channel::FaultyChannel;
+use crate::invariants;
+use crate::plan::{CampaignPlan, ChannelOpKind, FaultOp};
+use crate::shrink::{shrink_plan, ShrinkOutcome};
+use crate::trace::{bits32, bits64};
+use crate::world;
+use crate::Ctx;
+
+/// Training instances in the campaign hub world.
+const TRAIN_INSTANCES: usize = 16;
+/// Participants feeding the ingest leg.
+const PARTICIPANTS: usize = 2;
+/// Instances across all participant shards.
+const INGEST_INSTANCES: usize = 8;
+/// Sealed-batch size for per-round uploads (small, so channel ops have
+/// several batches to pick from).
+const UPLOAD_BATCH: usize = 2;
+
+/// Campaign execution knobs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CampaignConfig {
+    /// Test-only hook (CLI `--demo-violation`): injects a deliberately
+    /// weakened invariant that trips whenever a byzantine (`Scaled`) hub
+    /// submission happens while any EPC-pressure op has been applied —
+    /// a known-detectable violation for exercising the shrinker and the
+    /// replay workflow end to end.
+    pub demo_violation: bool,
+}
+
+/// Per-round observations the scenario families assert on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// Final global weights.
+    pub final_params: Vec<Vec<f32>>,
+    /// `[round][hub]` simulated cycles for the round's local training.
+    pub hub_cycles: Vec<Vec<u64>>,
+    /// `[round][hub]` simulated seconds, as exact `f64` bits.
+    pub hub_seconds_bits: Vec<Vec<u64>>,
+    /// Per-hub cumulative EPC evictions at campaign end.
+    pub hub_evictions: Vec<u64>,
+}
+
+/// The reproducibility identity of one campaign run (violating or not).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignRun {
+    /// The plan's seed.
+    pub seed: u64,
+    /// Rounds the plan schedules.
+    pub rounds: usize,
+    /// Ops in the plan.
+    pub ops: usize,
+    /// Digest of the (possibly partial, on violation) event trace.
+    pub trace_digest: Digest,
+    /// Final-weights digest, when the campaign completed.
+    pub weights_digest: Option<Digest>,
+    /// Trace events recorded.
+    pub events: usize,
+    /// Invariant checks passed.
+    pub checks: usize,
+    /// The violation message, if any invariant failed.
+    pub violation: Option<String>,
+}
+
+impl CampaignRun {
+    /// One stable, diff-friendly summary line (`ci.sh` diffs these
+    /// across worker counts, like scenario lines).
+    pub fn summary_line(&self) -> String {
+        match &self.violation {
+            None => {
+                let weights = self
+                    .weights_digest
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |d| d.to_hex()[..16].to_string());
+                format!(
+                    "ok   {:<22} seed={:<4} trace={} weights={} checks={} events={} rounds={} ops={}",
+                    "campaign",
+                    self.seed,
+                    &self.trace_digest.to_hex()[..16],
+                    weights,
+                    self.checks,
+                    self.events,
+                    self.rounds,
+                    self.ops
+                )
+            }
+            Some(violation) => format!(
+                "FAIL campaign seed={} trace={} rounds={} ops={}: {}",
+                self.seed,
+                &self.trace_digest.to_hex()[..16],
+                self.rounds,
+                self.ops,
+                violation
+            ),
+        }
+    }
+}
+
+/// Replays a plan's hub submissions and environment faults. Submissions
+/// come from the sequential aggregation fold; environment ops land in
+/// [`RoundTransport::before_round`] on the sequential control path —
+/// both worker-count invariant by construction.
+struct CampaignTransport {
+    submissions: BTreeMap<(usize, usize), HubSubmission>,
+    env: BTreeMap<usize, Vec<FaultOp>>,
+    /// Pristine clock rates in hub order; skew factors are absolute
+    /// multiples of these, so re-applying or weakening a skew is
+    /// monotone and idempotent.
+    base_hz: Vec<f64>,
+    log: Vec<String>,
+}
+
+impl CampaignTransport {
+    fn new(plan: &CampaignPlan, base_hz: Vec<f64>) -> Self {
+        let mut submissions = BTreeMap::new();
+        let mut env: BTreeMap<usize, Vec<FaultOp>> = BTreeMap::new();
+        for planned in &plan.ops {
+            match &planned.op {
+                FaultOp::Hub { hub, submission } => {
+                    submissions.insert((planned.round, *hub), *submission);
+                }
+                FaultOp::EpcShrink { .. } | FaultOp::ClockSkew { .. } => {
+                    env.entry(planned.round).or_default().push(planned.op.clone());
+                }
+                FaultOp::Channel { .. } => {}
+            }
+        }
+        CampaignTransport { submissions, env, base_hz, log: Vec::new() }
+    }
+
+    fn drain_log(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.log)
+    }
+}
+
+impl RoundTransport for CampaignTransport {
+    fn submission(&mut self, round: usize, hub: usize) -> HubSubmission {
+        self.submissions.get(&(round, hub)).copied().unwrap_or(HubSubmission::Trained)
+    }
+
+    fn before_round(&mut self, round: usize, platforms: &[&Platform]) {
+        let Some(ops) = self.env.get(&round) else { return };
+        for op in ops {
+            match *op {
+                FaultOp::EpcShrink { hub, pages } => {
+                    let outcome = platforms[hub].set_epc_capacity_pages(pages);
+                    self.log.push(format!(
+                        "env round {round}: epc hub {hub} capacity {pages} pages evicted {}",
+                        outcome.pages_evicted
+                    ));
+                }
+                FaultOp::ClockSkew { hub, factor_bits } => {
+                    let factor = f64::from_bits(factor_bits);
+                    let hz = self.base_hz[hub] * factor;
+                    platforms[hub].set_clock_hz(hz);
+                    self.log.push(format!(
+                        "env round {round}: clock hub {hub} factor {} hz {}",
+                        bits64(factor),
+                        bits64(hz)
+                    ));
+                }
+                FaultOp::Hub { .. } | FaultOp::Channel { .. } => unreachable!("env ops only"),
+            }
+        }
+    }
+}
+
+/// Executes `plan` inside an existing scenario context, returning the
+/// per-round observations. Used by the campaign CLI (via
+/// [`run_campaign`]) and directly by the `epc-pressure` / `clock-skew` /
+/// `soak` scenario families.
+///
+/// # Errors
+///
+/// The first invariant violation (or pipeline failure), replay-tagged by
+/// the caller.
+pub fn run_with_ctx(
+    ctx: &mut Ctx,
+    plan: &CampaignPlan,
+    config: &CampaignConfig,
+) -> Result<CampaignStats, String> {
+    plan.validate()?;
+    ctx.note(format!(
+        "campaign seed {} rounds {} hubs {} ops {}",
+        plan.seed,
+        plan.rounds,
+        plan.hubs,
+        plan.ops.len()
+    ));
+    let mut cluster = world::hub_world(plan.seed, plan.hubs, TRAIN_INSTANCES, ctx.parallelism);
+    let (mut server, mut people) =
+        world::ingest_world(plan.seed ^ 0x1A6E57, PARTICIPANTS, INGEST_INSTANCES, ctx.parallelism);
+    let base_hz: Vec<f64> = (0..plan.hubs)
+        .map(|h| cluster.hub_platform(h).expect("hub in range").clock_hz())
+        .collect();
+    let mut transport = CampaignTransport::new(plan, base_hz);
+
+    // Ingest runs on rounds the plan actually attacks the channel (plus
+    // a round-0 baseline), keeping long soaks cheap while every channel
+    // fault is still exercised against the live server.
+    let ingest_rounds: BTreeSet<usize> = plan
+        .ops
+        .iter()
+        .filter(|p| matches!(p.op, FaultOp::Channel { .. }))
+        .map(|p| p.round)
+        .chain(std::iter::once(0))
+        .collect();
+
+    let mut stats = CampaignStats {
+        final_params: Vec::new(),
+        hub_cycles: Vec::new(),
+        hub_seconds_bits: Vec::new(),
+        hub_evictions: Vec::new(),
+    };
+    let mut epc_pressured = false;
+
+    for round in 0..plan.rounds {
+        for planned in plan.ops_in_round(round) {
+            ctx.note(format!("plan round {round}: {}", planned.op.describe()));
+        }
+        if config.demo_violation {
+            epc_pressured |= plan
+                .ops_in_round(round)
+                .any(|p| matches!(p.op, FaultOp::EpcShrink { .. }));
+            let byzantine = plan.ops_in_round(round).any(|p| {
+                matches!(p.op, FaultOp::Hub { submission: HubSubmission::Scaled(_), .. })
+            });
+            if epc_pressured && byzantine {
+                return Err(format!(
+                    "demo-violation: byzantine submission under EPC pressure (round {round})"
+                ));
+            }
+        }
+
+        if ingest_rounds.contains(&round) {
+            let uploads: Vec<_> = people.iter_mut().map(|p| p.seal_upload(UPLOAD_BATCH)).collect();
+            let mut chan = FaultyChannel::new(uploads);
+            for planned in plan.ops_in_round(round) {
+                let FaultOp::Channel { kind, salt } = planned.op else { continue };
+                let mut rng = StdRng::seed_from_u64(salt);
+                let line = match kind {
+                    ChannelOpKind::Drop => chan.drop_one(&mut rng),
+                    ChannelOpKind::Duplicate => chan.duplicate_one(&mut rng),
+                    ChannelOpKind::Reorder => Some(chan.reorder(&mut rng)),
+                    ChannelOpKind::Corrupt => chan.corrupt_one(&mut rng),
+                    ChannelOpKind::CorruptLabels => chan.corrupt_labels(&mut rng),
+                    ChannelOpKind::ReplayUpload => chan.replay_upload(&mut rng),
+                };
+                // The walk may drain the channel; a later op finding no
+                // target is a deterministic no-op, not a failure.
+                ctx.note(match line {
+                    Some(line) => format!("round {round} {line}"),
+                    None => format!("round {round} channel {} no-op", planned.op.describe()),
+                });
+            }
+            let expected = chan.expected();
+            let ingest = server.ingest_from(&mut chan);
+            ctx.note(format!(
+                "round {round} ingest accepted={} discarded={} duplicates={} instances={}",
+                ingest.accepted, ingest.discarded, ingest.duplicates, ingest.instances
+            ));
+            ctx.check_with(
+                "ingest stats match channel ground truth",
+                invariants::stats_match(ingest, expected),
+            )?;
+            ctx.check_with(
+                "server cycle ledger consistent",
+                invariants::ledger_consistent(server.platform()),
+            )?;
+        }
+
+        let out = cluster
+            .train_round_via(1, &mut transport)
+            .map_err(|e| format!("round {round} failed: {e:?}"))?;
+        for line in transport.drain_log() {
+            ctx.note(line);
+        }
+        let losses: Vec<String> = out.hub_losses.iter().map(|v| bits32(*v)).collect();
+        ctx.note(format!(
+            "round {round} losses=[{}] time={} crashed={:?}",
+            losses.join(","),
+            bits32(out.round_time.seconds as f32),
+            out.crashed
+        ));
+        ctx.check_with("hubs converged after aggregation", invariants::hubs_converged(&cluster))?;
+        ctx.check_with(
+            "hub cycle ledgers consistent",
+            invariants::hub_ledgers_consistent(&cluster),
+        )?;
+        ctx.check_with(
+            "hub simulated time consistent",
+            invariants::hubs_time_consistent(&cluster),
+        )?;
+        let mut cycles_row = Vec::with_capacity(plan.hubs);
+        let mut seconds_row = Vec::with_capacity(plan.hubs);
+        for h in 0..plan.hubs {
+            let platform = cluster.hub_platform(h).expect("hub in range");
+            cycles_row.push(platform.cycles());
+            seconds_row.push(platform.elapsed().seconds.to_bits());
+        }
+        stats.hub_cycles.push(cycles_row);
+        stats.hub_seconds_bits.push(seconds_row);
+    }
+
+    // Campaign epilogue: accountability evidence over everything the
+    // faulted channel let through, and a finite, digested final model.
+    let pool = server.pool().map_err(|e| format!("pool unavailable: {e:?}"))?;
+    let mut net = zoo::cifar10_10layer_scaled(32, plan.seed).map_err(|e| format!("{e:?}"))?;
+    let stage =
+        FingerprintingStage::launch(server.platform(), (net.param_count() * 4).max(1 << 20))
+            .map_err(|e| format!("stage launch: {e:?}"))?;
+    let db = stage.build_db(&mut net, pool, 16).map_err(|e| format!("build_db: {e:?}"))?;
+    ctx.check_with(
+        "fingerprint db complete over the ingested pool",
+        invariants::fingerprint_complete(&db, pool),
+    )?;
+    ctx.check_with(
+        "server cycle ledger consistent after fingerprinting",
+        invariants::ledger_consistent(server.platform()),
+    )?;
+
+    let params = cluster.global_model().export_params();
+    ctx.check_with("global weights all finite", invariants::weights_finite(&params))?;
+    ctx.set_weights(&params);
+    stats.final_params = params;
+    stats.hub_evictions = (0..plan.hubs)
+        .map(|h| cluster.hub_platform(h).expect("hub in range").epc_stats().pages_evicted)
+        .collect();
+    ctx.note(format!(
+        "campaign end evictions={:?} pool={}",
+        stats.hub_evictions,
+        pool.len()
+    ));
+    Ok(stats)
+}
+
+/// Runs one full campaign standalone (own context, panics contained),
+/// like [`crate::run_scenario`] does for catalog families. Never panics:
+/// violations and escaped panics land in [`CampaignRun::violation`].
+pub fn run_campaign(
+    plan: &CampaignPlan,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> CampaignRun {
+    let mut ctx = Ctx::new(plan.seed, parallelism);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_with_ctx(&mut ctx, plan, config)
+    }))
+    .unwrap_or_else(|panic| {
+        let msg = panic
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| panic.downcast_ref::<&str>().copied())
+            .unwrap_or("<non-string panic>");
+        Err(format!("panicked: {msg}"))
+    });
+    CampaignRun {
+        seed: plan.seed,
+        rounds: plan.rounds,
+        ops: plan.ops.len(),
+        trace_digest: ctx.trace.digest(),
+        weights_digest: ctx.weights_digest.clone(),
+        events: ctx.trace.len(),
+        checks: ctx.checks,
+        violation: outcome.err(),
+    }
+}
+
+/// Shrinks a violating plan by re-executing candidates through
+/// [`run_campaign`] under the same config and parallelism; a candidate
+/// reproduces iff it yields the exact same violation message.
+pub fn shrink_campaign(
+    plan: &CampaignPlan,
+    violation: &str,
+    config: &CampaignConfig,
+    parallelism: Parallelism,
+) -> ShrinkOutcome {
+    shrink_plan(plan, violation, &mut |candidate| {
+        run_campaign(candidate, config, parallelism).violation
+    })
+}

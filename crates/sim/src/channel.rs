@@ -231,6 +231,32 @@ mod tests {
     }
 
     #[test]
+    fn ops_on_an_empty_channel_are_deterministic_no_ops() {
+        let mut chan = FaultyChannel::new(Vec::new());
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(chan.drop_one(&mut rng).is_none());
+        assert!(chan.duplicate_one(&mut rng).is_none());
+        assert!(chan.replay_upload(&mut rng).is_none());
+        assert!(chan.corrupt_one(&mut rng).is_none());
+        assert!(chan.corrupt_labels(&mut rng).is_none());
+        assert_eq!(chan.reorder(&mut rng), "channel reorder");
+        assert_eq!(chan.batches(), 0);
+        assert_eq!(chan.expected(), Expected::default());
+        assert!(chan.next_upload().is_none());
+
+        // Uploads that exist but hold no batches: batch-targeting ops
+        // still no-op; a whole-upload replay clones an empty upload,
+        // which is harmless and leaves the ground truth untouched.
+        let mut hollow = FaultyChannel::new(vec![Vec::new(), Vec::new()]);
+        assert!(hollow.drop_one(&mut rng).is_none());
+        assert!(hollow.duplicate_one(&mut rng).is_none());
+        assert!(hollow.corrupt_one(&mut rng).is_none());
+        assert!(hollow.replay_upload(&mut rng).is_some());
+        assert_eq!(hollow.batches(), 0);
+        assert_eq!(hollow.expected(), Expected::default());
+    }
+
+    #[test]
     fn drained_in_delivery_order() {
         let mut chan = FaultyChannel::new(vec![vec![batch(0, 1)], vec![batch(1, 2)]]);
         assert_eq!(chan.next_upload().unwrap()[0].source, ParticipantId(0));

@@ -103,6 +103,34 @@ pub fn stats_match(stats: IngestStats, expected: Expected) -> Result<(), String>
     Ok(())
 }
 
+/// Simulated-time consistency: under the platform's current (possibly
+/// skewed) clock rate, elapsed seconds must equal `cycles / clock_hz`
+/// bitwise, and the rate itself must be a usable frequency. Clock-skew
+/// faults re-rate the conversion; they must never detach time from the
+/// work ledger.
+pub fn time_consistent(platform: &Platform) -> Result<(), String> {
+    let hz = platform.clock_hz();
+    if !(hz.is_finite() && hz > 0.0) {
+        return Err(format!("clock rate {hz} is not positive and finite"));
+    }
+    let expect = platform.cycles() as f64 / hz;
+    let got = platform.elapsed().seconds;
+    if expect.to_bits() == got.to_bits() {
+        Ok(())
+    } else {
+        Err(format!("elapsed {got} != cycles/clock_hz {expect} at {hz} Hz"))
+    }
+}
+
+/// Time consistency across every hub platform in a cluster.
+pub fn hubs_time_consistent(cluster: &HubCluster) -> Result<(), String> {
+    for h in 0..cluster.len() {
+        let platform = cluster.hub_platform(h).expect("index in range");
+        time_consistent(platform).map_err(|e| format!("hub {h}: {e}"))?;
+    }
+    Ok(())
+}
+
 /// All weights finite — byzantine submissions may perturb the model but
 /// the harness treats NaN/Inf escape as corruption of the trajectory.
 pub fn weights_finite(params: &[Vec<f32>]) -> Result<(), String> {

@@ -31,9 +31,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod channel;
 pub mod invariants;
+pub mod plan;
 pub mod scenarios;
+pub mod shrink;
 pub mod trace;
 pub mod world;
 

@@ -5,34 +5,57 @@
 //! cargo run -p caltrain-sim -- --all --seeds 1,2,3
 //! cargo run -p caltrain-sim -- --scenario hub-crash-restart --seed 7
 //! cargo run -p caltrain-sim -- --all --smoke
+//! cargo run -p caltrain-sim -- --campaign --seeds 1,2 --steps 10
+//! cargo run -p caltrain-sim -- --replay-plan target/campaign-min-seed1.plan
 //! ```
 //!
-//! Every run prints one stable summary line per `(scenario, seed)`;
-//! `ci.sh` diffs these lines across `CALTRAIN_WORKERS` settings to
-//! enforce worker-count invariance. On any invariant violation the
-//! failing seed and an exact replay command are printed and the process
-//! exits non-zero.
+//! Every run prints one stable summary line per `(scenario, seed)` or
+//! per campaign; `ci.sh` diffs these lines across `CALTRAIN_WORKERS`
+//! settings to enforce worker-count invariance. On any invariant
+//! violation the failing seed and an exact replay command are printed
+//! and the process exits non-zero.
+//!
+//! `--campaign` runs a seeded random walk over the whole fault alphabet
+//! (hub submissions, channel ops, EPC pressure, clock skew). When a
+//! walk trips an invariant, the plan is delta-debugged down to a
+//! minimal reproducer, written next to the build artifacts, and the
+//! `--replay-plan` command that re-executes it bitwise is printed.
+//! `--demo-violation` arms a deliberately weakened invariant (a test
+//! hook) so the full find→shrink→replay loop can be exercised on
+//! demand.
 
 use caltrain_runtime::Parallelism;
-use caltrain_sim::{run_scenario, scenarios};
+use caltrain_sim::campaign::{run_campaign, shrink_campaign, CampaignConfig};
+use caltrain_sim::plan::{CampaignPlan, WalkProfile};
+use caltrain_sim::{find, run_scenario, scenarios};
 
 /// Default seed corpus (`--seeds` overrides; `--smoke` shrinks to the
 /// first seed).
 const DEFAULT_SEEDS: &[u64] = &[1, 2, 3];
 
+/// Default campaign walk length in rounds (`--steps` overrides).
+const DEFAULT_STEPS: usize = 12;
+
+/// Hubs in the campaign world.
+const CAMPAIGN_HUBS: usize = 2;
+
 struct Args {
     list: bool,
     all: bool,
     smoke: bool,
+    campaign: bool,
+    demo_violation: bool,
     scenario: Option<String>,
+    replay_plan: Option<String>,
+    steps: usize,
     seeds: Vec<u64>,
     workers: Option<usize>,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: caltrain-sim [--list] [--all | --scenario NAME] [--seed N | --seeds A,B,C] \
-         [--smoke] [--workers N]"
+        "usage: caltrain-sim [--list] [--all | --scenario NAME | --campaign | --replay-plan FILE] \
+         [--seed N | --seeds A,B,C] [--steps N] [--smoke] [--workers N] [--demo-violation]"
     );
     std::process::exit(2)
 }
@@ -43,7 +66,11 @@ fn parse(mut argv: std::env::Args) -> Args {
         list: false,
         all: false,
         smoke: false,
+        campaign: false,
+        demo_violation: false,
         scenario: None,
+        replay_plan: None,
+        steps: DEFAULT_STEPS,
         seeds: Vec::new(),
         workers: None,
     };
@@ -52,8 +79,17 @@ fn parse(mut argv: std::env::Args) -> Args {
             "--list" => args.list = true,
             "--all" => args.all = true,
             "--smoke" => args.smoke = true,
+            "--campaign" => args.campaign = true,
+            "--demo-violation" => args.demo_violation = true,
             "--scenario" => {
                 args.scenario = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--replay-plan" => {
+                args.replay_plan = Some(argv.next().unwrap_or_else(|| usage()));
+            }
+            "--steps" => {
+                let v = argv.next().unwrap_or_else(|| usage());
+                args.steps = v.parse().unwrap_or_else(|_| usage());
             }
             "--seed" => {
                 let v = argv.next().unwrap_or_else(|| usage());
@@ -75,6 +111,69 @@ fn parse(mut argv: std::env::Args) -> Args {
     args
 }
 
+fn print_catalog() {
+    for family in scenarios::all() {
+        eprintln!("  {:<22} {}", family.name, family.about);
+    }
+}
+
+/// Runs campaigns over `seeds`; on a violation, shrinks to a minimal
+/// reproducer, writes it to disk and prints the exact replay command.
+fn run_campaigns(args: &Args, seeds: &[u64], parallelism: Parallelism) -> usize {
+    let config = CampaignConfig { demo_violation: args.demo_violation };
+    let mut failures = 0usize;
+    for &seed in seeds {
+        let plan = CampaignPlan::generate(seed, args.steps, CAMPAIGN_HUBS, WalkProfile::Mixed);
+        let run = run_campaign(&plan, &config, parallelism);
+        println!("{}", run.summary_line());
+        let Some(violation) = run.violation else { continue };
+        failures += 1;
+        eprintln!("campaign seed {seed}: shrinking {} ops...", plan.ops.len());
+        let outcome = shrink_campaign(&plan, &violation, &config, parallelism);
+        eprintln!(
+            "shrunk to {} op(s) in {} execution(s) (removed {}, weakened {}):",
+            outcome.plan.ops.len(),
+            outcome.executions,
+            outcome.removed,
+            outcome.weakened
+        );
+        for op in &outcome.plan.ops {
+            eprintln!("  round {}: {}", op.round, op.op.describe());
+        }
+        let path = format!("target/campaign-min-seed{seed}.plan");
+        if let Err(e) = std::fs::create_dir_all("target")
+            .and_then(|()| std::fs::write(&path, outcome.plan.render()))
+        {
+            eprintln!("could not write {path}: {e}");
+            continue;
+        }
+        // Re-run the minimal plan once so the printed line is the exact
+        // identity a replay must reproduce.
+        let minimal = run_campaign(&outcome.plan, &config, parallelism);
+        println!("{}", minimal.summary_line());
+        let demo = if args.demo_violation { " --demo-violation" } else { "" };
+        eprintln!("minimal plan written to {path}");
+        eprintln!("  replay: cargo run -p caltrain-sim -- --replay-plan {path}{demo}");
+    }
+    failures
+}
+
+/// Re-executes a plan file written by a previous campaign run.
+fn run_replay(args: &Args, path: &str, parallelism: Parallelism) -> usize {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read plan {path}: {e}");
+        std::process::exit(2)
+    });
+    let plan = CampaignPlan::parse(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse plan {path}: {e}");
+        std::process::exit(2)
+    });
+    let config = CampaignConfig { demo_violation: args.demo_violation };
+    let run = run_campaign(&plan, &config, parallelism);
+    println!("{}", run.summary_line());
+    usize::from(run.violation.is_some())
+}
+
 fn main() {
     let args = parse(std::env::args());
     if args.list {
@@ -84,11 +183,6 @@ fn main() {
         return;
     }
 
-    let names: Vec<&str> = match (&args.scenario, args.all) {
-        (Some(name), _) => vec![name.as_str()],
-        // Bare invocation defaults to the full corpus.
-        (None, _) => scenarios::all().iter().map(|f| f.name).collect(),
-    };
     let mut seeds = if args.seeds.is_empty() { DEFAULT_SEEDS.to_vec() } else { args.seeds.clone() };
     if args.smoke {
         seeds.truncate(1);
@@ -96,6 +190,38 @@ fn main() {
     let parallelism = match args.workers {
         Some(0) | None => Parallelism::default(), // honours CALTRAIN_WORKERS
         Some(n) => Parallelism::new(n),
+    };
+
+    if let Some(path) = &args.replay_plan {
+        let failures = run_replay(&args, path, parallelism);
+        if failures > 0 {
+            eprintln!("replayed plan violated an invariant");
+            std::process::exit(1);
+        }
+        return;
+    }
+    if args.campaign {
+        let failures = run_campaigns(&args, &seeds, parallelism);
+        if failures > 0 {
+            eprintln!("{failures} campaign(s) violated an invariant");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let names: Vec<&str> = match (&args.scenario, args.all) {
+        (Some(name), _) => {
+            // An unknown family is a usage error, not a run failure:
+            // exit 2 and show what exists.
+            if find(name).is_none() {
+                eprintln!("unknown scenario '{name}'; available families:");
+                print_catalog();
+                std::process::exit(2);
+            }
+            vec![name.as_str()]
+        }
+        // Bare invocation defaults to the full corpus.
+        (None, _) => scenarios::all().iter().map(|f| f.name).collect(),
     };
 
     let mut failures = 0usize;

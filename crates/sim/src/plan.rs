@@ -1,0 +1,549 @@
+//! First-class, serializable campaign fault plans.
+//!
+//! A campaign is a seed-driven random walk over the whole fault alphabet
+//! — hub submissions (crash/stale/byzantine), channel ops
+//! (drop/duplicate/reorder/corrupt/replay), EPC-capacity shrinks and
+//! clock skews — scheduled round by round as a [`CampaignPlan`]. The
+//! plan is the unit of replay: it serializes to a line-based text format
+//! (floats as exact bit patterns, channel randomness pinned by explicit
+//! per-op salts) so a failing walk can be written to disk, shrunk to a
+//! minimal reproducer, and re-executed bitwise from the file alone.
+
+use caltrain_core::hubs::HubSubmission;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Largest EPC capacity (in pages) the weakening ladder relaxes toward;
+/// above this a shrink op is effectively harmless for campaign worlds.
+pub const MAX_WEAK_PAGES: usize = 4096;
+
+/// Which [`crate::channel::FaultyChannel`] operation a planned channel
+/// fault performs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelOpKind {
+    /// Drop one random batch in transit.
+    Drop,
+    /// Duplicate one random batch at a later position.
+    Duplicate,
+    /// Shuffle upload and batch delivery order.
+    Reorder,
+    /// Flip one ciphertext bit of one random batch.
+    Corrupt,
+    /// Flip one AAD-label bit of one random batch.
+    CorruptLabels,
+    /// Replay one whole upload at the end of the stream.
+    ReplayUpload,
+}
+
+impl ChannelOpKind {
+    fn token(self) -> &'static str {
+        match self {
+            ChannelOpKind::Drop => "drop",
+            ChannelOpKind::Duplicate => "duplicate",
+            ChannelOpKind::Reorder => "reorder",
+            ChannelOpKind::Corrupt => "corrupt",
+            ChannelOpKind::CorruptLabels => "corrupt-labels",
+            ChannelOpKind::ReplayUpload => "replay-upload",
+        }
+    }
+
+    fn from_token(token: &str) -> Option<Self> {
+        Some(match token {
+            "drop" => ChannelOpKind::Drop,
+            "duplicate" => ChannelOpKind::Duplicate,
+            "reorder" => ChannelOpKind::Reorder,
+            "corrupt" => ChannelOpKind::Corrupt,
+            "corrupt-labels" => ChannelOpKind::CorruptLabels,
+            "replay-upload" => ChannelOpKind::ReplayUpload,
+            _ => return None,
+        })
+    }
+}
+
+/// One fault from the campaign alphabet.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultOp {
+    /// A hub submission fault on the [`caltrain_core::hubs::RoundTransport`]
+    /// seam (never [`HubSubmission::Trained`] — honest is the absence of
+    /// an op).
+    Hub {
+        /// Target hub index.
+        hub: usize,
+        /// The faulty submission.
+        submission: HubSubmission,
+    },
+    /// A channel op applied to the round's sealed-upload stream. `salt`
+    /// seeds the op's own RNG, so the op is self-contained and survives
+    /// plan shrinking unchanged.
+    Channel {
+        /// The channel operation.
+        kind: ChannelOpKind,
+        /// Seed for this op's RNG stream.
+        salt: u64,
+    },
+    /// Shrink (or grow) a hub platform's EPC capacity before the round.
+    EpcShrink {
+        /// Target hub index.
+        hub: usize,
+        /// New capacity in pages.
+        pages: usize,
+    },
+    /// Re-rate a hub platform's clock to `factor ×` its pristine rate
+    /// before the round. The factor is stored as exact `f64` bits.
+    ClockSkew {
+        /// Target hub index.
+        hub: usize,
+        /// `f64::to_bits` of the skew factor.
+        factor_bits: u64,
+    },
+}
+
+impl FaultOp {
+    /// Human-readable, digest-stable description for trace lines.
+    pub fn describe(&self) -> String {
+        match self {
+            FaultOp::Hub { hub, submission } => {
+                format!("hub {hub} submits {}", submission_token(*submission))
+            }
+            FaultOp::Channel { kind, salt } => {
+                format!("channel {} salt={salt:016x}", kind.token())
+            }
+            FaultOp::EpcShrink { hub, pages } => format!("epc hub {hub} capacity {pages} pages"),
+            FaultOp::ClockSkew { hub, factor_bits } => {
+                format!("clock hub {hub} factor {:016x}", factor_bits)
+            }
+        }
+    }
+}
+
+fn submission_token(s: HubSubmission) -> String {
+    match s {
+        HubSubmission::Trained => "trained".to_string(),
+        HubSubmission::Crashed => "crash".to_string(),
+        HubSubmission::Stale => "stale".to_string(),
+        HubSubmission::Scaled(f) => format!("scaled {:08x}", f.to_bits()),
+    }
+}
+
+/// One scheduled step: a fault pinned to a round. Rounds are absolute —
+/// removing other steps never renumbers the survivors, which keeps
+/// violation messages comparable during shrinking.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedOp {
+    /// Zero-based round the op fires in.
+    pub round: usize,
+    /// The fault.
+    pub op: FaultOp,
+}
+
+/// How [`CampaignPlan::generate`] walks the fault alphabet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkProfile {
+    /// The full alphabet, 0–2 ops per round (the `--campaign` default).
+    Mixed,
+    /// Long-horizon low-rate mixed faults (the `soak` family).
+    Soak,
+    /// EPC-capacity shrinks only (the `epc-pressure` family).
+    EpcPressure,
+    /// Clock-rate perturbations only (the `clock-skew` family).
+    ClockSkew,
+}
+
+/// A serializable, seed-complete campaign fault plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignPlan {
+    /// World seed (data, models, platforms) and generation seed.
+    pub seed: u64,
+    /// Rounds the campaign executes.
+    pub rounds: usize,
+    /// Hubs in the campaign world.
+    pub hubs: usize,
+    /// The scheduled faults, in stable generation order.
+    pub ops: Vec<PlannedOp>,
+}
+
+const HEADER: &str = "caltrain-campaign v1";
+
+impl CampaignPlan {
+    /// Generates a plan by a seeded random walk over `profile`'s alphabet.
+    /// Every decision derives from `seed`; the result always contains at
+    /// least one op (an all-honest walk re-rolls a single round-0 fault).
+    pub fn generate(seed: u64, rounds: usize, hubs: usize, profile: WalkProfile) -> Self {
+        let rounds = rounds.max(1);
+        let hubs = hubs.max(1);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xCA4A_16E5_u64.wrapping_mul(0x9E37_79B9));
+        let mut ops = Vec::new();
+        for round in 0..rounds {
+            let count = match profile {
+                WalkProfile::Mixed => [0usize, 1, 1, 2][rng.gen_range(0..4usize)],
+                WalkProfile::Soak => usize::from(rng.gen_range(0..100u32) < 18),
+                WalkProfile::EpcPressure | WalkProfile::ClockSkew => {
+                    if round == 0 {
+                        1
+                    } else {
+                        rng.gen_range(0..2usize)
+                    }
+                }
+            };
+            for _ in 0..count {
+                ops.push(PlannedOp { round, op: random_op(&mut rng, hubs, profile) });
+            }
+        }
+        if ops.is_empty() {
+            ops.push(PlannedOp { round: 0, op: random_op(&mut rng, hubs, profile) });
+        }
+        CampaignPlan { seed, rounds, hubs, ops }
+    }
+
+    /// The ops scheduled for `round`, in plan order.
+    pub fn ops_in_round(&self, round: usize) -> impl Iterator<Item = &PlannedOp> {
+        self.ops.iter().filter(move |op| op.round == round)
+    }
+
+    /// Structural validity: every op targets an existing round and hub.
+    ///
+    /// # Errors
+    ///
+    /// Describes the first out-of-range op.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rounds == 0 {
+            return Err("plan has zero rounds".into());
+        }
+        if self.hubs == 0 {
+            return Err("plan has zero hubs".into());
+        }
+        for (i, planned) in self.ops.iter().enumerate() {
+            if planned.round >= self.rounds {
+                return Err(format!(
+                    "op {i} targets round {} of a {}-round plan",
+                    planned.round, self.rounds
+                ));
+            }
+            let hub = match planned.op {
+                FaultOp::Hub { hub, .. }
+                | FaultOp::EpcShrink { hub, .. }
+                | FaultOp::ClockSkew { hub, .. } => Some(hub),
+                FaultOp::Channel { .. } => None,
+            };
+            if let Some(hub) = hub {
+                if hub >= self.hubs {
+                    return Err(format!("op {i} targets hub {hub} of a {}-hub plan", self.hubs));
+                }
+            }
+            if let FaultOp::ClockSkew { factor_bits, .. } = planned.op {
+                let f = f64::from_bits(factor_bits);
+                if !(f.is_finite() && f > 0.0) {
+                    return Err(format!("op {i} has a non-positive clock factor {f}"));
+                }
+            }
+            if let FaultOp::EpcShrink { pages, .. } = planned.op {
+                if pages == 0 {
+                    return Err(format!("op {i} shrinks the EPC to zero pages"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Renders the plan to its replayable text format.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(HEADER);
+        out.push('\n');
+        out.push_str(&format!("seed {}\n", self.seed));
+        out.push_str(&format!("rounds {}\n", self.rounds));
+        out.push_str(&format!("hubs {}\n", self.hubs));
+        for planned in &self.ops {
+            let line = match &planned.op {
+                FaultOp::Hub { hub, submission } => {
+                    format!("hub {} {} {}", planned.round, hub, submission_token(*submission))
+                }
+                FaultOp::Channel { kind, salt } => {
+                    format!("chan {} {} {:016x}", planned.round, kind.token(), salt)
+                }
+                FaultOp::EpcShrink { hub, pages } => {
+                    format!("epc {} {} {}", planned.round, hub, pages)
+                }
+                FaultOp::ClockSkew { hub, factor_bits } => {
+                    format!("clock {} {} {:016x}", planned.round, hub, factor_bits)
+                }
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the text format produced by [`CampaignPlan::render`].
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformed line; the parsed plan is also
+    /// [`CampaignPlan::validate`]d.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines().enumerate().filter(|(_, l)| !l.trim().is_empty());
+        let (_, header) = lines.next().ok_or("empty plan file")?;
+        if header.trim() != HEADER {
+            return Err(format!("bad header {header:?} (expected {HEADER:?})"));
+        }
+        let mut seed: Option<u64> = None;
+        let mut rounds: Option<usize> = None;
+        let mut hubs: Option<usize> = None;
+        let mut ops = Vec::new();
+        for (idx, line) in lines {
+            let n = idx + 1;
+            let fields: Vec<&str> = line.split_whitespace().collect();
+            let bad = |what: &str| format!("line {n}: {what}: {line:?}");
+            match fields.as_slice() {
+                ["seed", v] => seed = Some(v.parse().map_err(|_| bad("bad seed"))?),
+                ["rounds", v] => rounds = Some(v.parse().map_err(|_| bad("bad rounds"))?),
+                ["hubs", v] => hubs = Some(v.parse().map_err(|_| bad("bad hubs"))?),
+                ["hub", r, h, rest @ ..] => {
+                    let round = r.parse().map_err(|_| bad("bad round"))?;
+                    let hub = h.parse().map_err(|_| bad("bad hub"))?;
+                    let submission = match rest {
+                        ["crash"] => HubSubmission::Crashed,
+                        ["stale"] => HubSubmission::Stale,
+                        ["scaled", bits] => HubSubmission::Scaled(f32::from_bits(
+                            u32::from_str_radix(bits, 16).map_err(|_| bad("bad scale bits"))?,
+                        )),
+                        _ => return Err(bad("bad hub submission")),
+                    };
+                    ops.push(PlannedOp { round, op: FaultOp::Hub { hub, submission } });
+                }
+                ["chan", r, kind, salt] => {
+                    let round = r.parse().map_err(|_| bad("bad round"))?;
+                    let kind =
+                        ChannelOpKind::from_token(kind).ok_or_else(|| bad("bad channel op"))?;
+                    let salt =
+                        u64::from_str_radix(salt, 16).map_err(|_| bad("bad channel salt"))?;
+                    ops.push(PlannedOp { round, op: FaultOp::Channel { kind, salt } });
+                }
+                ["epc", r, h, pages] => {
+                    let round = r.parse().map_err(|_| bad("bad round"))?;
+                    let hub = h.parse().map_err(|_| bad("bad hub"))?;
+                    let pages = pages.parse().map_err(|_| bad("bad page count"))?;
+                    ops.push(PlannedOp { round, op: FaultOp::EpcShrink { hub, pages } });
+                }
+                ["clock", r, h, bits] => {
+                    let round = r.parse().map_err(|_| bad("bad round"))?;
+                    let hub = h.parse().map_err(|_| bad("bad hub"))?;
+                    let factor_bits =
+                        u64::from_str_radix(bits, 16).map_err(|_| bad("bad factor bits"))?;
+                    ops.push(PlannedOp { round, op: FaultOp::ClockSkew { hub, factor_bits } });
+                }
+                _ => return Err(bad("unrecognized plan line")),
+            }
+        }
+        let plan = CampaignPlan {
+            seed: seed.ok_or("plan missing 'seed' line")?,
+            rounds: rounds.ok_or("plan missing 'rounds' line")?,
+            hubs: hubs.ok_or("plan missing 'hubs' line")?,
+            ops,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
+/// Strictly-weaker variants of `op`, weakest first — the substitution
+/// ladder the shrinker tries after removal bottoms out. Empty for ops
+/// already at the weak end of their family.
+pub fn weaker_variants(op: &FaultOp) -> Vec<FaultOp> {
+    match op {
+        FaultOp::Hub { hub, submission } => match submission {
+            // Stale is the gentlest still-faulty submission: the hub
+            // answers, just with no progress.
+            HubSubmission::Crashed | HubSubmission::Scaled(_) => {
+                vec![FaultOp::Hub { hub: *hub, submission: HubSubmission::Stale }]
+            }
+            HubSubmission::Stale | HubSubmission::Trained => Vec::new(),
+        },
+        FaultOp::Channel { kind, salt } => match kind {
+            // Corruption destroys data; dropping merely loses it.
+            ChannelOpKind::Corrupt | ChannelOpKind::CorruptLabels => {
+                vec![FaultOp::Channel { kind: ChannelOpKind::Drop, salt: *salt }]
+            }
+            // A whole-upload replay weakens to a single-batch duplicate.
+            ChannelOpKind::ReplayUpload => {
+                vec![FaultOp::Channel { kind: ChannelOpKind::Duplicate, salt: *salt }]
+            }
+            ChannelOpKind::Drop | ChannelOpKind::Duplicate | ChannelOpKind::Reorder => Vec::new(),
+        },
+        FaultOp::EpcShrink { hub, pages } => {
+            let mut out = Vec::new();
+            for factor in [4usize, 2] {
+                let weaker = pages.saturating_mul(factor).min(MAX_WEAK_PAGES);
+                if weaker > *pages && !out.iter().any(|o| o == &FaultOp::EpcShrink { hub: *hub, pages: weaker }) {
+                    out.push(FaultOp::EpcShrink { hub: *hub, pages: weaker });
+                }
+            }
+            out
+        }
+        FaultOp::ClockSkew { hub, factor_bits } => {
+            let f = f64::from_bits(*factor_bits);
+            let weaker = 1.0 + (f - 1.0) / 2.0;
+            if weaker.to_bits() == *factor_bits || !weaker.is_finite() || weaker <= 0.0 {
+                Vec::new()
+            } else {
+                vec![FaultOp::ClockSkew { hub: *hub, factor_bits: weaker.to_bits() }]
+            }
+        }
+    }
+}
+
+fn random_op(rng: &mut StdRng, hubs: usize, profile: WalkProfile) -> FaultOp {
+    const SCALES: [f32; 4] = [-1.0, -0.5, 0.5, 2.0];
+    const EPC_PAGES: [usize; 5] = [64, 128, 256, 512, 1024];
+    const CLOCK_FACTORS: [f64; 5] = [0.5, 0.75, 1.25, 1.5, 2.0];
+    let epc = |rng: &mut StdRng| FaultOp::EpcShrink {
+        hub: rng.gen_range(0..hubs),
+        pages: EPC_PAGES[rng.gen_range(0..EPC_PAGES.len())],
+    };
+    let clock = |rng: &mut StdRng| FaultOp::ClockSkew {
+        hub: rng.gen_range(0..hubs),
+        factor_bits: CLOCK_FACTORS[rng.gen_range(0..CLOCK_FACTORS.len())].to_bits(),
+    };
+    match profile {
+        WalkProfile::EpcPressure => epc(rng),
+        WalkProfile::ClockSkew => clock(rng),
+        WalkProfile::Mixed | WalkProfile::Soak => match rng.gen_range(0..11usize) {
+            0 => FaultOp::Hub { hub: rng.gen_range(0..hubs), submission: HubSubmission::Crashed },
+            1 => FaultOp::Hub { hub: rng.gen_range(0..hubs), submission: HubSubmission::Stale },
+            2 => FaultOp::Hub {
+                hub: rng.gen_range(0..hubs),
+                submission: HubSubmission::Scaled(SCALES[rng.gen_range(0..SCALES.len())]),
+            },
+            3 => FaultOp::Channel { kind: ChannelOpKind::Drop, salt: rng.gen() },
+            4 => FaultOp::Channel { kind: ChannelOpKind::Duplicate, salt: rng.gen() },
+            5 => FaultOp::Channel { kind: ChannelOpKind::Reorder, salt: rng.gen() },
+            6 => FaultOp::Channel { kind: ChannelOpKind::Corrupt, salt: rng.gen() },
+            7 => FaultOp::Channel { kind: ChannelOpKind::CorruptLabels, salt: rng.gen() },
+            8 => FaultOp::Channel { kind: ChannelOpKind::ReplayUpload, salt: rng.gen() },
+            9 => epc(rng),
+            _ => clock(rng),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_seed_deterministic_and_never_empty() {
+        for seed in [1u64, 2, 3, 99] {
+            for profile in
+                [WalkProfile::Mixed, WalkProfile::Soak, WalkProfile::EpcPressure, WalkProfile::ClockSkew]
+            {
+                let a = CampaignPlan::generate(seed, 10, 2, profile);
+                let b = CampaignPlan::generate(seed, 10, 2, profile);
+                assert_eq!(a, b);
+                assert!(!a.ops.is_empty(), "{profile:?} seed {seed} generated no ops");
+                a.validate().unwrap();
+            }
+        }
+        assert_ne!(
+            CampaignPlan::generate(1, 10, 2, WalkProfile::Mixed),
+            CampaignPlan::generate(2, 10, 2, WalkProfile::Mixed),
+        );
+    }
+
+    #[test]
+    fn profiles_stay_inside_their_alphabet() {
+        let epc = CampaignPlan::generate(5, 6, 2, WalkProfile::EpcPressure);
+        assert!(epc.ops.iter().all(|o| matches!(o.op, FaultOp::EpcShrink { .. })));
+        let clock = CampaignPlan::generate(5, 6, 2, WalkProfile::ClockSkew);
+        assert!(clock.ops.iter().all(|o| matches!(o.op, FaultOp::ClockSkew { .. })));
+    }
+
+    #[test]
+    fn text_roundtrip_is_exact() {
+        for seed in 1u64..=6 {
+            for profile in [WalkProfile::Mixed, WalkProfile::Soak] {
+                let plan = CampaignPlan::generate(seed, 12, 2, profile);
+                let parsed = CampaignPlan::parse(&plan.render()).unwrap();
+                assert_eq!(plan, parsed, "seed {seed} {profile:?}");
+            }
+        }
+        // Scaled factors survive via exact bits.
+        let plan = CampaignPlan {
+            seed: 9,
+            rounds: 3,
+            hubs: 2,
+            ops: vec![
+                PlannedOp {
+                    round: 1,
+                    op: FaultOp::Hub { hub: 1, submission: HubSubmission::Scaled(-0.5) },
+                },
+                PlannedOp {
+                    round: 2,
+                    op: FaultOp::ClockSkew { hub: 0, factor_bits: 0.75f64.to_bits() },
+                },
+            ],
+        };
+        assert_eq!(CampaignPlan::parse(&plan.render()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_plans() {
+        assert!(CampaignPlan::parse("").is_err());
+        assert!(CampaignPlan::parse("not-a-plan\nseed 1\nrounds 1\nhubs 1\n").is_err());
+        let ok = "caltrain-campaign v1\nseed 1\nrounds 2\nhubs 2\n";
+        assert!(CampaignPlan::parse(ok).is_ok());
+        assert!(CampaignPlan::parse(&format!("{ok}hub 5 0 crash\n")).is_err(), "round range");
+        assert!(CampaignPlan::parse(&format!("{ok}hub 0 7 crash\n")).is_err(), "hub range");
+        assert!(CampaignPlan::parse(&format!("{ok}hub 0 0 explode\n")).is_err(), "bad submission");
+        assert!(CampaignPlan::parse(&format!("{ok}chan 0 corrupt zz\n")).is_err(), "bad salt");
+        assert!(CampaignPlan::parse(&format!("{ok}epc 0 0 0\n")).is_err(), "zero pages");
+        assert!(
+            CampaignPlan::parse(&format!("{ok}clock 0 0 {:016x}\n", 0.0f64.to_bits())).is_err(),
+            "zero factor"
+        );
+        assert!(CampaignPlan::parse(&format!("{ok}warp 0 0 1\n")).is_err(), "unknown op");
+        assert!(CampaignPlan::parse("caltrain-campaign v1\nrounds 1\nhubs 1\n").is_err(), "no seed");
+    }
+
+    #[test]
+    fn weakening_ladders_are_finite_and_strictly_weaker() {
+        let crash = FaultOp::Hub { hub: 0, submission: HubSubmission::Crashed };
+        assert_eq!(
+            weaker_variants(&crash),
+            vec![FaultOp::Hub { hub: 0, submission: HubSubmission::Stale }]
+        );
+        assert!(weaker_variants(&FaultOp::Hub { hub: 0, submission: HubSubmission::Stale })
+            .is_empty());
+
+        let corrupt = FaultOp::Channel { kind: ChannelOpKind::Corrupt, salt: 7 };
+        assert_eq!(
+            weaker_variants(&corrupt),
+            vec![FaultOp::Channel { kind: ChannelOpKind::Drop, salt: 7 }]
+        );
+
+        let epc = FaultOp::EpcShrink { hub: 1, pages: 128 };
+        assert_eq!(
+            weaker_variants(&epc),
+            vec![
+                FaultOp::EpcShrink { hub: 1, pages: 512 },
+                FaultOp::EpcShrink { hub: 1, pages: 256 },
+            ]
+        );
+        // At the cap the ladder ends.
+        assert!(weaker_variants(&FaultOp::EpcShrink { hub: 1, pages: MAX_WEAK_PAGES }).is_empty());
+
+        let skew = FaultOp::ClockSkew { hub: 0, factor_bits: 2.0f64.to_bits() };
+        assert_eq!(
+            weaker_variants(&skew),
+            vec![FaultOp::ClockSkew { hub: 0, factor_bits: 1.5f64.to_bits() }]
+        );
+        // The ladder converges toward 1.0 and terminates there.
+        let mut op = skew;
+        for _ in 0..200 {
+            match weaker_variants(&op).into_iter().next() {
+                Some(weaker) => op = weaker,
+                None => break,
+            }
+        }
+        assert!(weaker_variants(&op).is_empty(), "ladder must terminate, stuck at {op:?}");
+    }
+}

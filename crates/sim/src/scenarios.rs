@@ -19,8 +19,10 @@ use rand::Rng;
 
 use caltrain_core::participant::Participant;
 
+use crate::campaign::{self, CampaignConfig};
 use crate::channel::FaultyChannel;
 use crate::invariants;
+use crate::plan::{CampaignPlan, WalkProfile};
 use crate::trace::bits32;
 use crate::world;
 use crate::{Ctx, ScenarioFamily};
@@ -83,6 +85,24 @@ pub fn all() -> &'static [ScenarioFamily] {
             about: "a poisoning participant plus channel and hub faults; linkage queries still \
                     rank the poisoner's records first",
             run: poison_under_faults,
+        },
+        ScenarioFamily {
+            name: "epc-pressure",
+            about: "per-round EPC-capacity shrinks spill working sets through CLOCK eviction; \
+                    the trajectory matches the honest twin bitwise, only the cycle bill grows",
+            run: epc_pressure,
+        },
+        ScenarioFamily {
+            name: "clock-skew",
+            about: "per-round clock-rate perturbations dilate simulated time; cycles and \
+                    weights stay bitwise identical to the honest twin",
+            run: clock_skew,
+        },
+        ScenarioFamily {
+            name: "soak",
+            about: "long-horizon campaign: 50 rounds of low-rate mixed faults with the full \
+                    invariant set checked every round",
+            run: soak,
         },
     ]
 }
@@ -573,4 +593,64 @@ fn poison_under_faults(ctx: &mut Ctx) -> Result<(), String> {
         "hijacked predictions demand data from the poisoner",
     )?;
     finish_with_weights(ctx, &cluster)
+}
+
+fn epc_pressure(ctx: &mut Ctx) -> Result<(), String> {
+    let plan = CampaignPlan::generate(ctx.seed, 4, 2, WalkProfile::EpcPressure);
+    let honest = CampaignPlan { ops: Vec::new(), ..plan.clone() };
+    let config = CampaignConfig::default();
+    let faulted = campaign::run_with_ctx(ctx, &plan, &config)?;
+    let twin = campaign::run_with_ctx(ctx, &honest, &config)?;
+
+    // EPC pressure is a *performance* fault: it thrashes pages and bills
+    // cycles, but must never touch the numeric trajectory.
+    ctx.check(
+        faulted.final_params == twin.final_params,
+        "EPC pressure leaves the trained weights bitwise identical to the honest twin",
+    )?;
+    ctx.check(
+        faulted.hub_evictions.iter().any(|&e| e > 0),
+        "capacity shrinks actually forced CLOCK evictions",
+    )?;
+    ctx.check(
+        faulted.hub_evictions.iter().sum::<u64>() > twin.hub_evictions.iter().sum::<u64>(),
+        "the pressured run pays more evictions than the honest twin",
+    )
+}
+
+fn clock_skew(ctx: &mut Ctx) -> Result<(), String> {
+    let plan = CampaignPlan::generate(ctx.seed, 3, 2, WalkProfile::ClockSkew);
+    let honest = CampaignPlan { ops: Vec::new(), ..plan.clone() };
+    let config = CampaignConfig::default();
+    let faulted = campaign::run_with_ctx(ctx, &plan, &config)?;
+    let twin = campaign::run_with_ctx(ctx, &honest, &config)?;
+
+    // Skew re-rates the cycles→seconds conversion only: the work ledger
+    // and the weights are untouched, the reported wall-clock dilates.
+    ctx.check(
+        faulted.final_params == twin.final_params,
+        "clock skew leaves the trained weights bitwise identical to the honest twin",
+    )?;
+    ctx.check(
+        faulted.hub_cycles == twin.hub_cycles,
+        "clock skew never changes the cycle ledger",
+    )?;
+    ctx.check(
+        faulted.hub_seconds_bits != twin.hub_seconds_bits,
+        "clock skew visibly re-rates simulated time somewhere",
+    )
+}
+
+fn soak(ctx: &mut Ctx) -> Result<(), String> {
+    // Long horizon, low fault rate, full alphabet: ~18% of rounds carry
+    // one fault. The invariant set runs after every round; survival for
+    // 50 rounds is the check.
+    let rounds = 50;
+    let plan = CampaignPlan::generate(ctx.seed, rounds, 2, WalkProfile::Soak);
+    let stats = campaign::run_with_ctx(ctx, &plan, &CampaignConfig::default())?;
+    ctx.check(stats.hub_cycles.len() == rounds, "every soak round completed")?;
+    ctx.check(
+        stats.hub_cycles.iter().all(|row| row.iter().all(|&c| c > 0)),
+        "every hub billed work every round",
+    )
 }

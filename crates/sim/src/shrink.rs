@@ -1,0 +1,107 @@
+//! Delta-debugging shrinker for campaign fault plans.
+//!
+//! When a campaign violates an invariant, the walk that found it is
+//! rarely the story: most of its steps are noise. [`shrink_plan`]
+//! minimizes the plan in two phases — ddmin-style **removal** (drop
+//! chunks of steps, halving the chunk size down to single ops, repeated
+//! to a fixpoint) and then **weakening** (substitute each surviving op
+//! with the weakest variant on its family's ladder that still
+//! reproduces, see [`crate::plan::weaker_variants`]).
+//!
+//! A candidate *reproduces* iff the oracle returns the exact original
+//! violation message. Ops carry absolute round numbers, so removing
+//! steps never renumbers the survivors and messages stay comparable.
+//! With a deterministic oracle (every campaign execution is
+//! seed-deterministic) the whole shrink is itself deterministic.
+
+use crate::plan::{weaker_variants, CampaignPlan, PlannedOp};
+
+/// The result of shrinking one violating plan.
+#[derive(Debug, Clone)]
+pub struct ShrinkOutcome {
+    /// The minimal plan: removing any single op, or weakening any op one
+    /// more rung, no longer reproduces the violation.
+    pub plan: CampaignPlan,
+    /// The violation message every kept candidate reproduced.
+    pub violation: String,
+    /// Oracle executions spent.
+    pub executions: usize,
+    /// Ops removed from the original plan.
+    pub removed: usize,
+    /// Ops weakened in place.
+    pub weakened: usize,
+}
+
+/// Minimizes `original` (which produced `violation`) against `oracle`,
+/// which re-executes a candidate plan and returns its violation message,
+/// if any. See the module docs for the algorithm.
+pub fn shrink_plan(
+    original: &CampaignPlan,
+    violation: &str,
+    oracle: &mut dyn FnMut(&CampaignPlan) -> Option<String>,
+) -> ShrinkOutcome {
+    let mut ops = original.ops.clone();
+    let mut executions = 0usize;
+    let mut removed = 0usize;
+    let mut weakened = 0usize;
+    let with_ops = |ops: &[PlannedOp]| CampaignPlan { ops: ops.to_vec(), ..original.clone() };
+    let mut reproduces = |candidate: &[PlannedOp], executions: &mut usize| -> bool {
+        *executions += 1;
+        oracle(&with_ops(candidate)).as_deref() == Some(violation)
+    };
+
+    // Phase 1: removal to a 1-minimal op set.
+    let mut progress = true;
+    while progress {
+        progress = false;
+        let mut chunk = (ops.len() / 2).max(1);
+        loop {
+            let mut i = 0;
+            while i < ops.len() {
+                let end = (i + chunk).min(ops.len());
+                let mut candidate = ops[..i].to_vec();
+                candidate.extend_from_slice(&ops[end..]);
+                if reproduces(&candidate, &mut executions) {
+                    removed += ops.len() - candidate.len();
+                    ops = candidate;
+                    progress = true;
+                } else {
+                    i = end;
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+
+    // Phase 2: weaken each surviving op down its ladder to a fixpoint —
+    // the weakest variant that still reproduces. Ladders are finite
+    // (clock factors converge to 1.0 in ~50 halvings), the bound is a
+    // safety net.
+    for i in 0..ops.len() {
+        let mut op_weakened = false;
+        'rungs: for _ in 0..64 {
+            for weaker in weaker_variants(&ops[i].op) {
+                let mut candidate = ops.clone();
+                candidate[i].op = weaker;
+                if reproduces(&candidate, &mut executions) {
+                    ops = candidate;
+                    op_weakened = true;
+                    continue 'rungs;
+                }
+            }
+            break;
+        }
+        weakened += usize::from(op_weakened);
+    }
+
+    ShrinkOutcome {
+        plan: with_ops(&ops),
+        violation: violation.to_string(),
+        executions,
+        removed,
+        weakened,
+    }
+}

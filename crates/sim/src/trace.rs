@@ -59,6 +59,12 @@ pub fn bits32(v: f32) -> String {
     format!("{:08x}", v.to_bits())
 }
 
+/// Exact bit-pattern rendering of an `f64` for trace lines (used for
+/// clock rates and skew factors, where f32 rounding would alias).
+pub fn bits64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
 /// SHA-256 over the exact bit patterns of a layered parameter set — the
 /// "final weights" identity used to compare trajectories across worker
 /// counts and repeat runs.
@@ -108,6 +114,8 @@ mod tests {
     #[test]
     fn float_rendering_is_exact() {
         assert_eq!(bits32(1.0), "3f800000");
+        assert_eq!(bits64(1.0), "3ff0000000000000");
+        assert_ne!(bits64(0.0), bits64(-0.0), "signed zeros must be distinguishable");
         assert_ne!(bits32(0.0), bits32(-0.0), "signed zeros must be distinguishable");
         let d1 = bits_digest(&[vec![1.0, 2.0], vec![3.0]]);
         let d2 = bits_digest(&[vec![1.0], vec![2.0, 3.0]]);

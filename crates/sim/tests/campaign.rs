@@ -1,0 +1,142 @@
+//! Campaign-engine guarantees: the delta-debugging shrinker finds the
+//! true minimal reproducer, campaign runs are worker-count invariant
+//! bit for bit, and the find→shrink→replay loop closes end to end.
+
+use caltrain_core::hubs::HubSubmission;
+use caltrain_runtime::Parallelism;
+use caltrain_sim::campaign::{run_campaign, shrink_campaign, CampaignConfig};
+use caltrain_sim::plan::{CampaignPlan, ChannelOpKind, FaultOp, PlannedOp, WalkProfile};
+use caltrain_sim::shrink::shrink_plan;
+
+/// The shrinker must isolate exactly the culprit pair from any amount of
+/// surrounding noise: a synthetic oracle that violates iff the plan
+/// still contains both X and Y, with X and Y buried at seed-dependent
+/// positions inside seed-dependent random walks.
+#[test]
+fn shrinker_reduces_to_exactly_the_two_culprit_ops() {
+    // Hub 7 and this salt never occur in a generated 2-hub walk, so the
+    // markers are unambiguous.
+    let x = FaultOp::EpcShrink { hub: 7, pages: 64 };
+    let y = FaultOp::Channel { kind: ChannelOpKind::Reorder, salt: 0xDEAD_BEEF };
+    for seed in 1..=5u64 {
+        let mut plan = CampaignPlan::generate(seed, 10, 2, WalkProfile::Mixed);
+        let at = seed as usize % (plan.ops.len() + 1);
+        plan.ops.insert(at, PlannedOp { round: 3, op: x.clone() });
+        let at = (seed as usize * 7) % (plan.ops.len() + 1);
+        plan.ops.insert(at, PlannedOp { round: 6, op: y.clone() });
+
+        let mut executed = 0usize;
+        let outcome = shrink_plan(&plan, "synthetic violation", &mut |p| {
+            executed += 1;
+            let has = |op: &FaultOp| p.ops.iter().any(|planned| &planned.op == op);
+            (has(&x) && has(&y)).then(|| "synthetic violation".to_string())
+        });
+        assert_eq!(outcome.plan.ops.len(), 2, "seed {seed}: {:?}", outcome.plan.ops);
+        assert!(outcome.plan.ops.iter().any(|p| p.op == x), "seed {seed} lost X");
+        assert!(outcome.plan.ops.iter().any(|p| p.op == y), "seed {seed} lost Y");
+        assert_eq!(outcome.removed, plan.ops.len() - 2, "seed {seed}");
+        // The oracle demands the exact ops, so no weakening can stick.
+        assert_eq!(outcome.weakened, 0, "seed {seed}");
+        assert_eq!(outcome.executions, executed, "seed {seed}");
+        // Rounds are absolute: shrinking must not renumber survivors.
+        let rounds: Vec<usize> = outcome.plan.ops.iter().map(|p| p.round).collect();
+        let mut sorted = rounds.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![3, 6], "seed {seed}: {rounds:?}");
+    }
+}
+
+#[test]
+fn campaign_runs_are_worker_count_invariant() {
+    let plan = CampaignPlan::generate(1, 8, 2, WalkProfile::Mixed);
+    let config = CampaignConfig::default();
+    let sequential = run_campaign(&plan, &config, Parallelism::sequential());
+    let repeat = run_campaign(&plan, &config, Parallelism::sequential());
+    let parallel = run_campaign(&plan, &config, Parallelism::new(4));
+    assert!(sequential.violation.is_none(), "honest-invariant walk failed: {sequential:?}");
+    assert_eq!(sequential, repeat, "campaign must be seed-deterministic");
+    assert_eq!(sequential, parallel, "campaign must be worker-count invariant");
+    assert!(sequential.weights_digest.is_some());
+}
+
+/// The full demo loop on a hand-built two-op plan: the hook trips, the
+/// shrinker can remove nothing, and the violation replays bitwise —
+/// including through the plan's text format.
+#[test]
+fn constructed_demo_violation_replays_bitwise_through_the_text_format() {
+    let plan = CampaignPlan {
+        seed: 42,
+        rounds: 3,
+        hubs: 2,
+        ops: vec![
+            PlannedOp { round: 0, op: FaultOp::EpcShrink { hub: 0, pages: 512 } },
+            PlannedOp {
+                round: 2,
+                op: FaultOp::Hub { hub: 1, submission: HubSubmission::Scaled(-1.0) },
+            },
+        ],
+    };
+    let config = CampaignConfig { demo_violation: true };
+    let p = Parallelism::sequential();
+    let run = run_campaign(&plan, &config, p);
+    let violation = run.violation.clone().expect("the hook must trip");
+    assert!(violation.contains("round 2"), "{violation}");
+
+    let again = run_campaign(&plan, &config, p);
+    assert_eq!(run, again, "violating runs must replay bitwise");
+    let roundtrip = CampaignPlan::parse(&plan.render()).expect("render/parse");
+    assert_eq!(run, run_campaign(&roundtrip, &config, p), "text format must preserve identity");
+
+    let outcome = shrink_campaign(&plan, &violation, &config, p);
+    assert_eq!(outcome.plan.ops.len(), 2, "both ops are load-bearing: {:?}", outcome.plan.ops);
+    assert_eq!(outcome.removed, 0);
+}
+
+/// The same loop on a generated walk (seed 1's Mixed walk trips the
+/// hook — a pure function of the seed, so permanent): noise is stripped
+/// to exactly one EPC shrink plus one byzantine submission.
+#[test]
+fn generated_demo_violation_shrinks_to_pressure_plus_byzantine() {
+    let plan = CampaignPlan::generate(1, 12, 2, WalkProfile::Mixed);
+    let config = CampaignConfig { demo_violation: true };
+    let p = Parallelism::sequential();
+    let run = run_campaign(&plan, &config, p);
+    let violation = run.violation.clone().expect("seed 1's walk trips the demo hook");
+
+    let outcome = shrink_campaign(&plan, &violation, &config, p);
+    assert_eq!(outcome.plan.ops.len(), 2, "{:?}", outcome.plan.ops);
+    assert!(
+        outcome.plan.ops.iter().any(|o| matches!(o.op, FaultOp::EpcShrink { .. })),
+        "{:?}",
+        outcome.plan.ops
+    );
+    assert!(
+        outcome
+            .plan
+            .ops
+            .iter()
+            .any(|o| matches!(o.op, FaultOp::Hub { submission: HubSubmission::Scaled(_), .. })),
+        "{:?}",
+        outcome.plan.ops
+    );
+    // The minimal reproducer replays the exact violation, twice, with
+    // the same trace identity.
+    let a = run_campaign(&outcome.plan, &config, p);
+    let b = run_campaign(&outcome.plan, &config, p);
+    assert_eq!(a.violation.as_deref(), Some(violation.as_str()));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn cli_rejects_unknown_scenarios_with_exit_code_2_and_the_catalog() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_caltrain-sim"))
+        .args(["--scenario", "no-such-family"])
+        .output()
+        .expect("spawn the sim CLI");
+    assert_eq!(out.status.code(), Some(2), "unknown scenario is a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario 'no-such-family'"), "{stderr}");
+    assert!(stderr.contains("baseline-honest"), "catalog must be printed: {stderr}");
+    assert!(stderr.contains("epc-pressure"), "catalog must list new families: {stderr}");
+    assert!(stderr.contains("soak"), "catalog must list new families: {stderr}");
+}

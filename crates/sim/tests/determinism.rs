@@ -58,6 +58,28 @@ fn poisoning_under_faults_still_identifies_the_poisoner() {
 }
 
 #[test]
+fn environment_fault_families_are_reproducible_and_worker_invariant() {
+    // EPC pressure and clock skew are performance faults: the scenarios
+    // assert internally that weights match an honest twin bitwise, and
+    // the checker asserts the whole trace is worker-count invariant.
+    for name in ["epc-pressure", "clock-skew"] {
+        let report = run_invariant_checked(name, 14).unwrap_or_else(|e| panic!("{e}"));
+        assert!(report.checks > 0, "{name} must assert invariants");
+        assert!(report.weights_digest.is_some(), "{name} trains a model");
+    }
+}
+
+#[test]
+fn soak_family_survives_the_long_horizon() {
+    let report = run_invariant_checked("soak", 2).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        report.checks >= 150,
+        "soak checks the invariant set every round, got {}",
+        report.checks
+    );
+}
+
+#[test]
 fn different_seeds_produce_different_fault_plans() {
     let a = run_scenario("hub-crash-restart", 1, Parallelism::sequential()).unwrap();
     let b = run_scenario("hub-crash-restart", 2, Parallelism::sequential()).unwrap();
