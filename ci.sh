@@ -18,6 +18,17 @@ cargo test -q --offline
 echo "==> cargo test -q (CALTRAIN_WORKERS=4 — threaded runtime paths)"
 CALTRAIN_WORKERS=4 cargo test -q --offline
 
+# Third pass on the scalar kernel rung: CALTRAIN_SIMD=0 forces the
+# blocked/packed fallback under the native dispatcher, and the nn
+# determinism suite (full trajectories across kernel modes × worker
+# counts) plus the tensor kernel/epilogue tests prove the rung is still
+# bit-identical. On hosts without AVX2 this is a re-run of the default
+# path; on AVX2 hosts it is the only coverage the fallback gets.
+echo "==> determinism suite (CALTRAIN_SIMD=0 — scalar fallback rung)"
+CALTRAIN_SIMD=0 cargo test -q --offline -p caltrain-tensor
+CALTRAIN_SIMD=0 CALTRAIN_WORKERS=4 cargo test -q --offline -p caltrain-nn \
+  --test pool_determinism
+
 # The thread-reuse gate is only sound as the sole test in its binary:
 # the spawn counter it asserts on is process-global, so a sibling test
 # growing the pool for its own batches would make the zero-delta
@@ -118,6 +129,16 @@ CALTRAIN_WORKERS=4 cargo run --offline -q -p caltrain-sim -- \
   --campaign --seeds 1,2 --steps 10 > "$CAMP_OUT_W4"
 diff "$CAMP_OUT_W1" "$CAMP_OUT_W4" \
   || { echo "campaign smoke diverged across worker counts"; exit 1; }
+
+# Kernel ablation bench (strict vs blocked/packed vs SIMD on the conv
+# shapes): regenerates BENCH_enclave_kernels.json with per-shape
+# GFLOP/s metrics and prints the bench → constant drift check — a loud
+# WARNING when the committed MEASURED_{STRICT,NATIVE}_GFLOPS in
+# crates/enclave/src/cost.rs diverge >25% from what this host just
+# measured. Warning-only: calibration constants are re-based
+# deliberately at PR time, not silently by CI wall-clock.
+echo "==> cargo bench --bench enclave_kernels (kernel GFLOP/s + drift check)"
+cargo bench --offline --bench enclave_kernels
 
 # Diff the freshly regenerated BENCH_*.json against the committed
 # baselines and WARN on >10% regressions of classified metrics

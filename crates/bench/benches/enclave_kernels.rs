@@ -1,14 +1,32 @@
 //! Ablation: the strict (in-enclave) GEMM path vs the blocked native
-//! path on conv-shaped workloads — the microscopic cause of the paper's
-//! Fig. 6 overhead.
+//! path vs the SIMD native path on conv-shaped workloads — the
+//! microscopic cause of the paper's Fig. 6 overhead, now with the
+//! explicit AVX2/NEON rung of the kernel ladder measured alongside.
+//!
+//! Besides the raw timing samples, the report carries per-shape
+//! `*_gflops` metrics (2·m·n·k / mean_secs) so `bench_diff` tracks the
+//! kernels in higher-is-better units, plus a drift check: when the
+//! freshly measured steady-state strict/native GFLOP/s diverge more
+//! than 25 % from the committed calibration constants in
+//! `caltrain_enclave::cost`, the bench prints a loud warning telling
+//! the maintainer to re-run the calibration sweep. `ci.sh` surfaces
+//! the warning in non-smoke runs; it never fails the build, because a
+//! noisy host must not turn jitter into red.
 
+use caltrain_enclave::cost::{MEASURED_NATIVE_GFLOPS, MEASURED_STRICT_GFLOPS};
 use caltrain_tensor::gemm::{gemm_blocked, gemm_packed, gemm_strict};
+use caltrain_tensor::simd;
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn conv_shapes() -> Vec<(usize, usize, usize)> {
     // (filters, out_h*out_w, c*k*k) for Table II layers at 1/8 width.
     vec![(16, 784, 27), (16, 784, 144), (32, 196, 288), (64, 49, 576)]
+}
+
+/// FLOPs of one `m×n×k` GEMM (multiply + add per inner-product step).
+fn gemm_flops(m: usize, n: usize, k: usize) -> f64 {
+    2.0 * m as f64 * n as f64 * k as f64
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -49,17 +67,95 @@ fn bench_kernels(c: &mut Criterion) {
                 })
             },
         );
+        // The SIMD rung: on hosts without AVX2/NEON (or with
+        // CALTRAIN_SIMD=0) `gemm_simd` falls back to the scalar ladder,
+        // so the row still exists — the `simd_enabled` flag in the
+        // report says which kernel actually ran.
+        group.bench_with_input(
+            BenchmarkId::new("simd_native", format!("{m}x{n}x{k}")),
+            &(m, n, k),
+            |bench, &(m, n, k)| {
+                bench.iter(|| {
+                    let mut out = vec![0.0f32; m * n];
+                    simd::gemm_simd(m, n, k, black_box(&a), black_box(&b), &mut out);
+                    black_box(out)
+                })
+            },
+        );
     }
     group.finish();
 }
 
 criterion_group!(benches, bench_kernels);
 
+/// Warns (to stderr) when a freshly measured GFLOP/s figure diverges
+/// more than 25 % from its committed calibration constant.
+fn drift_check(label: &str, constant: f64, measured: f64) {
+    if measured <= 0.0 {
+        return;
+    }
+    let drift = (measured - constant) / constant;
+    if drift.abs() > 0.25 {
+        eprintln!(
+            "WARNING: {label} drift {:+.0}%: committed constant {constant:.1} GFLOP/s vs \
+             measured {measured:.1} GFLOP/s — re-calibrate crates/enclave/src/cost.rs",
+            drift * 100.0
+        );
+    } else {
+        eprintln!(
+            "{label}: committed {constant:.1} GFLOP/s vs measured {measured:.1} GFLOP/s \
+             ({:+.0}%, within 25% band)",
+            drift * 100.0
+        );
+    }
+}
+
 fn main() {
     benches();
     let mut report = caltrain_bench::report::BenchReport::new("enclave_kernels");
-    for s in criterion::take_samples() {
+    let samples = criterion::take_samples();
+    for s in &samples {
         report.sample(&s.name, s.mean_secs, s.min_secs, s.max_secs);
     }
+
+    // Derived GFLOP/s metrics (higher-is-better, tracked by bench_diff)
+    // and the steady-state figures for the drift check. "Steady state"
+    // = the two largest shapes, where per-call overhead is amortised —
+    // the same shapes the calibration constants were read from.
+    let mut strict_steady = Vec::new();
+    let mut native_steady = Vec::new();
+    let steady = ["32x196x288", "64x49x576"];
+    for (m, n, k) in conv_shapes() {
+        let shape = format!("{m}x{n}x{k}");
+        let flops = gemm_flops(m, n, k);
+        for family in ["strict_enclave", "blocked_native", "packed_native", "simd_native"] {
+            let name = format!("gemm/{family}/{shape}");
+            let Some(s) = samples.iter().find(|s| s.name == name) else {
+                continue;
+            };
+            let gflops = flops / s.mean_secs / 1e9;
+            report.metric(&format!("gflops/{family}/{shape}"), gflops);
+            if steady.contains(&shape.as_str()) {
+                match family {
+                    "strict_enclave" => strict_steady.push(gflops),
+                    // The native constant tracks the best native kernel
+                    // the dispatcher would actually pick.
+                    "simd_native" if simd::enabled() => native_steady.push(gflops),
+                    "blocked_native" if !simd::enabled() => native_steady.push(gflops),
+                    _ => {}
+                }
+            }
+        }
+    }
+    report.flag("simd_enabled", simd::enabled());
+
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    if !strict_steady.is_empty() {
+        drift_check("MEASURED_STRICT_GFLOPS", MEASURED_STRICT_GFLOPS, mean(&strict_steady));
+    }
+    if !native_steady.is_empty() {
+        drift_check("MEASURED_NATIVE_GFLOPS", MEASURED_NATIVE_GFLOPS, mean(&native_steady));
+    }
+
     report.emit().expect("write BENCH_enclave_kernels.json");
 }

@@ -44,6 +44,13 @@ enum Direction {
 
 /// Classifies a flattened metric path by naming convention — the same
 /// conventions `BenchReport` call sites already follow.
+///
+/// Higher-is-better names win over lower-is-better ones: a derived
+/// rate such as `gflops/simd_native/64x49x576` stays higher-is-better
+/// even when the surrounding path also matches a lower-is-better
+/// substring (e.g. a per-kernel `*_secs` component it was derived
+/// from), because a rate name is always a deliberate unit choice while
+/// the lower list is mostly incidental path vocabulary.
 fn classify(path: &str) -> Direction {
     let lower = [
         "secs", "_ms_", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn",
@@ -51,10 +58,10 @@ fn classify(path: &str) -> Direction {
     ];
     let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate"];
     let p = path.to_ascii_lowercase();
-    if lower.iter().any(|n| p.contains(n)) {
-        Direction::LowerIsBetter
-    } else if higher.iter().any(|n| p.contains(n)) {
+    if higher.iter().any(|n| p.contains(n)) {
         Direction::HigherIsBetter
+    } else if lower.iter().any(|n| p.contains(n)) {
+        Direction::LowerIsBetter
     } else {
         Direction::Informational
     }
@@ -356,4 +363,33 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_gives_rate_names_precedence() {
+        // Plain timing samples stay lower-is-better …
+        assert_eq!(
+            classify("samples[gemm/simd_native/64x49x576].mean_secs"),
+            Direction::LowerIsBetter
+        );
+        assert_eq!(classify("alloc_steady_state.allocs_per_step"), Direction::LowerIsBetter);
+        // … but derived rates win even when the path also matches a
+        // lower-is-better substring.
+        assert_eq!(classify("gflops/simd_native/64x49x576"), Direction::HigherIsBetter);
+        assert_eq!(classify("gflops_from_mean_secs"), Direction::HigherIsBetter);
+        assert_eq!(classify("steps_per_sec"), Direction::HigherIsBetter);
+        assert_eq!(classify("spawn_overhead_speedup"), Direction::HigherIsBetter);
+        // Unknown names remain informational.
+        assert_eq!(classify("workers"), Direction::Informational);
+    }
+
+    #[test]
+    fn rel_change_zero_baseline_is_full_scale() {
+        assert_eq!(rel_change(0.0, 5.0), 1.0);
+        assert_eq!(rel_change(4.0, 2.0), -0.5);
+    }
 }

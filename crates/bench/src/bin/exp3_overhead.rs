@@ -18,8 +18,9 @@
 //! enclave/native flop ratio, the published Fig. 6 curve) for
 //! [`caltrain_enclave::CostModel::kernel_calibrated`], whose per-mode
 //! cycles-per-flop derive from this codebase's *measured* strict/native
-//! GEMM throughputs (~6.2×) — the overhead curve an all-software strict
-//! kernel would actually produce.
+//! GEMM throughputs (~13.8× with the AVX2/NEON SIMD rung as the native
+//! kernel) — the overhead curve an all-software strict kernel would
+//! actually produce.
 
 use caltrain_bench::{pct, rule, Args};
 use caltrain_core::partition::{Partition, PartitionedTrainer};

@@ -362,7 +362,7 @@ impl Conv2d {
             ohw,
             delta.as_slice(),
             &self.pre_activation,
-            |z| act.gradient(z),
+            act,
             None,
             &mut delta_act,
         );
@@ -637,7 +637,6 @@ impl Layer for Conv2d {
         let in_data = input.as_slice();
         let parallelism = self.parallelism;
         let act = self.activation;
-        let act_fn = move |v: f32| act.apply(v);
 
         // The fused scatter below writes the output exactly once; for
         // bn_train the single write pass is the deferred epilogue in
@@ -690,7 +689,7 @@ impl Layer for Conv2d {
                         GemmEpilogue::Bias { biases }
                     };
                     scatter_wide_epilogue(
-                        &out_wide, tile_cols, filters, ohw, 0..tile_planes, &ep, act_fn,
+                        &out_wide, tile_cols, filters, ohw, 0..tile_planes, &ep, act,
                         tile_out, tile_pre,
                     );
                 }
@@ -725,7 +724,7 @@ impl Layer for Conv2d {
                     beta: biases,
                 };
                 apply_epilogue_planes(
-                    0..n * filters, filters, ohw, &ep, act_fn,
+                    0..n * filters, filters, ohw, &ep, act,
                     &mut pre_act, &mut xhat, output.as_mut_slice(),
                 );
                 self.bn_xhat = xhat;
@@ -919,7 +918,7 @@ impl Layer for Conv2d {
                             GemmEpilogue::Bias { biases }
                         };
                         scatter_wide_epilogue(
-                            wide, tile_cols, filters, ohw, planes.clone(), &ep, act_fn,
+                            wide, tile_cols, filters, ohw, planes.clone(), &ep, act,
                             out_ps.chunk_mut(dst), pre_chunk,
                         );
                     }
@@ -945,7 +944,7 @@ impl Layer for Conv2d {
                     };
                     let span = planes.start * ohw..planes.end * ohw;
                     apply_epilogue_planes(
-                        planes.clone(), filters, ohw, &ep, act_fn,
+                        planes.clone(), filters, ohw, &ep, act,
                         pre_ps.chunk_mut(span.clone()),
                         xhat_ps.chunk_mut(span.clone()),
                         out_ps.chunk_mut(span),
@@ -1045,7 +1044,6 @@ impl Layer for Conv2d {
         let mut input_delta = Tensor::zeros(&[n, c, h, w]);
 
         let act = self.activation;
-        let grad_fn = move |z: f32| act.gradient(z);
         let delta_in = delta.as_slice();
         let pre_act = &self.pre_activation;
         let xhat = &self.bn_xhat;
@@ -1070,7 +1068,7 @@ impl Layer for Conv2d {
                 ohw,
                 &delta_in[range.start * out_stride..range.end * out_stride],
                 &pre_act[range.start * out_stride..range.end * out_stride],
-                grad_fn,
+                act,
                 eval_scale_ref,
                 d_chunk,
             );

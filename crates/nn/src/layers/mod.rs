@@ -18,63 +18,10 @@ pub use dropout::Dropout;
 pub use pool::{GlobalAvgPool, MaxPool};
 pub use softmax::{CostLayer, SoftmaxLayer};
 
-/// Activation functions supported by [`Conv2d`].
-///
-/// Darknet's CIFAR configurations use leaky ReLU on every convolutional
-/// layer; the final 1×1 projection runs linear into the softmax.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Activation {
-    /// Identity.
-    Linear,
-    /// `max(0, x)`.
-    Relu,
-    /// Darknet's leaky ReLU: `x > 0 ? x : 0.1x`.
-    Leaky,
-}
-
-impl Activation {
-    /// Applies the activation.
-    pub fn apply(self, x: f32) -> f32 {
-        match self {
-            Activation::Linear => x,
-            Activation::Relu => {
-                if x > 0.0 {
-                    x
-                } else {
-                    0.0
-                }
-            }
-            Activation::Leaky => {
-                if x > 0.0 {
-                    x
-                } else {
-                    0.1 * x
-                }
-            }
-        }
-    }
-
-    /// Derivative with respect to the pre-activation input.
-    pub fn gradient(self, x: f32) -> f32 {
-        match self {
-            Activation::Linear => 1.0,
-            Activation::Relu => {
-                if x > 0.0 {
-                    1.0
-                } else {
-                    0.0
-                }
-            }
-            Activation::Leaky => {
-                if x > 0.0 {
-                    1.0
-                } else {
-                    0.1
-                }
-            }
-        }
-    }
-}
+// [`Activation`] moved into `caltrain-tensor` (PR 9) so the SIMD plane
+// sweeps can lane-blend its branches; re-exported here so
+// `caltrain_nn::Activation` keeps working for every caller.
+pub use caltrain_tensor::Activation;
 
 /// Discriminates layer types (for table printing and serialisation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

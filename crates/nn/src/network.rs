@@ -4,7 +4,7 @@
 
 use caltrain_runtime::Parallelism;
 use caltrain_tensor::gemm::{
-    gemm_a_bt, gemm_a_bt_blocked, gemm_at_b_native, gemm_at_b_strict, gemm_native, gemm_strict,
+    gemm_a_bt, gemm_a_bt_native, gemm_at_b_native, gemm_at_b_strict, gemm_native, gemm_strict,
 };
 use caltrain_tensor::{Shape, Tensor};
 use rand::rngs::StdRng;
@@ -20,7 +20,10 @@ use crate::NnError;
 ///
 /// Both modes produce **bit-identical** results; they differ only in
 /// speed, modelling the paper's observation that enclave code cannot use
-/// `-ffast-math`/SIMD (§VI-C).
+/// `-ffast-math`/SIMD (§VI-C). Native rides the dispatch ladder in
+/// `caltrain_tensor`: explicit AVX2/NEON SIMD when the host has it
+/// (`CALTRAIN_SIMD=0` opts out), blocked/packed scalar otherwise — all
+/// rungs sharing the strict kernels' per-element addition chain.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum KernelMode {
     /// Plain scalar loops — the in-enclave path.
@@ -38,8 +41,8 @@ impl KernelMode {
     /// The `C += A·B` kernel for this mode (the forward conv GEMM, and —
     /// against a transposed column matrix — the weight-gradient GEMM).
     ///
-    /// Native uses the blocked kernel with size-dispatched packed tiles;
-    /// strict the fixed-order scalar one. All kernels share one
+    /// Native rides the SIMD→blocked/packed dispatch ladder; strict is
+    /// the fixed-order scalar reference. All kernels share one
     /// per-`(i, j)` addition order, so the choice affects speed only.
     pub fn gemm(self) -> GemmFn {
         match self {
@@ -63,7 +66,7 @@ impl KernelMode {
     pub fn gemm_a_bt(self) -> GemmFn {
         match self {
             KernelMode::Strict => gemm_a_bt,
-            KernelMode::Native => gemm_a_bt_blocked,
+            KernelMode::Native => gemm_a_bt_native,
         }
     }
 }

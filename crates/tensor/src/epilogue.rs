@@ -27,6 +27,68 @@
 //!   `p = s·filters + f`. Plane ranges are how callers fan the scatter
 //!   across workers: any split is safe because nothing crosses a plane.
 
+/// Activation functions supported by the conv epilogue (and re-exported
+/// as `caltrain_nn::Activation`).
+///
+/// Darknet's CIFAR configurations use leaky ReLU on every convolutional
+/// layer; the final 1×1 projection runs linear into the softmax. The
+/// enum lives here (rather than in the nn crate) so the SIMD plane
+/// sweeps in [`crate::simd`] can select the lane-blend form of each
+/// branch — a closure would be opaque to them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(0, x)`.
+    Relu,
+    /// Darknet's leaky ReLU: `x > 0 ? x : 0.1x`.
+    Leaky,
+}
+
+impl Activation {
+    /// Applies the activation.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+        }
+    }
+
+    /// Derivative with respect to the pre-activation input.
+    pub fn gradient(self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Leaky => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+        }
+    }
+}
+
 /// What the scatter applies, per element, between the raw GEMM value
 /// and the activation.
 ///
@@ -85,6 +147,20 @@ impl GemmEpilogue<'_> {
             }
         }
     }
+
+    /// Filter `f`'s scalar parameter slice, for the SIMD plane sweep.
+    #[inline]
+    pub(crate) fn plane_op(&self, f: usize) -> crate::simd::PlaneOp {
+        match *self {
+            GemmEpilogue::Bias { biases } => crate::simd::PlaneOp::Bias(biases[f]),
+            GemmEpilogue::Normalize { mean, inv_std, gamma, beta } => crate::simd::PlaneOp::Norm {
+                mean: mean[f],
+                inv_std: inv_std[f],
+                gamma: gamma[f],
+                beta: beta[f],
+            },
+        }
+    }
 }
 
 #[inline]
@@ -127,35 +203,43 @@ pub fn scatter_wide_planes(
 /// the historical bias-scatter / normalise-sweep / activation-sweep
 /// chain collapsed into one loop. Per-element arithmetic matches
 /// [`GemmEpilogue::z`] followed by `act`, so it is bit-identical to the
-/// separate sweeps it replaces.
+/// separate sweeps it replaces. On SIMD hosts
+/// ([`crate::simd::enabled`]) each plane runs the lane-parallel sweep —
+/// bitwise identical by the no-FMA lane contract; `CALTRAIN_SIMD=0`
+/// keeps the scalar loop.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths disagree with the geometry.
 #[allow(clippy::too_many_arguments)]
-pub fn scatter_wide_epilogue<A: Fn(f32) -> f32>(
+pub fn scatter_wide_epilogue(
     wide: &[f32],
     tile_cols: usize,
     filters: usize,
     ohw: usize,
     planes: std::ops::Range<usize>,
     epilogue: &GemmEpilogue<'_>,
-    act: A,
+    act: Activation,
     out: &mut [f32],
     pre_act: &mut [f32],
 ) {
     assert_eq!(wide.len(), filters * tile_cols, "wide geometry");
     assert_eq!(out.len(), planes.len() * ohw, "output geometry");
     assert_eq!(pre_act.len(), out.len(), "pre-activation geometry");
+    let simd = crate::simd::enabled();
     for (i, p) in planes.enumerate() {
         let f = p % filters;
         let src = plane_src(wide, tile_cols, filters, ohw, p);
         let dst = &mut out[i * ohw..(i + 1) * ohw];
         let pre = &mut pre_act[i * ohw..(i + 1) * ohw];
+        if simd {
+            crate::simd::plane_scatter(src, epilogue.plane_op(f), act, dst, pre);
+            continue;
+        }
         for ((d, z_slot), &v) in dst.iter_mut().zip(pre.iter_mut()).zip(src) {
             let z = epilogue.z(f, v);
             *z_slot = z;
-            *d = act(z);
+            *d = act.apply(z);
         }
     }
 }
@@ -172,31 +256,45 @@ pub fn scatter_wide_epilogue<A: Fn(f32) -> f32>(
 /// [`GemmEpilogue::Normalize`] (batch-norm is the only layer with a
 /// deferred pass).
 #[allow(clippy::too_many_arguments)]
-pub fn apply_epilogue_planes<A: Fn(f32) -> f32>(
+pub fn apply_epilogue_planes(
     planes: std::ops::Range<usize>,
     filters: usize,
     ohw: usize,
     epilogue: &GemmEpilogue<'_>,
-    act: A,
+    act: Activation,
     raw_to_z: &mut [f32],
     xhat: &mut [f32],
     out: &mut [f32],
 ) {
-    assert!(
-        matches!(epilogue, GemmEpilogue::Normalize { .. }),
-        "deferred epilogue is batch-norm only"
-    );
+    let GemmEpilogue::Normalize { mean, inv_std, gamma, beta } = *epilogue else {
+        panic!("deferred epilogue is batch-norm only");
+    };
     assert_eq!(raw_to_z.len(), planes.len() * ohw, "staging geometry");
     assert_eq!(xhat.len(), raw_to_z.len(), "xhat geometry");
     assert_eq!(out.len(), raw_to_z.len(), "output geometry");
+    let simd = crate::simd::enabled();
     for (i, p) in planes.enumerate() {
         let f = p % filters;
         let base = i * ohw;
+        if simd {
+            crate::simd::plane_apply_norm(
+                mean[f],
+                inv_std[f],
+                gamma[f],
+                beta[f],
+                act,
+                &mut raw_to_z[base..base + ohw],
+                &mut xhat[base..base + ohw],
+                &mut out[base..base + ohw],
+            );
+            continue;
+        }
         for j in base..base + ohw {
-            let (xh, z) = epilogue.xhat_z(f, raw_to_z[j]);
+            let xh = (raw_to_z[j] - mean[f]) * inv_std[f];
+            let z = gamma[f] * xh + beta[f];
             xhat[j] = xh;
             raw_to_z[j] = z;
-            out[j] = act(z);
+            out[j] = act.apply(z);
         }
     }
 }
@@ -254,6 +352,9 @@ pub fn accumulate_wide_moments(
         wide_rows.len() * MOMENT_ACC_STRIDE,
         "accumulator geometry"
     );
+    // Latch pass first (cheap, per row), then the row sweeps — which on
+    // SIMD hosts run eight filter rows in lockstep with the per-row
+    // chain untouched, so the accumulation stays bitwise canonical.
     for (r, row) in wide_rows.chunks_exact(cols).enumerate() {
         let base = MOMENT_ACC_STRIDE * r;
         debug_assert!(
@@ -265,6 +366,13 @@ pub fn accumulate_wide_moments(
         if first_tile {
             acc[base] = row[0];
         }
+    }
+    if crate::simd::enabled() {
+        crate::simd::moment_rows(wide_rows, cols, acc);
+        return;
+    }
+    for (r, row) in wide_rows.chunks_exact(cols).enumerate() {
+        let base = MOMENT_ACC_STRIDE * r;
         let k = acc[base];
         let mut s1 = acc[base + 1];
         let mut s2 = acc[base + 2];
@@ -345,9 +453,9 @@ pub fn fused_channel_moments(
 /// (and, for eval-mode batch-norm, the constant per-filter scale) in a
 /// single sweep over a plane range.
 ///
-/// Writes `out[i] = delta[i] · grad(pre_act[i])`, then — when `scale`
-/// is provided — multiplies by `scale[f]` as a second step on the
-/// local value. The two-step form is deliberate: it reproduces the
+/// Writes `out[i] = delta[i] · act.gradient(pre_act[i])`, then — when
+/// `scale` is provided — multiplies by `scale[f]` as a second step on
+/// the local value. The two-step form is deliberate: it reproduces the
 /// historical "derivative sweep, then scale sweep" expression chain
 /// bit-for-bit while touching each element once.
 ///
@@ -360,13 +468,13 @@ pub fn fused_channel_moments(
 ///
 /// Panics if slice lengths disagree with the geometry.
 #[allow(clippy::too_many_arguments)]
-pub fn backward_delta_planes<G: Fn(f32) -> f32>(
+pub fn backward_delta_planes(
     planes: std::ops::Range<usize>,
     filters: usize,
     ohw: usize,
     delta: &[f32],
     pre_act: &[f32],
-    grad: G,
+    act: Activation,
     scale: Option<&[f32]>,
     out: &mut [f32],
 ) {
@@ -376,12 +484,23 @@ pub fn backward_delta_planes<G: Fn(f32) -> f32>(
     if let Some(scale) = scale {
         assert_eq!(scale.len(), filters, "scale geometry");
     }
+    let simd = crate::simd::enabled();
     for (i, p) in planes.enumerate() {
         let f = p % filters;
         let base = i * ohw;
         let k = scale.map(|s| s[f]);
+        if simd {
+            crate::simd::plane_backward_delta(
+                &delta[base..base + ohw],
+                &pre_act[base..base + ohw],
+                act,
+                k,
+                &mut out[base..base + ohw],
+            );
+            continue;
+        }
         for j in base..base + ohw {
-            let mut d = delta[j] * grad(pre_act[j]);
+            let mut d = delta[j] * act.gradient(pre_act[j]);
             if let Some(k) = k {
                 d *= k;
             }
@@ -454,11 +573,23 @@ pub fn bn_backward_transform_planes(
     assert_eq!(sums.len(), 2 * filters, "sums geometry");
     assert_eq!(gamma.len(), filters, "gamma geometry");
     assert_eq!(inv_std.len(), filters, "inv_std geometry");
+    let simd = crate::simd::enabled();
     for (i, p) in planes.enumerate() {
         let f = p % filters;
         let k = gamma[f] * inv_std[f] / m;
         let (sum_dy, sum_dy_xhat) = (sums[2 * f], sums[2 * f + 1]);
         let base = i * ohw;
+        if simd {
+            crate::simd::plane_bn_backward(
+                k,
+                m,
+                sum_dy,
+                sum_dy_xhat,
+                &xhat[base..base + ohw],
+                &mut delta[base..base + ohw],
+            );
+            continue;
+        }
         for j in base..base + ohw {
             delta[j] = k * (m * delta[j] - sum_dy - xhat[j] * sum_dy_xhat);
         }
@@ -530,7 +661,7 @@ mod tests {
             ohw,
             0..n * filters,
             &GemmEpilogue::Bias { biases: &biases },
-            LEAKY,
+            Activation::Leaky,
             &mut out,
             &mut pre,
         );
@@ -553,7 +684,7 @@ mod tests {
         let mut full_out = vec![0.0; n * filters * ohw];
         let mut full_pre = full_out.clone();
         scatter_wide_epilogue(
-            &wide, tile_cols, filters, ohw, 0..n * filters, &ep, LEAKY,
+            &wide, tile_cols, filters, ohw, 0..n * filters, &ep, Activation::Leaky,
             &mut full_out, &mut full_pre,
         );
 
@@ -566,7 +697,7 @@ mod tests {
             while start < planes {
                 let end = (start + per).min(planes);
                 scatter_wide_epilogue(
-                    &wide, tile_cols, filters, ohw, start..end, &ep, LEAKY,
+                    &wide, tile_cols, filters, ohw, start..end, &ep, Activation::Leaky,
                     &mut out[start * ohw..end * ohw],
                     &mut pre[start * ohw..end * ohw],
                 );
@@ -683,6 +814,7 @@ mod tests {
         let delta = arb(len, 13);
         let pre = arb(len, 14);
         let scale: Vec<f32> = arb(filters, 15).iter().map(|v| v + 2.0).collect();
+        // Leaky's gradient, written long-hand for the reference sweeps.
         let grad = |z: f32| if z > 0.0 { 1.0 } else { 0.1 };
 
         // Reference: derivative sweep, then scale sweep.
@@ -697,7 +829,7 @@ mod tests {
 
         let mut out = vec![0.0; len];
         backward_delta_planes(
-            0..n * filters, filters, ohw, &delta, &pre, grad, Some(&scale), &mut out,
+            0..n * filters, filters, ohw, &delta, &pre, Activation::Leaky, Some(&scale), &mut out,
         );
         assert!(out.iter().zip(&want).all(|(a, b)| a.to_bits() == b.to_bits()));
 
@@ -710,7 +842,7 @@ mod tests {
                 p..p + 1, filters, ohw,
                 &delta[p * ohw..(p + 1) * ohw],
                 &pre[p * ohw..(p + 1) * ohw],
-                grad, None,
+                Activation::Leaky, None,
                 &mut chunked[p * ohw..(p + 1) * ohw],
             );
         }
@@ -814,7 +946,7 @@ mod tests {
         let mut inline_out = vec![0.0; planes * ohw];
         let mut inline_pre = inline_out.clone();
         scatter_wide_epilogue(
-            &wide, tile_cols, filters, ohw, 0..planes, &ep, LEAKY,
+            &wide, tile_cols, filters, ohw, 0..planes, &ep, Activation::Leaky,
             &mut inline_out, &mut inline_pre,
         );
 
@@ -823,7 +955,7 @@ mod tests {
         let mut xhat = vec![0.0; staged.len()];
         let mut out = vec![0.0; staged.len()];
         apply_epilogue_planes(
-            0..planes, filters, ohw, &ep, LEAKY, &mut staged, &mut xhat, &mut out,
+            0..planes, filters, ohw, &ep, Activation::Leaky, &mut staged, &mut xhat, &mut out,
         );
         for i in 0..out.len() {
             assert_eq!(out[i].to_bits(), inline_out[i].to_bits(), "out at {i}");

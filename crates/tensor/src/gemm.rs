@@ -296,15 +296,27 @@ pub fn gemm_a_bt_blocked(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: 
 /// kernels are bit-identical, so this constant affects speed only.
 pub const PACK_MIN_FLOATS: usize = 1 << 20;
 
-/// The native (out-of-enclave) `C += A·B` kernel: cache-blocked, with
-/// packed `B` tiles once the operand exceeds [`PACK_MIN_FLOATS`].
+/// The native (out-of-enclave) `C += A·B` kernel, top of the dispatch
+/// ladder: the explicit SIMD backend ([`crate::simd::gemm_simd`]) when
+/// the host supports it and `CALTRAIN_SIMD` is not `0`, otherwise
+/// cache-blocked scalar with packed `B` tiles once the operand exceeds
+/// [`PACK_MIN_FLOATS`].
 ///
-/// Bit-identical to [`gemm_strict`] — dispatch never changes results.
+/// Bit-identical to [`gemm_strict`] on **every** rung — dispatch never
+/// changes results. (The measurement-only FMA variant behind
+/// `CALTRAIN_SIMD_FMA=1` is the sole, deliberate exception; it is off
+/// by default and outside all tests.)
 ///
 /// # Panics
 ///
 /// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
 pub fn gemm_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if crate::simd::enabled() {
+        if crate::simd::fma_enabled() {
+            return crate::simd::gemm_fma(m, n, k, a, b, c);
+        }
+        return crate::simd::gemm_simd(m, n, k, a, b, c);
+    }
     if k * n >= PACK_MIN_FLOATS {
         gemm_packed(m, n, k, a, b, c);
     } else {
@@ -312,8 +324,9 @@ pub fn gemm_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
     }
 }
 
-/// The native `C += Aᵀ·B` kernel: the saxpy-form [`gemm_at_b`] while
-/// `C` stays cache-resident, the packed-tile variant once it does not.
+/// The native `C += Aᵀ·B` kernel: the SIMD backend when enabled,
+/// otherwise the saxpy-form [`gemm_at_b`] while `C` stays
+/// cache-resident and the packed-tile variant once it does not.
 ///
 /// Bit-identical to [`gemm_at_b_strict`].
 ///
@@ -321,11 +334,31 @@ pub fn gemm_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [
 ///
 /// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
 pub fn gemm_at_b_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if crate::simd::enabled() {
+        return crate::simd::gemm_at_b_simd(m, n, k, a, b, c);
+    }
     if m * n >= PACK_MIN_FLOATS / 2 {
         gemm_at_b_packed(m, n, k, a, b, c);
     } else {
         gemm_at_b(m, n, k, a, b, c);
     }
+}
+
+/// The native `C += A·Bᵀ` kernel: the SIMD backend when enabled (the
+/// scalar dot-product form autovectorises poorly, so this is the
+/// biggest beneficiary), otherwise [`gemm_a_bt_blocked`].
+///
+/// Bit-identical to [`gemm_a_bt`] (the strict-mode kernel for this
+/// shape).
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_a_bt_native(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    if crate::simd::enabled() {
+        return crate::simd::gemm_a_bt_simd(m, n, k, a, b, c);
+    }
+    gemm_a_bt_blocked(m, n, k, a, b, c);
 }
 
 /// The uniform signature every GEMM kernel here shares:
@@ -526,6 +559,7 @@ mod tests {
             gemm_blocked,
             gemm_packed,
             gemm_native,
+            crate::simd::gemm_simd,
         ] {
             let mut full = vec![0.0; m * n];
             kernel(m, n, k, &a, &b, &mut full);

@@ -20,8 +20,13 @@
 //! Every kernel performs the identical per-output addition sequence, so
 //! the families produce bit-identical results; the strict one is simply
 //! slower, which is exactly the asymmetry CalTrain's partitioned training
-//! exploits (paper §IV-B, Fig. 6). [`Scratch`] supplies the grow-only
-//! buffer arenas the zero-allocation training hot path is built on.
+//! exploits (paper §IV-B, Fig. 6). On hosts with AVX2 (or on aarch64,
+//! where NEON is baseline) the native dispatch rides an explicit
+//! `core::arch` SIMD backend ([`simd`]) that keeps the same bitwise
+//! contract — lanes own independent output columns, separate mul+add,
+//! no FMA — and `CALTRAIN_SIMD=0` forces the scalar fallback.
+//! [`Scratch`] supplies the grow-only buffer arenas the zero-allocation
+//! training hot path is built on.
 //!
 //! # Example
 //!
@@ -35,7 +40,10 @@
 //! # Ok::<(), caltrain_tensor::TensorError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `simd` module is the one sanctioned
+// `core::arch` island and opts out locally (the runtime crate set the
+// precedent in PR 4). Everything else stays safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
@@ -47,9 +55,11 @@ pub mod epilogue;
 pub mod gemm;
 pub mod im2col;
 pub mod linalg;
+pub mod simd;
 pub mod stats;
 pub mod tree;
 
+pub use epilogue::Activation;
 pub use error::TensorError;
 pub use scratch::Scratch;
 pub use shape::Shape;

@@ -1,0 +1,1247 @@
+//! Explicit `core::arch` SIMD kernels (AVX2 on x86_64, NEON on
+//! aarch64) for the GEMM family and the two flat epilogue sweeps —
+//! selected at **runtime** and, crucially, **bitwise identical** to the
+//! strict scalar reference.
+//!
+//! # The no-FMA bitwise contract
+//!
+//! Every kernel here vectorises across *independent output elements*:
+//! lanes own distinct output columns `j` (or distinct filter rows for
+//! the moment sweep), and each element's reduction remains the exact
+//! ascending-`p` scalar addition chain of [`crate::gemm::gemm_strict`].
+//! Products and sums are kept as **separate** mul and add intrinsics —
+//! never a fused multiply-add — because IEEE 754 single-precision
+//! lane arithmetic is then identical to the scalar instructions the
+//! strict kernel executes. The result: `simd == strict` per element,
+//! down to the bit, and the worker-count invariance of the repo holds
+//! by construction (row tiles and plane fan-outs never change the
+//! chain). The `simd_properties` proptests and the in-module tests pin
+//! this on every variant, including remainder lanes (`n % 8 != 0`,
+//! `n < 8`) and empty reductions (`k == 0`).
+//!
+//! An FMA variant ([`gemm_fma`]) exists for measurement only, behind
+//! the off-by-default `CALTRAIN_SIMD_FMA=1` knob. It **breaks** the
+//! bitwise contract (fused rounding) and is excluded from every test
+//! and bench; nothing in the dispatch ladder reaches it unless the
+//! knob is set.
+//!
+//! # Dispatch
+//!
+//! [`enabled`] gates the native dispatch in [`crate::gemm`]:
+//! `CALTRAIN_SIMD=0` forces the blocked/packed scalar fallback, and on
+//! hosts without AVX2 the fallback is automatic
+//! ([`is_x86_feature_detected!`]; NEON is baseline on aarch64, so
+//! detection is compile-time there). The public `*_simd` entry points
+//! themselves fall back to the scalar kernels when the architecture
+//! lacks SIMD support, so they are callable — and testable —
+//! everywhere.
+
+#![allow(unsafe_code)] // the one module where `core::arch` lives; crate root denies it.
+
+use std::sync::OnceLock;
+
+use crate::epilogue::Activation;
+
+/// Whether this CPU has the SIMD backend's required features
+/// (AVX2 on x86_64; always true on aarch64 — NEON is baseline).
+pub fn supported() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        static AVX2: OnceLock<bool> = OnceLock::new();
+        *AVX2.get_or_init(|| is_x86_feature_detected!("avx2"))
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        true
+    }
+    #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+    {
+        false
+    }
+}
+
+/// Whether native dispatch routes through the SIMD backend: the CPU
+/// supports it ([`supported`]) and `CALTRAIN_SIMD` is not `0`.
+///
+/// Cached on first use — the knob is read once per process, matching
+/// how `CALTRAIN_WORKERS` behaves.
+pub fn enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        supported() && std::env::var("CALTRAIN_SIMD").map_or(true, |v| v != "0")
+    })
+}
+
+/// Whether the measurement-only FMA variant is switched on:
+/// `CALTRAIN_SIMD_FMA=1` **and** the CPU has FMA3. Off by default;
+/// breaks the bitwise contract, so tests and benches never set it.
+pub fn fma_enabled() -> bool {
+    static FMA: OnceLock<bool> = OnceLock::new();
+    *FMA.get_or_init(|| {
+        let asked = std::env::var("CALTRAIN_SIMD_FMA").map_or(false, |v| v == "1");
+        #[cfg(target_arch = "x86_64")]
+        {
+            asked && is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma")
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            asked && false
+        }
+    })
+}
+
+/// SIMD `c += a * b` (row-major `A: m×k`, `B: k×n`, `C: m×n`) —
+/// bitwise identical to [`crate::gemm::gemm_strict`].
+///
+/// Falls back to [`crate::gemm::gemm_blocked`] on architectures without
+/// a SIMD backend, so the function is total.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_simd(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        // A element for output row i: a[i*k + p] — row stride k, p stride 1.
+        unsafe { x86::gemm_strided(m, n, k, a.as_ptr(), k, 1, b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::gemm_strided(m, n, k, a.as_ptr(), k, 1, b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    crate::gemm::gemm_blocked(m, n, k, a, b, c)
+}
+
+/// SIMD `c += aᵀ * b` (`a` is `k×m`) — bitwise identical to
+/// [`crate::gemm::gemm_at_b_strict`]. Scalar fallback as [`gemm_simd`].
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_at_b_simd(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), k * m, "A must be k*m (transposed)");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        // A element for output row i: a[p*m + i] — row stride 1, p stride m.
+        unsafe { x86::gemm_strided(m, n, k, a.as_ptr(), 1, m, b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::gemm_strided(m, n, k, a.as_ptr(), 1, m, b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    crate::gemm::gemm_at_b(m, n, k, a, b, c)
+}
+
+/// SIMD `c += a * bᵀ` (`b` is `n×k`) — bitwise identical to
+/// [`crate::gemm::gemm_a_bt`] (the strict-mode kernel for this shape):
+/// lanes own distinct output columns `j`, each dot product keeps one
+/// ascending-`p` accumulator started at `0.0` and added onto `c` at the
+/// end, exactly like the scalar kernel.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_a_bt_simd(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), n * k, "B must be n*k (transposed)");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::gemm_a_bt(m, n, k, a.as_ptr(), b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::gemm_a_bt(m, n, k, a.as_ptr(), b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    crate::gemm::gemm_a_bt_blocked(m, n, k, a, b, c)
+}
+
+/// Measurement-only FMA GEMM: `c += a * b` with fused multiply-adds.
+///
+/// **Not** bitwise identical to [`crate::gemm::gemm_strict`] — the
+/// fused rounding changes low bits. Reached only when [`fma_enabled`]
+/// (the `CALTRAIN_SIMD_FMA=1` knob) is set; stays out of every test and
+/// bench. Falls back to [`gemm_simd`] where FMA is unavailable.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `m`, `n`, `k`.
+pub fn gemm_fma(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    assert_eq!(a.len(), m * k, "A must be m*k");
+    assert_eq!(b.len(), k * n, "B must be k*n");
+    assert_eq!(c.len(), m * n, "C must be m*n");
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+        unsafe { x86::gemm_fma(m, n, k, a.as_ptr(), b.as_ptr(), c.as_mut_ptr()) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    gemm_simd(m, n, k, a, b, c)
+}
+
+/// The per-plane scalar epilogue parameters — filter `f`'s slice of a
+/// [`crate::epilogue::GemmEpilogue`], extracted so the SIMD plane sweep
+/// can broadcast them. `z()` mirrors `GemmEpilogue::z` exactly.
+#[derive(Clone, Copy)]
+pub(crate) enum PlaneOp {
+    /// `z = v + bias`.
+    Bias(f32),
+    /// `z = gamma·((v − mean)·inv_std) + beta` — canonical grouping.
+    Norm {
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+    },
+}
+
+impl PlaneOp {
+    #[inline]
+    fn z(self, v: f32) -> f32 {
+        match self {
+            PlaneOp::Bias(b) => v + b,
+            PlaneOp::Norm { mean, inv_std, gamma, beta } => {
+                let xhat = (v - mean) * inv_std;
+                gamma * xhat + beta
+            }
+        }
+    }
+}
+
+/// One plane of the fused scatter epilogue: `pre[j] = z(src[j])`,
+/// `out[j] = act(z)`. Lane arithmetic matches the scalar loop in
+/// [`crate::epilogue::scatter_wide_epilogue`] bit for bit.
+pub(crate) fn plane_scatter(src: &[f32], op: PlaneOp, act: Activation, out: &mut [f32], pre: &mut [f32]) {
+    debug_assert_eq!(src.len(), out.len());
+    debug_assert_eq!(src.len(), pre.len());
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::plane_scatter(src, op, act, out, pre) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::plane_scatter(src, op, act, out, pre);
+        return;
+    }
+    #[allow(unreachable_code)]
+    for ((d, z_slot), &v) in out.iter_mut().zip(pre.iter_mut()).zip(src) {
+        let z = op.z(v);
+        *z_slot = z;
+        *d = act.apply(z);
+    }
+}
+
+/// One plane of the deferred batch-norm epilogue: reads the staged raw
+/// value, writes `x̂`, overwrites the staging slot with `z` and writes
+/// the activated output — the lane form of the loop in
+/// [`crate::epilogue::apply_epilogue_planes`].
+pub(crate) fn plane_apply_norm(
+    mean: f32,
+    inv_std: f32,
+    gamma: f32,
+    beta: f32,
+    act: Activation,
+    raw_to_z: &mut [f32],
+    xhat: &mut [f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(raw_to_z.len(), xhat.len());
+    debug_assert_eq!(raw_to_z.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::plane_apply_norm(mean, inv_std, gamma, beta, act, raw_to_z, xhat, out) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::plane_apply_norm(mean, inv_std, gamma, beta, act, raw_to_z, xhat, out);
+        return;
+    }
+    #[allow(unreachable_code)]
+    for j in 0..raw_to_z.len() {
+        let xh = (raw_to_z[j] - mean) * inv_std;
+        let z = gamma * xh + beta;
+        xhat[j] = xh;
+        raw_to_z[j] = z;
+        out[j] = act.apply(z);
+    }
+}
+
+/// One plane of the fused backward epilogue, pass one:
+/// `out[j] = delta[j]·act.gradient(pre[j])`, then `·scale` when given —
+/// the lane form of [`crate::epilogue::backward_delta_planes`].
+pub(crate) fn plane_backward_delta(
+    delta: &[f32],
+    pre: &[f32],
+    act: Activation,
+    scale: Option<f32>,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(delta.len(), pre.len());
+    debug_assert_eq!(delta.len(), out.len());
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::plane_backward_delta(delta, pre, act, scale, out) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::plane_backward_delta(delta, pre, act, scale, out);
+        return;
+    }
+    #[allow(unreachable_code)]
+    for j in 0..delta.len() {
+        let mut d = delta[j] * act.gradient(pre[j]);
+        if let Some(k) = scale {
+            d *= k;
+        }
+        out[j] = d;
+    }
+}
+
+/// One plane of the train-mode batch-norm backward transform:
+/// `delta[j] = k·(m·delta[j] − sum_dy − xhat[j]·sum_dy_xhat)` — the
+/// lane form of [`crate::epilogue::bn_backward_transform_planes`].
+pub(crate) fn plane_bn_backward(
+    k: f32,
+    m: f32,
+    sum_dy: f32,
+    sum_dy_xhat: f32,
+    xhat: &[f32],
+    delta: &mut [f32],
+) {
+    debug_assert_eq!(xhat.len(), delta.len());
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::plane_bn_backward(k, m, sum_dy, sum_dy_xhat, xhat, delta) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::plane_bn_backward(k, m, sum_dy, sum_dy_xhat, xhat, delta);
+        return;
+    }
+    #[allow(unreachable_code)]
+    for j in 0..delta.len() {
+        delta[j] = k * (m * delta[j] - sum_dy - xhat[j] * sum_dy_xhat);
+    }
+}
+
+/// The shifted-moment row sweeps of
+/// [`crate::epilogue::accumulate_wide_moments`], with the shifts `K`
+/// already latched by the caller: for each row `r`,
+/// `acc[3r+1] += Σ(v−K)` and `acc[3r+2] += Σ(v−K)²`, left to right.
+///
+/// Lanes own distinct **rows** (filters) in lockstep — the per-row
+/// chain is untouched, so the accumulation is bitwise identical to the
+/// scalar sweep at any tiling.
+pub(crate) fn moment_rows(wide_rows: &[f32], cols: usize, acc: &mut [f32]) {
+    debug_assert_eq!(acc.len() * cols, wide_rows.len() * crate::epilogue::MOMENT_ACC_STRIDE);
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::moment_rows(wide_rows, cols, acc) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        neon::moment_rows(wide_rows, cols, acc);
+        return;
+    }
+    #[allow(unreachable_code)]
+    moment_rows_scalar(wide_rows, cols, acc, 0)
+}
+
+/// Scalar remainder of the moment sweep from row `row0` on — also the
+/// whole fallback body. Identical per-row chain to the SIMD lanes.
+fn moment_rows_scalar(wide_rows: &[f32], cols: usize, acc: &mut [f32], row0: usize) {
+    const STRIDE: usize = crate::epilogue::MOMENT_ACC_STRIDE;
+    for (r, row) in wide_rows.chunks_exact(cols).enumerate().skip(row0) {
+        let base = STRIDE * r;
+        let k = acc[base];
+        let mut s1 = acc[base + 1];
+        let mut s2 = acc[base + 2];
+        for &v in row {
+            let d = v - k;
+            s1 += d;
+            s2 += d * d;
+        }
+        acc[base + 1] = s1;
+        acc[base + 2] = s2;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2 bodies. Every `unsafe fn` here assumes the slice/pointer
+    //! geometry its safe wrapper asserted and `avx2` present (checked
+    //! by the wrapper via [`super::supported`]).
+
+    use core::arch::x86_64::*;
+
+    use super::PlaneOp;
+    use crate::epilogue::Activation;
+
+    /// Output-row band height of the GEMM microkernels.
+    const MR: usize = 4;
+
+    /// `c += a·b` with `A` addressed as `a[row·ars + p·aps]` — covers
+    /// both the plain (`ars = k, aps = 1`) and the transposed-left
+    /// (`ars = 1, aps = m`) kernels with one body.
+    ///
+    /// # Safety
+    ///
+    /// `ap`/`bp`/`cp` must point at `A`/`B`/`C` of the given geometry;
+    /// caller must have verified AVX2.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_strided(
+        m: usize,
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut i = 0;
+        while i + MR <= m {
+            row_band::<MR>(n, k, ap.add(i * ars), ars, aps, bp, cp.add(i * n));
+            i += MR;
+        }
+        while i < m {
+            row_band::<1>(n, k, ap.add(i * ars), ars, aps, bp, cp.add(i * n));
+            i += 1;
+        }
+    }
+
+    /// `R` output rows × all `n` columns: 16-wide, then 8-wide, then an
+    /// exact scalar column tail. `ap` points at the band's first A row,
+    /// `cp` at its first C row.
+    #[target_feature(enable = "avx2")]
+    unsafe fn row_band<const R: usize>(
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut j = 0;
+        while j + 16 <= n {
+            micro::<R, 2>(j, n, k, ap, ars, aps, bp, cp);
+            j += 16;
+        }
+        while j + 8 <= n {
+            micro::<R, 1>(j, n, k, ap, ars, aps, bp, cp);
+            j += 8;
+        }
+        // Scalar column tail: the strict per-element chain verbatim.
+        for r in 0..R {
+            for jj in j..n {
+                let mut acc = *cp.add(r * n + jj);
+                for p in 0..k {
+                    acc += *ap.add(r * ars + p * aps) * *bp.add(p * n + jj);
+                }
+                *cp.add(r * n + jj) = acc;
+            }
+        }
+    }
+
+    /// `R` rows × `8·V` columns. Lanes own distinct `j`; each lane's
+    /// accumulator is loaded from `C`, advanced in ascending `p` with a
+    /// **separate** mul then add (no FMA contraction — the intrinsics
+    /// lower to plain `fmul`/`fadd`, which LLVM never fuses without
+    /// fast-math), and stored back: the scalar chain, eight at a time.
+    #[target_feature(enable = "avx2")]
+    unsafe fn micro<const R: usize, const V: usize>(
+        j: usize,
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); V]; R];
+        for r in 0..R {
+            for v in 0..V {
+                acc[r][v] = _mm256_loadu_ps(cp.add(r * n + j + 8 * v));
+            }
+        }
+        for p in 0..k {
+            let mut vb = [_mm256_setzero_ps(); V];
+            for v in 0..V {
+                vb[v] = _mm256_loadu_ps(bp.add(p * n + j + 8 * v));
+            }
+            for r in 0..R {
+                let va = _mm256_set1_ps(*ap.add(r * ars + p * aps));
+                for v in 0..V {
+                    acc[r][v] = _mm256_add_ps(acc[r][v], _mm256_mul_ps(va, vb[v]));
+                }
+            }
+        }
+        for r in 0..R {
+            for v in 0..V {
+                _mm256_storeu_ps(cp.add(r * n + j + 8 * v), acc[r][v]);
+            }
+        }
+    }
+
+    /// `c += a·bᵀ`: lanes own 8 distinct `j`, gathering the 8 strided
+    /// `b[j·k + p]` lanes per step. Each lane keeps one zero-started
+    /// ascending-`p` accumulator added onto `C` at the end — exactly
+    /// the scalar dot-product chain of `gemm_a_bt`.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_a_bt(m: usize, n: usize, k: usize, ap: *const f32, bp: *const f32, cp: *mut f32) {
+        let mut i = 0;
+        while i + MR <= m {
+            abt_band::<MR>(n, k, ap.add(i * k), bp, cp.add(i * n));
+            i += MR;
+        }
+        while i < m {
+            abt_band::<1>(n, k, ap.add(i * k), bp, cp.add(i * n));
+            i += 1;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn abt_band<const R: usize>(n: usize, k: usize, ap: *const f32, bp: *const f32, cp: *mut f32) {
+        let mut j = 0;
+        if k <= i32::MAX as usize / 8 {
+            // Lane l reads b[(j+l)·k + p]: constant stride k between
+            // lanes, so one gather index vector serves every (j, p).
+            let kk = k as i32;
+            let vidx = _mm256_setr_epi32(0, kk, 2 * kk, 3 * kk, 4 * kk, 5 * kk, 6 * kk, 7 * kk);
+            while j + 8 <= n {
+                let mut acc = [_mm256_setzero_ps(); R];
+                for p in 0..k {
+                    let vb = _mm256_i32gather_ps::<4>(bp.add(j * k + p), vidx);
+                    for r in 0..R {
+                        let va = _mm256_set1_ps(*ap.add(r * k + p));
+                        acc[r] = _mm256_add_ps(acc[r], _mm256_mul_ps(va, vb));
+                    }
+                }
+                for r in 0..R {
+                    let cv = _mm256_loadu_ps(cp.add(r * n + j));
+                    _mm256_storeu_ps(cp.add(r * n + j), _mm256_add_ps(cv, acc[r]));
+                }
+                j += 8;
+            }
+        }
+        for r in 0..R {
+            for jj in j..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += *ap.add(r * k + p) * *bp.add(jj * k + p);
+                }
+                *cp.add(r * n + jj) += acc;
+            }
+        }
+    }
+
+    /// The measurement-only FMA body of [`super::gemm_fma`]: same band
+    /// structure as [`gemm_strided`] for the plain layout, fused
+    /// multiply-adds in the lane loop. Not bit-exact.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn gemm_fma(m: usize, n: usize, k: usize, ap: *const f32, bp: *const f32, cp: *mut f32) {
+        for i in 0..m {
+            let arow = ap.add(i * k);
+            let crow = cp.add(i * n);
+            let mut j = 0;
+            while j + 8 <= n {
+                let mut acc = _mm256_loadu_ps(crow.add(j));
+                for p in 0..k {
+                    let va = _mm256_set1_ps(*arow.add(p));
+                    let vb = _mm256_loadu_ps(bp.add(p * n + j));
+                    acc = _mm256_fmadd_ps(va, vb, acc);
+                }
+                _mm256_storeu_ps(crow.add(j), acc);
+                j += 8;
+            }
+            for jj in j..n {
+                let mut acc = *crow.add(jj);
+                for p in 0..k {
+                    acc += *arow.add(p) * *bp.add(p * n + jj);
+                }
+                *crow.add(jj) = acc;
+            }
+        }
+    }
+
+    /// The activation on a lane vector — compare-and-blend so the
+    /// selected values are the *same* values the scalar branches pick
+    /// (including `−0.0` → `+0.0` for ReLU and NaN fall-through).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn act_vec(act: Activation, z: __m256) -> __m256 {
+        match act {
+            Activation::Linear => z,
+            Activation::Relu => {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(z, _mm256_setzero_ps());
+                _mm256_blendv_ps(_mm256_setzero_ps(), z, gt)
+            }
+            Activation::Leaky => {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(z, _mm256_setzero_ps());
+                _mm256_blendv_ps(_mm256_mul_ps(z, _mm256_set1_ps(0.1)), z, gt)
+            }
+        }
+    }
+
+    /// Lane form of `Activation::gradient`: 1.0 where `z > 0`, else the
+    /// branch constant (0.0 / 0.1) — blends of the exact scalar
+    /// constants.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn grad_vec(act: Activation, z: __m256) -> __m256 {
+        let one = _mm256_set1_ps(1.0);
+        match act {
+            Activation::Linear => one,
+            Activation::Relu => {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(z, _mm256_setzero_ps());
+                _mm256_blendv_ps(_mm256_setzero_ps(), one, gt)
+            }
+            Activation::Leaky => {
+                let gt = _mm256_cmp_ps::<_CMP_GT_OQ>(z, _mm256_setzero_ps());
+                _mm256_blendv_ps(_mm256_set1_ps(0.1), one, gt)
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn plane_scatter(src: &[f32], op: PlaneOp, act: Activation, out: &mut [f32], pre: &mut [f32]) {
+        let len = src.len();
+        let sp = src.as_ptr();
+        let op_ = out.as_mut_ptr();
+        let pp = pre.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= len {
+            let v = _mm256_loadu_ps(sp.add(j));
+            let z = match op {
+                PlaneOp::Bias(b) => _mm256_add_ps(v, _mm256_set1_ps(b)),
+                PlaneOp::Norm { mean, inv_std, gamma, beta } => {
+                    // Canonical grouping: x̂ = (v−µ)·inv_std, z = γ·x̂+β.
+                    let xhat = _mm256_mul_ps(_mm256_sub_ps(v, _mm256_set1_ps(mean)), _mm256_set1_ps(inv_std));
+                    _mm256_add_ps(_mm256_mul_ps(_mm256_set1_ps(gamma), xhat), _mm256_set1_ps(beta))
+                }
+            };
+            _mm256_storeu_ps(pp.add(j), z);
+            _mm256_storeu_ps(op_.add(j), act_vec(act, z));
+            j += 8;
+        }
+        for jj in j..len {
+            let z = op.z(*sp.add(jj));
+            *pp.add(jj) = z;
+            *op_.add(jj) = act.apply(z);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::too_many_arguments)]
+    pub unsafe fn plane_apply_norm(
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+        act: Activation,
+        raw_to_z: &mut [f32],
+        xhat: &mut [f32],
+        out: &mut [f32],
+    ) {
+        let len = raw_to_z.len();
+        let rp = raw_to_z.as_mut_ptr();
+        let xp = xhat.as_mut_ptr();
+        let op_ = out.as_mut_ptr();
+        let (vm, vi, vg, vb) = (
+            _mm256_set1_ps(mean),
+            _mm256_set1_ps(inv_std),
+            _mm256_set1_ps(gamma),
+            _mm256_set1_ps(beta),
+        );
+        let mut j = 0;
+        while j + 8 <= len {
+            let v = _mm256_loadu_ps(rp.add(j));
+            let xh = _mm256_mul_ps(_mm256_sub_ps(v, vm), vi);
+            let z = _mm256_add_ps(_mm256_mul_ps(vg, xh), vb);
+            _mm256_storeu_ps(xp.add(j), xh);
+            _mm256_storeu_ps(rp.add(j), z);
+            _mm256_storeu_ps(op_.add(j), act_vec(act, z));
+            j += 8;
+        }
+        for jj in j..len {
+            let xh = (*rp.add(jj) - mean) * inv_std;
+            let z = gamma * xh + beta;
+            *xp.add(jj) = xh;
+            *rp.add(jj) = z;
+            *op_.add(jj) = act.apply(z);
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn plane_backward_delta(
+        delta: &[f32],
+        pre: &[f32],
+        act: Activation,
+        scale: Option<f32>,
+        out: &mut [f32],
+    ) {
+        let len = delta.len();
+        let dp = delta.as_ptr();
+        let pp = pre.as_ptr();
+        let op_ = out.as_mut_ptr();
+        let mut j = 0;
+        while j + 8 <= len {
+            let z = _mm256_loadu_ps(pp.add(j));
+            let mut d = _mm256_mul_ps(_mm256_loadu_ps(dp.add(j)), grad_vec(act, z));
+            if let Some(k) = scale {
+                d = _mm256_mul_ps(d, _mm256_set1_ps(k));
+            }
+            _mm256_storeu_ps(op_.add(j), d);
+            j += 8;
+        }
+        for jj in j..len {
+            let mut d = *dp.add(jj) * act.gradient(*pp.add(jj));
+            if let Some(k) = scale {
+                d *= k;
+            }
+            *op_.add(jj) = d;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn plane_bn_backward(
+        k: f32,
+        m: f32,
+        sum_dy: f32,
+        sum_dy_xhat: f32,
+        xhat: &[f32],
+        delta: &mut [f32],
+    ) {
+        let len = delta.len();
+        let xp = xhat.as_ptr();
+        let dp = delta.as_mut_ptr();
+        let (vk, vm, vs, vsx) = (
+            _mm256_set1_ps(k),
+            _mm256_set1_ps(m),
+            _mm256_set1_ps(sum_dy),
+            _mm256_set1_ps(sum_dy_xhat),
+        );
+        let mut j = 0;
+        while j + 8 <= len {
+            let d = _mm256_loadu_ps(dp.add(j));
+            let x = _mm256_loadu_ps(xp.add(j));
+            // k·(m·d − Σdy − x̂·Σdy·x̂) with the scalar's exact tree.
+            let t = _mm256_sub_ps(_mm256_sub_ps(_mm256_mul_ps(vm, d), vs), _mm256_mul_ps(x, vsx));
+            _mm256_storeu_ps(dp.add(j), _mm256_mul_ps(vk, t));
+            j += 8;
+        }
+        for jj in j..len {
+            *dp.add(jj) = k * (m * *dp.add(jj) - sum_dy - *xp.add(jj) * sum_dy_xhat);
+        }
+    }
+
+    /// Eight filter rows in lockstep: lane l sweeps row `r+l`'s
+    /// left-to-right shifted chain. Strided row loads via gather.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn moment_rows(wide_rows: &[f32], cols: usize, acc: &mut [f32]) {
+        const STRIDE: usize = crate::epilogue::MOMENT_ACC_STRIDE;
+        let nrows = wide_rows.len() / cols;
+        let rp = wide_rows.as_ptr();
+        let mut r = 0;
+        if cols <= i32::MAX as usize / 8 {
+            let cc = cols as i32;
+            let vidx = _mm256_setr_epi32(0, cc, 2 * cc, 3 * cc, 4 * cc, 5 * cc, 6 * cc, 7 * cc);
+            while r + 8 <= nrows {
+                let mut ka = [0.0f32; 8];
+                let mut s1a = [0.0f32; 8];
+                let mut s2a = [0.0f32; 8];
+                for l in 0..8 {
+                    let base = STRIDE * (r + l);
+                    ka[l] = acc[base];
+                    s1a[l] = acc[base + 1];
+                    s2a[l] = acc[base + 2];
+                }
+                let kv = _mm256_loadu_ps(ka.as_ptr());
+                let mut s1 = _mm256_loadu_ps(s1a.as_ptr());
+                let mut s2 = _mm256_loadu_ps(s2a.as_ptr());
+                for j in 0..cols {
+                    let v = _mm256_i32gather_ps::<4>(rp.add(r * cols + j), vidx);
+                    let d = _mm256_sub_ps(v, kv);
+                    s1 = _mm256_add_ps(s1, d);
+                    s2 = _mm256_add_ps(s2, _mm256_mul_ps(d, d));
+                }
+                _mm256_storeu_ps(s1a.as_mut_ptr(), s1);
+                _mm256_storeu_ps(s2a.as_mut_ptr(), s2);
+                for l in 0..8 {
+                    let base = STRIDE * (r + l);
+                    acc[base + 1] = s1a[l];
+                    acc[base + 2] = s2a[l];
+                }
+                r += 8;
+            }
+        }
+        super::moment_rows_scalar(wide_rows, cols, acc, r);
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    //! NEON bodies — 4-lane analogues of the AVX2 module. NEON is
+    //! baseline on aarch64, so no runtime detection is needed; the
+    //! same no-FMA discipline applies (`vmulq`+`vaddq`, never `vfmaq`).
+
+    #![allow(unused_unsafe)]
+
+    use core::arch::aarch64::*;
+
+    use super::PlaneOp;
+    use crate::epilogue::Activation;
+
+    const MR: usize = 4;
+
+    #[inline]
+    unsafe fn gather4(p: *const f32, stride: usize) -> float32x4_t {
+        let lanes = [*p, *p.add(stride), *p.add(2 * stride), *p.add(3 * stride)];
+        vld1q_f32(lanes.as_ptr())
+    }
+
+    pub unsafe fn gemm_strided(
+        m: usize,
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut i = 0;
+        while i + MR <= m {
+            row_band::<MR>(n, k, ap.add(i * ars), ars, aps, bp, cp.add(i * n));
+            i += MR;
+        }
+        while i < m {
+            row_band::<1>(n, k, ap.add(i * ars), ars, aps, bp, cp.add(i * n));
+            i += 1;
+        }
+    }
+
+    unsafe fn row_band<const R: usize>(
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut j = 0;
+        while j + 8 <= n {
+            micro::<R, 2>(j, n, k, ap, ars, aps, bp, cp);
+            j += 8;
+        }
+        while j + 4 <= n {
+            micro::<R, 1>(j, n, k, ap, ars, aps, bp, cp);
+            j += 4;
+        }
+        for r in 0..R {
+            for jj in j..n {
+                let mut acc = *cp.add(r * n + jj);
+                for p in 0..k {
+                    acc += *ap.add(r * ars + p * aps) * *bp.add(p * n + jj);
+                }
+                *cp.add(r * n + jj) = acc;
+            }
+        }
+    }
+
+    unsafe fn micro<const R: usize, const V: usize>(
+        j: usize,
+        n: usize,
+        k: usize,
+        ap: *const f32,
+        ars: usize,
+        aps: usize,
+        bp: *const f32,
+        cp: *mut f32,
+    ) {
+        let mut acc = [[vdupq_n_f32(0.0); V]; R];
+        for r in 0..R {
+            for v in 0..V {
+                acc[r][v] = vld1q_f32(cp.add(r * n + j + 4 * v));
+            }
+        }
+        for p in 0..k {
+            let mut vb = [vdupq_n_f32(0.0); V];
+            for v in 0..V {
+                vb[v] = vld1q_f32(bp.add(p * n + j + 4 * v));
+            }
+            for r in 0..R {
+                let va = vdupq_n_f32(*ap.add(r * ars + p * aps));
+                for v in 0..V {
+                    acc[r][v] = vaddq_f32(acc[r][v], vmulq_f32(va, vb[v]));
+                }
+            }
+        }
+        for r in 0..R {
+            for v in 0..V {
+                vst1q_f32(cp.add(r * n + j + 4 * v), acc[r][v]);
+            }
+        }
+    }
+
+    pub unsafe fn gemm_a_bt(m: usize, n: usize, k: usize, ap: *const f32, bp: *const f32, cp: *mut f32) {
+        let mut i = 0;
+        while i + MR <= m {
+            abt_band::<MR>(n, k, ap.add(i * k), bp, cp.add(i * n));
+            i += MR;
+        }
+        while i < m {
+            abt_band::<1>(n, k, ap.add(i * k), bp, cp.add(i * n));
+            i += 1;
+        }
+    }
+
+    unsafe fn abt_band<const R: usize>(n: usize, k: usize, ap: *const f32, bp: *const f32, cp: *mut f32) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = [vdupq_n_f32(0.0); R];
+            for p in 0..k {
+                let vb = gather4(bp.add(j * k + p), k);
+                for r in 0..R {
+                    let va = vdupq_n_f32(*ap.add(r * k + p));
+                    acc[r] = vaddq_f32(acc[r], vmulq_f32(va, vb));
+                }
+            }
+            for r in 0..R {
+                let cv = vld1q_f32(cp.add(r * n + j));
+                vst1q_f32(cp.add(r * n + j), vaddq_f32(cv, acc[r]));
+            }
+            j += 4;
+        }
+        for r in 0..R {
+            for jj in j..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += *ap.add(r * k + p) * *bp.add(jj * k + p);
+                }
+                *cp.add(r * n + jj) += acc;
+            }
+        }
+    }
+
+    #[inline]
+    unsafe fn act_vec(act: Activation, z: float32x4_t) -> float32x4_t {
+        match act {
+            Activation::Linear => z,
+            Activation::Relu => {
+                let gt = vcgtq_f32(z, vdupq_n_f32(0.0));
+                vbslq_f32(gt, z, vdupq_n_f32(0.0))
+            }
+            Activation::Leaky => {
+                let gt = vcgtq_f32(z, vdupq_n_f32(0.0));
+                vbslq_f32(gt, z, vmulq_f32(z, vdupq_n_f32(0.1)))
+            }
+        }
+    }
+
+    #[inline]
+    unsafe fn grad_vec(act: Activation, z: float32x4_t) -> float32x4_t {
+        let one = vdupq_n_f32(1.0);
+        match act {
+            Activation::Linear => one,
+            Activation::Relu => {
+                let gt = vcgtq_f32(z, vdupq_n_f32(0.0));
+                vbslq_f32(gt, one, vdupq_n_f32(0.0))
+            }
+            Activation::Leaky => {
+                let gt = vcgtq_f32(z, vdupq_n_f32(0.0));
+                vbslq_f32(gt, one, vdupq_n_f32(0.1))
+            }
+        }
+    }
+
+    pub fn plane_scatter(src: &[f32], op: PlaneOp, act: Activation, out: &mut [f32], pre: &mut [f32]) {
+        unsafe {
+            let len = src.len();
+            let sp = src.as_ptr();
+            let op_ = out.as_mut_ptr();
+            let pp = pre.as_mut_ptr();
+            let mut j = 0;
+            while j + 4 <= len {
+                let v = vld1q_f32(sp.add(j));
+                let z = match op {
+                    PlaneOp::Bias(b) => vaddq_f32(v, vdupq_n_f32(b)),
+                    PlaneOp::Norm { mean, inv_std, gamma, beta } => {
+                        let xhat = vmulq_f32(vsubq_f32(v, vdupq_n_f32(mean)), vdupq_n_f32(inv_std));
+                        vaddq_f32(vmulq_f32(vdupq_n_f32(gamma), xhat), vdupq_n_f32(beta))
+                    }
+                };
+                vst1q_f32(pp.add(j), z);
+                vst1q_f32(op_.add(j), act_vec(act, z));
+                j += 4;
+            }
+            for jj in j..len {
+                let z = op.z(*sp.add(jj));
+                *pp.add(jj) = z;
+                *op_.add(jj) = act.apply(z);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn plane_apply_norm(
+        mean: f32,
+        inv_std: f32,
+        gamma: f32,
+        beta: f32,
+        act: Activation,
+        raw_to_z: &mut [f32],
+        xhat: &mut [f32],
+        out: &mut [f32],
+    ) {
+        unsafe {
+            let len = raw_to_z.len();
+            let rp = raw_to_z.as_mut_ptr();
+            let xp = xhat.as_mut_ptr();
+            let op_ = out.as_mut_ptr();
+            let (vm, vi, vg, vb) = (
+                vdupq_n_f32(mean),
+                vdupq_n_f32(inv_std),
+                vdupq_n_f32(gamma),
+                vdupq_n_f32(beta),
+            );
+            let mut j = 0;
+            while j + 4 <= len {
+                let v = vld1q_f32(rp.add(j));
+                let xh = vmulq_f32(vsubq_f32(v, vm), vi);
+                let z = vaddq_f32(vmulq_f32(vg, xh), vb);
+                vst1q_f32(xp.add(j), xh);
+                vst1q_f32(rp.add(j), z);
+                vst1q_f32(op_.add(j), act_vec(act, z));
+                j += 4;
+            }
+            for jj in j..len {
+                let xh = (*rp.add(jj) - mean) * inv_std;
+                let z = gamma * xh + beta;
+                *xp.add(jj) = xh;
+                *rp.add(jj) = z;
+                *op_.add(jj) = act.apply(z);
+            }
+        }
+    }
+
+    pub fn plane_backward_delta(
+        delta: &[f32],
+        pre: &[f32],
+        act: Activation,
+        scale: Option<f32>,
+        out: &mut [f32],
+    ) {
+        unsafe {
+            let len = delta.len();
+            let dp = delta.as_ptr();
+            let pp = pre.as_ptr();
+            let op_ = out.as_mut_ptr();
+            let mut j = 0;
+            while j + 4 <= len {
+                let z = vld1q_f32(pp.add(j));
+                let mut d = vmulq_f32(vld1q_f32(dp.add(j)), grad_vec(act, z));
+                if let Some(k) = scale {
+                    d = vmulq_f32(d, vdupq_n_f32(k));
+                }
+                vst1q_f32(op_.add(j), d);
+                j += 4;
+            }
+            for jj in j..len {
+                let mut d = *dp.add(jj) * act.gradient(*pp.add(jj));
+                if let Some(k) = scale {
+                    d *= k;
+                }
+                *op_.add(jj) = d;
+            }
+        }
+    }
+
+    pub fn plane_bn_backward(
+        k: f32,
+        m: f32,
+        sum_dy: f32,
+        sum_dy_xhat: f32,
+        xhat: &[f32],
+        delta: &mut [f32],
+    ) {
+        unsafe {
+            let len = delta.len();
+            let xp = xhat.as_ptr();
+            let dp = delta.as_mut_ptr();
+            let (vk, vm, vs, vsx) = (
+                vdupq_n_f32(k),
+                vdupq_n_f32(m),
+                vdupq_n_f32(sum_dy),
+                vdupq_n_f32(sum_dy_xhat),
+            );
+            let mut j = 0;
+            while j + 4 <= len {
+                let d = vld1q_f32(dp.add(j));
+                let x = vld1q_f32(xp.add(j));
+                let t = vsubq_f32(vsubq_f32(vmulq_f32(vm, d), vs), vmulq_f32(x, vsx));
+                vst1q_f32(dp.add(j), vmulq_f32(vk, t));
+                j += 4;
+            }
+            for jj in j..len {
+                *dp.add(jj) = k * (m * *dp.add(jj) - sum_dy - *xp.add(jj) * sum_dy_xhat);
+            }
+        }
+    }
+
+    pub fn moment_rows(wide_rows: &[f32], cols: usize, acc: &mut [f32]) {
+        const STRIDE: usize = crate::epilogue::MOMENT_ACC_STRIDE;
+        unsafe {
+            let nrows = wide_rows.len() / cols;
+            let rp = wide_rows.as_ptr();
+            let mut r = 0;
+            while r + 4 <= nrows {
+                let mut ka = [0.0f32; 4];
+                let mut s1a = [0.0f32; 4];
+                let mut s2a = [0.0f32; 4];
+                for l in 0..4 {
+                    let base = STRIDE * (r + l);
+                    ka[l] = acc[base];
+                    s1a[l] = acc[base + 1];
+                    s2a[l] = acc[base + 2];
+                }
+                let kv = vld1q_f32(ka.as_ptr());
+                let mut s1 = vld1q_f32(s1a.as_ptr());
+                let mut s2 = vld1q_f32(s2a.as_ptr());
+                for j in 0..cols {
+                    let v = gather4(rp.add(r * cols + j), cols);
+                    let d = vsubq_f32(v, kv);
+                    s1 = vaddq_f32(s1, d);
+                    s2 = vaddq_f32(s2, vmulq_f32(d, d));
+                }
+                vst1q_f32(s1a.as_mut_ptr(), s1);
+                vst1q_f32(s2a.as_mut_ptr(), s2);
+                for l in 0..4 {
+                    let base = STRIDE * (r + l);
+                    acc[base + 1] = s1a[l];
+                    acc[base + 2] = s2a[l];
+                }
+                r += 4;
+            }
+            super::moment_rows_scalar(wide_rows, cols, acc, r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{gemm_a_bt, gemm_at_b_strict, gemm_strict};
+
+    fn arb(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simd_gemm_matches_strict_bitwise() {
+        // Shapes straddle every lane boundary: n < 8, n % 8 != 0,
+        // n % 16 != 0, k == 0, m % MR != 0.
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (4, 16, 8),
+            (5, 7, 3),
+            (3, 8, 0),
+            (9, 33, 17),
+            (2, 100, 27),
+            (13, 23, 64),
+        ] {
+            let a = arb(m * k, 101);
+            let b = arb(k * n, 102);
+            let mut c1 = arb(m * n, 103);
+            let mut c2 = c1.clone();
+            gemm_strict(m, n, k, &a, &b, &mut c1);
+            gemm_simd(m, n, k, &a, &b, &mut c2);
+            for i in 0..m * n {
+                assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{m}x{n}x{k} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_at_b_matches_strict_bitwise() {
+        for &(m, n, k) in &[(1, 1, 1), (6, 20, 5), (5, 7, 3), (3, 9, 0), (12, 31, 11)] {
+            let at = arb(k * m, 111);
+            let b = arb(k * n, 112);
+            let mut c1 = arb(m * n, 113);
+            let mut c2 = c1.clone();
+            gemm_at_b_strict(m, n, k, &at, &b, &mut c1);
+            gemm_at_b_simd(m, n, k, &at, &b, &mut c2);
+            for i in 0..m * n {
+                assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{m}x{n}x{k} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn simd_a_bt_matches_plain_bitwise() {
+        for &(m, n, k) in &[(1, 1, 1), (6, 20, 5), (5, 7, 3), (3, 9, 0), (9, 31, 24)] {
+            let a = arb(m * k, 121);
+            let bt = arb(n * k, 122);
+            let mut c1 = arb(m * n, 123);
+            let mut c2 = c1.clone();
+            gemm_a_bt(m, n, k, &a, &bt, &mut c1);
+            gemm_a_bt_simd(m, n, k, &a, &bt, &mut c2);
+            for i in 0..m * n {
+                assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{m}x{n}x{k} elem {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn relu_negative_zero_matches_scalar() {
+        // ReLU maps −0.0 to +0.0 on the scalar branch (the `else`
+        // constant); the blend must pick the same +0.0, not pass −0.0.
+        let src = [-0.0f32, 0.0, -1.0, 2.0, -0.0, 3.0, -4.0, 0.5, -0.0];
+        let mut out = [9.0f32; 9];
+        let mut pre = [9.0f32; 9];
+        plane_scatter(&src, PlaneOp::Bias(0.0), Activation::Relu, &mut out, &mut pre);
+        for (i, &v) in src.iter().enumerate() {
+            let z = v + 0.0;
+            assert_eq!(out[i].to_bits(), Activation::Relu.apply(z).to_bits(), "elem {i}");
+        }
+    }
+
+    #[test]
+    fn detection_is_consistent() {
+        // enabled() implies supported(); fma stays off unless asked.
+        if enabled() {
+            assert!(supported());
+        }
+        if std::env::var("CALTRAIN_SIMD_FMA").as_deref() != Ok("1") {
+            assert!(!fma_enabled());
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the SIMD backend's bitwise contract: every GEMM
+//! variant must equal its strict scalar reference **to the bit** at
+//! arbitrary shapes — with the remainder-lane edge cases (`n` not a
+//! multiple of the 8-lane width, `n` below it, `k == 0`, odd row-tile
+//! splits) drawn deliberately often. On hosts without AVX2 the `*_simd`
+//! entry points fall back to the scalar kernels, so the properties hold
+//! — and keep running — everywhere.
+
+use caltrain_tensor::gemm::{
+    gemm_a_bt, gemm_at_b_strict, gemm_row_tile, gemm_strict, GemmKernel,
+};
+use caltrain_tensor::simd::{gemm_a_bt_simd, gemm_at_b_simd, gemm_simd};
+use proptest::prelude::*;
+
+/// Deterministic matrix fill: the same tiny LCG the kernel unit tests
+/// use, keyed by a proptest-drawn seed so shrinking stays meaningful.
+fn lcg_matrix(len: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+        })
+        .collect()
+}
+
+/// Column counts spanning the lane-width edge cases: `1..40` covers
+/// below one AVX2 vector (`n < 8`), the 8-lane and 16-lane block
+/// boundaries, and every remainder class `n % 8` / `n % 16` on the far
+/// side.
+fn edge_n() -> impl Strategy<Value = usize> {
+    1usize..40
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simd_gemm_bitwise_equals_strict(
+        m in 1usize..12, n in edge_n(), k in 0usize..24, seed in any::<u64>()
+    ) {
+        let a = lcg_matrix(m * k, seed);
+        let b = lcg_matrix(k * n, seed ^ 0x9e37);
+        let mut c1 = lcg_matrix(m * n, seed ^ 0x79b9); // non-zero initial C
+        let mut c2 = c1.clone();
+        gemm_strict(m, n, k, &a, &b, &mut c1);
+        gemm_simd(m, n, k, &a, &b, &mut c2);
+        for i in 0..m * n {
+            prop_assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{}x{}x{} elem {}", m, n, k, i);
+        }
+    }
+
+    #[test]
+    fn simd_at_b_bitwise_equals_strict(
+        m in 1usize..12, n in edge_n(), k in 0usize..24, seed in any::<u64>()
+    ) {
+        let at = lcg_matrix(k * m, seed);
+        let b = lcg_matrix(k * n, seed ^ 0x9e37);
+        let mut c1 = lcg_matrix(m * n, seed ^ 0x79b9);
+        let mut c2 = c1.clone();
+        gemm_at_b_strict(m, n, k, &at, &b, &mut c1);
+        gemm_at_b_simd(m, n, k, &at, &b, &mut c2);
+        for i in 0..m * n {
+            prop_assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{}x{}x{} elem {}", m, n, k, i);
+        }
+    }
+
+    #[test]
+    fn simd_a_bt_bitwise_equals_strict(
+        m in 1usize..12, n in edge_n(), k in 0usize..24, seed in any::<u64>()
+    ) {
+        let a = lcg_matrix(m * k, seed);
+        let bt = lcg_matrix(n * k, seed ^ 0x9e37);
+        let mut c1 = lcg_matrix(m * n, seed ^ 0x79b9);
+        let mut c2 = c1.clone();
+        gemm_a_bt(m, n, k, &a, &bt, &mut c1); // doubles as the strict kernel
+        gemm_a_bt_simd(m, n, k, &a, &bt, &mut c2);
+        for i in 0..m * n {
+            prop_assert_eq!(c1[i].to_bits(), c2[i].to_bits(), "{}x{}x{} elem {}", m, n, k, i);
+        }
+    }
+
+    /// Odd row tiles: splitting the SIMD GEMM into arbitrary uneven
+    /// row tiles (partial microkernel bands included) reproduces both
+    /// the full SIMD call and the strict reference bit for bit — the
+    /// shared-wide-GEMM worker contract, now on the SIMD rung.
+    #[test]
+    fn simd_row_tiles_bitwise_match_full(
+        m in 1usize..14, n in edge_n(), k in 0usize..20,
+        tile_rows in 1usize..6, seed in any::<u64>()
+    ) {
+        let a = lcg_matrix(m * k, seed);
+        let b = lcg_matrix(k * n, seed ^ 0x9e37);
+
+        let mut want = vec![0.0f32; m * n];
+        gemm_strict(m, n, k, &a, &b, &mut want);
+
+        let mut c = vec![0.0f32; m * n];
+        let mut start = 0;
+        while start < m {
+            let end = (start + tile_rows).min(m);
+            gemm_row_tile(
+                gemm_simd as GemmKernel,
+                start..end,
+                n,
+                k,
+                &a,
+                &b,
+                &mut c[start * n..end * n],
+            );
+            start = end;
+        }
+        for i in 0..m * n {
+            prop_assert_eq!(
+                c[i].to_bits(), want[i].to_bits(),
+                "tile_rows {} {}x{}x{} elem {}", tile_rows, m, n, k, i
+            );
+        }
+    }
+}
