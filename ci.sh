@@ -130,6 +130,16 @@ CALTRAIN_WORKERS=4 cargo run --offline -q -p caltrain-sim -- \
 diff "$CAMP_OUT_W1" "$CAMP_OUT_W4" \
   || { echo "campaign smoke diverged across worker counts"; exit 1; }
 
+# Accountability-serving gate in smoke mode, under a forced 4-worker
+# pool: the sharded LSH index must stay bitwise-identical to the oracle
+# scan under exhaustive probing (at 1 and 4 workers) and hold
+# recall@10 >= 0.95 under the default probe budget — all assert!()s
+# inside the bench. The sub-linear decade-growth gate only runs in the
+# full sweep (smoke corpora shard into too few buckets to prune), so a
+# loaded CI host cannot flake this step.
+echo "==> cargo bench --bench fingerprint_query -- --smoke (CALTRAIN_WORKERS=4, serving gate)"
+CALTRAIN_WORKERS=4 cargo bench --offline --bench fingerprint_query -- --smoke
+
 # Kernel ablation bench (strict vs blocked/packed vs SIMD on the conv
 # shapes): regenerates BENCH_enclave_kernels.json with per-shape
 # GFLOP/s metrics and prints the bench → constant drift check — a loud

@@ -54,9 +54,9 @@ enum Direction {
 fn classify(path: &str) -> Direction {
     let lower = [
         "secs", "_ms_", "allocs", "bytes_per", "mbytes", "cycles", "overhead", "spawn",
-        "handoff",
+        "handoff", "scaling_exponent", "decade_growth",
     ];
-    let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate"];
+    let higher = ["per_sec", "speedup", "gflops", "throughput", "accuracy", "hit_rate", "recall"];
     let p = path.to_ascii_lowercase();
     if higher.iter().any(|n| p.contains(n)) {
         Direction::HigherIsBetter
@@ -385,6 +385,18 @@ mod tests {
         assert_eq!(classify("spawn_overhead_speedup"), Direction::HigherIsBetter);
         // Unknown names remain informational.
         assert_eq!(classify("workers"), Direction::Informational);
+    }
+
+    #[test]
+    fn classify_serving_index_metrics() {
+        // Fitted log-log slopes and decade growth ratios shrink as the
+        // index gets better — lower-is-better.
+        assert_eq!(classify("scaling_exponent_indexed"), Direction::LowerIsBetter);
+        assert_eq!(classify("decade_growth_full_scan"), Direction::LowerIsBetter);
+        // Recall is a hit fraction — higher-is-better, and the rate
+        // precedence keeps it so even inside a timing-flavoured path.
+        assert_eq!(classify("recall_at_10"), Direction::HigherIsBetter);
+        assert_eq!(classify("samples[query].recall_mean_secs_path"), Direction::HigherIsBetter);
     }
 
     #[test]

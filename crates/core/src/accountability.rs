@@ -2,7 +2,9 @@
 
 use caltrain_data::Dataset;
 use caltrain_enclave::{Enclave, EnclaveConfig, Platform};
-use caltrain_fingerprint::{Fingerprint, LinkageDb, LinkageRecord, QueryMatch};
+use caltrain_fingerprint::{
+    Fingerprint, IndexedDb, LinkageDb, LinkageRecord, QueryMatch, QueryStrategy,
+};
 use caltrain_nn::{KernelMode, Network};
 use caltrain_tensor::Tensor;
 
@@ -111,20 +113,39 @@ pub struct Investigation {
 }
 
 /// The online query service over a released linkage database.
+///
+/// Queries dispatch by [`QueryStrategy`]: the exact oracle scan
+/// (default) or the sharded LSH index with exact SIMD rerank
+/// ([`IndexedDb`]) for sub-linear serving at large record counts. The
+/// indexed path returns bitwise-identical matches whenever its
+/// candidate set covers the true top-k; the oracle stays reachable via
+/// [`QueryService::db`] for verification.
 #[derive(Debug, Clone)]
 pub struct QueryService {
-    db: LinkageDb,
+    db: IndexedDb,
 }
 
 impl QueryService {
-    /// Wraps a linkage database.
+    /// Wraps a linkage database with the exact-scan oracle strategy.
     pub fn new(db: LinkageDb) -> Self {
-        QueryService { db }
+        QueryService { db: IndexedDb::new(db) }
     }
 
-    /// The underlying database.
+    /// Wraps a linkage database with an explicit query strategy,
+    /// building the serving index up front for
+    /// [`QueryStrategy::Indexed`].
+    pub fn with_strategy(db: LinkageDb, strategy: QueryStrategy) -> Self {
+        QueryService { db: IndexedDb::with_strategy(db, strategy) }
+    }
+
+    /// The underlying exact database (the verification oracle).
     pub fn db(&self) -> &LinkageDb {
-        &self.db
+        self.db.db()
+    }
+
+    /// The strategy answering [`QueryService::investigate`] queries.
+    pub fn strategy(&self) -> QueryStrategy {
+        self.db.strategy()
     }
 
     /// Investigates a runtime misprediction: passes the input through the
@@ -164,7 +185,7 @@ impl QueryService {
         let neighbors: Vec<Neighbor> = matches
             .iter()
             .filter_map(|m| {
-                self.db.record(m.record).map(|r| Neighbor {
+                self.db().record(m.record).map(|r| Neighbor {
                     record: m.record,
                     distance: m.distance,
                     source: r.source,
@@ -172,7 +193,7 @@ impl QueryService {
                 })
             })
             .collect();
-        let demand_from = self.db.sources_of(matches);
+        let demand_from = self.db().sources_of(matches);
         Investigation { predicted, neighbors, demand_from }
     }
 
@@ -184,7 +205,7 @@ impl QueryService {
     ///
     /// Returns [`CalTrainError::Query`] for unknown records.
     pub fn verify_submission(&self, record: usize, submitted: &[u8]) -> Result<bool, CalTrainError> {
-        let r = self.db.record(record).ok_or(CalTrainError::Query("unknown record"))?;
+        let r = self.db().record(record).ok_or(CalTrainError::Query("unknown record"))?;
         Ok(r.verify_instance(submitted))
     }
 }
@@ -267,6 +288,36 @@ mod tests {
         let hits = db.query(&probe, data.labels()[5], 1);
         assert_eq!(hits[0].record, 5);
         assert!(hits[0].distance < 1e-5);
+    }
+
+    #[test]
+    fn indexed_strategy_matches_oracle_investigations() {
+        use caltrain_fingerprint::{IndexParams, QueryStrategy};
+
+        let platform = Platform::with_seed(b"fp-test-5");
+        let stage = FingerprintingStage::launch(&platform, 1 << 16).unwrap();
+        let mut model = net(5);
+        let data = pool(24);
+        let db = stage.build_db(&mut model, &data, 8).unwrap();
+
+        let oracle = QueryService::new(db.clone());
+        assert_eq!(oracle.strategy(), QueryStrategy::Oracle);
+        let indexed = QueryService::with_strategy(
+            db,
+            QueryStrategy::Indexed(IndexParams {
+                target_bucket: 4, // force sharding even at 24 records
+                probes: usize::MAX,
+                ..IndexParams::default()
+            }),
+        );
+        assert!(matches!(indexed.strategy(), QueryStrategy::Indexed(_)));
+
+        for i in [0usize, 7, 23] {
+            let input = data.image(i);
+            let want = oracle.investigate(&mut model, &input, 5).unwrap();
+            let got = indexed.investigate(&mut model, &input, 5).unwrap();
+            assert_eq!(got, want, "indexed investigation diverged for input {i}");
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use caltrain_crypto::gcm::AesGcm;
 use caltrain_data::{shard, Dataset, ParticipantId};
 use caltrain_enclave::Platform;
-use caltrain_fingerprint::LinkageDb;
+use caltrain_fingerprint::{LinkageDb, QueryStrategy};
 use caltrain_nn::augment::AugmentConfig;
 use caltrain_nn::serialize::{range_weights_from_bytes, range_weights_to_bytes, weights_to_bytes};
 use caltrain_nn::{Hyper, Network, NnError};
@@ -44,6 +44,12 @@ pub struct PipelineConfig {
     /// re-warms idempotently. Worker threads are created once per
     /// process and reused — never per call.
     pub parallelism: Parallelism,
+    /// How the accountability [`QueryService`](crate::accountability)
+    /// built by [`CalTrain::build_query_service`] answers fingerprint
+    /// k-NN queries: the exact oracle scan (default), or the sharded
+    /// LSH index with exact SIMD rerank for sub-linear serving at
+    /// large record counts.
+    pub query_strategy: QueryStrategy,
 }
 
 impl Default for PipelineConfig {
@@ -56,6 +62,7 @@ impl Default for PipelineConfig {
             heap_bytes: 1 << 22,
             snapshots: true,
             parallelism: Parallelism::default(),
+            query_strategy: QueryStrategy::default(),
         }
     }
 }
@@ -323,6 +330,22 @@ impl CalTrain {
         db.set_parallelism(self.config.parallelism);
         Ok(db)
     }
+
+    /// Builds the online accountability service: the linkage database
+    /// wrapped with the configured
+    /// [`query_strategy`](PipelineConfig::query_strategy) (index built
+    /// up front for [`QueryStrategy::Indexed`], its code fan-out riding
+    /// the pipeline's worker pool).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CalTrainError::StateViolation`] before ingestion.
+    pub fn build_query_service(
+        &mut self,
+    ) -> Result<crate::accountability::QueryService, CalTrainError> {
+        let db = self.build_linkage_db()?;
+        Ok(crate::accountability::QueryService::with_strategy(db, self.config.query_strategy))
+    }
 }
 
 #[cfg(test)]
@@ -390,6 +413,29 @@ mod tests {
 
         let db = sys.build_linkage_db().unwrap();
         assert_eq!(db.len(), 12);
+    }
+
+    #[test]
+    fn query_service_honours_configured_strategy() {
+        use caltrain_fingerprint::{IndexParams, QueryStrategy};
+
+        let mut cfg = config();
+        cfg.query_strategy = QueryStrategy::Indexed(IndexParams {
+            target_bucket: 2, // tiny corpus still exercises real sharding
+            probes: usize::MAX,
+            ..IndexParams::default()
+        });
+        let mut sys = CalTrain::new(tiny_net(5), cfg, b"pipeline-test-qs").unwrap();
+        sys.enroll_and_ingest(&dataset(12), 3, 5).unwrap();
+        sys.train(1).unwrap();
+
+        let service = sys.build_query_service().unwrap();
+        assert!(matches!(service.strategy(), QueryStrategy::Indexed(_)));
+        assert_eq!(service.db().len(), 12);
+
+        // Default config stays on the oracle — existing call sites are
+        // unchanged by the new knob.
+        assert_eq!(PipelineConfig::default().query_strategy, QueryStrategy::Oracle);
     }
 
     #[test]

@@ -103,39 +103,59 @@ impl LinkageDb {
     pub fn query_all_classes(&self, probe: &Fingerprint, k: usize) -> Vec<QueryMatch> {
         // Scans the record slice directly (no candidate index list —
         // this path visits everything anyway).
-        let distance_to = |idx: usize, r: &LinkageRecord| QueryMatch {
-            record: idx,
-            distance: r.fingerprint.distance(probe),
-        };
-        let matches = if self.records.len() >= PAR_SCAN_THRESHOLD {
-            par_map(self.parallelism, &self.records, |idx, r| distance_to(idx, r))
-        } else {
-            self.records.iter().enumerate().map(|(idx, r)| distance_to(idx, r)).collect()
-        };
-        Self::rank(matches, k)
+        Self::rank(self.scan_distances(&self.records, probe, |idx, _| idx), k)
     }
 
     /// Distances from `probe` to every candidate record, in candidate
-    /// order. Large scans fan out across the worker pool; the per-pair
-    /// distance is pure, so results are identical at any worker count.
-    fn scan(&self, candidates: &[usize], probe: &Fingerprint) -> Vec<QueryMatch> {
-        let distance_to = |&idx: &usize| QueryMatch {
-            record: idx,
-            distance: self.records[idx].fingerprint.distance(probe),
+    /// order.
+    pub(crate) fn scan(&self, candidates: &[usize], probe: &Fingerprint) -> Vec<QueryMatch> {
+        self.scan_distances(candidates, probe, |_, &idx| idx)
+    }
+
+    /// The one distance-scan engine behind both query paths (and the
+    /// index's unindexed-tail scan): maps each item to its record index
+    /// and measures the probe distance, fanning out across the worker
+    /// pool past [`PAR_SCAN_THRESHOLD`]. The per-pair distance is pure,
+    /// so worker count never changes the result.
+    fn scan_distances<T, F>(&self, items: &[T], probe: &Fingerprint, to_record: F) -> Vec<QueryMatch>
+    where
+        T: Sync,
+        F: Fn(usize, &T) -> usize + Sync,
+    {
+        let measure = |i: usize, item: &T| {
+            let record = to_record(i, item);
+            QueryMatch { record, distance: self.records[record].fingerprint.distance(probe) }
         };
-        if candidates.len() >= PAR_SCAN_THRESHOLD {
-            par_map(self.parallelism, candidates, |_, idx| distance_to(idx))
+        if items.len() >= PAR_SCAN_THRESHOLD {
+            par_map(self.parallelism, items, measure)
         } else {
-            candidates.iter().map(distance_to).collect()
+            items.iter().enumerate().map(|(i, item)| measure(i, item)).collect()
         }
     }
 
-    /// The shared sort-and-truncate tail of both query paths: ascending
-    /// by distance, ties broken by insertion order, NaN distances last
-    /// (a degenerate fingerprint must never panic the query).
-    fn rank(mut matches: Vec<QueryMatch>, k: usize) -> Vec<QueryMatch> {
-        matches.sort_by(|a, b| cmp_nan_last(a.distance, b.distance).then(a.record.cmp(&b.record)));
-        matches.truncate(k);
+    /// The shared top-`k` tail of every query path: ascending by
+    /// distance, ties broken by insertion order, NaN distances last (a
+    /// degenerate fingerprint must never panic the query).
+    ///
+    /// Bounded selection: `select_nth_unstable_by` partitions the `k`
+    /// smallest to the front in O(n), then only that prefix is sorted —
+    /// O(n + k log k) instead of the old full O(n log n) sort. The
+    /// comparator is a total order (NaN compares greater than every
+    /// real, record index breaks distance ties), so selection + prefix
+    /// sort returns exactly what the full sort did.
+    pub(crate) fn rank(mut matches: Vec<QueryMatch>, k: usize) -> Vec<QueryMatch> {
+        let cmp = |a: &QueryMatch, b: &QueryMatch| {
+            cmp_nan_last(a.distance, b.distance).then(a.record.cmp(&b.record))
+        };
+        if k == 0 {
+            matches.clear();
+            return matches;
+        }
+        if matches.len() > k {
+            matches.select_nth_unstable_by(k - 1, cmp);
+            matches.truncate(k);
+        }
+        matches.sort_by(cmp);
         matches
     }
 
@@ -262,6 +282,69 @@ mod tests {
         );
         assert_eq!(sequential.query(&probe, 0, 25), parallel.query(&probe, 0, 25));
         assert_eq!(sequential.query(&probe, 1, 25), parallel.query(&probe, 1, 25));
+    }
+
+    #[test]
+    fn rank_ties_at_the_selection_boundary_break_by_insertion_order() {
+        // Five candidates tie at the k=3 boundary distance: the bounded
+        // selection must keep exactly the lowest record indices among
+        // the tied group, like the full sort did.
+        let matches = vec![
+            QueryMatch { record: 9, distance: 0.5 },
+            QueryMatch { record: 2, distance: 0.5 },
+            QueryMatch { record: 7, distance: 0.5 },
+            QueryMatch { record: 4, distance: 0.5 },
+            QueryMatch { record: 5, distance: 0.1 },
+        ];
+        let top = LinkageDb::rank(matches, 3);
+        assert_eq!(
+            top,
+            vec![
+                QueryMatch { record: 5, distance: 0.1 },
+                QueryMatch { record: 2, distance: 0.5 },
+                QueryMatch { record: 4, distance: 0.5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn rank_nan_at_the_selection_boundary_sorts_last() {
+        // NaN distances straddle the k boundary: finite candidates must
+        // win the selection, NaN fills only leftover slots.
+        let matches = vec![
+            QueryMatch { record: 0, distance: f32::NAN },
+            QueryMatch { record: 1, distance: 2.0 },
+            QueryMatch { record: 2, distance: f32::NAN },
+            QueryMatch { record: 3, distance: 1.0 },
+            QueryMatch { record: 4, distance: 3.0 },
+        ];
+        let top = LinkageDb::rank(matches.clone(), 3);
+        assert_eq!(
+            top.iter().map(|m| m.record).collect::<Vec<_>>(),
+            vec![3, 1, 4],
+            "all-finite top-3 excludes NaN"
+        );
+        let top4 = LinkageDb::rank(matches, 4);
+        assert_eq!(top4[3].record, 0, "NaN fills the leftover slot, lowest index first");
+        assert!(top4[3].distance.is_nan());
+    }
+
+    #[test]
+    fn rank_matches_full_sort_reference() {
+        // Pseudo-random distances (ties included via quantisation):
+        // bounded selection == full sort + truncate, for every k.
+        let matches: Vec<QueryMatch> = (0..97)
+            .map(|i| {
+                let noisy = ((i as u32).wrapping_mul(2654435761) >> 20) as f32;
+                QueryMatch { record: i, distance: (noisy / 64.0).floor() }
+            })
+            .collect();
+        for k in [0, 1, 5, 50, 96, 97, 200] {
+            let mut want = matches.clone();
+            want.sort_by(|a, b| cmp_nan_last(a.distance, b.distance).then(a.record.cmp(&b.record)));
+            want.truncate(k);
+            assert_eq!(LinkageDb::rank(matches.clone(), k), want, "k={k}");
+        }
     }
 
     #[test]

@@ -1,0 +1,643 @@
+//! Sub-linear accountability serving: a deterministic two-tier ANN
+//! index over unit-norm fingerprints (ROADMAP "millions of records"
+//! item; the query itself is paper §IV-C).
+//!
+//! # Structure
+//!
+//! Tier 1 — **seeded random-hyperplane LSH**. Fingerprints are
+//! L2-normalised, so the sign of a dot product against a random
+//! hyperplane is the natural locality hash: nearby vectors agree on
+//! most sign bits. Hyperplanes are drawn once from the vendored
+//! [`StdRng`] with a fixed [`IndexParams::seed`], sequentially — builds
+//! are bit-reproducible and worker-count invariant. Each class shards
+//! its records into `2^p` buckets keyed by the `p` *most balanced*
+//! sign bits — the planes whose popcount over the shard's members is
+//! closest to half (a plane that misses the class cap entirely gives a
+//! constant bit and would collapse buckets). `p` adapts to the class
+//! size so buckets stay near [`IndexParams::target_bucket`] records,
+//! and the selection is a pure function of the member multiset
+//! (popcounts are additive), so it too is worker-count invariant and
+//! identical whether the shard was built in one shot or incrementally.
+//!
+//! Tier 2 — **exact SIMD rerank**. A query multi-probes the
+//! [`IndexParams::probes`] most plausible buckets (flipping the
+//! lowest-confidence sign bits first), then reranks the candidate
+//! union with exact L2 distances on the bucket's dim-major
+//! [`FingerprintBlock`] through the `caltrain_tensor` SIMD dispatch.
+//! Because rerank is exact and bitwise identical to
+//! [`Fingerprint::distance`], [`IndexedDb::query`] returns bitwise-
+//! identical [`QueryMatch`] lists to the oracle scan whenever the
+//! candidate set covers the true top-k — and `probes = usize::MAX`
+//! probes every bucket, making coverage total by construction.
+//!
+//! # Staleness safety
+//!
+//! The index carries a watermark (`indexed_len`): records inserted
+//! after the last [`IndexedDb::refresh`] are scanned exactly (the
+//! oracle tail scan), so a stale index can delay the speedup but can
+//! never change an answer. [`refresh`](IndexedDb::refresh) is
+//! incremental: new codes are computed in one worker-pool fan-out
+//! (pure per record, merged sequentially in insertion order — the PR-2
+//! pattern), and only touched buckets are repacked unless a class
+//! outgrew its plane count.
+
+use std::collections::{BTreeMap, HashMap};
+
+use caltrain_runtime::{chunk_ranges, par_map};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::db::{LinkageDb, QueryMatch};
+use crate::record::Fingerprint;
+use crate::soa::FingerprintBlock;
+
+/// Tuning knobs for the LSH index. The defaults hold bucket sizes near
+/// 128 and probe 32 buckets per query (the 5 least-confident sign bits
+/// at million-record scale) — ≥95% recall@10 on clustered fingerprint
+/// distributions while scanning a few percent of the class instead of
+/// all of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexParams {
+    /// RNG seed for the hyperplane draw. Two indexes with the same
+    /// seed, dimensionality and insertion sequence are identical.
+    pub seed: u64,
+    /// Upper bound on sign bits per class (so `2^max_planes` caps the
+    /// bucket count). Clamped to 24.
+    pub max_planes: u32,
+    /// Desired records per bucket; a class of size `s` uses
+    /// `min(ilog2(s / target_bucket), max_planes)` planes once
+    /// `s / target_bucket >= 2`, else a single bucket.
+    pub target_bucket: usize,
+    /// Buckets probed per query (least-confident sign bits flipped
+    /// first). `usize::MAX` probes every bucket — total coverage, so
+    /// results are always bitwise equal to the oracle.
+    pub probes: usize,
+}
+
+impl Default for IndexParams {
+    fn default() -> Self {
+        IndexParams { seed: 0x00CA_17A1, max_planes: 16, target_bucket: 128, probes: 32 }
+    }
+}
+
+/// How a [`QueryService`](../../caltrain_core) resolves fingerprint
+/// k-NN queries: the exact oracle scan, or the LSH index with exact
+/// rerank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryStrategy {
+    /// Exhaustive exact scan ([`LinkageDb::query`]) — the verification
+    /// oracle, and the default.
+    #[default]
+    Oracle,
+    /// Sharded LSH index + SIMD SoA rerank ([`IndexedDb`]).
+    Indexed(IndexParams),
+}
+
+/// One class's shard: every member's full code (kept so re-sharding
+/// never recomputes projections) plus the current bucket partition.
+#[derive(Debug, Clone, PartialEq)]
+struct ClassShard {
+    /// Plane indices whose sign bits form the bucket key, ascending
+    /// (empty = one bucket). Chosen by balance — see [`select_key_bits`].
+    key_bits: Vec<u32>,
+    /// `(record index, full max_planes-bit code)` in insertion order.
+    members: Vec<(usize, u32)>,
+    /// Bucket key (gathered `key_bits` of the code) → packed SoA block.
+    buckets: HashMap<u32, FingerprintBlock>,
+}
+
+impl ClassShard {
+    fn new() -> Self {
+        ClassShard { key_bits: Vec::new(), members: Vec::new(), buckets: HashMap::new() }
+    }
+}
+
+/// The `want` plane indices whose sign bits split `members` most
+/// evenly (popcount closest to half; ties to the lower plane index),
+/// returned ascending. A pure function of the member *multiset* — the
+/// popcounts are additive — so insertion order, batching and worker
+/// count cannot change the selection.
+fn select_key_bits(members: &[(usize, u32)], max_planes: u32, want: u32) -> Vec<u32> {
+    let half = members.len(); // imbalance in units of half a member
+    let mut scored: Vec<(usize, u32)> = (0..max_planes)
+        .map(|b| {
+            let ones = members.iter().filter(|&&(_, code)| (code >> b) & 1 == 1).count();
+            ((2 * ones).abs_diff(half), b)
+        })
+        .collect();
+    scored.sort();
+    scored.truncate(want as usize);
+    let mut bits: Vec<u32> = scored.into_iter().map(|(_, b)| b).collect();
+    bits.sort_unstable();
+    bits
+}
+
+/// Gathers the selected sign bits of `code` into a dense bucket key.
+fn key_of(code: u32, key_bits: &[u32]) -> u32 {
+    key_bits
+        .iter()
+        .enumerate()
+        .fold(0u32, |key, (i, &b)| key | (((code >> b) & 1) << i))
+}
+
+/// The deterministic two-tier LSH index (see module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LshIndex {
+    params: IndexParams,
+    dim: usize,
+    /// `max_planes × dim` hyperplane matrix, row-major.
+    planes: Vec<f32>,
+    shards: HashMap<usize, ClassShard>,
+    /// Records below this index are sharded; the rest are tail-scanned.
+    indexed_len: usize,
+}
+
+impl LshIndex {
+    /// Draws the hyperplanes for `dim`-dimensional fingerprints. The
+    /// draw is sequential from the seeded [`StdRng`], so it is
+    /// identical at any worker count.
+    fn new(params: IndexParams, dim: usize) -> Self {
+        let max_planes = params.max_planes.min(24);
+        let params = IndexParams { max_planes, ..params };
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let planes: Vec<f32> =
+            (0..max_planes as usize * dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        LshIndex { params, dim, planes, shards: HashMap::new(), indexed_len: 0 }
+    }
+
+    /// Records covered by the shard structure; everything at or past
+    /// this watermark is answered by the exact tail scan.
+    pub fn indexed_len(&self) -> usize {
+        self.indexed_len
+    }
+
+    /// Sign bits for a class of `size` records.
+    fn planes_for(params: &IndexParams, size: usize) -> u32 {
+        let quotient = size / params.target_bucket.max(1);
+        if quotient < 2 {
+            0
+        } else {
+            quotient.ilog2().min(params.max_planes)
+        }
+    }
+
+    /// The full `max_planes`-bit sign code of one fingerprint. Each
+    /// projection is the ascending-`d` scalar dot chain; bit `b` is set
+    /// iff projection `b` is `>= 0` (NaN projections clear the bit, so
+    /// degenerate fingerprints land deterministically too).
+    fn code_of(&self, fp: &Fingerprint) -> u32 {
+        assert_eq!(fp.dim(), self.dim, "fingerprint dimensionality changed under the index");
+        let mut code = 0u32;
+        for b in 0..self.params.max_planes as usize {
+            if Self::project(&self.planes[b * self.dim..(b + 1) * self.dim], fp.values()) >= 0.0 {
+                code |= 1 << b;
+            }
+        }
+        code
+    }
+
+    fn project(plane: &[f32], values: &[f32]) -> f32 {
+        plane.iter().zip(values).map(|(p, v)| p * v).sum()
+    }
+
+    /// Incrementally absorbs `db` records past the watermark. Pure
+    /// per-record code computation fans out across the worker pool;
+    /// merges are sequential in insertion order, so the result is
+    /// bit-identical at any worker count.
+    fn refresh(&mut self, db: &LinkageDb) {
+        let records = db.records();
+        let (start, end) = (self.indexed_len, records.len());
+        if start == end {
+            return;
+        }
+
+        // 1. Full codes for the new span — one pool fan-out.
+        let span = end - start;
+        let workers = db.parallelism().workers();
+        let ranges = chunk_ranges(span, workers.max(1) * 4);
+        let code_chunks: Vec<Vec<u32>> = par_map(db.parallelism(), &ranges, |_, range| {
+            range.clone().map(|off| self.code_of(&records[start + off].fingerprint)).collect()
+        });
+        let codes: Vec<u32> = code_chunks.into_iter().flatten().collect();
+
+        // 2. Group the new members by class, in insertion order.
+        // BTreeMap: classes are then rebuilt in sorted label order.
+        let mut fresh: BTreeMap<usize, Vec<(usize, u32)>> = BTreeMap::new();
+        for (off, code) in codes.into_iter().enumerate() {
+            let idx = start + off;
+            fresh.entry(records[idx].label).or_default().push((idx, code));
+        }
+
+        // 3. Per touched class: append members, re-select the balanced
+        // key bits, then either repack only the touched buckets or
+        // re-shard wholesale when the selection (count *or* identity)
+        // changed. Because the selection depends only on the final
+        // member multiset, an incremental build lands on the same
+        // partition as a from-scratch one.
+        for (label, new_members) in fresh {
+            let prior = self.shards.get(&label).map_or(0, |s| s.members.len());
+            let want = Self::planes_for(&self.params, prior + new_members.len());
+            let max_planes = self.params.max_planes;
+            let dim = self.dim;
+            let shard = self.shards.entry(label).or_insert_with(ClassShard::new);
+            shard.members.extend(new_members.iter().copied());
+            let selected = select_key_bits(&shard.members, max_planes, want);
+
+            let touched: Vec<(u32, Vec<usize>)> = if selected != shard.key_bits {
+                // Re-shard: regroup every member under the new key bits.
+                shard.key_bits = selected;
+                shard.buckets.clear();
+                let mut grouped: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+                for &(idx, code) in &shard.members {
+                    grouped.entry(key_of(code, &shard.key_bits)).or_default().push(idx);
+                }
+                grouped.into_iter().collect()
+            } else {
+                // Same partition: only buckets that gained members need
+                // a repack; carry their existing columns forward.
+                let mut grouped: BTreeMap<u32, Vec<usize>> = BTreeMap::new();
+                for &(idx, code) in &new_members {
+                    grouped.entry(key_of(code, &shard.key_bits)).or_default().push(idx);
+                }
+                grouped
+                    .into_iter()
+                    .map(|(key, fresh_recs)| {
+                        let mut recs = shard
+                            .buckets
+                            .get(&key)
+                            .map_or_else(Vec::new, |b| b.records().to_vec());
+                        recs.extend(fresh_recs);
+                        (key, recs)
+                    })
+                    .collect()
+            };
+            for (key, recs) in touched {
+                let columns: Vec<(usize, &Fingerprint)> =
+                    recs.into_iter().map(|i| (i, &records[i].fingerprint)).collect();
+                shard.buckets.insert(key, FingerprintBlock::from_columns(dim, &columns));
+            }
+        }
+        self.indexed_len = end;
+    }
+
+    /// Gathers exact rerank distances for the probed buckets of one
+    /// class shard into `out`.
+    fn probe_shard(
+        &self,
+        label: usize,
+        probe: &Fingerprint,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<QueryMatch>,
+    ) {
+        let Some(shard) = self.shards.get(&label) else { return };
+        let p = shard.key_bits.len() as u32;
+
+        // Projections of the probe against the shard's key planes; the
+        // sign bits give the home bucket, the magnitudes rank
+        // confidence. `code` is in key-position space (bit `i` ↔
+        // `key_bits[i]`), matching the stored bucket keys.
+        let mut code = 0u32;
+        let mut proj = vec![0.0f32; p as usize];
+        for (i, slot) in proj.iter_mut().enumerate() {
+            let b = shard.key_bits[i] as usize;
+            *slot = Self::project(&self.planes[b * self.dim..(b + 1) * self.dim], probe.values());
+            if *slot >= 0.0 {
+                code |= 1 << i;
+            }
+        }
+
+        // Least-confident key positions first (|projection|, then
+        // position — total order even under NaN projections).
+        let mut order: Vec<u32> = (0..p).collect();
+        order.sort_by(|&a, &b| {
+            proj[a as usize]
+                .abs()
+                .total_cmp(&proj[b as usize].abs())
+                .then(a.cmp(&b))
+        });
+
+        // Mask `m` flips the `i`-th least-confident bit iff bit `i` of
+        // `m` is set: masks `0..2^p` enumerate every bucket exactly
+        // once, nearest-first — so `probes = usize::MAX` is total
+        // coverage, not an overflow.
+        let all = 1usize << p;
+        let masks = self.params.probes.clamp(1, all);
+        for m in 0..masks {
+            let mut key = code;
+            for (i, &bit) in order.iter().enumerate() {
+                if (m >> i) & 1 == 1 {
+                    key ^= 1 << bit;
+                }
+            }
+            if let Some(bucket) = shard.buckets.get(&key) {
+                bucket.distances_into(probe, scratch, out);
+            }
+        }
+    }
+}
+
+/// A [`LinkageDb`] plus an optional [`LshIndex`], dispatching queries
+/// by [`QueryStrategy`]. The oracle scan stays available unchanged
+/// (`db().query(..)`); the indexed path is bitwise identical whenever
+/// its candidate union covers the true top-k.
+#[derive(Debug, Clone, Default)]
+pub struct IndexedDb {
+    db: LinkageDb,
+    strategy: QueryStrategy,
+    index: Option<LshIndex>,
+}
+
+impl IndexedDb {
+    /// Wraps a database with the oracle strategy (exact scans, no
+    /// index) — drop-in for existing call sites.
+    pub fn new(db: LinkageDb) -> Self {
+        IndexedDb { db, strategy: QueryStrategy::Oracle, index: None }
+    }
+
+    /// Wraps a database with an explicit strategy, building the index
+    /// eagerly for [`QueryStrategy::Indexed`].
+    pub fn with_strategy(db: LinkageDb, strategy: QueryStrategy) -> Self {
+        let mut this = IndexedDb { db, strategy, index: None };
+        this.refresh();
+        this
+    }
+
+    /// The strategy in force.
+    pub fn strategy(&self) -> QueryStrategy {
+        self.strategy
+    }
+
+    /// Switches strategy; switching *to* `Indexed` builds the index.
+    pub fn set_strategy(&mut self, strategy: QueryStrategy) {
+        if self.strategy != strategy {
+            self.strategy = strategy;
+            self.index = None;
+            self.refresh();
+        }
+    }
+
+    /// The underlying exact store (the verification oracle).
+    pub fn db(&self) -> &LinkageDb {
+        &self.db
+    }
+
+    /// Mutable access to the store. Safe with a live index: records
+    /// inserted here sit past the watermark and are tail-scanned
+    /// exactly until the next [`refresh`](Self::refresh).
+    pub fn db_mut(&mut self) -> &mut LinkageDb {
+        &mut self.db
+    }
+
+    /// The built index, if the strategy is `Indexed` and the db is
+    /// non-empty.
+    pub fn index(&self) -> Option<&LshIndex> {
+        self.index.as_ref()
+    }
+
+    /// Inserts a record (index refresh is deferred — call
+    /// [`refresh`](Self::refresh) after the batch).
+    pub fn insert(&mut self, record: crate::record::LinkageRecord) -> usize {
+        self.db.insert(record)
+    }
+
+    /// Absorbs all records past the watermark into the index
+    /// (no-op under the oracle strategy or when nothing changed).
+    pub fn refresh(&mut self) {
+        let QueryStrategy::Indexed(params) = self.strategy else { return };
+        if self.db.is_empty() {
+            return;
+        }
+        let index = self.index.get_or_insert_with(|| {
+            LshIndex::new(params, self.db.records()[0].fingerprint.dim())
+        });
+        index.refresh(&self.db);
+    }
+
+    /// The `k` nearest records within class `label` — the paper's
+    /// accountability query, answered by the configured strategy.
+    pub fn query(&self, probe: &Fingerprint, label: usize, k: usize) -> Vec<QueryMatch> {
+        match (&self.strategy, &self.index) {
+            (QueryStrategy::Indexed(_), Some(index)) => {
+                let mut scratch = Vec::new();
+                let mut matches = Vec::new();
+                index.probe_shard(label, probe, &mut scratch, &mut matches);
+                self.append_tail(index, Some(label), probe, &mut matches);
+                LinkageDb::rank(matches, k)
+            }
+            _ => self.db.query(probe, label, k),
+        }
+    }
+
+    /// The `k` nearest records across every class (ablation baseline).
+    pub fn query_all_classes(&self, probe: &Fingerprint, k: usize) -> Vec<QueryMatch> {
+        match (&self.strategy, &self.index) {
+            (QueryStrategy::Indexed(_), Some(index)) => {
+                let mut scratch = Vec::new();
+                let mut matches = Vec::new();
+                // Shard iteration order is irrelevant: rank's
+                // comparator is a total order over (distance, record).
+                for &label in index.shards.keys() {
+                    index.probe_shard(label, probe, &mut scratch, &mut matches);
+                }
+                self.append_tail(index, None, probe, &mut matches);
+                LinkageDb::rank(matches, k)
+            }
+            _ => self.db.query_all_classes(probe, k),
+        }
+    }
+
+    /// Exact oracle scan over records past the index watermark —
+    /// restricted to one class when `label` is given. This is what
+    /// makes a stale index safe.
+    fn append_tail(
+        &self,
+        index: &LshIndex,
+        label: Option<usize>,
+        probe: &Fingerprint,
+        out: &mut Vec<QueryMatch>,
+    ) {
+        let watermark = index.indexed_len;
+        if watermark >= self.db.len() {
+            return;
+        }
+        match label {
+            Some(label) => {
+                // Class indices ascend (insertion order), so the
+                // unindexed tail is a suffix.
+                let class = self.db.class_indices(label);
+                let from = class.partition_point(|&idx| idx < watermark);
+                out.extend(self.db.scan(&class[from..], probe));
+            }
+            None => {
+                let tail: Vec<usize> = (watermark..self.db.len()).collect();
+                out.extend(self.db.scan(&tail, probe));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::LinkageRecord;
+
+    fn record(dir: &[f32], label: usize, source: u32) -> LinkageRecord {
+        LinkageRecord::new(Fingerprint::from_embedding(dir), label, source, b"instance")
+    }
+
+    /// Deterministic clustered corpus: `classes` cluster centres on the
+    /// unit sphere with small angular jitter per record.
+    fn clustered_db(n: usize, classes: usize, dim: usize) -> LinkageDb {
+        let mut db = LinkageDb::new();
+        for i in 0..n {
+            let label = i % classes;
+            let mut v: Vec<f32> = (0..dim)
+                .map(|d| {
+                    let centre = ((label * dim + d) as f32 * 2.399).sin();
+                    let jitter = ((i * dim + d) as f32 * 0.713).sin() * 0.15;
+                    centre + jitter
+                })
+                .collect();
+            if v.iter().all(|x| x.abs() < 1e-6) {
+                v[0] = 1.0;
+            }
+            db.insert(record(&v, label, (i % 7) as u32));
+        }
+        db
+    }
+
+    fn exhaustive() -> QueryStrategy {
+        QueryStrategy::Indexed(IndexParams { probes: usize::MAX, ..IndexParams::default() })
+    }
+
+    #[test]
+    fn oracle_strategy_is_a_passthrough() {
+        let db = clustered_db(300, 3, 8);
+        let probe = db.records()[17].fingerprint.clone();
+        let indexed = IndexedDb::new(db.clone());
+        assert_eq!(indexed.strategy(), QueryStrategy::Oracle);
+        assert!(indexed.index().is_none());
+        assert_eq!(indexed.query(&probe, 2, 5), db.query(&probe, 2, 5));
+        assert_eq!(indexed.query_all_classes(&probe, 5), db.query_all_classes(&probe, 5));
+    }
+
+    #[test]
+    fn exhaustive_probing_is_bitwise_identical_to_oracle() {
+        let db = clustered_db(
+            600,
+            4,
+            12,
+        );
+        let indexed = IndexedDb::with_strategy(
+            db.clone(),
+            QueryStrategy::Indexed(IndexParams {
+                target_bucket: 32, // force several buckets per class
+                probes: usize::MAX,
+                ..IndexParams::default()
+            }),
+        );
+        assert!(indexed.index().is_some());
+        for probe_idx in [0, 11, 123, 599] {
+            let probe = db.records()[probe_idx].fingerprint.clone();
+            for label in 0..4 {
+                let want = db.query(&probe, label, 10);
+                let got = indexed.query(&probe, label, 10);
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.record, w.record);
+                    assert_eq!(g.distance.to_bits(), w.distance.to_bits());
+                }
+            }
+            let want = db.query_all_classes(&probe, 10);
+            let got = indexed.query_all_classes(&probe, 10);
+            assert_eq!(
+                got.iter().map(|m| (m.record, m.distance.to_bits())).collect::<Vec<_>>(),
+                want.iter().map(|m| (m.record, m.distance.to_bits())).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn stale_index_tail_scan_keeps_answers_exact() {
+        let db = clustered_db(400, 2, 8);
+        let mut indexed = IndexedDb::with_strategy(db, exhaustive());
+        let watermark = indexed.index().unwrap().indexed_len();
+        assert_eq!(watermark, 400);
+
+        // Insert WITHOUT refreshing: the nearest record to the new
+        // probe is now past the watermark.
+        let special = Fingerprint::from_embedding(&[9.0, -9.0, 9.0, -9.0, 9.0, -9.0, 9.0, -9.0]);
+        let idx = indexed
+            .insert(LinkageRecord::new(special.clone(), 0, 99, b"late"));
+        assert_eq!(indexed.index().unwrap().indexed_len(), 400, "refresh deferred");
+
+        let hits = indexed.query(&special, 0, 3);
+        assert_eq!(hits[0].record, idx, "tail scan found the unindexed record");
+        assert!(hits[0].distance < 1e-6);
+        let all = indexed.query_all_classes(&special, 3);
+        assert_eq!(all[0].record, idx);
+
+        // After refresh the same answer comes from the index.
+        indexed.refresh();
+        assert_eq!(indexed.index().unwrap().indexed_len(), 401);
+        assert_eq!(indexed.query(&special, 0, 3)[0].record, idx);
+    }
+
+    #[test]
+    fn incremental_refresh_equals_from_scratch_build() {
+        let full = clustered_db(700, 3, 10);
+        let strategy = QueryStrategy::Indexed(IndexParams {
+            target_bucket: 64,
+            ..IndexParams::default()
+        });
+
+        // One-shot build.
+        let oneshot = IndexedDb::with_strategy(full.clone(), strategy);
+
+        // Three insert+refresh rounds over the same records.
+        let mut incremental = IndexedDb::with_strategy(LinkageDb::new(), strategy);
+        for chunk in [0..250usize, 250..520, 520..700] {
+            for i in chunk {
+                incremental.insert(full.records()[i].clone());
+            }
+            incremental.refresh();
+        }
+
+        assert_eq!(oneshot.index(), incremental.index(), "incremental == from-scratch");
+    }
+
+    #[test]
+    fn empty_and_unknown_class_queries_are_safe() {
+        let empty = IndexedDb::with_strategy(LinkageDb::new(), exhaustive());
+        let probe = Fingerprint::from_embedding(&[1.0, 0.0]);
+        assert!(empty.query(&probe, 0, 5).is_empty());
+        assert!(empty.query_all_classes(&probe, 5).is_empty());
+
+        let db = clustered_db(100, 2, 8);
+        let indexed = IndexedDb::with_strategy(db.clone(), exhaustive());
+        let probe = db.records()[0].fingerprint.clone();
+        assert!(indexed.query(&probe, 77, 5).is_empty(), "unknown class is empty");
+    }
+
+    #[test]
+    fn default_params_reach_high_recall_on_clusters() {
+        let db = clustered_db(3000, 3, 16);
+        let indexed = IndexedDb::with_strategy(
+            db.clone(),
+            QueryStrategy::Indexed(IndexParams { target_bucket: 64, ..IndexParams::default() }),
+        );
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for probe_idx in (0..3000).step_by(97) {
+            let probe = db.records()[probe_idx].fingerprint.clone();
+            let label = db.records()[probe_idx].label;
+            let want: Vec<usize> = db.query(&probe, label, 10).iter().map(|m| m.record).collect();
+            let got: Vec<usize> =
+                indexed.query(&probe, label, 10).iter().map(|m| m.record).collect();
+            total += want.len();
+            hit += want.iter().filter(|r| got.contains(r)).count();
+        }
+        let recall = hit as f32 / total as f32;
+        assert!(recall >= 0.95, "recall@10 {recall} below 0.95");
+    }
+}

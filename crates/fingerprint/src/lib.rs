@@ -24,8 +24,12 @@
 #![warn(missing_docs)]
 
 pub mod db;
+pub mod index;
 pub mod lle;
 mod record;
+pub mod soa;
 
 pub use db::{LinkageDb, QueryMatch};
+pub use index::{IndexParams, IndexedDb, LshIndex, QueryStrategy};
 pub use record::{Fingerprint, LinkageRecord};
+pub use soa::FingerprintBlock;

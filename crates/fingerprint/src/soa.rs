@@ -1,0 +1,155 @@
+//! Structure-of-arrays fingerprint storage for the rerank fast path.
+//!
+//! A [`FingerprintBlock`] holds one LSH bucket's fingerprints as a
+//! single contiguous **dimension-major** `dim × n` matrix
+//! (`data[d * n + j]` = component `d` of column `j`), the transpose of
+//! the record store's array-of-fingerprints layout. The rerank kernel
+//! ([`caltrain_tensor::distance::distances_to_block`]) then streams
+//! whole cache lines per dimension and lets SIMD lanes own distinct
+//! candidates — while keeping every candidate's reduction the exact
+//! ascending-`d` scalar chain of [`Fingerprint::distance`], so block
+//! distances are **bitwise identical** to the oracle scan's.
+
+use crate::db::QueryMatch;
+use crate::record::Fingerprint;
+
+use caltrain_tensor::distance::distances_to_block;
+
+/// A dim-major SoA block of fingerprints plus the record index each
+/// column came from.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FingerprintBlock {
+    dim: usize,
+    records: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl FingerprintBlock {
+    /// Packs `(record index, fingerprint)` columns into the dim-major
+    /// layout. Column order is preserved (callers pass insertion
+    /// order, keeping builds worker-count invariant).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any fingerprint's dimensionality differs from `dim`.
+    pub fn from_columns(dim: usize, columns: &[(usize, &Fingerprint)]) -> Self {
+        let n = columns.len();
+        let mut records = Vec::with_capacity(n);
+        let mut data = vec![0.0f32; dim * n];
+        for (j, &(idx, fp)) in columns.iter().enumerate() {
+            assert_eq!(fp.dim(), dim, "fingerprint dimensionality mismatch in block");
+            records.push(idx);
+            for (d, &v) in fp.values().iter().enumerate() {
+                data[d * n + j] = v;
+            }
+        }
+        FingerprintBlock { dim, records, data }
+    }
+
+    /// Number of fingerprints (columns) stored.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if the block holds no columns.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The record index behind each column, in column order.
+    pub fn records(&self) -> &[usize] {
+        &self.records
+    }
+
+    /// Exact L2 distances from `probe` to every column, appended to
+    /// `out` as [`QueryMatch`]es through the tensor SIMD dispatch.
+    /// `scratch` is a reusable distance buffer (resized to fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probe.dim() != self.dim()`.
+    pub fn distances_into(
+        &self,
+        probe: &Fingerprint,
+        scratch: &mut Vec<f32>,
+        out: &mut Vec<QueryMatch>,
+    ) {
+        assert_eq!(probe.dim(), self.dim, "probe dimensionality mismatch");
+        let n = self.records.len();
+        scratch.clear();
+        scratch.resize(n, 0.0);
+        distances_to_block(self.dim, n, probe.values(), &self.data, scratch);
+        out.extend(
+            self.records
+                .iter()
+                .zip(scratch.iter())
+                .map(|(&record, &distance)| QueryMatch { record, distance }),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(values: &[f32]) -> Fingerprint {
+        Fingerprint::from_embedding(values)
+    }
+
+    #[test]
+    fn block_distances_bitwise_match_pairwise_oracle() {
+        let fps: Vec<Fingerprint> = (0..13)
+            .map(|i| {
+                let t = i as f32 * 0.47;
+                fp(&[t.sin(), t.cos(), (t * 1.7).sin(), (t * 0.9).cos()])
+            })
+            .collect();
+        let columns: Vec<(usize, &Fingerprint)> =
+            fps.iter().enumerate().map(|(i, f)| (i * 3, f)).collect();
+        let block = FingerprintBlock::from_columns(4, &columns);
+        assert_eq!(block.len(), 13);
+        assert_eq!(block.dim(), 4);
+
+        let probe = fp(&[0.3, -0.8, 0.5, 0.1]);
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        block.distances_into(&probe, &mut scratch, &mut out);
+
+        assert_eq!(out.len(), 13);
+        for (j, f) in fps.iter().enumerate() {
+            assert_eq!(out[j].record, j * 3, "record indices ride along");
+            assert_eq!(
+                out[j].distance.to_bits(),
+                f.distance(&probe).to_bits(),
+                "column {j} must equal the oracle distance to the bit"
+            );
+        }
+    }
+
+    #[test]
+    fn distances_append_rather_than_overwrite() {
+        let a = fp(&[1.0, 0.0]);
+        let block = FingerprintBlock::from_columns(2, &[(7, &a)]);
+        let mut scratch = Vec::new();
+        let mut out = vec![QueryMatch { record: 99, distance: 0.25 }];
+        block.distances_into(&fp(&[0.0, 1.0]), &mut scratch, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].record, 99, "existing matches survive");
+        assert_eq!(out[1].record, 7);
+    }
+
+    #[test]
+    fn empty_block_is_a_no_op() {
+        let block = FingerprintBlock::from_columns(3, &[]);
+        assert!(block.is_empty());
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        block.distances_into(&fp(&[1.0, 0.0, 0.0]), &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+}

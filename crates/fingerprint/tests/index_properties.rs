@@ -1,0 +1,146 @@
+//! Property tests for the sub-linear serving tier
+//! (`caltrain_fingerprint::index`): the exact-oracle contract, recall
+//! under the default multi-probe budget, and worker-count-invariant
+//! builds.
+
+use caltrain_fingerprint::{
+    Fingerprint, IndexParams, IndexedDb, LinkageDb, LinkageRecord, QueryStrategy,
+};
+use caltrain_runtime::Parallelism;
+use proptest::prelude::*;
+
+/// Deterministic clustered corpus keyed by a proptest-drawn seed:
+/// `classes` unit-sphere cluster centres, per-record angular jitter —
+/// the shape real penultimate-layer fingerprints take (§VI-D).
+fn clustered_db(seed: u64, n: usize, classes: usize, dim: usize, jitter: f32) -> LinkageDb {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    };
+    let centres: Vec<Vec<f32>> = (0..classes).map(|_| (0..dim).map(|_| next()).collect()).collect();
+    let mut db = LinkageDb::new();
+    for i in 0..n {
+        let label = i % classes;
+        let mut v: Vec<f32> = centres[label].iter().map(|c| c + next() * jitter).collect();
+        if v.iter().all(|x| x.abs() < 1e-6) {
+            v[0] = 1.0;
+        }
+        db.insert(LinkageRecord::new(
+            Fingerprint::from_embedding(&v),
+            label,
+            (i % 7) as u32,
+            &i.to_le_bytes(),
+        ));
+    }
+    db
+}
+
+fn bits(matches: &[caltrain_fingerprint::QueryMatch]) -> Vec<(usize, u32)> {
+    matches.iter().map(|m| (m.record, m.distance.to_bits())).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// With `probes = usize::MAX` every bucket is probed, so coverage
+    /// (recall) is total — and the indexed answer must equal the
+    /// oracle scan **to the bit**, for every class and probe.
+    #[test]
+    fn total_coverage_is_bitwise_identical_to_oracle(
+        seed in any::<u64>(),
+        n in 50usize..600,
+        classes in 1usize..5,
+        target_bucket in 8usize..64,
+        k in 1usize..15,
+    ) {
+        let db = clustered_db(seed, n, classes, 10, 0.4);
+        let indexed = IndexedDb::with_strategy(
+            db.clone(),
+            QueryStrategy::Indexed(IndexParams {
+                seed,
+                target_bucket,
+                probes: usize::MAX,
+                ..IndexParams::default()
+            }),
+        );
+        for probe_idx in [0, n / 3, n - 1] {
+            let probe = db.records()[probe_idx].fingerprint.clone();
+            for label in 0..classes {
+                prop_assert_eq!(
+                    bits(&indexed.query(&probe, label, k)),
+                    bits(&db.query(&probe, label, k)),
+                    "class query seed={} n={} label={}", seed, n, label
+                );
+            }
+            prop_assert_eq!(
+                bits(&indexed.query_all_classes(&probe, k)),
+                bits(&db.query_all_classes(&probe, k)),
+                "all-classes query seed={} n={}", seed, n
+            );
+        }
+    }
+
+    /// Under the default probe budget, recall@10 across seeded
+    /// clustered distributions stays at or above 0.95.
+    #[test]
+    fn default_probes_recall_at_10_is_at_least_95_percent(
+        seed in any::<u64>(),
+        classes in 2usize..5,
+    ) {
+        let n = 2400;
+        let db = clustered_db(seed, n, classes, 16, 0.3);
+        let indexed = IndexedDb::with_strategy(
+            db.clone(),
+            QueryStrategy::Indexed(IndexParams {
+                seed,
+                target_bucket: 64, // small enough to force real sharding at this n
+                ..IndexParams::default()
+            }),
+        );
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        for probe_idx in (0..n).step_by(131) {
+            let probe = db.records()[probe_idx].fingerprint.clone();
+            let label = db.records()[probe_idx].label;
+            let want: Vec<usize> = db.query(&probe, label, 10).iter().map(|m| m.record).collect();
+            let got: Vec<usize> =
+                indexed.query(&probe, label, 10).iter().map(|m| m.record).collect();
+            total += want.len();
+            hit += want.iter().filter(|r| got.contains(r)).count();
+        }
+        let recall = hit as f32 / total as f32;
+        prop_assert!(recall >= 0.95, "recall@10 {} below 0.95 (seed={})", recall, seed);
+    }
+
+    /// Index builds are worker-count invariant: the full structure
+    /// (planes, shard membership order, bucket blocks) is identical
+    /// whether codes were computed on 1 worker or 4.
+    #[test]
+    fn build_is_bit_identical_at_1_and_4_workers(
+        seed in any::<u64>(),
+        n in 100usize..800,
+        classes in 1usize..4,
+    ) {
+        let strategy = QueryStrategy::Indexed(IndexParams {
+            seed,
+            target_bucket: 16,
+            ..IndexParams::default()
+        });
+        let build = |workers: usize| {
+            let mut db = clustered_db(seed, n, classes, 12, 0.5);
+            db.set_parallelism(Parallelism::new(workers));
+            IndexedDb::with_strategy(db, strategy)
+        };
+        let one = build(1);
+        let four = build(4);
+        prop_assert_eq!(one.index(), four.index(), "builds diverged at 1 vs 4 workers");
+
+        // And the answers they serve agree to the bit.
+        let probe = one.db().records()[n / 2].fingerprint.clone();
+        prop_assert_eq!(
+            bits(&one.query(&probe, 0, 10)),
+            bits(&four.query(&probe, 0, 10))
+        );
+    }
+}

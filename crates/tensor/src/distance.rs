@@ -1,0 +1,144 @@
+//! Batched L2 distances from one probe vector to a structure-of-arrays
+//! block of candidate vectors — the rerank kernel of the accountability
+//! serving tier (`caltrain_fingerprint::index`).
+//!
+//! # Layout
+//!
+//! The candidate block is **dimension-major**: a `dim × n` row-major
+//! matrix whose row `d` holds component `d` of all `n` candidates
+//! contiguously (`block[d * n + j]` is component `d` of candidate `j`).
+//! That is the transpose of the obvious array-of-fingerprints layout,
+//! and it is what lets the SIMD rung vectorise across *candidates*:
+//! lanes own distinct columns `j`, every memory access is a contiguous
+//! row segment, and each candidate's reduction stays the exact
+//! ascending-`d` scalar chain.
+//!
+//! # Bitwise contract
+//!
+//! Both entry points compute, per candidate `j`,
+//! `sqrt(Σ_d (block[d][j] − probe[d])²)` with the sum accumulated in
+//! ascending `d` from `0.0`, separate mul and add (no FMA), and a final
+//! IEEE square root — exactly the operation chain of
+//! `Fingerprint::distance` in `caltrain-fingerprint`. The SIMD rung
+//! ([`crate::simd::distances_simd`]) keeps the chain per lane and uses
+//! the hardware's correctly-rounded vector sqrt, so
+//! `distances_to_block == distances_to_block_strict == the scalar
+//! pairwise distance`, down to the bit, on every backend. The
+//! `simd_properties` proptests pin this at remainder-lane edge widths.
+
+/// Strict scalar reference: per-candidate ascending-`d` chain.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `dim`, `n`.
+pub fn distances_to_block_strict(dim: usize, n: usize, probe: &[f32], block: &[f32], out: &mut [f32]) {
+    assert_eq!(probe.len(), dim, "probe must have dim components");
+    assert_eq!(block.len(), dim * n, "block must be dim*n");
+    assert_eq!(out.len(), n, "out must hold n distances");
+    for j in 0..n {
+        let mut acc = 0.0f32;
+        for d in 0..dim {
+            let diff = block[d * n + j] - probe[d];
+            acc += diff * diff;
+        }
+        out[j] = acc.sqrt();
+    }
+}
+
+/// Native dispatch: the SIMD rung when enabled ([`crate::simd::enabled`]
+/// honours `CALTRAIN_SIMD=0`), the strict scalar chain otherwise —
+/// bitwise identical either way.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `dim`, `n`.
+pub fn distances_to_block(dim: usize, n: usize, probe: &[f32], block: &[f32], out: &mut [f32]) {
+    if crate::simd::enabled() {
+        crate::simd::distances_simd(dim, n, probe, block, out);
+    } else {
+        distances_to_block_strict(dim, n, probe, block, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg(len: usize, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+            })
+            .collect()
+    }
+
+    /// The scalar pairwise chain the fingerprint db uses, written out
+    /// independently of the kernel under test.
+    fn pairwise(a: &[f32], b: &[f32]) -> f32 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+    }
+
+    #[test]
+    fn strict_matches_pairwise_chain_bitwise() {
+        for (dim, n) in [(1usize, 1usize), (3, 7), (10, 8), (16, 33), (5, 40)] {
+            let probe = lcg(dim, 11);
+            let cols: Vec<Vec<f32>> = (0..n).map(|j| lcg(dim, 100 + j as u64)).collect();
+            // Transpose into the dim-major block layout.
+            let mut block = vec![0.0f32; dim * n];
+            for (j, col) in cols.iter().enumerate() {
+                for d in 0..dim {
+                    block[d * n + j] = col[d];
+                }
+            }
+            let mut out = vec![0.0f32; n];
+            distances_to_block_strict(dim, n, &probe, &block, &mut out);
+            for (j, col) in cols.iter().enumerate() {
+                assert_eq!(
+                    out[j].to_bits(),
+                    pairwise(col, &probe).to_bits(),
+                    "dim={dim} n={n} j={j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_matches_strict_bitwise() {
+        for (dim, n) in [(1usize, 1usize), (4, 5), (10, 8), (16, 31), (7, 64), (12, 100)] {
+            let probe = lcg(dim, 3);
+            let block = lcg(dim * n, 5);
+            let mut strict = vec![0.0f32; n];
+            let mut native = vec![0.0f32; n];
+            distances_to_block_strict(dim, n, &probe, &block, &mut strict);
+            distances_to_block(dim, n, &probe, &block, &mut native);
+            for j in 0..n {
+                assert_eq!(strict[j].to_bits(), native[j].to_bits(), "dim={dim} n={n} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn nan_components_yield_nan_distances_not_panics() {
+        let dim = 3;
+        let n = 9;
+        let mut block = lcg(dim * n, 9);
+        block[n + 4] = f32::NAN; // component 1 of candidate 4
+        let probe = lcg(dim, 2);
+        let mut out = vec![0.0f32; n];
+        distances_to_block(dim, n, &probe, &block, &mut out);
+        assert!(out[4].is_nan());
+        assert!(out.iter().enumerate().all(|(j, v)| j == 4 || v.is_finite()));
+    }
+
+    #[test]
+    fn zero_candidates_is_a_no_op() {
+        let probe = [1.0f32, 2.0];
+        let mut out: Vec<f32> = Vec::new();
+        distances_to_block(2, 0, &probe, &[], &mut out);
+        distances_to_block_strict(2, 0, &probe, &[], &mut out);
+    }
+}

@@ -51,6 +51,7 @@ mod scratch;
 mod shape;
 mod tensor;
 
+pub mod distance;
 pub mod epilogue;
 pub mod gemm;
 pub mod im2col;

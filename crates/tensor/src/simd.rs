@@ -385,6 +385,39 @@ fn moment_rows_scalar(wide_rows: &[f32], cols: usize, acc: &mut [f32], row0: usi
     }
 }
 
+/// Batched probe→block L2 distances over the dim-major SoA layout of
+/// [`crate::distance`] — the accountability rerank kernel. Lanes own
+/// distinct candidate columns `j`; each lane's squared-difference sum is
+/// the exact ascending-`d` chain of
+/// [`crate::distance::distances_to_block_strict`] (separate mul and
+/// add, no FMA), finished with the hardware's correctly-rounded vector
+/// square root — so the rung is bitwise identical to the scalar
+/// reference, remainder lanes included.
+///
+/// Falls back to the strict scalar kernel on architectures without a
+/// SIMD backend, so the function is total.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `dim`, `n`.
+pub fn distances_simd(dim: usize, n: usize, probe: &[f32], block: &[f32], out: &mut [f32]) {
+    assert_eq!(probe.len(), dim, "probe must have dim components");
+    assert_eq!(block.len(), dim * n, "block must be dim*n");
+    assert_eq!(out.len(), n, "out must hold n distances");
+    #[cfg(target_arch = "x86_64")]
+    if supported() {
+        unsafe { x86::distances(dim, n, probe.as_ptr(), block.as_ptr(), out.as_mut_ptr()) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        unsafe { neon::distances(dim, n, probe.as_ptr(), block.as_ptr(), out.as_mut_ptr()) };
+        return;
+    }
+    #[allow(unreachable_code)]
+    crate::distance::distances_to_block_strict(dim, n, probe, block, out)
+}
+
 #[cfg(target_arch = "x86_64")]
 mod x86 {
     //! AVX2 bodies. Every `unsafe fn` here assumes the slice/pointer
@@ -553,6 +586,49 @@ mod x86 {
                 }
                 *cp.add(r * n + jj) += acc;
             }
+        }
+    }
+
+    /// The rerank distance sweep: 16 candidate columns per step (then
+    /// 8, then an exact scalar tail). Each lane's accumulator starts at
+    /// zero and advances in ascending `d` with separate mul+add;
+    /// `_mm256_sqrt_ps` is IEEE correctly rounded, i.e. the same value
+    /// `f32::sqrt` produces.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn distances(dim: usize, n: usize, pp: *const f32, bp: *const f32, op: *mut f32) {
+        let mut j = 0;
+        while j + 16 <= n {
+            let mut acc0 = _mm256_setzero_ps();
+            let mut acc1 = _mm256_setzero_ps();
+            for d in 0..dim {
+                let pv = _mm256_set1_ps(*pp.add(d));
+                let d0 = _mm256_sub_ps(_mm256_loadu_ps(bp.add(d * n + j)), pv);
+                let d1 = _mm256_sub_ps(_mm256_loadu_ps(bp.add(d * n + j + 8)), pv);
+                acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(d0, d0));
+                acc1 = _mm256_add_ps(acc1, _mm256_mul_ps(d1, d1));
+            }
+            _mm256_storeu_ps(op.add(j), _mm256_sqrt_ps(acc0));
+            _mm256_storeu_ps(op.add(j + 8), _mm256_sqrt_ps(acc1));
+            j += 16;
+        }
+        while j + 8 <= n {
+            let mut acc = _mm256_setzero_ps();
+            for d in 0..dim {
+                let pv = _mm256_set1_ps(*pp.add(d));
+                let dv = _mm256_sub_ps(_mm256_loadu_ps(bp.add(d * n + j)), pv);
+                acc = _mm256_add_ps(acc, _mm256_mul_ps(dv, dv));
+            }
+            _mm256_storeu_ps(op.add(j), _mm256_sqrt_ps(acc));
+            j += 8;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for d in 0..dim {
+                let diff = *bp.add(d * n + j) - *pp.add(d);
+                acc += diff * diff;
+            }
+            *op.add(j) = acc.sqrt();
+            j += 1;
         }
     }
 
@@ -943,6 +1019,32 @@ mod neon {
                 }
                 *cp.add(r * n + jj) += acc;
             }
+        }
+    }
+
+    /// NEON rerank distance sweep — 4-lane analogue of the AVX2 body.
+    /// `vsqrtq_f32` is the A64 FSQRT vector instruction, IEEE correctly
+    /// rounded like `f32::sqrt`.
+    pub unsafe fn distances(dim: usize, n: usize, pp: *const f32, bp: *const f32, op: *mut f32) {
+        let mut j = 0;
+        while j + 4 <= n {
+            let mut acc = vdupq_n_f32(0.0);
+            for d in 0..dim {
+                let pv = vdupq_n_f32(*pp.add(d));
+                let dv = vsubq_f32(vld1q_f32(bp.add(d * n + j)), pv);
+                acc = vaddq_f32(acc, vmulq_f32(dv, dv));
+            }
+            vst1q_f32(op.add(j), vsqrtq_f32(acc));
+            j += 4;
+        }
+        while j < n {
+            let mut acc = 0.0f32;
+            for d in 0..dim {
+                let diff = *bp.add(d * n + j) - *pp.add(d);
+                acc += diff * diff;
+            }
+            *op.add(j) = acc.sqrt();
+            j += 1;
         }
     }
 

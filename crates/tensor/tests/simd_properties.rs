@@ -6,10 +6,11 @@
 //! entry points fall back to the scalar kernels, so the properties hold
 //! — and keep running — everywhere.
 
+use caltrain_tensor::distance::distances_to_block_strict;
 use caltrain_tensor::gemm::{
     gemm_a_bt, gemm_at_b_strict, gemm_row_tile, gemm_strict, GemmKernel,
 };
-use caltrain_tensor::simd::{gemm_a_bt_simd, gemm_at_b_simd, gemm_simd};
+use caltrain_tensor::simd::{distances_simd, gemm_a_bt_simd, gemm_at_b_simd, gemm_simd};
 use proptest::prelude::*;
 
 /// Deterministic matrix fill: the same tiny LCG the kernel unit tests
@@ -115,6 +116,24 @@ proptest! {
                 c[i].to_bits(), want[i].to_bits(),
                 "tile_rows {} {}x{}x{} elem {}", tile_rows, m, n, k, i
             );
+        }
+    }
+
+    /// The rerank distance sweep (`distances_simd` over a dim-major SoA
+    /// block) equals the strict scalar chain to the bit at every
+    /// remainder class of the 16/8/4-lane column blocking.
+    #[test]
+    fn simd_distances_bitwise_equal_strict(
+        dim in 1usize..24, n in edge_n(), seed in any::<u64>()
+    ) {
+        let probe = lcg_matrix(dim, seed);
+        let block = lcg_matrix(dim * n, seed ^ 0x9e37);
+        let mut strict = vec![0.0f32; n];
+        let mut simd = vec![0.0f32; n];
+        distances_to_block_strict(dim, n, &probe, &block, &mut strict);
+        distances_simd(dim, n, &probe, &block, &mut simd);
+        for j in 0..n {
+            prop_assert_eq!(strict[j].to_bits(), simd[j].to_bits(), "dim={} n={} j={}", dim, n, j);
         }
     }
 }
